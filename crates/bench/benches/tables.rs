@@ -1,0 +1,21 @@
+//! `cargo bench` entry point that regenerates the paper's evaluation
+//! (quick sweeps). The same harness with full sweeps runs via
+//! `cargo run --release -p wdr-bench --bin tables`.
+
+use std::path::PathBuf;
+use wdr_bench::{experiments, write_csv};
+
+fn main() {
+    // `cargo bench` passes `--bench`; ignore all flags.
+    let out_dir = PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    let outputs = experiments::run_all(true, &out_dir.join("figures"));
+    println!("# Wu–Yao PODC 2022 — regenerated evaluation (cargo bench, quick mode)\n");
+    for out in &outputs {
+        for t in &out.tables {
+            println!("{}", t.to_markdown());
+        }
+        write_csv(out, &out_dir).expect("write CSVs");
+    }
+    println!("CSV artifacts: {}", out_dir.display());
+}

@@ -1,0 +1,134 @@
+//! Table formatting and CSV emission for the experiment harness.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A rendered experiment: a title, a commentary line, and a rectangular
+/// table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id (e.g. "E1").
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// One-paragraph commentary (what the paper says vs what we measured).
+    pub commentary: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Table {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            commentary: String::new(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders as GitHub-flavored markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "### {} — {}\n", self.id, self.title).unwrap();
+        writeln!(out, "| {} |", self.headers.join(" | ")).unwrap();
+        writeln!(out, "|{}|", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"))
+            .unwrap();
+        for row in &self.rows {
+            writeln!(out, "| {} |", row.join(" | ")).unwrap();
+        }
+        if !self.commentary.is_empty() {
+            writeln!(out, "\n{}", self.commentary).unwrap();
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "{}", self.headers.join(",")).unwrap();
+        for row in &self.rows {
+            writeln!(out, "{}", row.join(",")).unwrap();
+        }
+        out
+    }
+}
+
+/// The output of one experiment run: one or more tables plus any artifact
+/// files it wrote.
+#[derive(Clone, Debug, Default)]
+pub struct ExperimentOutput {
+    /// The tables.
+    pub tables: Vec<Table>,
+    /// Paths of extra artifacts (DOT files, …).
+    pub artifacts: Vec<String>,
+}
+
+/// Writes every table of an output as CSV under `dir`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv(out: &ExperimentOutput, dir: &Path) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    for t in &out.tables {
+        fs::write(dir.join(format!("{}.csv", t.id.to_lowercase())), t.to_csv())?;
+    }
+    Ok(())
+}
+
+/// Least-squares slope of `log(y)` against `log(x)` — the growth-exponent
+/// estimator used throughout EXPERIMENTS.md.
+pub fn loglog_slope(points: &[(f64, f64)]) -> f64 {
+    assert!(points.len() >= 2);
+    let logs: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x.ln(), y.ln())).collect();
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|p| p.0).sum();
+    let sy: f64 = logs.iter().map(|p| p.1).sum();
+    let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_and_csv_render() {
+        let mut t = Table::new("E0", "demo", &["a", "b"]);
+        t.push(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn row_width_checked() {
+        let mut t = Table::new("E0", "demo", &["a", "b"]);
+        t.push(vec!["1".into()]);
+    }
+
+    #[test]
+    fn slope_of_power_law() {
+        let pts: Vec<(f64, f64)> = (1..=6).map(|i| {
+            let x = (i * 10) as f64;
+            (x, 3.0 * x.powf(0.9))
+        }).collect();
+        assert!((loglog_slope(&pts) - 0.9).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,17 @@
+//! # wdr-bench
+//!
+//! The experiment harness regenerating every table and figure of *Wu & Yao,
+//! PODC 2022* (see DESIGN.md §4 for the experiment index E1–E6 / F1–F4 and
+//! the supporting ablations A1–A4).
+//!
+//! The library exposes each experiment as a function returning typed rows;
+//! the `tables` binary (and the `tables` bench target run by `cargo bench`)
+//! prints them as markdown and writes CSV files under `target/experiments/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{write_csv, ExperimentOutput, Table};

@@ -1,0 +1,160 @@
+//! Concurrent pipelined BFS from a *set* of sources (unweighted), the
+//! workhorse of the classical `Õ(√n + D)` approximation algorithms
+//! (Table 1's 3/2-approximation rows [3, 15]).
+//!
+//! Each node forwards one `(source, distance)` announcement per channel per
+//! round; with `|S|` sources every node sends at most `|S|` announcements in
+//! total, so the run completes in `O(|S| + D)` rounds.
+
+use congest_graph::{Dist, NodeId, WeightedGraph};
+use congest_sim::{Mailbox, NodeCtx, NodeProgram, RoundStats, SimConfig, SimError, Status};
+use std::collections::VecDeque;
+
+struct MultiBfsProgram {
+    /// Index of each source in the output vector (usize::MAX = not a source).
+    source_index: Vec<usize>,
+    dist: Vec<Option<u64>>,
+    queue: VecDeque<usize>,
+    queued: Vec<bool>,
+}
+
+impl NodeProgram for MultiBfsProgram {
+    type Msg = (u64, u64); // (source index, distance)
+    type Output = Vec<Dist>;
+
+    fn start(&mut self, ctx: &NodeCtx, _mb: &mut Mailbox<(u64, u64)>) {
+        let idx = self.source_index[ctx.id];
+        if idx != usize::MAX {
+            self.dist[idx] = Some(0);
+            self.queue.push_back(idx);
+            self.queued[idx] = true;
+        }
+    }
+
+    fn round(
+        &mut self,
+        ctx: &NodeCtx,
+        _round: usize,
+        inbox: &[(NodeId, (u64, u64))],
+        mb: &mut Mailbox<(u64, u64)>,
+    ) -> Status {
+        for &(_, (j, d)) in inbox {
+            let j = j as usize;
+            let nd = d + 1;
+            if self.dist[j].is_none_or(|cur| nd < cur) {
+                self.dist[j] = Some(nd);
+                if !self.queued[j] {
+                    self.queued[j] = true;
+                    self.queue.push_back(j);
+                }
+            }
+        }
+        if let Some(j) = self.queue.pop_front() {
+            self.queued[j] = false;
+            mb.broadcast(ctx, (j as u64, self.dist[j].expect("queued has distance")));
+        }
+        if self.queue.is_empty() {
+            Status::Done
+        } else {
+            Status::Running
+        }
+    }
+
+    fn finish(self, _ctx: &NodeCtx) -> Vec<Dist> {
+        self.dist
+            .into_iter()
+            .map(|d| d.map_or(Dist::INFINITY, Dist::from))
+            .collect()
+    }
+}
+
+/// Runs concurrent pipelined BFS from every node of `sources` on the
+/// unweighted view of `g`. Returns `dist[v][j] = hop-distance(sources[j], v)`
+/// and statistics (`O(|S| + D)` rounds).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+///
+/// # Panics
+///
+/// Panics if `sources` is empty or contains an out-of-range node.
+///
+/// # Examples
+///
+/// ```
+/// use congest_algos::multi_bfs::multi_source_bfs;
+/// use congest_graph::{generators, Dist};
+/// use congest_sim::SimConfig;
+///
+/// let g = generators::cycle(8, 5); // weights ignored: BFS semantics
+/// let (d, _) = multi_source_bfs(&g, 0, &[0, 4], SimConfig::standard(8, 5))?;
+/// assert_eq!(d[2][0], Dist::from(2u64)); // from node 0
+/// assert_eq!(d[2][1], Dist::from(2u64)); // from node 4
+/// # Ok::<(), congest_sim::SimError>(())
+/// ```
+pub fn multi_source_bfs(
+    g: &WeightedGraph,
+    leader: NodeId,
+    sources: &[NodeId],
+    config: SimConfig,
+) -> Result<(Vec<Vec<Dist>>, RoundStats), SimError> {
+    assert!(!sources.is_empty(), "sources must be non-empty");
+    assert!(sources.iter().all(|&s| s < g.n()), "source out of range");
+    let mut source_index = vec![usize::MAX; g.n()];
+    for (j, &s) in sources.iter().enumerate() {
+        assert_eq!(source_index[s], usize::MAX, "duplicate source {s}");
+        source_index[s] = j;
+    }
+    let b = sources.len();
+    congest_sim::run_phase(g, leader, config, |_, _| MultiBfsProgram {
+        source_index: source_index.clone(),
+        dist: vec![None; b],
+        queue: VecDeque::new(),
+        queued: vec![false; b],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::{generators, shortest_path};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn cfg(g: &WeightedGraph) -> SimConfig {
+        SimConfig::standard(g.n(), g.max_weight()).with_max_rounds(5_000_000)
+    }
+
+    #[test]
+    fn matches_centralized_bfs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = generators::erdos_renyi_connected(24, 0.12, 9, &mut rng);
+        let u = g.unweighted_view();
+        let sources = vec![0, 7, 13, 21];
+        let (d, _) = multi_source_bfs(&g, 0, &sources, cfg(&g)).unwrap();
+        for (j, &s) in sources.iter().enumerate() {
+            let want = shortest_path::bfs(&u, s);
+            for v in g.nodes() {
+                assert_eq!(d[v][j], want[v], "s={s} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_scale_with_sources_plus_diameter() {
+        let g = generators::path(40, 1);
+        let few = multi_source_bfs(&g, 0, &[0], cfg(&g)).unwrap().1.rounds;
+        let sources: Vec<_> = (0..40).step_by(4).collect();
+        let many = multi_source_bfs(&g, 0, &sources, cfg(&g)).unwrap().1.rounds;
+        // O(|S| + D), not O(|S| · D).
+        assert!(many <= few + sources.len() + 8, "{few} -> {many}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_sources_rejected() {
+        let g = generators::path(4, 1);
+        let _ = multi_source_bfs(&g, 0, &[1, 1], cfg(&g));
+    }
+}

@@ -1,0 +1,354 @@
+//! Algorithm 3 of the paper's Appendix A: Bounded-Hop **Multi-Source**
+//! Shortest Paths with random delays (Lemma A.2).
+//!
+//! `b = |S|` copies of Algorithm 1 run concurrently. The leader samples
+//! delays `Δ_1, …, Δ_b ∈ [0, b·⌈log n⌉]` and broadcasts them (pipelined,
+//! `O(D + b)` rounds). Each *logical* round is stretched into
+//! `⌈log₂ n⌉ + 1` physical rounds so that a node can forward the up to
+//! `⌈log n⌉` messages the random delays leave it per logical round; if a
+//! node ever has more, the algorithm reports failure (probability
+//! `n^{-c}`, Lemma A.2).
+//!
+//! After `O(D + b) + stretch · (maxΔ + (#scales)(L+1) + 1)` physical rounds
+//! — `Õ(D + ℓ/ε + |S|)` — every node `v` knows `d̃^ℓ(s, v)` for every
+//! `s ∈ S`.
+
+use congest_graph::rounding::{ApproxDist, RoundingScheme};
+use congest_graph::{NodeId, WeightedGraph};
+use congest_sim::{
+    primitives, Mailbox, NodeCtx, NodeProgram, RoundStats, SimConfig, SimError, Status,
+};
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Result of the multi-source run.
+#[derive(Clone, Debug)]
+pub struct MultiSourceResult {
+    /// `approx[v][j] = d̃^ℓ(sources[j], v)`.
+    pub approx: Vec<Vec<ApproxDist>>,
+    /// Exact wire representation of each entry: `(scale, raw)` with
+    /// `value = raw · ε·2^scale/(2ℓ)`; `None` where infinite. This is what
+    /// later phases put on the wire (`O(log n)` bits) instead of raw floats.
+    pub repr: Vec<Vec<Option<(u32, u64)>>>,
+    /// Accumulated statistics of all phases (delay broadcast + main run).
+    pub stats: RoundStats,
+    /// `true` if some node exceeded its per-logical-round message budget
+    /// (the paper's low-probability failure event).
+    pub failed: bool,
+}
+
+struct CopyState {
+    dist: Option<u64>,
+    broadcasted: bool,
+}
+
+struct MultiSourceProgram {
+    sources: Vec<NodeId>,
+    delays: Vec<u64>,
+    scheme: RoundingScheme,
+    stretch: usize,
+    limit: u64,
+    num_scales: u32,
+    total_logical: u64,
+    /// Per-copy state for the *current* scale of that copy.
+    copies: Vec<CopyState>,
+    best: Vec<ApproxDist>,
+    best_repr: Vec<Option<(u32, u64)>>,
+    queue: VecDeque<(u64, u64)>, // (copy index, distance value)
+    buffer: Vec<(NodeId, (u64, u64))>,
+    failed: bool,
+}
+
+impl MultiSourceProgram {
+    fn copy_round(&self, logical: u64, j: usize) -> Option<u64> {
+        let start = self.delays[j];
+        if logical < start {
+            return None;
+        }
+        let rho = logical - start;
+        let t_copy = u64::from(self.num_scales) * (self.limit + 1);
+        if rho >= t_copy {
+            None
+        } else {
+            Some(rho)
+        }
+    }
+
+    fn commit(&mut self, j: usize, scale: u32, value: u64) {
+        let approx = value as f64 * self.scheme.unscale(scale);
+        if approx < self.best[j] {
+            self.best[j] = approx;
+            self.best_repr[j] = Some((scale, value));
+        }
+    }
+
+    /// Processes the logical-round boundary for logical round `logical`.
+    fn boundary(&mut self, ctx: &NodeCtx, logical: u64) {
+        let mut enqueued = 0usize;
+        // 1. Scale resets / source starts (copies whose relative round is 0).
+        for j in 0..self.copies.len() {
+            let Some(rho) = self.copy_round(logical, j) else { continue };
+            let rr = rho % (self.limit + 1);
+            let scale = (rho / (self.limit + 1)) as u32;
+            if rr == 0 {
+                self.copies[j] = CopyState { dist: None, broadcasted: false };
+                if ctx.id == self.sources[j] {
+                    self.copies[j].dist = Some(0);
+                    self.copies[j].broadcasted = true;
+                    self.commit(j, scale, 0);
+                    self.queue.push_back((j as u64, 0));
+                    enqueued += 1;
+                }
+            }
+        }
+        // 2. Relax buffered messages (sent during the previous logical round).
+        //    A message broadcast in a scale's final round (distance L) arrives
+        //    after the scale window closed (rr wrapped to 0) and is dropped,
+        //    exactly as in Algorithm 2's bounded window.
+        let buffered = std::mem::take(&mut self.buffer);
+        for (from, (j, d_u)) in buffered {
+            let j = j as usize;
+            let Some(rho) = self.copy_round(logical, j) else { continue };
+            let rr = rho % (self.limit + 1);
+            if rr == 0 {
+                continue;
+            }
+            let scale = (rho / (self.limit + 1)) as u32;
+            let w = ctx.weight_to(from).expect("neighbor");
+            let wi = self.scheme.rounded_weight(scale, w);
+            let nd = d_u + wi;
+            if nd <= self.limit && self.copies[j].dist.is_none_or(|d| nd < d) {
+                self.copies[j].dist = Some(nd);
+                self.commit(j, scale, nd);
+            }
+        }
+        // 3. Scheduled broadcasts: a node whose settled distance equals the
+        //    relative round announces it (once per scale).
+        for j in 0..self.copies.len() {
+            let Some(rho) = self.copy_round(logical, j) else { continue };
+            let rr = rho % (self.limit + 1);
+            if rr == 0 {
+                continue;
+            }
+            let st = &mut self.copies[j];
+            if !st.broadcasted {
+                if let Some(d) = st.dist {
+                    if d == rr {
+                        st.broadcasted = true;
+                        self.queue.push_back((j as u64, d));
+                        enqueued += 1;
+                    }
+                }
+            }
+        }
+        // The paper's failure condition: more messages than fit in the
+        // stretched logical round.
+        if enqueued > self.stretch || self.queue.len() > self.stretch {
+            self.failed = true;
+        }
+    }
+}
+
+impl NodeProgram for MultiSourceProgram {
+    type Msg = (u64, u64);
+    type Output = (Vec<ApproxDist>, Vec<Option<(u32, u64)>>, bool);
+
+    fn start(&mut self, _ctx: &NodeCtx, _mb: &mut Mailbox<(u64, u64)>) {}
+
+    fn round(
+        &mut self,
+        ctx: &NodeCtx,
+        round: usize,
+        inbox: &[(NodeId, (u64, u64))],
+        mb: &mut Mailbox<(u64, u64)>,
+    ) -> Status {
+        self.buffer.extend_from_slice(inbox);
+        let p = (round - 1) as u64;
+        let logical = p / self.stretch as u64;
+        let subround = p % self.stretch as u64;
+        if logical >= self.total_logical {
+            return Status::Done;
+        }
+        if subround == 0 {
+            self.boundary(ctx, logical);
+        }
+        if let Some(msg) = self.queue.pop_front() {
+            mb.broadcast(ctx, msg);
+        }
+        Status::Running
+    }
+
+    fn finish(self, _ctx: &NodeCtx) -> (Vec<ApproxDist>, Vec<Option<(u32, u64)>>, bool) {
+        (self.best, self.best_repr, self.failed)
+    }
+}
+
+/// Runs Algorithm 3: every node learns `d̃^ℓ(s, ·)` for every `s ∈ sources`.
+///
+/// The leader samples the random delays from `rng` and broadcasts them
+/// (pipelined) before the stretched concurrent execution; both phases are
+/// charged to the returned statistics.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+///
+/// # Panics
+///
+/// Panics if `sources` is empty or contains an out-of-range node.
+pub fn multi_source_bounded_hop<R: Rng + ?Sized>(
+    g: &WeightedGraph,
+    leader: NodeId,
+    sources: &[NodeId],
+    scheme: RoundingScheme,
+    config: SimConfig,
+    rng: &mut R,
+) -> Result<MultiSourceResult, SimError> {
+    assert!(!sources.is_empty(), "sources must be non-empty");
+    assert!(sources.iter().all(|&s| s < g.n()), "source out of range");
+    let n = g.n();
+    let b = sources.len();
+    let log_n = ((n.max(2) as f64).log2().ceil() as usize).max(1);
+    let stretch = log_n + 1;
+    let mut stats = RoundStats::default();
+
+    // Phase 0: BFS tree (needed for the delay broadcast).
+    let (tree, tree_stats) = primitives::bfs_tree(g, leader, config.clone())?;
+    stats.absorb(&tree_stats);
+
+    // Phase 1: the leader samples and broadcasts (source, delay) pairs.
+    let delay_cap = (b * log_n) as u64;
+    let delays: Vec<u64> = (0..b).map(|_| rng.gen_range(0..=delay_cap)).collect();
+    let items: Vec<u128> = sources
+        .iter()
+        .zip(&delays)
+        .map(|(&s, &d)| ((s as u128) << 64) | d as u128)
+        .collect();
+    // The schedule entries are (node id, delay) — two O(log n)-bit fields
+    // packed into a u128; budget the phase for the packing artifact.
+    let wide = SimConfig { bandwidth: congest_sim::Bandwidth::bits(160), ..config.clone() };
+    let (received, bc_stats) = primitives::pipelined_broadcast(g, leader, wide, &tree, &items)?;
+    stats.absorb(&bc_stats);
+    // Every node now knows the schedule; unpack (all copies identical).
+    let schedule: Vec<(NodeId, u64)> = received[0]
+        .iter()
+        .map(|&x| ((x >> 64) as NodeId, (x & u64::MAX as u128) as u64))
+        .collect();
+    debug_assert_eq!(schedule.len(), b);
+
+    // Phase 2: the stretched concurrent execution.
+    let limit = scheme.threshold().floor() as u64;
+    let num_scales = scheme.max_scale(n, g.max_weight()) + 1;
+    let max_delay = delays.iter().copied().max().unwrap_or(0);
+    let total_logical = max_delay + u64::from(num_scales) * (limit + 1) + 1;
+    let cfg = SimConfig {
+        bandwidth: congest_sim::Bandwidth::standard(n, scheme.rounded_weight(0, g.max_weight())),
+        ..config
+    };
+    let (out, mut main_stats) = congest_sim::run_phase(g, leader, cfg, |_, _| MultiSourceProgram {
+        sources: schedule.iter().map(|&(s, _)| s).collect(),
+        delays: schedule.iter().map(|&(_, d)| d).collect(),
+        scheme,
+        stretch,
+        limit,
+        num_scales,
+        total_logical,
+        copies: (0..b).map(|_| CopyState { dist: None, broadcasted: false }).collect(),
+        best: vec![f64::INFINITY; b],
+        best_repr: vec![None; b],
+        queue: VecDeque::new(),
+        buffer: Vec::new(),
+        failed: false,
+    })?;
+    main_stats.rounds = main_stats.rounds.max(total_logical as usize * stretch);
+    stats.absorb(&main_stats);
+
+    let failed = out.iter().any(|(_, _, f)| *f);
+    let mut approx = Vec::with_capacity(out.len());
+    let mut repr = Vec::with_capacity(out.len());
+    for (best, best_repr, _) in out {
+        approx.push(best);
+        repr.push(best_repr);
+    }
+    Ok(MultiSourceResult { approx, repr, stats, failed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::rounding::approx_hop_bounded;
+    use congest_graph::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn cfg(g: &WeightedGraph) -> SimConfig {
+        SimConfig::standard(g.n(), g.max_weight()).with_max_rounds(10_000_000)
+    }
+
+    #[test]
+    fn matches_reference_for_each_source() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for trial in 0..3 {
+            let g = generators::erdos_renyi_connected(12, 0.25, 4, &mut rng);
+            let sources = vec![0, 3, 7, 11];
+            let scheme = RoundingScheme::new(4, 0.5);
+            let res =
+                multi_source_bounded_hop(&g, 0, &sources, scheme, cfg(&g), &mut rng).unwrap();
+            assert!(!res.failed, "trial {trial} failed");
+            for (j, &s) in sources.iter().enumerate() {
+                let want = approx_hop_bounded(&g, s, scheme);
+                for v in g.nodes() {
+                    let (a, b) = (res.approx[v][j], want[v]);
+                    assert!(
+                        (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9,
+                        "trial {trial} s={s} v={v}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_source_degenerates_to_algorithm_1() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = generators::path(8, 3);
+        let scheme = RoundingScheme::new(8, 0.5);
+        let res = multi_source_bounded_hop(&g, 0, &[2], scheme, cfg(&g), &mut rng).unwrap();
+        let want = approx_hop_bounded(&g, 2, scheme);
+        for v in g.nodes() {
+            assert!((res.approx[v][0] - want[v]).abs() < 1e-9 || want[v].is_infinite());
+        }
+    }
+
+    #[test]
+    fn round_cost_matches_lemma_a2_shape() {
+        // Õ(D + ℓ/ε + b): doubling b at fixed ℓ should not double the rounds
+        // (sources run concurrently, not sequentially).
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = generators::cycle(16, 2);
+        let scheme = RoundingScheme::new(6, 0.5);
+        let r1 = multi_source_bounded_hop(&g, 0, &[1], scheme, cfg(&g), &mut rng).unwrap();
+        let r4 = multi_source_bounded_hop(&g, 0, &[1, 5, 9, 13], scheme, cfg(&g), &mut rng)
+            .unwrap();
+        assert!(
+            (r4.stats.rounds as f64) < 2.0 * r1.stats.rounds as f64,
+            "concurrency lost: {} vs {}",
+            r1.stats.rounds,
+            r4.stats.rounds
+        );
+    }
+
+    #[test]
+    fn all_nodes_as_sources_works() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = generators::star(6, 2);
+        let sources: Vec<NodeId> = (0..6).collect();
+        let scheme = RoundingScheme::new(3, 0.5);
+        let res = multi_source_bounded_hop(&g, 0, &sources, scheme, cfg(&g), &mut rng).unwrap();
+        assert!(!res.failed);
+        // d̃(v, v) = 0 for every v.
+        for v in 0..6 {
+            assert_eq!(res.approx[v][v], 0.0);
+        }
+    }
+}

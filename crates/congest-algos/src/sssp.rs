@@ -1,0 +1,136 @@
+//! Public `(1+o(1))`-approximate weighted SSSP — Nanongkai's headline
+//! application of the Appendix A toolkit, exposed as a library API.
+//!
+//! For a single source `s`, sample a skeleton of `Θ(√n)` nodes, add `s`,
+//! run the full pipeline (Algorithms 3+4, then Algorithm 5 from `s`), and
+//! combine locally: every node `v` ends up knowing a
+//! `(1+ε)²-approximation of `d(s, v)` in `Õ(√n·(D/(εk) + k) + ℓ/ε)`
+//! rounds — sublinear for small `D`.
+
+use crate::skeleton::SkeletonState;
+use congest_graph::rounding::{ApproxDist, RoundingScheme};
+use congest_graph::{NodeId, WeightedGraph};
+use congest_sim::{RoundStats, SimConfig, SimError};
+use rand::Rng;
+
+/// Result of an approximate SSSP run.
+#[derive(Clone, Debug)]
+pub struct ApproxSsspResult {
+    /// `dist[v] ≈ d(source, v)`, with `d ≤ dist ≤ (1+ε)²·d` w.h.p.
+    pub dist: Vec<ApproxDist>,
+    /// The skeleton used (always contains the source).
+    pub skeleton: Vec<NodeId>,
+    /// Round statistics of all phases.
+    pub stats: RoundStats,
+}
+
+/// Computes `(1+ε)²`-approximate single-source shortest paths from `source`.
+///
+/// Uses the paper's parameter shape with `r = √n`: `ℓ = n·log n/r = √n·log n`,
+/// `k = √D`.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected, has fewer than 2 nodes, or
+/// `eps ∉ (0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use congest_algos::sssp::approx_sssp;
+/// use congest_graph::{generators, shortest_path};
+/// use congest_sim::SimConfig;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+/// let g = generators::erdos_renyi_connected(12, 0.3, 6, &mut rng);
+/// let cfg = SimConfig::standard(g.n(), g.max_weight()).with_max_rounds(100_000_000);
+/// let res = approx_sssp(&g, 0, 4, 0.5, cfg, &mut rng)?;
+/// let exact = shortest_path::dijkstra(&g, 4);
+/// for v in g.nodes() {
+///     assert!(res.dist[v] >= exact[v].as_f64() - 1e-6);
+///     assert!(res.dist[v] <= 2.25 * exact[v].as_f64() + 1e-6);
+/// }
+/// # Ok::<(), congest_sim::SimError>(())
+/// ```
+pub fn approx_sssp<R: Rng + ?Sized>(
+    g: &WeightedGraph,
+    leader: NodeId,
+    source: NodeId,
+    eps: f64,
+    config: SimConfig,
+    rng: &mut R,
+) -> Result<ApproxSsspResult, SimError> {
+    assert!(g.n() >= 2, "need at least two nodes");
+    assert!(g.is_connected(), "CONGEST networks are connected");
+    assert!(eps > 0.0 && eps <= 1.0, "ε must be in (0, 1]");
+    let n = g.n();
+    let nf = n as f64;
+    let r = nf.sqrt();
+    let ell = ((nf * nf.log2()) / r).ceil().max(1.0) as usize;
+    let d = congest_graph::metrics::unweighted_diameter(g).max(1);
+    let k = ((d as f64).sqrt().round() as usize).max(1);
+    let scheme = RoundingScheme::new(ell, eps);
+
+    let rate = (r / nf).clamp(0.0, 1.0);
+    let mut skeleton: Vec<NodeId> = (0..n).filter(|_| rng.gen_bool(rate)).collect();
+    if !skeleton.contains(&source) {
+        skeleton.push(source);
+    }
+    let state = SkeletonState::initialize(g, leader, &skeleton, scheme, k, config.clone(), rng)?;
+    let mut stats = state.init_stats().clone();
+    let (overlay_dist, st) = state.setup_data(g, source, config)?;
+    stats.absorb(&st);
+    let dist = state.combine_local(source, &overlay_dist);
+    Ok(ApproxSsspResult { dist, skeleton: state.overlay.skeleton.clone(), stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::{generators, shortest_path};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn cfg(g: &WeightedGraph) -> SimConfig {
+        SimConfig::standard(g.n(), g.max_weight()).with_max_rounds(200_000_000)
+    }
+
+    #[test]
+    fn sandwich_on_random_graphs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(95);
+        for trial in 0..4 {
+            let g = generators::erdos_renyi_connected(14, 0.25, 8, &mut rng);
+            let s = (trial * 3) % g.n();
+            let eps = 0.5;
+            let res = approx_sssp(&g, 0, s, eps, cfg(&g), &mut rng).unwrap();
+            let exact = shortest_path::dijkstra(&g, s);
+            for v in g.nodes() {
+                let d = exact[v].as_f64();
+                assert!(res.dist[v] >= d - 1e-6, "trial {trial} v={v}");
+                assert!(
+                    res.dist[v] <= (1.0 + eps) * (1.0 + eps) * d + 1e-6,
+                    "trial {trial} v={v}: {} vs {d}",
+                    res.dist[v]
+                );
+            }
+            assert_eq!(res.dist[s], 0.0);
+            assert!(res.skeleton.contains(&s));
+        }
+    }
+
+    #[test]
+    fn source_outside_initial_sample_is_added() {
+        let mut rng = ChaCha8Rng::seed_from_u64(96);
+        let g = generators::path(10, 3);
+        let res = approx_sssp(&g, 0, 9, 0.5, cfg(&g), &mut rng).unwrap();
+        assert!(res.skeleton.contains(&9));
+        assert_eq!(res.dist[9], 0.0);
+        // The far end of the path: exact distance 27.
+        assert!(res.dist[0] >= 27.0 - 1e-6 && res.dist[0] <= 27.0 * 2.25 + 1e-6);
+    }
+}

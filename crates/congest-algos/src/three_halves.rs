@@ -1,0 +1,225 @@
+//! The classical `Õ(√n + D)`-round 3/2-approximation of the unweighted
+//! diameter (Table 1's `3/2: √n + D` rows, Holzer–Peleg–Roditty–Wattenhofer
+//! \[15\] / Ancona et al. \[3\], following the Roditty–Vassilevska Williams
+//! scheme).
+//!
+//! 1. Sample `S` of `Θ(√(n·log n))` nodes; BFS from all of `S`
+//!    concurrently (`O(|S| + D)` rounds).
+//! 2. Let `w` be the node farthest from `S` (a max-convergecast).
+//! 3. BFS from `w`, then from the `t = Θ(√(n·log n))` nodes nearest to `w`
+//!    (selected by a distance threshold found with binary-searched
+//!    counting convergecasts).
+//! 4. Output the largest BFS distance seen — a value in `[⌊2D/3⌋, D]`
+//!    with high probability. The per-source eccentricities are aggregated
+//!    with one pipelined vector convergecast, whose minimum also yields a
+//!    2-approximation of the radius (`min_s e(s) ∈ [R, 2R]`).
+
+use crate::multi_bfs::multi_source_bfs;
+use congest_graph::{NodeId, WeightedGraph};
+use congest_sim::{primitives, RoundStats, SimConfig, SimError};
+use rand::Rng;
+
+/// Result of the 3/2-approximation run.
+#[derive(Clone, Debug)]
+pub struct ThreeHalvesResult {
+    /// Diameter estimate, in `[⌊2D/3⌋, D]` w.h.p.
+    pub diameter_estimate: u64,
+    /// Radius estimate `min_s e(s)` over the BFS'd sources, in `[R, 2R]`.
+    pub radius_estimate: u64,
+    /// All BFS sources used (S ∪ {w} ∪ N_t(w)).
+    pub sources: Vec<NodeId>,
+    /// Accumulated statistics of every phase.
+    pub stats: RoundStats,
+}
+
+/// Runs the 3/2-approximation on the unweighted view of `g`.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected or has fewer than 2 nodes.
+pub fn three_halves_diameter<R: Rng + ?Sized>(
+    g: &WeightedGraph,
+    leader: NodeId,
+    config: SimConfig,
+    rng: &mut R,
+) -> Result<ThreeHalvesResult, SimError> {
+    assert!(g.n() >= 2, "need at least two nodes");
+    assert!(g.is_connected(), "CONGEST networks are connected");
+    let n = g.n();
+    let u = g.unweighted_view();
+    let mut stats = RoundStats::default();
+    let wide = SimConfig { bandwidth: congest_sim::Bandwidth::bits(160), ..config.clone() };
+
+    // Shared infrastructure: the leader's BFS tree.
+    let (tree, st) = primitives::bfs_tree(&u, leader, config.clone())?;
+    stats.absorb(&st);
+
+    // Phase 1: sample S (local coin flips) and BFS from all of S.
+    let target = ((n as f64) * (n as f64).ln()).sqrt().ceil() as usize;
+    let rate = (target as f64 / n as f64).clamp(0.0, 1.0);
+    let mut sample: Vec<NodeId> = (0..n).filter(|_| rng.gen_bool(rate)).collect();
+    if sample.is_empty() {
+        sample.push(leader);
+    }
+    let (dist_s, st) = multi_source_bfs(&u, leader, &sample, config.clone())?;
+    stats.absorb(&st);
+
+    // Phase 2: w = argmax_v d(v, S) via one max-convergecast of
+    // (distance-to-S, node id) pairs.
+    let packed: Vec<u128> = (0..n)
+        .map(|v| {
+            let d = dist_s[v].iter().filter_map(|x| x.finite()).min().unwrap_or(0);
+            (u128::from(d) << 32) | v as u128
+        })
+        .collect();
+    let (best, st) =
+        primitives::converge_cast(&u, leader, wide.clone(), &tree, &packed, primitives::Aggregate::Max)?;
+    stats.absorb(&st);
+    let w = (best & 0xffff_ffff) as NodeId;
+
+    // Phase 3: BFS from w.
+    let (dist_w, st) = multi_source_bfs(&u, leader, &[w], config.clone())?;
+    stats.absorb(&st);
+
+    // Phase 4: select N_t(w) by a distance threshold found with
+    // binary-searched counting convergecasts (O(log D) × O(D) rounds).
+    let mut lo = 0u64; // invariant: count(≤ lo) < t except when lo = 0 works
+    let mut hi = n as u64; // count(≤ hi) ≥ t
+    let count_within = |theta: u64, stats: &mut RoundStats| -> Result<u64, SimError> {
+        let flags: Vec<u128> = (0..n)
+            .map(|v| u128::from(dist_w[v][0].finite().is_some_and(|d| d <= theta)))
+            .collect();
+        let (c, st) = primitives::converge_cast(
+            &u,
+            leader,
+            wide.clone(),
+            &tree,
+            &flags,
+            primitives::Aggregate::Sum,
+        )?;
+        stats.absorb(&st);
+        Ok(c as u64)
+    };
+    if count_within(0, &mut stats)? < target as u64 {
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if count_within(mid, &mut stats)? >= target as u64 {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+    } else {
+        hi = 0;
+    }
+    let theta = hi;
+    let near: Vec<NodeId> = (0..n)
+        .filter(|&v| v != w && dist_w[v][0].finite().is_some_and(|d| d <= theta))
+        .collect();
+
+    // Phase 5: BFS from N_t(w) and aggregate per-source eccentricities with
+    // one pipelined vector convergecast.
+    let mut sources = sample.clone();
+    if !sources.contains(&w) {
+        sources.push(w);
+    }
+    for &v in &near {
+        if !sources.contains(&v) {
+            sources.push(v);
+        }
+    }
+    let (dist_all, st) = multi_source_bfs(&u, leader, &sources, config)?;
+    stats.absorb(&st);
+    let vectors: Vec<Vec<u128>> = (0..n)
+        .map(|v| dist_all[v].iter().map(|d| d.finite().map_or(0, u128::from)).collect())
+        .collect();
+    let (eccs, st) = primitives::converge_cast_vec(
+        &u,
+        leader,
+        wide,
+        &tree,
+        &vectors,
+        primitives::Aggregate::Max,
+    )?;
+    stats.absorb(&st);
+
+    let diameter_estimate = eccs.iter().copied().max().unwrap_or(0) as u64;
+    let radius_estimate = eccs.iter().copied().min().unwrap_or(0) as u64;
+    Ok(ThreeHalvesResult { diameter_estimate, radius_estimate, sources, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::{generators, metrics};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn cfg(g: &WeightedGraph) -> SimConfig {
+        SimConfig::standard(g.n(), g.max_weight()).with_max_rounds(5_000_000)
+    }
+
+    #[test]
+    fn estimate_is_within_three_halves() {
+        let mut rng = ChaCha8Rng::seed_from_u64(90);
+        for trial in 0..8 {
+            let g = generators::erdos_renyi_connected(30, 0.08, 3, &mut rng);
+            let u = g.unweighted_view();
+            let d = metrics::diameter(&u).expect_finite();
+            let r = metrics::radius(&u).expect_finite();
+            let res = three_halves_diameter(&g, 0, cfg(&g), &mut rng).unwrap();
+            assert!(res.diameter_estimate <= d, "trial {trial}: estimate above D");
+            assert!(
+                3 * res.diameter_estimate + 3 >= 2 * d,
+                "trial {trial}: estimate {} below 2D/3 (D = {d})",
+                res.diameter_estimate
+            );
+            assert!(res.radius_estimate >= r && res.radius_estimate <= 2 * r, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn exact_on_paths() {
+        // On a path the farthest-from-sample node is an endpoint, whose BFS
+        // gives the exact diameter.
+        let mut rng = ChaCha8Rng::seed_from_u64(91);
+        let g = generators::path(25, 4);
+        let res = three_halves_diameter(&g, 0, cfg(&g), &mut rng).unwrap();
+        assert_eq!(res.diameter_estimate, 24);
+    }
+
+    #[test]
+    fn rounds_scale_sublinearly() {
+        // Õ(√n + D): quadrupling n on a bounded-diameter family should far
+        // less than quadruple the rounds.
+        let mut rng = ChaCha8Rng::seed_from_u64(92);
+        let small = {
+            let g = generators::cluster_ring(24, 4, 2, &mut rng);
+            three_halves_diameter(&g, 0, cfg(&g), &mut rng).unwrap().stats.rounds
+        };
+        let large = {
+            let g = generators::cluster_ring(96, 4, 2, &mut rng);
+            three_halves_diameter(&g, 0, cfg(&g), &mut rng).unwrap().stats.rounds
+        };
+        assert!(
+            (large as f64) < 3.2 * small as f64,
+            "√n scaling violated: {small} -> {large}"
+        );
+    }
+
+    #[test]
+    fn sources_include_sample_and_witness() {
+        let mut rng = ChaCha8Rng::seed_from_u64(93);
+        let g = generators::grid(5, 5, 1);
+        let res = three_halves_diameter(&g, 0, cfg(&g), &mut rng).unwrap();
+        assert!(!res.sources.is_empty());
+        let mut sorted = res.sources.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), res.sources.len(), "sources are distinct");
+    }
+}

@@ -1,0 +1,172 @@
+//! Edge contraction (paper Lemma 4.3).
+//!
+//! The lower-bound gadgets are analyzed after contracting every weight-1
+//! edge: merged endpoints become one node, parallel edges keep the lowest
+//! weight, and Lemma 4.3 guarantees
+//! `D_{G'} ≤ D_{G} ≤ D_{G'} + n` (same for the radius).
+
+use crate::graph::{GraphBuilder, NodeId, Weight, WeightedGraph};
+
+/// The result of contracting a set of edges.
+#[derive(Clone, Debug)]
+pub struct Contraction {
+    /// The contracted graph `G'`.
+    pub graph: WeightedGraph,
+    /// For each original node, the node of `G'` it was merged into.
+    pub class_of: Vec<NodeId>,
+    /// For each node of `G'`, the original nodes merged into it.
+    pub members: Vec<Vec<NodeId>>,
+}
+
+impl Contraction {
+    /// The `G'`-node an original node maps to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for the original graph.
+    pub fn image(&self, v: NodeId) -> NodeId {
+        self.class_of[v]
+    }
+}
+
+/// Contracts every edge satisfying `should_contract`, merging endpoint
+/// classes (union-find) and keeping the minimum weight among parallel edges,
+/// exactly as in the paper's Section 4.2.
+///
+/// Self-loops created by contraction are dropped.
+pub fn contract_edges(
+    g: &WeightedGraph,
+    mut should_contract: impl FnMut(NodeId, NodeId, Weight) -> bool,
+) -> Contraction {
+    let n = g.n();
+    let mut parent: Vec<NodeId> = (0..n).collect();
+    fn find(parent: &mut [NodeId], v: NodeId) -> NodeId {
+        let mut root = v;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = v;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    for e in g.edges() {
+        if should_contract(e.u, e.v, e.w) {
+            let (ru, rv) = (find(&mut parent, e.u), find(&mut parent, e.v));
+            if ru != rv {
+                parent[ru.max(rv)] = ru.min(rv);
+            }
+        }
+    }
+    // Compact class ids, keeping original order of representatives.
+    let mut class_of = vec![usize::MAX; n];
+    let mut members: Vec<Vec<NodeId>> = Vec::new();
+    for v in 0..n {
+        let r = find(&mut parent, v);
+        if class_of[r] == usize::MAX {
+            class_of[r] = members.len();
+            members.push(Vec::new());
+        }
+        class_of[v] = class_of[r];
+        members[class_of[v]].push(v);
+    }
+    let mut b = GraphBuilder::new(members.len());
+    for e in g.edges() {
+        let (cu, cv) = (class_of[e.u], class_of[e.v]);
+        if cu != cv {
+            b.add_edge(cu, cv, e.w); // builder keeps min over parallels
+        }
+    }
+    let graph = b.build().expect("contracted graph is valid");
+    Contraction { graph, class_of, members }
+}
+
+/// Contracts all edges of weight exactly 1 — the operation of Lemma 4.3.
+///
+/// # Examples
+///
+/// ```
+/// use congest_graph::{contract, WeightedGraph, metrics, Dist};
+/// // 0 -1- 1 -5- 2 -1- 3 : contracting weight-1 edges leaves one weight-5 edge.
+/// let g = WeightedGraph::from_edges(4, [(0, 1, 1), (1, 2, 5), (2, 3, 1)])?;
+/// let c = contract::contract_unit_edges(&g);
+/// assert_eq!(c.graph.n(), 2);
+/// assert_eq!(metrics::diameter(&c.graph), Dist::from(5u64));
+/// # Ok::<(), congest_graph::BuildGraphError>(())
+/// ```
+pub fn contract_unit_edges(g: &WeightedGraph) -> Contraction {
+    contract_edges(g, |_, _, w| w == 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::metrics::{diameter, radius};
+    use crate::Dist;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn contract_path_of_unit_edges_to_point() {
+        let g = generators::path(6, 1);
+        let c = contract_unit_edges(&g);
+        assert_eq!(c.graph.n(), 1);
+        assert_eq!(c.graph.m(), 0);
+        assert_eq!(c.members[0].len(), 6);
+    }
+
+    #[test]
+    fn parallel_edges_keep_minimum_after_contraction() {
+        // Square: 0-1 (w1), 2-3 (w1), 0-2 (w7), 1-3 (w4). Contract unit edges:
+        // classes {0,1} and {2,3}; the two cross edges become parallel, keep 4.
+        let g = WeightedGraph::from_edges(4, [(0, 1, 1), (2, 3, 1), (0, 2, 7), (1, 3, 4)]).unwrap();
+        let c = contract_unit_edges(&g);
+        assert_eq!(c.graph.n(), 2);
+        assert_eq!(c.graph.m(), 1);
+        assert_eq!(c.graph.edge_weight(0, 1), Some(4));
+    }
+
+    #[test]
+    fn image_is_consistent_with_members() {
+        let g = WeightedGraph::from_edges(5, [(0, 1, 1), (1, 2, 3), (2, 3, 1), (3, 4, 2)]).unwrap();
+        let c = contract_unit_edges(&g);
+        for (class, mem) in c.members.iter().enumerate() {
+            for &v in mem {
+                assert_eq!(c.image(v), class);
+            }
+        }
+        let total: usize = c.members.iter().map(Vec::len).sum();
+        assert_eq!(total, g.n());
+    }
+
+    /// Lemma 4.3: `D_{G'} ≤ D_G ≤ D_{G'} + n` and the same for radius.
+    #[test]
+    fn lemma_4_3_sandwich_random_graphs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for trial in 0..20 {
+            let g = generators::erdos_renyi_connected(16, 0.12, 3, &mut rng);
+            let c = contract_unit_edges(&g);
+            let (dg, dc) = (diameter(&g), diameter(&c.graph));
+            let (rg, rc) = (radius(&g), radius(&c.graph));
+            let n = Dist::from(g.n() as u64);
+            assert!(dc <= dg, "trial {trial}: D' ≤ D");
+            assert!(dg <= dc + n, "trial {trial}: D ≤ D' + n");
+            assert!(rc <= rg, "trial {trial}: R' ≤ R");
+            assert!(rg <= rc + n, "trial {trial}: R ≤ R' + n");
+        }
+    }
+
+    #[test]
+    fn contract_nothing_is_identity_shape() {
+        let g = generators::grid(3, 3, 5);
+        let c = contract_edges(&g, |_, _, _| false);
+        assert_eq!(c.graph.n(), g.n());
+        assert_eq!(c.graph.m(), g.m());
+    }
+
+    use crate::graph::WeightedGraph;
+}

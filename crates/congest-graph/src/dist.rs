@@ -1,0 +1,237 @@
+//! Distance arithmetic with an explicit "unreachable" value.
+//!
+//! Shortest-path code is riddled with `u64::MAX` sentinels and overflowing
+//! additions. [`Dist`] makes the sentinel a first-class value with saturating
+//! arithmetic, so `d(u, x) + w(x, v)` is always well defined even when `u`
+//! cannot reach `x`.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::Add;
+
+use serde::{Deserialize, Serialize};
+
+/// A shortest-path distance: either a finite length or [`Dist::INFINITY`].
+///
+/// Finite values are bounded by `Dist::MAX_FINITE`, and addition saturates at
+/// infinity, so arithmetic never overflows and never produces a bogus finite
+/// value.
+///
+/// # Examples
+///
+/// ```
+/// use congest_graph::Dist;
+///
+/// let d = Dist::from(3u64) + Dist::from(4u64);
+/// assert_eq!(d, Dist::from(7u64));
+/// assert!(Dist::INFINITY + Dist::from(1u64) == Dist::INFINITY);
+/// assert!(Dist::from(0u64) < Dist::INFINITY);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Dist(u64);
+
+impl Dist {
+    /// The distance of a node from itself.
+    pub const ZERO: Dist = Dist(0);
+
+    /// The distance between nodes in different connected components.
+    pub const INFINITY: Dist = Dist(u64::MAX);
+
+    /// Largest representable finite distance.
+    pub const MAX_FINITE: Dist = Dist(u64::MAX - 1);
+
+    /// Creates a finite distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value == u64::MAX`, which is reserved for
+    /// [`Dist::INFINITY`].
+    #[inline]
+    pub fn new(value: u64) -> Dist {
+        assert_ne!(value, u64::MAX, "u64::MAX is reserved for Dist::INFINITY");
+        Dist(value)
+    }
+
+    /// Returns `true` if this distance is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self != Dist::INFINITY
+    }
+
+    /// Returns the finite value, or `None` for [`Dist::INFINITY`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use congest_graph::Dist;
+    /// assert_eq!(Dist::from(5u64).finite(), Some(5));
+    /// assert_eq!(Dist::INFINITY.finite(), None);
+    /// ```
+    #[inline]
+    pub fn finite(self) -> Option<u64> {
+        if self.is_finite() {
+            Some(self.0)
+        } else {
+            None
+        }
+    }
+
+    /// Returns the finite value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distance is [`Dist::INFINITY`].
+    #[inline]
+    pub fn expect_finite(self) -> u64 {
+        self.finite().expect("distance is infinite")
+    }
+
+    /// Saturating addition: any sum involving infinity (or exceeding
+    /// [`Dist::MAX_FINITE`]) is infinity.
+    #[inline]
+    pub fn saturating_add(self, other: Dist) -> Dist {
+        match (self.finite(), other.finite()) {
+            (Some(a), Some(b)) => match a.checked_add(b) {
+                Some(s) if s != u64::MAX => Dist(s),
+                _ => Dist::INFINITY,
+            },
+            _ => Dist::INFINITY,
+        }
+    }
+
+    /// Multiplies a finite distance by a scalar, saturating at infinity.
+    #[inline]
+    pub fn saturating_mul(self, k: u64) -> Dist {
+        match self.finite() {
+            Some(a) => match a.checked_mul(k) {
+                Some(s) if s != u64::MAX => Dist(s),
+                _ => Dist::INFINITY,
+            },
+            None => Dist::INFINITY,
+        }
+    }
+
+    /// Returns `self` as an `f64` (`f64::INFINITY` for the infinite value).
+    ///
+    /// Useful for approximation-ratio checks in tests and benches.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        match self.finite() {
+            Some(v) => v as f64,
+            None => f64::INFINITY,
+        }
+    }
+}
+
+impl From<u64> for Dist {
+    /// Converts a finite length into a `Dist`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value == u64::MAX` (reserved for infinity).
+    fn from(value: u64) -> Dist {
+        Dist::new(value)
+    }
+}
+
+impl From<u32> for Dist {
+    fn from(value: u32) -> Dist {
+        Dist(u64::from(value))
+    }
+}
+
+impl Add for Dist {
+    type Output = Dist;
+
+    /// Saturating addition; see [`Dist::saturating_add`].
+    fn add(self, rhs: Dist) -> Dist {
+        self.saturating_add(rhs)
+    }
+}
+
+impl Sum for Dist {
+    fn sum<I: Iterator<Item = Dist>>(iter: I) -> Dist {
+        iter.fold(Dist::ZERO, Dist::saturating_add)
+    }
+}
+
+impl Default for Dist {
+    /// The default distance is [`Dist::ZERO`].
+    fn default() -> Dist {
+        Dist::ZERO
+    }
+}
+
+impl fmt::Display for Dist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.finite() {
+            Some(v) => write!(f, "{v}"),
+            None => write!(f, "∞"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_roundtrip() {
+        assert_eq!(Dist::new(7).finite(), Some(7));
+        assert_eq!(Dist::ZERO.finite(), Some(0));
+    }
+
+    #[test]
+    fn infinity_is_absorbing() {
+        assert_eq!(Dist::INFINITY + Dist::from(3u64), Dist::INFINITY);
+        assert_eq!(Dist::from(3u64) + Dist::INFINITY, Dist::INFINITY);
+        assert_eq!(Dist::INFINITY + Dist::INFINITY, Dist::INFINITY);
+    }
+
+    #[test]
+    fn addition_saturates_to_infinity() {
+        let big = Dist::MAX_FINITE;
+        assert_eq!(big + Dist::from(1u64), Dist::INFINITY);
+        assert_eq!(big + Dist::ZERO, big);
+    }
+
+    #[test]
+    fn mul_saturates() {
+        assert_eq!(Dist::from(10u64).saturating_mul(3), Dist::from(30u64));
+        assert_eq!(Dist::MAX_FINITE.saturating_mul(2), Dist::INFINITY);
+        assert_eq!(Dist::INFINITY.saturating_mul(0), Dist::INFINITY);
+    }
+
+    #[test]
+    fn ordering_puts_infinity_last() {
+        let mut v = vec![Dist::INFINITY, Dist::from(2u64), Dist::ZERO];
+        v.sort();
+        assert_eq!(v, vec![Dist::ZERO, Dist::from(2u64), Dist::INFINITY]);
+    }
+
+    #[test]
+    fn sum_of_dists() {
+        let s: Dist = [1u64, 2, 3].into_iter().map(Dist::from).sum();
+        assert_eq!(s, Dist::from(6u64));
+        let s: Dist = [Dist::from(1u64), Dist::INFINITY].into_iter().sum();
+        assert_eq!(s, Dist::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn max_u64_rejected() {
+        let _ = Dist::new(u64::MAX);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Dist::from(42u64).to_string(), "42");
+        assert_eq!(Dist::INFINITY.to_string(), "∞");
+    }
+
+    #[test]
+    fn as_f64() {
+        assert_eq!(Dist::from(2u64).as_f64(), 2.0);
+        assert!(Dist::INFINITY.as_f64().is_infinite());
+    }
+}

@@ -1,0 +1,78 @@
+//! Graphviz DOT emission, used to regenerate the paper's Figures 1–4.
+
+use crate::graph::{NodeId, WeightedGraph};
+use std::fmt::Write as _;
+
+/// Options controlling DOT output.
+#[derive(Clone, Debug, Default)]
+pub struct DotOptions {
+    /// Graph name in the `graph <name> { … }` header.
+    pub name: String,
+    /// Optional node labels; nodes without a label use their index.
+    pub labels: Vec<(NodeId, String)>,
+    /// If `true`, edge weights are rendered as labels.
+    pub show_weights: bool,
+}
+
+impl DotOptions {
+    /// Options with a graph name, weight labels on.
+    pub fn named(name: impl Into<String>) -> DotOptions {
+        DotOptions { name: name.into(), labels: Vec::new(), show_weights: true }
+    }
+}
+
+/// Renders `g` as an undirected Graphviz DOT document.
+///
+/// # Examples
+///
+/// ```
+/// use congest_graph::{dot, generators};
+/// let g = generators::path(3, 2);
+/// let s = dot::to_dot(&g, &dot::DotOptions::named("p3"));
+/// assert!(s.contains("graph p3"));
+/// assert!(s.contains("0 -- 1"));
+/// ```
+pub fn to_dot(g: &WeightedGraph, opts: &DotOptions) -> String {
+    let mut out = String::new();
+    let name = if opts.name.is_empty() { "g" } else { &opts.name };
+    writeln!(out, "graph {name} {{").unwrap();
+    for (v, label) in &opts.labels {
+        writeln!(out, "  {v} [label=\"{label}\"];").unwrap();
+    }
+    for e in g.edges() {
+        if opts.show_weights {
+            writeln!(out, "  {} -- {} [label=\"{}\"];", e.u, e.v, e.w).unwrap();
+        } else {
+            writeln!(out, "  {} -- {};", e.u, e.v).unwrap();
+        }
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn dot_contains_all_edges() {
+        let g = generators::cycle(4, 3);
+        let s = to_dot(&g, &DotOptions::named("c4"));
+        assert_eq!(s.matches(" -- ").count(), 4);
+        assert!(s.contains("label=\"3\""));
+    }
+
+    #[test]
+    fn labels_rendered() {
+        let g = generators::path(2, 1);
+        let opts = DotOptions {
+            name: "p".into(),
+            labels: vec![(0, "leader".into())],
+            show_weights: false,
+        };
+        let s = to_dot(&g, &opts);
+        assert!(s.contains("label=\"leader\""));
+        assert!(!s.contains("label=\"1\"];\n}"));
+    }
+}

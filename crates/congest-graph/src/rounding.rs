@@ -1,0 +1,226 @@
+//! Weight rounding and the approximate bounded-hop distance `d̃^ℓ`
+//! (paper Lemma 3.2 / Nanongkai's Theorem 3.3).
+//!
+//! For an integer `i ≥ 0` the rounded weights are
+//! `w_i(e) = ⌈2ℓ·w(e) / (ε·2^i)⌉`, and
+//!
+//! ```text
+//! d̃^ℓ(u,v) = min_i { d_{G,w_i}(u,v)·ε·2^i/(2ℓ)  :  d_{G,w_i}(u,v) ≤ (1+2/ε)ℓ }
+//! ```
+//!
+//! Lemma 3.2 guarantees `d(u,v) ≤ d̃^ℓ(u,v) ≤ (1+ε)·d^ℓ(u,v)`.
+//!
+//! Approximate distances are real-valued (the scaling by `ε·2^i/(2ℓ)` leaves
+//! the integers); we carry them as `f64`, which is exact for the integer
+//! numerators involved (all `< 2^53`) and introduces only machine-epsilon
+//! noise, far below the `ε ≥ 1/log n` the guarantees are stated for.
+
+use crate::dist::Dist;
+use crate::graph::{NodeId, WeightedGraph};
+use crate::shortest_path::dijkstra;
+
+/// A real-valued approximate distance (`f64::INFINITY` = unreachable).
+pub type ApproxDist = f64;
+
+/// Parameters of the rounding scheme: the hop budget `ℓ` and the accuracy
+/// `ε` (the paper sets `ε = 1/log n`, Eq. (1)).
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct RoundingScheme {
+    /// Hop budget `ℓ ≥ 1`.
+    pub ell: usize,
+    /// Accuracy parameter `ε ∈ (0, 1]`.
+    pub eps: f64,
+}
+
+impl RoundingScheme {
+    /// Creates a scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ell ≥ 1` and `0 < eps ≤ 1`.
+    pub fn new(ell: usize, eps: f64) -> RoundingScheme {
+        assert!(ell >= 1, "hop budget ℓ must be ≥ 1");
+        assert!(eps > 0.0 && eps <= 1.0, "ε must be in (0, 1]");
+        RoundingScheme { ell, eps }
+    }
+
+    /// The paper's choice `ε = 1/log₂ n` (Eq. (1)), clamped to `(0, 1]`.
+    pub fn paper_eps(n: usize) -> f64 {
+        let lg = (n.max(4) as f64).log2();
+        (1.0 / lg).min(1.0)
+    }
+
+    /// The rounded weight `w_i(e) = ⌈2ℓ·w(e)/(ε·2^i)⌉` for scale `i`.
+    ///
+    /// Returned as `u64` (it is a positive integer by construction).
+    pub fn rounded_weight(&self, i: u32, w: u64) -> u64 {
+        let denom = self.eps * (2f64).powi(i as i32);
+        let val = (2.0 * self.ell as f64 * w as f64) / denom;
+        (val.ceil() as u64).max(1)
+    }
+
+    /// The graph `(G, w_i)` for scale `i`.
+    pub fn rounded_graph(&self, g: &WeightedGraph, i: u32) -> WeightedGraph {
+        g.map_weights(|w| self.rounded_weight(i, w))
+    }
+
+    /// The scale factor mapping a `w_i`-distance back to original units:
+    /// `ε·2^i / (2ℓ)`.
+    pub fn unscale(&self, i: u32) -> f64 {
+        self.eps * (2f64).powi(i as i32) / (2.0 * self.ell as f64)
+    }
+
+    /// The distance threshold `(1 + 2/ε)·ℓ` below which a scale is accepted.
+    pub fn threshold(&self) -> f64 {
+        (1.0 + 2.0 / self.eps) * self.ell as f64
+    }
+
+    /// The largest scale index used by Algorithm 1: `⌈log₂(2nW/ε)⌉`.
+    pub fn max_scale(&self, n: usize, max_weight: u64) -> u32 {
+        let v = 2.0 * n as f64 * max_weight as f64 / self.eps;
+        v.log2().ceil().max(0.0) as u32
+    }
+}
+
+/// Computes `d̃^ℓ_{G,w}(s, ·)` for every node (centralized reference for the
+/// distributed Algorithm 1 / Algorithm 3).
+///
+/// Returns `f64::INFINITY` for nodes whose every scale exceeds the threshold
+/// (in particular nodes farther than `ℓ` hops contribute nothing here — the
+/// skeleton machinery of Lemma 3.3 covers them).
+///
+/// # Panics
+///
+/// Panics if `s >= g.n()`.
+///
+/// # Examples
+///
+/// ```
+/// use congest_graph::{rounding::{approx_hop_bounded, RoundingScheme}, generators};
+/// let g = generators::path(8, 5);
+/// let scheme = RoundingScheme::new(8, 0.25);
+/// let d = approx_hop_bounded(&g, 0, scheme);
+/// // d̃ is a (1+ε)-approximation from above of the true distance 35.
+/// assert!(d[7] >= 35.0 && d[7] <= 35.0 * 1.25 + 1e-9);
+/// ```
+pub fn approx_hop_bounded(g: &WeightedGraph, s: NodeId, scheme: RoundingScheme) -> Vec<ApproxDist> {
+    assert!(s < g.n(), "source {s} out of range");
+    let mut best = vec![f64::INFINITY; g.n()];
+    let threshold = scheme.threshold();
+    let imax = scheme.max_scale(g.n(), g.max_weight());
+    for i in 0..=imax {
+        let gi = scheme.rounded_graph(g, i);
+        let di = dijkstra(&gi, s);
+        let unscale = scheme.unscale(i);
+        for v in g.nodes() {
+            if let Some(d) = di[v].finite() {
+                if (d as f64) <= threshold {
+                    let approx = d as f64 * unscale;
+                    if approx < best[v] {
+                        best[v] = approx;
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Converts an exact [`Dist`] to the `f64` domain of approximate distances.
+pub fn dist_to_f64(d: Dist) -> ApproxDist {
+    d.as_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::shortest_path::{dijkstra, hop_bounded};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn rounded_weight_positive_and_monotone_in_scale() {
+        let s = RoundingScheme::new(10, 0.5);
+        let w0 = s.rounded_weight(0, 7);
+        let w3 = s.rounded_weight(3, 7);
+        assert!(w0 >= w3, "larger scale means coarser (smaller) rounded weights");
+        assert!(w3 >= 1);
+    }
+
+    #[test]
+    fn unscale_inverts_rounding_up_to_eps() {
+        let s = RoundingScheme::new(16, 0.25);
+        for i in 0..8 {
+            for w in [1u64, 3, 17, 1000] {
+                let approx = s.rounded_weight(i, w) as f64 * s.unscale(i);
+                assert!(approx >= w as f64 - 1e-9, "rounding never underestimates");
+            }
+        }
+    }
+
+    /// Lemma 3.2: `d ≤ d̃^ℓ ≤ (1+ε)·d^ℓ` on random weighted graphs.
+    #[test]
+    fn lemma_3_2_sandwich() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for trial in 0..8 {
+            let g = generators::erdos_renyi_connected(18, 0.18, 20, &mut rng);
+            let eps = 0.3;
+            let ell = 6;
+            let scheme = RoundingScheme::new(ell, eps);
+            for s in [0usize, 7] {
+                let exact = dijkstra(&g, s);
+                let hop = hop_bounded(&g, s, ell);
+                let approx = approx_hop_bounded(&g, s, scheme);
+                for v in g.nodes() {
+                    let d = exact[v].as_f64();
+                    let dl = hop[v].as_f64();
+                    let a = approx[v];
+                    assert!(
+                        a >= d - 1e-6,
+                        "trial {trial} s={s} v={v}: d̃={a} < d={d}"
+                    );
+                    if dl.is_finite() {
+                        assert!(
+                            a <= (1.0 + eps) * dl + 1e-6,
+                            "trial {trial} s={s} v={v}: d̃={a} > (1+ε)d^ℓ={}",
+                            (1.0 + eps) * dl
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn far_nodes_may_be_infinite_but_close_ones_are_finite() {
+        let g = generators::path(20, 1);
+        let scheme = RoundingScheme::new(3, 0.5);
+        let a = approx_hop_bounded(&g, 0, scheme);
+        assert!(a[1].is_finite());
+        assert!(a[3].is_finite());
+        // Node 19 is 19 hops away; with ℓ=3 and threshold (1+2/ε)ℓ = 15 rounded
+        // hops it is unreachable at every accepted scale... except coarse scales
+        // can still admit it; the guarantee is only the sandwich, so just check
+        // the lower bound holds.
+        if a[19].is_finite() {
+            assert!(a[19] >= 19.0 - 1e-6);
+        }
+    }
+
+    #[test]
+    fn paper_eps_shrinks_with_n() {
+        assert!(RoundingScheme::paper_eps(1 << 20) < RoundingScheme::paper_eps(16));
+        assert!(RoundingScheme::paper_eps(4) <= 1.0);
+    }
+
+    #[test]
+    fn max_scale_covers_heaviest_path() {
+        let s = RoundingScheme::new(4, 0.5);
+        let imax = s.max_scale(100, 1000);
+        // At the max scale, even n·W fits under the threshold after rounding.
+        let total = 100u64 * 1000;
+        let rounded = s.rounded_weight(imax, total);
+        assert!((rounded as f64) <= s.threshold() + 2.0 * s.ell as f64);
+    }
+}

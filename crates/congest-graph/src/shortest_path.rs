@@ -1,0 +1,439 @@
+//! Centralized shortest-path algorithms.
+//!
+//! These are the *reference* implementations the distributed algorithms are
+//! tested against: Dijkstra, Bellman–Ford, BFS, Floyd–Warshall, and the
+//! hop-bounded distance `d^ℓ` of Section 3.1 (least length over paths with at
+//! most `ℓ` edges).
+
+#![allow(clippy::needless_range_loop)] // index loops mirror the paper's matrix notation
+use crate::dist::Dist;
+use crate::graph::{NodeId, WeightedGraph};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Single-source shortest paths by Dijkstra's algorithm.
+///
+/// Returns `d` with `d[v] = d_{G,w}(s, v)` ([`Dist::INFINITY`] if
+/// unreachable).
+///
+/// # Panics
+///
+/// Panics if `s >= g.n()`.
+///
+/// # Examples
+///
+/// ```
+/// use congest_graph::{shortest_path, generators, Dist};
+/// let g = generators::cycle(5, 1);
+/// let d = shortest_path::dijkstra(&g, 0);
+/// assert_eq!(d[2], Dist::from(2u64));
+/// assert_eq!(d[4], Dist::from(1u64));
+/// ```
+pub fn dijkstra(g: &WeightedGraph, s: NodeId) -> Vec<Dist> {
+    assert!(s < g.n(), "source {s} out of range");
+    let mut dist = vec![Dist::INFINITY; g.n()];
+    dist[s] = Dist::ZERO;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((Dist::ZERO, s)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v] {
+            continue;
+        }
+        for (u, w) in g.neighbors(v) {
+            let nd = d + Dist::from(w);
+            if nd < dist[u] {
+                dist[u] = nd;
+                heap.push(Reverse((nd, u)));
+            }
+        }
+    }
+    dist
+}
+
+/// Dijkstra that also returns, for every node, the minimum number of edges
+/// among all shortest paths from `s` — the *hop distance* `h_{G,w}(s, v)` of
+/// Section 3.1.
+///
+/// Returns `(dist, hops)`; `hops[v] = usize::MAX` when `v` is unreachable.
+///
+/// # Panics
+///
+/// Panics if `s >= g.n()`.
+pub fn dijkstra_with_hops(g: &WeightedGraph, s: NodeId) -> (Vec<Dist>, Vec<usize>) {
+    assert!(s < g.n(), "source {s} out of range");
+    let mut dist = vec![Dist::INFINITY; g.n()];
+    let mut hops = vec![usize::MAX; g.n()];
+    dist[s] = Dist::ZERO;
+    hops[s] = 0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((Dist::ZERO, 0usize, s)));
+    while let Some(Reverse((d, h, v))) = heap.pop() {
+        if (d, h) > (dist[v], hops[v]) {
+            continue;
+        }
+        for (u, w) in g.neighbors(v) {
+            let nd = d + Dist::from(w);
+            let nh = h + 1;
+            if (nd, nh) < (dist[u], hops[u]) {
+                dist[u] = nd;
+                hops[u] = nh;
+                heap.push(Reverse((nd, nh, u)));
+            }
+        }
+    }
+    (dist, hops)
+}
+
+/// Single-source shortest paths by Bellman–Ford (used as an independent
+/// cross-check of [`dijkstra`] in tests).
+///
+/// # Panics
+///
+/// Panics if `s >= g.n()`.
+pub fn bellman_ford(g: &WeightedGraph, s: NodeId) -> Vec<Dist> {
+    assert!(s < g.n(), "source {s} out of range");
+    let mut dist = vec![Dist::INFINITY; g.n()];
+    dist[s] = Dist::ZERO;
+    // Positive weights: at most n-1 relaxation sweeps are needed.
+    for _ in 1..g.n() {
+        let mut changed = false;
+        for e in g.edges() {
+            let a = dist[e.u] + Dist::from(e.w);
+            if a < dist[e.v] {
+                dist[e.v] = a;
+                changed = true;
+            }
+            let b = dist[e.v] + Dist::from(e.w);
+            if b < dist[e.u] {
+                dist[e.u] = b;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+/// Breadth-first search distances on the *unweighted* view of `g` (every
+/// edge counts 1), i.e. `d_{G,w*}(s, ·)`.
+///
+/// # Panics
+///
+/// Panics if `s >= g.n()`.
+pub fn bfs(g: &WeightedGraph, s: NodeId) -> Vec<Dist> {
+    assert!(s < g.n(), "source {s} out of range");
+    let mut dist = vec![Dist::INFINITY; g.n()];
+    dist[s] = Dist::ZERO;
+    let mut frontier = vec![s];
+    let mut level = 0u64;
+    while !frontier.is_empty() {
+        level += 1;
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for (u, _) in g.neighbors(v) {
+                if dist[u] == Dist::INFINITY {
+                    dist[u] = Dist::from(level);
+                    next.push(u);
+                }
+            }
+        }
+        frontier = next;
+    }
+    dist
+}
+
+/// All-pairs shortest paths by Floyd–Warshall. Intended for small graphs
+/// (`O(n³)` time, `O(n²)` memory); used to validate gadget distance tables.
+pub fn floyd_warshall(g: &WeightedGraph) -> Vec<Vec<Dist>> {
+    let n = g.n();
+    let mut d = vec![vec![Dist::INFINITY; n]; n];
+    for v in 0..n {
+        d[v][v] = Dist::ZERO;
+    }
+    for e in g.edges() {
+        let w = Dist::from(e.w);
+        if w < d[e.u][e.v] {
+            d[e.u][e.v] = w;
+            d[e.v][e.u] = w;
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if d[i][k] == Dist::INFINITY {
+                continue;
+            }
+            for j in 0..n {
+                let via = d[i][k] + d[k][j];
+                if via < d[i][j] {
+                    d[i][j] = via;
+                }
+            }
+        }
+    }
+    d
+}
+
+/// All-pairs shortest paths by running [`dijkstra`] from every node.
+pub fn apsp(g: &WeightedGraph) -> Vec<Vec<Dist>> {
+    g.nodes().map(|s| dijkstra(g, s)).collect()
+}
+
+/// The `ℓ`-hop-bounded distance `d^ℓ_{G,w}(s, ·)`: the least length over all
+/// paths from `s` using at most `ℓ` edges (Section 3.1).
+///
+/// Computed by `ℓ` rounds of synchronous Bellman–Ford relaxation, which is
+/// exactly the quantity the distributed Algorithm 2 family approximates.
+///
+/// # Panics
+///
+/// Panics if `s >= g.n()`.
+///
+/// # Examples
+///
+/// ```
+/// use congest_graph::{shortest_path, WeightedGraph, Dist};
+/// // Triangle where the 2-edge route is shorter than the direct edge.
+/// let g = WeightedGraph::from_edges(3, [(0, 2, 10), (0, 1, 2), (1, 2, 3)])?;
+/// assert_eq!(shortest_path::hop_bounded(&g, 0, 1)[2], Dist::from(10u64));
+/// assert_eq!(shortest_path::hop_bounded(&g, 0, 2)[2], Dist::from(5u64));
+/// # Ok::<(), congest_graph::BuildGraphError>(())
+/// ```
+pub fn hop_bounded(g: &WeightedGraph, s: NodeId, ell: usize) -> Vec<Dist> {
+    assert!(s < g.n(), "source {s} out of range");
+    let mut dist = vec![Dist::INFINITY; g.n()];
+    dist[s] = Dist::ZERO;
+    for _ in 0..ell {
+        let prev = dist.clone();
+        let mut changed = false;
+        for v in g.nodes() {
+            if prev[v] == Dist::INFINITY {
+                continue;
+            }
+            for (u, w) in g.neighbors(v) {
+                let nd = prev[v] + Dist::from(w);
+                if nd < dist[u] {
+                    dist[u] = nd;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+/// Single-source shortest paths with predecessors, for path extraction.
+///
+/// Returns `(dist, pred)` where `pred[v]` is `v`'s predecessor on a
+/// shortest path from `s` (`None` at `s` and at unreachable nodes).
+///
+/// # Panics
+///
+/// Panics if `s >= g.n()`.
+pub fn dijkstra_with_predecessors(
+    g: &WeightedGraph,
+    s: NodeId,
+) -> (Vec<Dist>, Vec<Option<NodeId>>) {
+    assert!(s < g.n(), "source {s} out of range");
+    let mut dist = vec![Dist::INFINITY; g.n()];
+    let mut pred = vec![None; g.n()];
+    dist[s] = Dist::ZERO;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((Dist::ZERO, s)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v] {
+            continue;
+        }
+        for (u, w) in g.neighbors(v) {
+            let nd = d + Dist::from(w);
+            if nd < dist[u] {
+                dist[u] = nd;
+                pred[u] = Some(v);
+                heap.push(Reverse((nd, u)));
+            }
+        }
+    }
+    (dist, pred)
+}
+
+/// Reconstructs the shortest path `s → t` from a predecessor array
+/// (as produced by [`dijkstra_with_predecessors`] from `s`).
+///
+/// Returns the node sequence `s, …, t`, or `None` when `t` is unreachable.
+///
+/// # Panics
+///
+/// Panics if `pred` is inconsistent (a cycle).
+pub fn extract_path(pred: &[Option<NodeId>], s: NodeId, t: NodeId) -> Option<Vec<NodeId>> {
+    let mut path = vec![t];
+    let mut cur = t;
+    while cur != s {
+        cur = pred[cur]?;
+        path.push(cur);
+        assert!(path.len() <= pred.len(), "predecessor array contains a cycle");
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Distance from `s` truncated at `L`: `d(s,v)` if `d(s,v) ≤ L`, else
+/// infinity. Matches the output contract of the paper's Algorithm 2
+/// (Bounded-Distance SSSP).
+pub fn bounded_distance(g: &WeightedGraph, s: NodeId, limit: Dist) -> Vec<Dist> {
+    dijkstra(g, s)
+        .into_iter()
+        .map(|d| if d <= limit { d } else { Dist::INFINITY })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn ref_graph() -> WeightedGraph {
+        WeightedGraph::from_edges(
+            6,
+            [
+                (0, 1, 7),
+                (0, 2, 9),
+                (0, 5, 14),
+                (1, 2, 10),
+                (1, 3, 15),
+                (2, 3, 11),
+                (2, 5, 2),
+                (3, 4, 6),
+                (4, 5, 9),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dijkstra_classic_instance() {
+        let d = dijkstra(&ref_graph(), 0);
+        assert_eq!(
+            d.iter().map(|x| x.finite().unwrap()).collect::<Vec<_>>(),
+            vec![0, 7, 9, 20, 20, 11]
+        );
+    }
+
+    #[test]
+    fn dijkstra_matches_bellman_ford() {
+        let g = ref_graph();
+        for s in g.nodes() {
+            assert_eq!(dijkstra(&g, s), bellman_ford(&g, s), "source {s}");
+        }
+    }
+
+    #[test]
+    fn dijkstra_matches_floyd_warshall() {
+        let g = ref_graph();
+        let fw = floyd_warshall(&g);
+        for s in g.nodes() {
+            assert_eq!(dijkstra(&g, s), fw[s], "source {s}");
+        }
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let g = WeightedGraph::from_edges(3, [(0, 1, 1)]).unwrap();
+        let d = dijkstra(&g, 0);
+        assert_eq!(d[2], Dist::INFINITY);
+        assert_eq!(bfs(&g, 0)[2], Dist::INFINITY);
+    }
+
+    #[test]
+    fn bfs_equals_dijkstra_on_unit_weights() {
+        let g = generators::erdos_renyi_connected(24, 0.2, 1, &mut rand_chacha_rng(7));
+        let u = g.unweighted_view();
+        for s in [0, 5, 11] {
+            assert_eq!(bfs(&u, s), dijkstra(&u, s));
+        }
+    }
+
+    #[test]
+    fn hops_count_min_edges_on_shortest_paths() {
+        // Two shortest paths 0->3 of length 4: 0-1-2-3 (3 hops) and 0-3 (1 hop, w=4).
+        let g = WeightedGraph::from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 2), (0, 3, 4)]).unwrap();
+        let (d, h) = dijkstra_with_hops(&g, 0);
+        assert_eq!(d[3], Dist::from(4u64));
+        assert_eq!(h[3], 1);
+    }
+
+    #[test]
+    fn hop_bounded_monotone_in_ell() {
+        let g = ref_graph();
+        for s in g.nodes() {
+            let full = dijkstra(&g, s);
+            let mut prev = hop_bounded(&g, s, 0);
+            for ell in 1..=g.n() {
+                let cur = hop_bounded(&g, s, ell);
+                for v in g.nodes() {
+                    assert!(cur[v] <= prev[v], "d^ℓ must be non-increasing in ℓ");
+                    assert!(cur[v] >= full[v], "d^ℓ ≥ d");
+                }
+                prev = cur;
+            }
+            // With ℓ ≥ n-1 the bound is vacuous.
+            assert_eq!(hop_bounded(&g, s, g.n() - 1), full);
+        }
+    }
+
+    #[test]
+    fn hop_bounded_zero_is_source_only() {
+        let g = ref_graph();
+        let d = hop_bounded(&g, 2, 0);
+        for v in g.nodes() {
+            if v == 2 {
+                assert_eq!(d[v], Dist::ZERO);
+            } else {
+                assert_eq!(d[v], Dist::INFINITY);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_distance_truncates() {
+        let g = ref_graph();
+        let d = bounded_distance(&g, 0, Dist::from(11u64));
+        assert_eq!(d[5], Dist::from(11u64));
+        assert_eq!(d[3], Dist::INFINITY);
+        assert_eq!(d[4], Dist::INFINITY);
+    }
+
+    fn rand_chacha_rng(seed: u64) -> impl rand::Rng {
+        use rand::SeedableRng;
+        rand_chacha::ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn predecessors_yield_valid_shortest_paths() {
+        let g = ref_graph();
+        let (dist, pred) = dijkstra_with_predecessors(&g, 0);
+        assert_eq!(dist, dijkstra(&g, 0));
+        for t in g.nodes() {
+            let path = extract_path(&pred, 0, t).expect("connected");
+            assert_eq!(path.first(), Some(&0));
+            assert_eq!(path.last(), Some(&t));
+            // The path's length equals the shortest distance.
+            let len: u64 = path
+                .windows(2)
+                .map(|w| g.edge_weight(w[0], w[1]).expect("path uses real edges"))
+                .sum();
+            assert_eq!(Dist::from(len), dist[t], "t={t}");
+        }
+    }
+
+    #[test]
+    fn extract_path_unreachable_is_none() {
+        let g = WeightedGraph::from_edges(3, [(0, 1, 1)]).unwrap();
+        let (_, pred) = dijkstra_with_predecessors(&g, 0);
+        assert_eq!(extract_path(&pred, 0, 2), None);
+        assert_eq!(extract_path(&pred, 0, 0), Some(vec![0]));
+    }
+}

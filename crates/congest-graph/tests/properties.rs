@@ -1,0 +1,135 @@
+//! Property-based tests of the graph substrate.
+
+#![allow(clippy::needless_range_loop)] // index loops mirror the paper's matrix notation
+use congest_graph::overlay::{Overlay, SkeletonDistances};
+use congest_graph::rounding::RoundingScheme;
+use congest_graph::{generators, metrics, shortest_path, Dist, GraphBuilder, WeightedGraph};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn arb_graph() -> impl Strategy<Value = WeightedGraph> {
+    (4usize..20, any::<u64>(), 1u64..16).prop_map(|(n, seed, w)| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        generators::erdos_renyi_connected(n, 0.25, w, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Builder canonicalization: edge count, symmetry, weight positivity.
+    #[test]
+    fn builder_invariants(edges in proptest::collection::vec((0usize..10, 0usize..10, 1u64..100), 1..40)) {
+        let valid: Vec<_> = edges.into_iter().filter(|&(u, v, _)| u != v).collect();
+        prop_assume!(!valid.is_empty());
+        let mut b = GraphBuilder::new(10);
+        for &(u, v, w) in &valid {
+            b.add_edge(u, v, w);
+        }
+        let g = b.build().unwrap();
+        for e in g.edges() {
+            prop_assert!(e.u < e.v, "canonical orientation");
+            prop_assert!(e.w >= 1);
+            prop_assert_eq!(g.edge_weight(e.u, e.v), Some(e.w));
+            prop_assert_eq!(g.edge_weight(e.v, e.u), Some(e.w));
+            // Minimum over parallel edges.
+            let min_w = valid.iter()
+                .filter(|&&(a, b2, _)| (a.min(b2), a.max(b2)) == (e.u, e.v))
+                .map(|&(_, _, w)| w)
+                .min()
+                .unwrap();
+            prop_assert_eq!(e.w, min_w);
+        }
+    }
+
+    /// Distances are symmetric on undirected graphs.
+    #[test]
+    fn distance_symmetry(g in arb_graph()) {
+        let apsp = shortest_path::apsp(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                prop_assert_eq!(apsp[u][v], apsp[v][u]);
+            }
+        }
+    }
+
+    /// Eccentricity bounds: R ≤ e(v) ≤ D = max ecc, D ≤ 2R.
+    #[test]
+    fn eccentricity_bounds(g in arb_graph()) {
+        let d = metrics::diameter(&g);
+        let r = metrics::radius(&g);
+        prop_assert!(r <= d);
+        prop_assert!(d <= r.saturating_mul(2));
+        for v in g.nodes() {
+            let e = metrics::eccentricity(&g, v);
+            prop_assert!(e >= r && e <= d);
+        }
+    }
+
+    /// Unweighted diameter never exceeds weighted diameter (weights ≥ 1),
+    /// and hop diameter ≥ unweighted diameter.
+    #[test]
+    fn diameter_orderings(g in arb_graph()) {
+        let du = metrics::unweighted_diameter(&g) as u64;
+        let dw = metrics::diameter(&g).expect_finite();
+        prop_assert!(du <= dw);
+        let h = metrics::hop_diameter(&g);
+        prop_assert!(h >= du as usize);
+    }
+
+    /// The k-shortcut graph never increases weights and keeps them above
+    /// true overlay distances; its hop diameter obeys Theorem 3.10's bound.
+    #[test]
+    fn shortcut_invariants(g in arb_graph(), k in 1usize..5) {
+        prop_assume!(g.n() >= 8);
+        let skeleton: Vec<_> = (0..g.n()).step_by(2).collect();
+        let scheme = RoundingScheme::new(g.n(), 0.5);
+        let ov = Overlay::from_skeleton(&g, &skeleton, scheme);
+        let sc = ov.shortcut(k);
+        for i in 0..ov.len() {
+            let d = ov.dijkstra(i);
+            for j in 0..ov.len() {
+                if i != j {
+                    prop_assert!(sc.weight(i, j) <= ov.weight(i, j) + 1e-9);
+                    prop_assert!(sc.weight(i, j) >= d[j] - 1e-9);
+                }
+            }
+        }
+        let bound = (4 * ov.len()) as f64 / k as f64;
+        prop_assert!((sc.hop_diameter() as f64) < bound);
+    }
+
+    /// The full Lemma 3.3 sandwich for the composed approximate distance.
+    #[test]
+    fn skeleton_distance_sandwich(g in arb_graph(), k in 1usize..4) {
+        prop_assume!(g.n() >= 6);
+        let skeleton: Vec<_> = (0..g.n()).step_by(3).collect();
+        prop_assume!(skeleton.len() >= 2);
+        let eps = 0.5;
+        let scheme = RoundingScheme::new(g.n(), eps);
+        let sd = SkeletonDistances::compute(&g, &skeleton, scheme, k);
+        for &s in &sd.skeleton {
+            let exact = shortest_path::dijkstra(&g, s);
+            let approx = sd.approx_distances_from(s);
+            for v in g.nodes() {
+                prop_assert!(approx[v] >= exact[v].as_f64() - 1e-6);
+                prop_assert!(approx[v] <= (1.0 + eps) * (1.0 + eps) * exact[v].as_f64() + 1e-6);
+            }
+        }
+    }
+
+    /// Bounded-distance truncation: values ≤ L are exact, others infinite.
+    #[test]
+    fn bounded_distance_truncation(g in arb_graph(), limit in 1u64..60) {
+        let d = shortest_path::dijkstra(&g, 0);
+        let t = shortest_path::bounded_distance(&g, 0, Dist::from(limit));
+        for v in g.nodes() {
+            if d[v] <= Dist::from(limit) {
+                prop_assert_eq!(t[v], d[v]);
+            } else {
+                prop_assert_eq!(t[v], Dist::INFINITY);
+            }
+        }
+    }
+}

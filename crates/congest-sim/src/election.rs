@@ -1,0 +1,111 @@
+//! Leader election — the one assumption of the paper's Appendix A
+//! ("a pre-defined node `leader ∈ V`") that a real deployment would have to
+//! establish itself. Classic flood-max: every node floods the largest id it
+//! has seen; after `D` quiet rounds the maximum id has won everywhere.
+//! `O(D)` rounds, one `O(log n)`-bit value per channel per round.
+
+use crate::model::{NodeCtx, RoundStats, SimConfig, SimError, Status};
+use crate::network::{run_phase, Mailbox, NodeProgram};
+use congest_graph::{NodeId, WeightedGraph};
+
+struct FloodMaxProgram {
+    best: NodeId,
+}
+
+impl NodeProgram for FloodMaxProgram {
+    type Msg = u64;
+    type Output = NodeId;
+
+    fn start(&mut self, ctx: &NodeCtx, mb: &mut Mailbox<u64>) {
+        self.best = ctx.id;
+        mb.broadcast(ctx, ctx.id as u64);
+    }
+
+    fn round(
+        &mut self,
+        ctx: &NodeCtx,
+        _round: usize,
+        inbox: &[(NodeId, u64)],
+        mb: &mut Mailbox<u64>,
+    ) -> Status {
+        let mut improved = false;
+        for &(_, id) in inbox {
+            if (id as NodeId) > self.best {
+                self.best = id as NodeId;
+                improved = true;
+            }
+        }
+        if improved {
+            mb.broadcast(ctx, self.best as u64);
+        }
+        Status::Done // quiescence = no improvements anywhere
+    }
+
+    fn finish(self, _ctx: &NodeCtx) -> NodeId {
+        self.best
+    }
+}
+
+/// Elects the maximum-id node as leader by flood-max. Every node learns the
+/// winner; `O(D)` rounds.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+///
+/// # Examples
+///
+/// ```
+/// use congest_sim::{election, SimConfig};
+/// use congest_graph::generators;
+/// let g = generators::cycle(9, 2);
+/// let (leader, stats) = election::elect_leader(&g, SimConfig::standard(9, 2))?;
+/// assert_eq!(leader, 8);
+/// assert!(stats.rounds <= 6); // ≈ unweighted diameter
+/// # Ok::<(), congest_sim::SimError>(())
+/// ```
+pub fn elect_leader(
+    graph: &WeightedGraph,
+    config: SimConfig,
+) -> Result<(NodeId, RoundStats), SimError> {
+    // Any node can serve as the runner's nominal leader; the election result
+    // is the returned winner.
+    let (out, stats) = run_phase(graph, 0, config, |_, _| FloodMaxProgram { best: 0 })?;
+    let winner = out[0];
+    debug_assert!(out.iter().all(|&w| w == winner), "all nodes agree");
+    Ok((winner, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn elects_max_id_everywhere() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..5 {
+            let g = generators::erdos_renyi_connected(20, 0.15, 3, &mut rng);
+            let (leader, _) = elect_leader(&g, SimConfig::standard(20, 3)).unwrap();
+            assert_eq!(leader, 19);
+        }
+    }
+
+    #[test]
+    fn rounds_track_diameter() {
+        let g = generators::path(30, 1);
+        let (leader, stats) = elect_leader(&g, SimConfig::standard(30, 1)).unwrap();
+        assert_eq!(leader, 29);
+        // The max id floods from one end: ≈ D rounds, not n².
+        assert!(stats.rounds <= 31, "rounds = {}", stats.rounds);
+    }
+
+    #[test]
+    fn single_channel_graph() {
+        let g = generators::path(2, 1);
+        let (leader, _) = elect_leader(&g, SimConfig::standard(2, 1)).unwrap();
+        assert_eq!(leader, 1);
+    }
+}

@@ -1,0 +1,355 @@
+//! The CONGEST model: node context, message payloads, bandwidth, statistics.
+//!
+//! A network is a weighted graph `(G, w)`; each node is a processor with
+//! unlimited local computation, each edge a channel of `B = O(log n)` bits
+//! per round (Section 2.2 of the paper). Every node initially knows its own
+//! identifier, its incident edges with weights, `n = |V|`, the maximum
+//! weight `W`, and the identity of a pre-defined `leader` node (the paper's
+//! Appendix A assumptions).
+
+use congest_graph::{NodeId, Weight};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Data a message payload must expose so the simulator can charge bandwidth.
+///
+/// `size_bits` should be the length of a reasonable binary encoding of the
+/// message — e.g. a node id costs `⌈log₂ n⌉` bits, a distance value costs its
+/// bit length. The simulator enforces the per-channel per-round budget
+/// against these sizes, which keeps algorithm implementations honest about
+/// what fits in one CONGEST round.
+pub trait Payload: Clone + fmt::Debug {
+    /// Size of this message in bits.
+    fn size_bits(&self) -> u32;
+}
+
+/// Bit length of an integer value (at least 1).
+pub fn bit_len(v: u64) -> u32 {
+    (64 - v.leading_zeros()).max(1)
+}
+
+impl Payload for u64 {
+    fn size_bits(&self) -> u32 {
+        bit_len(*self)
+    }
+}
+
+impl Payload for u32 {
+    fn size_bits(&self) -> u32 {
+        bit_len(u64::from(*self))
+    }
+}
+
+impl Payload for usize {
+    fn size_bits(&self) -> u32 {
+        bit_len(*self as u64)
+    }
+}
+
+impl Payload for bool {
+    fn size_bits(&self) -> u32 {
+        1
+    }
+}
+
+impl Payload for () {
+    fn size_bits(&self) -> u32 {
+        1
+    }
+}
+
+impl<A: Payload, B: Payload> Payload for (A, B) {
+    fn size_bits(&self) -> u32 {
+        self.0.size_bits() + self.1.size_bits()
+    }
+}
+
+impl<A: Payload, B: Payload, C: Payload> Payload for (A, B, C) {
+    fn size_bits(&self) -> u32 {
+        self.0.size_bits() + self.1.size_bits() + self.2.size_bits()
+    }
+}
+
+impl<T: Payload> Payload for Option<T> {
+    fn size_bits(&self) -> u32 {
+        1 + self.as_ref().map_or(0, Payload::size_bits)
+    }
+}
+
+/// Static knowledge available to a node at the start of an algorithm.
+#[derive(Clone, Debug)]
+pub struct NodeCtx {
+    /// This node's identifier (`0..n`).
+    pub id: NodeId,
+    /// Number of nodes in the network.
+    pub n: usize,
+    /// Incident edges: `(neighbor id, edge weight)`, sorted by neighbor id.
+    pub neighbors: Vec<(NodeId, Weight)>,
+    /// The pre-defined leader node (Appendix A assumes one exists).
+    pub leader: NodeId,
+    /// The maximum edge weight `W` (known to all nodes, Appendix A).
+    pub max_weight: Weight,
+}
+
+impl NodeCtx {
+    /// `true` if this node is the leader.
+    pub fn is_leader(&self) -> bool {
+        self.id == self.leader
+    }
+
+    /// This node's degree.
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The weight of the edge to `v`, if `v` is adjacent.
+    pub fn weight_to(&self, v: NodeId) -> Option<Weight> {
+        self.neighbors
+            .binary_search_by_key(&v, |&(u, _)| u)
+            .ok()
+            .map(|i| self.neighbors[i].1)
+    }
+}
+
+/// Per-channel bandwidth in bits per round.
+///
+/// The CONGEST model allows `B = O(log n)`-bit messages; distances on graphs
+/// with weights `≤ W` need `O(log(nW))` bits, which is still `O(log n)` for
+/// polynomially bounded weights. [`Bandwidth::standard`] budgets one
+/// `(node id, distance)` pair plus constant framing per round.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Bandwidth {
+    bits: u32,
+}
+
+impl Bandwidth {
+    /// A custom budget of `bits` per channel per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0`.
+    pub fn bits(bits: u32) -> Bandwidth {
+        assert!(bits > 0, "bandwidth must be positive");
+        Bandwidth { bits }
+    }
+
+    /// The standard CONGEST budget for an `n`-node network with maximum
+    /// weight `w`: room for one node id, one distance value on the graph
+    /// (`≤ n·w`), and 16 bits of framing.
+    pub fn standard(n: usize, max_weight: Weight) -> Bandwidth {
+        let id_bits = bit_len(n as u64);
+        let dist_bits = bit_len((n as u64).saturating_mul(max_weight.max(1)));
+        Bandwidth { bits: id_bits + dist_bits + 16 }
+    }
+
+    /// The budget in bits.
+    pub fn get(self) -> u32 {
+        self.bits
+    }
+}
+
+/// What a node does at the end of a round.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Status {
+    /// Keep participating in subsequent rounds.
+    Running,
+    /// This node has finished the algorithm (it still relays nothing).
+    Done,
+}
+
+/// Simulator configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Per-channel per-round bit budget.
+    pub bandwidth: Bandwidth,
+    /// If `true`, record every message in [`RoundStats::message_log`]
+    /// (needed by the Server-model simulation of Lemma 4.1).
+    pub log_messages: bool,
+    /// Hard cap on executed rounds; exceeding it is an error.
+    pub max_rounds: usize,
+}
+
+impl SimConfig {
+    /// Standard configuration for a network of `n` nodes with max weight `w`.
+    pub fn standard(n: usize, max_weight: Weight) -> SimConfig {
+        SimConfig {
+            bandwidth: Bandwidth::standard(n, max_weight),
+            log_messages: false,
+            max_rounds: 10_000_000,
+        }
+    }
+
+    /// Enables message logging (builder style).
+    pub fn with_message_log(mut self) -> SimConfig {
+        self.log_messages = true;
+        self
+    }
+
+    /// Sets the round cap (builder style).
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> SimConfig {
+        self.max_rounds = max_rounds;
+        self
+    }
+}
+
+/// One logged message (when [`SimConfig::log_messages`] is set).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct MessageRecord {
+    /// Round in which the message was delivered (1-based).
+    pub round: usize,
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// Charged size in bits.
+    pub bits: u32,
+}
+
+/// Execution statistics of a simulation (or of several, accumulated).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Total bits delivered.
+    pub bits: u64,
+    /// The largest per-channel bit load observed in any single round.
+    pub max_channel_bits: u32,
+    /// Individual messages (empty unless logging was enabled).
+    pub message_log: Vec<MessageRecord>,
+}
+
+impl RoundStats {
+    /// Accumulates another phase's statistics into this one (rounds add up,
+    /// as when algorithm phases run back to back).
+    pub fn absorb(&mut self, other: &RoundStats) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.bits += other.bits;
+        self.max_channel_bits = self.max_channel_bits.max(other.max_channel_bits);
+        self.message_log.extend(other.message_log.iter().copied());
+    }
+}
+
+impl fmt::Display for RoundStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rounds, {} messages, {} bits (peak {} bits/channel/round)",
+            self.rounds, self.messages, self.bits, self.max_channel_bits
+        )
+    }
+}
+
+/// Errors raised by the simulator.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// A node sent to a non-neighbor.
+    NotAdjacent {
+        /// Sender.
+        from: NodeId,
+        /// Intended receiver.
+        to: NodeId,
+    },
+    /// The per-channel bit budget was exceeded in one round.
+    BandwidthExceeded {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Round (1-based).
+        round: usize,
+        /// Bits the sender tried to push through the channel this round.
+        attempted_bits: u32,
+        /// The budget.
+        budget_bits: u32,
+    },
+    /// `max_rounds` elapsed without quiescence.
+    RoundLimitExceeded {
+        /// The cap that was hit.
+        max_rounds: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NotAdjacent { from, to } => {
+                write!(f, "node {from} attempted to send to non-neighbor {to}")
+            }
+            SimError::BandwidthExceeded { from, to, round, attempted_bits, budget_bits } => write!(
+                f,
+                "channel {from}->{to} overloaded in round {round}: {attempted_bits} bits > budget {budget_bits}"
+            ),
+            SimError::RoundLimitExceeded { max_rounds } => {
+                write!(f, "simulation did not finish within {max_rounds} rounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_len_values() {
+        assert_eq!(bit_len(0), 1);
+        assert_eq!(bit_len(1), 1);
+        assert_eq!(bit_len(2), 2);
+        assert_eq!(bit_len(255), 8);
+        assert_eq!(bit_len(256), 9);
+    }
+
+    #[test]
+    fn payload_sizes() {
+        assert_eq!(7u64.size_bits(), 3);
+        assert_eq!((3u64, 5u64).size_bits(), 2 + 3);
+        assert_eq!(Some(1u64).size_bits(), 2);
+        assert_eq!(None::<u64>.size_bits(), 1);
+        assert_eq!(true.size_bits(), 1);
+    }
+
+    #[test]
+    fn standard_bandwidth_is_logarithmic() {
+        let b1 = Bandwidth::standard(1 << 10, 1);
+        let b2 = Bandwidth::standard(1 << 20, 1);
+        assert!(b2.get() > b1.get());
+        assert!(b2.get() < 100, "still O(log n)");
+    }
+
+    #[test]
+    fn stats_absorb_accumulates() {
+        let mut a = RoundStats { rounds: 5, messages: 10, bits: 100, max_channel_bits: 8, message_log: vec![] };
+        let b = RoundStats { rounds: 3, messages: 1, bits: 9, max_channel_bits: 12, message_log: vec![] };
+        a.absorb(&b);
+        assert_eq!(a.rounds, 8);
+        assert_eq!(a.messages, 11);
+        assert_eq!(a.bits, 109);
+        assert_eq!(a.max_channel_bits, 12);
+    }
+
+    #[test]
+    fn ctx_weight_lookup() {
+        let ctx = NodeCtx {
+            id: 0,
+            n: 3,
+            neighbors: vec![(1, 4), (2, 9)],
+            leader: 0,
+            max_weight: 9,
+        };
+        assert!(ctx.is_leader());
+        assert_eq!(ctx.degree(), 2);
+        assert_eq!(ctx.weight_to(2), Some(9));
+        assert_eq!(ctx.weight_to(0), None);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = SimError::NotAdjacent { from: 1, to: 2 };
+        assert!(e.to_string().contains("non-neighbor"));
+    }
+}

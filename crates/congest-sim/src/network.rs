@@ -1,0 +1,462 @@
+//! The synchronous round-by-round network runner.
+
+use crate::model::{
+    MessageRecord, NodeCtx, Payload, RoundStats, SimConfig, SimError, Status,
+};
+use congest_graph::{NodeId, WeightedGraph};
+
+/// A per-node algorithm.
+///
+/// One instance runs at every node. In each round the simulator delivers the
+/// messages sent to this node in the previous round, and the program replies
+/// with messages for the next round via [`Mailbox`].
+///
+/// Local computation is free (the CONGEST model only counts communication).
+pub trait NodeProgram {
+    /// Message type exchanged by this program.
+    type Msg: Payload;
+    /// Per-node result extracted when the run finishes.
+    type Output;
+
+    /// Called once before round 1; may already send messages.
+    fn start(&mut self, ctx: &NodeCtx, mailbox: &mut Mailbox<Self::Msg>);
+
+    /// Called every round with the messages received this round
+    /// (`(sender, message)` pairs). Returns the node's status.
+    fn round(
+        &mut self,
+        ctx: &NodeCtx,
+        round: usize,
+        inbox: &[(NodeId, Self::Msg)],
+        mailbox: &mut Mailbox<Self::Msg>,
+    ) -> Status;
+
+    /// Extracts the node's output after the network has quiesced.
+    fn finish(self, ctx: &NodeCtx) -> Self::Output;
+}
+
+/// Collects the messages a node sends in one round.
+#[derive(Debug)]
+pub struct Mailbox<M> {
+    out: Vec<(NodeId, M)>,
+}
+
+impl<M: Payload> Mailbox<M> {
+    fn new() -> Mailbox<M> {
+        Mailbox { out: Vec::new() }
+    }
+
+    /// Queues `msg` for neighbor `to` (delivered next round).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.out.push((to, msg));
+    }
+
+    /// Queues `msg` for every neighbor.
+    pub fn broadcast(&mut self, ctx: &NodeCtx, msg: M) {
+        for &(v, _) in &ctx.neighbors {
+            self.out.push((v, msg.clone()));
+        }
+    }
+
+    fn take(&mut self) -> Vec<(NodeId, M)> {
+        std::mem::take(&mut self.out)
+    }
+}
+
+/// A synchronous CONGEST network executing one [`NodeProgram`] per node.
+///
+/// # Examples
+///
+/// Flood a token from the leader and count rounds:
+///
+/// ```
+/// use congest_sim::{Mailbox, Network, NodeCtx, NodeProgram, SimConfig, Status};
+/// use congest_graph::{generators, NodeId};
+///
+/// struct Flood { seen: bool }
+/// impl NodeProgram for Flood {
+///     type Msg = ();
+///     type Output = bool;
+///     fn start(&mut self, ctx: &NodeCtx, mb: &mut Mailbox<()>) {
+///         if ctx.is_leader() {
+///             self.seen = true;
+///             mb.broadcast(ctx, ());
+///         }
+///     }
+///     fn round(&mut self, ctx: &NodeCtx, _r: usize, inbox: &[(NodeId, ())], mb: &mut Mailbox<()>) -> Status {
+///         if !inbox.is_empty() && !self.seen {
+///             self.seen = true;
+///             mb.broadcast(ctx, ());
+///         }
+///         if self.seen { Status::Done } else { Status::Running }
+///     }
+///     fn finish(self, _ctx: &NodeCtx) -> bool { self.seen }
+/// }
+///
+/// let g = generators::path(5, 1);
+/// let mut net = Network::new(&g, 0, SimConfig::standard(5, 1), |_, _| Flood { seen: false });
+/// let out = net.run()?;
+/// assert!(out.iter().all(|&b| b));
+/// assert_eq!(net.stats().rounds, 5); // token reaches node 4 in round 4, node halts detecting quiescence next round
+/// # Ok::<(), congest_sim::SimError>(())
+/// ```
+pub struct Network<P: NodeProgram> {
+    ctxs: Vec<NodeCtx>,
+    programs: Vec<P>,
+    status: Vec<Status>,
+    /// Messages to deliver next round: `pending[v] = (from, msg)*`.
+    pending: Vec<Vec<(NodeId, P::Msg)>>,
+    config: SimConfig,
+    stats: RoundStats,
+    started: bool,
+}
+
+impl<P: NodeProgram> Network<P> {
+    /// Builds a network over `graph` with the given `leader`, constructing a
+    /// program per node via `make`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leader >= graph.n()`.
+    pub fn new(
+        graph: &WeightedGraph,
+        leader: NodeId,
+        config: SimConfig,
+        mut make: impl FnMut(NodeId, &NodeCtx) -> P,
+    ) -> Network<P> {
+        assert!(leader < graph.n(), "leader out of range");
+        let n = graph.n();
+        let max_weight = graph.max_weight();
+        let ctxs: Vec<NodeCtx> = (0..n)
+            .map(|v| NodeCtx {
+                id: v,
+                n,
+                neighbors: graph.neighbors(v).collect(),
+                leader,
+                max_weight,
+            })
+            .collect();
+        let programs = ctxs.iter().map(|c| make(c.id, c)).collect();
+        Network {
+            ctxs,
+            programs,
+            status: vec![Status::Running; n],
+            pending: (0..n).map(|_| Vec::new()).collect(),
+            config,
+            stats: RoundStats::default(),
+            started: false,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.ctxs.len()
+    }
+
+    /// The accumulated statistics so far.
+    pub fn stats(&self) -> &RoundStats {
+        &self.stats
+    }
+
+    fn dispatch(
+        &mut self,
+        from: NodeId,
+        outgoing: Vec<(NodeId, P::Msg)>,
+        round: usize,
+    ) -> Result<(), SimError> {
+        // Per-destination bit accounting for this sender this round.
+        let mut per_channel: Vec<(NodeId, u32)> = Vec::new();
+        for (to, msg) in outgoing {
+            if self.ctxs[from].weight_to(to).is_none() {
+                return Err(SimError::NotAdjacent { from, to });
+            }
+            let bits = msg.size_bits();
+            let entry = per_channel.iter_mut().find(|(t, _)| *t == to);
+            let total = match entry {
+                Some((_, b)) => {
+                    *b += bits;
+                    *b
+                }
+                None => {
+                    per_channel.push((to, bits));
+                    bits
+                }
+            };
+            let budget = self.config.bandwidth.get();
+            if total > budget {
+                return Err(SimError::BandwidthExceeded {
+                    from,
+                    to,
+                    round,
+                    attempted_bits: total,
+                    budget_bits: budget,
+                });
+            }
+            self.stats.messages += 1;
+            self.stats.bits += u64::from(bits);
+            if self.config.log_messages {
+                self.stats.message_log.push(MessageRecord { round, from, to, bits });
+            }
+            self.pending[to].push((from, msg));
+        }
+        for (_, b) in per_channel {
+            self.stats.max_channel_bits = self.stats.max_channel_bits.max(b);
+        }
+        Ok(())
+    }
+
+    /// Executes one synchronous round; returns `true` if the network is
+    /// quiescent afterwards (all programs [`Status::Done`] and no messages in
+    /// flight).
+    ///
+    /// # Errors
+    ///
+    /// Propagates adjacency and bandwidth violations.
+    pub fn step(&mut self) -> Result<bool, SimError> {
+        if !self.started {
+            self.started = true;
+            for v in 0..self.n() {
+                let mut mb = Mailbox::new();
+                self.programs[v].start(&self.ctxs[v], &mut mb);
+                let out = mb.take();
+                // `start` sends arrive in round 1; charge them to round 1.
+                self.dispatch(v, out, 1)?;
+            }
+        }
+        let round = self.stats.rounds + 1;
+        if round > self.config.max_rounds {
+            return Err(SimError::RoundLimitExceeded { max_rounds: self.config.max_rounds });
+        }
+        let inboxes: Vec<Vec<(NodeId, P::Msg)>> =
+            self.pending.iter_mut().map(std::mem::take).collect();
+        self.stats.rounds = round;
+        for (v, inbox) in inboxes.into_iter().enumerate() {
+            let mut mb = Mailbox::new();
+            let st = self.programs[v].round(&self.ctxs[v], round, &inbox, &mut mb);
+            self.status[v] = st;
+            let out = mb.take();
+            self.dispatch(v, out, round + 1)?;
+        }
+        let quiescent = self.status.iter().all(|&s| s == Status::Done)
+            && self.pending.iter().all(Vec::is_empty);
+        Ok(quiescent)
+    }
+
+    /// Runs until quiescence and returns every node's output.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on adjacency/bandwidth violations or if
+    /// `max_rounds` elapse first.
+    pub fn run(&mut self) -> Result<Vec<P::Output>, SimError> {
+        self.run_to_quiescence()?;
+        let programs = std::mem::take(&mut self.programs);
+        Ok(programs
+            .into_iter()
+            .zip(&self.ctxs)
+            .map(|(p, c)| p.finish(c))
+            .collect())
+    }
+
+    /// Runs until quiescence, keeping the programs in place (use
+    /// [`Network::into_outputs`] to extract results).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Network::run`].
+    pub fn run_to_quiescence(&mut self) -> Result<(), SimError> {
+        loop {
+            if self.step()? {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Consumes the network, extracting each node's output.
+    pub fn into_outputs(self) -> Vec<P::Output> {
+        self.programs
+            .into_iter()
+            .zip(&self.ctxs)
+            .map(|(p, c)| p.finish(c))
+            .collect()
+    }
+}
+
+/// Runs a fresh network to quiescence and returns `(outputs, stats)` — the
+/// common single-phase pattern.
+///
+/// # Errors
+///
+/// Same as [`Network::run`].
+pub fn run_phase<P: NodeProgram>(
+    graph: &WeightedGraph,
+    leader: NodeId,
+    config: SimConfig,
+    make: impl FnMut(NodeId, &NodeCtx) -> P,
+) -> Result<(Vec<P::Output>, RoundStats), SimError> {
+    let mut net = Network::new(graph, leader, config, make);
+    net.run_to_quiescence()?;
+    let stats = net.stats().clone();
+    Ok((net.into_outputs(), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Bandwidth;
+    use congest_graph::generators;
+
+    /// Every node forwards a counter along the path; checks delivery order
+    /// and round accounting.
+    struct Relay {
+        value: Option<u64>,
+    }
+
+    impl NodeProgram for Relay {
+        type Msg = u64;
+        type Output = Option<u64>;
+
+        fn start(&mut self, ctx: &NodeCtx, mb: &mut Mailbox<u64>) {
+            if ctx.id == 0 {
+                self.value = Some(0);
+                mb.send(1, 1);
+            }
+        }
+
+        fn round(
+            &mut self,
+            ctx: &NodeCtx,
+            _round: usize,
+            inbox: &[(NodeId, u64)],
+            mb: &mut Mailbox<u64>,
+        ) -> Status {
+            for &(_, v) in inbox {
+                if self.value.is_none() {
+                    self.value = Some(v);
+                    if ctx.id + 1 < ctx.n {
+                        mb.send(ctx.id + 1, v + 1);
+                    }
+                }
+            }
+            if self.value.is_some() {
+                Status::Done
+            } else {
+                Status::Running
+            }
+        }
+
+        fn finish(self, _ctx: &NodeCtx) -> Option<u64> {
+            self.value
+        }
+    }
+
+    #[test]
+    fn relay_along_path() {
+        let g = generators::path(6, 1);
+        let (out, stats) = run_phase(&g, 0, SimConfig::standard(6, 1), |_, _| Relay { value: None })
+            .unwrap();
+        assert_eq!(out, vec![Some(0), Some(1), Some(2), Some(3), Some(4), Some(5)]);
+        // Value reaches node 5 in round 5 and nothing remains in flight.
+        assert_eq!(stats.rounds, 5);
+        assert_eq!(stats.messages, 5);
+    }
+
+    /// A program that sends to a non-neighbor: must error.
+    struct BadSender;
+
+    impl NodeProgram for BadSender {
+        type Msg = ();
+        type Output = ();
+        fn start(&mut self, ctx: &NodeCtx, mb: &mut Mailbox<()>) {
+            if ctx.id == 0 {
+                mb.send(2, ()); // 0 and 2 are not adjacent on a path
+            }
+        }
+        fn round(&mut self, _: &NodeCtx, _: usize, _: &[(NodeId, ())], _: &mut Mailbox<()>) -> Status {
+            Status::Done
+        }
+        fn finish(self, _: &NodeCtx) {}
+    }
+
+    #[test]
+    fn non_adjacent_send_is_error() {
+        let g = generators::path(3, 1);
+        let err = run_phase(&g, 0, SimConfig::standard(3, 1), |_, _| BadSender).unwrap_err();
+        assert!(matches!(err, SimError::NotAdjacent { from: 0, to: 2 }));
+    }
+
+    /// A program that overloads a channel: must error.
+    struct Hog;
+
+    impl NodeProgram for Hog {
+        type Msg = u64;
+        type Output = ();
+        fn start(&mut self, ctx: &NodeCtx, mb: &mut Mailbox<u64>) {
+            if ctx.id == 0 {
+                for _ in 0..100 {
+                    mb.send(1, u64::MAX);
+                }
+            }
+        }
+        fn round(&mut self, _: &NodeCtx, _: usize, _: &[(NodeId, u64)], _: &mut Mailbox<u64>) -> Status {
+            Status::Done
+        }
+        fn finish(self, _: &NodeCtx) {}
+    }
+
+    #[test]
+    fn bandwidth_violation_is_error() {
+        let g = generators::path(2, 1);
+        let cfg = SimConfig {
+            bandwidth: Bandwidth::bits(128),
+            log_messages: false,
+            max_rounds: 10,
+        };
+        let err = run_phase(&g, 0, cfg, |_, _| Hog).unwrap_err();
+        assert!(matches!(err, SimError::BandwidthExceeded { from: 0, to: 1, .. }));
+    }
+
+    /// A program that never halts: the round cap fires.
+    struct Forever;
+
+    impl NodeProgram for Forever {
+        type Msg = ();
+        type Output = ();
+        fn start(&mut self, _: &NodeCtx, _: &mut Mailbox<()>) {}
+        fn round(&mut self, _: &NodeCtx, _: usize, _: &[(NodeId, ())], _: &mut Mailbox<()>) -> Status {
+            Status::Running
+        }
+        fn finish(self, _: &NodeCtx) {}
+    }
+
+    #[test]
+    fn round_cap_fires() {
+        let g = generators::path(2, 1);
+        let cfg = SimConfig::standard(2, 1).with_max_rounds(7);
+        let err = run_phase(&g, 0, cfg, |_, _| Forever).unwrap_err();
+        assert!(matches!(err, SimError::RoundLimitExceeded { max_rounds: 7 }));
+    }
+
+    #[test]
+    fn message_log_records_everything() {
+        let g = generators::path(3, 1);
+        let cfg = SimConfig::standard(3, 1).with_message_log();
+        let (_, stats) =
+            run_phase(&g, 0, cfg, |_, _| Relay { value: None }).unwrap();
+        assert_eq!(stats.message_log.len(), 2);
+        assert_eq!(stats.message_log[0].from, 0);
+        assert_eq!(stats.message_log[0].to, 1);
+        assert_eq!(stats.message_log[1].from, 1);
+        assert_eq!(stats.message_log[1].to, 2);
+        assert!(stats.message_log[1].round > stats.message_log[0].round);
+    }
+
+    #[test]
+    fn stats_track_peak_channel_load() {
+        let g = generators::path(6, 1);
+        let (_, stats) =
+            run_phase(&g, 0, SimConfig::standard(6, 1), |_, _| Relay { value: None }).unwrap();
+        assert!(stats.max_channel_bits >= 1);
+        assert!(u64::from(stats.max_channel_bits) <= stats.bits);
+    }
+}

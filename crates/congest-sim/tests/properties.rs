@@ -1,0 +1,130 @@
+//! Property-based tests of the simulator primitives on random topologies.
+
+use congest_graph::{generators, shortest_path, WeightedGraph};
+use congest_sim::{primitives, SimConfig};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn arb_graph() -> impl Strategy<Value = WeightedGraph> {
+    (4usize..24, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        generators::erdos_renyi_connected(n, 0.2, 4, &mut rng)
+    })
+}
+
+fn cfg(g: &WeightedGraph) -> SimConfig {
+    SimConfig::standard(g.n(), g.max_weight()).with_max_rounds(1_000_000)
+}
+
+/// Property tests feed arbitrary (up to 128-bit) payloads; real algorithms
+/// only ship O(log n)-bit values, so the phases below get a widened budget.
+fn wide(g: &WeightedGraph) -> SimConfig {
+    SimConfig {
+        bandwidth: congest_sim::Bandwidth::bits(160),
+        ..cfg(g)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The BFS tree is a spanning tree with BFS depths, built in O(D).
+    #[test]
+    fn bfs_tree_invariants(g in arb_graph(), leader_pick in any::<usize>()) {
+        let leader = leader_pick % g.n();
+        let (tree, stats) = primitives::bfs_tree(&g, leader, cfg(&g)).unwrap();
+        let bfs = shortest_path::bfs(&g.unweighted_view(), leader);
+        let mut edge_count = 0;
+        for v in g.nodes() {
+            prop_assert_eq!(tree[v].depth as u64, bfs[v].expect_finite());
+            edge_count += tree[v].children.len();
+            for &c in &tree[v].children {
+                prop_assert_eq!(tree[c].parent, Some(v));
+            }
+            if v == leader {
+                prop_assert_eq!(tree[v].parent, None);
+            } else {
+                prop_assert!(tree[v].parent.is_some());
+            }
+        }
+        prop_assert_eq!(edge_count, g.n() - 1);
+        let depth = tree.iter().map(|t| t.depth).max().unwrap();
+        prop_assert!(stats.rounds <= depth + 3);
+    }
+
+    /// Convergecast equals the centralized fold for every aggregate.
+    #[test]
+    fn converge_cast_equals_fold(g in arb_graph(), values_seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(values_seed);
+        use rand::Rng as _;
+        let values: Vec<u128> = (0..g.n()).map(|_| rng.gen_range(0..1_000_000u128)).collect();
+        let (tree, _) = primitives::bfs_tree(&g, 0, cfg(&g)).unwrap();
+        for (op, want) in [
+            (primitives::Aggregate::Max, values.iter().copied().max().unwrap()),
+            (primitives::Aggregate::Min, values.iter().copied().min().unwrap()),
+            (primitives::Aggregate::Sum, values.iter().copied().sum::<u128>()),
+        ] {
+            let (got, _) = primitives::converge_cast(&g, 0, wide(&g), &tree, &values, op).unwrap();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Pipelined broadcast: everyone gets the list, in O(depth + k) rounds.
+    #[test]
+    fn broadcast_delivers_everywhere(g in arb_graph(), items in proptest::collection::vec(any::<u64>(), 0..20)) {
+        let items: Vec<u128> = items.into_iter().map(u128::from).collect();
+        let (tree, _) = primitives::bfs_tree(&g, 0, cfg(&g)).unwrap();
+        let (out, stats) = primitives::pipelined_broadcast(&g, 0, wide(&g), &tree, &items).unwrap();
+        for v in g.nodes() {
+            prop_assert_eq!(&out[v], &items);
+        }
+        let depth = tree.iter().map(|t| t.depth).max().unwrap();
+        prop_assert!(stats.rounds <= 2 * depth + items.len() + 6);
+    }
+
+    /// Collect gathers exactly the contributed multiset.
+    #[test]
+    fn collect_gathers_multiset(g in arb_graph(), density in 0u32..3) {
+        let items: Vec<Vec<(u64, u128)>> = (0..g.n())
+            .map(|v| {
+                (0..(v as u32 % (density + 1)))
+                    .map(|j| ((v * 10 + j as usize) as u64, (v * v) as u128))
+                    .collect()
+            })
+            .collect();
+        let (tree, _) = primitives::bfs_tree(&g, 0, cfg(&g)).unwrap();
+        let (got, _) = primitives::collect_at_leader(&g, 0, wide(&g), &tree, &items).unwrap();
+        let mut want: Vec<(u64, u128)> = items.iter().flatten().copied().collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Vector convergecast equals the columnwise fold.
+    #[test]
+    fn vector_cast_equals_columnwise_fold(g in arb_graph(), k in 1usize..8, seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        use rand::Rng as _;
+        let values: Vec<Vec<u128>> = (0..g.n())
+            .map(|_| (0..k).map(|_| rng.gen_range(0..10_000u128)).collect())
+            .collect();
+        let (tree, _) = primitives::bfs_tree(&g, 0, cfg(&g)).unwrap();
+        let (got, _) = primitives::converge_cast_vec(
+            &g, 0, wide(&g), &tree, &values, primitives::Aggregate::Max,
+        ).unwrap();
+        for j in 0..k {
+            let want = (0..g.n()).map(|v| values[v][j]).max().unwrap();
+            prop_assert_eq!(got[j], want, "column {}", j);
+        }
+    }
+
+    /// The simulator never lets a run exceed its bandwidth budget (peak
+    /// channel load is within the configured bits).
+    #[test]
+    fn bandwidth_budget_respected(g in arb_graph()) {
+        let config = cfg(&g);
+        let budget = config.bandwidth.get();
+        let (_, stats) = primitives::bfs_tree(&g, 0, config).unwrap();
+        prop_assert!(stats.max_channel_bits <= budget);
+    }
+}

@@ -1,0 +1,186 @@
+//! Analytic round-complexity models for every row of the paper's Table 1.
+//!
+//! These are the asymptotic expressions the measured curves are compared
+//! against in EXPERIMENTS.md. `Õ(·)` polylog factors are exposed via the
+//! `polylog` switch so both the bare polynomial shape and the
+//! paper-faithful bound can be plotted.
+
+use serde::{Deserialize, Serialize};
+
+/// Which polylog convention a model value uses.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Polylog {
+    /// Bare polynomial (shape only).
+    Drop,
+    /// Multiply by `log² n` (the typical hidden factor in these bounds).
+    Keep,
+}
+
+fn lg(n: usize) -> f64 {
+    (n.max(2) as f64).log2()
+}
+
+fn with_polylog(x: f64, n: usize, p: Polylog) -> f64 {
+    match p {
+        Polylog::Drop => x,
+        Polylog::Keep => x * lg(n) * lg(n),
+    }
+}
+
+/// **This work (Theorem 1.1)**: quantum `(1+o(1))`-approximate weighted
+/// diameter/radius, `Õ(min{n^{9/10} D^{3/10}, n})`.
+pub fn quantum_weighted_upper(n: usize, d: usize, p: Polylog) -> f64 {
+    let nf = n as f64;
+    let df = d.max(1) as f64;
+    with_polylog((nf.powf(0.9) * df.powf(0.3)).min(nf), n, p)
+}
+
+/// **This work (Theorem 1.2)**: quantum lower bound for
+/// `(3/2−ε)`-approximate weighted diameter/radius, `Ω̃(n^{2/3})`
+/// (`Ω(n^{2/3}/log² n)` with the explicit polylog).
+pub fn quantum_weighted_lower(n: usize, p: Polylog) -> f64 {
+    let bare = (n as f64).powf(2.0 / 3.0);
+    match p {
+        Polylog::Drop => bare,
+        Polylog::Keep => bare / (lg(n) * lg(n)),
+    }
+}
+
+/// Classical exact/`(3/2−ε)` weighted & unweighted diameter/radius:
+/// `Θ̃(n)` (\[2, 6, 11, 17, 22\]).
+pub fn classical_tight(n: usize, p: Polylog) -> f64 {
+    with_polylog(n as f64, n, p)
+}
+
+/// Le Gall–Magniez: quantum exact unweighted diameter/radius,
+/// `Õ(√(nD))` \[12\].
+pub fn lgm_unweighted_upper(n: usize, d: usize, p: Polylog) -> f64 {
+    with_polylog(((n * d.max(1)) as f64).sqrt(), n, p)
+}
+
+/// The straightforward quantization this reproduction executes for the
+/// unweighted rows: Grover over nodes with an `O(D)`-round BFS eccentricity
+/// evaluation, `Õ(√n · D)` (see DESIGN.md §1 for why this preserves
+/// Table 1's ordering in the benchmark regime).
+pub fn grover_bfs_unweighted_upper(n: usize, d: usize, p: Polylog) -> f64 {
+    with_polylog((n as f64).sqrt() * d.max(1) as f64, n, p)
+}
+
+/// Magniez–Nayak: quantum lower bound for exact unweighted
+/// diameter/radius, `Ω̃(∛(nD²) + √n)` \[20\].
+pub fn quantum_unweighted_lower(n: usize, d: usize, p: Polylog) -> f64 {
+    let nf = n as f64;
+    let df = d.max(1) as f64;
+    let bare = (nf * df * df).powf(1.0 / 3.0) + nf.sqrt();
+    match p {
+        Polylog::Drop => bare,
+        Polylog::Keep => bare / (lg(n) * lg(n)),
+    }
+}
+
+/// Le Gall–Magniez: quantum 3/2-approximate unweighted diameter,
+/// `Õ(∛(nD) + D)` \[12\].
+pub fn lgm_three_halves(n: usize, d: usize, p: Polylog) -> f64 {
+    with_polylog(((n * d.max(1)) as f64).powf(1.0 / 3.0) + d as f64, n, p)
+}
+
+/// Chechik–Mukhtar SSSP ⇒ 2-approximate weighted diameter/radius,
+/// `Õ(√n·D^{1/4} + D)` \[8\].
+pub fn chechik_mukhtar(n: usize, d: usize, p: Polylog) -> f64 {
+    let nf = n as f64;
+    let df = d.max(1) as f64;
+    with_polylog(nf.sqrt() * df.powf(0.25) + df, n, p)
+}
+
+/// The `D` value at which Theorem 1.1's bound crosses the trivial `n`
+/// branch: `n^{9/10}·D^{3/10} = n ⇔ D = n^{1/3}`.
+pub fn crossover_d(n: usize) -> f64 {
+    (n as f64).powf(1.0 / 3.0)
+}
+
+/// The explicit Lemma 3.5 + Theorem 1.1 composition with unit constants:
+/// `√(n/r)·(D + n/(εr) + rk + √r·(r/(εk)·D + r))`. Used to sanity-check
+/// that Eq. (1) indeed balances the terms to `n^{9/10} D^{3/10}`.
+pub fn composed_cost(n: usize, d: usize, eps: f64, r: f64, k: f64) -> f64 {
+    let nf = n as f64;
+    let df = d as f64;
+    let inner = df + nf / (eps * r) + r * k + r.sqrt() * (r / (eps * k) * df + r);
+    (nf / r).sqrt() * inner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem_1_1_beats_classical_when_d_small() {
+        for &n in &[1 << 12, 1 << 16, 1 << 20] {
+            let d = (n as f64).powf(0.2) as usize; // D = n^{1/5} ≪ n^{1/3}
+            assert!(
+                quantum_weighted_upper(n, d, Polylog::Drop) < classical_tight(n, Polylog::Drop),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn min_branch_kicks_in_above_crossover() {
+        let n = 1 << 15;
+        let d_big = (crossover_d(n) * 4.0) as usize;
+        assert_eq!(quantum_weighted_upper(n, d_big, Polylog::Drop), n as f64);
+        let d_small = (crossover_d(n) / 4.0) as usize;
+        assert!(quantum_weighted_upper(n, d_small, Polylog::Drop) < n as f64);
+    }
+
+    #[test]
+    fn lower_bound_below_upper_bound() {
+        for &n in &[1 << 10, 1 << 14, 1 << 20] {
+            assert!(
+                quantum_weighted_lower(n, Polylog::Drop)
+                    <= quantum_weighted_upper(n, 2, Polylog::Drop)
+            );
+        }
+    }
+
+    #[test]
+    fn table_one_ordering_at_log_diameter() {
+        // At D = Θ(log n): unweighted quantum ≪ weighted quantum ≪ classical.
+        let n = 1 << 18;
+        let d = 18;
+        let uq = lgm_unweighted_upper(n, d, Polylog::Drop);
+        let wq = quantum_weighted_upper(n, d, Polylog::Drop);
+        let cl = classical_tight(n, Polylog::Drop);
+        assert!(uq < wq && wq < cl, "{uq} < {wq} < {cl}");
+    }
+
+    #[test]
+    fn eq_one_balances_composed_cost() {
+        // With the paper's r, k, the explicit composition matches the
+        // headline bound up to polylog factors.
+        for &(n, d) in &[(1 << 14, 8usize), (1 << 18, 64), (1 << 20, 16)] {
+            let nf = n as f64;
+            let df = d as f64;
+            let eps = 1.0 / nf.log2();
+            let r = nf.powf(0.4) * df.powf(-0.2);
+            let k = df.sqrt();
+            let composed = composed_cost(n, d, eps, r, k);
+            let headline = quantum_weighted_upper(n, d, Polylog::Drop);
+            let ratio = composed / headline;
+            let polylog_budget = nf.log2().powi(3);
+            assert!(
+                ratio >= 0.5 && ratio <= polylog_budget,
+                "n={n} D={d}: composed/headline = {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn crossover_is_cube_root() {
+        assert!((crossover_d(1 << 15) - 32.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn polylog_keep_inflates() {
+        assert!(classical_tight(1024, Polylog::Keep) > classical_tight(1024, Polylog::Drop));
+    }
+}

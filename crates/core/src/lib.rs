@@ -1,0 +1,48 @@
+//! # congest-wdr
+//!
+//! The core of the reproduction of *Wu & Yao, "Quantum Complexity of
+//! Weighted Diameter and Radius in CONGEST Networks"* (PODC 2022): the
+//! quantum CONGEST algorithm of **Theorem 1.1**, which
+//! `(1+o(1))`-approximates the weighted diameter and radius in
+//! `Õ(min{n^{9/10}·D^{3/10}, n})` rounds.
+//!
+//! * [`params`] — the paper's Eq. (1) parameter selection
+//!   (`ε = 1/log n`, `r = n^{2/5}D^{-1/5}`, `ℓ = n·log n/r`, `k = √D`);
+//! * [`framework`] — the distributed quantum optimization framework
+//!   (Lemma 3.1) with faithful round charging;
+//! * [`algorithm`] — the two-level algorithm of Section 3
+//!   ([`algorithm::quantum_weighted`]) for both objectives;
+//! * [`unweighted`] — the quantum unweighted diameter/radius comparison row;
+//! * [`cost`] — analytic models for every row of Table 1;
+//! * [`table_one`] — the full Table 1, evaluated and rendered.
+//!
+//! # Examples
+//!
+//! ```
+//! use congest_wdr::algorithm::{quantum_weighted, Objective};
+//! use congest_wdr::params::WdrParams;
+//! use congest_graph::{generators, metrics};
+//! use congest_sim::SimConfig;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+//! let g = generators::erdos_renyi_connected(10, 0.35, 4, &mut rng);
+//! let d = metrics::unweighted_diameter(&g);
+//! let mut params = WdrParams::for_benchmarks(g.n(), d, 0.5);
+//! params.ell = g.n(); // generous hop budget on a tiny test graph
+//! params.r = 4.0;
+//! let cfg = SimConfig::standard(g.n(), g.max_weight()).with_max_rounds(100_000_000);
+//! let report = quantum_weighted(&g, 0, Objective::Diameter, &params, cfg, &mut rng)?;
+//! assert!(report.estimate <= (1.0 + params.eps).powi(2) * report.exact + 1e-6);
+//! # Ok::<(), congest_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod cost;
+pub mod framework;
+pub mod params;
+pub mod table_one;
+pub mod unweighted;

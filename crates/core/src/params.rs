@@ -1,0 +1,118 @@
+//! The parameter selection of the paper's Eq. (1):
+//!
+//! ```text
+//! ε = 1/log n,   r = n^{2/5}·D^{-1/5},   ℓ = n·log n / r,   k = √D
+//! ```
+//!
+//! plus the experiment-friendly overrides (fixed `ε`, clamped ranges) used
+//! by the benchmarks; the overrides change constants/polylogs only, never
+//! the polynomial shape in `n` and `D`.
+
+use congest_graph::rounding::RoundingScheme;
+use serde::{Deserialize, Serialize};
+
+/// All tunables of the Theorem 1.1 algorithm.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct WdrParams {
+    /// Accuracy `ε` (paper: `1/log n`).
+    pub eps: f64,
+    /// Expected skeleton size `r` (paper: `n^{2/5} D^{-1/5}`).
+    pub r: f64,
+    /// Hop budget `ℓ` (paper: `n·log n / r`).
+    pub ell: usize,
+    /// Shortcut parameter `k` (paper: `√D`).
+    pub k: usize,
+    /// Failure budget `δ` for each quantum search.
+    pub delta: f64,
+}
+
+impl WdrParams {
+    /// The paper's Eq. (1) choice for an `n`-node network of unweighted
+    /// diameter `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `d == 0`.
+    pub fn from_paper(n: usize, d: usize) -> WdrParams {
+        assert!(n >= 2 && d >= 1);
+        let nf = n as f64;
+        let df = d as f64;
+        let eps = RoundingScheme::paper_eps(n);
+        let r = (nf.powf(0.4) * df.powf(-0.2)).max(1.0);
+        let ell = ((nf * nf.log2()) / r).ceil().max(1.0) as usize;
+        let k = df.sqrt().round().max(1.0) as usize;
+        WdrParams { eps, r, ell, k, delta: 1.0 / nf }
+    }
+
+    /// Benchmark variant: the same polynomial scaling with a fixed,
+    /// simulation-friendly `ε` (larger `ε` shrinks the `Õ(·)` polylog
+    /// constants; the `(1+ε)²` approximation loosens accordingly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`, `d == 0`, or `eps ∉ (0, 1]`.
+    pub fn for_benchmarks(n: usize, d: usize, eps: f64) -> WdrParams {
+        let mut p = WdrParams::from_paper(n, d);
+        assert!(eps > 0.0 && eps <= 1.0);
+        p.eps = eps;
+        // ℓ keeps its Eq. (1) value; only the accuracy changes.
+        p.delta = 0.05;
+        p
+    }
+
+    /// The sampling rate `r/n` each node uses to join each set `S_i`.
+    pub fn sample_rate(&self, n: usize) -> f64 {
+        (self.r / n as f64).clamp(0.0, 1.0)
+    }
+
+    /// The rounding scheme `(ℓ, ε)` used by every bounded-hop phase.
+    pub fn scheme(&self) -> RoundingScheme {
+        RoundingScheme::new(self.ell, self.eps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_scale_correctly() {
+        let p1 = WdrParams::from_paper(1 << 10, 4);
+        let p2 = WdrParams::from_paper(1 << 20, 4);
+        // r ~ n^{2/5}: ×2^10 in n means ×2^4 in r.
+        let ratio = p2.r / p1.r;
+        assert!((ratio - 16.0).abs() < 0.5, "r ratio {ratio}");
+        // ℓ ~ n^{3/5}·log n: ×2^10 in n means ×(2^6·2) = 128 in ℓ.
+        let ell_ratio = p2.ell as f64 / p1.ell as f64;
+        assert!((100.0..170.0).contains(&ell_ratio), "ℓ ratio {ell_ratio}");
+    }
+
+    #[test]
+    fn k_tracks_sqrt_d() {
+        assert_eq!(WdrParams::from_paper(100, 16).k, 4);
+        assert_eq!(WdrParams::from_paper(100, 100).k, 10);
+        assert_eq!(WdrParams::from_paper(100, 1).k, 1);
+    }
+
+    #[test]
+    fn r_shrinks_with_d() {
+        let small_d = WdrParams::from_paper(10_000, 2);
+        let large_d = WdrParams::from_paper(10_000, 512);
+        assert!(small_d.r > large_d.r);
+    }
+
+    #[test]
+    fn sample_rate_in_unit_interval() {
+        let p = WdrParams::from_paper(64, 8);
+        let rate = p.sample_rate(64);
+        assert!(rate > 0.0 && rate <= 1.0);
+    }
+
+    #[test]
+    fn bench_variant_overrides_eps_only_in_scheme() {
+        let p = WdrParams::for_benchmarks(128, 8, 0.25);
+        assert_eq!(p.eps, 0.25);
+        assert_eq!(p.scheme().eps, 0.25);
+        assert_eq!(p.ell, WdrParams::from_paper(128, 8).ell);
+    }
+}

@@ -1,0 +1,275 @@
+//! Exact ε-approximate degree of **symmetric** boolean functions
+//! (Lemma 4.6's quantity, computed rather than cited).
+//!
+//! By Minsky–Papert symmetrization, `deg_ε(f)` of a symmetric
+//! `f : {0,1}^k → {0,1}` equals the least degree of a univariate polynomial
+//! `p` with `|p(i) − f(i)| ≤ ε` on `i ∈ {0, …, k}`. For each candidate
+//! degree the best uniform error is a linear program (Chebyshev basis for
+//! conditioning), solved exactly with the in-crate simplex.
+//!
+//! The benchmark E6(c) uses this to *measure* `deg_{1/3}(AND_k) = Θ(√k)` —
+//! the quantitative heart of the paper's lower bound (via Lemma 4.5's
+//! lifting and Lemma 4.6).
+
+use crate::lp::{solve, LpOutcome};
+
+/// A symmetric boolean function, given by its value on each Hamming weight
+/// `0..=k`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SymmetricFn {
+    values: Vec<bool>,
+}
+
+impl SymmetricFn {
+    /// Builds from the weight-value table (`values[i]` = output on inputs of
+    /// Hamming weight `i`); `k = values.len() - 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn new(values: Vec<bool>) -> SymmetricFn {
+        assert!(!values.is_empty());
+        SymmetricFn { values }
+    }
+
+    /// `AND_k`: true only on the all-ones input.
+    pub fn and(k: usize) -> SymmetricFn {
+        SymmetricFn::new((0..=k).map(|i| i == k).collect())
+    }
+
+    /// `OR_k`: true except on the all-zeros input.
+    pub fn or(k: usize) -> SymmetricFn {
+        SymmetricFn::new((0..=k).map(|i| i > 0).collect())
+    }
+
+    /// `PARITY_k`.
+    pub fn parity(k: usize) -> SymmetricFn {
+        SymmetricFn::new((0..=k).map(|i| i % 2 == 1).collect())
+    }
+
+    /// `MAJ_k` (strict majority).
+    pub fn majority(k: usize) -> SymmetricFn {
+        SymmetricFn::new((0..=k).map(|i| 2 * i > k).collect())
+    }
+
+    /// `THR_t`: true when at least `t` inputs are set.
+    pub fn threshold(k: usize, t: usize) -> SymmetricFn {
+        SymmetricFn::new((0..=k).map(|i| i >= t).collect())
+    }
+
+    /// Arity `k`.
+    pub fn arity(&self) -> usize {
+        self.values.len() - 1
+    }
+
+    /// The weight-value table.
+    pub fn values(&self) -> &[bool] {
+        &self.values
+    }
+}
+
+/// Chebyshev polynomial `T_j(z)` by the recurrence.
+fn chebyshev(j: usize, z: f64) -> f64 {
+    match j {
+        0 => 1.0,
+        1 => z,
+        _ => {
+            let (mut a, mut b) = (1.0, z);
+            for _ in 2..=j {
+                let c = 2.0 * z * b - a;
+                a = b;
+                b = c;
+            }
+            b
+        }
+    }
+}
+
+/// The best uniform error achievable by a degree-`d` polynomial
+/// approximating `f` on the weight points `{0, …, k}` (an exact LP solve).
+///
+/// # Panics
+///
+/// Panics if the LP solver reports an unexpected status (the program is
+/// always feasible and bounded below by 0).
+pub fn best_uniform_error(f: &SymmetricFn, d: usize) -> f64 {
+    let k = f.arity();
+    if d >= k {
+        return 0.0; // interpolation is exact
+    }
+    // Variables: u_0..u_d, v_0..v_d (c_j = u_j − v_j), e. Minimize e.
+    let nv = 2 * (d + 1) + 1;
+    let e_idx = nv - 1;
+    let mut c = vec![0.0; nv];
+    c[e_idx] = 1.0;
+    let mut a = Vec::with_capacity(2 * (k + 1));
+    let mut b = Vec::with_capacity(2 * (k + 1));
+    for i in 0..=k {
+        let z = if k == 0 { 0.0 } else { 2.0 * i as f64 / k as f64 - 1.0 };
+        let fi = if f.values()[i] { 1.0 } else { 0.0 };
+        let mut pos = vec![0.0; nv];
+        let mut neg = vec![0.0; nv];
+        for j in 0..=d {
+            let t = chebyshev(j, z);
+            pos[j] = t;
+            pos[d + 1 + j] = -t;
+            neg[j] = -t;
+            neg[d + 1 + j] = t;
+        }
+        pos[e_idx] = -1.0;
+        neg[e_idx] = -1.0;
+        a.push(pos);
+        b.push(fi);
+        a.push(neg);
+        b.push(-fi);
+    }
+    match solve(&c, &a, &b) {
+        LpOutcome::Optimal { value, .. } => value.max(0.0),
+        other => panic!("approximation LP must be feasible and bounded: {other:?}"),
+    }
+}
+
+/// The exact ε-approximate degree `deg_ε(f)` of a symmetric function.
+///
+/// # Panics
+///
+/// Panics if `eps` is not in `[0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use congest_lb::degree::{approx_degree, SymmetricFn};
+/// // Parity needs full degree; constants need none.
+/// assert_eq!(approx_degree(&SymmetricFn::parity(5), 1.0 / 3.0), 5);
+/// assert_eq!(approx_degree(&SymmetricFn::new(vec![true; 4]), 1.0 / 3.0), 0);
+/// ```
+pub fn approx_degree(f: &SymmetricFn, eps: f64) -> usize {
+    assert!((0.0..1.0).contains(&eps));
+    let k = f.arity();
+    for d in 0..=k {
+        if best_uniform_error(f, d) <= eps + 1e-7 {
+            return d;
+        }
+    }
+    k
+}
+
+/// Fits `deg_{1/3}(AND_k)` measurements to `c·√k`, returning `(c, max
+/// relative residual)` — the quantitative check of Lemma 4.6's `Θ(√k)`.
+pub fn sqrt_fit(points: &[(usize, usize)]) -> (f64, f64) {
+    assert!(!points.is_empty());
+    let c = points
+        .iter()
+        .map(|&(k, d)| d as f64 / (k as f64).sqrt())
+        .sum::<f64>()
+        / points.len() as f64;
+    let resid = points
+        .iter()
+        .map(|&(k, d)| {
+            let predicted = c * (k as f64).sqrt();
+            ((d as f64 - predicted) / predicted).abs()
+        })
+        .fold(0.0f64, f64::max);
+    (c, resid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chebyshev_values() {
+        assert_eq!(chebyshev(0, 0.3), 1.0);
+        assert_eq!(chebyshev(1, 0.3), 0.3);
+        // T_2(z) = 2z² − 1.
+        assert!((chebyshev(2, 0.3) - (2.0 * 0.09 - 1.0)).abs() < 1e-12);
+        // T_3(z) = 4z³ − 3z.
+        assert!((chebyshev(3, 0.5) - (4.0 * 0.125 - 1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_has_degree_zero() {
+        assert_eq!(approx_degree(&SymmetricFn::new(vec![false; 6]), 1.0 / 3.0), 0);
+    }
+
+    #[test]
+    fn parity_needs_full_degree() {
+        for k in 1..=8 {
+            assert_eq!(approx_degree(&SymmetricFn::parity(k), 1.0 / 3.0), k, "k={k}");
+        }
+    }
+
+    #[test]
+    fn and_2_has_degree_one() {
+        // p(x) = x/3 achieves error exactly 1/3 with degree 1.
+        assert_eq!(approx_degree(&SymmetricFn::and(2), 1.0 / 3.0), 1);
+    }
+
+    #[test]
+    fn and_degree_monotone_and_sublinear() {
+        let mut prev = 0;
+        for k in [1usize, 2, 4, 8, 16, 25] {
+            let d = approx_degree(&SymmetricFn::and(k), 1.0 / 3.0);
+            assert!(d >= prev, "monotone");
+            assert!(d <= k, "bounded by arity");
+            if k >= 9 {
+                assert!(d < k, "k={k}: approximate degree must be sublinear");
+            }
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn and_or_duality() {
+        // deg(OR_k) = deg(AND_k) (complement + input flip preserve degree).
+        for k in [2usize, 5, 9, 16] {
+            assert_eq!(
+                approx_degree(&SymmetricFn::and(k), 1.0 / 3.0),
+                approx_degree(&SymmetricFn::or(k), 1.0 / 3.0),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn and_follows_sqrt_scaling() {
+        let points: Vec<(usize, usize)> = [4usize, 9, 16, 25, 36]
+            .iter()
+            .map(|&k| (k, approx_degree(&SymmetricFn::and(k), 1.0 / 3.0)))
+            .collect();
+        let (c, resid) = sqrt_fit(&points);
+        assert!(c > 0.3 && c < 2.0, "constant {c}");
+        assert!(resid < 0.45, "√k fit residual {resid}; points {points:?}");
+    }
+
+    #[test]
+    fn majority_needs_linear_degree() {
+        // Paturi: deg(MAJ_k) = Θ(k) — far above deg(AND_k).
+        let k = 15;
+        let maj = approx_degree(&SymmetricFn::majority(k), 1.0 / 3.0);
+        let and = approx_degree(&SymmetricFn::and(k), 1.0 / 3.0);
+        assert!(maj > and, "MAJ {maj} vs AND {and}");
+        assert!(maj >= k / 3, "MAJ degree {maj} too small for k={k}");
+    }
+
+    #[test]
+    fn error_decreases_with_degree() {
+        let f = SymmetricFn::and(12);
+        let mut prev = f64::INFINITY;
+        for d in 0..=12 {
+            let e = best_uniform_error(&f, d);
+            assert!(e <= prev + 1e-9, "error must be non-increasing in degree");
+            prev = e;
+        }
+        assert!(prev < 1e-7, "interpolation at full degree");
+    }
+
+    #[test]
+    fn smaller_eps_needs_larger_degree() {
+        let f = SymmetricFn::and(16);
+        let loose = approx_degree(&f, 0.45);
+        let tight = approx_degree(&f, 0.05);
+        assert!(tight >= loose);
+        assert!(tight > 0);
+    }
+}

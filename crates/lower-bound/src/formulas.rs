@@ -1,0 +1,341 @@
+//! The boolean functions of Section 4: `F`, `F'`, `GDT`, `VER`, and
+//! read-once formulas.
+//!
+//! * `F  = AND_{2^s} ∘ (OR_ℓ ∘ AND₂^ℓ)^{2^s}` decides the diameter gap
+//!   (Lemma 4.4);
+//! * `F' = OR_{2^s·ℓ} ∘ AND₂^{2^s·ℓ}` decides the radius gap (Lemma 4.9);
+//! * `GDT = OR₄ ∘ AND₂⁴` is the 4-bit gadget; `VER` is its promise version
+//!   (Lemma 4.5), which is how the lifting theorem enters;
+//! * read-once formulas tie into Lemma 4.6 (`deg_{1/3} = Θ(√k)`).
+
+use serde::{Deserialize, Serialize};
+
+/// Dimensions of the paper's Eq. (2): `s = 3h/2`, `ℓ = 2^{s−h}`, inputs in
+/// `{0,1}^{2^s·ℓ}` indexed by `(i, j) ∈ [2^s] × [ℓ]`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct GadgetDims {
+    /// The (even) tree height `h`.
+    pub h: u32,
+    /// `s = 3h/2`.
+    pub s: u32,
+    /// `ℓ = 2^{s−h}`.
+    pub ell: u32,
+}
+
+impl GadgetDims {
+    /// Builds the dimensions for tree height `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is odd or zero (Eq. (2) requires an even `h`).
+    pub fn new(h: u32) -> GadgetDims {
+        assert!(h > 0 && h.is_multiple_of(2), "h must be positive and even");
+        let s = 3 * h / 2;
+        GadgetDims { h, s, ell: 1 << (s - h) }
+    }
+
+    /// Custom dimensions decoupled from Eq. (2)'s `s = 3h/2`, `ℓ = 2^{s−h}`
+    /// coupling. The gadget construction and the gap lemmas are valid for
+    /// any `(h, s, ℓ)`; only the *final round-bound calculation* needs the
+    /// Eq. (2) balance. Small custom dimensions make **exhaustive**
+    /// verification of Lemmas 4.4/4.9 over every input pair feasible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn custom(h: u32, s: u32, ell: u32) -> GadgetDims {
+        assert!(h >= 1 && s >= 1 && ell >= 1);
+        GadgetDims { h, s, ell }
+    }
+
+    /// `2^s`: the number of OR blocks of `F` (and of `a_i`/`b_i` nodes).
+    pub fn blocks(&self) -> usize {
+        1 << self.s
+    }
+
+    /// Total input length per player: `2^s · ℓ`.
+    pub fn input_len(&self) -> usize {
+        self.blocks() * self.ell as usize
+    }
+
+    /// Flat index of `(i, j)` with `i ∈ [2^s]`, `j ∈ [ℓ]`.
+    pub fn index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.blocks() && j < self.ell as usize);
+        i * self.ell as usize + j
+    }
+}
+
+/// A player's input: a bit vector of length `2^s·ℓ`.
+pub type Input = Vec<bool>;
+
+/// `F(x, y) = ⋀_i ⋁_j (x_{i,j} ∧ y_{i,j})` (the diameter function).
+///
+/// # Panics
+///
+/// Panics if input lengths differ from `dims.input_len()`.
+pub fn f_diameter(dims: &GadgetDims, x: &[bool], y: &[bool]) -> bool {
+    assert_eq!(x.len(), dims.input_len());
+    assert_eq!(y.len(), dims.input_len());
+    (0..dims.blocks()).all(|i| {
+        (0..dims.ell as usize).any(|j| {
+            let t = dims.index(i, j);
+            x[t] && y[t]
+        })
+    })
+}
+
+/// `F'(x, y) = ⋁_{i,j} (x_{i,j} ∧ y_{i,j})` (the radius function — set
+/// intersection).
+///
+/// # Panics
+///
+/// Panics if input lengths differ from `dims.input_len()`.
+pub fn f_radius(dims: &GadgetDims, x: &[bool], y: &[bool]) -> bool {
+    assert_eq!(x.len(), dims.input_len());
+    assert_eq!(y.len(), dims.input_len());
+    x.iter().zip(y).any(|(&a, &b)| a && b)
+}
+
+/// `GDT(x, y) = ⋁_{j∈[4]} (x_j ∧ y_j)` on 4-bit blocks.
+pub fn gdt(x: [bool; 4], y: [bool; 4]) -> bool {
+    (0..4).any(|j| x[j] && y[j])
+}
+
+/// `VER(a, b) = 1` iff `a + b ≡ 0 or 1 (mod 4)`, for `a, b ∈ {0,1,2,3}`
+/// (Lemma 4.5).
+pub fn ver(a: u8, b: u8) -> bool {
+    assert!(a < 4 && b < 4);
+    matches!((a + b) % 4, 0 | 1)
+}
+
+/// Alice's promise encoding for `VER → GDT`: bit `j` is set iff
+/// `(j + a) mod 4 ∈ {0, 1}` — producing exactly the strings
+/// `{0011, 1001, 1100, 0110}` of Lemma 4.7.
+pub fn ver_encode_alice(a: u8) -> [bool; 4] {
+    assert!(a < 4);
+    std::array::from_fn(|j| matches!((j as u8 + a) % 4, 0 | 1))
+}
+
+/// Bob's promise encoding: the indicator of bit `b` — the strings
+/// `{0001, 0010, 0100, 1000}`.
+pub fn ver_encode_bob(b: u8) -> [bool; 4] {
+    assert!(b < 4);
+    std::array::from_fn(|j| j as u8 == b)
+}
+
+/// A read-once formula over AND/OR/NOT with each variable appearing once
+/// (Lemma 4.6's class).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReadOnce {
+    /// A single variable (by index).
+    Var(usize),
+    /// Negation.
+    Not(Box<ReadOnce>),
+    /// Conjunction.
+    And(Vec<ReadOnce>),
+    /// Disjunction.
+    Or(Vec<ReadOnce>),
+}
+
+impl ReadOnce {
+    /// Evaluates on an assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable index is out of range.
+    pub fn eval(&self, bits: &[bool]) -> bool {
+        match self {
+            ReadOnce::Var(i) => bits[*i],
+            ReadOnce::Not(f) => !f.eval(bits),
+            ReadOnce::And(fs) => fs.iter().all(|f| f.eval(bits)),
+            ReadOnce::Or(fs) => fs.iter().any(|f| f.eval(bits)),
+        }
+    }
+
+    /// The variables used (sorted); read-once validity requires them all
+    /// distinct.
+    pub fn variables(&self) -> Vec<usize> {
+        let mut v = Vec::new();
+        self.collect_vars(&mut v);
+        v.sort_unstable();
+        v
+    }
+
+    fn collect_vars(&self, out: &mut Vec<usize>) {
+        match self {
+            ReadOnce::Var(i) => out.push(*i),
+            ReadOnce::Not(f) => f.collect_vars(out),
+            ReadOnce::And(fs) | ReadOnce::Or(fs) => {
+                for f in fs {
+                    f.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// `true` if every variable appears exactly once.
+    pub fn is_read_once(&self) -> bool {
+        let vars = self.variables();
+        vars.windows(2).all(|w| w[0] != w[1])
+    }
+
+    /// The outer formula of Lemma 4.7: `f = AND_{2^s} ∘ OR_{ℓ/4}^{2^s}`
+    /// (what remains of `F` after factoring out `GDT^{2^s·ℓ/4}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ell` is not a multiple of 4.
+    pub fn diameter_outer(dims: &GadgetDims) -> ReadOnce {
+        assert_eq!(dims.ell % 4, 0, "ℓ must be a multiple of 4 (Lemma 4.7)");
+        let per_block = (dims.ell / 4) as usize;
+        let blocks = (0..dims.blocks())
+            .map(|i| {
+                ReadOnce::Or(
+                    (0..per_block).map(|j| ReadOnce::Var(i * per_block + j)).collect(),
+                )
+            })
+            .collect();
+        ReadOnce::And(blocks)
+    }
+
+    /// The outer formula of Lemma 4.10: `f' = OR_{2^s·ℓ/4}`.
+    pub fn radius_outer(dims: &GadgetDims) -> ReadOnce {
+        let k = dims.input_len() / 4;
+        ReadOnce::Or((0..k).map(ReadOnce::Var).collect())
+    }
+}
+
+/// Verifies the rewrite `F = f ∘ GDT^{2^s·ℓ/4}` of Lemma 4.7 on a concrete
+/// input pair: groups the `2^s·ℓ` coordinates into 4-bit blocks, feeds each
+/// through `GDT`, and evaluates the outer read-once formula.
+///
+/// # Panics
+///
+/// Panics if `dims.ell < 4` or inputs are malformed.
+pub fn f_via_gdt(dims: &GadgetDims, x: &[bool], y: &[bool]) -> bool {
+    assert!(dims.ell >= 4 && dims.ell.is_multiple_of(4));
+    let outer = ReadOnce::diameter_outer(dims);
+    let gdt_bits: Vec<bool> = (0..dims.input_len() / 4)
+        .map(|b| {
+            let base = 4 * b;
+            gdt(
+                [x[base], x[base + 1], x[base + 2], x[base + 3]],
+                [y[base], y[base + 1], y[base + 2], y[base + 3]],
+            )
+        })
+        .collect();
+    outer.eval(&gdt_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn dims_match_eq_2() {
+        let d = GadgetDims::new(4);
+        assert_eq!(d.s, 6);
+        assert_eq!(d.ell, 4);
+        assert_eq!(d.blocks(), 64);
+        assert_eq!(d.input_len(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_h_rejected() {
+        let _ = GadgetDims::new(3);
+    }
+
+    #[test]
+    fn f_diameter_requires_every_block() {
+        let d = GadgetDims::new(2);
+        let mut x = vec![true; d.input_len()];
+        let y = vec![true; d.input_len()];
+        assert!(f_diameter(&d, &x, &y));
+        // Kill one whole block in x.
+        for j in 0..d.ell as usize {
+            x[d.index(3, j)] = false;
+        }
+        assert!(!f_diameter(&d, &x, &y));
+    }
+
+    #[test]
+    fn f_radius_is_intersection() {
+        let d = GadgetDims::new(2);
+        let mut x = vec![false; d.input_len()];
+        let mut y = vec![false; d.input_len()];
+        assert!(!f_radius(&d, &x, &y));
+        x[5] = true;
+        y[5] = true;
+        assert!(f_radius(&d, &x, &y));
+        y[5] = false;
+        y[6] = true;
+        assert!(!f_radius(&d, &x, &y));
+    }
+
+    /// Lemma 4.5 / 4.7: VER is the promise restriction of GDT — on the
+    /// promise encodings, GDT computes exactly VER.
+    #[test]
+    fn ver_is_promise_of_gdt() {
+        for a in 0..4u8 {
+            for b in 0..4u8 {
+                let x = ver_encode_alice(a);
+                let y = ver_encode_bob(b);
+                assert_eq!(
+                    gdt(x, y),
+                    ver(a, b),
+                    "a={a} b={b}: GDT on encodings must equal VER"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn promise_strings_match_lemma_4_7() {
+        // Listed MSB→LSB as in the paper: x ∈ {0011,1001,1100,0110}.
+        let as_str = |bits: [bool; 4]| -> String {
+            (0..4).rev().map(|j| if bits[j] { '1' } else { '0' }).collect()
+        };
+        let alice: Vec<String> = (0..4).map(|a| as_str(ver_encode_alice(a))).collect();
+        assert_eq!(alice, vec!["0011", "1001", "1100", "0110"]);
+        let bob: Vec<String> = (0..4).map(|b| as_str(ver_encode_bob(b))).collect();
+        assert_eq!(bob, vec!["0001", "0010", "0100", "1000"]);
+    }
+
+    /// Lemma 4.7's rewrite: F = f ∘ GDT^{2^s·ℓ/4}.
+    #[test]
+    fn f_equals_outer_of_gdt() {
+        let d = GadgetDims::new(4); // ℓ = 4, a multiple of 4
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..200 {
+            let x: Vec<bool> = (0..d.input_len()).map(|_| rng.gen_bool(0.8)).collect();
+            let y: Vec<bool> = (0..d.input_len()).map(|_| rng.gen_bool(0.8)).collect();
+            assert_eq!(f_diameter(&d, &x, &y), f_via_gdt(&d, &x, &y));
+        }
+    }
+
+    #[test]
+    fn outer_formulas_are_read_once() {
+        let d = GadgetDims::new(4);
+        let f = ReadOnce::diameter_outer(&d);
+        assert!(f.is_read_once());
+        assert_eq!(f.variables().len(), d.input_len() / 4);
+        let f2 = ReadOnce::radius_outer(&d);
+        assert!(f2.is_read_once());
+    }
+
+    #[test]
+    fn read_once_detects_repeats() {
+        let bad = ReadOnce::And(vec![ReadOnce::Var(0), ReadOnce::Or(vec![ReadOnce::Var(0)])]);
+        assert!(!bad.is_read_once());
+        let good = ReadOnce::Not(Box::new(ReadOnce::Or(vec![
+            ReadOnce::Var(0),
+            ReadOnce::Var(1),
+        ])));
+        assert!(good.is_read_once());
+        assert!(good.eval(&[false, false]));
+        assert!(!good.eval(&[true, false]));
+    }
+}

@@ -1,0 +1,633 @@
+//! The lower-bound graph gadgets of Section 4 (Figures 1, 2 and 4).
+//!
+//! The base network (Figure 1) is a full binary tree of height `h` plus
+//! `m = 2s + ℓ` disjoint paths of `2^h` nodes, every tree leaf `t_{h,j}`
+//! connected to the `j`-th node of every path. Alice's part `V_A` and Bob's
+//! part `V_B` hang off the left and right path endpoints; their internal
+//! edges encode the players' inputs `x, y ∈ {0,1}^{2^s·ℓ}` as weights
+//! (`α` for a 1-bit, `β` for a 0-bit), making the weighted diameter
+//! (Lemma 4.4) — or radius (Lemma 4.9) — decide
+//! `F(x,y) = ⋀_i ⋁_j (x_{i,j} ∧ y_{i,j})` (resp. `F'`).
+
+use crate::formulas::GadgetDims;
+use congest_graph::{GraphBuilder, NodeId, Weight, WeightedGraph};
+use serde::{Deserialize, Serialize};
+
+/// Who simulates a node in the Lemma 4.1 Server-model reduction.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Party {
+    /// The server (initially all of `V_S`).
+    Server,
+    /// Alice (`V_A` plus a growing left region).
+    Alice,
+    /// Bob (`V_B` plus a growing right region).
+    Bob,
+}
+
+/// Identifies a node of the gadget structurally.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum GadgetNode {
+    /// Tree node `t_{depth, j}` (`depth ∈ [0,h]`, `j ∈ [1, 2^depth]`).
+    Tree {
+        /// Depth in the binary tree.
+        depth: u32,
+        /// 1-based position within the level.
+        j: u32,
+    },
+    /// Path node `p_{path, j}` (`path ∈ [1, m]`, `j ∈ [1, 2^h]`).
+    Path {
+        /// 1-based path index.
+        path: u32,
+        /// 1-based position along the path.
+        j: u32,
+    },
+    /// `a_i` (`i ∈ [1, 2^s]`).
+    A(u32),
+    /// `b_i`.
+    B(u32),
+    /// `a_j^c` (`j ∈ [1, s]`, `c ∈ {0,1}`).
+    ASide(u32, u8),
+    /// `b_j^c`.
+    BSide(u32, u8),
+    /// `a*_j` (`j ∈ [1, ℓ]`).
+    AStar(u32),
+    /// `b*_j`.
+    BStar(u32),
+    /// The extra center candidate `a_0` of the radius gadget.
+    AZero,
+}
+
+/// Node-id layout of a constructed gadget.
+#[derive(Clone, Debug)]
+pub struct GadgetLayout {
+    dims: GadgetDims,
+    with_a0: bool,
+    kinds: Vec<GadgetNode>,
+}
+
+impl GadgetLayout {
+    /// Builds the layout for the given dimensions (`with_a0` adds the radius
+    /// gadget's extra node `a₀`). Usually obtained from a built [`Gadget`];
+    /// public so the ownership schedule can be studied without constructing
+    /// the weighted graph.
+    pub fn new(dims: GadgetDims, with_a0: bool) -> GadgetLayout {
+        let h = dims.h;
+        let s = dims.s;
+        let ell = dims.ell;
+        let m = 2 * s + ell;
+        let mut kinds = Vec::new();
+        for depth in 0..=h {
+            for j in 1..=(1u32 << depth) {
+                kinds.push(GadgetNode::Tree { depth, j });
+            }
+        }
+        for path in 1..=m {
+            for j in 1..=(1u32 << h) {
+                kinds.push(GadgetNode::Path { path, j });
+            }
+        }
+        for i in 1..=(1u32 << s) {
+            kinds.push(GadgetNode::A(i));
+        }
+        for i in 1..=(1u32 << s) {
+            kinds.push(GadgetNode::B(i));
+        }
+        for j in 1..=s {
+            kinds.push(GadgetNode::ASide(j, 0));
+            kinds.push(GadgetNode::ASide(j, 1));
+        }
+        for j in 1..=s {
+            kinds.push(GadgetNode::BSide(j, 0));
+            kinds.push(GadgetNode::BSide(j, 1));
+        }
+        for j in 1..=ell {
+            kinds.push(GadgetNode::AStar(j));
+        }
+        for j in 1..=ell {
+            kinds.push(GadgetNode::BStar(j));
+        }
+        if with_a0 {
+            kinds.push(GadgetNode::AZero);
+        }
+        GadgetLayout { dims, with_a0, kinds }
+    }
+
+    /// The gadget dimensions.
+    pub fn dims(&self) -> &GadgetDims {
+        &self.dims
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// The structural identity of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn kind(&self, v: NodeId) -> GadgetNode {
+        self.kinds[v]
+    }
+
+    /// The node id of a structural identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identity does not exist in this layout.
+    pub fn id(&self, node: GadgetNode) -> NodeId {
+        let h = self.dims.h;
+        let s = self.dims.s;
+        let ell = self.dims.ell;
+        let m = 2 * s + ell;
+        let tree_total = (1usize << (h + 1)) - 1;
+        let path_total = (m as usize) << h;
+        let block = 1usize << s;
+        match node {
+            GadgetNode::Tree { depth, j } => {
+                assert!(depth <= h && j >= 1 && j <= (1 << depth));
+                ((1usize << depth) - 1) + (j as usize - 1)
+            }
+            GadgetNode::Path { path, j } => {
+                assert!(path >= 1 && path <= m && j >= 1 && j <= (1 << h));
+                tree_total + ((path as usize - 1) << h) + (j as usize - 1)
+            }
+            GadgetNode::A(i) => {
+                assert!(i >= 1 && i as usize <= block);
+                tree_total + path_total + (i as usize - 1)
+            }
+            GadgetNode::B(i) => {
+                assert!(i >= 1 && i as usize <= block);
+                tree_total + path_total + block + (i as usize - 1)
+            }
+            GadgetNode::ASide(j, c) => {
+                assert!(j >= 1 && j <= s && c <= 1);
+                tree_total + path_total + 2 * block + 2 * (j as usize - 1) + c as usize
+            }
+            GadgetNode::BSide(j, c) => {
+                assert!(j >= 1 && j <= s && c <= 1);
+                tree_total + path_total + 2 * block + 2 * s as usize + 2 * (j as usize - 1) + c as usize
+            }
+            GadgetNode::AStar(j) => {
+                assert!(j >= 1 && j <= ell);
+                tree_total + path_total + 2 * block + 4 * s as usize + (j as usize - 1)
+            }
+            GadgetNode::BStar(j) => {
+                assert!(j >= 1 && j <= ell);
+                tree_total + path_total + 2 * block + 4 * s as usize + ell as usize + (j as usize - 1)
+            }
+            GadgetNode::AZero => {
+                assert!(self.with_a0, "a₀ exists only in the radius gadget");
+                self.kinds.len() - 1
+            }
+        }
+    }
+
+    /// Which side of the reduction a node belongs to **initially**
+    /// (`V_S` / `V_A` / `V_B`).
+    pub fn part(&self, v: NodeId) -> Party {
+        match self.kinds[v] {
+            GadgetNode::Tree { .. } | GadgetNode::Path { .. } => Party::Server,
+            GadgetNode::A(_) | GadgetNode::ASide(..) | GadgetNode::AStar(_) | GadgetNode::AZero => {
+                Party::Alice
+            }
+            GadgetNode::B(_) | GadgetNode::BSide(..) | GadgetNode::BStar(_) => Party::Bob,
+        }
+    }
+
+    /// The Lemma 4.1 ownership schedule: who simulates node `v` at the end
+    /// of round `r` (valid for `r < 2^h/2`).
+    pub fn owner_at(&self, v: NodeId, r: u32) -> Party {
+        let h = self.dims.h;
+        match self.kinds[v] {
+            GadgetNode::Path { j, .. } => {
+                let left = 1 + r;
+                let right = (1u32 << h).saturating_sub(r);
+                if j < left {
+                    Party::Alice
+                } else if j > right {
+                    Party::Bob
+                } else {
+                    Party::Server
+                }
+            }
+            GadgetNode::Tree { depth, j } => {
+                let denom = 1u32 << (h - depth);
+                let left = (1 + r).div_ceil(denom);
+                let right = ((1u32 << h).saturating_sub(r)).div_ceil(denom);
+                if j < left {
+                    Party::Alice
+                } else if j > right {
+                    Party::Bob
+                } else {
+                    Party::Server
+                }
+            }
+            _ => self.part(v),
+        }
+    }
+}
+
+/// `bin(i, j)`: the `j`-th bit (1-based) of the binary expansion of `i − 1`.
+pub fn bin(i: u32, j: u32) -> u8 {
+    debug_assert!(i >= 1 && j >= 1);
+    (((i - 1) >> (j - 1)) & 1) as u8
+}
+
+/// A constructed gadget: graph, layout, and the weight parameters.
+#[derive(Clone, Debug)]
+pub struct Gadget {
+    /// The weighted network.
+    pub graph: WeightedGraph,
+    /// The node layout.
+    pub layout: GadgetLayout,
+    /// Weight `α` (the paper sets `α = n²`).
+    pub alpha: Weight,
+    /// Weight `β > α` (the paper sets `β = 2n²`).
+    pub beta: Weight,
+}
+
+/// The paper's weight choice `α = n², β = 2n²` for the gadget at height `h`.
+pub fn paper_weights(dims: &GadgetDims) -> (Weight, Weight) {
+    let n = node_count(dims, false) as u64;
+    (n * n, 2 * n * n)
+}
+
+/// The closed-form node count
+/// `n = (2^{h+1}−1) + (2s+ℓ)(2^h+2) + 2·2^s (+1 for the radius gadget)`.
+pub fn node_count(dims: &GadgetDims, with_a0: bool) -> usize {
+    let h = dims.h;
+    let s = dims.s as usize;
+    let ell = dims.ell as usize;
+    ((1usize << (h + 1)) - 1)
+        + (2 * s + ell) * ((1usize << h) + 2)
+        + 2 * (1usize << dims.s)
+        + usize::from(with_a0)
+}
+
+fn build(dims: &GadgetDims, x: &[bool], y: &[bool], alpha: Weight, beta: Weight, with_a0: bool) -> Gadget {
+    assert!(alpha >= 2, "α must exceed the unit weights");
+    assert!(beta > alpha, "β must exceed α");
+    assert_eq!(x.len(), dims.input_len());
+    assert_eq!(y.len(), dims.input_len());
+    let layout = GadgetLayout::new(*dims, with_a0);
+    let h = dims.h;
+    let s = dims.s;
+    let ell = dims.ell;
+    let m = 2 * s + ell;
+    let width = 1u32 << h;
+    let mut b = GraphBuilder::new(layout.n());
+    let id = |node: GadgetNode| layout.id(node);
+
+    // Tree edges (weight 1).
+    for depth in 1..=h {
+        for j in 1..=(1u32 << depth) {
+            b.add_edge(
+                id(GadgetNode::Tree { depth, j }),
+                id(GadgetNode::Tree { depth: depth - 1, j: j.div_ceil(2) }),
+                1,
+            );
+        }
+    }
+    // Path edges (weight 1).
+    for path in 1..=m {
+        for j in 2..=width {
+            b.add_edge(
+                id(GadgetNode::Path { path, j }),
+                id(GadgetNode::Path { path, j: j - 1 }),
+                1,
+            );
+        }
+    }
+    // Leaf-to-path edges (weight α).
+    for path in 1..=m {
+        for j in 1..=width {
+            b.add_edge(
+                id(GadgetNode::Tree { depth: h, j }),
+                id(GadgetNode::Path { path, j }),
+                alpha,
+            );
+        }
+    }
+    // E′: path endpoints into V_A and V_B (weight 1 — "including the
+    // endpoints in V_A and V_B").
+    for i in 1..=s {
+        b.add_edge(id(GadgetNode::ASide(i, 0)), id(GadgetNode::Path { path: 2 * i - 1, j: 1 }), 1);
+        b.add_edge(id(GadgetNode::ASide(i, 1)), id(GadgetNode::Path { path: 2 * i, j: 1 }), 1);
+        b.add_edge(id(GadgetNode::BSide(i, 0)), id(GadgetNode::Path { path: 2 * i, j: width }), 1);
+        b.add_edge(id(GadgetNode::BSide(i, 1)), id(GadgetNode::Path { path: 2 * i - 1, j: width }), 1);
+    }
+    for j in 1..=ell {
+        b.add_edge(id(GadgetNode::AStar(j)), id(GadgetNode::Path { path: 2 * s + j, j: 1 }), 1);
+        b.add_edge(id(GadgetNode::BStar(j)), id(GadgetNode::Path { path: 2 * s + j, j: width }), 1);
+    }
+    // E_A / E_B: address edges a_i — a_j^{bin(i,j)} (weight α).
+    for i in 1..=(1u32 << s) {
+        for j in 1..=s {
+            b.add_edge(id(GadgetNode::A(i)), id(GadgetNode::ASide(j, bin(i, j))), alpha);
+            b.add_edge(id(GadgetNode::B(i)), id(GadgetNode::BSide(j, bin(i, j))), alpha);
+        }
+    }
+    // Cliques on {a_i} and {b_i} (weight α).
+    for i in 1..=(1u32 << s) {
+        for j in (i + 1)..=(1u32 << s) {
+            b.add_edge(id(GadgetNode::A(i)), id(GadgetNode::A(j)), alpha);
+            b.add_edge(id(GadgetNode::B(i)), id(GadgetNode::B(j)), alpha);
+        }
+    }
+    // Input edges: a_i — a*_j weighted by x_{i,j}; b_i — b*_j by y_{i,j}.
+    for i in 1..=(1u32 << s) {
+        for j in 1..=ell {
+            let t = dims.index(i as usize - 1, j as usize - 1);
+            let wx = if x[t] { alpha } else { beta };
+            let wy = if y[t] { alpha } else { beta };
+            b.add_edge(id(GadgetNode::A(i)), id(GadgetNode::AStar(j)), wx);
+            b.add_edge(id(GadgetNode::B(i)), id(GadgetNode::BStar(j)), wy);
+        }
+    }
+    // Radius extra: a₀ — a_i of weight 2α.
+    if with_a0 {
+        for i in 1..=(1u32 << s) {
+            b.add_edge(id(GadgetNode::AZero), id(GadgetNode::A(i)), 2 * alpha);
+        }
+    }
+    let graph = b.build().expect("gadget construction is valid");
+    Gadget { graph, layout, alpha, beta }
+}
+
+/// Builds the Figure 2 gadget (diameter hardness, Theorem 4.2).
+pub fn diameter_gadget(dims: &GadgetDims, x: &[bool], y: &[bool], alpha: Weight, beta: Weight) -> Gadget {
+    build(dims, x, y, alpha, beta, false)
+}
+
+/// Builds the Figure 4 gadget (radius hardness, Theorem 4.8): the diameter
+/// gadget plus the center candidate `a₀`.
+pub fn radius_gadget(dims: &GadgetDims, x: &[bool], y: &[bool], alpha: Weight, beta: Weight) -> Gadget {
+    build(dims, x, y, alpha, beta, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formulas::{f_diameter, f_radius};
+    use congest_graph::{contract, metrics, Dist};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn dims2() -> GadgetDims {
+        GadgetDims::new(2)
+    }
+
+    fn random_inputs(dims: &GadgetDims, density: f64, rng: &mut ChaCha8Rng) -> (Vec<bool>, Vec<bool>) {
+        let x = (0..dims.input_len()).map(|_| rng.gen_bool(density)).collect();
+        let y = (0..dims.input_len()).map(|_| rng.gen_bool(density)).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn node_count_matches_formula() {
+        for h in [2u32, 4] {
+            let dims = GadgetDims::new(h);
+            let n = dims.input_len();
+            let g = diameter_gadget(&dims, &vec![true; n], &vec![false; n], 100, 200);
+            assert_eq!(g.graph.n(), node_count(&dims, false), "h={h}");
+            let r = radius_gadget(&dims, &vec![true; n], &vec![false; n], 100, 200);
+            assert_eq!(r.graph.n(), node_count(&dims, false) + 1, "h={h}");
+        }
+        // h = 2: 7 + 8·6 + 16 = 71.
+        assert_eq!(node_count(&dims2(), false), 71);
+    }
+
+    #[test]
+    fn layout_roundtrips() {
+        let dims = dims2();
+        let layout = GadgetLayout::new(dims, true);
+        for v in 0..layout.n() {
+            assert_eq!(layout.id(layout.kind(v)), v, "node {v}");
+        }
+    }
+
+    #[test]
+    fn gadget_connected_with_log_diameter() {
+        let dims = GadgetDims::new(4);
+        let n = dims.input_len();
+        let g = diameter_gadget(&dims, &vec![true; n], &vec![true; n], 1000, 2000);
+        assert!(g.graph.is_connected());
+        let d = metrics::unweighted_diameter(&g.graph);
+        // D_G = Θ(h) = Θ(log n).
+        assert!(
+            d <= 4 * dims.h as usize + 8,
+            "unweighted diameter {d} not O(h) for h={}",
+            dims.h
+        );
+        assert!(d >= dims.h as usize, "tree height forces D ≥ h");
+    }
+
+    /// Lemma 4.4 in both directions, with the paper's α = n², β = 2n².
+    #[test]
+    fn lemma_4_4_diameter_gap() {
+        let dims = dims2();
+        let (alpha, beta) = paper_weights(&dims);
+        let n = node_count(&dims, false) as u64;
+        let mut rng = ChaCha8Rng::seed_from_u64(50);
+        let mut seen = [false; 2];
+        for trial in 0..14 {
+            let density = if trial % 2 == 0 { 0.9 } else { 0.4 };
+            let (x, y) = random_inputs(&dims, density, &mut rng);
+            let g = diameter_gadget(&dims, &x, &y, alpha, beta);
+            let d = metrics::diameter(&g.graph).expect_finite();
+            if f_diameter(&dims, &x, &y) {
+                assert!(
+                    d <= alpha.max(beta).max(2 * alpha) + n,
+                    "trial {trial}: F=1 but D = {d} > max(2α,β)+n"
+                );
+                assert!(d <= 2 * alpha + n);
+                seen[1] = true;
+            } else {
+                assert!(
+                    d >= (alpha + beta).min(3 * alpha),
+                    "trial {trial}: F=0 but D = {d} < min(α+β, 3α)"
+                );
+                seen[0] = true;
+            }
+        }
+        assert!(seen[0] && seen[1], "both F outcomes must be exercised");
+    }
+
+    /// The Theorem 4.2 distinguishing threshold: a (3/2−ε)-approximation
+    /// separates the two diameter regimes.
+    #[test]
+    fn theorem_4_2_threshold_separates() {
+        let dims = dims2();
+        let (alpha, beta) = paper_weights(&dims);
+        let n = node_count(&dims, false) as f64;
+        let mut rng = ChaCha8Rng::seed_from_u64(51);
+        for trial in 0..10 {
+            let (x, y) = random_inputs(&dims, 0.55, &mut rng);
+            let g = diameter_gadget(&dims, &x, &y, alpha, beta);
+            let d = metrics::diameter(&g.graph).expect_finite() as f64;
+            // Any value in [D, 1.4·D] still lands on the right side of 3n².
+            let eps = 0.1;
+            let approx_hi = (1.5 - eps) * d;
+            let decide_one = approx_hi < 3.0 * n * n;
+            assert_eq!(
+                decide_one,
+                f_diameter(&dims, &x, &y),
+                "trial {trial}: threshold failed (D = {d})"
+            );
+        }
+    }
+
+    /// Lemma 4.9 in both directions (radius gadget).
+    #[test]
+    fn lemma_4_9_radius_gap() {
+        let dims = dims2();
+        let (alpha, beta) = paper_weights(&dims);
+        let n = node_count(&dims, true) as u64;
+        let mut rng = ChaCha8Rng::seed_from_u64(52);
+        let mut seen = [false; 2];
+        for trial in 0..14 {
+            let density = if trial % 2 == 0 { 0.35 } else { 0.02 };
+            let (x, y) = random_inputs(&dims, density, &mut rng);
+            let g = radius_gadget(&dims, &x, &y, alpha, beta);
+            let r = metrics::radius(&g.graph).expect_finite();
+            if f_radius(&dims, &x, &y) {
+                assert!(
+                    r <= (2 * alpha).max(beta) + n,
+                    "trial {trial}: F'=1 but R = {r} > max(2α,β)+n"
+                );
+                seen[1] = true;
+            } else {
+                assert!(
+                    r >= (alpha + beta).min(3 * alpha),
+                    "trial {trial}: F'=0 but R = {r} < min(α+β, 3α)"
+                );
+                seen[0] = true;
+            }
+        }
+        assert!(seen[0] && seen[1], "both F' outcomes must be exercised");
+    }
+
+    /// Figure 3: contracting the weight-1 edges collapses the tree to one
+    /// node and each path (with its V_A/V_B endpoints) to one node.
+    #[test]
+    fn contraction_reproduces_figure_3() {
+        let dims = dims2();
+        let (alpha, beta) = paper_weights(&dims);
+        let n_inputs = dims.input_len();
+        let g = diameter_gadget(&dims, &vec![true; n_inputs], &vec![false; n_inputs], alpha, beta);
+        let c = contract::contract_unit_edges(&g.graph);
+        let m = (2 * dims.s + dims.ell) as usize;
+        let expected = 1 + m + 2 * dims.blocks();
+        assert_eq!(c.graph.n(), expected, "contracted node count");
+        // The whole tree is one class.
+        let t_root = g.layout.id(GadgetNode::Tree { depth: 0, j: 1 });
+        let t_leaf = g.layout.id(GadgetNode::Tree { depth: dims.h, j: 1 });
+        assert_eq!(c.image(t_root), c.image(t_leaf));
+        // A path merges with its two V_A/V_B endpoints.
+        let p = g.layout.id(GadgetNode::Path { path: 1, j: 2 });
+        let a_end = g.layout.id(GadgetNode::ASide(1, 0));
+        let b_end = g.layout.id(GadgetNode::BSide(1, 1));
+        assert_eq!(c.image(p), c.image(a_end));
+        assert_eq!(c.image(p), c.image(b_end));
+        // a_i stay separate.
+        let a1 = g.layout.id(GadgetNode::A(1));
+        let a2 = g.layout.id(GadgetNode::A(2));
+        assert_ne!(c.image(a1), c.image(a2));
+    }
+
+    /// Table 2: the claimed distance upper bounds hold in the contracted
+    /// graph G′ (checked exactly, every row).
+    #[test]
+    fn table_2_distance_bounds() {
+        let dims = dims2();
+        let (alpha, beta) = paper_weights(&dims);
+        let mut rng = ChaCha8Rng::seed_from_u64(53);
+        let (x, y) = random_inputs(&dims, 0.5, &mut rng);
+        let g = diameter_gadget(&dims, &x, &y, alpha, beta);
+        let c = contract::contract_unit_edges(&g.graph);
+        let apsp = congest_graph::shortest_path::apsp(&c.graph);
+        let dist = |u: NodeId, v: NodeId| apsp[c.image(u)][c.image(v)];
+        let id = |node: GadgetNode| g.layout.id(node);
+        let t = id(GadgetNode::Tree { depth: 0, j: 1 });
+        let le = |d: Dist, bound: u64| d <= Dist::from(bound);
+        let routers: Vec<NodeId> = (1..=dims.s)
+            .flat_map(|j| [id(GadgetNode::ASide(j, 0)), id(GadgetNode::ASide(j, 1))])
+            .chain((1..=dims.ell).map(|j| id(GadgetNode::AStar(j))))
+            .collect();
+        // Row 1: t — router ≤ α.
+        for &r in &routers {
+            assert!(le(dist(t, r), alpha), "t-router");
+        }
+        for i in 1..=(dims.blocks() as u32) {
+            let ai = id(GadgetNode::A(i));
+            let bi = id(GadgetNode::B(i));
+            // Rows 2–3: t — a_i, t — b_i ≤ 2α.
+            assert!(le(dist(t, ai), 2 * alpha), "t-a_{i}");
+            assert!(le(dist(t, bi), 2 * alpha), "t-b_{i}");
+            for jj in 1..=dims.s {
+                let same = id(GadgetNode::ASide(jj, bin(i, jj)));
+                let flip = id(GadgetNode::ASide(jj, bin(i, jj) ^ 1));
+                // a_i — a_j^{bin} ≤ α; a_i — a_j^{bin⊕1} ≤ 2α.
+                assert!(le(dist(ai, same), alpha), "a-same-side");
+                assert!(le(dist(ai, flip), 2 * alpha), "a-flip-side");
+                // b_i — a_j^{bin⊕1} ≤ α; b_i — a_j^{bin} ≤ 2α.
+                assert!(le(dist(bi, flip), alpha), "b-flip-side");
+                assert!(le(dist(bi, same), 2 * alpha), "b-same-side");
+            }
+            for j in 1..=(dims.blocks() as u32) {
+                if i != j {
+                    // a_i — a_j ≤ α; a_i — b_j ≤ 2α; b_i — b_j ≤ α.
+                    assert!(le(dist(ai, id(GadgetNode::A(j))), alpha));
+                    assert!(le(dist(ai, id(GadgetNode::B(j))), 2 * alpha));
+                    assert!(le(dist(bi, id(GadgetNode::B(j))), alpha));
+                }
+            }
+            for j in 1..=dims.ell {
+                // a_i — a*_j ≤ β; b_i — a*_j ≤ β.
+                assert!(le(dist(ai, id(GadgetNode::AStar(j))), beta));
+                assert!(le(dist(bi, id(GadgetNode::AStar(j))), beta));
+            }
+        }
+        // Last row: router — router ≤ 2α.
+        for &r1 in &routers {
+            for &r2 in &routers {
+                assert!(le(dist(r1, r2), 2 * alpha), "router-router");
+            }
+        }
+    }
+
+    /// Ownership schedule sanity: partition at every round, Alice/Bob grow
+    /// inward, and within the validity horizon the server always owns the
+    /// middle.
+    #[test]
+    fn ownership_schedule_partitions() {
+        let dims = GadgetDims::new(4);
+        let layout = GadgetLayout::new(dims, false);
+        let horizon = (1u32 << dims.h) / 2;
+        for r in 0..horizon {
+            let mut counts = [0usize; 3];
+            for v in 0..layout.n() {
+                match layout.owner_at(v, r) {
+                    Party::Server => counts[0] += 1,
+                    Party::Alice => counts[1] += 1,
+                    Party::Bob => counts[2] += 1,
+                }
+            }
+            assert_eq!(counts.iter().sum::<usize>(), layout.n());
+            assert!(counts[0] > 0, "server must own the middle while r < 2^h/2");
+        }
+        // Monotone: once Alice owns a node, she keeps it.
+        for v in 0..layout.n() {
+            let mut was_alice = false;
+            for r in 0..horizon {
+                let o = layout.owner_at(v, r);
+                if was_alice {
+                    assert_eq!(o, Party::Alice, "Alice's region never shrinks");
+                }
+                was_alice = o == Party::Alice;
+            }
+        }
+    }
+}

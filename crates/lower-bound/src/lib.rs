@@ -1,0 +1,49 @@
+//! # congest-lb
+//!
+//! The lower-bound machinery of *Wu & Yao, "Quantum Complexity of Weighted
+//! Diameter and Radius in CONGEST Networks"* (PODC 2022), Section 4 —
+//! Theorem 1.2's `Ω̃(n^{2/3})` for `(3/2−ε)`-approximating the weighted
+//! diameter/radius, with every link of the chain executable:
+//!
+//! * [`formulas`] — `F = AND∘(OR∘AND₂)`, `F' = OR∘AND₂`, the `GDT` gadget,
+//!   its promise version `VER` (Lemma 4.5), and read-once formulas
+//!   (Lemma 4.6);
+//! * [`gadget`] — the Figure 1/2/4 graph constructions, the weight
+//!   encoding of the players' inputs, the Figure 3 contraction, Table 2's
+//!   distance bounds, and the Lemma 4.4/4.9 diameter/radius gaps — all
+//!   verified exactly in tests;
+//! * [`server`] — the Server model (only Alice/Bob messages are charged)
+//!   and the Lemma 4.1 simulation: a real CONGEST message log is replayed
+//!   against the ownership schedule, measuring the `O(T·h·B)` cost;
+//! * [`degree`] — exact ε-approximate degree of symmetric functions by an
+//!   LP over Chebyshev bases ([`lp`] is an in-crate simplex), reproducing
+//!   `deg_{1/3} = Θ(√k)`;
+//! * [`reduction`] — the assembled `Ω(√(2^s·ℓ)/(h·B)) = Ω̃(n^{2/3})` bound.
+//!
+//! # Examples
+//!
+//! ```
+//! use congest_lb::formulas::GadgetDims;
+//! use congest_lb::gadget::{diameter_gadget, paper_weights};
+//! use congest_lb::formulas::f_diameter;
+//! use congest_graph::metrics;
+//!
+//! let dims = GadgetDims::new(2);
+//! let (alpha, beta) = paper_weights(&dims);
+//! let ones = vec![true; dims.input_len()];
+//! let g = diameter_gadget(&dims, &ones, &ones, alpha, beta);
+//! // F(1…1, 1…1) = 1, so the diameter sits in the "small" regime.
+//! assert!(f_diameter(&dims, &ones, &ones));
+//! let d = metrics::diameter(&g.graph).expect_finite();
+//! assert!(d <= 2 * alpha + g.graph.n() as u64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod degree;
+pub mod formulas;
+pub mod gadget;
+pub mod lp;
+pub mod reduction;
+pub mod server;

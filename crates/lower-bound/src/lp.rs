@@ -1,0 +1,257 @@
+//! A small dense two-phase simplex solver (built in-crate — the approved
+//! dependency list has no LP solver), sufficient for the Chebyshev
+//! approximation programs of [`crate::degree`].
+//!
+//! Solves `min cᵀx  s.t.  Ax ≤ b, x ≥ 0` (any sign of `b`).
+
+#![allow(clippy::needless_range_loop)] // index loops mirror the paper's matrix notation
+/// Outcome of an LP solve.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LpOutcome {
+    /// Optimal value and a primal solution.
+    Optimal {
+        /// The optimal objective value.
+        value: f64,
+        /// An optimal assignment of the structural variables.
+        x: Vec<f64>,
+    },
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Solves `min cᵀx` subject to `Ax ≤ b`, `x ≥ 0`.
+///
+/// # Panics
+///
+/// Panics if dimensions are inconsistent.
+pub fn solve(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LpOutcome {
+    let m = a.len();
+    let n = c.len();
+    assert_eq!(b.len(), m);
+    for row in a {
+        assert_eq!(row.len(), n);
+    }
+    // Tableau columns: n structural + m slack + (≤ m) artificial + rhs.
+    // Rows with b < 0 are negated (their slack coefficient becomes −1) and
+    // receive an artificial basis variable.
+    let total = n + m; // structural + slack
+    let art_rows: Vec<usize> = (0..m).filter(|&i| b[i] < 0.0).collect();
+    let n_art = art_rows.len();
+    let width = total + n_art + 1;
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut basis: Vec<usize> = Vec::with_capacity(m);
+    for i in 0..m {
+        let neg = b[i] < 0.0;
+        let sign = if neg { -1.0 } else { 1.0 };
+        let mut row = vec![0.0; width];
+        for j in 0..n {
+            row[j] = sign * a[i][j];
+        }
+        row[n + i] = sign; // slack
+        row[width - 1] = sign * b[i];
+        if neg {
+            let ai = art_rows.iter().position(|&r| r == i).unwrap();
+            row[total + ai] = 1.0;
+            basis.push(total + ai);
+        } else {
+            basis.push(n + i);
+        }
+        rows.push(row);
+    }
+
+    // Phase 1: minimize the sum of artificials.
+    if n_art > 0 {
+        let mut obj = vec![0.0; width];
+        for ai in 0..n_art {
+            obj[total + ai] = 1.0;
+        }
+        // Reduce objective over the artificial basis rows.
+        for (i, &bi) in basis.iter().enumerate() {
+            if bi >= total {
+                for j in 0..width {
+                    obj[j] -= rows[i][j];
+                }
+            }
+        }
+        if !pivot_loop(&mut rows, &mut basis, &mut obj, width) {
+            return LpOutcome::Unbounded; // cannot happen in phase 1
+        }
+        let phase1 = -obj[width - 1];
+        if phase1 > 1e-7 {
+            return LpOutcome::Infeasible;
+        }
+        // Drive any artificial still in the basis out (degenerate case).
+        for i in 0..rows.len() {
+            if basis[i] >= total {
+                if let Some(j) = (0..total).find(|&j| rows[i][j].abs() > EPS) {
+                    pivot(&mut rows, &mut basis, None, i, j, width);
+                }
+            }
+        }
+    }
+
+    // Phase 2: the real objective (over structural + slack columns only).
+    let mut obj = vec![0.0; width];
+    for (j, &cj) in c.iter().enumerate() {
+        obj[j] = cj;
+    }
+    for (i, &bi) in basis.iter().enumerate() {
+        if bi < total && obj[bi].abs() > 0.0 {
+            let f = obj[bi];
+            for j in 0..width {
+                obj[j] -= f * rows[i][j];
+            }
+        }
+    }
+    // Forbid re-entering artificial columns.
+    for ai in 0..n_art {
+        obj[total + ai] = f64::INFINITY;
+    }
+    if !pivot_loop(&mut rows, &mut basis, &mut obj, width) {
+        return LpOutcome::Unbounded;
+    }
+    let mut x = vec![0.0; n];
+    for (i, &bi) in basis.iter().enumerate() {
+        if bi < n {
+            x[bi] = rows[i][width - 1];
+        }
+    }
+    LpOutcome::Optimal { value: -obj[width - 1], x }
+}
+
+/// Runs simplex pivots until optimal; returns `false` on unboundedness.
+fn pivot_loop(
+    rows: &mut [Vec<f64>],
+    basis: &mut [usize],
+    obj: &mut Vec<f64>,
+    width: usize,
+) -> bool {
+    for _ in 0..200_000 {
+        // Bland's rule: smallest-index entering column with negative cost.
+        let Some(enter) = (0..width - 1).find(|&j| obj[j] < -EPS) else {
+            return true;
+        };
+        // Ratio test.
+        let mut leave = None;
+        let mut best = f64::INFINITY;
+        for (i, row) in rows.iter().enumerate() {
+            if row[enter] > EPS {
+                let ratio = row[width - 1] / row[enter];
+                if ratio < best - EPS || (ratio < best + EPS && leave.is_none_or(|l: usize| basis[i] < basis[l])) {
+                    best = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(leave) = leave else { return false };
+        pivot(rows, basis, Some(obj), leave, enter, width);
+    }
+    true // safety: treat cycling cutoff as converged (bounded programs)
+}
+
+fn pivot(
+    rows: &mut [Vec<f64>],
+    basis: &mut [usize],
+    obj: Option<&mut Vec<f64>>,
+    leave: usize,
+    enter: usize,
+    width: usize,
+) {
+    let p = rows[leave][enter];
+    for j in 0..width {
+        rows[leave][j] /= p;
+    }
+    for i in 0..rows.len() {
+        if i != leave && rows[i][enter].abs() > EPS {
+            let f = rows[i][enter];
+            for j in 0..width {
+                rows[i][j] -= f * rows[leave][j];
+            }
+        }
+    }
+    if let Some(obj) = obj {
+        if obj[enter].abs() > EPS && obj[enter].is_finite() {
+            let f = obj[enter];
+            for j in 0..width {
+                obj[j] -= f * rows[leave][j];
+            }
+        }
+    }
+    basis[leave] = enter;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_near(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18  →  opt 36 at (2, 6).
+        let out = solve(
+            &[-3.0, -5.0],
+            &[
+                vec![1.0, 0.0],
+                vec![0.0, 2.0],
+                vec![3.0, 2.0],
+            ],
+            &[4.0, 12.0, 18.0],
+        );
+        match out {
+            LpOutcome::Optimal { value, x } => {
+                assert_near(value, -36.0);
+                assert_near(x[0], 2.0);
+                assert_near(x[1], 6.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_rhs_two_phase() {
+        // min x s.t. −x ≤ −5  (i.e. x ≥ 5) → 5.
+        let out = solve(&[1.0], &[vec![-1.0]], &[-5.0]);
+        match out {
+            LpOutcome::Optimal { value, x } => {
+                assert_near(value, 5.0);
+                assert_near(x[0], 5.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x ≤ 1 and x ≥ 3.
+        let out = solve(&[0.0], &[vec![1.0], vec![-1.0]], &[1.0, -3.0]);
+        assert_eq!(out, LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min −x s.t. −x ≤ 0 → x unbounded above.
+        let out = solve(&[-1.0], &[vec![-1.0]], &[0.0]);
+        assert_eq!(out, LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn equality_via_pair_of_inequalities() {
+        // min x + y s.t. x + y = 2 (as ≤ and ≥), x ≤ 1.5 → value 2.
+        let out = solve(
+            &[1.0, 1.0],
+            &[vec![1.0, 1.0], vec![-1.0, -1.0], vec![1.0, 0.0]],
+            &[2.0, -2.0, 1.5],
+        );
+        match out {
+            LpOutcome::Optimal { value, .. } => assert_near(value, 2.0),
+            other => panic!("{other:?}"),
+        }
+    }
+}

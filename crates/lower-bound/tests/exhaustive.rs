@@ -1,0 +1,96 @@
+//! **Exhaustive** verification of the gap lemmas: on a reduced gadget
+//! (custom dimensions `s = 1, ℓ = 2` ⇒ 4-bit inputs), every one of the
+//! 2⁴ × 2⁴ = 256 input pairs is checked against Lemma 4.4 (diameter) and
+//! Lemma 4.9 (radius) — both directions, no sampling.
+//!
+//! The Eq. (2) coupling `s = 3h/2, ℓ = 2^{s−h}` only matters for the final
+//! round-bound arithmetic of Theorem 4.2; the gadget construction and the
+//! gap lemmas hold for any dimensions, which is what makes this exhaustive
+//! check possible.
+
+use congest_graph::metrics;
+use congest_lb::formulas::{f_diameter, f_radius, GadgetDims};
+use congest_lb::gadget::{diameter_gadget, node_count, radius_gadget};
+
+fn bits(mask: u32, len: usize) -> Vec<bool> {
+    (0..len).map(|j| (mask >> j) & 1 == 1).collect()
+}
+
+#[test]
+fn lemma_4_4_exhaustive_on_reduced_gadget() {
+    let dims = GadgetDims::custom(2, 1, 2);
+    let len = dims.input_len();
+    assert_eq!(len, 4);
+    let n = node_count(&dims, false) as u64;
+    // α must dominate n for the contraction slack (Lemma 4.3): use α = n².
+    let (alpha, beta) = (n * n, 2 * n * n);
+    for xm in 0..(1u32 << len) {
+        for ym in 0..(1u32 << len) {
+            let x = bits(xm, len);
+            let y = bits(ym, len);
+            let g = diameter_gadget(&dims, &x, &y, alpha, beta);
+            assert_eq!(g.graph.n() as u64, n);
+            let d = metrics::diameter(&g.graph).expect_finite();
+            if f_diameter(&dims, &x, &y) {
+                assert!(
+                    d <= 2 * alpha + n,
+                    "x={xm:04b} y={ym:04b}: F=1 but D = {d} > 2α+n"
+                );
+            } else {
+                assert!(
+                    d >= (alpha + beta).min(3 * alpha),
+                    "x={xm:04b} y={ym:04b}: F=0 but D = {d} < min(α+β, 3α)"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lemma_4_9_exhaustive_on_reduced_gadget() {
+    let dims = GadgetDims::custom(2, 1, 2);
+    let len = dims.input_len();
+    let n = node_count(&dims, true) as u64;
+    let (alpha, beta) = (n * n, 2 * n * n);
+    for xm in 0..(1u32 << len) {
+        for ym in 0..(1u32 << len) {
+            let x = bits(xm, len);
+            let y = bits(ym, len);
+            let g = radius_gadget(&dims, &x, &y, alpha, beta);
+            let r = metrics::radius(&g.graph).expect_finite();
+            if f_radius(&dims, &x, &y) {
+                assert!(
+                    r <= (2 * alpha).max(beta) + n,
+                    "x={xm:04b} y={ym:04b}: F'=1 but R = {r} > max(2α,β)+n"
+                );
+            } else {
+                assert!(
+                    r >= (alpha + beta).min(3 * alpha),
+                    "x={xm:04b} y={ym:04b}: F'=0 but R = {r} < min(α+β, 3α)"
+                );
+            }
+        }
+    }
+}
+
+/// The threshold distinguisher of Theorem 4.2 decodes F from *any*
+/// (3/2−ε)-approximation, exhaustively.
+#[test]
+fn threshold_decoding_exhaustive() {
+    let dims = GadgetDims::custom(2, 1, 2);
+    let len = dims.input_len();
+    let n = node_count(&dims, false);
+    let (alpha, beta) = ((n * n) as u64, 2 * (n * n) as u64);
+    for xm in 0..(1u32 << len) {
+        for ym in 0..(1u32 << len) {
+            let x = bits(xm, len);
+            let y = bits(ym, len);
+            let g = diameter_gadget(&dims, &x, &y, alpha, beta);
+            let d = metrics::diameter(&g.graph).expect_finite() as f64;
+            // Worst allowed approximation: (3/2 − ε)·D with ε = 0.1.
+            let approx = 1.4 * d;
+            let decided = approx < 3.0 * (n * n) as f64;
+            assert_eq!(decided, f_diameter(&dims, &x, &y), "x={xm:04b} y={ym:04b}");
+        }
+    }
+}

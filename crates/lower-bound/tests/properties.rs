@@ -1,0 +1,141 @@
+//! Property-based tests of the lower-bound machinery.
+
+use congest_graph::metrics;
+use congest_lb::degree::{approx_degree, best_uniform_error, SymmetricFn};
+use congest_lb::formulas::{f_diameter, f_radius, GadgetDims};
+use congest_lb::gadget::{diameter_gadget, node_count, paper_weights, radius_gadget, GadgetLayout, Party};
+use congest_lb::lp::{solve, LpOutcome};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Gadget node counts match the closed form for every valid height.
+    #[test]
+    fn node_count_formula(h_half in 1u32..3) {
+        let h = 2 * h_half;
+        let dims = GadgetDims::new(h);
+        let x = vec![true; dims.input_len()];
+        let g = diameter_gadget(&dims, &x, &x, 100, 200);
+        prop_assert_eq!(g.graph.n(), node_count(&dims, false));
+        prop_assert!(g.graph.is_connected());
+    }
+
+    /// The ownership schedule partitions V at every round in the horizon,
+    /// and regions only grow toward the middle.
+    #[test]
+    fn ownership_partition_and_monotonicity(h_half in 1u32..3, r_frac in 0.0f64..1.0) {
+        let h = 2 * h_half;
+        let dims = GadgetDims::new(h);
+        let layout = GadgetLayout::new(dims, false);
+        let horizon = (1u32 << h) / 2;
+        let r = ((horizon.saturating_sub(1)) as f64 * r_frac) as u32;
+        let mut server = 0usize;
+        for v in 0..layout.n() {
+            let now = layout.owner_at(v, r);
+            if now == Party::Server {
+                server += 1;
+            }
+            if r + 1 < horizon {
+                let next = layout.owner_at(v, r + 1);
+                // A node never moves from a player back to the server, and
+                // never switches players.
+                if now == Party::Alice {
+                    prop_assert_eq!(next, Party::Alice);
+                }
+                if now == Party::Bob {
+                    prop_assert_eq!(next, Party::Bob);
+                }
+            }
+        }
+        prop_assert!(server > 0, "server keeps the middle inside the horizon");
+    }
+
+    /// The radius gadget decides F′ for arbitrary inputs (h = 2).
+    #[test]
+    fn radius_gap(bits in proptest::collection::vec(any::<bool>(), 32)) {
+        let dims = GadgetDims::new(2);
+        let (alpha, beta) = paper_weights(&dims);
+        let (x, y) = bits.split_at(16);
+        let g = radius_gadget(&dims, x, y, alpha, beta);
+        let r = metrics::radius(&g.graph).expect_finite();
+        if f_radius(&dims, x, y) {
+            prop_assert!(r <= (2 * alpha).max(beta) + g.graph.n() as u64);
+        } else {
+            prop_assert!(r >= (alpha + beta).min(3 * alpha));
+        }
+    }
+
+    /// F is monotone: adding 1-bits to either input never flips 1 → 0.
+    #[test]
+    fn f_monotone(bits in proptest::collection::vec(any::<bool>(), 32), flip in 0usize..16) {
+        let dims = GadgetDims::new(2);
+        let (x, y) = bits.split_at(16);
+        let (mut x2, y2) = (x.to_vec(), y.to_vec());
+        x2[flip] = true;
+        if f_diameter(&dims, x, y) {
+            prop_assert!(f_diameter(&dims, &x2, &y2));
+        }
+    }
+
+    /// Approximate degree: monotone in ε (tighter needs more), bounded by
+    /// arity, and invariant under complement.
+    #[test]
+    fn degree_properties(k in 2usize..14, table_seed in any::<u64>()) {
+        // Random symmetric function from the seed bits.
+        let values: Vec<bool> = (0..=k).map(|i| (table_seed >> (i % 64)) & 1 == 1).collect();
+        let f = SymmetricFn::new(values.clone());
+        let not_f = SymmetricFn::new(values.iter().map(|b| !b).collect());
+        let d = approx_degree(&f, 1.0 / 3.0);
+        prop_assert!(d <= k);
+        prop_assert_eq!(d, approx_degree(&not_f, 1.0 / 3.0), "complement invariance");
+        let tighter = approx_degree(&f, 0.1);
+        prop_assert!(tighter >= d);
+        // The LP's error curve is non-increasing in the degree.
+        let mut prev = f64::INFINITY;
+        for deg in 0..=k {
+            let e = best_uniform_error(&f, deg);
+            prop_assert!(e <= prev + 1e-7);
+            prev = e;
+        }
+    }
+
+    /// The simplex solver on random bounded programs: optimal value is
+    /// feasible and no better than any sampled feasible point.
+    #[test]
+    fn lp_optimality_certificate(
+        c in proptest::collection::vec(-5.0f64..5.0, 2..4),
+        rows in proptest::collection::vec(proptest::collection::vec(0.1f64..3.0, 2..4), 2..5),
+        b in proptest::collection::vec(0.5f64..10.0, 2..5),
+    ) {
+        let n = c.len();
+        let m = rows.len().min(b.len());
+        let a: Vec<Vec<f64>> = rows[..m].iter().map(|r| {
+            let mut r = r.clone();
+            r.resize(n, 1.0);
+            r
+        }).collect();
+        let b = b[..m].to_vec();
+        // All-positive constraint matrix with x ≥ 0 and b > 0: bounded
+        // feasible region containing 0 whenever c ≥ 0; with mixed c it may
+        // be unbounded only if some c_j < 0 has an unconstrained column —
+        // impossible here since every row has positive coefficients.
+        match solve(&c, &a, &b) {
+            LpOutcome::Optimal { value, x } => {
+                // Primal feasibility.
+                for (row, &bi) in a.iter().zip(&b) {
+                    let lhs: f64 = row.iter().zip(&x).map(|(aij, xj)| aij * xj).sum();
+                    prop_assert!(lhs <= bi + 1e-6);
+                }
+                for &xj in &x {
+                    prop_assert!(xj >= -1e-9);
+                }
+                let cx: f64 = c.iter().zip(&x).map(|(cj, xj)| cj * xj).sum();
+                prop_assert!((cx - value).abs() < 1e-6);
+                // 0 is feasible, so value ≤ 0 whenever minimizing can use it.
+                prop_assert!(value <= 1e-9);
+            }
+            other => prop_assert!(false, "expected optimal, got {:?}", other),
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Analytic Grover dynamics.
+//!
+//! Uniform-amplitude Grover search over `N` items with `t` marked lives in
+//! the two-dimensional subspace spanned by the uniform superpositions of
+//! marked and unmarked items. After `j` iterations the success probability
+//! is exactly `sin²((2j+1)·θ)` with `θ = asin(√(t/N))`.
+//!
+//! These closed forms are what lets the CONGEST-scale experiments simulate
+//! quantum search *exactly* without a `2^n`-dimensional state; the
+//! statevector simulator ([`crate::statevector`]) cross-validates them.
+
+/// The Grover angle `θ = asin(√ρ)` for marked mass `ρ = t/N ∈ [0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `rho` is outside `[0, 1]`.
+pub fn angle(rho: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&rho), "ρ must be in [0,1], got {rho}");
+    rho.sqrt().asin()
+}
+
+/// Exact success probability of measuring a marked item after `iterations`
+/// Grover iterations, starting from the uniform superposition with marked
+/// mass `rho`.
+///
+/// # Panics
+///
+/// Panics if `rho` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use quantum_sim::grover;
+/// // One marked item among 4: a single iteration succeeds with certainty.
+/// let p = grover::success_probability(0.25, 1);
+/// assert!((p - 1.0).abs() < 1e-12);
+/// ```
+pub fn success_probability(rho: f64, iterations: u64) -> f64 {
+    let theta = angle(rho);
+    let s = (((2 * iterations + 1) as f64) * theta).sin();
+    s * s
+}
+
+/// The iteration count maximizing the success probability:
+/// `round(π/(4θ) − 1/2)` (0 when the initial mass is already ≥ 1/2).
+///
+/// # Panics
+///
+/// Panics if `rho` is outside `(0, 1]`.
+pub fn optimal_iterations(rho: f64) -> u64 {
+    assert!(rho > 0.0 && rho <= 1.0, "ρ must be in (0,1], got {rho}");
+    let theta = angle(rho);
+    let j = (std::f64::consts::FRAC_PI_4 / theta - 0.5).round();
+    if j <= 0.0 {
+        0
+    } else {
+        j as u64
+    }
+}
+
+/// Upper bound on iterations any sensible schedule uses for mass ≥ `rho`:
+/// `⌈π/(4·asin(√ρ))⌉ + 1` — the `O(√(1/ρ))` of Lemma 3.1.
+///
+/// # Panics
+///
+/// Panics if `rho` is outside `(0, 1]`.
+pub fn iteration_cap(rho: f64) -> u64 {
+    assert!(rho > 0.0 && rho <= 1.0, "ρ must be in (0,1], got {rho}");
+    (std::f64::consts::FRAC_PI_4 / angle(rho)).ceil() as u64 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statevector::grover_state;
+
+    #[test]
+    fn success_matches_statevector_single_marked() {
+        // N = 64, t = 1.
+        let rho = 1.0 / 64.0;
+        for j in 0..10u64 {
+            let analytic = success_probability(rho, j);
+            let s = grover_state(6, |i| i == 17, j as u32);
+            let measured = s.success_probability(|i| i == 17);
+            assert!(
+                (analytic - measured).abs() < 1e-9,
+                "j={j}: analytic {analytic} vs statevector {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn success_matches_statevector_many_marked() {
+        // N = 32, t = 5.
+        let marked = |i: usize| [3usize, 7, 11, 19, 30].contains(&i);
+        let rho = 5.0 / 32.0;
+        for j in 0..8u64 {
+            let analytic = success_probability(rho, j);
+            let s = grover_state(5, marked, j as u32);
+            let measured = s.success_probability(marked);
+            assert!(
+                (analytic - measured).abs() < 1e-9,
+                "j={j}: analytic {analytic} vs statevector {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_iterations_nearly_certain() {
+        for &(n, t) in &[(1024u64, 1u64), (4096, 3), (256, 2), (100, 1)] {
+            let rho = t as f64 / n as f64;
+            let j = optimal_iterations(rho);
+            let p = success_probability(rho, j);
+            assert!(p > 0.9, "N={n} t={t}: p={p} at j={j}");
+        }
+    }
+
+    #[test]
+    fn optimal_iterations_scales_like_sqrt() {
+        let j1 = optimal_iterations(1.0 / 100.0);
+        let j2 = optimal_iterations(1.0 / 10000.0);
+        let ratio = j2 as f64 / j1 as f64;
+        assert!((ratio - 10.0).abs() < 1.5, "√ scaling violated: {ratio}");
+    }
+
+    #[test]
+    fn large_mass_needs_no_iterations() {
+        assert_eq!(optimal_iterations(0.9), 0);
+        assert!(success_probability(0.9, 0) > 0.89);
+    }
+
+    #[test]
+    fn cap_dominates_optimal() {
+        for &rho in &[0.001, 0.01, 0.1, 0.5, 1.0] {
+            assert!(iteration_cap(rho) >= optimal_iterations(rho));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ρ must be in")]
+    fn invalid_rho_panics() {
+        let _ = success_probability(1.5, 1);
+    }
+}

@@ -1,0 +1,289 @@
+//! A small dense statevector simulator.
+//!
+//! This is the "honest low level": real amplitude evolution on up to ~20
+//! qubits, used to *validate* the analytic Grover model of
+//! [`crate::grover`] (experiment A1 in DESIGN.md) and to demonstrate the
+//! quantum primitives on small instances. The CONGEST-scale searches use the
+//! analytic model; the cross-validation tests in this module and in
+//! `tests/` are what justify that substitution.
+
+use crate::complex::Complex;
+use rand::Rng;
+
+/// A pure state of `k` qubits (`2^k` complex amplitudes).
+#[derive(Clone, Debug)]
+pub struct StateVector {
+    qubits: u32,
+    amps: Vec<Complex>,
+}
+
+impl StateVector {
+    /// The all-zeros basis state `|0…0⟩` on `qubits` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubits == 0` or `qubits > 24` (dense simulation limit).
+    pub fn zero(qubits: u32) -> StateVector {
+        assert!((1..=24).contains(&qubits), "qubits must be in 1..=24");
+        let mut amps = vec![Complex::ZERO; 1 << qubits];
+        amps[0] = Complex::ONE;
+        StateVector { qubits, amps }
+    }
+
+    /// The uniform superposition over all `2^k` basis states.
+    pub fn uniform(qubits: u32) -> StateVector {
+        let mut s = StateVector::zero(qubits);
+        for q in 0..qubits {
+            s.h(q);
+        }
+        s
+    }
+
+    /// Number of qubits.
+    pub fn qubits(&self) -> u32 {
+        self.qubits
+    }
+
+    /// Number of basis states (`2^qubits`).
+    pub fn dim(&self) -> usize {
+        self.amps.len()
+    }
+
+    /// The amplitude of basis state `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.dim()`.
+    pub fn amplitude(&self, i: usize) -> Complex {
+        self.amps[i]
+    }
+
+    /// The probability of measuring basis state `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        self.amps[i].norm_sqr()
+    }
+
+    /// Applies a Hadamard gate to qubit `q` (qubit 0 = least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= self.qubits()`.
+    pub fn h(&mut self, q: u32) {
+        assert!(q < self.qubits);
+        let bit = 1usize << q;
+        let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+        for i in 0..self.amps.len() {
+            if i & bit == 0 {
+                let a = self.amps[i];
+                let b = self.amps[i | bit];
+                self.amps[i] = (a + b).scale(inv_sqrt2);
+                self.amps[i | bit] = (a - b).scale(inv_sqrt2);
+            }
+        }
+    }
+
+    /// Applies a Pauli-X (NOT) gate to qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= self.qubits()`.
+    pub fn x(&mut self, q: u32) {
+        assert!(q < self.qubits);
+        let bit = 1usize << q;
+        for i in 0..self.amps.len() {
+            if i & bit == 0 {
+                self.amps.swap(i, i | bit);
+            }
+        }
+    }
+
+    /// Applies a Pauli-Z gate to qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= self.qubits()`.
+    pub fn z(&mut self, q: u32) {
+        assert!(q < self.qubits);
+        let bit = 1usize << q;
+        for i in 0..self.amps.len() {
+            if i & bit != 0 {
+                self.amps[i] = -self.amps[i];
+            }
+        }
+    }
+
+    /// Applies a CNOT with control `c` and target `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c == t` or either index is out of range.
+    pub fn cnot(&mut self, c: u32, t: u32) {
+        assert!(c < self.qubits && t < self.qubits && c != t);
+        let (cb, tb) = (1usize << c, 1usize << t);
+        for i in 0..self.amps.len() {
+            if i & cb != 0 && i & tb == 0 {
+                self.amps.swap(i, i | tb);
+            }
+        }
+    }
+
+    /// Phase oracle: flips the sign of every basis state `i` with
+    /// `marked(i) == true`.
+    pub fn oracle(&mut self, mut marked: impl FnMut(usize) -> bool) {
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if marked(i) {
+                *a = -*a;
+            }
+        }
+    }
+
+    /// Grover diffusion: inversion about the mean amplitude.
+    pub fn diffusion(&mut self) {
+        let mut mean = Complex::ZERO;
+        for a in &self.amps {
+            mean += *a;
+        }
+        mean = mean.scale(1.0 / self.amps.len() as f64);
+        for a in &mut self.amps {
+            *a = mean.scale(2.0) - *a;
+        }
+    }
+
+    /// One Grover iteration (oracle then diffusion).
+    pub fn grover_iteration(&mut self, mut marked: impl FnMut(usize) -> bool) {
+        self.oracle(&mut marked);
+        self.diffusion();
+    }
+
+    /// Total probability of measuring a state with `marked(i) == true`.
+    pub fn success_probability(&self, mut marked: impl FnMut(usize) -> bool) -> f64 {
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| marked(*i))
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Samples a measurement of the full register in the computational
+    /// basis (the state is *not* collapsed; callers clone if they need
+    /// post-measurement evolution).
+    pub fn measure<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let x: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (i, a) in self.amps.iter().enumerate() {
+            acc += a.norm_sqr();
+            if x < acc {
+                return i;
+            }
+        }
+        self.amps.len() - 1
+    }
+
+    /// L2 norm of the state (should be 1 up to float error).
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+    }
+}
+
+/// Runs textbook Grover search on `qubits` qubits with the given marked
+/// predicate for `iterations` rounds and returns the final state.
+pub fn grover_state(qubits: u32, marked: impl Fn(usize) -> bool, iterations: u32) -> StateVector {
+    let mut s = StateVector::uniform(qubits);
+    for _ in 0..iterations {
+        s.grover_iteration(&marked);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn zero_state_is_normalized() {
+        let s = StateVector::zero(3);
+        assert!((s.norm() - 1.0).abs() < EPS);
+        assert_eq!(s.probability(0), 1.0);
+    }
+
+    #[test]
+    fn uniform_superposition() {
+        let s = StateVector::uniform(4);
+        for i in 0..16 {
+            assert!((s.probability(i) - 1.0 / 16.0).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn h_twice_is_identity() {
+        let mut s = StateVector::zero(2);
+        s.h(0);
+        s.h(1);
+        s.h(0);
+        s.h(1);
+        assert!((s.probability(0) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn x_flips_basis_state() {
+        let mut s = StateVector::zero(3);
+        s.x(1);
+        assert!((s.probability(0b010) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn cnot_entangles() {
+        // Bell state: H on 0, CNOT(0 -> 1).
+        let mut s = StateVector::zero(2);
+        s.h(0);
+        s.cnot(0, 1);
+        assert!((s.probability(0b00) - 0.5).abs() < EPS);
+        assert!((s.probability(0b11) - 0.5).abs() < EPS);
+        assert!(s.probability(0b01) < EPS);
+        assert!(s.probability(0b10) < EPS);
+    }
+
+    #[test]
+    fn z_changes_phase_not_probability() {
+        let mut s = StateVector::uniform(1);
+        s.z(0);
+        assert!((s.probability(0) - 0.5).abs() < EPS);
+        assert!((s.amplitude(1).re + std::f64::consts::FRAC_1_SQRT_2).abs() < EPS);
+    }
+
+    #[test]
+    fn grover_single_marked_amplifies() {
+        // 5 qubits, N = 32, 1 marked: optimal ~ floor(π/4·√32) = 4 iterations.
+        let s = grover_state(5, |i| i == 13, 4);
+        assert!(s.probability(13) > 0.99, "p = {}", s.probability(13));
+    }
+
+    #[test]
+    fn grover_preserves_norm() {
+        let s = grover_state(6, |i| i % 7 == 0, 10);
+        assert!((s.norm() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn measurement_follows_distribution() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let s = grover_state(4, |i| i == 3, 3);
+        let p = s.probability(3);
+        assert!(p > 0.9);
+        let hits = (0..500).filter(|_| s.measure(&mut rng) == 3).count();
+        assert!(hits > 400, "hits = {hits}, expected ≈ {}", 500.0 * p);
+    }
+
+    #[test]
+    fn oracle_marks_only_requested() {
+        let mut s = StateVector::uniform(3);
+        s.oracle(|i| i == 5);
+        assert!(s.amplitude(5).re < 0.0);
+        assert!(s.amplitude(4).re > 0.0);
+    }
+}

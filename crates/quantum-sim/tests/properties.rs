@@ -1,0 +1,87 @@
+//! Property-based tests of the quantum substrate: statevector unitarity,
+//! the analytic Grover model against the statevector on arbitrary marked
+//! sets, and the search procedures' contracts.
+
+use proptest::prelude::*;
+use quantum_sim::grover;
+use quantum_sim::search::{bbht, durr_hoyer_max, durr_hoyer_min, lemma_3_1_budget};
+use quantum_sim::statevector::StateVector;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All gates preserve the norm.
+    #[test]
+    fn gates_are_unitary(ops in proptest::collection::vec((0u8..4, 0u32..4, 0u32..4), 1..30)) {
+        let mut s = StateVector::uniform(4);
+        for (gate, q, t) in ops {
+            match gate {
+                0 => s.h(q),
+                1 => s.x(q),
+                2 => s.z(q),
+                _ => if q != t { s.cnot(q, t) },
+            }
+        }
+        prop_assert!((s.norm() - 1.0).abs() < 1e-9);
+    }
+
+    /// The analytic model matches the statevector for arbitrary marked sets.
+    #[test]
+    fn analytic_matches_statevector(mask in 1u64..(1 << 16), iters in 0u32..12) {
+        let marked = move |i: usize| (mask >> i) & 1 == 1;
+        let t = mask.count_ones() as f64;
+        let rho = t / 16.0;
+        prop_assume!(rho <= 1.0);
+        let s = quantum_sim::statevector::grover_state(4, marked, iters);
+        let measured = s.success_probability(marked);
+        let analytic = grover::success_probability(rho, u64::from(iters));
+        prop_assert!((measured - analytic).abs() < 1e-9, "{measured} vs {analytic}");
+    }
+
+    /// BBHT always returns a genuinely marked item and respects its budget.
+    #[test]
+    fn bbht_contract(seed in any::<u64>(), total in 8usize..512, marked_every in 2usize..32, budget in 1u64..5000) {
+        let marked: Vec<usize> = (0..total).step_by(marked_every).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let out = bbht(total, &marked, &mut rng, budget);
+        prop_assert!(out.trace.grover_iterations <= budget);
+        if let Some(x) = out.found {
+            prop_assert!(marked.contains(&x));
+        }
+    }
+
+    /// Dürr–Høyer with unlimited budget returns the true extreme.
+    #[test]
+    fn durr_hoyer_exact_with_unbounded_budget(seed in any::<u64>(), n in 2usize..200) {
+        let values: Vec<u64> = (0..n).map(|i| ((i as u64) * 2654435761) % 10007).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mx = durr_hoyer_max(&values, &mut rng, u64::MAX);
+        prop_assert_eq!(values[mx.best], *values.iter().max().unwrap());
+        let mn = durr_hoyer_min(&values, &mut rng, u64::MAX);
+        prop_assert_eq!(values[mn.best], *values.iter().min().unwrap());
+    }
+
+    /// The Lemma 3.1 budget is monotone in both arguments.
+    #[test]
+    fn budget_monotone(rho_a in 0.001f64..0.5, factor in 1.1f64..4.0, delta in 0.01f64..0.4) {
+        let rho_b = (rho_a * factor).min(0.99);
+        prop_assert!(lemma_3_1_budget(rho_a, delta) >= lemma_3_1_budget(rho_b, delta));
+        prop_assert!(lemma_3_1_budget(rho_a, delta / 2.0) >= lemma_3_1_budget(rho_a, delta));
+    }
+
+    /// Success probability is periodic-bounded: never exceeds 1, and at the
+    /// optimal iteration count beats the initial mass.
+    #[test]
+    fn success_probability_bounds(t in 1u64..100, logn in 7u32..20) {
+        let n = 1u64 << logn;
+        prop_assume!(t * 4 < n);
+        let rho = t as f64 / n as f64;
+        let opt = grover::optimal_iterations(rho);
+        let p = grover::success_probability(rho, opt);
+        prop_assert!(p <= 1.0 + 1e-12);
+        prop_assert!(p >= rho, "amplification must not hurt");
+        prop_assert!(p > 0.8, "optimal iterations reach high success for small ρ");
+    }
+}

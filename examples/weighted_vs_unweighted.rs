@@ -1,0 +1,52 @@
+//! The Table 1 landscape on one instance family: quantum unweighted
+//! (√n·D-style), quantum weighted (Theorem 1.1), and the classical exact
+//! baseline (Θ̃(n)), at a few sizes — the separation the paper is about.
+//!
+//! ```sh
+//! cargo run --release --example weighted_vs_unweighted
+//! ```
+
+use congest_algos::baselines::{diameter_radius_exact, WeightMode};
+use quantum_congest_wdr::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), SimError> {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    println!("{:>5} {:>4} | {:>14} {:>14} {:>14} | {:>10} {:>10}",
+        "n", "D", "q-unweighted", "q-weighted", "classical", "model-qw", "model-cl");
+    println!("{}", "-".repeat(95));
+    for &n in &[24usize, 40, 56] {
+        // Cluster topology: D stays small as n grows.
+        let g = generators::cluster_ring(n, 4, 8, &mut rng);
+        let d = metrics::unweighted_diameter(&g);
+        let cfg = SimConfig::standard(n, g.max_weight()).with_max_rounds(500_000_000);
+
+        let uw = quantum_unweighted(&g, 0, Objective::Diameter, 0.05, cfg.clone(), &mut rng)?;
+        assert_eq!(uw.estimate, uw.exact, "unweighted evaluation is exact");
+
+        let mut params = WdrParams::for_benchmarks(n, d, 0.25);
+        params.ell = params.ell.min(4 * n);
+        let qw = quantum_weighted(&g, 0, Objective::Diameter, &params, cfg.clone(), &mut rng)?;
+
+        let (_, _, cl) = diameter_radius_exact(&g, 0, cfg, WeightMode::Weighted)?;
+
+        println!(
+            "{:>5} {:>4} | {:>14} {:>14} {:>14} | {:>10.0} {:>10.0}",
+            n,
+            d,
+            uw.total_rounds,
+            qw.total_rounds,
+            cl.rounds,
+            cost::quantum_weighted_upper(n, d, cost::Polylog::Drop),
+            cost::classical_tight(n, cost::Polylog::Drop),
+        );
+    }
+    println!(
+        "\nNote: at simulatable sizes the quantum algorithms' polylog constants dominate\n\
+         (see EXPERIMENTS.md); the reproducible claim is the *growth shape* — the\n\
+         quantum-weighted column grows like n^0.9·D^0.3 while the classical column\n\
+         grows like n (and the unweighted quantum column like √n·D)."
+    );
+    Ok(())
+}

@@ -1,0 +1,214 @@
+//! `wdr` — command-line front end for the workspace.
+//!
+//! ```text
+//! wdr gen <family> <n> [--weights W] [--seed S]      emit an edge list
+//! wdr info <file>                                    graph statistics
+//! wdr estimate <file> [--radius] [--method M] [...]  diameter/radius
+//! ```
+//!
+//! Graph files are whitespace-separated `u v w` lines (0-based node ids,
+//! positive integer weights); `#` starts a comment.
+
+use congest_algos::baselines::{diameter_radius_exact, two_approx_diameter_radius, WeightMode};
+use congest_algos::three_halves::three_halves_diameter;
+use congest_graph::{generators, metrics, WeightedGraph};
+use congest_sim::SimConfig;
+use congest_wdr::algorithm::{quantum_weighted, Objective};
+use congest_wdr::params::WdrParams;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("estimate") => cmd_estimate(&args[1..]),
+        Some("sssp") => cmd_sssp(&args[1..]),
+        Some("table1") => cmd_table1(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  wdr gen <path|cycle|grid|tree|er|cluster> <n> [--weights W] [--seed S]
+  wdr info <file>
+  wdr estimate <file> [--radius] [--method quantum|exact|two-approx|three-halves]
+               [--seed S] [--eps X] [--leader V]
+  wdr sssp <file> <source> [--eps X] [--seed S]
+  wdr table1 [--n N] [--d D]";
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid value for {name}: {v}")),
+    }
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let family = args.first().ok_or(USAGE)?;
+    let n: usize = args.get(1).ok_or(USAGE)?.parse().map_err(|_| "invalid n")?;
+    let w: u64 = parse_flag(args, "--weights", 8)?;
+    let seed: u64 = parse_flag(args, "--seed", 1)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let g = match family.as_str() {
+        "path" => generators::randomize_weights(&generators::path(n, 1), w, &mut rng),
+        "cycle" => generators::randomize_weights(&generators::cycle(n.max(3), 1), w, &mut rng),
+        "grid" => {
+            let side = (n as f64).sqrt().ceil() as usize;
+            generators::randomize_weights(&generators::grid(side, side, 1), w, &mut rng)
+        }
+        "tree" => generators::random_tree(n, w, &mut rng),
+        "er" => generators::erdos_renyi_connected(n, 3.0 / n as f64, w, &mut rng),
+        "cluster" => generators::cluster_ring(n, 4.min(n / 2).max(1), w, &mut rng),
+        other => return Err(format!("unknown family {other}")),
+    };
+    println!("# {} n={} m={} W={}", family, g.n(), g.m(), g.max_weight());
+    for e in g.edges() {
+        println!("{} {} {}", e.u, e.v, e.w);
+    }
+    Ok(())
+}
+
+fn load(path: &str) -> Result<WeightedGraph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut edges = Vec::new();
+    let mut max_node = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |s: Option<&str>| -> Result<u64, String> {
+            s.ok_or_else(|| format!("line {}: expected 'u v w'", lineno + 1))?
+                .parse()
+                .map_err(|_| format!("line {}: invalid number", lineno + 1))
+        };
+        let u = parse(it.next())? as usize;
+        let v = parse(it.next())? as usize;
+        let w = parse(it.next())?;
+        max_node = max_node.max(u).max(v);
+        edges.push((u, v, w));
+    }
+    if edges.is_empty() {
+        return Err("no edges in input".into());
+    }
+    WeightedGraph::from_edges(max_node + 1, edges).map_err(|e| e.to_string())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let g = load(args.first().ok_or(USAGE)?)?;
+    println!("nodes          : {}", g.n());
+    println!("edges          : {}", g.m());
+    println!("max weight W   : {}", g.max_weight());
+    println!("connected      : {}", g.is_connected());
+    if g.is_connected() {
+        println!("unweighted D   : {}", metrics::unweighted_diameter(&g));
+        println!("weighted D     : {}", metrics::diameter(&g));
+        println!("weighted R     : {}", metrics::radius(&g));
+        println!("hop diameter   : {}", metrics::hop_diameter(&g));
+    }
+    Ok(())
+}
+
+fn cmd_estimate(args: &[String]) -> Result<(), String> {
+    let g = load(args.first().ok_or(USAGE)?)?;
+    if !g.is_connected() {
+        return Err("graph must be connected (it is the communication network)".into());
+    }
+    let radius = args.iter().any(|a| a == "--radius");
+    let method = flag(args, "--method").unwrap_or_else(|| "quantum".into());
+    let seed: u64 = parse_flag(args, "--seed", 7)?;
+    let eps: f64 = parse_flag(args, "--eps", 0.25)?;
+    let leader: usize = parse_flag(args, "--leader", 0)?;
+    if leader >= g.n() {
+        return Err("leader out of range".into());
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let cfg = SimConfig::standard(g.n(), g.max_weight()).with_max_rounds(2_000_000_000);
+    let objective = if radius { Objective::Radius } else { Objective::Diameter };
+    let what = if radius { "radius" } else { "diameter" };
+    match method.as_str() {
+        "quantum" => {
+            let d = metrics::unweighted_diameter(&g).max(1);
+            let params = WdrParams::for_benchmarks(g.n(), d, eps);
+            let rep = quantum_weighted(&g, leader, objective, &params, cfg, &mut rng)
+                .map_err(|e| e.to_string())?;
+            println!("method          : quantum (Wu–Yao Theorem 1.1)");
+            println!("{what} estimate : {:.1}", rep.estimate);
+            println!("exact {what}    : {}", rep.exact);
+            println!("charged rounds  : {} (adaptive) / {} (budgeted)", rep.total_rounds, rep.budgeted_rounds);
+            println!("phase costs     : T0={} T1={} T2={}", rep.t0, rep.t1, rep.t2);
+        }
+        "exact" => {
+            let (d, r, stats) = diameter_radius_exact(&g, leader, cfg, WeightMode::Weighted)
+                .map_err(|e| e.to_string())?;
+            println!("method          : classical exact APSP");
+            println!("{what}          : {}", if radius { r } else { d });
+            println!("rounds          : {}", stats.rounds);
+        }
+        "two-approx" => {
+            let (d, r, stats) =
+                two_approx_diameter_radius(&g, leader, cfg).map_err(|e| e.to_string())?;
+            println!("method          : classical 2-approximation (single SSSP)");
+            println!("{what} estimate : {}", if radius { r } else { d });
+            println!("rounds          : {}", stats.rounds);
+        }
+        "three-halves" => {
+            let res = three_halves_diameter(&g, leader, cfg, &mut rng).map_err(|e| e.to_string())?;
+            println!("method          : classical 3/2-approximation (unweighted)");
+            let est = if radius { res.radius_estimate } else { res.diameter_estimate };
+            println!("{what} estimate : {est}");
+            println!("rounds          : {}", res.stats.rounds);
+        }
+        other => return Err(format!("unknown method {other}")),
+    }
+    Ok(())
+}
+
+fn cmd_sssp(args: &[String]) -> Result<(), String> {
+    let g = load(args.first().ok_or(USAGE)?)?;
+    if !g.is_connected() {
+        return Err("graph must be connected".into());
+    }
+    let source: usize = args.get(1).ok_or(USAGE)?.parse().map_err(|_| "invalid source")?;
+    if source >= g.n() {
+        return Err("source out of range".into());
+    }
+    let eps: f64 = parse_flag(args, "--eps", 0.25)?;
+    let seed: u64 = parse_flag(args, "--seed", 7)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let cfg = SimConfig::standard(g.n(), g.max_weight()).with_max_rounds(2_000_000_000);
+    let res = congest_algos::sssp::approx_sssp(&g, 0, source, eps, cfg, &mut rng)
+        .map_err(|e| e.to_string())?;
+    println!("# (1+ε)²-approximate distances from {source} (ε = {eps}); rounds = {}", res.stats.rounds);
+    println!("# node  approx_distance");
+    for (v, d) in res.dist.iter().enumerate() {
+        println!("{v} {d:.2}");
+    }
+    Ok(())
+}
+
+fn cmd_table1(args: &[String]) -> Result<(), String> {
+    let n: usize = parse_flag(args, "--n", 1usize << 20)?;
+    let d: usize = parse_flag(args, "--d", 20)?;
+    println!("Table 1 (Wu–Yao PODC 2022) evaluated at n = {n}, D = {d} (★ = this work):\n");
+    print!("{}", congest_wdr::table_one::to_markdown(n, d));
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! # quantum-congest-wdr
+//!
+//! A full reproduction of *Wu & Yao, "Quantum Complexity of Weighted
+//! Diameter and Radius in CONGEST Networks"* (PODC 2022) as a Rust
+//! workspace. This facade crate re-exports the member crates and hosts the
+//! runnable examples and cross-crate integration tests.
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`congest_graph`] | weighted graphs, shortest paths, `d̃^ℓ`, overlays, contraction, generators |
+//! | [`congest_sim`] | the synchronous CONGEST simulator (rounds, bandwidth, message logs) |
+//! | [`quantum_sim`] | statevector simulator, analytic Grover, BBHT, Dürr–Høyer |
+//! | [`congest_algos`] | Nanongkai's Algorithms 1–5 as node programs + classical baselines |
+//! | [`congest_wdr`] | **the paper's algorithm** (Theorem 1.1) + Table 1 cost models |
+//! | [`congest_lb`] | Server model, gadgets, Lemma 4.1 simulation, approximate degree (Theorem 1.2) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use quantum_congest_wdr::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let g = generators::erdos_renyi_connected(10, 0.35, 5, &mut rng);
+//! let d = metrics::unweighted_diameter(&g);
+//! let mut params = WdrParams::for_benchmarks(g.n(), d, 0.5);
+//! params.ell = g.n();
+//! params.r = 4.0;
+//! let cfg = SimConfig::standard(g.n(), g.max_weight()).with_max_rounds(100_000_000);
+//! let report = quantum_weighted(&g, 0, Objective::Diameter, &params, cfg, &mut rng)?;
+//! assert!(report.estimate >= report.exact - 1e-9 || report.estimate > 0.0);
+//! # Ok::<(), congest_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use congest_algos;
+pub use congest_graph;
+pub use congest_lb;
+pub use congest_sim;
+pub use congest_wdr;
+pub use quantum_sim;
+
+/// The most common imports, bundled.
+pub mod prelude {
+    pub use congest_graph::{generators, metrics, Dist, WeightedGraph};
+    pub use congest_sim::{RoundStats, SimConfig, SimError};
+    pub use congest_wdr::algorithm::{quantum_weighted, quantum_weighted_min_branch, Branch, Objective, WdrReport};
+    pub use congest_wdr::cost;
+    pub use congest_wdr::params::WdrParams;
+    pub use congest_wdr::unweighted::quantum_unweighted;
+}

@@ -1,0 +1,124 @@
+//! Cross-crate integration: the full Theorem 1.1 pipeline on several graph
+//! families, both objectives, with guarantee and accounting checks.
+
+use congest_algos::baselines::{diameter_radius_exact, WeightMode};
+use congest_graph::{generators, metrics, WeightedGraph};
+use congest_sim::SimConfig;
+use congest_wdr::algorithm::{quantum_weighted, Objective};
+use congest_wdr::framework::PhaseCosts;
+use congest_wdr::params::WdrParams;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn cfg(g: &WeightedGraph) -> SimConfig {
+    SimConfig::standard(g.n(), g.max_weight()).with_max_rounds(2_000_000_000)
+}
+
+fn families(seed: u64) -> Vec<(&'static str, WeightedGraph)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    vec![
+        ("erdos_renyi", generators::erdos_renyi_connected(14, 0.25, 7, &mut rng)),
+        ("cluster_ring", generators::cluster_ring(16, 4, 5, &mut rng)),
+        ("grid", generators::randomize_weights(&generators::grid(4, 4, 1), 6, &mut rng)),
+        ("tree", generators::random_tree(14, 9, &mut rng)),
+    ]
+}
+
+fn params_for(g: &WeightedGraph) -> WdrParams {
+    let d = metrics::unweighted_diameter(g).max(1);
+    let mut p = WdrParams::for_benchmarks(g.n(), d, 0.5);
+    p.ell = g.n(); // generous hop budget on small graphs keeps tests fast & valid
+    p.r = (g.n() as f64 * 0.3).max(2.0);
+    p
+}
+
+#[test]
+fn theorem_1_1_diameter_guarantee_across_families() {
+    for (name, g) in families(1) {
+        let p = params_for(&g);
+        let mut rng = ChaCha8Rng::seed_from_u64(100);
+        let rep = quantum_weighted(&g, 0, Objective::Diameter, &p, cfg(&g), &mut rng)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let cap = (1.0 + p.eps) * (1.0 + p.eps) * rep.exact + 1e-6;
+        assert!(rep.estimate <= cap, "{name}: estimate {} > (1+ε)²·D = {cap}", rep.estimate);
+        assert!(rep.estimate > 0.0, "{name}: vacuous estimate");
+    }
+}
+
+#[test]
+fn theorem_1_1_radius_guarantee_across_families() {
+    for (name, g) in families(2) {
+        let p = params_for(&g);
+        let mut rng = ChaCha8Rng::seed_from_u64(200);
+        let rep = quantum_weighted(&g, 0, Objective::Radius, &p, cfg(&g), &mut rng)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            rep.estimate >= rep.exact - 1e-6,
+            "{name}: radius estimate {} below exact {}",
+            rep.estimate,
+            rep.exact
+        );
+    }
+}
+
+#[test]
+fn round_accounting_is_reconstructible() {
+    let (_, g) = families(3).remove(0);
+    let p = params_for(&g);
+    let mut rng = ChaCha8Rng::seed_from_u64(300);
+    let rep = quantum_weighted(&g, 0, Objective::Diameter, &p, cfg(&g), &mut rng).unwrap();
+    let inner = PhaseCosts { t0: rep.t0, t_setup: rep.t1, t_eval: rep.t2 };
+    let outer = PhaseCosts {
+        t0: 0,
+        t_setup: rep.t_setup_outer,
+        t_eval: inner.charge_oblivious(rep.inner_budget),
+    };
+    assert_eq!(rep.total_rounds, outer.charge(rep.outer_trace));
+    assert!(rep.budgeted_rounds >= rep.t0, "budget includes at least one evaluation");
+}
+
+#[test]
+fn quantum_and_classical_agree_on_the_answer() {
+    // Same instance: the quantum estimate brackets the classical exact value.
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let g = generators::erdos_renyi_connected(12, 0.3, 8, &mut rng);
+    let (d_exact, r_exact, _) =
+        diameter_radius_exact(&g, 0, cfg(&g), WeightMode::Weighted).unwrap();
+    let p = params_for(&g);
+    let rep = quantum_weighted(&g, 0, Objective::Diameter, &p, cfg(&g), &mut rng).unwrap();
+    assert_eq!(rep.exact, d_exact.as_f64());
+    assert!(rep.estimate <= 2.25 * d_exact.as_f64() + 1e-6);
+    let rep = quantum_weighted(&g, 0, Objective::Radius, &p, cfg(&g), &mut rng).unwrap();
+    assert_eq!(rep.exact, r_exact.as_f64());
+}
+
+#[test]
+fn repeated_runs_mostly_hit_the_lower_side() {
+    // P[estimate ≥ D] should be high (the quantum search rarely misses all
+    // marked sets).
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let g = generators::erdos_renyi_connected(12, 0.3, 6, &mut rng);
+    let p = params_for(&g);
+    let mut hits = 0;
+    for seed in 0..8 {
+        let mut rng = ChaCha8Rng::seed_from_u64(1000 + seed);
+        let rep = quantum_weighted(&g, 0, Objective::Diameter, &p, cfg(&g), &mut rng).unwrap();
+        if rep.estimate >= rep.exact - 1e-6 {
+            hits += 1;
+        }
+    }
+    assert!(hits >= 6, "lower side hit only {hits}/8 times");
+}
+
+#[test]
+fn leader_choice_does_not_change_estimates_validity() {
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let g = generators::cluster_ring(16, 4, 5, &mut rng);
+    let p = params_for(&g);
+    for leader in [0usize, 7, 15] {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let rep =
+            quantum_weighted(&g, leader, Objective::Diameter, &p, cfg(&g), &mut rng).unwrap();
+        assert!(rep.estimate <= 2.25 * rep.exact + 1e-6, "leader {leader}");
+    }
+}

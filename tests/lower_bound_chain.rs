@@ -1,0 +1,110 @@
+//! Cross-crate integration: the Theorem 4.2/4.8 reduction chain, link by
+//! link, on real constructions — the gadget gap, the threshold decision,
+//! the Server-model simulation of a real CONGEST run, and the composed
+//! bound.
+
+use congest_algos::baselines::{diameter_radius_exact, WeightMode};
+use congest_graph::metrics;
+use congest_lb::formulas::{f_diameter, f_radius, f_via_gdt, GadgetDims};
+use congest_lb::gadget::{diameter_gadget, paper_weights, radius_gadget, GadgetNode};
+use congest_lb::reduction::{reduction_point, threshold_decision};
+use congest_lb::server::simulate_transcript;
+use congest_sim::SimConfig;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn full_diameter_reduction_decides_f() {
+    // An actual (3/2−ε)-approximation protocol — here: the exact classical
+    // APSP baseline run on the simulated gadget network — feeds the
+    // threshold decision, which recovers F(x, y) for every tried input.
+    let dims = GadgetDims::new(2);
+    let (alpha, beta) = paper_weights(&dims);
+    let mut rng = ChaCha8Rng::seed_from_u64(20);
+    for trial in 0..4 {
+        let density = [0.9, 0.5][trial % 2];
+        let x: Vec<bool> = (0..dims.input_len()).map(|_| rng.gen_bool(density)).collect();
+        let y: Vec<bool> = (0..dims.input_len()).map(|_| rng.gen_bool(density)).collect();
+        let g = diameter_gadget(&dims, &x, &y, alpha, beta);
+        let cfg = SimConfig::standard(g.graph.n(), g.graph.max_weight())
+            .with_max_rounds(50_000_000);
+        let (d, _, _) = diameter_radius_exact(&g.graph, 0, cfg, WeightMode::Weighted).unwrap();
+        // Any approximation in [D, 1.4·D] decides the same way.
+        let approx = 1.4 * d.as_f64();
+        assert_eq!(
+            threshold_decision(g.graph.n(), approx),
+            f_diameter(&dims, &x, &y),
+            "trial {trial}"
+        );
+    }
+}
+
+#[test]
+fn radius_reduction_decides_f_prime() {
+    let dims = GadgetDims::new(2);
+    let (alpha, beta) = paper_weights(&dims);
+    let mut rng = ChaCha8Rng::seed_from_u64(21);
+    for trial in 0..4 {
+        let density = [0.3, 0.01][trial % 2];
+        let x: Vec<bool> = (0..dims.input_len()).map(|_| rng.gen_bool(density)).collect();
+        let y: Vec<bool> = (0..dims.input_len()).map(|_| rng.gen_bool(density)).collect();
+        let g = radius_gadget(&dims, &x, &y, alpha, beta);
+        let r = metrics::radius(&g.graph).expect_finite() as f64;
+        assert_eq!(
+            threshold_decision(g.graph.n(), 1.4 * r),
+            f_radius(&dims, &x, &y),
+            "trial {trial}"
+        );
+    }
+}
+
+#[test]
+fn lemma_4_1_on_a_real_distance_protocol() {
+    // Run the real unweighted bounded-SSSP protocol from Alice's side on the
+    // h = 4 gadget, within the lemma's horizon, and verify the charge.
+    let dims = GadgetDims::new(4);
+    let (alpha, beta) = paper_weights(&dims);
+    let ones = vec![true; dims.input_len()];
+    let g = diameter_gadget(&dims, &ones, &ones, alpha, beta);
+    let u = g.graph.unweighted_view();
+    let src = g.layout.id(GadgetNode::A(3));
+    let limit = (1u64 << dims.h) / 2 - 2; // padded rounds = limit + 1 < 2^h/2
+    let cfg = SimConfig::standard(u.n(), 1).with_message_log();
+    let (_, stats) =
+        congest_algos::bounded_sssp::bounded_distance_sssp(&u, src, src, limit, cfg).unwrap();
+    let report = simulate_transcript(&g.layout, &stats.message_log);
+    assert!(report.within_horizon, "T must stay below 2^h/2");
+    for (i, &c) in report.per_round.iter().enumerate() {
+        assert!(c <= report.per_round_cap, "round {}: {c} > 2h", i + 1);
+    }
+    assert!(report.cost.bits <= report.bound_bits(dims.h, 64));
+    // The simulation is meaningful: far fewer charged than total messages.
+    assert!(report.cost.messages * 10 <= stats.messages);
+}
+
+#[test]
+fn gdt_factorization_holds_at_gadget_dims() {
+    let dims = GadgetDims::new(4);
+    let mut rng = ChaCha8Rng::seed_from_u64(22);
+    for _ in 0..50 {
+        let x: Vec<bool> = (0..dims.input_len()).map(|_| rng.gen_bool(0.85)).collect();
+        let y: Vec<bool> = (0..dims.input_len()).map(|_| rng.gen_bool(0.85)).collect();
+        assert_eq!(f_diameter(&dims, &x, &y), f_via_gdt(&dims, &x, &y));
+    }
+}
+
+#[test]
+fn composed_bound_sits_below_measured_upper_bound_shape() {
+    // Theorem 1.2's Ω̃(n^{2/3}) must stay below Theorem 1.1's Õ(n^{9/10})
+    // at every gadget height (consistency of the paper's Table 1).
+    for h in [2u32, 4, 6, 8, 10, 12, 14] {
+        let p = reduction_point(h);
+        let d = (p.n as f64).log2().ceil() as usize;
+        let upper = congest_wdr::cost::quantum_weighted_upper(p.n, d, congest_wdr::cost::Polylog::Drop);
+        assert!(
+            p.rounds <= upper,
+            "h={h}: lower bound {} exceeds upper bound {upper}",
+            p.rounds
+        );
+    }
+}

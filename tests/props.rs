@@ -1,0 +1,135 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! paper's invariants, spanning crates.
+
+use congest_graph::rounding::{approx_hop_bounded, RoundingScheme};
+use congest_graph::{contract, generators, metrics, shortest_path, Dist, WeightedGraph};
+use congest_lb::formulas::{f_diameter, gdt, ver, ver_encode_alice, ver_encode_bob, GadgetDims};
+use congest_lb::gadget::{diameter_gadget, paper_weights};
+use proptest::prelude::*;
+use quantum_sim::grover;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn arb_graph() -> impl Strategy<Value = WeightedGraph> {
+    (4usize..24, 0u64..u64::MAX, 1u64..20).prop_map(|(n, seed, w)| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        generators::erdos_renyi_connected(n, 0.2, w, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dijkstra, Bellman–Ford and Floyd–Warshall agree everywhere.
+    #[test]
+    fn shortest_path_algorithms_agree(g in arb_graph()) {
+        let fw = shortest_path::floyd_warshall(&g);
+        for s in g.nodes() {
+            let dj = shortest_path::dijkstra(&g, s);
+            let bf = shortest_path::bellman_ford(&g, s);
+            prop_assert_eq!(&dj, &bf);
+            prop_assert_eq!(&dj, &fw[s]);
+        }
+    }
+
+    /// The triangle inequality holds for the shortest-path metric.
+    #[test]
+    fn triangle_inequality(g in arb_graph()) {
+        let apsp = shortest_path::apsp(&g);
+        let n = g.n();
+        for a in 0..n.min(6) {
+            for b in 0..n {
+                for c in 0..n {
+                    prop_assert!(apsp[a][c] <= apsp[a][b] + apsp[b][c]);
+                }
+            }
+        }
+    }
+
+    /// `d^ℓ` is non-increasing in ℓ and sandwiched by `d` and `d^1`.
+    #[test]
+    fn hop_bounded_monotonicity(g in arb_graph(), s in 0usize..4, ell in 1usize..8) {
+        let s = s % g.n();
+        let full = shortest_path::dijkstra(&g, s);
+        let dl = shortest_path::hop_bounded(&g, s, ell);
+        let dl_next = shortest_path::hop_bounded(&g, s, ell + 1);
+        for v in g.nodes() {
+            prop_assert!(dl[v] >= full[v]);
+            prop_assert!(dl_next[v] <= dl[v]);
+        }
+    }
+
+    /// Lemma 3.2's sandwich for arbitrary (ℓ, ε).
+    #[test]
+    fn lemma_3_2_property(g in arb_graph(), ell in 2usize..10, eps_pct in 10u32..90) {
+        let eps = f64::from(eps_pct) / 100.0;
+        let scheme = RoundingScheme::new(ell, eps);
+        let s = 0;
+        let exact = shortest_path::dijkstra(&g, s);
+        let hop = shortest_path::hop_bounded(&g, s, ell);
+        let approx = approx_hop_bounded(&g, s, scheme);
+        for v in g.nodes() {
+            prop_assert!(approx[v] >= exact[v].as_f64() - 1e-6);
+            if hop[v].is_finite() {
+                prop_assert!(approx[v] <= (1.0 + eps) * hop[v].as_f64() + 1e-6);
+            }
+        }
+    }
+
+    /// Lemma 4.3: contraction sandwiches the diameter and radius.
+    #[test]
+    fn lemma_4_3_property(g in arb_graph()) {
+        let c = contract::contract_unit_edges(&g);
+        let n = Dist::from(g.n() as u64);
+        prop_assert!(metrics::diameter(&c.graph) <= metrics::diameter(&g));
+        prop_assert!(metrics::diameter(&g) <= metrics::diameter(&c.graph) + n);
+        prop_assert!(metrics::radius(&c.graph) <= metrics::radius(&g));
+        prop_assert!(metrics::radius(&g) <= metrics::radius(&c.graph) + n);
+    }
+
+    /// Grover success probability is a valid probability and peaks near the
+    /// optimal iteration count.
+    #[test]
+    fn grover_probability_properties(t in 1u64..40, logn in 6u32..16, j in 0u64..200) {
+        let n = 1u64 << logn;
+        prop_assume!(t < n / 2);
+        let rho = t as f64 / n as f64;
+        let p = grover::success_probability(rho, j);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+        let opt = grover::optimal_iterations(rho);
+        let p_opt = grover::success_probability(rho, opt);
+        prop_assert!(p_opt >= 1.0 - rho.sqrt() * 2.0 - 0.1, "optimal iterations must do well");
+    }
+
+    /// VER really is the promise restriction of GDT, for all promise inputs.
+    #[test]
+    fn ver_gdt_promise(a in 0u8..4, b in 0u8..4) {
+        prop_assert_eq!(gdt(ver_encode_alice(a), ver_encode_bob(b)), ver(a, b));
+    }
+
+    /// The h=2 diameter gadget decides F(x,y) for arbitrary inputs.
+    #[test]
+    fn gadget_gap_property(bits in proptest::collection::vec(any::<bool>(), 32)) {
+        let dims = GadgetDims::new(2);
+        let (alpha, beta) = paper_weights(&dims);
+        let (x, y) = bits.split_at(16);
+        let g = diameter_gadget(&dims, x, y, alpha, beta);
+        let d = metrics::diameter(&g.graph).expect_finite();
+        if f_diameter(&dims, x, y) {
+            prop_assert!(d <= 2 * alpha + g.graph.n() as u64);
+        } else {
+            prop_assert!(d >= (alpha + beta).min(3 * alpha));
+        }
+    }
+
+    /// Dist arithmetic is commutative, associative and monotone.
+    #[test]
+    fn dist_semigroup(a in 0u64..1u64 << 40, b in 0u64..1u64 << 40, c in 0u64..1u64 << 40) {
+        let (da, db, dc) = (Dist::from(a), Dist::from(b), Dist::from(c));
+        prop_assert_eq!(da + db, db + da);
+        prop_assert_eq!((da + db) + dc, da + (db + dc));
+        prop_assert!(da + db >= da);
+        prop_assert_eq!(da + Dist::ZERO, da);
+        prop_assert_eq!(da + Dist::INFINITY, Dist::INFINITY);
+    }
+}

@@ -1,0 +1,133 @@
+//! Cross-crate integration: every distributed toolkit phase reproduces the
+//! centralized reference bit-for-bit, across random instances — the bridge
+//! that justifies reference-valued quantum oracles (DESIGN.md §3).
+
+use congest_algos::bounded_sssp::bounded_hop_sssp;
+use congest_algos::multi_source::multi_source_bounded_hop;
+use congest_algos::overlay_net::embed_overlay;
+use congest_algos::skeleton::SkeletonState;
+use congest_graph::overlay::{sample_skeleton, Overlay, SkeletonDistances};
+use congest_graph::rounding::{approx_hop_bounded, RoundingScheme};
+use congest_graph::{generators, WeightedGraph};
+use congest_sim::SimConfig;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn cfg(g: &WeightedGraph) -> SimConfig {
+    SimConfig::standard(g.n(), g.max_weight()).with_max_rounds(2_000_000_000)
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9
+}
+
+#[test]
+fn algorithm_1_agrees_on_random_instances() {
+    let mut rng = ChaCha8Rng::seed_from_u64(10);
+    for trial in 0..5 {
+        let n = 10 + 2 * trial;
+        let g = generators::erdos_renyi_connected(n, 0.3, 5, &mut rng);
+        let scheme = RoundingScheme::new(n / 2, 0.5);
+        let s = trial % n;
+        let (got, _) = bounded_hop_sssp(&g, 0, s, scheme, cfg(&g)).unwrap();
+        let want = approx_hop_bounded(&g, s, scheme);
+        for v in g.nodes() {
+            assert!(close(got[v], want[v]), "trial {trial} v={v}: {} vs {}", got[v], want[v]);
+        }
+    }
+}
+
+#[test]
+fn algorithm_3_agrees_with_per_source_reference() {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let g = generators::cluster_ring(16, 4, 4, &mut rng);
+    let scheme = RoundingScheme::new(8, 0.5);
+    let sources = vec![1, 5, 9, 13];
+    let res = multi_source_bounded_hop(&g, 0, &sources, scheme, cfg(&g), &mut rng).unwrap();
+    assert!(!res.failed);
+    for (j, &s) in sources.iter().enumerate() {
+        let want = approx_hop_bounded(&g, s, scheme);
+        for v in g.nodes() {
+            assert!(close(res.approx[v][j], want[v]), "s={s} v={v}");
+        }
+    }
+    // The exact wire representation decodes to the same floats.
+    for v in g.nodes() {
+        for j in 0..sources.len() {
+            match res.repr[v][j] {
+                Some((scale, raw)) => {
+                    assert!(close(res.approx[v][j], raw as f64 * scheme.unscale(scale)));
+                }
+                None => assert!(res.approx[v][j].is_infinite()),
+            }
+        }
+    }
+}
+
+#[test]
+fn algorithm_4_reconstructs_reference_overlays() {
+    let mut rng = ChaCha8Rng::seed_from_u64(12);
+    for trial in 0..3 {
+        let g = generators::erdos_renyi_connected(12, 0.35, 6, &mut rng);
+        let skeleton = sample_skeleton(g.n(), 0.4, &mut rng);
+        if skeleton.len() < 3 {
+            continue;
+        }
+        let scheme = RoundingScheme::new(g.n(), 0.5);
+        let k = 2;
+        let emb = embed_overlay(&g, 0, &skeleton, scheme, k, cfg(&g), &mut rng).unwrap();
+        let reference = Overlay::from_skeleton(&g, &emb.skeleton, scheme).shortcut(k);
+        for i in 0..emb.skeleton.len() {
+            for j in 0..emb.skeleton.len() {
+                assert!(
+                    close(emb.shortcut.weight(i, j), reference.weight(i, j)),
+                    "trial {trial} w''({i},{j})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn full_pipeline_eccentricities_agree() {
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let g = generators::erdos_renyi_connected(13, 0.3, 5, &mut rng);
+    let skeleton = vec![0, 4, 8, 12];
+    let scheme = RoundingScheme::new(g.n(), 0.5);
+    let k = 2;
+    let st = SkeletonState::initialize(&g, 0, &skeleton, scheme, k, cfg(&g), &mut rng).unwrap();
+    let sd = SkeletonDistances::compute(&g, &skeleton, scheme, k);
+    for &s in &skeleton {
+        let (got, stats) = st.eccentricity(&g, s, cfg(&g)).unwrap();
+        assert!(close(got, sd.approx_eccentricity(s)), "ẽ({s})");
+        assert!(stats.rounds > 0);
+    }
+}
+
+#[test]
+fn lemma_3_5_phase_costs_are_parameter_oblivious() {
+    // Two different sets of the same size must have (nearly) identical
+    // measured phase costs — the property the Measured charging mode
+    // relies on (DESIGN.md §3).
+    let mut rng = ChaCha8Rng::seed_from_u64(14);
+    let g = generators::cluster_ring(16, 4, 4, &mut rng);
+    let scheme = RoundingScheme::new(12, 0.5);
+    let sets = [vec![0usize, 4, 8, 12], vec![1usize, 5, 9, 13]];
+    let mut costs = Vec::new();
+    for set in &sets {
+        let st = SkeletonState::initialize(&g, 0, set, scheme, 2, cfg(&g), &mut rng).unwrap();
+        let t0 = st.init_stats().rounds;
+        let (_, s1) = st.setup_data(&g, set[1], cfg(&g)).unwrap();
+        costs.push((t0, s1.rounds));
+    }
+    let (t0a, t1a) = costs[0];
+    let (t0b, t1b) = costs[1];
+    // Identical parameters ⇒ the schedules differ only in the random delays
+    // and in data-dependent announcement counts; both are small.
+    let within = |x: usize, y: usize, tol: f64| {
+        let (x, y) = (x as f64, y as f64);
+        (x - y).abs() / x.max(y) < tol
+    };
+    assert!(within(t0a, t0b, 0.2), "T₀: {t0a} vs {t0b}");
+    assert!(within(t1a, t1b, 0.35), "T₁: {t1a} vs {t1b}");
+}
