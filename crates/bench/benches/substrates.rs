@@ -15,11 +15,13 @@ use congest_graph::{generators, shortest_path};
 use congest_lb::degree::{approx_degree, SymmetricFn};
 use congest_lb::formulas::GadgetDims;
 use congest_lb::gadget::{diameter_gadget, paper_weights};
-use congest_sim::SimConfig;
+use congest_sim::telemetry::{CountingTracer, NullTracer};
+use congest_sim::{primitives, SimConfig, Telemetry};
 use quantum_sim::search::{bbht, durr_hoyer_max};
 use quantum_sim::statevector::grover_state;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 
 fn graph_kernels(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(1);
@@ -86,6 +88,31 @@ fn quantum_search(c: &mut Criterion) {
     });
 }
 
+/// Tracer overhead on a simulation-heavy workload: the disabled default
+/// (`Telemetry::off`), an attached-but-discarding `NullTracer`, and the
+/// aggregate-counting `CountingTracer` must all land within noise of each
+/// other — the telemetry layer's zero-cost-when-off claim, measured.
+fn telemetry_overhead(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let g = generators::erdos_renyi_connected(128, 0.05, 8, &mut rng);
+    let off = SimConfig::standard(g.n(), g.max_weight());
+    c.bench_function("bfs_tree_n128_telemetry_off", |b| {
+        b.iter(|| primitives::bfs_tree(black_box(&g), 0, off.clone()).unwrap())
+    });
+    let null = off
+        .clone()
+        .with_telemetry(Telemetry::new(Arc::new(NullTracer)));
+    c.bench_function("bfs_tree_n128_null_tracer", |b| {
+        b.iter(|| primitives::bfs_tree(black_box(&g), 0, null.clone()).unwrap())
+    });
+    let counting = off
+        .clone()
+        .with_telemetry(Telemetry::new(Arc::new(CountingTracer::default())));
+    c.bench_function("bfs_tree_n128_counting_tracer", |b| {
+        b.iter(|| primitives::bfs_tree(black_box(&g), 0, counting.clone()).unwrap())
+    });
+}
+
 fn lower_bound_kernels(c: &mut Criterion) {
     c.bench_function("approx_degree_and_25", |b| {
         b.iter(|| approx_degree(&SymmetricFn::and(25), 1.0 / 3.0))
@@ -103,6 +130,7 @@ criterion_group!(
     graph_kernels,
     congest_simulation,
     quantum_search,
+    telemetry_overhead,
     lower_bound_kernels
 );
 criterion_main!(benches);

@@ -26,23 +26,59 @@ fn main() {
     let run = |name: &str| only.as_ref().is_none_or(|xs| xs.iter().any(|x| x == name));
     let mut outputs = Vec::new();
     let t0 = std::time::Instant::now();
-    if run("t1") { eprintln!("[tables] running T1…"); outputs.push(experiments::t1()); }
-    if run("e1") { eprintln!("[tables] running E1…"); outputs.push(experiments::e1(quick)); }
-    if run("e2") { eprintln!("[tables] running E2…"); outputs.push(experiments::e2(quick)); }
-    if run("e3") { eprintln!("[tables] running E3…"); outputs.push(experiments::e3(quick)); }
-    if run("e4") { eprintln!("[tables] running E4…"); outputs.push(experiments::e4(quick)); }
-    if run("e5") { eprintln!("[tables] running E5…"); outputs.push(experiments::e5(quick)); }
-    if run("e6") { eprintln!("[tables] running E6…"); outputs.push(experiments::e6(quick)); }
+    if run("t1") {
+        eprintln!("[tables] running T1…");
+        outputs.push(experiments::t1());
+    }
+    if run("e1") {
+        eprintln!("[tables] running E1…");
+        outputs.push(experiments::e1(quick));
+    }
+    if run("e2") {
+        eprintln!("[tables] running E2…");
+        outputs.push(experiments::e2(quick));
+    }
+    if run("e3") {
+        eprintln!("[tables] running E3…");
+        outputs.push(experiments::e3(quick));
+    }
+    if run("e4") {
+        eprintln!("[tables] running E4…");
+        outputs.push(experiments::e4(quick));
+    }
+    if run("e5") {
+        eprintln!("[tables] running E5…");
+        outputs.push(experiments::e5(quick));
+    }
+    if run("e6") {
+        eprintln!("[tables] running E6…");
+        outputs.push(experiments::e6(quick));
+    }
     if run("f") || run("figures") {
         eprintln!("[tables] running F1–F4…");
         outputs.push(experiments::figures(&out_dir.join("figures")));
     }
-    if run("a1") { eprintln!("[tables] running A1…"); outputs.push(experiments::a1()); }
-    if run("a2") { eprintln!("[tables] running A2…"); outputs.push(experiments::a2(quick)); }
-    if run("a3") { eprintln!("[tables] running A3…"); outputs.push(experiments::a3(quick)); }
-    if run("a4") { eprintln!("[tables] running A4…"); outputs.push(experiments::a4()); }
+    if run("a1") {
+        eprintln!("[tables] running A1…");
+        outputs.push(experiments::a1());
+    }
+    if run("a2") {
+        eprintln!("[tables] running A2…");
+        outputs.push(experiments::a2(quick));
+    }
+    if run("a3") {
+        eprintln!("[tables] running A3…");
+        outputs.push(experiments::a3(quick));
+    }
+    if run("a4") {
+        eprintln!("[tables] running A4…");
+        outputs.push(experiments::a4());
+    }
 
-    println!("# Wu–Yao PODC 2022 — regenerated evaluation ({} mode)\n", if quick { "quick" } else { "full" });
+    println!(
+        "# Wu–Yao PODC 2022 — regenerated evaluation ({} mode)\n",
+        if quick { "quick" } else { "full" }
+    );
     for out in &outputs {
         for t in &out.tables {
             println!("{}", t.to_markdown());
@@ -52,5 +88,9 @@ fn main() {
         }
         write_csv(out, &out_dir).expect("write CSVs");
     }
-    eprintln!("[tables] done in {:.1}s; CSVs in {}", t0.elapsed().as_secs_f64(), out_dir.display());
+    eprintln!(
+        "[tables] done in {:.1}s; CSVs in {}",
+        t0.elapsed().as_secs_f64(),
+        out_dir.display()
+    );
 }

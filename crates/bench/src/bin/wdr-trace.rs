@@ -1,0 +1,48 @@
+//! `wdr-trace` — render a JSONL telemetry trace as tables.
+//!
+//! Usage:
+//!
+//! ```text
+//! wdr-trace <trace.jsonl> [--csv]
+//! ```
+//!
+//! Reads a trace written by `congest_sim::telemetry::JsonlTracer`, rebuilds
+//! the phase tree, and prints the per-phase breakdown, the hottest channels
+//! (when the trace contains `ChannelProfile` events), and the quantum search
+//! invocations — as markdown by default, as CSV with `--csv`.
+
+use std::process::ExitCode;
+use wdr_bench::trace::{parse_trace, render_csv, render_markdown};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [path] = paths.as_slice() else {
+        eprintln!("usage: wdr-trace <trace.jsonl> [--csv]");
+        return ExitCode::from(2);
+    };
+    let input = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("wdr-trace: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = match parse_trace(&input) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("wdr-trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!(
+        "{}",
+        if csv {
+            render_csv(&events)
+        } else {
+            render_markdown(&events)
+        }
+    );
+    ExitCode::SUCCESS
+}

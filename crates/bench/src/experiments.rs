@@ -13,12 +13,11 @@ use congest_graph::overlay::SkeletonDistances;
 use congest_graph::rounding::RoundingScheme;
 use congest_graph::{contract, generators, metrics, WeightedGraph};
 use congest_lb::formulas::{f_diameter, f_radius, GadgetDims};
-use congest_lb::gadget::{
-    diameter_gadget, node_count, paper_weights, radius_gadget, GadgetNode,
-};
+use congest_lb::gadget::{diameter_gadget, node_count, paper_weights, radius_gadget, GadgetNode};
 use congest_lb::reduction::{measured_bound, reduction_point};
 use congest_lb::server::simulate_transcript;
-use congest_sim::SimConfig;
+use congest_sim::telemetry::{build_phase_tree, CollectingTracer, PhaseNode};
+use congest_sim::{SimConfig, Telemetry};
 use congest_wdr::algorithm::{quantum_weighted, Objective};
 use congest_wdr::cost::{self, Polylog};
 use congest_wdr::params::WdrParams;
@@ -46,12 +45,53 @@ fn sizes(quick: bool) -> Vec<usize> {
     }
 }
 
+/// Total subtree rounds of every phase named `name` in the tree.
+fn phase_rounds(tree: &PhaseNode, name: &str) -> usize {
+    tree.walk()
+        .iter()
+        .filter(|(_, node)| node.name == name)
+        .map(|(_, node)| node.subtree().rounds)
+        .sum()
+}
+
+/// Re-runs one representative instance with a collecting tracer and reads
+/// the measured `T₀ / T₁ / T₂` off the phase tree (Lemma 3.5's accounting).
+fn phase_breakdown(
+    g: &WeightedGraph,
+    objective: Objective,
+    params: &WdrParams,
+    seed: u64,
+) -> String {
+    let tracer = std::sync::Arc::new(CollectingTracer::default());
+    let config = cfg(g).with_telemetry(Telemetry::new(tracer.clone()));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    if quantum_weighted(g, 0, objective, params, config, &mut rng).is_err() {
+        return "-".to_string();
+    }
+    let tree = build_phase_tree(&tracer.events());
+    format!(
+        "{}/{}/{}",
+        phase_rounds(&tree, "skeleton_init"),
+        phase_rounds(&tree, "skeleton_setup"),
+        phase_rounds(&tree, "skeleton_evaluate")
+    )
+}
+
 fn weighted_scaling(objective: Objective, id: &str, title: &str, quick: bool) -> ExperimentOutput {
     let seeds: u64 = if quick { 6 } else { 10 };
     let mut table = Table::new(
         id,
         title,
-        &["n", "D", "budgeted rounds", "adaptive rounds (mean)", "ratio (max)", "composed model", "headline n^0.9·D^0.3"],
+        &[
+            "n",
+            "D",
+            "budgeted rounds",
+            "adaptive rounds (mean)",
+            "ratio (max)",
+            "composed model",
+            "headline n^0.9·D^0.3",
+            "phase rounds T0/T1/T2",
+        ],
     );
     let mut points = Vec::new();
     let mut adaptive_points = Vec::new();
@@ -71,7 +111,11 @@ fn weighted_scaling(objective: Objective, id: &str, title: &str, quick: bool) ->
                 .expect("simulation succeeds");
             rounds_sum += rep.total_rounds as f64;
             budgeted_sum += rep.budgeted_rounds as f64;
-            let ratio = if rep.exact > 0.0 { rep.estimate / rep.exact } else { 1.0 };
+            let ratio = if rep.exact > 0.0 {
+                rep.estimate / rep.exact
+            } else {
+                1.0
+            };
             ratio_max = ratio_max.max(ratio);
             assert!(
                 ratio <= (1.0 + EPS) * (1.0 + EPS) + 1e-6,
@@ -81,11 +125,14 @@ fn weighted_scaling(objective: Objective, id: &str, title: &str, quick: bool) ->
         let mean = rounds_sum / seeds as f64;
         let budgeted = (budgeted_sum / seeds as f64) as usize;
         let params = WdrParams::for_benchmarks(n, d_used.max(1), EPS);
-        let composed =
-            cost::composed_cost(n, d_used.max(1), params.eps, params.r, params.k as f64);
+        let composed = cost::composed_cost(n, d_used.max(1), params.eps, params.r, params.k as f64);
         points.push((n as f64, budgeted as f64));
         adaptive_points.push((n as f64, mean));
         model_points.push((n as f64, composed));
+        let breakdown = {
+            let g = family(n, 4, 1000);
+            phase_breakdown(&g, objective, &params, 77 * n as u64)
+        };
         table.push(vec![
             n.to_string(),
             d_used.to_string(),
@@ -93,7 +140,11 @@ fn weighted_scaling(objective: Objective, id: &str, title: &str, quick: bool) ->
             format!("{mean:.0}"),
             format!("{ratio_max:.4}"),
             format!("{composed:.0}"),
-            format!("{:.0}", cost::quantum_weighted_upper(n, d_used, Polylog::Drop)),
+            format!(
+                "{:.0}",
+                cost::quantum_weighted_upper(n, d_used, Polylog::Drop)
+            ),
+            breakdown,
         ]);
     }
     let slope = loglog_slope(&points);
@@ -108,7 +159,10 @@ fn weighted_scaling(objective: Objective, id: &str, title: &str, quick: bool) ->
          Approximation guarantee (1+ε)² = {:.3} never violated.",
         (1.0 + EPS) * (1.0 + EPS)
     );
-    ExperimentOutput { tables: vec![table], artifacts: vec![] }
+    ExperimentOutput {
+        tables: vec![table],
+        artifacts: vec![],
+    }
 }
 
 /// E1: Table 1 row — quantum weighted diameter upper bound, measured.
@@ -137,7 +191,14 @@ pub fn e3(quick: bool) -> ExperimentOutput {
     let mut table = Table::new(
         "E3",
         "D-sweep at fixed n: the min{n^0.9·D^0.3, n} branches",
-        &["n", "hubs", "D", "rounds", "model min-branch", "crossover D = n^⅓"],
+        &[
+            "n",
+            "hubs",
+            "D",
+            "rounds",
+            "model min-branch",
+            "crossover D = n^⅓",
+        ],
     );
     let mut points = Vec::new();
     for hubs in [2usize, 4, 8, 12] {
@@ -164,7 +225,10 @@ pub fn e3(quick: bool) -> ExperimentOutput {
          (the D^0.3 regime, inflated by the D-dependent phases of Lemma 3.5).",
         cost::crossover_d(n)
     );
-    ExperimentOutput { tables: vec![table], artifacts: vec![] }
+    ExperimentOutput {
+        tables: vec![table],
+        artifacts: vec![],
+    }
 }
 
 /// E4: the classical `Θ̃(n)` rows, measured (exact APSP baselines).
@@ -172,7 +236,14 @@ pub fn e4(quick: bool) -> ExperimentOutput {
     let mut table = Table::new(
         "E4",
         "Classical exact diameter/radius: measured rounds vs n (classical rows of Table 1)",
-        &["n", "D", "rounds (weighted)", "rounds (unweighted)", "rounds (2-approx)", "model n"],
+        &[
+            "n",
+            "D",
+            "rounds (weighted)",
+            "rounds (unweighted)",
+            "rounds (2-approx)",
+            "model n",
+        ],
     );
     let mut pts_w = Vec::new();
     for n in sizes(quick) {
@@ -207,7 +278,10 @@ pub fn e4(quick: bool) -> ExperimentOutput {
          (Table 1's √n·D^(1/4)+D row [8] — here a single SSSP + convergecast). \
          Measured weighted-APSP slope: **{slope:.2}** (≈ 1 expected)."
     );
-    ExperimentOutput { tables: vec![table], artifacts: vec![] }
+    ExperimentOutput {
+        tables: vec![table],
+        artifacts: vec![],
+    }
 }
 
 /// E5: the quantum **unweighted** rows, measured (`√n·D` execution) plus
@@ -216,7 +290,15 @@ pub fn e5(quick: bool) -> ExperimentOutput {
     let mut table = Table::new(
         "E5",
         "Quantum unweighted diameter: measured rounds vs n (LGM row of Table 1)",
-        &["n", "D", "budgeted rounds", "adaptive (mean)", "found exact", "model √n·D", "LGM model √(nD)"],
+        &[
+            "n",
+            "D",
+            "budgeted rounds",
+            "adaptive (mean)",
+            "found exact",
+            "model √n·D",
+            "LGM model √(nD)",
+        ],
     );
     let seeds: u64 = if quick { 4 } else { 8 };
     let mut points = Vec::new();
@@ -250,8 +332,14 @@ pub fn e5(quick: bool) -> ExperimentOutput {
             format!("{budgeted:.0}"),
             format!("{mean:.0}"),
             format!("{exact_hits}/{seeds}"),
-            format!("{:.0}", cost::grover_bfs_unweighted_upper(n, d_used, Polylog::Drop)),
-            format!("{:.0}", cost::lgm_unweighted_upper(n, d_used, Polylog::Drop)),
+            format!(
+                "{:.0}",
+                cost::grover_bfs_unweighted_upper(n, d_used, Polylog::Drop)
+            ),
+            format!(
+                "{:.0}",
+                cost::lgm_unweighted_upper(n, d_used, Polylog::Drop)
+            ),
         ]);
     }
     let slope = loglog_slope(&points);
@@ -266,7 +354,14 @@ pub fn e5(quick: bool) -> ExperimentOutput {
     let mut t2 = Table::new(
         "E5b",
         "Classical 3/2-approx unweighted diameter (Õ(√n + D) rows of Table 1)",
-        &["n", "D", "rounds", "estimate ∈ [⌊2D/3⌋, D]", "radius est ∈ [R, 2R]", "model √n + D"],
+        &[
+            "n",
+            "D",
+            "rounds",
+            "estimate ∈ [⌊2D/3⌋, D]",
+            "radius est ∈ [R, 2R]",
+            "model √n + D",
+        ],
     );
     let mut pts2 = Vec::new();
     for n in sizes(quick) {
@@ -296,7 +391,10 @@ pub fn e5(quick: bool) -> ExperimentOutput {
          classical approximation/round trade-off. Measured slope: **{slope2:.2}** \
          (≈ 0.5 + the log-factor sample size; linear exact APSP is E4)."
     );
-    ExperimentOutput { tables: vec![table, t2], artifacts: vec![] }
+    ExperimentOutput {
+        tables: vec![table, t2],
+        artifacts: vec![],
+    }
 }
 
 /// E6: the lower-bound chain of Theorem 1.2, measured link by link.
@@ -309,28 +407,49 @@ pub fn e6(quick: bool) -> ExperimentOutput {
     let mut gap = Table::new(
         "E6a",
         "Gadget gap (Lemmas 4.4 & 4.9): diameter/radius decide F/F′ on every tried input",
-        &["inputs tried", "F=1 cases", "F=0 cases", "diameter gap holds", "radius gap holds"],
+        &[
+            "inputs tried",
+            "F=1 cases",
+            "F=0 cases",
+            "diameter gap holds",
+            "radius gap holds",
+        ],
     );
     let trials = if quick { 12 } else { 40 };
     let mut rng = ChaCha8Rng::seed_from_u64(60);
     let (mut ones, mut zeros, mut d_ok, mut r_ok) = (0, 0, 0, 0);
     for t in 0..trials {
         let density = [0.95, 0.5, 0.15][t % 3];
-        let x: Vec<bool> = (0..dims.input_len()).map(|_| rng.gen_bool(density)).collect();
-        let y: Vec<bool> = (0..dims.input_len()).map(|_| rng.gen_bool(density)).collect();
+        let x: Vec<bool> = (0..dims.input_len())
+            .map(|_| rng.gen_bool(density))
+            .collect();
+        let y: Vec<bool> = (0..dims.input_len())
+            .map(|_| rng.gen_bool(density))
+            .collect();
         let fd = f_diameter(&dims, &x, &y);
-        if fd { ones += 1 } else { zeros += 1 }
+        if fd {
+            ones += 1
+        } else {
+            zeros += 1
+        }
         let g = diameter_gadget(&dims, &x, &y, alpha, beta);
         let d = metrics::diameter(&g.graph).expect_finite();
         let n = g.graph.n() as u64;
-        let holds = if fd { d <= 2 * alpha + n } else { d >= (alpha + beta).min(3 * alpha) };
+        let holds = if fd {
+            d <= 2 * alpha + n
+        } else {
+            d >= (alpha + beta).min(3 * alpha)
+        };
         d_ok += usize::from(holds);
         let rg = radius_gadget(&dims, &x, &y, alpha, beta);
         let r = metrics::radius(&rg.graph).expect_finite();
         let fr = f_radius(&dims, &x, &y);
         let rn = rg.graph.n() as u64;
-        let holds_r =
-            if fr { r <= (2 * alpha).max(beta) + rn } else { r >= (alpha + beta).min(3 * alpha) };
+        let holds_r = if fr {
+            r <= (2 * alpha).max(beta) + rn
+        } else {
+            r >= (alpha + beta).min(3 * alpha)
+        };
         r_ok += usize::from(holds_r);
     }
     gap.push(vec![
@@ -350,7 +469,15 @@ pub fn e6(quick: bool) -> ExperimentOutput {
     let mut sim = Table::new(
         "E6b",
         "Simulation Lemma 4.1: charged Alice/Bob communication of real CONGEST runs",
-        &["h", "n", "rounds T", "total msgs", "charged msgs", "max/round (cap 2h)", "charged bits ≤ 2ThB"],
+        &[
+            "h",
+            "n",
+            "rounds T",
+            "total msgs",
+            "charged msgs",
+            "max/round (cap 2h)",
+            "charged bits ≤ 2ThB",
+        ],
     );
     let heights: &[u32] = if quick { &[4] } else { &[4, 6] };
     for &h in heights {
@@ -391,14 +518,25 @@ pub fn e6(quick: bool) -> ExperimentOutput {
         "deg_{1/3} of AND_k / OR_k (Lemma 4.6's Θ(√k)), computed exactly by LP",
         &["k", "deg(AND_k)", "deg(OR_k)", "√k"],
     );
-    let ks: &[usize] = if quick { &[1, 4, 9, 16, 25] } else { &[1, 4, 9, 16, 25, 36, 49] };
+    let ks: &[usize] = if quick {
+        &[1, 4, 9, 16, 25]
+    } else {
+        &[1, 4, 9, 16, 25, 36, 49]
+    };
     let mut fit_pts = Vec::new();
     for &k in ks {
-        let da = congest_lb::degree::approx_degree(&congest_lb::degree::SymmetricFn::and(k), 1.0 / 3.0);
-        let do_ = congest_lb::degree::approx_degree(&congest_lb::degree::SymmetricFn::or(k), 1.0 / 3.0);
+        let da =
+            congest_lb::degree::approx_degree(&congest_lb::degree::SymmetricFn::and(k), 1.0 / 3.0);
+        let do_ =
+            congest_lb::degree::approx_degree(&congest_lb::degree::SymmetricFn::or(k), 1.0 / 3.0);
         assert_eq!(da, do_, "AND/OR duality");
         fit_pts.push((k, da));
-        deg.push(vec![k.to_string(), da.to_string(), do_.to_string(), format!("{:.2}", (k as f64).sqrt())]);
+        deg.push(vec![
+            k.to_string(),
+            da.to_string(),
+            do_.to_string(),
+            format!("{:.2}", (k as f64).sqrt()),
+        ]);
     }
     let (c_fit, resid) = congest_lb::degree::sqrt_fit(&fit_pts);
     deg.commentary = format!(
@@ -411,7 +549,14 @@ pub fn e6(quick: bool) -> ExperimentOutput {
     let mut comp = Table::new(
         "E6d",
         "Composed Theorem 4.2 bound vs Theorem 1.1 upper bound (the Table 1 gap)",
-        &["h", "n", "lower Ω: 2^h/(h·log n)", "≈ n^⅔/log²n", "upper Õ: n^0.9·D^0.3 (D=log n)", "measured Q^sv via deg fit"],
+        &[
+            "h",
+            "n",
+            "lower Ω: 2^h/(h·log n)",
+            "≈ n^⅔/log²n",
+            "upper Õ: n^0.9·D^0.3 (D=log n)",
+            "measured Q^sv via deg fit",
+        ],
     );
     for h in [2u32, 4, 6, 8, 10, 12] {
         let p = reduction_point(h);
@@ -454,8 +599,16 @@ pub fn figures(out_dir: &std::path::Path) -> ExperimentOutput {
     let d_g = metrics::unweighted_diameter(&g.graph);
     t.push(vec![
         "Fig 1".into(),
-        format!("tree h={} + {} paths × {} nodes", dims.h, 2 * dims.s + dims.ell, 1 << dims.h),
-        format!("{}", (1 << (dims.h + 1)) - 1 + ((2 * dims.s + dims.ell) as usize) * (1 << dims.h)),
+        format!(
+            "tree h={} + {} paths × {} nodes",
+            dims.h,
+            2 * dims.s + dims.ell,
+            1 << dims.h
+        ),
+        format!(
+            "{}",
+            (1 << (dims.h + 1)) - 1 + ((2 * dims.s + dims.ell) as usize) * (1 << dims.h)
+        ),
         "leaf-path wiring verified by construction tests".into(),
     ]);
     t.push(vec![
@@ -466,7 +619,11 @@ pub fn figures(out_dir: &std::path::Path) -> ExperimentOutput {
     ]);
     assert_eq!(g.graph.n(), node_count(&dims, false));
     let dot_path = out_dir.join("figure2.dot");
-    std::fs::write(&dot_path, dot::to_dot(&g.graph, &dot::DotOptions::named("figure2"))).unwrap();
+    std::fs::write(
+        &dot_path,
+        dot::to_dot(&g.graph, &dot::DotOptions::named("figure2")),
+    )
+    .unwrap();
     out.artifacts.push(dot_path.display().to_string());
 
     // F3.
@@ -480,7 +637,11 @@ pub fn figures(out_dir: &std::path::Path) -> ExperimentOutput {
         "tree→t, path+endpoints→router, Table 2 bounds verified in tests ✓".into(),
     ]);
     let dot_path = out_dir.join("figure3.dot");
-    std::fs::write(&dot_path, dot::to_dot(&c.graph, &dot::DotOptions::named("figure3"))).unwrap();
+    std::fs::write(
+        &dot_path,
+        dot::to_dot(&c.graph, &dot::DotOptions::named("figure3")),
+    )
+    .unwrap();
     out.artifacts.push(dot_path.display().to_string());
 
     // F4.
@@ -497,15 +658,25 @@ pub fn figures(out_dir: &std::path::Path) -> ExperimentOutput {
             non_center_min = non_center_min.min(ecc);
         }
     }
-    assert!(non_center_min >= 3 * alpha, "Figure 4 caption: e(v) ≥ 3α off the a_i");
+    assert!(
+        non_center_min >= 3 * alpha,
+        "Figure 4 caption: e(v) ≥ 3α off the a_i"
+    );
     t.push(vec![
         "Fig 4".into(),
         "radius gadget (a₀ of weight 2α to every a_i)".into(),
         format!("{}", r.graph.n()),
-        format!("min eccentricity off {{a_i}} = {non_center_min} ≥ 3α = {} ✓", 3 * alpha),
+        format!(
+            "min eccentricity off {{a_i}} = {non_center_min} ≥ 3α = {} ✓",
+            3 * alpha
+        ),
     ]);
     let dot_path = out_dir.join("figure4.dot");
-    std::fs::write(&dot_path, dot::to_dot(&r.graph, &dot::DotOptions::named("figure4"))).unwrap();
+    std::fs::write(
+        &dot_path,
+        dot::to_dot(&r.graph, &dot::DotOptions::named("figure4")),
+    )
+    .unwrap();
     out.artifacts.push(dot_path.display().to_string());
 
     out.tables.push(t);
@@ -541,7 +712,10 @@ pub fn a1() -> ExperimentOutput {
         "Max deviation {max_err:.1e}: the analytic model used at CONGEST scale is the \
          exact amplitude dynamics (DESIGN.md §1)."
     );
-    ExperimentOutput { tables: vec![t], artifacts: vec![] }
+    ExperimentOutput {
+        tables: vec![t],
+        artifacts: vec![],
+    }
 }
 
 /// A2: the toolkit's measured rounds against the Appendix A lemma bounds.
@@ -556,7 +730,13 @@ pub fn a2(quick: bool) -> ExperimentOutput {
     let mut t = Table::new(
         "A2",
         "Toolkit fidelity: measured rounds vs the Appendix A bounds (unit constants)",
-        &["algorithm", "lemma", "measured rounds", "bound expression", "bound value"],
+        &[
+            "algorithm",
+            "lemma",
+            "measured rounds",
+            "bound expression",
+            "bound value",
+        ],
     );
     let limit = scheme.threshold().floor() as u64;
     let scales = scheme.max_scale(n, g.max_weight()) + 1;
@@ -611,7 +791,10 @@ pub fn a2(quick: bool) -> ExperimentOutput {
         constants; the measured numbers are what E1/E2 charge per quantum oracle \
         application."
         .into();
-    ExperimentOutput { tables: vec![t], artifacts: vec![] }
+    ExperimentOutput {
+        tables: vec![t],
+        artifacts: vec![],
+    }
 }
 
 /// A3: accuracy ablation — the eccentricity approximation error as a
@@ -634,7 +817,8 @@ pub fn a3(quick: bool) -> ExperimentOutput {
         for &ell_factor in &[0.02f64, 0.25, 1.0] {
             let ell = (((n as f64) * (n as f64).log2() / r as f64) * ell_factor).ceil() as usize;
             let scheme = RoundingScheme::new(ell.max(1), EPS);
-            let skeleton = congest_graph::overlay::sample_skeleton(n, r as f64 / n as f64, &mut rng);
+            let skeleton =
+                congest_graph::overlay::sample_skeleton(n, r as f64 / n as f64, &mut rng);
             if skeleton.len() < 2 {
                 continue;
             }
@@ -651,15 +835,26 @@ pub fn a3(quick: bool) -> ExperimentOutput {
             t.push(vec![
                 format!("{r} ({})", skeleton.len()),
                 ell.to_string(),
-                if worst.is_finite() { format!("{worst:.4}") } else { "∞ (coverage lost)".into() },
-                if ok { "✓".into() } else { "✗ (ℓ too small)".into() },
+                if worst.is_finite() {
+                    format!("{worst:.4}")
+                } else {
+                    "∞ (coverage lost)".into()
+                },
+                if ok {
+                    "✓".into()
+                } else {
+                    "✗ (ℓ too small)".into()
+                },
             ]);
         }
     }
     t.commentary = "Small ℓ relative to n·log n/r can push ẽ outside the guarantee \
         (the skeleton decomposition of Lemma 3.3 fails); the paper's choice restores it."
         .into();
-    ExperimentOutput { tables: vec![t], artifacts: vec![] }
+    ExperimentOutput {
+        tables: vec![t],
+        artifacts: vec![],
+    }
 }
 
 /// A4: §1.1's motivating claim — the naive single-level quantum search
@@ -668,9 +863,21 @@ pub fn a4() -> ExperimentOutput {
     let mut t = Table::new(
         "A4",
         "Naive single-level search (√n evaluations × √n-round eccentricity) vs Theorem 1.1",
-        &["n", "D", "naive √n·√n = n", "two-level n^0.9·D^0.3", "speedup"],
+        &[
+            "n",
+            "D",
+            "naive √n·√n = n",
+            "two-level n^0.9·D^0.3",
+            "speedup",
+        ],
     );
-    for &(n, d) in &[(1usize << 12, 12usize), (1 << 16, 16), (1 << 20, 20), (1 << 26, 26), (1 << 32, 32)] {
+    for &(n, d) in &[
+        (1usize << 12, 12usize),
+        (1 << 16, 16),
+        (1 << 20, 20),
+        (1 << 26, 26),
+        (1 << 32, 32),
+    ] {
         let naive = n as f64;
         let two = cost::quantum_weighted_upper(n, d, Polylog::Drop);
         t.push(vec![
@@ -685,7 +892,10 @@ pub fn a4() -> ExperimentOutput {
         and the search needs Θ̃(√n) evaluations, so the naive approach is Θ̃(n); \
         the two-level set-sampling scheme is what makes Theorem 1.1 sublinear."
         .into();
-    ExperimentOutput { tables: vec![t], artifacts: vec![] }
+    ExperimentOutput {
+        tables: vec![t],
+        artifacts: vec![],
+    }
 }
 
 /// T1: the literal Table 1, evaluated at a representative `(n, D)`.
@@ -694,7 +904,15 @@ pub fn t1() -> ExperimentOutput {
     let mut table = Table::new(
         "T1",
         "Table 1 of the paper, evaluated at n = 2^20, D = 20 (★ = this work)",
-        &["problem", "variant", "approx", "classical Õ", "quantum Õ", "classical Ω̃", "quantum Ω̃"],
+        &[
+            "problem",
+            "variant",
+            "approx",
+            "classical Õ",
+            "quantum Õ",
+            "classical Ω̃",
+            "quantum Ω̃",
+        ],
     );
     let fmt_opt = |o: &Option<(&'static str, f64)>| match o {
         Some((e, v)) => format!("{e} = {v:.0}"),
@@ -714,7 +932,10 @@ pub fn t1() -> ExperimentOutput {
     table.commentary = "Row consistency (every lower bound below its upper bound, quantum \
         never above classical) is enforced by `congest-wdr`'s table_one tests."
         .into();
-    ExperimentOutput { tables: vec![table], artifacts: vec![] }
+    ExperimentOutput {
+        tables: vec![table],
+        artifacts: vec![],
+    }
 }
 
 /// Runs the whole suite in order; `quick` trims sweeps.

@@ -43,8 +43,16 @@ impl Table {
         let mut out = String::new();
         writeln!(out, "### {} — {}\n", self.id, self.title).unwrap();
         writeln!(out, "| {} |", self.headers.join(" | ")).unwrap();
-        writeln!(out, "|{}|", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"))
-            .unwrap();
+        writeln!(
+            out,
+            "|{}|",
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        )
+        .unwrap();
         for row in &self.rows {
             writeln!(out, "| {} |", row.join(" | ")).unwrap();
         }
@@ -125,10 +133,12 @@ mod tests {
 
     #[test]
     fn slope_of_power_law() {
-        let pts: Vec<(f64, f64)> = (1..=6).map(|i| {
-            let x = (i * 10) as f64;
-            (x, 3.0 * x.powf(0.9))
-        }).collect();
+        let pts: Vec<(f64, f64)> = (1..=6)
+            .map(|i| {
+                let x = (i * 10) as f64;
+                (x, 3.0 * x.powf(0.9))
+            })
+            .collect();
         assert!((loglog_slope(&pts) - 0.9).abs() < 1e-9);
     }
 }

@@ -13,5 +13,6 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod trace;
 
 pub use harness::{write_csv, ExperimentOutput, Table};

@@ -1,0 +1,54 @@
+//! The ISSUE acceptance path, end to end: a `three_halves` run traced
+//! through `JsonlTracer` produces a file with at least three named phases
+//! whose per-phase rounds sum to the reported `RoundStats.rounds`, and
+//! `wdr-trace`'s renderer turns it into markdown.
+
+use congest_algos::three_halves::three_halves_diameter;
+use congest_graph::generators;
+use congest_sim::telemetry::{build_phase_tree, JsonlTracer};
+use congest_sim::{SimConfig, Telemetry};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+use wdr_bench::trace::{parse_trace, render_csv, render_markdown};
+
+#[test]
+fn three_halves_jsonl_trace_renders_to_markdown() {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let g = generators::erdos_renyi_connected(20, 0.15, 3, &mut rng);
+
+    let dir = std::env::temp_dir().join("wdr-trace-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("three_halves.jsonl");
+    let tracer = JsonlTracer::create(&path).unwrap();
+    let telemetry = Telemetry::new(Arc::new(tracer));
+    let cfg = SimConfig::standard(g.n(), g.max_weight())
+        .with_max_rounds(10_000_000)
+        .with_telemetry(telemetry.clone())
+        .with_channel_profile();
+
+    let res = three_halves_diameter(&g, 0, cfg, &mut rng).unwrap();
+    telemetry.flush();
+
+    // Parse the file back exactly as the wdr-trace binary does.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let events = parse_trace(&text).unwrap();
+    let tree = build_phase_tree(&events);
+    let algo = &tree.children[0];
+    assert_eq!(algo.name, "three_halves");
+    assert!(
+        algo.children.len() >= 3,
+        "want ≥3 named phases, got {}",
+        algo.children.len()
+    );
+    assert_eq!(algo.subtree().rounds, res.stats.rounds);
+
+    let md = render_markdown(&events);
+    assert!(md.contains("| phase | rounds |"));
+    assert!(md.contains("three_halves"));
+    assert!(md.contains("sample_bfs"));
+    assert!(md.contains("Hottest directed channels"));
+
+    let csv = render_csv(&events);
+    assert!(csv.lines().count() > algo.children.len());
+}

@@ -104,7 +104,11 @@ fn apsp(
     mode: WeightMode,
 ) -> Result<ApspResult, SimError> {
     let n = g.n();
-    let (dist, stats) = congest_sim::run_phase(g, leader, config, |_, _| ApspProgram {
+    let name = match mode {
+        WeightMode::Unweighted => "apsp_unweighted",
+        WeightMode::Weighted => "apsp_weighted",
+    };
+    let (dist, stats) = congest_sim::run_phase(g, leader, config, name, |_, _| ApspProgram {
         mode,
         dist: vec![None; n],
         queue: VecDeque::new(),
@@ -189,9 +193,18 @@ pub fn diameter_radius_exact(
         .collect();
     // Eccentricity values are O(log(nW))-bit quantities carried in a u128
     // register (u128::MAX encodes "infinite"); budget for the register width.
-    let wide = SimConfig { bandwidth: congest_sim::Bandwidth::bits(160), ..config };
-    let (dmax, s1) =
-        primitives::converge_cast(g, leader, wide.clone(), &tree, &ecc, primitives::Aggregate::Max)?;
+    let wide = SimConfig {
+        bandwidth: congest_sim::Bandwidth::bits(160),
+        ..config
+    };
+    let (dmax, s1) = primitives::converge_cast(
+        g,
+        leader,
+        wide.clone(),
+        &tree,
+        &ecc,
+        primitives::Aggregate::Max,
+    )?;
     res.stats.absorb(&s1);
     let (rmin, s2) =
         primitives::converge_cast(g, leader, wide, &tree, &ecc, primitives::Aggregate::Min)?;
@@ -277,18 +290,24 @@ pub fn two_approx_diameter_radius(
     leader: NodeId,
     config: SimConfig,
 ) -> Result<(Dist, Dist, RoundStats), SimError> {
-    let (dist, mut stats) = congest_sim::run_phase(g, leader, config.clone(), |_, _| SsspProgram {
-        source: leader,
-        dist: None,
-        queued: false,
-    })?;
+    let (dist, mut stats) =
+        congest_sim::run_phase(g, leader, config.clone(), "leader_sssp", |_, _| {
+            SsspProgram {
+                source: leader,
+                dist: None,
+                queued: false,
+            }
+        })?;
     let (tree, tree_stats) = primitives::bfs_tree(g, leader, config.clone())?;
     stats.absorb(&tree_stats);
     let values: Vec<u128> = dist
         .iter()
         .map(|d| d.finite().map_or(u128::MAX, u128::from))
         .collect();
-    let wide = SimConfig { bandwidth: congest_sim::Bandwidth::bits(160), ..config };
+    let wide = SimConfig {
+        bandwidth: congest_sim::Bandwidth::bits(160),
+        ..config
+    };
     let (ecc, cc) =
         primitives::converge_cast(g, leader, wide, &tree, &values, primitives::Aggregate::Max)?;
     stats.absorb(&cc);
@@ -350,7 +369,10 @@ mod tests {
             res.stats.rounds,
             g.n()
         );
-        assert!(res.stats.rounds >= g.n() / 2, "pipelining cannot beat n/2 here");
+        assert!(
+            res.stats.rounds >= g.n() / 2,
+            "pipelining cannot beat n/2 here"
+        );
     }
 
     #[test]
@@ -387,8 +409,14 @@ mod tests {
             let (d2, r2, stats) = two_approx_diameter_radius(&g, trial % 18, cfg(&g)).unwrap();
             let d = metrics::diameter(&g);
             let r = metrics::radius(&g);
-            assert!(d2 >= d && d2 <= d.saturating_mul(2), "trial {trial}: D̂={d2} vs D={d}");
-            assert!(r2 >= r && r2 <= r.saturating_mul(2), "trial {trial}: R̂={r2} vs R={r}");
+            assert!(
+                d2 >= d && d2 <= d.saturating_mul(2),
+                "trial {trial}: D̂={d2} vs D={d}"
+            );
+            assert!(
+                r2 >= r && r2 <= r.saturating_mul(2),
+                "trial {trial}: R̂={r2} vs R={r}"
+            );
             assert!(stats.rounds > 0);
         }
     }

@@ -29,7 +29,12 @@ pub struct BoundedDistanceSssp {
 impl BoundedDistanceSssp {
     /// Creates the per-node program for source `s` and distance limit `L`.
     pub fn new(source: NodeId, limit: u64) -> BoundedDistanceSssp {
-        BoundedDistanceSssp { source, limit, dist: None, broadcasted: false }
+        BoundedDistanceSssp {
+            source,
+            limit,
+            dist: None,
+            broadcasted: false,
+        }
     }
 }
 
@@ -104,9 +109,20 @@ pub fn bounded_distance_sssp(
     limit: u64,
     config: SimConfig,
 ) -> Result<(Vec<Dist>, RoundStats), SimError> {
-    let (out, mut stats) =
-        congest_sim::run_phase(g, leader, config, |_, _| BoundedDistanceSssp::new(source, limit))?;
+    let telemetry = config.telemetry.clone();
+    let span = telemetry.span("bounded_distance_sssp");
+    let (out, mut stats) = congest_sim::run_phase(g, leader, config, "alg2_execution", |_, _| {
+        BoundedDistanceSssp::new(source, limit)
+    })?;
+    let padded = (limit as usize + 1).saturating_sub(stats.rounds);
+    if padded > 0 {
+        telemetry.emit_with(|| congest_sim::TraceEvent::PadRounds {
+            rounds: padded,
+            reason: format!("Algorithm 2 schedule occupies L + 1 = {} rounds", limit + 1),
+        });
+    }
     stats.rounds = stats.rounds.max(limit as usize + 1);
+    span.end();
     Ok((out, stats))
 }
 
@@ -141,6 +157,7 @@ pub fn bounded_hop_sssp(
     scheme: RoundingScheme,
     config: SimConfig,
 ) -> Result<(Vec<ApproxDist>, RoundStats), SimError> {
+    let _span = config.telemetry.span("bounded_hop_sssp");
     let mut best = vec![f64::INFINITY; g.n()];
     let mut stats = RoundStats::default();
     let limit = scheme.threshold().floor() as u64;

@@ -107,7 +107,7 @@ pub fn multi_source_bfs(
         source_index[s] = j;
     }
     let b = sources.len();
-    congest_sim::run_phase(g, leader, config, |_, _| MultiBfsProgram {
+    congest_sim::run_phase(g, leader, config, "multi_bfs", |_, _| MultiBfsProgram {
         source_index: source_index.clone(),
         dist: vec![None; b],
         queue: VecDeque::new(),

@@ -87,11 +87,16 @@ impl MultiSourceProgram {
         let mut enqueued = 0usize;
         // 1. Scale resets / source starts (copies whose relative round is 0).
         for j in 0..self.copies.len() {
-            let Some(rho) = self.copy_round(logical, j) else { continue };
+            let Some(rho) = self.copy_round(logical, j) else {
+                continue;
+            };
             let rr = rho % (self.limit + 1);
             let scale = (rho / (self.limit + 1)) as u32;
             if rr == 0 {
-                self.copies[j] = CopyState { dist: None, broadcasted: false };
+                self.copies[j] = CopyState {
+                    dist: None,
+                    broadcasted: false,
+                };
                 if ctx.id == self.sources[j] {
                     self.copies[j].dist = Some(0);
                     self.copies[j].broadcasted = true;
@@ -108,7 +113,9 @@ impl MultiSourceProgram {
         let buffered = std::mem::take(&mut self.buffer);
         for (from, (j, d_u)) in buffered {
             let j = j as usize;
-            let Some(rho) = self.copy_round(logical, j) else { continue };
+            let Some(rho) = self.copy_round(logical, j) else {
+                continue;
+            };
             let rr = rho % (self.limit + 1);
             if rr == 0 {
                 continue;
@@ -125,7 +132,9 @@ impl MultiSourceProgram {
         // 3. Scheduled broadcasts: a node whose settled distance equals the
         //    relative round announces it (once per scale).
         for j in 0..self.copies.len() {
-            let Some(rho) = self.copy_round(logical, j) else { continue };
+            let Some(rho) = self.copy_round(logical, j) else {
+                continue;
+            };
             let rr = rho % (self.limit + 1);
             if rr == 0 {
                 continue;
@@ -211,6 +220,8 @@ pub fn multi_source_bounded_hop<R: Rng + ?Sized>(
     let log_n = ((n.max(2) as f64).log2().ceil() as usize).max(1);
     let stretch = log_n + 1;
     let mut stats = RoundStats::default();
+    let telemetry = config.telemetry.clone();
+    let _algo_span = telemetry.span("multi_source");
 
     // Phase 0: BFS tree (needed for the delay broadcast).
     let (tree, tree_stats) = primitives::bfs_tree(g, leader, config.clone())?;
@@ -226,8 +237,13 @@ pub fn multi_source_bounded_hop<R: Rng + ?Sized>(
         .collect();
     // The schedule entries are (node id, delay) — two O(log n)-bit fields
     // packed into a u128; budget the phase for the packing artifact.
-    let wide = SimConfig { bandwidth: congest_sim::Bandwidth::bits(160), ..config.clone() };
+    let wide = SimConfig {
+        bandwidth: congest_sim::Bandwidth::bits(160),
+        ..config.clone()
+    };
+    let bc_span = telemetry.span("delay_broadcast");
     let (received, bc_stats) = primitives::pipelined_broadcast(g, leader, wide, &tree, &items)?;
+    bc_span.end();
     stats.absorb(&bc_stats);
     // Every node now knows the schedule; unpack (all copies identical).
     let schedule: Vec<(NodeId, u64)> = received[0]
@@ -245,22 +261,42 @@ pub fn multi_source_bounded_hop<R: Rng + ?Sized>(
         bandwidth: congest_sim::Bandwidth::standard(n, scheme.rounded_weight(0, g.max_weight())),
         ..config
     };
-    let (out, mut main_stats) = congest_sim::run_phase(g, leader, cfg, |_, _| MultiSourceProgram {
-        sources: schedule.iter().map(|&(s, _)| s).collect(),
-        delays: schedule.iter().map(|&(_, d)| d).collect(),
-        scheme,
-        stretch,
-        limit,
-        num_scales,
-        total_logical,
-        copies: (0..b).map(|_| CopyState { dist: None, broadcasted: false }).collect(),
-        best: vec![f64::INFINITY; b],
-        best_repr: vec![None; b],
-        queue: VecDeque::new(),
-        buffer: Vec::new(),
-        failed: false,
-    })?;
-    main_stats.rounds = main_stats.rounds.max(total_logical as usize * stretch);
+    let exec_span = telemetry.span("stretched_execution");
+    let (out, mut main_stats) =
+        congest_sim::run_phase(g, leader, cfg, "multi_source_sssp", |_, _| {
+            MultiSourceProgram {
+                sources: schedule.iter().map(|&(s, _)| s).collect(),
+                delays: schedule.iter().map(|&(_, d)| d).collect(),
+                scheme,
+                stretch,
+                limit,
+                num_scales,
+                total_logical,
+                copies: (0..b)
+                    .map(|_| CopyState {
+                        dist: None,
+                        broadcasted: false,
+                    })
+                    .collect(),
+                best: vec![f64::INFINITY; b],
+                best_repr: vec![None; b],
+                queue: VecDeque::new(),
+                buffer: Vec::new(),
+                failed: false,
+            }
+        })?;
+    let schedule_rounds = total_logical as usize * stretch;
+    let padded = schedule_rounds.saturating_sub(main_stats.rounds);
+    if padded > 0 {
+        telemetry.emit_with(|| congest_sim::TraceEvent::PadRounds {
+            rounds: padded,
+            reason: format!(
+                "Algorithm 3 stretched schedule occupies {total_logical} x {stretch} rounds"
+            ),
+        });
+    }
+    main_stats.rounds = main_stats.rounds.max(schedule_rounds);
+    exec_span.end();
     stats.absorb(&main_stats);
 
     let failed = out.iter().any(|(_, _, f)| *f);
@@ -270,14 +306,19 @@ pub fn multi_source_bounded_hop<R: Rng + ?Sized>(
         approx.push(best);
         repr.push(best_repr);
     }
-    Ok(MultiSourceResult { approx, repr, stats, failed })
+    Ok(MultiSourceResult {
+        approx,
+        repr,
+        stats,
+        failed,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use congest_graph::rounding::approx_hop_bounded;
     use congest_graph::generators;
+    use congest_graph::rounding::approx_hop_bounded;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
@@ -292,8 +333,7 @@ mod tests {
             let g = generators::erdos_renyi_connected(12, 0.25, 4, &mut rng);
             let sources = vec![0, 3, 7, 11];
             let scheme = RoundingScheme::new(4, 0.5);
-            let res =
-                multi_source_bounded_hop(&g, 0, &sources, scheme, cfg(&g), &mut rng).unwrap();
+            let res = multi_source_bounded_hop(&g, 0, &sources, scheme, cfg(&g), &mut rng).unwrap();
             assert!(!res.failed, "trial {trial} failed");
             for (j, &s) in sources.iter().enumerate() {
                 let want = approx_hop_bounded(&g, s, scheme);
@@ -328,8 +368,8 @@ mod tests {
         let g = generators::cycle(16, 2);
         let scheme = RoundingScheme::new(6, 0.5);
         let r1 = multi_source_bounded_hop(&g, 0, &[1], scheme, cfg(&g), &mut rng).unwrap();
-        let r4 = multi_source_bounded_hop(&g, 0, &[1, 5, 9, 13], scheme, cfg(&g), &mut rng)
-            .unwrap();
+        let r4 =
+            multi_source_bounded_hop(&g, 0, &[1, 5, 9, 13], scheme, cfg(&g), &mut rng).unwrap();
         assert!(
             (r4.stats.rounds as f64) < 2.0 * r1.stats.rounds as f64,
             "concurrency lost: {} vs {}",

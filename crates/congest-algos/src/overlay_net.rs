@@ -74,6 +74,8 @@ pub fn embed_overlay<R: Rng + ?Sized>(
     sorted.sort_unstable();
     sorted.dedup();
 
+    let telemetry = config.telemetry.clone();
+    let _algo_span = telemetry.span("embed_overlay");
     let mut stats = RoundStats::default();
     let mut retried = false;
     let mut ms: Option<MultiSourceResult> = None;
@@ -105,6 +107,7 @@ pub fn embed_overlay<R: Rng + ?Sized>(
     // Algorithm 4's broadcast: every skeleton node ships its k shortest
     // incident edges (as exact (scale, raw) pairs — O(log n) bits each) to
     // the leader, which rebroadcasts the union: O(D + |S|k) rounds.
+    let _bc_span = telemetry.span("shortcut_broadcast");
     let (tree, tree_stats) = primitives::bfs_tree(g, leader, config.clone())?;
     stats.absorb(&tree_stats);
     let mut items: Vec<Vec<(u64, u128)>> = vec![Vec::new(); g.n()];
@@ -189,6 +192,7 @@ pub fn overlay_sssp(
     let imax = ((2.0 * s as f64 * max_w / eps).log2().ceil()).max(0.0) as u32;
     let limit = threshold.floor() as u64;
 
+    let _algo_span = config.telemetry.span("overlay_sssp");
     let (tree, tree_stats) = primitives::bfs_tree(g, leader, config.clone())?;
     let mut stats = RoundStats::default();
     stats.absorb(&tree_stats);
@@ -204,7 +208,9 @@ pub fn overlay_sssp(
         let denom = eps * (2f64).powi(scale as i32);
         let unscale = denom / (2.0 * ell2 as f64);
         let rw = |i: usize, j: usize| -> u64 {
-            ((2.0 * ell2 as f64 * emb.shortcut.weight(i, j)) / denom).ceil().max(1.0) as u64
+            ((2.0 * ell2 as f64 * emb.shortcut.weight(i, j)) / denom)
+                .ceil()
+                .max(1.0) as u64
         };
         let mut dist: Vec<Option<u64>> = vec![None; s];
         let mut broadcasted = vec![false; s];
@@ -309,7 +315,9 @@ mod tests {
         for &src in &skeleton {
             let (got, _) = overlay_sssp(&g, 0, &emb, src, cfg(&g)).unwrap();
             let si = emb.shortcut.index_of(src).unwrap();
-            let want = emb.shortcut.approx_hop_bounded(si, emb.overlay_ell, scheme.eps);
+            let want = emb
+                .shortcut
+                .approx_hop_bounded(si, emb.overlay_ell, scheme.eps);
             for u in 0..skeleton.len() {
                 let (a, b) = (got[u], want[u]);
                 assert!(

@@ -52,6 +52,8 @@ impl SkeletonState {
         config: SimConfig,
         rng: &mut R,
     ) -> Result<SkeletonState, SimError> {
+        // `T₀` in the paper's accounting.
+        let _span = config.telemetry.span("skeleton_init");
         let overlay = embed_overlay(g, leader, skeleton, scheme, k, config, rng)?;
         Ok(SkeletonState { overlay, leader })
     }
@@ -82,6 +84,8 @@ impl SkeletonState {
         s: NodeId,
         config: SimConfig,
     ) -> Result<(Vec<ApproxDist>, RoundStats), SimError> {
+        // `T₁` in the paper's accounting.
+        let _span = config.telemetry.span("skeleton_setup");
         overlay_sssp(g, self.leader, &self.overlay, s, config)
     }
 
@@ -119,6 +123,8 @@ impl SkeletonState {
         overlay_dist: &[ApproxDist],
         config: SimConfig,
     ) -> Result<(ApproxDist, RoundStats), SimError> {
+        // `T₂` in the paper's accounting.
+        let _span = config.telemetry.span("skeleton_evaluate");
         let local = self.combine_local(s, overlay_dist);
         let (tree, tree_stats) = primitives::bfs_tree(g, self.leader, config.clone())?;
         let values: Vec<u128> = local.iter().map(|&x| f64_to_ordered_bits(x)).collect();
@@ -212,8 +218,7 @@ mod tests {
         let skeleton = vec![0, 3, 6, 9];
         let scheme = RoundingScheme::new(6, 0.5);
         let k = 2;
-        let st =
-            SkeletonState::initialize(&g, 0, &skeleton, scheme, k, cfg(&g), &mut rng).unwrap();
+        let st = SkeletonState::initialize(&g, 0, &skeleton, scheme, k, cfg(&g), &mut rng).unwrap();
         let sd = SkeletonDistances::compute(&g, &skeleton, scheme, k);
         for &s in &skeleton {
             let (got, _) = st.eccentricity(&g, s, cfg(&g)).unwrap();
@@ -232,8 +237,7 @@ mod tests {
         let g = generators::erdos_renyi_connected(12, 0.35, 6, &mut rng);
         let skeleton = vec![1, 5, 9];
         let scheme = RoundingScheme::new(g.n(), 0.5);
-        let st =
-            SkeletonState::initialize(&g, 0, &skeleton, scheme, 2, cfg(&g), &mut rng).unwrap();
+        let st = SkeletonState::initialize(&g, 0, &skeleton, scheme, 2, cfg(&g), &mut rng).unwrap();
         for &s in &skeleton {
             let exact = congest_graph::metrics::eccentricity(&g, s).as_f64();
             let (got, _) = st.eccentricity(&g, s, cfg(&g)).unwrap();
@@ -249,8 +253,7 @@ mod tests {
         let skeleton = vec![0, 2, 4, 6, 8];
         let scheme = RoundingScheme::new(5, 0.5);
         let k = 2;
-        let st =
-            SkeletonState::initialize(&g, 0, &skeleton, scheme, k, cfg(&g), &mut rng).unwrap();
+        let st = SkeletonState::initialize(&g, 0, &skeleton, scheme, k, cfg(&g), &mut rng).unwrap();
         let sd = SkeletonDistances::compute(&g, &skeleton, scheme, k);
         for &s in &skeleton {
             let (od, _) = st.setup_data(&g, s, cfg(&g)).unwrap();
@@ -277,8 +280,7 @@ mod tests {
         let g = generators::erdos_renyi_connected(10, 0.3, 4, &mut rng);
         let skeleton = vec![0, 4, 8];
         let scheme = RoundingScheme::new(g.n(), 0.5);
-        let st =
-            SkeletonState::initialize(&g, 0, &skeleton, scheme, 2, cfg(&g), &mut rng).unwrap();
+        let st = SkeletonState::initialize(&g, 0, &skeleton, scheme, 2, cfg(&g), &mut rng).unwrap();
         let (fx, _) = st.max_eccentricity(&g, cfg(&g)).unwrap();
         for &s in &skeleton {
             let (e, _) = st.eccentricity(&g, s, cfg(&g)).unwrap();

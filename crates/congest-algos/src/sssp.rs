@@ -86,7 +86,11 @@ pub fn approx_sssp<R: Rng + ?Sized>(
     let (overlay_dist, st) = state.setup_data(g, source, config)?;
     stats.absorb(&st);
     let dist = state.combine_local(source, &overlay_dist);
-    Ok(ApproxSsspResult { dist, skeleton: state.overlay.skeleton.clone(), stats })
+    Ok(ApproxSsspResult {
+        dist,
+        skeleton: state.overlay.skeleton.clone(),
+        stats,
+    })
 }
 
 #[cfg(test)]

@@ -52,10 +52,18 @@ pub fn three_halves_diameter<R: Rng + ?Sized>(
     let n = g.n();
     let u = g.unweighted_view();
     let mut stats = RoundStats::default();
-    let wide = SimConfig { bandwidth: congest_sim::Bandwidth::bits(160), ..config.clone() };
+    let wide = SimConfig {
+        bandwidth: congest_sim::Bandwidth::bits(160),
+        ..config.clone()
+    };
+    let telemetry = config.telemetry.clone();
+    let _algo_span = telemetry.span("three_halves");
 
     // Shared infrastructure: the leader's BFS tree.
-    let (tree, st) = primitives::bfs_tree(&u, leader, config.clone())?;
+    let (tree, st) = {
+        let _span = telemetry.span("leader_tree");
+        primitives::bfs_tree(&u, leader, config.clone())?
+    };
     stats.absorb(&st);
 
     // Phase 1: sample S (local coin flips) and BFS from all of S.
@@ -65,24 +73,43 @@ pub fn three_halves_diameter<R: Rng + ?Sized>(
     if sample.is_empty() {
         sample.push(leader);
     }
-    let (dist_s, st) = multi_source_bfs(&u, leader, &sample, config.clone())?;
+    let (dist_s, st) = {
+        let _span = telemetry.span("sample_bfs");
+        multi_source_bfs(&u, leader, &sample, config.clone())?
+    };
     stats.absorb(&st);
 
     // Phase 2: w = argmax_v d(v, S) via one max-convergecast of
     // (distance-to-S, node id) pairs.
     let packed: Vec<u128> = (0..n)
         .map(|v| {
-            let d = dist_s[v].iter().filter_map(|x| x.finite()).min().unwrap_or(0);
+            let d = dist_s[v]
+                .iter()
+                .filter_map(|x| x.finite())
+                .min()
+                .unwrap_or(0);
             (u128::from(d) << 32) | v as u128
         })
         .collect();
-    let (best, st) =
-        primitives::converge_cast(&u, leader, wide.clone(), &tree, &packed, primitives::Aggregate::Max)?;
+    let (best, st) = {
+        let _span = telemetry.span("witness_select");
+        primitives::converge_cast(
+            &u,
+            leader,
+            wide.clone(),
+            &tree,
+            &packed,
+            primitives::Aggregate::Max,
+        )?
+    };
     stats.absorb(&st);
     let w = (best & 0xffff_ffff) as NodeId;
 
     // Phase 3: BFS from w.
-    let (dist_w, st) = multi_source_bfs(&u, leader, &[w], config.clone())?;
+    let (dist_w, st) = {
+        let _span = telemetry.span("witness_bfs");
+        multi_source_bfs(&u, leader, &[w], config.clone())?
+    };
     stats.absorb(&st);
 
     // Phase 4: select N_t(w) by a distance threshold found with
@@ -104,17 +131,20 @@ pub fn three_halves_diameter<R: Rng + ?Sized>(
         stats.absorb(&st);
         Ok(c as u64)
     };
-    if count_within(0, &mut stats)? < target as u64 {
-        while hi - lo > 1 {
-            let mid = (lo + hi) / 2;
-            if count_within(mid, &mut stats)? >= target as u64 {
-                hi = mid;
-            } else {
-                lo = mid;
+    {
+        let _span = telemetry.span("threshold_search");
+        if count_within(0, &mut stats)? < target as u64 {
+            while hi - lo > 1 {
+                let mid = (lo + hi) / 2;
+                if count_within(mid, &mut stats)? >= target as u64 {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
             }
+        } else {
+            hi = 0;
         }
-    } else {
-        hi = 0;
     }
     let theta = hi;
     let near: Vec<NodeId> = (0..n)
@@ -132,24 +162,40 @@ pub fn three_halves_diameter<R: Rng + ?Sized>(
             sources.push(v);
         }
     }
-    let (dist_all, st) = multi_source_bfs(&u, leader, &sources, config)?;
+    let (dist_all, st) = {
+        let _span = telemetry.span("near_set_bfs");
+        multi_source_bfs(&u, leader, &sources, config)?
+    };
     stats.absorb(&st);
     let vectors: Vec<Vec<u128>> = (0..n)
-        .map(|v| dist_all[v].iter().map(|d| d.finite().map_or(0, u128::from)).collect())
+        .map(|v| {
+            dist_all[v]
+                .iter()
+                .map(|d| d.finite().map_or(0, u128::from))
+                .collect()
+        })
         .collect();
-    let (eccs, st) = primitives::converge_cast_vec(
-        &u,
-        leader,
-        wide,
-        &tree,
-        &vectors,
-        primitives::Aggregate::Max,
-    )?;
+    let (eccs, st) = {
+        let _span = telemetry.span("eccentricity_cast");
+        primitives::converge_cast_vec(
+            &u,
+            leader,
+            wide,
+            &tree,
+            &vectors,
+            primitives::Aggregate::Max,
+        )?
+    };
     stats.absorb(&st);
 
     let diameter_estimate = eccs.iter().copied().max().unwrap_or(0) as u64;
     let radius_estimate = eccs.iter().copied().min().unwrap_or(0) as u64;
-    Ok(ThreeHalvesResult { diameter_estimate, radius_estimate, sources, stats })
+    Ok(ThreeHalvesResult {
+        diameter_estimate,
+        radius_estimate,
+        sources,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -172,13 +218,19 @@ mod tests {
             let d = metrics::diameter(&u).expect_finite();
             let r = metrics::radius(&u).expect_finite();
             let res = three_halves_diameter(&g, 0, cfg(&g), &mut rng).unwrap();
-            assert!(res.diameter_estimate <= d, "trial {trial}: estimate above D");
+            assert!(
+                res.diameter_estimate <= d,
+                "trial {trial}: estimate above D"
+            );
             assert!(
                 3 * res.diameter_estimate + 3 >= 2 * d,
                 "trial {trial}: estimate {} below 2D/3 (D = {d})",
                 res.diameter_estimate
             );
-            assert!(res.radius_estimate >= r && res.radius_estimate <= 2 * r, "trial {trial}");
+            assert!(
+                res.radius_estimate >= r && res.radius_estimate <= 2 * r,
+                "trial {trial}"
+            );
         }
     }
 
@@ -199,11 +251,17 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(92);
         let small = {
             let g = generators::cluster_ring(24, 4, 2, &mut rng);
-            three_halves_diameter(&g, 0, cfg(&g), &mut rng).unwrap().stats.rounds
+            three_halves_diameter(&g, 0, cfg(&g), &mut rng)
+                .unwrap()
+                .stats
+                .rounds
         };
         let large = {
             let g = generators::cluster_ring(96, 4, 2, &mut rng);
-            three_halves_diameter(&g, 0, cfg(&g), &mut rng).unwrap().stats.rounds
+            three_halves_diameter(&g, 0, cfg(&g), &mut rng)
+                .unwrap()
+                .stats
+                .rounds
         };
         assert!(
             (large as f64) < 3.2 * small as f64,

@@ -81,7 +81,11 @@ pub fn contract_edges(
         }
     }
     let graph = b.build().expect("contracted graph is valid");
-    Contraction { graph, class_of, members }
+    Contraction {
+        graph,
+        class_of,
+        members,
+    }
 }
 
 /// Contracts all edges of weight exactly 1 — the operation of Lemma 4.3.

@@ -17,7 +17,11 @@ pub struct DotOptions {
 impl DotOptions {
     /// Options with a graph name, weight labels on.
     pub fn named(name: impl Into<String>) -> DotOptions {
-        DotOptions { name: name.into(), labels: Vec::new(), show_weights: true }
+        DotOptions {
+            name: name.into(),
+            labels: Vec::new(),
+            show_weights: true,
+        }
     }
 }
 
@@ -34,7 +38,11 @@ impl DotOptions {
 /// ```
 pub fn to_dot(g: &WeightedGraph, opts: &DotOptions) -> String {
     let mut out = String::new();
-    let name = if opts.name.is_empty() { "g" } else { &opts.name };
+    let name = if opts.name.is_empty() {
+        "g"
+    } else {
+        &opts.name
+    };
     writeln!(out, "graph {name} {{").unwrap();
     for (v, label) in &opts.labels {
         writeln!(out, "  {v} [label=\"{label}\"];").unwrap();

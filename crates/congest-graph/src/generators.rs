@@ -310,7 +310,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let d2 = metrics::unweighted_diameter(&cluster_ring(48, 2, 1, &mut rng));
         let d8 = metrics::unweighted_diameter(&cluster_ring(48, 8, 1, &mut rng));
-        assert!(d8 > d2, "more clusters should stretch the topology: {d2} vs {d8}");
+        assert!(
+            d8 > d2,
+            "more clusters should stretch the topology: {d2} vs {d8}"
+        );
     }
 
     #[test]

@@ -76,7 +76,11 @@ impl fmt::Display for BuildGraphError {
                 write!(f, "edge references node {node} but the graph has {n} nodes")
             }
             BuildGraphError::ZeroWeight { edge } => {
-                write!(f, "edge {{{}, {}}} has weight 0; weights must be positive", edge.0, edge.1)
+                write!(
+                    f,
+                    "edge {{{}, {}}} has weight 0; weights must be positive",
+                    edge.0, edge.1
+                )
             }
             BuildGraphError::SelfLoop { node } => {
                 write!(f, "self-loop at node {node} is not allowed")
@@ -113,7 +117,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Starts a builder for a graph on `n` nodes (`0..n`).
     pub fn new(n: usize) -> GraphBuilder {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Adds the undirected edge `{u, v}` of weight `w`.
@@ -147,10 +154,16 @@ impl GraphBuilder {
     pub fn build(&self) -> Result<WeightedGraph, BuildGraphError> {
         for e in &self.edges {
             if e.u >= self.n {
-                return Err(BuildGraphError::NodeOutOfRange { node: e.u, n: self.n });
+                return Err(BuildGraphError::NodeOutOfRange {
+                    node: e.u,
+                    n: self.n,
+                });
             }
             if e.v >= self.n {
-                return Err(BuildGraphError::NodeOutOfRange { node: e.v, n: self.n });
+                return Err(BuildGraphError::NodeOutOfRange {
+                    node: e.v,
+                    n: self.n,
+                });
             }
             if e.w == 0 {
                 return Err(BuildGraphError::ZeroWeight { edge: (e.u, e.v) });
@@ -190,7 +203,12 @@ impl GraphBuilder {
             weights[cursor[e.v]] = e.w;
             cursor[e.v] += 1;
         }
-        Ok(WeightedGraph { offsets, targets, weights, edges: canon })
+        Ok(WeightedGraph {
+            offsets,
+            targets,
+            weights,
+            edges: canon,
+        })
     }
 }
 
@@ -386,7 +404,13 @@ impl WeightedGraph {
 
 impl fmt::Display for WeightedGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "WeightedGraph(n={}, m={}, W={})", self.n(), self.m(), self.max_weight())
+        write!(
+            f,
+            "WeightedGraph(n={}, m={}, W={})",
+            self.n(),
+            self.m(),
+            self.max_weight()
+        )
     }
 }
 
@@ -396,7 +420,8 @@ mod tests {
 
     #[test]
     fn build_and_query() {
-        let g = WeightedGraph::from_edges(4, [(0, 1, 2), (1, 2, 3), (2, 3, 4), (0, 3, 10)]).unwrap();
+        let g =
+            WeightedGraph::from_edges(4, [(0, 1, 2), (1, 2, 3), (2, 3, 4), (0, 3, 10)]).unwrap();
         assert_eq!(g.n(), 4);
         assert_eq!(g.m(), 4);
         assert_eq!(g.degree(0), 2);
@@ -423,7 +448,10 @@ mod tests {
     #[test]
     fn rejects_out_of_range() {
         let err = WeightedGraph::from_edges(2, [(0, 2, 1)]).unwrap_err();
-        assert!(matches!(err, BuildGraphError::NodeOutOfRange { node: 2, n: 2 }));
+        assert!(matches!(
+            err,
+            BuildGraphError::NodeOutOfRange { node: 2, n: 2 }
+        ));
     }
 
     #[test]

@@ -27,7 +27,10 @@ use rand::Rng;
 /// Samples a skeleton: each node joins independently with probability
 /// `rate = r/n` (Section 3's construction of the sets `S_i`).
 pub fn sample_skeleton<R: Rng + ?Sized>(n: usize, rate: f64, rng: &mut R) -> Vec<NodeId> {
-    assert!((0.0..=1.0).contains(&rate), "sampling rate must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&rate),
+        "sampling rate must be in [0,1]"
+    );
     (0..n).filter(|_| rng.gen_bool(rate)).collect()
 }
 
@@ -49,7 +52,11 @@ impl Overlay {
     /// # Panics
     ///
     /// Panics if `skeleton` contains an out-of-range or duplicate node.
-    pub fn from_skeleton(g: &WeightedGraph, skeleton: &[NodeId], scheme: RoundingScheme) -> Overlay {
+    pub fn from_skeleton(
+        g: &WeightedGraph,
+        skeleton: &[NodeId],
+        scheme: RoundingScheme,
+    ) -> Overlay {
         let mut nodes = skeleton.to_vec();
         nodes.sort_unstable();
         let before = nodes.len();
@@ -278,7 +285,10 @@ impl Overlay {
                 }
             }
         }
-        Overlay { nodes: self.nodes.clone(), w }
+        Overlay {
+            nodes: self.nodes.clone(),
+            w,
+        }
     }
 
     /// The hop diameter of the overlay (max over pairs of the minimum edge
@@ -300,9 +310,7 @@ impl Overlay {
                     if !done[i] && dist[i].0.is_finite() {
                         match pick {
                             None => pick = Some(i),
-                            Some(p)
-                                if (dist[i].0, dist[i].1) < (dist[p].0, dist[p].1) =>
-                            {
+                            Some(p) if (dist[i].0, dist[i].1) < (dist[p].0, dist[p].1) => {
                                 pick = Some(i)
                             }
                             _ => {}
@@ -314,9 +322,7 @@ impl Overlay {
                 for u in 0..s {
                     if u != v {
                         let cand = (dist[v].0 + self.weight(v, u), dist[v].1 + 1);
-                        if cand.0 < dist[u].0
-                            || (cand.0 == dist[u].0 && cand.1 < dist[u].1)
-                        {
+                        if cand.0 < dist[u].0 || (cand.0 == dist[u].0 && cand.1 < dist[u].1) {
                             dist[u] = cand;
                         }
                     }
@@ -377,7 +383,9 @@ impl Overlay {
                 }
                 for u in 0..s {
                     if u != v && self.weight(v, u).is_finite() {
-                        let rw = ((2.0 * ell as f64 * self.weight(v, u)) / denom).ceil().max(1.0);
+                        let rw = ((2.0 * ell as f64 * self.weight(v, u)) / denom)
+                            .ceil()
+                            .max(1.0);
                         let nd = dist[v] + rw;
                         if nd < dist[u] {
                             dist[u] = nd;

@@ -144,7 +144,10 @@ mod tests {
         let s = RoundingScheme::new(10, 0.5);
         let w0 = s.rounded_weight(0, 7);
         let w3 = s.rounded_weight(3, 7);
-        assert!(w0 >= w3, "larger scale means coarser (smaller) rounded weights");
+        assert!(
+            w0 >= w3,
+            "larger scale means coarser (smaller) rounded weights"
+        );
         assert!(w3 >= 1);
     }
 
@@ -176,10 +179,7 @@ mod tests {
                     let d = exact[v].as_f64();
                     let dl = hop[v].as_f64();
                     let a = approx[v];
-                    assert!(
-                        a >= d - 1e-6,
-                        "trial {trial} s={s} v={v}: d̃={a} < d={d}"
-                    );
+                    assert!(a >= d - 1e-6, "trial {trial} s={s} v={v}: d̃={a} < d={d}");
                     if dl.is_finite() {
                         assert!(
                             a <= (1.0 + eps) * dl + 1e-6,

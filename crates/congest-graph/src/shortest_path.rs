@@ -274,7 +274,10 @@ pub fn extract_path(pred: &[Option<NodeId>], s: NodeId, t: NodeId) -> Option<Vec
     while cur != s {
         cur = pred[cur]?;
         path.push(cur);
-        assert!(path.len() <= pred.len(), "predecessor array contains a cycle");
+        assert!(
+            path.len() <= pred.len(),
+            "predecessor array contains a cycle"
+        );
     }
     path.reverse();
     Some(path)

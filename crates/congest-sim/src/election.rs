@@ -70,7 +70,9 @@ pub fn elect_leader(
 ) -> Result<(NodeId, RoundStats), SimError> {
     // Any node can serve as the runner's nominal leader; the election result
     // is the returned winner.
-    let (out, stats) = run_phase(graph, 0, config, |_, _| FloodMaxProgram { best: 0 })?;
+    let (out, stats) = run_phase(graph, 0, config, "flood_max_election", |_, _| {
+        FloodMaxProgram { best: 0 }
+    })?;
     let winner = out[0];
     debug_assert!(out.iter().all(|&w| w == winner), "all nodes agree");
     Ok((winner, stats))

@@ -14,6 +14,11 @@
 //!   algorithm cannot accidentally cheat by shipping big payloads;
 //! * optionally records a full **message log** ([`SimConfig::with_message_log`]),
 //!   which the Lemma 4.1 Server-model simulation consumes;
+//! * emits structured **[`telemetry`]**: named phase spans, one
+//!   [`TraceEvent::RoundCompleted`] per simulated round, channel-saturation
+//!   warnings, and (with [`SimConfig::with_channel_profile`]) a streaming
+//!   per-channel bandwidth histogram — all through a pluggable [`Tracer`]
+//!   sink that costs nothing when disabled (the default);
 //! * provides the standard `O(D)` / `O(D + k)` [`primitives`]:
 //!   BFS-tree construction, scalar and vector convergecasts, pipelined
 //!   broadcast and pipelined collection — plus flood-max [`election`]
@@ -45,8 +50,11 @@ pub mod election;
 mod model;
 mod network;
 pub mod primitives;
+pub mod telemetry;
 
 pub use model::{
     bit_len, Bandwidth, MessageRecord, NodeCtx, Payload, RoundStats, SimConfig, SimError, Status,
+    DEFAULT_MESSAGE_LOG_CAP,
 };
 pub use network::{run_phase, Mailbox, Network, NodeProgram};
+pub use telemetry::{Telemetry, TraceEvent, Tracer};

@@ -7,6 +7,7 @@
 //! weight `W`, and the identity of a pre-defined `leader` node (the paper's
 //! Appendix A assumptions).
 
+use crate::telemetry::Telemetry;
 use congest_graph::{NodeId, Weight};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -139,7 +140,9 @@ impl Bandwidth {
     pub fn standard(n: usize, max_weight: Weight) -> Bandwidth {
         let id_bits = bit_len(n as u64);
         let dist_bits = bit_len((n as u64).saturating_mul(max_weight.max(1)));
-        Bandwidth { bits: id_bits + dist_bits + 16 }
+        Bandwidth {
+            bits: id_bits + dist_bits + 16,
+        }
     }
 
     /// The budget in bits.
@@ -157,6 +160,10 @@ pub enum Status {
     Done,
 }
 
+/// Default cap on [`RoundStats::message_log`] entries; see
+/// [`SimConfig::message_log_cap`].
+pub const DEFAULT_MESSAGE_LOG_CAP: usize = 4_000_000;
+
 /// Simulator configuration.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -167,6 +174,20 @@ pub struct SimConfig {
     pub log_messages: bool,
     /// Hard cap on executed rounds; exceeding it is an error.
     pub max_rounds: usize,
+    /// Upper bound on entries recorded in [`RoundStats::message_log`]:
+    /// once the log holds this many records, further messages are counted
+    /// in the aggregate statistics but **silently dropped from the log**
+    /// (detectable as `message_log.len() == message_log_cap`). Keeps a
+    /// forgotten `with_message_log` from ballooning memory on long runs.
+    pub message_log_cap: usize,
+    /// If `true`, the network maintains a streaming per-channel load
+    /// histogram ([`crate::telemetry::BandwidthProfile`]) and emits a
+    /// [`crate::telemetry::TraceEvent::ChannelProfile`] summary at the end
+    /// of each run. Needs no message log.
+    pub profile_channels: bool,
+    /// Telemetry sink; disabled ([`Telemetry::off`]) by default, in which
+    /// case no events are constructed at all.
+    pub telemetry: Telemetry,
 }
 
 impl SimConfig {
@@ -176,6 +197,9 @@ impl SimConfig {
             bandwidth: Bandwidth::standard(n, max_weight),
             log_messages: false,
             max_rounds: 10_000_000,
+            message_log_cap: DEFAULT_MESSAGE_LOG_CAP,
+            profile_channels: false,
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -188,6 +212,25 @@ impl SimConfig {
     /// Sets the round cap (builder style).
     pub fn with_max_rounds(mut self, max_rounds: usize) -> SimConfig {
         self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Sets the message-log entry cap (builder style); see
+    /// [`SimConfig::message_log_cap`].
+    pub fn with_message_log_cap(mut self, cap: usize) -> SimConfig {
+        self.message_log_cap = cap;
+        self
+    }
+
+    /// Enables the streaming per-channel bandwidth profile (builder style).
+    pub fn with_channel_profile(mut self) -> SimConfig {
+        self.profile_channels = true;
+        self
+    }
+
+    /// Attaches a telemetry sink (builder style).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> SimConfig {
+        self.telemetry = telemetry;
         self
     }
 }
@@ -206,7 +249,7 @@ pub struct MessageRecord {
 }
 
 /// Execution statistics of a simulation (or of several, accumulated).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
 pub struct RoundStats {
     /// Rounds executed.
     pub rounds: usize,
@@ -217,6 +260,10 @@ pub struct RoundStats {
     /// The largest per-channel bit load observed in any single round.
     pub max_channel_bits: u32,
     /// Individual messages (empty unless logging was enabled).
+    ///
+    /// Truncated at [`SimConfig::message_log_cap`] entries: the aggregate
+    /// counters above keep counting, but no further records are appended.
+    /// A log whose length equals the cap should be assumed incomplete.
     pub message_log: Vec<MessageRecord>,
 }
 
@@ -243,7 +290,10 @@ impl fmt::Display for RoundStats {
 }
 
 /// Errors raised by the simulator.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// Serializes to externally tagged JSON (e.g. for
+/// [`crate::telemetry::TraceEvent::SimFailed`] trace lines).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize)]
 pub enum SimError {
     /// A node sent to a non-neighbor.
     NotAdjacent {
@@ -323,8 +373,20 @@ mod tests {
 
     #[test]
     fn stats_absorb_accumulates() {
-        let mut a = RoundStats { rounds: 5, messages: 10, bits: 100, max_channel_bits: 8, message_log: vec![] };
-        let b = RoundStats { rounds: 3, messages: 1, bits: 9, max_channel_bits: 12, message_log: vec![] };
+        let mut a = RoundStats {
+            rounds: 5,
+            messages: 10,
+            bits: 100,
+            max_channel_bits: 8,
+            message_log: vec![],
+        };
+        let b = RoundStats {
+            rounds: 3,
+            messages: 1,
+            bits: 9,
+            max_channel_bits: 12,
+            message_log: vec![],
+        };
         a.absorb(&b);
         assert_eq!(a.rounds, 8);
         assert_eq!(a.messages, 11);

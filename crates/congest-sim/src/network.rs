@@ -1,8 +1,7 @@
 //! The synchronous round-by-round network runner.
 
-use crate::model::{
-    MessageRecord, NodeCtx, Payload, RoundStats, SimConfig, SimError, Status,
-};
+use crate::model::{MessageRecord, NodeCtx, Payload, RoundStats, SimConfig, SimError, Status};
+use crate::telemetry::{BandwidthProfile, TraceEvent};
 use congest_graph::{NodeId, WeightedGraph};
 
 /// A per-node algorithm.
@@ -109,6 +108,10 @@ pub struct Network<P: NodeProgram> {
     config: SimConfig,
     stats: RoundStats,
     started: bool,
+    /// Peak per-channel bit load of the round currently executing.
+    round_peak: u32,
+    /// Streaming per-channel load histogram (when profiling is enabled).
+    profile: Option<BandwidthProfile>,
 }
 
 impl<P: NodeProgram> Network<P> {
@@ -137,6 +140,9 @@ impl<P: NodeProgram> Network<P> {
             })
             .collect();
         let programs = ctxs.iter().map(|c| make(c.id, c)).collect();
+        let profile = config
+            .profile_channels
+            .then(|| BandwidthProfile::new(config.bandwidth.get()));
         Network {
             ctxs,
             programs,
@@ -145,6 +151,8 @@ impl<P: NodeProgram> Network<P> {
             config,
             stats: RoundStats::default(),
             started: false,
+            round_peak: 0,
+            profile,
         }
     }
 
@@ -156,6 +164,12 @@ impl<P: NodeProgram> Network<P> {
     /// The accumulated statistics so far.
     pub fn stats(&self) -> &RoundStats {
         &self.stats
+    }
+
+    /// The per-channel load histogram, if
+    /// [`SimConfig::with_channel_profile`] was set.
+    pub fn bandwidth_profile(&self) -> Option<&BandwidthProfile> {
+        self.profile.as_ref()
     }
 
     fn dispatch(
@@ -194,13 +208,38 @@ impl<P: NodeProgram> Network<P> {
             }
             self.stats.messages += 1;
             self.stats.bits += u64::from(bits);
-            if self.config.log_messages {
-                self.stats.message_log.push(MessageRecord { round, from, to, bits });
+            if self.config.log_messages
+                && self.stats.message_log.len() < self.config.message_log_cap
+            {
+                self.stats.message_log.push(MessageRecord {
+                    round,
+                    from,
+                    to,
+                    bits,
+                });
             }
             self.pending[to].push((from, msg));
         }
-        for (_, b) in per_channel {
+        let budget = self.config.bandwidth.get();
+        for (to, b) in per_channel {
             self.stats.max_channel_bits = self.stats.max_channel_bits.max(b);
+            self.round_peak = self.round_peak.max(b);
+            if let Some(profile) = &mut self.profile {
+                profile.record(from, to, b);
+            }
+            // Announce channels at ≥90% of budget: the congestion frontier
+            // an algorithm designer actually tunes against.
+            if u64::from(b) * 10 >= u64::from(budget) * 9 {
+                self.config
+                    .telemetry
+                    .emit_with(|| TraceEvent::ChannelSaturation {
+                        round,
+                        from,
+                        to,
+                        bits: b,
+                        budget_bits: budget,
+                    });
+            }
         }
         Ok(())
     }
@@ -213,6 +252,9 @@ impl<P: NodeProgram> Network<P> {
     ///
     /// Propagates adjacency and bandwidth violations.
     pub fn step(&mut self) -> Result<bool, SimError> {
+        let messages_before = self.stats.messages;
+        let bits_before = self.stats.bits;
+        self.round_peak = 0;
         if !self.started {
             self.started = true;
             for v in 0..self.n() {
@@ -225,7 +267,9 @@ impl<P: NodeProgram> Network<P> {
         }
         let round = self.stats.rounds + 1;
         if round > self.config.max_rounds {
-            return Err(SimError::RoundLimitExceeded { max_rounds: self.config.max_rounds });
+            return Err(SimError::RoundLimitExceeded {
+                max_rounds: self.config.max_rounds,
+            });
         }
         let inboxes: Vec<Vec<(NodeId, P::Msg)>> =
             self.pending.iter_mut().map(std::mem::take).collect();
@@ -237,6 +281,20 @@ impl<P: NodeProgram> Network<P> {
             let out = mb.take();
             self.dispatch(v, out, round + 1)?;
         }
+        // Attribute everything sent while executing this round (including
+        // `start` sends on the first step) to this round's event, so the
+        // events sum to the aggregate counters exactly.
+        let messages = self.stats.messages - messages_before;
+        let bits = self.stats.bits - bits_before;
+        let max_channel_bits = self.round_peak;
+        self.config
+            .telemetry
+            .emit_with(|| TraceEvent::RoundCompleted {
+                round,
+                messages,
+                bits,
+                max_channel_bits,
+            });
         let quiescent = self.status.iter().all(|&s| s == Status::Done)
             && self.pending.iter().all(Vec::is_empty);
         Ok(quiescent)
@@ -285,6 +343,12 @@ impl<P: NodeProgram> Network<P> {
 /// Runs a fresh network to quiescence and returns `(outputs, stats)` — the
 /// common single-phase pattern.
 ///
+/// The run executes inside a telemetry phase span called `name` (a no-op
+/// when the config's [`crate::telemetry::Telemetry`] is disabled, the
+/// default). When channel profiling is enabled, the per-channel load
+/// summary is emitted just before the span closes; on failure, a
+/// [`TraceEvent::SimFailed`] records the error in the trace.
+///
 /// # Errors
 ///
 /// Same as [`Network::run`].
@@ -292,13 +356,27 @@ pub fn run_phase<P: NodeProgram>(
     graph: &WeightedGraph,
     leader: NodeId,
     config: SimConfig,
+    name: &str,
     make: impl FnMut(NodeId, &NodeCtx) -> P,
 ) -> Result<(Vec<P::Output>, RoundStats), SimError> {
+    let telemetry = config.telemetry.clone();
+    let span = telemetry.span(name);
     let mut net = Network::new(graph, leader, config, make);
-    net.run_to_quiescence()?;
+    if let Err(err) = net.run_to_quiescence() {
+        telemetry.emit_with(|| TraceEvent::SimFailed { error: err.clone() });
+        span.end();
+        return Err(err);
+    }
+    if let Some(profile) = net.bandwidth_profile() {
+        telemetry.emit_with(|| profile.summary(HOT_EDGE_TOP_K));
+    }
     let stats = net.stats().clone();
+    span.end();
     Ok((net.into_outputs(), stats))
 }
+
+/// Hot edges reported in each end-of-run [`TraceEvent::ChannelProfile`].
+const HOT_EDGE_TOP_K: usize = 8;
 
 #[cfg(test)]
 mod tests {
@@ -353,9 +431,14 @@ mod tests {
     #[test]
     fn relay_along_path() {
         let g = generators::path(6, 1);
-        let (out, stats) = run_phase(&g, 0, SimConfig::standard(6, 1), |_, _| Relay { value: None })
-            .unwrap();
-        assert_eq!(out, vec![Some(0), Some(1), Some(2), Some(3), Some(4), Some(5)]);
+        let (out, stats) = run_phase(&g, 0, SimConfig::standard(6, 1), "relay", |_, _| Relay {
+            value: None,
+        })
+        .unwrap();
+        assert_eq!(
+            out,
+            vec![Some(0), Some(1), Some(2), Some(3), Some(4), Some(5)]
+        );
         // Value reaches node 5 in round 5 and nothing remains in flight.
         assert_eq!(stats.rounds, 5);
         assert_eq!(stats.messages, 5);
@@ -372,7 +455,13 @@ mod tests {
                 mb.send(2, ()); // 0 and 2 are not adjacent on a path
             }
         }
-        fn round(&mut self, _: &NodeCtx, _: usize, _: &[(NodeId, ())], _: &mut Mailbox<()>) -> Status {
+        fn round(
+            &mut self,
+            _: &NodeCtx,
+            _: usize,
+            _: &[(NodeId, ())],
+            _: &mut Mailbox<()>,
+        ) -> Status {
             Status::Done
         }
         fn finish(self, _: &NodeCtx) {}
@@ -381,7 +470,10 @@ mod tests {
     #[test]
     fn non_adjacent_send_is_error() {
         let g = generators::path(3, 1);
-        let err = run_phase(&g, 0, SimConfig::standard(3, 1), |_, _| BadSender).unwrap_err();
+        let err = run_phase(&g, 0, SimConfig::standard(3, 1), "bad_sender", |_, _| {
+            BadSender
+        })
+        .unwrap_err();
         assert!(matches!(err, SimError::NotAdjacent { from: 0, to: 2 }));
     }
 
@@ -398,7 +490,13 @@ mod tests {
                 }
             }
         }
-        fn round(&mut self, _: &NodeCtx, _: usize, _: &[(NodeId, u64)], _: &mut Mailbox<u64>) -> Status {
+        fn round(
+            &mut self,
+            _: &NodeCtx,
+            _: usize,
+            _: &[(NodeId, u64)],
+            _: &mut Mailbox<u64>,
+        ) -> Status {
             Status::Done
         }
         fn finish(self, _: &NodeCtx) {}
@@ -409,11 +507,13 @@ mod tests {
         let g = generators::path(2, 1);
         let cfg = SimConfig {
             bandwidth: Bandwidth::bits(128),
-            log_messages: false,
-            max_rounds: 10,
+            ..SimConfig::standard(2, 1).with_max_rounds(10)
         };
-        let err = run_phase(&g, 0, cfg, |_, _| Hog).unwrap_err();
-        assert!(matches!(err, SimError::BandwidthExceeded { from: 0, to: 1, .. }));
+        let err = run_phase(&g, 0, cfg, "hog", |_, _| Hog).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::BandwidthExceeded { from: 0, to: 1, .. }
+        ));
     }
 
     /// A program that never halts: the round cap fires.
@@ -423,7 +523,13 @@ mod tests {
         type Msg = ();
         type Output = ();
         fn start(&mut self, _: &NodeCtx, _: &mut Mailbox<()>) {}
-        fn round(&mut self, _: &NodeCtx, _: usize, _: &[(NodeId, ())], _: &mut Mailbox<()>) -> Status {
+        fn round(
+            &mut self,
+            _: &NodeCtx,
+            _: usize,
+            _: &[(NodeId, ())],
+            _: &mut Mailbox<()>,
+        ) -> Status {
             Status::Running
         }
         fn finish(self, _: &NodeCtx) {}
@@ -433,16 +539,18 @@ mod tests {
     fn round_cap_fires() {
         let g = generators::path(2, 1);
         let cfg = SimConfig::standard(2, 1).with_max_rounds(7);
-        let err = run_phase(&g, 0, cfg, |_, _| Forever).unwrap_err();
-        assert!(matches!(err, SimError::RoundLimitExceeded { max_rounds: 7 }));
+        let err = run_phase(&g, 0, cfg, "forever", |_, _| Forever).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::RoundLimitExceeded { max_rounds: 7 }
+        ));
     }
 
     #[test]
     fn message_log_records_everything() {
         let g = generators::path(3, 1);
         let cfg = SimConfig::standard(3, 1).with_message_log();
-        let (_, stats) =
-            run_phase(&g, 0, cfg, |_, _| Relay { value: None }).unwrap();
+        let (_, stats) = run_phase(&g, 0, cfg, "relay", |_, _| Relay { value: None }).unwrap();
         assert_eq!(stats.message_log.len(), 2);
         assert_eq!(stats.message_log[0].from, 0);
         assert_eq!(stats.message_log[0].to, 1);
@@ -454,8 +562,10 @@ mod tests {
     #[test]
     fn stats_track_peak_channel_load() {
         let g = generators::path(6, 1);
-        let (_, stats) =
-            run_phase(&g, 0, SimConfig::standard(6, 1), |_, _| Relay { value: None }).unwrap();
+        let (_, stats) = run_phase(&g, 0, SimConfig::standard(6, 1), "relay", |_, _| Relay {
+            value: None,
+        })
+        .unwrap();
         assert!(stats.max_channel_bits >= 1);
         assert!(u64::from(stats.max_channel_bits) <= stats.bits);
     }

@@ -61,7 +61,13 @@ struct BfsTreeProgram {
 
 impl BfsTreeProgram {
     fn new() -> BfsTreeProgram {
-        BfsTreeProgram { joined: false, depth: 0, parent: None, children: Vec::new(), joined_round: None }
+        BfsTreeProgram {
+            joined: false,
+            depth: 0,
+            parent: None,
+            children: Vec::new(),
+            joined_round: None,
+        }
     }
 }
 
@@ -109,7 +115,11 @@ impl NodeProgram for BfsTreeProgram {
 
     fn finish(mut self, _ctx: &NodeCtx) -> TreeInfo {
         self.children.sort_unstable();
-        TreeInfo { parent: self.parent, children: self.children, depth: self.depth }
+        TreeInfo {
+            parent: self.parent,
+            children: self.children,
+            depth: self.depth,
+        }
     }
 }
 
@@ -137,7 +147,9 @@ pub fn bfs_tree(
     leader: NodeId,
     config: SimConfig,
 ) -> Result<(Vec<TreeInfo>, RoundStats), SimError> {
-    run_phase(graph, leader, config, |_, _| BfsTreeProgram::new())
+    run_phase(graph, leader, config, "bfs_tree", |_, _| {
+        BfsTreeProgram::new()
+    })
 }
 
 /// Associative aggregation used by [`converge_cast`].
@@ -292,13 +304,15 @@ pub fn converge_cast(
 ) -> Result<(u128, RoundStats), SimError> {
     assert_eq!(values.len(), graph.n());
     assert_eq!(tree.len(), graph.n());
-    let (out, stats) = run_phase(graph, leader, config, |v, _| ConvergeCastProgram {
-        tree: tree[v].clone(),
-        op,
-        acc: values[v],
-        waiting: tree[v].children.len(),
-        sent_up: false,
-        result: None,
+    let (out, stats) = run_phase(graph, leader, config, "converge_cast", |v, _| {
+        ConvergeCastProgram {
+            tree: tree[v].clone(),
+            op,
+            acc: values[v],
+            waiting: tree[v].children.len(),
+            sent_up: false,
+            result: None,
+        }
     })?;
     let result = out[leader];
     debug_assert!(out.iter().all(|&x| x == result));
@@ -400,7 +414,10 @@ impl NodeProgram for VecCastProgram {
     }
 
     fn finish(self, _ctx: &NodeCtx) -> Vec<u128> {
-        self.result.into_iter().map(|x| x.expect("vector cast completed")).collect()
+        self.result
+            .into_iter()
+            .map(|x| x.expect("vector cast completed"))
+            .collect()
     }
 }
 
@@ -426,17 +443,22 @@ pub fn converge_cast_vec(
     assert_eq!(values.len(), graph.n());
     assert_eq!(tree.len(), graph.n());
     let k = values[0].len();
-    assert!(values.iter().all(|v| v.len() == k), "vector length mismatch");
+    assert!(
+        values.iter().all(|v| v.len() == k),
+        "vector length mismatch"
+    );
     if k == 0 {
         return Ok((Vec::new(), RoundStats::default()));
     }
-    let (out, stats) = run_phase(graph, leader, config, |v, _| VecCastProgram {
-        tree: tree[v].clone(),
-        op,
-        acc: values[v].clone(),
-        seen: vec![0; k],
-        next_send: 0,
-        result: vec![None; k],
+    let (out, stats) = run_phase(graph, leader, config, "vector_cast", |v, _| {
+        VecCastProgram {
+            tree: tree[v].clone(),
+            op,
+            acc: values[v].clone(),
+            seen: vec![0; k],
+            next_send: 0,
+            result: vec![None; k],
+        }
     })?;
     Ok((out[leader].clone(), stats))
 }
@@ -531,7 +553,9 @@ impl NodeProgram for PipelinedBroadcastProgram {
             self.send_cursor += 1;
         }
         match self.expected {
-            Some(c) if self.received.len() as u64 == c && self.send_cursor == self.received.len() => {
+            Some(c)
+                if self.received.len() as u64 == c && self.send_cursor == self.received.len() =>
+            {
                 Status::Done
             }
             _ => Status::Running,
@@ -565,13 +589,19 @@ pub fn pipelined_broadcast(
     items: &[u128],
 ) -> Result<(Vec<Vec<u128>>, RoundStats), SimError> {
     assert_eq!(tree.len(), graph.n());
-    run_phase(graph, leader, config, |v, _| PipelinedBroadcastProgram {
-        tree: tree[v].clone(),
-        items: if v == leader { items.to_vec() } else { Vec::new() },
-        expected: None,
-        received: Vec::new(),
-        send_cursor: 0,
-        announced: false,
+    run_phase(graph, leader, config, "pipelined_broadcast", |v, _| {
+        PipelinedBroadcastProgram {
+            tree: tree[v].clone(),
+            items: if v == leader {
+                items.to_vec()
+            } else {
+                Vec::new()
+            },
+            expected: None,
+            received: Vec::new(),
+            send_cursor: 0,
+            announced: false,
+        }
     })
 }
 
@@ -701,14 +731,16 @@ pub fn collect_at_leader(
 ) -> Result<(Vec<(u64, u128)>, RoundStats), SimError> {
     assert_eq!(tree.len(), graph.n());
     assert_eq!(items.len(), graph.n());
-    let (out, stats) = run_phase(graph, leader, config, |v, _| CollectProgram {
-        tree: tree[v].clone(),
-        own: items[v].clone(),
-        queue: Vec::new(),
-        cursor: 0,
-        open_children: tree[v].children.len(),
-        finished_self: false,
-        collected: Vec::new(),
+    let (out, stats) = run_phase(graph, leader, config, "pipelined_collect", |v, _| {
+        CollectProgram {
+            tree: tree[v].clone(),
+            own: items[v].clone(),
+            queue: Vec::new(),
+            cursor: 0,
+            open_children: tree[v].children.len(),
+            finished_self: false,
+            collected: Vec::new(),
+        }
     })?;
     Ok((out[leader].clone(), stats))
 }
@@ -820,11 +852,16 @@ mod tests {
         let g = generators::erdos_renyi_connected(16, 0.2, 3, &mut rng);
         let (tree, _) = bfs_tree(&g, 0, std_cfg(&g)).unwrap();
         let items: Vec<Vec<(u64, u128)>> = (0..16)
-            .map(|v| if v % 3 == 0 { vec![(v as u64, (v * v) as u128)] } else { vec![] })
+            .map(|v| {
+                if v % 3 == 0 {
+                    vec![(v as u64, (v * v) as u128)]
+                } else {
+                    vec![]
+                }
+            })
             .collect();
         let (got, stats) = collect_at_leader(&g, 0, std_cfg(&g), &tree, &items).unwrap();
-        let mut want: Vec<(u64, u128)> =
-            items.iter().flatten().copied().collect();
+        let mut want: Vec<(u64, u128)> = items.iter().flatten().copied().collect();
         want.sort_unstable();
         assert_eq!(got, want);
         let depth = tree.iter().map(|t| t.depth).max().unwrap();
@@ -867,7 +904,11 @@ mod tests {
             assert_eq!(got[j], want, "element {j}");
         }
         let depth = tree.iter().map(|t| t.depth).max().unwrap();
-        assert!(stats.rounds <= 2 * (depth + k) + 8, "pipelined: {}", stats.rounds);
+        assert!(
+            stats.rounds <= 2 * (depth + k) + 8,
+            "pipelined: {}",
+            stats.rounds
+        );
     }
 
     #[test]
@@ -875,15 +916,20 @@ mod tests {
         // k = 30 elements over a depth-12 path: O(depth + k), not O(depth·k).
         let g = generators::path(13, 1);
         let (tree, _) = bfs_tree(&g, 0, std_cfg(&g)).unwrap();
-        let values: Vec<Vec<u128>> =
-            (0..13).map(|v| (0..30).map(|j| (v + j) as u128).collect()).collect();
+        let values: Vec<Vec<u128>> = (0..13)
+            .map(|v| (0..30).map(|j| (v + j) as u128).collect())
+            .collect();
         let (got, stats) =
             converge_cast_vec(&g, 0, std_cfg(&g), &tree, &values, Aggregate::Min).unwrap();
         assert_eq!(got.len(), 30);
         for (j, &x) in got.iter().enumerate() {
             assert_eq!(x, j as u128);
         }
-        assert!(stats.rounds <= 2 * (12 + 30) + 8, "rounds = {}", stats.rounds);
+        assert!(
+            stats.rounds <= 2 * (12 + 30) + 8,
+            "rounds = {}",
+            stats.rounds
+        );
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Integration tests of the telemetry layer: tracer equivalence (tracing
+//! must never change what the simulator computes or charges) and the JSONL
+//! interchange format.
+
+use congest_graph::{generators, WeightedGraph};
+use congest_sim::telemetry::{CountingTracer, JsonlTracer, Tracer};
+use congest_sim::{primitives, SimConfig, Telemetry, TraceEvent};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::{Arc, Mutex};
+
+fn arb_graph() -> impl Strategy<Value = WeightedGraph> {
+    (4usize..20, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        generators::erdos_renyi_connected(n, 0.25, 4, &mut rng)
+    })
+}
+
+fn cfg(g: &WeightedGraph) -> SimConfig {
+    SimConfig::standard(g.n(), g.max_weight()).with_max_rounds(1_000_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A run under the default (off) telemetry and a run under a
+    /// `CountingTracer` produce identical outputs and identical
+    /// `RoundStats`, and the tracer's aggregate counters agree with the
+    /// stats the simulator reports.
+    #[test]
+    fn counting_tracer_is_an_observer(g in arb_graph(), leader_pick in any::<usize>()) {
+        let leader = leader_pick % g.n();
+
+        let (tree_off, stats_off) = primitives::bfs_tree(&g, leader, cfg(&g)).unwrap();
+
+        let counting = Arc::new(CountingTracer::default());
+        let traced_cfg = cfg(&g).with_telemetry(Telemetry::new(counting.clone()));
+        let (tree_on, stats_on) = primitives::bfs_tree(&g, leader, traced_cfg).unwrap();
+
+        prop_assert_eq!(tree_off, tree_on);
+        prop_assert_eq!(&stats_off, &stats_on);
+
+        let snap = counting.snapshot();
+        prop_assert_eq!(snap.rounds + snap.padded_rounds, stats_on.rounds as u64);
+        prop_assert_eq!(snap.messages, stats_on.messages);
+        prop_assert_eq!(snap.bits, stats_on.bits);
+        prop_assert_eq!(snap.phases_started, 1);
+        prop_assert_eq!(snap.phases_ended, 1);
+    }
+
+    /// Enabling the streaming channel profile changes neither outputs nor
+    /// charged statistics.
+    #[test]
+    fn channel_profile_is_an_observer(g in arb_graph(), leader_pick in any::<usize>()) {
+        let leader = leader_pick % g.n();
+        let (tree_plain, stats_plain) = primitives::bfs_tree(&g, leader, cfg(&g)).unwrap();
+        let (tree_prof, stats_prof) =
+            primitives::bfs_tree(&g, leader, cfg(&g).with_channel_profile()).unwrap();
+        prop_assert_eq!(tree_plain, tree_prof);
+        prop_assert_eq!(&stats_plain, &stats_prof);
+    }
+}
+
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(data);
+        Ok(data.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The JSONL interchange format is pinned against a golden file: a change
+/// to the serialized shape breaks `wdr-trace` compatibility and must be
+/// deliberate (update `tests/golden/trace.jsonl` alongside the writer).
+#[test]
+fn jsonl_format_matches_golden_file() {
+    let buf = SharedBuf::default();
+    let tracer = JsonlTracer::new(Box::new(buf.clone()));
+    for event in [
+        TraceEvent::PhaseStart {
+            name: "outer".to_string(),
+        },
+        TraceEvent::PhaseStart {
+            name: "inner".to_string(),
+        },
+        TraceEvent::RoundCompleted {
+            round: 1,
+            messages: 4,
+            bits: 32,
+            max_channel_bits: 8,
+        },
+        TraceEvent::ChannelSaturation {
+            round: 1,
+            from: 0,
+            to: 1,
+            bits: 30,
+            budget_bits: 32,
+        },
+        TraceEvent::PhaseEnd {
+            name: "inner".to_string(),
+        },
+        TraceEvent::PadRounds {
+            rounds: 3,
+            reason: "fixed schedule".to_string(),
+        },
+        TraceEvent::ChannelProfile {
+            channel_rounds: 2,
+            p50_bits: 8,
+            p95_bits: 30,
+            max_bits: 30,
+            hot_edges: vec![congest_sim::telemetry::HotEdge {
+                from: 0,
+                to: 1,
+                bits: 62,
+            }],
+        },
+        TraceEvent::GroverIteration {
+            label: "outer_search".to_string(),
+            iterations: 17,
+            oracle_queries: 19,
+        },
+        TraceEvent::PhaseEnd {
+            name: "outer".to_string(),
+        },
+    ] {
+        tracer.record(&event);
+    }
+    tracer.flush();
+    let written = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    assert_eq!(written, include_str!("golden/trace.jsonl"));
+}
+
+/// A real simulated phase written through `JsonlTracer` stays parseable
+/// line-by-line and internally consistent with the reported stats.
+#[test]
+fn jsonl_trace_of_real_run_is_line_consistent() {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let g = generators::erdos_renyi_connected(12, 0.3, 4, &mut rng);
+    let buf = SharedBuf::default();
+    let telemetry = Telemetry::new(Arc::new(JsonlTracer::new(Box::new(buf.clone()))));
+    let (_, stats) =
+        primitives::bfs_tree(&g, 0, cfg(&g).with_telemetry(telemetry.clone())).unwrap();
+    telemetry.flush();
+    let written = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    let lines: Vec<&str> = written.lines().collect();
+    assert_eq!(
+        lines.first(),
+        Some(&r#"{"PhaseStart":{"name":"bfs_tree"}}"#)
+    );
+    assert_eq!(lines.last(), Some(&r#"{"PhaseEnd":{"name":"bfs_tree"}}"#));
+    let rounds = lines
+        .iter()
+        .filter(|l| l.starts_with(r#"{"RoundCompleted""#))
+        .count();
+    assert_eq!(rounds, stats.rounds);
+}

@@ -116,12 +116,20 @@ pub fn evaluate_sets(
                 return None;
             }
             let sd = SkeletonDistances::compute(g, set, scheme, params.k);
-            let eccs: Vec<f64> = sd.skeleton.iter().map(|&s| sd.approx_eccentricity(s)).collect();
+            let eccs: Vec<f64> = sd
+                .skeleton
+                .iter()
+                .map(|&s| sd.approx_eccentricity(s))
+                .collect();
             let f = match objective {
                 Objective::Diameter => eccs.iter().copied().fold(0.0f64, f64::max),
                 Objective::Radius => eccs.iter().copied().fold(f64::INFINITY, f64::min),
             };
-            Some(SetEval { skeleton: sd.skeleton, eccs, f })
+            Some(SetEval {
+                skeleton: sd.skeleton,
+                eccs,
+                f,
+            })
         })
         .collect()
 }
@@ -129,7 +137,12 @@ pub fn evaluate_sets(
 /// Lemma 3.4 diagnostics: the number of sets whose `f(i)` reaches the true
 /// objective (from above for the diameter, from below within `(1+ε)²` for
 /// the radius).
-pub fn marked_set_count(evals: &[Option<SetEval>], exact: f64, objective: Objective, eps: f64) -> usize {
+pub fn marked_set_count(
+    evals: &[Option<SetEval>],
+    exact: f64,
+    objective: Objective,
+    eps: f64,
+) -> usize {
     evals
         .iter()
         .flatten()
@@ -161,6 +174,8 @@ pub fn quantum_weighted<R: Rng + ?Sized>(
     assert!(g.is_connected(), "CONGEST networks are connected");
     let n = g.n();
     let minimize = objective == Objective::Radius;
+    let telemetry = config.telemetry.clone();
+    let _algo_span = telemetry.span("quantum_weighted");
 
     // 1. Initialization (free): sample the n sets.
     let rate = params.sample_rate(n);
@@ -182,6 +197,7 @@ pub fn quantum_weighted<R: Rng + ?Sized>(
     let rep_eval = evals[rep].as_ref().expect("representative is non-empty");
 
     let scheme = params.scheme();
+    let measure_span = telemetry.span("measure_phase_costs");
     let state = SkeletonState::initialize(
         g,
         leader,
@@ -210,35 +226,64 @@ pub fn quantum_weighted<R: Rng + ?Sized>(
     let (tree, _) = primitives::bfs_tree(g, leader, config)?;
     let depth = tree.iter().map(|t| t.depth).max().unwrap_or(0);
     let t_setup_outer = depth + 1;
+    measure_span.end();
 
     // 3. Inner searches (one per set, oblivious budget): each produces the
     //    sample the outer oracle would observe for that branch.
+    let inner_span = telemetry.span("inner_search");
     let max_size = sizes.last().unwrap().0;
     let rho_inner = 1.0 / max_size as f64;
     let inner_budget = lemma_3_1_budget(rho_inner, params.delta);
     let f_hat: Vec<u64> = evals
         .iter()
-        .map(|e| match e {
+        .enumerate()
+        .map(|(i, e)| match e {
             None => ordered_bits(if minimize { f64::INFINITY } else { 0.0 }),
             Some(e) => {
                 if e.eccs.len() == 1 {
                     ordered_bits(e.eccs[0])
                 } else {
-                    let out =
-                        find_above_threshold(&to_bits(&e.eccs), rho_inner, params.delta, minimize, rng);
+                    let out = find_above_threshold(
+                        &to_bits(&e.eccs),
+                        rho_inner,
+                        params.delta,
+                        minimize,
+                        rng,
+                    );
+                    telemetry.emit_with(|| congest_sim::TraceEvent::GroverIteration {
+                        label: format!("inner_threshold_search/set_{i}"),
+                        iterations: out.trace.grover_iterations,
+                        oracle_queries: out.trace.oracle_queries(),
+                    });
                     ordered_bits(e.eccs[out.best])
                 }
             }
         })
         .collect();
+    inner_span.end();
 
     // 4. Outer search (Lemma 3.1 with ρ = Θ(r/n) from Good-Scale).
+    let outer_span = telemetry.span("outer_search");
     let rho_outer = (params.r / (2.0 * n as f64)).clamp(1.0 / n as f64, 1.0);
-    let inner_cost = PhaseCosts { t0, t_setup: t1, t_eval: t2 };
+    let inner_cost = PhaseCosts {
+        t0,
+        t_setup: t1,
+        t_eval: t2,
+    };
     let c_eval_outer = inner_cost.charge_oblivious(inner_budget);
-    let outer_cost = PhaseCosts { t0: 0, t_setup: t_setup_outer, t_eval: c_eval_outer };
+    let outer_cost = PhaseCosts {
+        t0: 0,
+        t_setup: t_setup_outer,
+        t_eval: c_eval_outer,
+    };
     let outcome = optimize(&f_hat, rho_outer, params.delta, minimize, outer_cost, rng);
     let budgeted_rounds = outer_cost.charge_oblivious(outcome.budget);
+    telemetry.emit_with(|| congest_sim::TraceEvent::GroverIteration {
+        label: "outer_search/lemma_3_1".to_string(),
+        iterations: outcome.trace.grover_iterations,
+        oracle_queries: outcome.trace.oracle_queries(),
+    });
+    outer_span.end();
 
     let chosen_set = outcome.best;
     let estimate = crate::framework::from_ordered_bits(f_hat[chosen_set]);
@@ -340,10 +385,13 @@ mod tests {
         for trial in 0..5 {
             let g = generators::erdos_renyi_connected(12, 0.25, 6, &mut rng);
             let p = small_params(&g);
-            let rep =
-                quantum_weighted(&g, 0, Objective::Diameter, &p, cfg(&g), &mut rng).unwrap();
+            let rep = quantum_weighted(&g, 0, Objective::Diameter, &p, cfg(&g), &mut rng).unwrap();
             let bound = (1.0 + p.eps) * (1.0 + p.eps) * rep.exact + 1e-6;
-            assert!(rep.estimate <= bound, "trial {trial}: {} > {bound}", rep.estimate);
+            assert!(
+                rep.estimate <= bound,
+                "trial {trial}: {} > {bound}",
+                rep.estimate
+            );
             if rep.estimate >= rep.exact - 1e-6 {
                 ok += 1;
             }
@@ -383,7 +431,10 @@ mod tests {
         let evals = evaluate_sets(&g, &sets, &p, Objective::Diameter);
         let exact = metrics::diameter(&g).as_f64();
         let marked = marked_set_count(&evals, exact, Objective::Diameter, p.eps);
-        assert!(marked >= 1, "at least one set must contain a diameter witness");
+        assert!(
+            marked >= 1,
+            "at least one set must contain a diameter witness"
+        );
         let cap = (1.0 + p.eps) * (1.0 + p.eps) * exact + 1e-6;
         for e in evals.iter().flatten() {
             assert!(e.f <= cap, "f(i) = {} exceeds (1+ε)²D = {cap}", e.f);
@@ -397,9 +448,17 @@ mod tests {
         let p = small_params(&g);
         let rep = quantum_weighted(&g, 0, Objective::Diameter, &p, cfg(&g), &mut rng).unwrap();
         assert!(rep.t0 > 0 && rep.t1 > 0 && rep.t2 > 0);
-        let inner = PhaseCosts { t0: rep.t0, t_setup: rep.t1, t_eval: rep.t2 };
+        let inner = PhaseCosts {
+            t0: rep.t0,
+            t_setup: rep.t1,
+            t_eval: rep.t2,
+        };
         let c_eval = inner.charge_oblivious(rep.inner_budget);
-        let outer = PhaseCosts { t0: 0, t_setup: rep.t_setup_outer, t_eval: c_eval };
+        let outer = PhaseCosts {
+            t0: 0,
+            t_setup: rep.t_setup_outer,
+            t_eval: c_eval,
+        };
         assert_eq!(rep.total_rounds, outer.charge(rep.outer_trace));
     }
 
@@ -409,8 +468,7 @@ mod tests {
         let g = generators::erdos_renyi_connected(11, 0.3, 4, &mut rng);
         let p = small_params(&g);
         let set = vec![0, 3, 6, 9];
-        let (dist, reference, stats) =
-            validate_set(&g, 0, &set, &p, cfg(&g), &mut rng).unwrap();
+        let (dist, reference, stats) = validate_set(&g, 0, &set, &p, cfg(&g), &mut rng).unwrap();
         for (a, b) in dist.iter().zip(&reference) {
             assert!((a - b).abs() < 1e-9, "{a} vs {b}");
         }
@@ -493,7 +551,12 @@ pub fn quantum_weighted_min_branch<R: Rng + ?Sized>(
             Objective::Diameter => dia.as_f64(),
             Objective::Radius => rad.as_f64(),
         };
-        Ok(MinBranchReport { branch: Branch::ClassicalApsp, estimate: value, exact: value, rounds: stats.rounds })
+        Ok(MinBranchReport {
+            branch: Branch::ClassicalApsp,
+            estimate: value,
+            exact: value,
+            rounds: stats.rounds,
+        })
     }
 }
 

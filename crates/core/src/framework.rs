@@ -107,8 +107,15 @@ mod tests {
 
     #[test]
     fn charge_formula() {
-        let c = PhaseCosts { t0: 100, t_setup: 3, t_eval: 7 };
-        let t = SearchTrace { grover_iterations: 10, measurements: 4 };
+        let c = PhaseCosts {
+            t0: 100,
+            t_setup: 3,
+            t_eval: 7,
+        };
+        let t = SearchTrace {
+            grover_iterations: 10,
+            measurements: 4,
+        };
         assert_eq!(c.charge(t), 100 + (20 + 4) * 10);
         assert_eq!(c.charge_oblivious(5), 100 + 15 * 10);
     }
@@ -127,9 +134,19 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let n = 400;
         let values: Vec<u64> = (0..n)
-            .map(|i| ordered_bits(if i % 40 == 0 { 1000.0 + i as f64 } else { i as f64 % 500.0 }))
+            .map(|i| {
+                ordered_bits(if i % 40 == 0 {
+                    1000.0 + i as f64
+                } else {
+                    i as f64 % 500.0
+                })
+            })
             .collect();
-        let costs = PhaseCosts { t0: 50, t_setup: 2, t_eval: 11 };
+        let costs = PhaseCosts {
+            t0: 50,
+            t_setup: 2,
+            t_eval: 11,
+        };
         let mut ok = 0;
         for _ in 0..50 {
             let out = optimize(&values, 10.0 / 400.0, 0.1, false, costs, &mut rng);
@@ -146,7 +163,13 @@ mod tests {
     fn optimize_minimizes() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let values: Vec<u64> = (0..300)
-            .map(|i| ordered_bits(if i % 30 == 0 { i as f64 / 100.0 } else { 50.0 + i as f64 }))
+            .map(|i| {
+                ordered_bits(if i % 30 == 0 {
+                    i as f64 / 100.0
+                } else {
+                    50.0 + i as f64
+                })
+            })
             .collect();
         let out = optimize(&values, 0.03, 0.05, true, PhaseCosts::default(), &mut rng);
         assert!(from_ordered_bits(values[out.best]) < 50.0);
@@ -155,7 +178,11 @@ mod tests {
     #[test]
     fn rounds_scale_with_one_over_sqrt_rho() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let costs = PhaseCosts { t0: 0, t_setup: 1, t_eval: 1 };
+        let costs = PhaseCosts {
+            t0: 0,
+            t_setup: 1,
+            t_eval: 1,
+        };
         let mk = |top: usize, n: usize| -> Vec<u64> {
             (0..n)
                 .map(|i| ordered_bits(if i % (n / top) == 0 { 900.0 } else { 1.0 }))

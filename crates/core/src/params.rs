@@ -41,7 +41,13 @@ impl WdrParams {
         let r = (nf.powf(0.4) * df.powf(-0.2)).max(1.0);
         let ell = ((nf * nf.log2()) / r).ceil().max(1.0) as usize;
         let k = df.sqrt().round().max(1.0) as usize;
-        WdrParams { eps, r, ell, k, delta: 1.0 / nf }
+        WdrParams {
+            eps,
+            r,
+            ell,
+            k,
+            delta: 1.0 / nf,
+        }
     }
 
     /// Benchmark variant: the same polynomial scaling with a fixed,

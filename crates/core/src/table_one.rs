@@ -89,7 +89,11 @@ pub fn rows(n: usize, d: usize) -> Vec<TableOneRow> {
             variant: Unweighted,
             approx: "3/2",
             classical_upper: ("√n+D", sqrt_n_plus_d),
-            quantum_upper: if problem == Diameter { ("∛(nD)+D", cbrt) } else { ("√n+D", sqrt_n_plus_d) },
+            quantum_upper: if problem == Diameter {
+                ("∛(nD)+D", cbrt)
+            } else {
+                ("√n+D", sqrt_n_plus_d)
+            },
             classical_lower: None,
             quantum_lower: None,
             this_work: false,
@@ -149,7 +153,11 @@ impl fmt::Display for TableOneRow {
 pub fn to_markdown(n: usize, d: usize) -> String {
     let mut out = String::new();
     use std::fmt::Write as _;
-    writeln!(out, "| problem | variant | approx | classical Õ | quantum Õ | classical Ω̃ | quantum Ω̃ |").unwrap();
+    writeln!(
+        out,
+        "| problem | variant | approx | classical Õ | quantum Õ | classical Ω̃ | quantum Ω̃ |"
+    )
+    .unwrap();
     writeln!(out, "|---|---|---|---|---|---|---|").unwrap();
     for r in rows(n, d) {
         let fmt_opt = |o: &Option<(&'static str, f64)>| match o {

@@ -94,13 +94,20 @@ pub fn quantum_unweighted<R: Rng + ?Sized>(
         &depths,
         primitives::Aggregate::Max,
     )?;
-    debug_assert_eq!(rep_ecc as u64, eccs[rep], "distributed BFS eccentricity disagrees");
+    debug_assert_eq!(
+        rep_ecc as u64, eccs[rep],
+        "distributed BFS eccentricity disagrees"
+    );
     debug_assert!(tree_stats.rounds > 0);
     let t_eval = rep_stats.rounds + cc_stats.rounds;
 
     let minimize = objective == Objective::Radius;
     let values: Vec<u64> = eccs.iter().map(|&e| ordered_bits(e as f64)).collect();
-    let costs = PhaseCosts { t0: 0, t_setup, t_eval };
+    let costs = PhaseCosts {
+        t0: 0,
+        t_setup,
+        t_eval,
+    };
     let outcome = optimize(&values, 1.0 / n as f64, delta, minimize, costs, rng);
     let budgeted_rounds = costs.charge_oblivious(outcome.budget);
 

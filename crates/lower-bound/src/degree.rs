@@ -105,7 +105,11 @@ pub fn best_uniform_error(f: &SymmetricFn, d: usize) -> f64 {
     let mut a = Vec::with_capacity(2 * (k + 1));
     let mut b = Vec::with_capacity(2 * (k + 1));
     for i in 0..=k {
-        let z = if k == 0 { 0.0 } else { 2.0 * i as f64 / k as f64 - 1.0 };
+        let z = if k == 0 {
+            0.0
+        } else {
+            2.0 * i as f64 / k as f64 - 1.0
+        };
         let fi = if f.values()[i] { 1.0 } else { 0.0 };
         let mut pos = vec![0.0; nv];
         let mut neg = vec![0.0; nv];
@@ -189,13 +193,20 @@ mod tests {
 
     #[test]
     fn constant_has_degree_zero() {
-        assert_eq!(approx_degree(&SymmetricFn::new(vec![false; 6]), 1.0 / 3.0), 0);
+        assert_eq!(
+            approx_degree(&SymmetricFn::new(vec![false; 6]), 1.0 / 3.0),
+            0
+        );
     }
 
     #[test]
     fn parity_needs_full_degree() {
         for k in 1..=8 {
-            assert_eq!(approx_degree(&SymmetricFn::parity(k), 1.0 / 3.0), k, "k={k}");
+            assert_eq!(
+                approx_degree(&SymmetricFn::parity(k), 1.0 / 3.0),
+                k,
+                "k={k}"
+            );
         }
     }
 

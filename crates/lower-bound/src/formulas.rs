@@ -31,7 +31,11 @@ impl GadgetDims {
     pub fn new(h: u32) -> GadgetDims {
         assert!(h > 0 && h.is_multiple_of(2), "h must be positive and even");
         let s = 3 * h / 2;
-        GadgetDims { h, s, ell: 1 << (s - h) }
+        GadgetDims {
+            h,
+            s,
+            ell: 1 << (s - h),
+        }
     }
 
     /// Custom dimensions decoupled from Eq. (2)'s `s = 3h/2`, `ℓ = 2^{s−h}`
@@ -191,7 +195,9 @@ impl ReadOnce {
         let blocks = (0..dims.blocks())
             .map(|i| {
                 ReadOnce::Or(
-                    (0..per_block).map(|j| ReadOnce::Var(i * per_block + j)).collect(),
+                    (0..per_block)
+                        .map(|j| ReadOnce::Var(i * per_block + j))
+                        .collect(),
                 )
             })
             .collect();
@@ -296,7 +302,10 @@ mod tests {
     fn promise_strings_match_lemma_4_7() {
         // Listed MSB→LSB as in the paper: x ∈ {0011,1001,1100,0110}.
         let as_str = |bits: [bool; 4]| -> String {
-            (0..4).rev().map(|j| if bits[j] { '1' } else { '0' }).collect()
+            (0..4)
+                .rev()
+                .map(|j| if bits[j] { '1' } else { '0' })
+                .collect()
         };
         let alice: Vec<String> = (0..4).map(|a| as_str(ver_encode_alice(a))).collect();
         assert_eq!(alice, vec!["0011", "1001", "1100", "0110"]);

@@ -109,7 +109,11 @@ impl GadgetLayout {
         if with_a0 {
             kinds.push(GadgetNode::AZero);
         }
-        GadgetLayout { dims, with_a0, kinds }
+        GadgetLayout {
+            dims,
+            with_a0,
+            kinds,
+        }
     }
 
     /// The gadget dimensions.
@@ -167,7 +171,12 @@ impl GadgetLayout {
             }
             GadgetNode::BSide(j, c) => {
                 assert!(j >= 1 && j <= s && c <= 1);
-                tree_total + path_total + 2 * block + 2 * s as usize + 2 * (j as usize - 1) + c as usize
+                tree_total
+                    + path_total
+                    + 2 * block
+                    + 2 * s as usize
+                    + 2 * (j as usize - 1)
+                    + c as usize
             }
             GadgetNode::AStar(j) => {
                 assert!(j >= 1 && j <= ell);
@@ -175,7 +184,12 @@ impl GadgetLayout {
             }
             GadgetNode::BStar(j) => {
                 assert!(j >= 1 && j <= ell);
-                tree_total + path_total + 2 * block + 4 * s as usize + ell as usize + (j as usize - 1)
+                tree_total
+                    + path_total
+                    + 2 * block
+                    + 4 * s as usize
+                    + ell as usize
+                    + (j as usize - 1)
             }
             GadgetNode::AZero => {
                 assert!(self.with_a0, "a₀ exists only in the radius gadget");
@@ -266,7 +280,14 @@ pub fn node_count(dims: &GadgetDims, with_a0: bool) -> usize {
         + usize::from(with_a0)
 }
 
-fn build(dims: &GadgetDims, x: &[bool], y: &[bool], alpha: Weight, beta: Weight, with_a0: bool) -> Gadget {
+fn build(
+    dims: &GadgetDims,
+    x: &[bool],
+    y: &[bool],
+    alpha: Weight,
+    beta: Weight,
+    with_a0: bool,
+) -> Gadget {
     assert!(alpha >= 2, "α must exceed the unit weights");
     assert!(beta > alpha, "β must exceed α");
     assert_eq!(x.len(), dims.input_len());
@@ -285,7 +306,10 @@ fn build(dims: &GadgetDims, x: &[bool], y: &[bool], alpha: Weight, beta: Weight,
         for j in 1..=(1u32 << depth) {
             b.add_edge(
                 id(GadgetNode::Tree { depth, j }),
-                id(GadgetNode::Tree { depth: depth - 1, j: j.div_ceil(2) }),
+                id(GadgetNode::Tree {
+                    depth: depth - 1,
+                    j: j.div_ceil(2),
+                }),
                 1,
             );
         }
@@ -313,20 +337,67 @@ fn build(dims: &GadgetDims, x: &[bool], y: &[bool], alpha: Weight, beta: Weight,
     // E′: path endpoints into V_A and V_B (weight 1 — "including the
     // endpoints in V_A and V_B").
     for i in 1..=s {
-        b.add_edge(id(GadgetNode::ASide(i, 0)), id(GadgetNode::Path { path: 2 * i - 1, j: 1 }), 1);
-        b.add_edge(id(GadgetNode::ASide(i, 1)), id(GadgetNode::Path { path: 2 * i, j: 1 }), 1);
-        b.add_edge(id(GadgetNode::BSide(i, 0)), id(GadgetNode::Path { path: 2 * i, j: width }), 1);
-        b.add_edge(id(GadgetNode::BSide(i, 1)), id(GadgetNode::Path { path: 2 * i - 1, j: width }), 1);
+        b.add_edge(
+            id(GadgetNode::ASide(i, 0)),
+            id(GadgetNode::Path {
+                path: 2 * i - 1,
+                j: 1,
+            }),
+            1,
+        );
+        b.add_edge(
+            id(GadgetNode::ASide(i, 1)),
+            id(GadgetNode::Path { path: 2 * i, j: 1 }),
+            1,
+        );
+        b.add_edge(
+            id(GadgetNode::BSide(i, 0)),
+            id(GadgetNode::Path {
+                path: 2 * i,
+                j: width,
+            }),
+            1,
+        );
+        b.add_edge(
+            id(GadgetNode::BSide(i, 1)),
+            id(GadgetNode::Path {
+                path: 2 * i - 1,
+                j: width,
+            }),
+            1,
+        );
     }
     for j in 1..=ell {
-        b.add_edge(id(GadgetNode::AStar(j)), id(GadgetNode::Path { path: 2 * s + j, j: 1 }), 1);
-        b.add_edge(id(GadgetNode::BStar(j)), id(GadgetNode::Path { path: 2 * s + j, j: width }), 1);
+        b.add_edge(
+            id(GadgetNode::AStar(j)),
+            id(GadgetNode::Path {
+                path: 2 * s + j,
+                j: 1,
+            }),
+            1,
+        );
+        b.add_edge(
+            id(GadgetNode::BStar(j)),
+            id(GadgetNode::Path {
+                path: 2 * s + j,
+                j: width,
+            }),
+            1,
+        );
     }
     // E_A / E_B: address edges a_i — a_j^{bin(i,j)} (weight α).
     for i in 1..=(1u32 << s) {
         for j in 1..=s {
-            b.add_edge(id(GadgetNode::A(i)), id(GadgetNode::ASide(j, bin(i, j))), alpha);
-            b.add_edge(id(GadgetNode::B(i)), id(GadgetNode::BSide(j, bin(i, j))), alpha);
+            b.add_edge(
+                id(GadgetNode::A(i)),
+                id(GadgetNode::ASide(j, bin(i, j))),
+                alpha,
+            );
+            b.add_edge(
+                id(GadgetNode::B(i)),
+                id(GadgetNode::BSide(j, bin(i, j))),
+                alpha,
+            );
         }
     }
     // Cliques on {a_i} and {b_i} (weight α).
@@ -353,17 +424,34 @@ fn build(dims: &GadgetDims, x: &[bool], y: &[bool], alpha: Weight, beta: Weight,
         }
     }
     let graph = b.build().expect("gadget construction is valid");
-    Gadget { graph, layout, alpha, beta }
+    Gadget {
+        graph,
+        layout,
+        alpha,
+        beta,
+    }
 }
 
 /// Builds the Figure 2 gadget (diameter hardness, Theorem 4.2).
-pub fn diameter_gadget(dims: &GadgetDims, x: &[bool], y: &[bool], alpha: Weight, beta: Weight) -> Gadget {
+pub fn diameter_gadget(
+    dims: &GadgetDims,
+    x: &[bool],
+    y: &[bool],
+    alpha: Weight,
+    beta: Weight,
+) -> Gadget {
     build(dims, x, y, alpha, beta, false)
 }
 
 /// Builds the Figure 4 gadget (radius hardness, Theorem 4.8): the diameter
 /// gadget plus the center candidate `a₀`.
-pub fn radius_gadget(dims: &GadgetDims, x: &[bool], y: &[bool], alpha: Weight, beta: Weight) -> Gadget {
+pub fn radius_gadget(
+    dims: &GadgetDims,
+    x: &[bool],
+    y: &[bool],
+    alpha: Weight,
+    beta: Weight,
+) -> Gadget {
     build(dims, x, y, alpha, beta, true)
 }
 
@@ -379,9 +467,17 @@ mod tests {
         GadgetDims::new(2)
     }
 
-    fn random_inputs(dims: &GadgetDims, density: f64, rng: &mut ChaCha8Rng) -> (Vec<bool>, Vec<bool>) {
-        let x = (0..dims.input_len()).map(|_| rng.gen_bool(density)).collect();
-        let y = (0..dims.input_len()).map(|_| rng.gen_bool(density)).collect();
+    fn random_inputs(
+        dims: &GadgetDims,
+        density: f64,
+        rng: &mut ChaCha8Rng,
+    ) -> (Vec<bool>, Vec<bool>) {
+        let x = (0..dims.input_len())
+            .map(|_| rng.gen_bool(density))
+            .collect();
+        let y = (0..dims.input_len())
+            .map(|_| rng.gen_bool(density))
+            .collect();
         (x, y)
     }
 
@@ -516,14 +612,23 @@ mod tests {
         let dims = dims2();
         let (alpha, beta) = paper_weights(&dims);
         let n_inputs = dims.input_len();
-        let g = diameter_gadget(&dims, &vec![true; n_inputs], &vec![false; n_inputs], alpha, beta);
+        let g = diameter_gadget(
+            &dims,
+            &vec![true; n_inputs],
+            &vec![false; n_inputs],
+            alpha,
+            beta,
+        );
         let c = contract::contract_unit_edges(&g.graph);
         let m = (2 * dims.s + dims.ell) as usize;
         let expected = 1 + m + 2 * dims.blocks();
         assert_eq!(c.graph.n(), expected, "contracted node count");
         // The whole tree is one class.
         let t_root = g.layout.id(GadgetNode::Tree { depth: 0, j: 1 });
-        let t_leaf = g.layout.id(GadgetNode::Tree { depth: dims.h, j: 1 });
+        let t_leaf = g.layout.id(GadgetNode::Tree {
+            depth: dims.h,
+            j: 1,
+        });
         assert_eq!(c.image(t_root), c.image(t_leaf));
         // A path merges with its two V_A/V_B endpoints.
         let p = g.layout.id(GadgetNode::Path { path: 1, j: 2 });

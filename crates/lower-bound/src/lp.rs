@@ -120,7 +120,10 @@ pub fn solve(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LpOutcome {
             x[bi] = rows[i][width - 1];
         }
     }
-    LpOutcome::Optimal { value: -obj[width - 1], x }
+    LpOutcome::Optimal {
+        value: -obj[width - 1],
+        x,
+    }
 }
 
 /// Runs simplex pivots until optimal; returns `false` on unboundedness.
@@ -141,7 +144,9 @@ fn pivot_loop(
         for (i, row) in rows.iter().enumerate() {
             if row[enter] > EPS {
                 let ratio = row[width - 1] / row[enter];
-                if ratio < best - EPS || (ratio < best + EPS && leave.is_none_or(|l: usize| basis[i] < basis[l])) {
+                if ratio < best - EPS
+                    || (ratio < best + EPS && leave.is_none_or(|l: usize| basis[i] < basis[l]))
+                {
                     best = ratio;
                     leave = Some(i);
                 }
@@ -197,11 +202,7 @@ mod tests {
         // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18  →  opt 36 at (2, 6).
         let out = solve(
             &[-3.0, -5.0],
-            &[
-                vec![1.0, 0.0],
-                vec![0.0, 2.0],
-                vec![3.0, 2.0],
-            ],
+            &[vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]],
             &[4.0, 12.0, 18.0],
         );
         match out {

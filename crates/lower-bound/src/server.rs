@@ -134,7 +134,13 @@ mod tests {
         s.send(Party::Alice, 8);
         s.send(Party::Bob, 8);
         s.send(Party::Server, 1000);
-        assert_eq!(s.cost(), ServerCost { messages: 2, bits: 16 });
+        assert_eq!(
+            s.cost(),
+            ServerCost {
+                messages: 2,
+                bits: 16
+            }
+        );
         assert_eq!(s.transcript().len(), 4);
     }
 
@@ -181,7 +187,10 @@ mod tests {
         let cfg = SimConfig::standard(u.n(), 1).with_message_log();
         let (_, stats) = bounded_distance_sssp(&u, root, root, 2, cfg).unwrap();
         let report = simulate_transcript(&g.layout, &stats.message_log);
-        assert_eq!(report.cost.messages, 0, "tree-interior messages are server-internal");
+        assert_eq!(
+            report.cost.messages, 0,
+            "tree-interior messages are server-internal"
+        );
         assert!(report.within_horizon);
     }
 }

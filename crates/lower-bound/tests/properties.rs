@@ -3,7 +3,9 @@
 use congest_graph::metrics;
 use congest_lb::degree::{approx_degree, best_uniform_error, SymmetricFn};
 use congest_lb::formulas::{f_diameter, f_radius, GadgetDims};
-use congest_lb::gadget::{diameter_gadget, node_count, paper_weights, radius_gadget, GadgetLayout, Party};
+use congest_lb::gadget::{
+    diameter_gadget, node_count, paper_weights, radius_gadget, GadgetLayout, Party,
+};
 use congest_lb::lp::{solve, LpOutcome};
 use proptest::prelude::*;
 

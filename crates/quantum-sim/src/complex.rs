@@ -43,19 +43,28 @@ impl Complex {
 
     /// The complex conjugate.
     pub fn conj(self) -> Complex {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Scales by a real factor.
     pub fn scale(self, k: f64) -> Complex {
-        Complex { re: self.re * k, im: self.im * k }
+        Complex {
+            re: self.re * k,
+            im: self.im * k,
+        }
     }
 }
 
 impl Add for Complex {
     type Output = Complex;
     fn add(self, o: Complex) -> Complex {
-        Complex { re: self.re + o.re, im: self.im + o.im }
+        Complex {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
 }
 
@@ -69,7 +78,10 @@ impl AddAssign for Complex {
 impl Sub for Complex {
     type Output = Complex;
     fn sub(self, o: Complex) -> Complex {
-        Complex { re: self.re - o.re, im: self.im - o.im }
+        Complex {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
     }
 }
 
@@ -86,7 +98,10 @@ impl Mul for Complex {
 impl Neg for Complex {
     type Output = Complex;
     fn neg(self) -> Complex {
-        Complex { re: -self.re, im: -self.im }
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 

@@ -69,6 +69,14 @@ pub fn iteration_cap(rho: f64) -> u64 {
     (std::f64::consts::FRAC_PI_4 / angle(rho)).ceil() as u64 + 1
 }
 
+/// Oracle queries charged to a search run: one phase-oracle application per
+/// Grover iteration plus one verification query per measurement (the
+/// classical check that a measured item is indeed marked). This is the
+/// query count a `GroverIteration` telemetry event reports.
+pub fn oracle_queries(iterations: u64, measurements: u64) -> u64 {
+    iterations + measurements
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,5 +148,11 @@ mod tests {
     #[should_panic(expected = "ρ must be in")]
     fn invalid_rho_panics() {
         let _ = success_probability(1.5, 1);
+    }
+
+    #[test]
+    fn oracle_query_accounting() {
+        assert_eq!(oracle_queries(10, 3), 13);
+        assert_eq!(oracle_queries(0, 0), 0);
     }
 }

@@ -37,6 +37,12 @@ impl SearchTrace {
         self.grover_iterations += other.grover_iterations;
         self.measurements += other.measurements;
     }
+
+    /// Total oracle queries this trace represents
+    /// ([`crate::grover::oracle_queries`]).
+    pub fn oracle_queries(&self) -> u64 {
+        crate::grover::oracle_queries(self.grover_iterations, self.measurements)
+    }
 }
 
 /// The result of a search: the found item (if any) and the trace.
@@ -78,7 +84,10 @@ pub fn bbht<R: Rng + ?Sized>(
     max_iterations: u64,
 ) -> SearchOutcome {
     assert!(total > 0, "empty search space");
-    assert!(marked.iter().all(|&i| i < total), "marked index out of range");
+    assert!(
+        marked.iter().all(|&i| i < total),
+        "marked index out of range"
+    );
     let t = marked.len();
     let mut trace = SearchTrace::default();
     if t == 0 {
@@ -104,7 +113,10 @@ pub fn bbht<R: Rng + ?Sized>(
         if rng.gen_bool(p.clamp(0.0, 1.0)) {
             // Measured a marked item: uniform over the marked set.
             let pick = marked[rng.gen_range(0..t)];
-            return SearchOutcome { found: Some(pick), trace };
+            return SearchOutcome {
+                found: Some(pick),
+                trace,
+            };
         }
         m = (lambda * m).min(sqrt_n);
     }
@@ -167,7 +179,10 @@ pub fn bbht_on_statevector<R: Rng + ?Sized>(
         let state = crate::statevector::grover_state(qubits, &marked, j as u32);
         let outcome = state.measure(rng);
         if marked(outcome) {
-            return SearchOutcome { found: Some(outcome), trace };
+            return SearchOutcome {
+                found: Some(outcome),
+                trace,
+            };
         }
         m = (lambda * m).min(sqrt_n);
     }
@@ -230,10 +245,15 @@ where
     let n = values.len();
     // Initial threshold: measure the uniform superposition (one measurement).
     let mut best = rng.gen_range(0..n);
-    let mut trace = SearchTrace { grover_iterations: 0, measurements: 1 };
+    let mut trace = SearchTrace {
+        grover_iterations: 0,
+        measurements: 1,
+    };
     let mut threshold_updates = 0u64;
     loop {
-        let marked: Vec<usize> = (0..n).filter(|&i| better(&values[i], &values[best])).collect();
+        let marked: Vec<usize> = (0..n)
+            .filter(|&i| better(&values[i], &values[best]))
+            .collect();
         if marked.is_empty() {
             break;
         }
@@ -251,7 +271,11 @@ where
             None => break,
         }
     }
-    OptimizeOutcome { best, threshold_updates, trace }
+    OptimizeOutcome {
+        best,
+        threshold_updates,
+        trace,
+    }
 }
 
 /// The Lemma 3.1 primitive: given oracle access to `values` whose top mass
@@ -382,10 +406,14 @@ mod tests {
     fn durr_hoyer_iterations_scale_sublinearly() {
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         let avg_iters = |n: usize, rng: &mut ChaCha8Rng| {
-            let values: Vec<u64> = (0..n).map(|i| ((i * 2654435761) % 100_000) as u64).collect();
+            let values: Vec<u64> = (0..n)
+                .map(|i| ((i * 2654435761) % 100_000) as u64)
+                .collect();
             let mut sum = 0u64;
             for _ in 0..25 {
-                sum += durr_hoyer_max(&values, rng, u64::MAX).trace.grover_iterations;
+                sum += durr_hoyer_max(&values, rng, u64::MAX)
+                    .trace
+                    .grover_iterations;
             }
             sum as f64 / 25.0
         };
@@ -404,7 +432,13 @@ mod tests {
         let n = 1000;
         // 20 elements of value ≥ 900 (ρ = 0.02), the rest below.
         let values: Vec<u64> = (0..n)
-            .map(|i| if i % 50 == 0 { 900 + (i % 90) as u64 } else { (i % 800) as u64 })
+            .map(|i| {
+                if i % 50 == 0 {
+                    900 + (i % 90) as u64
+                } else {
+                    (i % 800) as u64
+                }
+            })
             .collect();
         let rho = 0.02;
         let delta = 0.1;
@@ -426,7 +460,13 @@ mod tests {
     fn find_below_threshold_minimize() {
         let mut rng = ChaCha8Rng::seed_from_u64(11);
         let values: Vec<u64> = (0..500)
-            .map(|i| if i % 25 == 0 { (i % 10) as u64 } else { 100 + (i % 400) as u64 })
+            .map(|i| {
+                if i % 25 == 0 {
+                    (i % 10) as u64
+                } else {
+                    100 + (i % 400) as u64
+                }
+            })
             .collect();
         let mut successes = 0;
         for _ in 0..60 {
@@ -464,7 +504,10 @@ mod tests {
             assert!(an.found.is_some());
             an_iters += an.trace.grover_iterations;
         }
-        let (sv_mean, an_mean) = (sv_iters as f64 / trials as f64, an_iters as f64 / trials as f64);
+        let (sv_mean, an_mean) = (
+            sv_iters as f64 / trials as f64,
+            an_iters as f64 / trials as f64,
+        );
         let ratio = sv_mean / an_mean;
         assert!(
             (0.7..1.4).contains(&ratio),

@@ -9,14 +9,15 @@
 
 use congest_graph::{contract, dot, metrics};
 use congest_lb::formulas::GadgetDims;
-use congest_lb::gadget::{
-    diameter_gadget, node_count, paper_weights, radius_gadget, GadgetNode,
-};
+use congest_lb::gadget::{diameter_gadget, node_count, paper_weights, radius_gadget, GadgetNode};
 use std::fs;
 use std::path::PathBuf;
 
 fn main() -> std::io::Result<()> {
-    let out: PathBuf = std::env::args().nth(1).unwrap_or_else(|| "target/figures".into()).into();
+    let out: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/figures".into())
+        .into();
     fs::create_dir_all(&out)?;
     let dims = GadgetDims::new(2);
     let (alpha, beta) = paper_weights(&dims);
@@ -26,31 +27,55 @@ fn main() -> std::io::Result<()> {
 
     // Figure 2 (which contains Figure 1 as its V_S part).
     let g = diameter_gadget(&dims, &x, &y, alpha, beta);
-    println!("Figure 2 gadget: n = {} (formula {}), m = {}, D_G = {}",
-        g.graph.n(), node_count(&dims, false), g.graph.m(),
-        metrics::unweighted_diameter(&g.graph));
+    println!(
+        "Figure 2 gadget: n = {} (formula {}), m = {}, D_G = {}",
+        g.graph.n(),
+        node_count(&dims, false),
+        g.graph.m(),
+        metrics::unweighted_diameter(&g.graph)
+    );
     let labels: Vec<(usize, String)> = (0..g.graph.n())
         .map(|v| (v, format!("{:?}", g.layout.kind(v))))
         .collect();
-    let opts = dot::DotOptions { name: "figure2_diameter_gadget".into(), labels, show_weights: true };
-    fs::write(out.join("figure2_diameter_gadget.dot"), dot::to_dot(&g.graph, &opts))?;
+    let opts = dot::DotOptions {
+        name: "figure2_diameter_gadget".into(),
+        labels,
+        show_weights: true,
+    };
+    fs::write(
+        out.join("figure2_diameter_gadget.dot"),
+        dot::to_dot(&g.graph, &opts),
+    )?;
 
     // Figure 1: the server part alone (tree + paths + leaf edges).
     let keep: Vec<bool> = (0..g.graph.n())
-        .map(|v| matches!(g.layout.kind(v), GadgetNode::Tree { .. } | GadgetNode::Path { .. }))
+        .map(|v| {
+            matches!(
+                g.layout.kind(v),
+                GadgetNode::Tree { .. } | GadgetNode::Path { .. }
+            )
+        })
         .collect();
     let fig1 = g.graph.induced_subgraph(&keep);
     fs::write(
         out.join("figure1_base_network.dot"),
         dot::to_dot(&fig1, &dot::DotOptions::named("figure1_base_network")),
     )?;
-    println!("Figure 1 base network: tree of height {} + {} paths of {} nodes",
-        dims.h, 2 * dims.s + dims.ell, 1 << dims.h);
+    println!(
+        "Figure 1 base network: tree of height {} + {} paths of {} nodes",
+        dims.h,
+        2 * dims.s + dims.ell,
+        1 << dims.h
+    );
 
     // Figure 3: the contraction.
     let c = contract::contract_unit_edges(&g.graph);
-    println!("Figure 3 contraction: {} nodes (expected 1 + {} + {})",
-        c.graph.n(), 2 * dims.s + dims.ell, 2 * dims.blocks());
+    println!(
+        "Figure 3 contraction: {} nodes (expected 1 + {} + {})",
+        c.graph.n(),
+        2 * dims.s + dims.ell,
+        2 * dims.blocks()
+    );
     fs::write(
         out.join("figure3_contracted.dot"),
         dot::to_dot(&c.graph, &dot::DotOptions::named("figure3_contracted")),
@@ -59,8 +84,11 @@ fn main() -> std::io::Result<()> {
     // Figure 4: the radius gadget.
     let r = radius_gadget(&dims, &x, &y, alpha, beta);
     let a0 = r.layout.id(GadgetNode::AZero);
-    println!("Figure 4 radius gadget: n = {}, a₀ = node {a0} with degree {}",
-        r.graph.n(), r.graph.degree(a0));
+    println!(
+        "Figure 4 radius gadget: n = {}, a₀ = node {a0} with degree {}",
+        r.graph.n(),
+        r.graph.degree(a0)
+    );
     fs::write(
         out.join("figure4_radius_gadget.dot"),
         dot::to_dot(&r.graph, &dot::DotOptions::named("figure4_radius_gadget")),

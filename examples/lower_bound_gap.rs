@@ -21,8 +21,13 @@ fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(3);
     let dims = GadgetDims::new(2);
     let (alpha, beta) = paper_weights(&dims);
-    println!("gadget dims: h = {}, s = {}, ℓ = {} → inputs of {} bits, α = {alpha}, β = {beta}",
-        dims.h, dims.s, dims.ell, dims.input_len());
+    println!(
+        "gadget dims: h = {}, s = {}, ℓ = {} → inputs of {} bits, α = {alpha}, β = {beta}",
+        dims.h,
+        dims.s,
+        dims.ell,
+        dims.input_len()
+    );
 
     // 1. The diameter gap (Lemma 4.4) on random inputs.
     println!("\nLemma 4.4 gap (5 random input pairs):");
@@ -33,9 +38,15 @@ fn main() {
         let d = metrics::diameter(&g.graph).expect_finite();
         let f = f_diameter(&dims, &x, &y);
         let decided = threshold_decision(g.graph.n(), 1.4 * d as f64);
-        println!("  trial {t}: F(x,y) = {}, D_{{G,w}} = {d:>6}, (3/2−ε)-approx decides F = {}",
-            u8::from(f), u8::from(decided));
-        assert_eq!(f, decided, "the gap must be decodable from any (3/2−ε)-approximation");
+        println!(
+            "  trial {t}: F(x,y) = {}, D_{{G,w}} = {d:>6}, (3/2−ε)-approx decides F = {}",
+            u8::from(f),
+            u8::from(decided)
+        );
+        assert_eq!(
+            f, decided,
+            "the gap must be decodable from any (3/2−ε)-approximation"
+        );
     }
 
     // 2. Lemma 4.1, measured: a real protocol on the gadget, replayed
@@ -48,20 +59,38 @@ fn main() {
     let limit = ((1u64 << dims.h) / 2).saturating_sub(2).max(1);
     let (_, stats) = bounded_distance_sssp(&u, root, root, limit, cfg).expect("sim ok");
     let report = simulate_transcript(&g.layout, &stats.message_log);
-    println!("\nLemma 4.1 simulation of a {}-round protocol on the gadget (n = {}):", report.rounds, g.graph.n());
+    println!(
+        "\nLemma 4.1 simulation of a {}-round protocol on the gadget (n = {}):",
+        report.rounds,
+        g.graph.n()
+    );
     println!("  total messages in the CONGEST run : {}", stats.messages);
-    println!("  messages charged to Alice/Bob     : {} ({} bits)", report.cost.messages, report.cost.bits);
-    println!("  per-round cap 2h = {}, observed max = {}",
-        report.per_round_cap, report.per_round.iter().max().unwrap_or(&0));
-    println!("  O(T·h·B) budget (B = 64)          : {} bits", report.bound_bits(dims.h, 64));
+    println!(
+        "  messages charged to Alice/Bob     : {} ({} bits)",
+        report.cost.messages, report.cost.bits
+    );
+    println!(
+        "  per-round cap 2h = {}, observed max = {}",
+        report.per_round_cap,
+        report.per_round.iter().max().unwrap_or(&0)
+    );
+    println!(
+        "  O(T·h·B) budget (B = 64)          : {} bits",
+        report.bound_bits(dims.h, 64)
+    );
 
     // 3. The composed Ω̃(n^{2/3}) curve vs the measured degree constant.
     println!("\ncomposed lower bound (Theorem 4.2 final calculation):");
-    println!("{:>3} {:>9} {:>12} {:>12} {:>14}", "h", "n", "√(2^s·ℓ)", "T ≥ ⋯", "n^⅔/log²n");
+    println!(
+        "{:>3} {:>9} {:>12} {:>12} {:>14}",
+        "h", "n", "√(2^s·ℓ)", "T ≥ ⋯", "n^⅔/log²n"
+    );
     for h in [2u32, 4, 6, 8, 10, 12] {
         let p = reduction_point(h);
-        println!("{:>3} {:>9} {:>12.0} {:>12.1} {:>14.1}",
-            p.h, p.n, p.communication, p.rounds, p.n_two_thirds_over_log2);
+        println!(
+            "{:>3} {:>9} {:>12.0} {:>12.1} {:>14.1}",
+            p.h, p.n, p.communication, p.rounds, p.n_two_thirds_over_log2
+        );
     }
     let (c, bound) = measured_bound(&GadgetDims::new(4), &[4, 9, 16, 25]);
     println!("\nmeasured deg_{{1/3}}(OR_k) ≈ {c:.2}·√k  ⇒  Q^sv(F′) ≥ {bound:.0} at h = 4");

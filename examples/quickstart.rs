@@ -6,20 +6,27 @@
 //! cargo run --release --example quickstart [seed]
 //! ```
 
-use quantum_congest_wdr::prelude::*;
 use congest_algos::baselines::{diameter_radius_exact, WeightMode};
+use quantum_congest_wdr::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn main() -> Result<(), SimError> {
-    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(7u64);
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7u64);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
 
     // A connected random network with weights in [1, 12].
     let n = 40;
     let g = generators::erdos_renyi_connected(n, 0.10, 12, &mut rng);
     let d_unweighted = metrics::unweighted_diameter(&g);
-    println!("network: n = {n}, m = {}, W = {}, D (unweighted) = {d_unweighted}", g.m(), g.max_weight());
+    println!(
+        "network: n = {n}, m = {}, W = {}, D (unweighted) = {d_unweighted}",
+        g.m(),
+        g.max_weight()
+    );
 
     let mut params = WdrParams::for_benchmarks(n, d_unweighted, 0.25);
     // On a 40-node toy instance the asymptotic ℓ is overkill; any ℓ ≥ n is
@@ -27,7 +34,10 @@ fn main() -> Result<(), SimError> {
     params.ell = n;
     let cfg = SimConfig::standard(n, g.max_weight()).with_max_rounds(500_000_000);
 
-    println!("\nparameters (Eq. (1) shape): ε = {:.3}, r = {:.1}, ℓ = {}, k = {}", params.eps, params.r, params.ell, params.k);
+    println!(
+        "\nparameters (Eq. (1) shape): ε = {:.3}, r = {:.1}, ℓ = {}, k = {}",
+        params.eps, params.r, params.ell, params.k
+    );
 
     for objective in [Objective::Diameter, Objective::Radius] {
         let report = quantum_weighted(&g, 0, objective, &params, cfg.clone(), &mut rng)?;
@@ -36,7 +46,10 @@ fn main() -> Result<(), SimError> {
             Objective::Radius => "radius",
         };
         println!("\nquantum weighted {name}:");
-        println!("  estimate        = {:.1}  (exact {})", report.estimate, report.exact);
+        println!(
+            "  estimate        = {:.1}  (exact {})",
+            report.estimate, report.exact
+        );
         println!(
             "  ratio           = {:.4}  (guarantee ≤ (1+ε)² = {:.4})",
             report.estimate / report.exact,
@@ -49,7 +62,9 @@ fn main() -> Result<(), SimError> {
         );
         println!(
             "  quantum searches: outer {} Grover iterations / {} measurements, inner budget {}",
-            report.outer_trace.grover_iterations, report.outer_trace.measurements, report.inner_budget
+            report.outer_trace.grover_iterations,
+            report.outer_trace.measurements,
+            report.inner_budget
         );
         println!(
             "  Lemma 3.4 check : {} of {} non-empty sets are marked",
@@ -58,9 +73,11 @@ fn main() -> Result<(), SimError> {
     }
 
     // The classical Θ̃(n) reference: exact APSP + convergecast.
-    let (d_exact, r_exact, stats) =
-        diameter_radius_exact(&g, 0, cfg, WeightMode::Weighted)?;
-    println!("\nclassical exact baseline: D = {d_exact}, R = {r_exact}, rounds = {}", stats.rounds);
+    let (d_exact, r_exact, stats) = diameter_radius_exact(&g, 0, cfg, WeightMode::Weighted)?;
+    println!(
+        "\nclassical exact baseline: D = {d_exact}, R = {r_exact}, rounds = {}",
+        stats.rounds
+    );
     println!(
         "\nTable 1 models at this size: quantum Õ(min{{n^0.9 D^0.3, n}}) = {:.0}, classical Θ̃(n) = {:.0}",
         cost::quantum_weighted_upper(n, d_unweighted, cost::Polylog::Drop),

@@ -17,16 +17,24 @@ fn main() {
     // Alice forwards a 16-bit query to Bob through the server.
     session.send(Party::Alice, 16);
     session.send(Party::Server, 16); // relay: free
-    // Bob answers with one bit.
+                                     // Bob answers with one bit.
     session.send(Party::Bob, 1);
     session.send(Party::Server, 1); // relay: free
-    println!("Server-model session: {} messages on the transcript, cost = {} messages / {} bits",
-        session.transcript().len(), session.cost().messages, session.cost().bits);
+    println!(
+        "Server-model session: {} messages on the transcript, cost = {} messages / {} bits",
+        session.transcript().len(),
+        session.cost().messages,
+        session.cost().bits
+    );
     assert_eq!(session.cost().messages, 2);
 
     // 2. The ownership frontier on a Figure 1/2 gadget, drawn per round.
     let dims = GadgetDims::new(4);
-    println!("\nownership of path 1 over rounds (h = {}, path length 2^h = {}):", dims.h, 1 << dims.h);
+    println!(
+        "\nownership of path 1 over rounds (h = {}, path length 2^h = {}):",
+        dims.h,
+        1 << dims.h
+    );
     println!("  legend: A = Alice, · = server, B = Bob   (Lemma 4.1 frontier)");
     // Build only the layout — the frontier is a property of the schedule.
     let ones = vec![true; dims.input_len()];
@@ -60,9 +68,11 @@ fn main() {
         }
         println!("  depth {depth}: {row}");
     }
-    println!("\nThe frontier advances one path position per round from each side, so a\n\
+    println!(
+        "\nThe frontier advances one path position per round from each side, so a\n\
         T-round algorithm with T < 2^h/2 never lets the players' regions meet:\n\
         the server can keep simulating the middle for free, and only the O(h)\n\
         tree nodes per round on the frontier need charged messages — the\n\
-        O(T·h·B) of Lemma 4.1.");
+        O(T·h·B) of Lemma 4.1."
+    );
 }

@@ -1,0 +1,67 @@
+//! Telemetry walkthrough: run the classical 3/2-approximation with a
+//! `JsonlTracer` attached, then rebuild and print the phase tree from the
+//! trace — the same pipeline the `wdr-trace` binary runs on a saved file.
+//!
+//! ```sh
+//! cargo run --example telemetry_trace
+//! # then render the written file with the report tool:
+//! cargo run -p wdr-bench --bin wdr-trace -- target/telemetry_trace.jsonl
+//! ```
+
+use quantum_congest_wdr::congest_algos::three_halves::three_halves_diameter;
+use quantum_congest_wdr::congest_graph::generators;
+use quantum_congest_wdr::congest_sim::telemetry::{
+    build_phase_tree, CollectingTracer, JsonlTracer,
+};
+use quantum_congest_wdr::congest_sim::{SimConfig, Telemetry};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::path::Path;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let g = generators::erdos_renyi_connected(30, 0.12, 4, &mut rng);
+
+    // Two sinks on one run: a collector for in-process inspection and a
+    // JSONL writer producing the interchange file for `wdr-trace`.
+    let path = Path::new("target/telemetry_trace.jsonl");
+    std::fs::create_dir_all("target")?;
+    let collector = Arc::new(CollectingTracer::default());
+    let jsonl = Arc::new(JsonlTracer::create(path)?);
+
+    // First pass: collect events in memory and print the phase tree.
+    let cfg = SimConfig::standard(g.n(), g.max_weight())
+        .with_telemetry(Telemetry::new(collector.clone()))
+        .with_channel_profile();
+    let res = three_halves_diameter(&g, 0, cfg, &mut rng)?;
+    println!(
+        "3/2-approx diameter estimate: {} in {} rounds\n",
+        res.diameter_estimate, res.stats.rounds
+    );
+
+    println!("phase tree (rounds / messages):");
+    let tree = build_phase_tree(&collector.events());
+    for (depth, node) in tree.walk().into_iter().skip(1) {
+        let sub = node.subtree();
+        println!(
+            "{}{:<24} {:>6} rounds {:>8} msgs",
+            "  ".repeat(depth - 1),
+            node.name,
+            sub.rounds,
+            sub.messages
+        );
+    }
+
+    // Second pass: same run written as JSONL for offline rendering.
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let g = generators::erdos_renyi_connected(30, 0.12, 4, &mut rng);
+    let telemetry = Telemetry::new(jsonl);
+    let cfg = SimConfig::standard(g.n(), g.max_weight())
+        .with_telemetry(telemetry.clone())
+        .with_channel_profile();
+    three_halves_diameter(&g, 0, cfg, &mut rng)?;
+    telemetry.flush();
+    println!("\ntrace written to {}", path.display());
+    Ok(())
+}

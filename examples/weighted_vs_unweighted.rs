@@ -13,8 +13,10 @@ use rand_chacha::ChaCha8Rng;
 
 fn main() -> Result<(), SimError> {
     let mut rng = ChaCha8Rng::seed_from_u64(11);
-    println!("{:>5} {:>4} | {:>14} {:>14} {:>14} | {:>10} {:>10}",
-        "n", "D", "q-unweighted", "q-weighted", "classical", "model-qw", "model-cl");
+    println!(
+        "{:>5} {:>4} | {:>14} {:>14} {:>14} | {:>10} {:>10}",
+        "n", "D", "q-unweighted", "q-weighted", "classical", "model-qw", "model-cl"
+    );
     println!("{}", "-".repeat(95));
     for &n in &[24usize, 40, 56] {
         // Cluster topology: D stays small as n grows.

@@ -50,13 +50,18 @@ const USAGE: &str = "usage:
   wdr table1 [--n N] [--d D]";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
     match flag(args, name) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("invalid value for {name}: {v}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for {name}: {v}")),
     }
 }
 
@@ -142,7 +147,11 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
     }
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let cfg = SimConfig::standard(g.n(), g.max_weight()).with_max_rounds(2_000_000_000);
-    let objective = if radius { Objective::Radius } else { Objective::Diameter };
+    let objective = if radius {
+        Objective::Radius
+    } else {
+        Objective::Diameter
+    };
     let what = if radius { "radius" } else { "diameter" };
     match method.as_str() {
         "quantum" => {
@@ -153,8 +162,14 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
             println!("method          : quantum (Wu–Yao Theorem 1.1)");
             println!("{what} estimate : {:.1}", rep.estimate);
             println!("exact {what}    : {}", rep.exact);
-            println!("charged rounds  : {} (adaptive) / {} (budgeted)", rep.total_rounds, rep.budgeted_rounds);
-            println!("phase costs     : T0={} T1={} T2={}", rep.t0, rep.t1, rep.t2);
+            println!(
+                "charged rounds  : {} (adaptive) / {} (budgeted)",
+                rep.total_rounds, rep.budgeted_rounds
+            );
+            println!(
+                "phase costs     : T0={} T1={} T2={}",
+                rep.t0, rep.t1, rep.t2
+            );
         }
         "exact" => {
             let (d, r, stats) = diameter_radius_exact(&g, leader, cfg, WeightMode::Weighted)
@@ -171,9 +186,14 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
             println!("rounds          : {}", stats.rounds);
         }
         "three-halves" => {
-            let res = three_halves_diameter(&g, leader, cfg, &mut rng).map_err(|e| e.to_string())?;
+            let res =
+                three_halves_diameter(&g, leader, cfg, &mut rng).map_err(|e| e.to_string())?;
             println!("method          : classical 3/2-approximation (unweighted)");
-            let est = if radius { res.radius_estimate } else { res.diameter_estimate };
+            let est = if radius {
+                res.radius_estimate
+            } else {
+                res.diameter_estimate
+            };
             println!("{what} estimate : {est}");
             println!("rounds          : {}", res.stats.rounds);
         }
@@ -187,7 +207,11 @@ fn cmd_sssp(args: &[String]) -> Result<(), String> {
     if !g.is_connected() {
         return Err("graph must be connected".into());
     }
-    let source: usize = args.get(1).ok_or(USAGE)?.parse().map_err(|_| "invalid source")?;
+    let source: usize = args
+        .get(1)
+        .ok_or(USAGE)?
+        .parse()
+        .map_err(|_| "invalid source")?;
     if source >= g.n() {
         return Err("source out of range".into());
     }
@@ -197,7 +221,10 @@ fn cmd_sssp(args: &[String]) -> Result<(), String> {
     let cfg = SimConfig::standard(g.n(), g.max_weight()).with_max_rounds(2_000_000_000);
     let res = congest_algos::sssp::approx_sssp(&g, 0, source, eps, cfg, &mut rng)
         .map_err(|e| e.to_string())?;
-    println!("# (1+ε)²-approximate distances from {source} (ε = {eps}); rounds = {}", res.stats.rounds);
+    println!(
+        "# (1+ε)²-approximate distances from {source} (ε = {eps}); rounds = {}",
+        res.stats.rounds
+    );
     println!("# node  approx_distance");
     for (v, d) in res.dist.iter().enumerate() {
         println!("{v} {d:.2}");

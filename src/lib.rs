@@ -46,7 +46,9 @@ pub use quantum_sim;
 pub mod prelude {
     pub use congest_graph::{generators, metrics, Dist, WeightedGraph};
     pub use congest_sim::{RoundStats, SimConfig, SimError};
-    pub use congest_wdr::algorithm::{quantum_weighted, quantum_weighted_min_branch, Branch, Objective, WdrReport};
+    pub use congest_wdr::algorithm::{
+        quantum_weighted, quantum_weighted_min_branch, Branch, Objective, WdrReport,
+    };
     pub use congest_wdr::cost;
     pub use congest_wdr::params::WdrParams;
     pub use congest_wdr::unweighted::quantum_unweighted;

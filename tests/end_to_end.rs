@@ -17,9 +17,15 @@ fn cfg(g: &WeightedGraph) -> SimConfig {
 fn families(seed: u64) -> Vec<(&'static str, WeightedGraph)> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     vec![
-        ("erdos_renyi", generators::erdos_renyi_connected(14, 0.25, 7, &mut rng)),
+        (
+            "erdos_renyi",
+            generators::erdos_renyi_connected(14, 0.25, 7, &mut rng),
+        ),
         ("cluster_ring", generators::cluster_ring(16, 4, 5, &mut rng)),
-        ("grid", generators::randomize_weights(&generators::grid(4, 4, 1), 6, &mut rng)),
+        (
+            "grid",
+            generators::randomize_weights(&generators::grid(4, 4, 1), 6, &mut rng),
+        ),
         ("tree", generators::random_tree(14, 9, &mut rng)),
     ]
 }
@@ -40,7 +46,11 @@ fn theorem_1_1_diameter_guarantee_across_families() {
         let rep = quantum_weighted(&g, 0, Objective::Diameter, &p, cfg(&g), &mut rng)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         let cap = (1.0 + p.eps) * (1.0 + p.eps) * rep.exact + 1e-6;
-        assert!(rep.estimate <= cap, "{name}: estimate {} > (1+ε)²·D = {cap}", rep.estimate);
+        assert!(
+            rep.estimate <= cap,
+            "{name}: estimate {} > (1+ε)²·D = {cap}",
+            rep.estimate
+        );
         assert!(rep.estimate > 0.0, "{name}: vacuous estimate");
     }
 }
@@ -67,14 +77,21 @@ fn round_accounting_is_reconstructible() {
     let p = params_for(&g);
     let mut rng = ChaCha8Rng::seed_from_u64(300);
     let rep = quantum_weighted(&g, 0, Objective::Diameter, &p, cfg(&g), &mut rng).unwrap();
-    let inner = PhaseCosts { t0: rep.t0, t_setup: rep.t1, t_eval: rep.t2 };
+    let inner = PhaseCosts {
+        t0: rep.t0,
+        t_setup: rep.t1,
+        t_eval: rep.t2,
+    };
     let outer = PhaseCosts {
         t0: 0,
         t_setup: rep.t_setup_outer,
         t_eval: inner.charge_oblivious(rep.inner_budget),
     };
     assert_eq!(rep.total_rounds, outer.charge(rep.outer_trace));
-    assert!(rep.budgeted_rounds >= rep.t0, "budget includes at least one evaluation");
+    assert!(
+        rep.budgeted_rounds >= rep.t0,
+        "budget includes at least one evaluation"
+    );
 }
 
 #[test]
@@ -117,8 +134,7 @@ fn leader_choice_does_not_change_estimates_validity() {
     let p = params_for(&g);
     for leader in [0usize, 7, 15] {
         let mut rng = ChaCha8Rng::seed_from_u64(42);
-        let rep =
-            quantum_weighted(&g, leader, Objective::Diameter, &p, cfg(&g), &mut rng).unwrap();
+        let rep = quantum_weighted(&g, leader, Objective::Diameter, &p, cfg(&g), &mut rng).unwrap();
         assert!(rep.estimate <= 2.25 * rep.exact + 1e-6, "leader {leader}");
     }
 }

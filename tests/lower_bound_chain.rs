@@ -23,11 +23,15 @@ fn full_diameter_reduction_decides_f() {
     let mut rng = ChaCha8Rng::seed_from_u64(20);
     for trial in 0..4 {
         let density = [0.9, 0.5][trial % 2];
-        let x: Vec<bool> = (0..dims.input_len()).map(|_| rng.gen_bool(density)).collect();
-        let y: Vec<bool> = (0..dims.input_len()).map(|_| rng.gen_bool(density)).collect();
+        let x: Vec<bool> = (0..dims.input_len())
+            .map(|_| rng.gen_bool(density))
+            .collect();
+        let y: Vec<bool> = (0..dims.input_len())
+            .map(|_| rng.gen_bool(density))
+            .collect();
         let g = diameter_gadget(&dims, &x, &y, alpha, beta);
-        let cfg = SimConfig::standard(g.graph.n(), g.graph.max_weight())
-            .with_max_rounds(50_000_000);
+        let cfg =
+            SimConfig::standard(g.graph.n(), g.graph.max_weight()).with_max_rounds(50_000_000);
         let (d, _, _) = diameter_radius_exact(&g.graph, 0, cfg, WeightMode::Weighted).unwrap();
         // Any approximation in [D, 1.4·D] decides the same way.
         let approx = 1.4 * d.as_f64();
@@ -46,8 +50,12 @@ fn radius_reduction_decides_f_prime() {
     let mut rng = ChaCha8Rng::seed_from_u64(21);
     for trial in 0..4 {
         let density = [0.3, 0.01][trial % 2];
-        let x: Vec<bool> = (0..dims.input_len()).map(|_| rng.gen_bool(density)).collect();
-        let y: Vec<bool> = (0..dims.input_len()).map(|_| rng.gen_bool(density)).collect();
+        let x: Vec<bool> = (0..dims.input_len())
+            .map(|_| rng.gen_bool(density))
+            .collect();
+        let y: Vec<bool> = (0..dims.input_len())
+            .map(|_| rng.gen_bool(density))
+            .collect();
         let g = radius_gadget(&dims, &x, &y, alpha, beta);
         let r = metrics::radius(&g.graph).expect_finite() as f64;
         assert_eq!(
@@ -100,7 +108,8 @@ fn composed_bound_sits_below_measured_upper_bound_shape() {
     for h in [2u32, 4, 6, 8, 10, 12, 14] {
         let p = reduction_point(h);
         let d = (p.n as f64).log2().ceil() as usize;
-        let upper = congest_wdr::cost::quantum_weighted_upper(p.n, d, congest_wdr::cost::Polylog::Drop);
+        let upper =
+            congest_wdr::cost::quantum_weighted_upper(p.n, d, congest_wdr::cost::Polylog::Drop);
         assert!(
             p.rounds <= upper,
             "h={h}: lower bound {} exceeds upper bound {upper}",

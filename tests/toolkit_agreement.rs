@@ -32,7 +32,12 @@ fn algorithm_1_agrees_on_random_instances() {
         let (got, _) = bounded_hop_sssp(&g, 0, s, scheme, cfg(&g)).unwrap();
         let want = approx_hop_bounded(&g, s, scheme);
         for v in g.nodes() {
-            assert!(close(got[v], want[v]), "trial {trial} v={v}: {} vs {}", got[v], want[v]);
+            assert!(
+                close(got[v], want[v]),
+                "trial {trial} v={v}: {} vs {}",
+                got[v],
+                want[v]
+            );
         }
     }
 }

@@ -1,0 +1,178 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, exposing the API surface this workspace's
+//! `harness = false` benches use: [`Criterion::bench_function`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of upstream's statistical machinery, each benchmark is warmed up
+//! briefly and then timed over an adaptively chosen iteration count; the
+//! mean wall-clock time per iteration is printed. Good enough to detect
+//! order-of-magnitude regressions (e.g. a tracing hook accidentally doing
+//! per-round allocation) without any external dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How per-iteration inputs are batched in [`Bencher::iter_batched`].
+///
+/// The vendored harness runs every batch size identically (setup per
+/// iteration, setup excluded from timing); the variants exist for API
+/// compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: upstream batches many per allocation.
+    SmallInput,
+    /// Large inputs: upstream batches few per allocation.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The per-benchmark timing driver handed to `bench_function` closures.
+pub struct Bencher {
+    /// Mean time per iteration, filled in by `iter`/`iter_batched`.
+    elapsed_per_iter: Option<Duration>,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over repeated iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.run(|| {
+            std::hint::black_box(routine());
+        });
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut timed = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let deadline = Instant::now() + self.measurement_time;
+        while iters < 10 || (Instant::now() < deadline && timed < self.measurement_time) {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            timed += start.elapsed();
+            iters += 1;
+        }
+        self.elapsed_per_iter = Some(timed / u32::try_from(iters).unwrap_or(u32::MAX).max(1));
+    }
+
+    fn run<F: FnMut()>(&mut self, mut f: F) {
+        // Warm-up: a few unmeasured iterations.
+        for _ in 0..3 {
+            f();
+        }
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        while iters < 10 || start.elapsed() < self.measurement_time {
+            f();
+            iters += 1;
+        }
+        let total = start.elapsed();
+        self.elapsed_per_iter = Some(total / u32::try_from(iters).unwrap_or(u32::MAX).max(1));
+    }
+}
+
+/// The benchmark registry/driver.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, time: Duration) -> Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Runs `f`'s timing loop and prints the mean time per iteration.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            elapsed_per_iter: None,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut bencher);
+        match bencher.elapsed_per_iter {
+            Some(per_iter) => println!("{id:<40} {per_iter:>12.2?}/iter"),
+            None => println!("{id:<40} (no measurement recorded)"),
+        }
+        self
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring upstream's
+/// plain form: `criterion_group!(name, target, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `fn main` running the named groups (for `harness = false` benches).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        assert!(ran >= 10);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 8],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    fn noop_target(c: &mut Criterion) {
+        c.bench_function("grouped_noop", |b| b.iter(|| 1u64 + 1));
+    }
+
+    criterion_group!(test_group, noop_target);
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        test_group();
+    }
+}

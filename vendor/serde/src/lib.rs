@@ -1,0 +1,229 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the slice of serde this workspace relies on:
+//!
+//! * a [`Serialize`] trait that writes compact JSON directly into a
+//!   `String` (no intermediate data model);
+//! * a [`Deserialize`] marker trait (nothing in the workspace deserializes
+//!   into typed values — the trace tooling parses into
+//!   `serde_json::Value`);
+//! * `#[derive(Serialize, Deserialize)]` via the companion
+//!   `serde_derive` proc-macro crate, handling named-field structs, tuple
+//!   structs, and enums with unit / tuple / struct variants (externally
+//!   tagged, like upstream serde's default representation).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+// Lets the `::serde::` paths emitted by the derive macros resolve inside
+// this crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can write itself as JSON.
+pub trait Serialize {
+    /// Appends this value's JSON encoding to `out`.
+    fn serialize_json(&self, out: &mut String);
+
+    /// Convenience: the JSON encoding as a fresh string.
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.serialize_json(&mut out);
+        out
+    }
+}
+
+/// Marker for types whose derive requested deserialization support.
+///
+/// The in-tree JSON reader ([`serde_json::Value`]-style) is untyped, so the
+/// trait carries no methods; it exists so `#[derive(Deserialize)]` in
+/// source files keeps compiling unchanged.
+pub trait Deserialize<'de>: Sized {}
+
+/// Escapes `s` into `out` as a JSON string literal (with quotes).
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&format!("{self}"));
+        } else {
+            // JSON has no IEEE specials; match serde_json's lossy `null`.
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        f64::from(*self).serialize_json(out);
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives() {
+        assert_eq!(5u64.to_json(), "5");
+        assert_eq!((-3i32).to_json(), "-3");
+        assert_eq!(true.to_json(), "true");
+        assert_eq!(1.5f64.to_json(), "1.5");
+        assert_eq!(f64::INFINITY.to_json(), "null");
+        assert_eq!("a\"b".to_json(), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(vec![1u32, 2, 3].to_json(), "[1,2,3]");
+        assert_eq!(Some(7u8).to_json(), "7");
+        assert_eq!(None::<u8>.to_json(), "null");
+        assert_eq!((1u8, "x").to_json(), "[1,\"x\"]");
+    }
+
+    #[derive(Serialize)]
+    struct Point {
+        x: u32,
+        y: u32,
+    }
+
+    #[derive(Serialize)]
+    struct Wrapper(u32, bool);
+
+    #[derive(Serialize)]
+    enum Shape {
+        Dot,
+        Circle { radius: u32 },
+        Pair(u8, u8),
+    }
+
+    #[test]
+    fn derived_struct() {
+        assert_eq!(Point { x: 1, y: 2 }.to_json(), r#"{"x":1,"y":2}"#);
+        assert_eq!(Wrapper(9, false).to_json(), "[9,false]");
+    }
+
+    #[test]
+    fn derived_enum_externally_tagged() {
+        assert_eq!(Shape::Dot.to_json(), "\"Dot\"");
+        assert_eq!(
+            Shape::Circle { radius: 3 }.to_json(),
+            r#"{"Circle":{"radius":3}}"#
+        );
+        assert_eq!(Shape::Pair(1, 2).to_json(), r#"{"Pair":[1,2]}"#);
+    }
+}

@@ -1,0 +1,277 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` implemented directly over `proc_macro`
+//! token streams (no `syn`/`quote`, which are unavailable offline).
+//!
+//! Supported shapes — the ones this workspace uses:
+//!
+//! * named-field structs → JSON objects;
+//! * tuple structs → JSON arrays;
+//! * unit structs → `null`;
+//! * enums with unit / tuple / struct variants → externally tagged JSON
+//!   (`"Variant"`, `{"Variant":[..]}`, `{"Variant":{..}}`), matching
+//!   upstream serde's default representation.
+//!
+//! Generic types are intentionally unsupported (none of the deriving types
+//! in this workspace are generic); the macro panics with a clear message if
+//! it meets one, so a future need surfaces loudly at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a deriving type.
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Skips attributes (`#[...]`) and visibility (`pub`, `pub(...)`) tokens.
+fn skip_meta(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` followed by a bracketed group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Splits the tokens of a braced fields group into per-field name lists.
+/// Tracks `<`/`>` depth so commas inside generic types don't split fields.
+fn named_field_names(group: &[TokenTree]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < group.len() {
+        i = skip_meta(group, i);
+        let Some(TokenTree::Ident(name)) = group.get(i) else {
+            break;
+        };
+        names.push(name.to_string());
+        // Skip `: Type` up to the next top-level comma.
+        let mut angle = 0i32;
+        i += 1;
+        while i < group.len() {
+            match &group[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+/// Counts the fields of a parenthesized (tuple) fields group.
+fn tuple_field_count(group: &[TokenTree]) -> usize {
+    let mut count = 0;
+    let mut angle = 0i32;
+    let mut in_field = false;
+    for t in group {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => in_field = false,
+            _ => {
+                if !in_field {
+                    count += 1;
+                    in_field = true;
+                }
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(group: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < group.len() {
+        i = skip_meta(group, i);
+        let Some(TokenTree::Ident(name)) = group.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match group.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantKind::Named(named_field_names(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantKind::Tuple(tuple_field_count(&inner))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        while i < group.len() {
+            if let TokenTree::Punct(p) = &group[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Parses a `struct`/`enum` item into its name and [`Shape`].
+fn parse_input(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_meta(&tokens, 0);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive (vendored): generic type `{name}` is not supported");
+        }
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::NamedStruct(named_field_names(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::TupleStruct(tuple_field_count(&inner))
+            }
+            _ => Shape::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::Enum(parse_variants(&inner))
+            }
+            other => panic!("serde derive: malformed enum body: {other:?}"),
+        },
+        kw => panic!("serde derive: unsupported item kind `{kw}`"),
+    };
+    (name, shape)
+}
+
+fn named_fields_writer(fields: &[String], access_prefix: &str) -> String {
+    let mut body = String::from("out.push('{');\n");
+    for (idx, f) in fields.iter().enumerate() {
+        if idx > 0 {
+            body.push_str("out.push(',');\n");
+        }
+        body.push_str(&format!("out.push_str(\"\\\"{f}\\\":\");\n"));
+        body.push_str(&format!(
+            "::serde::Serialize::serialize_json(&{access_prefix}{f}, out);\n"
+        ));
+    }
+    body.push_str("out.push('}');\n");
+    body
+}
+
+fn tuple_fields_writer(count: usize, binding: impl Fn(usize) -> String) -> String {
+    let mut body = String::from("out.push('[');\n");
+    for idx in 0..count {
+        if idx > 0 {
+            body.push_str("out.push(',');\n");
+        }
+        body.push_str(&format!(
+            "::serde::Serialize::serialize_json(&{}, out);\n",
+            binding(idx)
+        ));
+    }
+    body.push_str("out.push(']');\n");
+    body
+}
+
+/// Derives the vendored `serde::Serialize` (a direct JSON writer).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => named_fields_writer(fields, "self."),
+        Shape::TupleStruct(count) => tuple_fields_writer(*count, |i| format!("self.{i}")),
+        Shape::UnitStruct => String::from("out.push_str(\"null\");\n"),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => out.push_str(\"\\\"{vn}\\\"\"),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(count) => {
+                        let bindings: Vec<String> =
+                            (0..*count).map(|i| format!("__f{i}")).collect();
+                        let writer = tuple_fields_writer(*count, |i| format!("__f{i}"));
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{ out.push_str(\"{{\\\"{vn}\\\":\"); {writer} out.push('}}'); }}\n",
+                            bindings.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let writer = named_fields_writer(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ out.push_str(\"{{\\\"{vn}\\\":\"); {writer} out.push('}}'); }}\n",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}\n")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_json(&self, out: &mut String) {{\n{body}}}\n\
+         }}\n"
+    );
+    out.parse()
+        .expect("serde derive: generated impl must parse")
+}
+
+/// Derives the vendored `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, _shape) = parse_input(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}\n")
+        .parse()
+        .expect("serde derive: generated impl must parse")
+}
