@@ -54,6 +54,10 @@ fn main() {
         eprintln!("[tables] running E6…");
         outputs.push(experiments::e6(quick));
     }
+    if run("e7") {
+        eprintln!("[tables] running E7…");
+        outputs.push(experiments::e7(quick));
+    }
     if run("f") || run("figures") {
         eprintln!("[tables] running F1–F4…");
         outputs.push(experiments::figures(&out_dir.join("figures")));

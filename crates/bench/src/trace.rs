@@ -8,11 +8,14 @@
 //!   subtree and own rounds/messages/bits;
 //! * a **hot-edge table** — the heaviest directed channels aggregated over
 //!   every [`TraceEvent::ChannelProfile`] in the trace;
-//! * a **search table** — one row per [`TraceEvent::GroverIteration`].
+//! * a **search table** — one row per [`TraceEvent::GroverIteration`];
+//! * a **fault table** — every injected-fault event (drops by reason,
+//!   throttle firings, crash/recovery transitions) aggregated.
 //!
 //! The `wdr-trace` binary is a thin CLI over these functions.
 
 use crate::harness::Table;
+use congest_sim::faults::DropReason;
 use congest_sim::telemetry::{build_phase_tree, HotEdge, PhaseNode};
 use congest_sim::TraceEvent;
 use serde_json::Value;
@@ -60,6 +63,19 @@ fn string_field(v: &Value, key: &str) -> Result<String, String> {
         .as_str()
         .ok_or_else(|| format!("field `{key}` is not a string"))?
         .to_string())
+}
+
+fn drop_reason_field(v: &Value, key: &str) -> Result<DropReason, String> {
+    let s = field(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("field `{key}` is not a string"))?;
+    match s {
+        "Random" => Ok(DropReason::Random),
+        "Burst" => Ok(DropReason::Burst),
+        "Throttled" => Ok(DropReason::Throttled),
+        "ReceiverCrashed" => Ok(DropReason::ReceiverCrashed),
+        other => Err(format!("unknown drop reason `{other}`")),
+    }
 }
 
 /// Decodes one externally tagged event object.
@@ -118,6 +134,31 @@ fn event_from_value(v: &Value) -> Result<Option<TraceEvent>, String> {
                 hot_edges: edges,
             }
         }
+        "MessageDropped" => TraceEvent::MessageDropped {
+            round: usize_field(body, "round")?,
+            from: usize_field(body, "from")?,
+            to: usize_field(body, "to")?,
+            bits: u32_field(body, "bits")?,
+            reason: drop_reason_field(body, "reason")?,
+        },
+        "NodeCrashed" => TraceEvent::NodeCrashed {
+            node: usize_field(body, "node")?,
+            round: usize_field(body, "round")?,
+        },
+        "NodeRecovered" => TraceEvent::NodeRecovered {
+            node: usize_field(body, "node")?,
+            round: usize_field(body, "round")?,
+        },
+        "LinkThrottled" => TraceEvent::LinkThrottled {
+            round: usize_field(body, "round")?,
+            from: usize_field(body, "from")?,
+            to: usize_field(body, "to")?,
+            budget_bits: u32_field(body, "budget_bits")?,
+        },
+        "MessageLogTruncated" => TraceEvent::MessageLogTruncated {
+            round: usize_field(body, "round")?,
+            cap: usize_field(body, "cap")?,
+        },
         "GroverIteration" => TraceEvent::GroverIteration {
             label: string_field(body, "label")?,
             iterations: u64_field(body, "iterations")?,
@@ -133,7 +174,7 @@ fn event_from_value(v: &Value) -> Result<Option<TraceEvent>, String> {
 
 /// Parses a full JSONL trace. Blank lines are skipped; any malformed line is
 /// an error (truncated final lines from an unflushed writer included — a
-/// trace must be [`congest_sim::telemetry::JsonlTracer::flush`]ed).
+/// trace must be [`congest_sim::Tracer::flush`]ed).
 ///
 /// # Errors
 ///
@@ -213,6 +254,62 @@ pub fn hot_edge_table(events: &[TraceEvent], top_k: usize) -> Table {
     t
 }
 
+/// Aggregates every fault event in the trace into one table: dropped
+/// messages grouped by [`DropReason`] (with total lost bits), throttle
+/// firings, crash/recovery transitions, and message-log truncations.
+pub fn fault_table(events: &[TraceEvent]) -> Table {
+    let mut t = Table::new(
+        "FAULTS",
+        "Injected faults observed in the trace",
+        &["fault", "count", "bits lost"],
+    );
+    let mut dropped: HashMap<&'static str, (u64, u64)> = HashMap::new();
+    let (mut throttled, mut crashes, mut recoveries, mut truncations) = (0u64, 0u64, 0u64, 0u64);
+    for event in events {
+        match event {
+            TraceEvent::MessageDropped { bits, reason, .. } => {
+                let label = match reason {
+                    DropReason::Random => "dropped (random)",
+                    DropReason::Burst => "dropped (burst)",
+                    DropReason::Throttled => "dropped (throttled)",
+                    DropReason::ReceiverCrashed => "dropped (receiver crashed)",
+                };
+                let e = dropped.entry(label).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += u64::from(*bits);
+            }
+            TraceEvent::LinkThrottled { .. } => throttled += 1,
+            TraceEvent::NodeCrashed { .. } => crashes += 1,
+            TraceEvent::NodeRecovered { .. } => recoveries += 1,
+            TraceEvent::MessageLogTruncated { .. } => truncations += 1,
+            _ => {}
+        }
+    }
+    let mut rows: Vec<(&'static str, u64, Option<u64>)> = dropped
+        .into_iter()
+        .map(|(label, (count, bits))| (label, count, Some(bits)))
+        .collect();
+    rows.sort_unstable();
+    for (label, count, bits) in [
+        ("link throttle firings", throttled, None),
+        ("node crashes", crashes, None),
+        ("node recoveries", recoveries, None),
+        ("message-log truncations", truncations, None),
+    ] {
+        if count > 0 {
+            rows.push((label, count, bits));
+        }
+    }
+    for (label, count, bits) in rows {
+        t.push(vec![
+            label.to_string(),
+            count.to_string(),
+            bits.map_or_else(|| "-".to_string(), |b| b.to_string()),
+        ]);
+    }
+    t
+}
+
 /// One row per [`TraceEvent::GroverIteration`] in the trace.
 pub fn search_table(events: &[TraceEvent]) -> Table {
     let mut t = Table::new(
@@ -251,6 +348,11 @@ pub fn render_markdown(events: &[TraceEvent]) -> String {
         out.push('\n');
         out.push_str(&search.to_markdown());
     }
+    let faults = fault_table(events);
+    if !faults.rows.is_empty() {
+        out.push('\n');
+        out.push_str(&faults.to_markdown());
+    }
     out
 }
 
@@ -267,6 +369,11 @@ pub fn render_csv(events: &[TraceEvent]) -> String {
     if !search.rows.is_empty() {
         out.push('\n');
         out.push_str(&search.to_csv());
+    }
+    let faults = fault_table(events);
+    if !faults.rows.is_empty() {
+        out.push('\n');
+        out.push_str(&faults.to_csv());
     }
     out
 }
@@ -343,6 +450,70 @@ mod tests {
         assert!(err.message.contains("unknown event tag"));
         let err = parse_trace("{\"RoundCompleted\":{\"round\":1}}\n").unwrap_err();
         assert!(err.message.contains("missing field"));
+        let line = "{\"MessageDropped\":{\"round\":1,\"from\":0,\"to\":1,\"bits\":8,\
+                     \"reason\":\"Gremlins\"}}\n";
+        let err = parse_trace(line).unwrap_err();
+        assert!(err.message.contains("unknown drop reason"));
+    }
+
+    #[test]
+    fn round_trips_a_faulty_trace_and_reports_the_faults() {
+        use congest_algos::resilient::resilient_bfs;
+        use congest_sim::reliable::ReliablePolicy;
+        use congest_sim::FaultPlan;
+
+        let g = congest_graph::generators::grid(4, 4, 1);
+        let collector = Arc::new(CollectingTracer::default());
+        let buf: Arc<std::sync::Mutex<Vec<u8>>> = Arc::new(std::sync::Mutex::new(Vec::new()));
+        struct SharedBuf(Arc<std::sync::Mutex<Vec<u8>>>);
+        impl std::io::Write for SharedBuf {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        struct Fanout(Arc<CollectingTracer>, JsonlTracer);
+        impl Tracer for Fanout {
+            fn record(&self, event: &congest_sim::TraceEvent) {
+                self.0.record(event);
+                self.1.record(event);
+            }
+            fn flush(&self) {
+                self.1.flush();
+            }
+        }
+        let jsonl = JsonlTracer::new(Box::new(SharedBuf(buf.clone())));
+        let telemetry = Telemetry::new(Arc::new(Fanout(collector.clone(), jsonl)));
+        let cfg = SimConfig::standard(g.n(), 1)
+            .with_max_rounds(10_000)
+            .with_telemetry(telemetry.clone())
+            .with_faults(
+                FaultPlan::new(99)
+                    .with_drop_rate(0.2)
+                    .with_crash(5, 2, Some(4)),
+            );
+        let run = resilient_bfs(&g, 0, cfg, ReliablePolicy::default()).unwrap();
+        assert!(run.stats.resilience.dropped_messages > 0);
+        telemetry.flush();
+
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let parsed = parse_trace(&text).unwrap();
+        assert_eq!(parsed, collector.events());
+
+        let faults = fault_table(&parsed);
+        assert!(faults
+            .rows
+            .iter()
+            .any(|r| r[0] == "dropped (random)" && r[2] != "-"));
+        assert!(faults.rows.iter().any(|r| r[0] == "node crashes"));
+        assert!(faults.rows.iter().any(|r| r[0] == "node recoveries"));
+        let md = render_markdown(&parsed);
+        assert!(md.contains("Injected faults observed in the trace"));
+        let csv = render_csv(&parsed);
+        assert!(csv.contains("dropped (random)"));
     }
 
     #[test]

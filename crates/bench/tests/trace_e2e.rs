@@ -52,3 +52,46 @@ fn three_halves_jsonl_trace_renders_to_markdown() {
     let csv = render_csv(&events);
     assert!(csv.lines().count() > algo.children.len());
 }
+
+/// The fault-injection acceptance path: a faulty `resilient_bfs` run traced
+/// to a JSONL file shows its drop and crash events in the `wdr-trace`
+/// rendering.
+#[test]
+fn faulty_run_shows_fault_events_in_wdr_trace_output() {
+    use congest_algos::resilient::resilient_bfs;
+    use congest_sim::reliable::ReliablePolicy;
+    use congest_sim::{FaultPlan, TraceEvent};
+
+    let g = generators::grid(4, 4, 1);
+    let dir = std::env::temp_dir().join("wdr-trace-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("faulty_bfs.jsonl");
+    let tracer = JsonlTracer::create(&path).unwrap();
+    let telemetry = Telemetry::new(Arc::new(tracer));
+    let cfg = SimConfig::standard(g.n(), 1)
+        .with_max_rounds(10_000)
+        .with_telemetry(telemetry.clone())
+        .with_faults(
+            FaultPlan::new(99)
+                .with_drop_rate(0.2)
+                .with_crash(5, 2, Some(4)),
+        );
+    let run = resilient_bfs(&g, 0, cfg, ReliablePolicy::default()).unwrap();
+    assert!(run.stats.resilience.dropped_messages > 0);
+    telemetry.flush();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let events = parse_trace(&text).unwrap();
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::MessageDropped { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::NodeCrashed { .. })));
+
+    let md = render_markdown(&events);
+    assert!(md.contains("resilient_bfs"));
+    assert!(md.contains("Injected faults observed in the trace"));
+    assert!(md.contains("dropped (random)"));
+    assert!(md.contains("node crashes"));
+}

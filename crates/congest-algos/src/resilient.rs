@@ -1,0 +1,195 @@
+//! Fault-tolerant distributed primitives and degradation measurement.
+//!
+//! The algorithms in this crate assume the ideal lossless CONGEST network;
+//! this module provides their fault-tolerant counterparts, built on the
+//! simulator's [`congest_sim::reliable`] ack/retransmit layer, and the
+//! bookkeeping to *measure* how answers degrade as faults intensify
+//! (consumed by the bench fault-sweep experiment).
+//!
+//! [`resilient_bfs`] is the representative workload: a leader-rooted hop
+//! distance computation by iterative relaxation — the communication skeleton
+//! underlying the BFS-tree, flooding, and SSSP phases of the paper's
+//! pipeline — whose per-node answers can be checked exactly against the
+//! centralized [`congest_graph::shortest_path::bfs`] reference, giving a
+//! crisp answer-quality metric under any [`congest_sim::FaultPlan`].
+
+use congest_graph::{shortest_path, Dist, NodeId, WeightedGraph};
+use congest_sim::reliable::{run_reliable_phase, ReliablePolicy};
+use congest_sim::{
+    Mailbox, NodeCtx, NodeProgram, Quality, RoundStats, SimConfig, SimError, Status,
+};
+
+/// Leader-rooted hop-distance relaxation: every node keeps its best-known
+/// distance and (reliably) re-broadcasts improvements. Event-driven, so it
+/// tolerates the arbitrary delays retransmission introduces, and it never
+/// blocks on a crashed neighbor: nodes are always ready to halt, and the
+/// run quiesces when no reliable frames remain in flight.
+struct BfsRelax {
+    dist: Option<u64>,
+}
+
+impl NodeProgram for BfsRelax {
+    type Msg = u64;
+    type Output = Option<u64>;
+
+    fn start(&mut self, ctx: &NodeCtx, mb: &mut Mailbox<u64>) {
+        if ctx.is_leader() {
+            self.dist = Some(0);
+            mb.broadcast(ctx, 1);
+        }
+    }
+
+    fn round(
+        &mut self,
+        ctx: &NodeCtx,
+        _round: usize,
+        inbox: &[(NodeId, u64)],
+        mb: &mut Mailbox<u64>,
+    ) -> Status {
+        let mut improved = false;
+        for &(_, d) in inbox {
+            if self.dist.is_none_or(|cur| d < cur) {
+                self.dist = Some(d);
+                improved = true;
+            }
+        }
+        if improved {
+            mb.broadcast(ctx, self.dist.expect("just improved") + 1);
+        }
+        Status::Done
+    }
+
+    fn finish(self, _ctx: &NodeCtx) -> Option<u64> {
+        self.dist
+    }
+}
+
+/// Result of one [`resilient_bfs`] run.
+#[derive(Clone, Debug)]
+pub struct ResilientBfsRun {
+    /// Per-node `(hop distance from the leader, delivery quality)`; the
+    /// distance is `None` when the token never reached the node.
+    pub dists: Vec<(Option<u64>, Quality)>,
+    /// Round statistics, with retransmission/ack overhead folded into
+    /// [`RoundStats::resilience`].
+    pub stats: RoundStats,
+}
+
+/// Computes hop distances from `leader` at every node over the reliable
+/// layer, tolerating whatever faults `config` injects.
+///
+/// Runs inside a `"resilient_bfs"` telemetry phase span; with a fault-free
+/// config the per-node outputs match the centralized BFS exactly and the
+/// resilience budget records only ack traffic.
+///
+/// # Errors
+///
+/// Same as [`congest_sim::Network::run`].
+pub fn resilient_bfs(
+    g: &WeightedGraph,
+    leader: NodeId,
+    config: SimConfig,
+    policy: ReliablePolicy,
+) -> Result<ResilientBfsRun, SimError> {
+    let (dists, stats) = run_reliable_phase(g, leader, config, "resilient_bfs", policy, |_, _| {
+        BfsRelax { dist: None }
+    })?;
+    Ok(ResilientBfsRun { dists, stats })
+}
+
+/// Answer-quality summary of a faulty run against the fault-free truth.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct DegradationReport {
+    /// Nodes tagged [`Quality::Exact`].
+    pub exact: usize,
+    /// Nodes tagged [`Quality::Degraded`].
+    pub degraded: usize,
+    /// Nodes tagged [`Quality::Failed`].
+    pub failed: usize,
+    /// Nodes whose distance equals the centralized reference (regardless of
+    /// tag — a degraded node can still be lucky).
+    pub correct: usize,
+    /// Total nodes.
+    pub n: usize,
+}
+
+impl DegradationReport {
+    /// Scores `run` against the centralized hop distances from `leader`.
+    pub fn evaluate(g: &WeightedGraph, leader: NodeId, run: &ResilientBfsRun) -> DegradationReport {
+        let reference = shortest_path::bfs(g, leader);
+        let mut report = DegradationReport {
+            n: g.n(),
+            ..DegradationReport::default()
+        };
+        for (v, (dist, quality)) in run.dists.iter().enumerate() {
+            match quality {
+                Quality::Exact => report.exact += 1,
+                Quality::Degraded { .. } => report.degraded += 1,
+                Quality::Failed => report.failed += 1,
+            }
+            let got = dist.map(Dist::from).unwrap_or(Dist::INFINITY);
+            if got == reference[v] {
+                report.correct += 1;
+            }
+        }
+        report
+    }
+
+    /// Fraction of nodes with the reference-correct answer.
+    pub fn correct_fraction(&self) -> f64 {
+        if self.n == 0 {
+            return 1.0;
+        }
+        self.correct as f64 / self.n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators;
+    use congest_sim::FaultPlan;
+
+    #[test]
+    fn fault_free_run_matches_centralized_bfs_exactly() {
+        let g = generators::grid(4, 4, 1);
+        let cfg = SimConfig::standard(g.n(), 1).with_max_rounds(10_000);
+        let run = resilient_bfs(&g, 0, cfg, ReliablePolicy::default()).unwrap();
+        let report = DegradationReport::evaluate(&g, 0, &run);
+        assert_eq!(report.correct, g.n());
+        assert_eq!(report.exact, g.n());
+        assert_eq!(report.failed, 0);
+        assert!((report.correct_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moderate_loss_still_converges_to_correct_distances() {
+        let g = generators::grid(4, 4, 1);
+        let cfg = SimConfig::standard(g.n(), 1)
+            .with_max_rounds(10_000)
+            .with_faults(FaultPlan::new(99).with_drop_rate(0.2));
+        let run = resilient_bfs(&g, 0, cfg, ReliablePolicy::default()).unwrap();
+        let report = DegradationReport::evaluate(&g, 0, &run);
+        assert_eq!(
+            report.correct,
+            g.n(),
+            "retransmission recovers every loss at 20% drop: {report:?}"
+        );
+        assert!(run.stats.resilience.retransmissions > 0);
+    }
+
+    #[test]
+    fn crashing_a_cut_vertex_fails_it_and_strands_nothing_else() {
+        // Path 0-1-2-3: node 1 crashes forever, cutting 2 and 3 off.
+        let g = generators::path(4, 1);
+        let cfg = SimConfig::standard(4, 1)
+            .with_max_rounds(10_000)
+            .with_faults(FaultPlan::new(5).with_crash(1, 1, None));
+        let run = resilient_bfs(&g, 0, cfg, ReliablePolicy::default()).unwrap();
+        let report = DegradationReport::evaluate(&g, 0, &run);
+        assert!(matches!(run.dists[1].1, Quality::Failed));
+        assert_eq!(run.dists[2].0, None, "cut off from the leader");
+        assert_eq!(report.failed, 1);
+        assert!(report.correct >= 1, "the leader at least knows itself");
+    }
+}

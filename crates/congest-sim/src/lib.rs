@@ -22,7 +22,13 @@
 //! * provides the standard `O(D)` / `O(D + k)` [`primitives`]:
 //!   BFS-tree construction, scalar and vector convergecasts, pipelined
 //!   broadcast and pipelined collection — plus flood-max [`election`]
-//!   for networks without a pre-defined leader.
+//!   for networks without a pre-defined leader;
+//! * injects deterministic, seed-driven **[`faults`]** (message drops,
+//!   link throttles, node crashes, adversarial bursts) when a
+//!   [`FaultPlan`] is attached, reporting per-node output [`Quality`] and
+//!   a separate [`ResilienceBudget`] so headline round counts stay
+//!   comparable to the lossless model — with an ack/retransmit
+//!   [`reliable`] layer to mask the losses.
 //!
 //! # Examples
 //!
@@ -47,14 +53,17 @@
 #![warn(missing_docs)]
 
 pub mod election;
+pub mod faults;
 mod model;
 mod network;
 pub mod primitives;
+pub mod reliable;
 pub mod telemetry;
 
+pub use faults::FaultPlan;
 pub use model::{
-    bit_len, Bandwidth, MessageRecord, NodeCtx, Payload, RoundStats, SimConfig, SimError, Status,
-    DEFAULT_MESSAGE_LOG_CAP,
+    bit_len, Bandwidth, MessageRecord, NodeCtx, Payload, ResilienceBudget, RoundStats, SimConfig,
+    SimError, Status, DEFAULT_MESSAGE_LOG_CAP,
 };
-pub use network::{run_phase, Mailbox, Network, NodeProgram};
+pub use network::{run_phase, Mailbox, Network, NodeProgram, Quality};
 pub use telemetry::{Telemetry, TraceEvent, Tracer};

@@ -7,6 +7,7 @@
 //! weight `W`, and the identity of a pre-defined `leader` node (the paper's
 //! Appendix A assumptions).
 
+use crate::faults::FaultPlan;
 use crate::telemetry::Telemetry;
 use congest_graph::{NodeId, Weight};
 use serde::{Deserialize, Serialize};
@@ -176,9 +177,11 @@ pub struct SimConfig {
     pub max_rounds: usize,
     /// Upper bound on entries recorded in [`RoundStats::message_log`]:
     /// once the log holds this many records, further messages are counted
-    /// in the aggregate statistics but **silently dropped from the log**
-    /// (detectable as `message_log.len() == message_log_cap`). Keeps a
-    /// forgotten `with_message_log` from ballooning memory on long runs.
+    /// in the aggregate statistics but dropped from the log (detectable as
+    /// `message_log.len() == message_log_cap`; the network also emits a
+    /// one-time [`crate::telemetry::TraceEvent::MessageLogTruncated`] when
+    /// the first record is lost). Keeps a forgotten `with_message_log` from
+    /// ballooning memory on long runs.
     pub message_log_cap: usize,
     /// If `true`, the network maintains a streaming per-channel load
     /// histogram ([`crate::telemetry::BandwidthProfile`]) and emits a
@@ -188,6 +191,10 @@ pub struct SimConfig {
     /// Telemetry sink; disabled ([`Telemetry::off`]) by default, in which
     /// case no events are constructed at all.
     pub telemetry: Telemetry,
+    /// Fault-injection plan (see [`crate::faults`]); `None` (the default)
+    /// runs the ideal lossless network. A plan with all knobs at zero is
+    /// behaviorally identical to `None`.
+    pub faults: Option<FaultPlan>,
 }
 
 impl SimConfig {
@@ -200,6 +207,7 @@ impl SimConfig {
             message_log_cap: DEFAULT_MESSAGE_LOG_CAP,
             profile_channels: false,
             telemetry: Telemetry::off(),
+            faults: None,
         }
     }
 
@@ -233,6 +241,12 @@ impl SimConfig {
         self.telemetry = telemetry;
         self
     }
+
+    /// Attaches a fault-injection plan (builder style); see [`crate::faults`].
+    pub fn with_faults(mut self, plan: FaultPlan) -> SimConfig {
+        self.faults = Some(plan);
+        self
+    }
 }
 
 /// One logged message (when [`SimConfig::log_messages`] is set).
@@ -248,6 +262,53 @@ pub struct MessageRecord {
     pub bits: u32,
 }
 
+/// Fault and recovery overhead, accounted separately from the algorithmic
+/// counters of [`RoundStats`].
+///
+/// The paper's round counts (e.g. Theorem 1.1's
+/// `Õ(min{n^{9/10} D^{3/10}, n})`) assume a lossless network; this budget
+/// keeps those headline numbers comparable under faults by tracking what
+/// the fault model cost *on top*: messages the network discarded, rounds
+/// nodes spent crashed, and the retransmission traffic the
+/// [`crate::reliable`] layer added to mask the losses. All fields are zero
+/// for a fault-free run, so `RoundStats` equality with the ideal path is
+/// preserved exactly.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct ResilienceBudget {
+    /// Messages the fault model discarded (any [`crate::faults::DropReason`]).
+    pub dropped_messages: u64,
+    /// Bits of discarded messages.
+    pub dropped_bits: u64,
+    /// Messages discarded specifically by link throttles.
+    pub throttled_messages: u64,
+    /// Total `(node, round)` pairs in which a node was crashed.
+    pub crashed_node_rounds: u64,
+    /// Data frames re-sent by the reliable layer after an ack timeout.
+    pub retransmissions: u64,
+    /// Acknowledgement frames sent by the reliable layer.
+    pub ack_messages: u64,
+    /// Data frames the reliable layer abandoned after exhausting retries.
+    pub gave_up: u64,
+}
+
+impl ResilienceBudget {
+    /// `true` if no fault or recovery overhead was recorded.
+    pub fn is_zero(&self) -> bool {
+        *self == ResilienceBudget::default()
+    }
+
+    /// Accumulates another phase's overhead into this one.
+    pub fn absorb(&mut self, other: &ResilienceBudget) {
+        self.dropped_messages += other.dropped_messages;
+        self.dropped_bits += other.dropped_bits;
+        self.throttled_messages += other.throttled_messages;
+        self.crashed_node_rounds += other.crashed_node_rounds;
+        self.retransmissions += other.retransmissions;
+        self.ack_messages += other.ack_messages;
+        self.gave_up += other.gave_up;
+    }
+}
+
 /// Execution statistics of a simulation (or of several, accumulated).
 #[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
 pub struct RoundStats {
@@ -259,6 +320,9 @@ pub struct RoundStats {
     pub bits: u64,
     /// The largest per-channel bit load observed in any single round.
     pub max_channel_bits: u32,
+    /// Fault and recovery overhead (all zero without faults); see
+    /// [`ResilienceBudget`].
+    pub resilience: ResilienceBudget,
     /// Individual messages (empty unless logging was enabled).
     ///
     /// Truncated at [`SimConfig::message_log_cap`] entries: the aggregate
@@ -275,6 +339,7 @@ impl RoundStats {
         self.messages += other.messages;
         self.bits += other.bits;
         self.max_channel_bits = self.max_channel_bits.max(other.max_channel_bits);
+        self.resilience.absorb(&other.resilience);
         self.message_log.extend(other.message_log.iter().copied());
     }
 }
@@ -285,7 +350,18 @@ impl fmt::Display for RoundStats {
             f,
             "{} rounds, {} messages, {} bits (peak {} bits/channel/round)",
             self.rounds, self.messages, self.bits, self.max_channel_bits
-        )
+        )?;
+        if !self.resilience.is_zero() {
+            write!(
+                f,
+                "; faults: {} dropped ({} bits), {} crashed node-rounds, {} retransmissions",
+                self.resilience.dropped_messages,
+                self.resilience.dropped_bits,
+                self.resilience.crashed_node_rounds,
+                self.resilience.retransmissions
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -316,9 +392,14 @@ pub enum SimError {
         budget_bits: u32,
     },
     /// `max_rounds` elapsed without quiescence.
+    ///
+    /// [`crate::Network::stats`] still reflects every round that executed
+    /// before the cap fired, so partial statistics survive the failure.
     RoundLimitExceeded {
         /// The cap that was hit.
         max_rounds: usize,
+        /// Rounds that actually executed before the cap fired.
+        rounds_executed: usize,
     },
 }
 
@@ -332,8 +413,14 @@ impl fmt::Display for SimError {
                 f,
                 "channel {from}->{to} overloaded in round {round}: {attempted_bits} bits > budget {budget_bits}"
             ),
-            SimError::RoundLimitExceeded { max_rounds } => {
-                write!(f, "simulation did not finish within {max_rounds} rounds")
+            SimError::RoundLimitExceeded {
+                max_rounds,
+                rounds_executed,
+            } => {
+                write!(
+                    f,
+                    "simulation did not finish within {max_rounds} rounds ({rounds_executed} executed)"
+                )
             }
         }
     }
@@ -378,6 +465,7 @@ mod tests {
             messages: 10,
             bits: 100,
             max_channel_bits: 8,
+            resilience: ResilienceBudget::default(),
             message_log: vec![],
         };
         let b = RoundStats {
@@ -385,6 +473,11 @@ mod tests {
             messages: 1,
             bits: 9,
             max_channel_bits: 12,
+            resilience: ResilienceBudget {
+                dropped_messages: 2,
+                dropped_bits: 16,
+                ..ResilienceBudget::default()
+            },
             message_log: vec![],
         };
         a.absorb(&b);
@@ -392,6 +485,9 @@ mod tests {
         assert_eq!(a.messages, 11);
         assert_eq!(a.bits, 109);
         assert_eq!(a.max_channel_bits, 12);
+        assert_eq!(a.resilience.dropped_messages, 2);
+        assert_eq!(a.resilience.dropped_bits, 16);
+        assert!(!a.resilience.is_zero());
     }
 
     #[test]
@@ -413,5 +509,24 @@ mod tests {
     fn errors_display() {
         let e = SimError::NotAdjacent { from: 1, to: 2 };
         assert!(e.to_string().contains("non-neighbor"));
+        let e = SimError::RoundLimitExceeded {
+            max_rounds: 10,
+            rounds_executed: 10,
+        };
+        assert!(e.to_string().contains("within 10 rounds"));
+        assert!(e.to_string().contains("10 executed"));
+    }
+
+    #[test]
+    fn stats_display_mentions_faults_only_when_present() {
+        let mut stats = RoundStats {
+            rounds: 2,
+            messages: 3,
+            bits: 12,
+            ..RoundStats::default()
+        };
+        assert!(!stats.to_string().contains("faults"));
+        stats.resilience.dropped_messages = 1;
+        assert!(stats.to_string().contains("faults: 1 dropped"));
     }
 }

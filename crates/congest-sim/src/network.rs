@@ -1,8 +1,11 @@
 //! The synchronous round-by-round network runner.
 
+use crate::faults::{DropReason, FaultOracle, FaultPlan};
 use crate::model::{MessageRecord, NodeCtx, Payload, RoundStats, SimConfig, SimError, Status};
 use crate::telemetry::{BandwidthProfile, TraceEvent};
 use congest_graph::{NodeId, WeightedGraph};
+use serde::Serialize;
+use std::collections::BTreeSet;
 
 /// A per-node algorithm.
 ///
@@ -41,7 +44,7 @@ pub struct Mailbox<M> {
 }
 
 impl<M: Payload> Mailbox<M> {
-    fn new() -> Mailbox<M> {
+    pub(crate) fn new() -> Mailbox<M> {
         Mailbox { out: Vec::new() }
     }
 
@@ -50,14 +53,18 @@ impl<M: Payload> Mailbox<M> {
         self.out.push((to, msg));
     }
 
-    /// Queues `msg` for every neighbor.
+    /// Queues `msg` for every neighbor (cloning once per neighbor except
+    /// the last, which receives the original).
     pub fn broadcast(&mut self, ctx: &NodeCtx, msg: M) {
-        for &(v, _) in &ctx.neighbors {
-            self.out.push((v, msg.clone()));
+        if let Some((&(last, _), rest)) = ctx.neighbors.split_last() {
+            for &(v, _) in rest {
+                self.out.push((v, msg.clone()));
+            }
+            self.out.push((last, msg));
         }
     }
 
-    fn take(&mut self) -> Vec<(NodeId, M)> {
+    pub(crate) fn take(&mut self) -> Vec<(NodeId, M)> {
         std::mem::take(&mut self.out)
     }
 }
@@ -112,6 +119,44 @@ pub struct Network<P: NodeProgram> {
     round_peak: u32,
     /// Streaming per-channel load histogram (when profiling is enabled).
     profile: Option<BandwidthProfile>,
+    /// Compiled fault plan (when [`SimConfig::with_faults`] is set).
+    faults: Option<FaultOracle>,
+    /// Senders whose messages to node `v` the fault model discarded.
+    lost_from: Vec<BTreeSet<NodeId>>,
+    /// Crash state of each node in the round most recently executed.
+    crashed_now: Vec<bool>,
+    /// `true` for nodes that were crashed in at least one executed round.
+    ever_crashed: Vec<bool>,
+    /// Whether the one-time message-log truncation warning fired.
+    log_truncated: bool,
+}
+
+/// Per-node delivery quality of a run under a fault plan.
+///
+/// Returned by [`Network::run_with_quality`]; without faults every node is
+/// [`Quality::Exact`].
+#[derive(Clone, PartialEq, Eq, Debug, Serialize)]
+pub enum Quality {
+    /// The node saw every message addressed to it and missed no rounds:
+    /// its output is what the ideal lossless network would have produced.
+    Exact,
+    /// The node's output may be stale or wrong: the fault model discarded
+    /// at least one message addressed to it, or the node itself spent
+    /// rounds crashed (in which case `missing_sources` may be empty).
+    Degraded {
+        /// Senders whose messages to this node were lost, ascending.
+        missing_sources: Vec<NodeId>,
+    },
+    /// The node was crashed when the network quiesced; its output is
+    /// whatever state it held when it went down.
+    Failed,
+}
+
+impl Quality {
+    /// `true` for [`Quality::Exact`].
+    pub fn is_exact(&self) -> bool {
+        *self == Quality::Exact
+    }
 }
 
 impl<P: NodeProgram> Network<P> {
@@ -143,6 +188,7 @@ impl<P: NodeProgram> Network<P> {
         let profile = config
             .profile_channels
             .then(|| BandwidthProfile::new(config.bandwidth.get()));
+        let faults = config.faults.as_ref().map(FaultPlan::compile);
         Network {
             ctxs,
             programs,
@@ -153,6 +199,11 @@ impl<P: NodeProgram> Network<P> {
             started: false,
             round_peak: 0,
             profile,
+            faults,
+            lost_from: vec![BTreeSet::new(); n],
+            crashed_now: vec![false; n],
+            ever_crashed: vec![false; n],
+            log_truncated: false,
         }
     }
 
@@ -178,22 +229,24 @@ impl<P: NodeProgram> Network<P> {
         outgoing: Vec<(NodeId, P::Msg)>,
         round: usize,
     ) -> Result<(), SimError> {
-        // Per-destination bit accounting for this sender this round.
-        let mut per_channel: Vec<(NodeId, u32)> = Vec::new();
+        // Per-destination `(bits, messages)` accounting for this sender this
+        // round; the message index keys the fault oracle's drop decisions.
+        let mut per_channel: Vec<(NodeId, u32, u64)> = Vec::new();
         for (to, msg) in outgoing {
             if self.ctxs[from].weight_to(to).is_none() {
                 return Err(SimError::NotAdjacent { from, to });
             }
             let bits = msg.size_bits();
-            let entry = per_channel.iter_mut().find(|(t, _)| *t == to);
-            let total = match entry {
-                Some((_, b)) => {
+            let entry = per_channel.iter_mut().find(|(t, _, _)| *t == to);
+            let (total, index) = match entry {
+                Some((_, b, k)) => {
                     *b += bits;
-                    *b
+                    *k += 1;
+                    (*b, *k - 1)
                 }
                 None => {
-                    per_channel.push((to, bits));
-                    bits
+                    per_channel.push((to, bits, 1));
+                    (bits, 0)
                 }
             };
             let budget = self.config.bandwidth.get();
@@ -206,22 +259,81 @@ impl<P: NodeProgram> Network<P> {
                     budget_bits: budget,
                 });
             }
+            // The sender used the channel whether or not the fault model
+            // loses the message: attempted sends are charged to the
+            // aggregate counters (and the log), and losses are accounted
+            // separately in `stats.resilience`.
             self.stats.messages += 1;
             self.stats.bits += u64::from(bits);
-            if self.config.log_messages
-                && self.stats.message_log.len() < self.config.message_log_cap
-            {
-                self.stats.message_log.push(MessageRecord {
-                    round,
-                    from,
-                    to,
-                    bits,
-                });
+            if self.config.log_messages {
+                if self.stats.message_log.len() < self.config.message_log_cap {
+                    self.stats.message_log.push(MessageRecord {
+                        round,
+                        from,
+                        to,
+                        bits,
+                    });
+                } else if !self.log_truncated {
+                    self.log_truncated = true;
+                    let cap = self.config.message_log_cap;
+                    self.config
+                        .telemetry
+                        .emit_with(|| TraceEvent::MessageLogTruncated { round, cap });
+                }
+            }
+            if let Some(oracle) = &self.faults {
+                if let Some(throttle) = oracle.throttle(from, to) {
+                    if total > throttle {
+                        self.stats.resilience.dropped_messages += 1;
+                        self.stats.resilience.dropped_bits += u64::from(bits);
+                        self.stats.resilience.throttled_messages += 1;
+                        self.lost_from[to].insert(from);
+                        self.config
+                            .telemetry
+                            .emit_with(|| TraceEvent::LinkThrottled {
+                                round,
+                                from,
+                                to,
+                                budget_bits: throttle,
+                            });
+                        continue;
+                    }
+                }
+                if let Some(reason) = oracle.drops(round, from, to, index) {
+                    self.stats.resilience.dropped_messages += 1;
+                    self.stats.resilience.dropped_bits += u64::from(bits);
+                    self.lost_from[to].insert(from);
+                    self.config
+                        .telemetry
+                        .emit_with(|| TraceEvent::MessageDropped {
+                            round,
+                            from,
+                            to,
+                            bits,
+                            reason,
+                        });
+                    continue;
+                }
+                if !oracle.node_alive(to, round) {
+                    self.stats.resilience.dropped_messages += 1;
+                    self.stats.resilience.dropped_bits += u64::from(bits);
+                    self.lost_from[to].insert(from);
+                    self.config
+                        .telemetry
+                        .emit_with(|| TraceEvent::MessageDropped {
+                            round,
+                            from,
+                            to,
+                            bits,
+                            reason: DropReason::ReceiverCrashed,
+                        });
+                    continue;
+                }
             }
             self.pending[to].push((from, msg));
         }
         let budget = self.config.bandwidth.get();
-        for (to, b) in per_channel {
+        for (to, b, _) in per_channel {
             self.stats.max_channel_bits = self.stats.max_channel_bits.max(b);
             self.round_peak = self.round_peak.max(b);
             if let Some(profile) = &mut self.profile {
@@ -269,12 +381,38 @@ impl<P: NodeProgram> Network<P> {
         if round > self.config.max_rounds {
             return Err(SimError::RoundLimitExceeded {
                 max_rounds: self.config.max_rounds,
+                rounds_executed: self.stats.rounds,
             });
+        }
+        if let Some(oracle) = &self.faults {
+            for v in 0..self.ctxs.len() {
+                let crashed = !oracle.node_alive(v, round);
+                if crashed != self.crashed_now[v] {
+                    self.config.telemetry.emit_with(|| {
+                        if crashed {
+                            TraceEvent::NodeCrashed { node: v, round }
+                        } else {
+                            TraceEvent::NodeRecovered { node: v, round }
+                        }
+                    });
+                }
+                self.crashed_now[v] = crashed;
+                if crashed {
+                    self.ever_crashed[v] = true;
+                    self.stats.resilience.crashed_node_rounds += 1;
+                }
+            }
         }
         let inboxes: Vec<Vec<(NodeId, P::Msg)>> =
             self.pending.iter_mut().map(std::mem::take).collect();
         self.stats.rounds = round;
         for (v, inbox) in inboxes.into_iter().enumerate() {
+            // A crashed node executes nothing this round; messages addressed
+            // to it were already discarded at dispatch time, and its program
+            // state is preserved for when (if) the crash window closes.
+            if self.crashed_now[v] {
+                continue;
+            }
             let mut mb = Mailbox::new();
             let st = self.programs[v].round(&self.ctxs[v], round, &inbox, &mut mb);
             self.status[v] = st;
@@ -295,7 +433,13 @@ impl<P: NodeProgram> Network<P> {
                 bits,
                 max_channel_bits,
             });
-        let quiescent = self.status.iter().all(|&s| s == Status::Done)
+        // A crashed node cannot act, so it does not hold up quiescence; if
+        // the network settles while it is down, its quality is `Failed`.
+        let quiescent = self
+            .status
+            .iter()
+            .zip(&self.crashed_now)
+            .all(|(&s, &crashed)| s == Status::Done || crashed)
             && self.pending.iter().all(Vec::is_empty);
         Ok(quiescent)
     }
@@ -314,6 +458,48 @@ impl<P: NodeProgram> Network<P> {
             .zip(&self.ctxs)
             .map(|(p, c)| p.finish(c))
             .collect())
+    }
+
+    /// Runs until quiescence and returns every node's output tagged with
+    /// its delivery [`Quality`].
+    ///
+    /// Without a fault plan every node is [`Quality::Exact`]; under faults
+    /// a node is [`Quality::Degraded`] when the fault model discarded a
+    /// message addressed to it (listing the affected senders) or when it
+    /// spent rounds crashed, and [`Quality::Failed`] when it was down at
+    /// the moment the network quiesced.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Network::run`].
+    pub fn run_with_quality(&mut self) -> Result<Vec<(P::Output, Quality)>, SimError> {
+        self.run_to_quiescence()?;
+        let qualities = self.qualities();
+        let programs = std::mem::take(&mut self.programs);
+        Ok(programs
+            .into_iter()
+            .zip(&self.ctxs)
+            .map(|(p, c)| p.finish(c))
+            .zip(qualities)
+            .collect())
+    }
+
+    /// The per-node delivery quality accumulated so far (see
+    /// [`Network::run_with_quality`]).
+    pub fn qualities(&self) -> Vec<Quality> {
+        (0..self.ctxs.len()).map(|v| self.quality_of(v)).collect()
+    }
+
+    fn quality_of(&self, v: NodeId) -> Quality {
+        if self.crashed_now[v] {
+            Quality::Failed
+        } else if self.ever_crashed[v] || !self.lost_from[v].is_empty() {
+            Quality::Degraded {
+                missing_sources: self.lost_from[v].iter().copied().collect(),
+            }
+        } else {
+            Quality::Exact
+        }
     }
 
     /// Runs until quiescence, keeping the programs in place (use
@@ -542,8 +728,200 @@ mod tests {
         let err = run_phase(&g, 0, cfg, "forever", |_, _| Forever).unwrap_err();
         assert!(matches!(
             err,
-            SimError::RoundLimitExceeded { max_rounds: 7 }
+            SimError::RoundLimitExceeded {
+                max_rounds: 7,
+                rounds_executed: 7,
+            }
         ));
+    }
+
+    /// Regression (PR 2): hitting the round cap must leave the partial
+    /// statistics readable, and the error must name the executed count.
+    #[test]
+    fn round_cap_preserves_partial_stats() {
+        let g = generators::path(2, 1);
+        let cfg = SimConfig::standard(2, 1).with_max_rounds(7);
+        let mut net = Network::new(&g, 0, cfg, |_, _| Forever);
+        let err = net.run_to_quiescence().unwrap_err();
+        assert_eq!(net.stats().rounds, 7, "executed rounds survive the error");
+        assert_eq!(
+            err,
+            SimError::RoundLimitExceeded {
+                max_rounds: 7,
+                rounds_executed: 7,
+            }
+        );
+        assert!(err.to_string().contains("7 executed"));
+    }
+
+    /// Satellite (PR 2): the first record lost to the message-log cap emits
+    /// a one-time warning event instead of truncating silently.
+    #[test]
+    fn message_log_cap_warns_once() {
+        use crate::telemetry::{CollectingTracer, Telemetry};
+        use std::sync::Arc;
+
+        let tracer = Arc::new(CollectingTracer::default());
+        let g = generators::path(6, 1);
+        let cfg = SimConfig::standard(6, 1)
+            .with_message_log()
+            .with_message_log_cap(2)
+            .with_telemetry(Telemetry::new(tracer.clone()));
+        let (_, stats) = run_phase(&g, 0, cfg, "relay", |_, _| Relay { value: None }).unwrap();
+        assert_eq!(stats.message_log.len(), 2, "log stops at the cap");
+        assert_eq!(stats.messages, 5, "aggregate counters keep counting");
+        let truncations: Vec<_> = tracer
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e, TraceEvent::MessageLogTruncated { .. }))
+            .collect();
+        assert_eq!(
+            truncations,
+            vec![TraceEvent::MessageLogTruncated { round: 3, cap: 2 }],
+            "exactly one warning, at the first lost record"
+        );
+    }
+
+    /// Relay-style forwarding that gives up (and halts) at a fixed round,
+    /// so runs terminate even when every message is lost.
+    struct Deadline {
+        value: Option<u64>,
+        deadline: usize,
+    }
+
+    impl NodeProgram for Deadline {
+        type Msg = u64;
+        type Output = Option<u64>;
+
+        fn start(&mut self, ctx: &NodeCtx, mb: &mut Mailbox<u64>) {
+            if ctx.id == 0 {
+                self.value = Some(0);
+                mb.send(1, 1);
+            }
+        }
+
+        fn round(
+            &mut self,
+            ctx: &NodeCtx,
+            round: usize,
+            inbox: &[(NodeId, u64)],
+            mb: &mut Mailbox<u64>,
+        ) -> Status {
+            for &(_, v) in inbox {
+                if self.value.is_none() {
+                    self.value = Some(v);
+                    if ctx.id + 1 < ctx.n {
+                        mb.send(ctx.id + 1, v + 1);
+                    }
+                }
+            }
+            if round >= self.deadline {
+                Status::Done
+            } else {
+                Status::Running
+            }
+        }
+
+        fn finish(self, _ctx: &NodeCtx) -> Option<u64> {
+            self.value
+        }
+    }
+
+    #[test]
+    fn dropped_messages_degrade_receivers() {
+        use crate::faults::FaultPlan;
+
+        // Forwarding on a path with every message dropped: only the leader
+        // knows its value; the first hop is degraded and names the sender.
+        let g = generators::path(3, 1);
+        let cfg = SimConfig::standard(3, 1)
+            .with_max_rounds(50)
+            .with_faults(FaultPlan::new(1).with_drop_rate(1.0));
+        let mut net = Network::new(&g, 0, cfg, |_, _| Deadline {
+            value: None,
+            deadline: 5,
+        });
+        let out = net.run_with_quality().unwrap();
+        assert_eq!(out[0].0, Some(0));
+        assert_eq!(out[0].1, Quality::Exact, "the leader lost nothing");
+        assert_eq!(out[1].0, None);
+        assert_eq!(
+            out[1].1,
+            Quality::Degraded {
+                missing_sources: vec![0]
+            }
+        );
+        assert!(net.stats().resilience.dropped_messages > 0);
+    }
+
+    #[test]
+    fn crashed_node_is_failed_and_does_not_block_quiescence() {
+        use crate::faults::FaultPlan;
+
+        let g = generators::path(3, 1);
+        let cfg = SimConfig::standard(3, 1)
+            .with_max_rounds(50)
+            .with_faults(FaultPlan::new(1).with_crash(2, 1, None));
+        let mut net = Network::new(&g, 0, cfg, |_, _| Deadline {
+            value: None,
+            deadline: 5,
+        });
+        let out = net.run_with_quality().unwrap();
+        assert_eq!(out[1].0, Some(1), "the healthy hop still hears the leader");
+        assert_eq!(out[2].1, Quality::Failed);
+        assert!(net.stats().resilience.crashed_node_rounds > 0);
+    }
+
+    #[test]
+    fn crash_window_recovery_resumes_with_state_intact() {
+        use crate::faults::FaultPlan;
+
+        // Node 1 is down for rounds 1–3; the leader's message is lost, but
+        // a (cheating, test-only) re-send in round 5 reaches it after
+        // recovery and it still forwards correctly.
+        struct Resend {
+            inner: Deadline,
+        }
+        impl NodeProgram for Resend {
+            type Msg = u64;
+            type Output = Option<u64>;
+            fn start(&mut self, ctx: &NodeCtx, mb: &mut Mailbox<u64>) {
+                self.inner.start(ctx, mb);
+            }
+            fn round(
+                &mut self,
+                ctx: &NodeCtx,
+                round: usize,
+                inbox: &[(NodeId, u64)],
+                mb: &mut Mailbox<u64>,
+            ) -> Status {
+                if ctx.id == 0 && round == 5 {
+                    mb.send(1, 1);
+                }
+                self.inner.round(ctx, round, inbox, mb)
+            }
+            fn finish(self, ctx: &NodeCtx) -> Option<u64> {
+                self.inner.finish(ctx)
+            }
+        }
+
+        let g = generators::path(3, 1);
+        let cfg = SimConfig::standard(3, 1)
+            .with_max_rounds(50)
+            .with_faults(FaultPlan::new(1).with_crash(1, 1, Some(4)));
+        let mut net = Network::new(&g, 0, cfg, |_, _| Resend {
+            inner: Deadline {
+                value: None,
+                deadline: 10,
+            },
+        });
+        let out = net.run_with_quality().unwrap();
+        assert_eq!(out[1].0, Some(1), "recovered node processed the re-send");
+        assert!(
+            matches!(out[1].1, Quality::Degraded { .. }),
+            "but it is still flagged: it missed rounds and a message"
+        );
+        assert_eq!(out[2].0, Some(2), "and forwarded onward after recovery");
     }
 
     #[test]

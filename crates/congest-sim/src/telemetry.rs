@@ -1,7 +1,7 @@
 //! Structured simulation telemetry: phase spans, round events, channel
 //! saturation, and bandwidth profiles.
 //!
-//! The simulator's headline numbers ([`RoundStats`]) answer *how much* an
+//! The simulator's headline numbers ([`crate::RoundStats`]) answer *how much* an
 //! algorithm communicated; telemetry answers *where* and *when*. Algorithms
 //! open named, nestable **phase spans** around their sub-protocols, the
 //! network runner emits a [`TraceEvent::RoundCompleted`] per synchronous
@@ -64,6 +64,7 @@
 //! # Ok(()) }
 //! ```
 
+use crate::faults::DropReason;
 use crate::model::SimError;
 use congest_graph::NodeId;
 use serde::Serialize;
@@ -146,6 +147,55 @@ pub enum TraceEvent {
         iterations: u64,
         /// Oracle queries charged by this invocation.
         oracle_queries: u64,
+    },
+    /// The fault model discarded a message (see [`crate::faults`]).
+    MessageDropped {
+        /// Delivery round the message was scheduled for (1-based).
+        round: usize,
+        /// Sender.
+        from: NodeId,
+        /// Intended receiver.
+        to: NodeId,
+        /// Charged size of the lost message.
+        bits: u32,
+        /// Why the fault model discarded it.
+        reason: DropReason,
+    },
+    /// A node entered a crash window (see
+    /// [`crate::faults::FaultPlan::with_crash`]).
+    NodeCrashed {
+        /// The crashed node.
+        node: NodeId,
+        /// First round (1-based) the node is down.
+        round: usize,
+    },
+    /// A crashed node came back up (with its pre-crash state intact).
+    NodeRecovered {
+        /// The recovered node.
+        node: NodeId,
+        /// First round (1-based) the node is back up.
+        round: usize,
+    },
+    /// A throttled link's per-round bit budget was exhausted and a message
+    /// was discarded (see [`crate::faults::FaultPlan::with_throttle`]).
+    LinkThrottled {
+        /// Delivery round (1-based).
+        round: usize,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// The throttle's per-round budget in bits.
+        budget_bits: u32,
+    },
+    /// The [`crate::RoundStats::message_log`] hit its cap and dropped its
+    /// first record (emitted once per network; see
+    /// [`crate::SimConfig::message_log_cap`]).
+    MessageLogTruncated {
+        /// Round in which the first record was lost (1-based).
+        round: usize,
+        /// The configured cap.
+        cap: usize,
     },
     /// The simulation aborted with an error.
     SimFailed {
@@ -294,6 +344,9 @@ pub struct CountingTracer {
     bits: AtomicU64,
     saturated_channel_rounds: AtomicU64,
     grover_iterations: AtomicU64,
+    dropped_messages: AtomicU64,
+    node_crashes: AtomicU64,
+    throttled_messages: AtomicU64,
 }
 
 /// A point-in-time copy of a [`CountingTracer`]'s counters.
@@ -317,6 +370,13 @@ pub struct CountingSnapshot {
     pub saturated_channel_rounds: u64,
     /// Grover iterations summed over `GroverIteration` events.
     pub grover_iterations: u64,
+    /// Messages the fault model discarded (`MessageDropped` plus
+    /// `LinkThrottled` events).
+    pub dropped_messages: u64,
+    /// `NodeCrashed` events.
+    pub node_crashes: u64,
+    /// `LinkThrottled` events.
+    pub throttled_messages: u64,
 }
 
 impl CountingTracer {
@@ -332,6 +392,9 @@ impl CountingTracer {
             bits: self.bits.load(Ordering::Relaxed),
             saturated_channel_rounds: self.saturated_channel_rounds.load(Ordering::Relaxed),
             grover_iterations: self.grover_iterations.load(Ordering::Relaxed),
+            dropped_messages: self.dropped_messages.load(Ordering::Relaxed),
+            node_crashes: self.node_crashes.load(Ordering::Relaxed),
+            throttled_messages: self.throttled_messages.load(Ordering::Relaxed),
         }
     }
 }
@@ -363,7 +426,20 @@ impl Tracer for CountingTracer {
                 self.grover_iterations
                     .fetch_add(*iterations, Ordering::Relaxed);
             }
-            TraceEvent::ChannelProfile { .. } | TraceEvent::SimFailed { .. } => {}
+            TraceEvent::MessageDropped { .. } => {
+                self.dropped_messages.fetch_add(1, Ordering::Relaxed);
+            }
+            TraceEvent::NodeCrashed { .. } => {
+                self.node_crashes.fetch_add(1, Ordering::Relaxed);
+            }
+            TraceEvent::LinkThrottled { .. } => {
+                self.dropped_messages.fetch_add(1, Ordering::Relaxed);
+                self.throttled_messages.fetch_add(1, Ordering::Relaxed);
+            }
+            TraceEvent::ChannelProfile { .. }
+            | TraceEvent::NodeRecovered { .. }
+            | TraceEvent::MessageLogTruncated { .. }
+            | TraceEvent::SimFailed { .. } => {}
         }
     }
 }
@@ -551,6 +627,11 @@ pub fn build_phase_tree(events: &[TraceEvent]) -> PhaseNode {
             TraceEvent::ChannelSaturation { .. }
             | TraceEvent::ChannelProfile { .. }
             | TraceEvent::GroverIteration { .. }
+            | TraceEvent::MessageDropped { .. }
+            | TraceEvent::NodeCrashed { .. }
+            | TraceEvent::NodeRecovered { .. }
+            | TraceEvent::LinkThrottled { .. }
+            | TraceEvent::MessageLogTruncated { .. }
             | TraceEvent::SimFailed { .. } => {}
         }
     }

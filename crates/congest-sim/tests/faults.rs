@@ -1,0 +1,156 @@
+//! Integration properties of the fault-injection subsystem: trace
+//! determinism (the same `FaultPlan` seed replays bit-for-bit) and
+//! zero-fault transparency (an all-zero plan is indistinguishable from no
+//! plan at all).
+
+use congest_graph::{generators, NodeId, WeightedGraph};
+use congest_sim::telemetry::JsonlTracer;
+use congest_sim::{
+    FaultPlan, Mailbox, Network, NodeCtx, NodeProgram, SimConfig, Status, Telemetry,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::{Arc, Mutex};
+
+/// Leader-rooted flood with a fixed deadline: every node forwards the token
+/// once and halts at `deadline` regardless of what the fault model did, so
+/// runs terminate under arbitrary loss and crash schedules.
+struct Flood {
+    deadline: usize,
+    heard: bool,
+}
+
+impl NodeProgram for Flood {
+    type Msg = u32;
+    type Output = bool;
+
+    fn start(&mut self, ctx: &NodeCtx, mb: &mut Mailbox<u32>) {
+        if ctx.is_leader() {
+            self.heard = true;
+            mb.broadcast(ctx, 1);
+        }
+    }
+
+    fn round(
+        &mut self,
+        ctx: &NodeCtx,
+        round: usize,
+        inbox: &[(NodeId, u32)],
+        mb: &mut Mailbox<u32>,
+    ) -> Status {
+        if !self.heard && !inbox.is_empty() {
+            self.heard = true;
+            mb.broadcast(ctx, 1);
+        }
+        if round >= self.deadline {
+            Status::Done
+        } else {
+            Status::Running
+        }
+    }
+
+    fn finish(self, _ctx: &NodeCtx) -> bool {
+        self.heard
+    }
+}
+
+fn arb_graph() -> impl Strategy<Value = WeightedGraph> {
+    (4usize..20, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        generators::erdos_renyi_connected(n, 0.3, 4, &mut rng)
+    })
+}
+
+fn cfg(g: &WeightedGraph) -> SimConfig {
+    SimConfig::standard(g.n(), g.max_weight()).with_max_rounds(10_000)
+}
+
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(data);
+        Ok(data.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// One traced flood under `plan`, returning the raw JSONL bytes, the
+/// per-node outputs, and the stats.
+fn traced_flood(
+    g: &WeightedGraph,
+    plan: FaultPlan,
+) -> (String, Vec<bool>, congest_sim::RoundStats) {
+    let buf = SharedBuf::default();
+    let telemetry = Telemetry::new(Arc::new(JsonlTracer::new(Box::new(buf.clone()))));
+    let config = cfg(g).with_telemetry(telemetry.clone()).with_faults(plan);
+    let deadline = 3 * g.n();
+    let mut net = Network::new(g, 0, config, |_, _| Flood {
+        deadline,
+        heard: false,
+    });
+    let out = net.run().expect("deadline flood always terminates");
+    let stats = net.stats().clone();
+    telemetry.flush();
+    let trace = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    (trace, out, stats)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Replaying the same `FaultPlan` (same seed, same knobs) on the same
+    /// graph produces a bit-identical JSONL trace, identical outputs, and
+    /// identical stats: fault decisions are pure functions of the plan.
+    #[test]
+    fn same_plan_replays_bit_identically(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        rate in 0.0f64..0.45,
+        with_crash in any::<bool>(),
+        pick in any::<u64>(),
+        from in 1usize..6,
+        len in 1usize..5,
+    ) {
+        let mut plan = FaultPlan::new(seed).with_drop_rate(rate);
+        if with_crash {
+            // A transient crash of a non-leader node.
+            let node = 1 + (pick as usize) % (g.n() - 1);
+            plan = plan.with_crash(node, from, Some(from + len));
+        }
+        let (trace_a, out_a, stats_a) = traced_flood(&g, plan.clone());
+        let (trace_b, out_b, stats_b) = traced_flood(&g, plan);
+        prop_assert_eq!(trace_a, trace_b);
+        prop_assert_eq!(out_a, out_b);
+        prop_assert_eq!(stats_a, stats_b);
+    }
+
+    /// An all-zero plan is pay-as-you-go: outputs, qualities, and the full
+    /// `RoundStats` (rounds included) are identical to a plain network with
+    /// no fault oracle installed at all.
+    #[test]
+    fn zero_plan_is_indistinguishable_from_no_plan(
+        g in arb_graph(),
+        seed in any::<u64>(),
+    ) {
+        let deadline = 3 * g.n();
+        let make = |_: usize, _: &NodeCtx| Flood { deadline, heard: false };
+
+        let mut plain = Network::new(&g, 0, cfg(&g), make);
+        let out_plain = plain.run().unwrap();
+
+        let zero_cfg = cfg(&g).with_faults(FaultPlan::new(seed));
+        let mut zeroed = Network::new(&g, 0, zero_cfg, make);
+        let out_zeroed = zeroed.run_with_quality().unwrap();
+
+        prop_assert!(out_zeroed.iter().all(|(_, q)| q.is_exact()));
+        let outputs: Vec<bool> = out_zeroed.into_iter().map(|(o, _)| o).collect();
+        prop_assert_eq!(out_plain, outputs);
+        prop_assert_eq!(plain.stats(), zeroed.stats());
+        prop_assert!(zeroed.stats().resilience.is_zero());
+    }
+}

@@ -125,6 +125,22 @@ fn jsonl_format_matches_golden_file() {
             iterations: 17,
             oracle_queries: 19,
         },
+        TraceEvent::MessageDropped {
+            round: 2,
+            from: 0,
+            to: 1,
+            bits: 8,
+            reason: congest_sim::faults::DropReason::Random,
+        },
+        TraceEvent::NodeCrashed { node: 3, round: 2 },
+        TraceEvent::NodeRecovered { node: 3, round: 5 },
+        TraceEvent::LinkThrottled {
+            round: 2,
+            from: 1,
+            to: 2,
+            budget_bits: 16,
+        },
+        TraceEvent::MessageLogTruncated { round: 4, cap: 100 },
         TraceEvent::PhaseEnd {
             name: "outer".to_string(),
         },
