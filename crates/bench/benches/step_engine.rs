@@ -1,0 +1,122 @@
+//! Criterion benchmark of the round engine (ISSUE E8): wall-clock cost of
+//! `Network::step` on dense gossip workloads, sequential vs (with
+//! `--features parallel`) the parallel compute phase at several pool sizes.
+//!
+//! ```sh
+//! cargo bench -p wdr-bench --bench step_engine
+//! cargo bench -p wdr-bench --bench step_engine --features parallel
+//! ```
+//!
+//! This bench times the raw engine; the tables binary's E8 experiment
+//! (`--exp e8`) additionally cross-checks parallel outputs against the
+//! sequential engine and emits `BENCH_step_engine.json`.
+
+use congest_graph::{generators, NodeId, WeightedGraph};
+use congest_sim::{run_phase, Bandwidth, Mailbox, NodeCtx, NodeProgram, SimConfig, Status};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const ROUNDS: usize = 40;
+const WORK: u32 = 64;
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+struct GossipMix {
+    digest: u64,
+}
+
+impl NodeProgram for GossipMix {
+    type Msg = u64;
+    type Output = u64;
+
+    fn start(&mut self, ctx: &NodeCtx, mb: &mut Mailbox<u64>) {
+        self.digest = mix(ctx.id as u64 + 1);
+        mb.broadcast(ctx, self.digest);
+    }
+
+    fn round(
+        &mut self,
+        ctx: &NodeCtx,
+        round: usize,
+        inbox: &[(NodeId, u64)],
+        mb: &mut Mailbox<u64>,
+    ) -> Status {
+        for &(_, d) in inbox {
+            self.digest = mix(self.digest ^ d);
+        }
+        for _ in 0..WORK {
+            self.digest = mix(self.digest);
+        }
+        if round < ROUNDS {
+            mb.broadcast(ctx, self.digest);
+            Status::Running
+        } else {
+            Status::Done
+        }
+    }
+
+    fn finish(self, _ctx: &NodeCtx) -> u64 {
+        self.digest
+    }
+}
+
+fn dense(n: usize) -> WeightedGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(8800 + n as u64);
+    generators::erdos_renyi_connected(n, 0.3, 1, &mut rng)
+}
+
+fn run_gossip(g: &WeightedGraph, config: &SimConfig) -> u64 {
+    let (out, _) = run_phase(g, 0, config, "e8_gossip", |_, _| GossipMix { digest: 0 })
+        .expect("gossip run succeeds");
+    out.iter().fold(0, |acc, &d| mix(acc ^ d))
+}
+
+fn bench_sequential(c: &mut Criterion) {
+    for n in [48usize, 96, 192] {
+        let g = dense(n);
+        let config = SimConfig {
+            bandwidth: Bandwidth::bits(160),
+            ..SimConfig::standard(g.n(), 1)
+        };
+        c.bench_function(&format!("step_engine/sequential/n={n}"), |b| {
+            b.iter(|| run_gossip(&g, &config))
+        });
+    }
+}
+
+#[cfg(feature = "parallel")]
+fn bench_parallel(c: &mut Criterion) {
+    use congest_sim::Parallelism;
+    for n in [48usize, 96, 192] {
+        let g = dense(n);
+        let config = SimConfig {
+            bandwidth: Bandwidth::bits(160),
+            ..SimConfig::standard(g.n(), 1)
+        }
+        .with_parallelism(Parallelism::Parallel);
+        for threads in [1usize, 2, 4, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("thread pool builds");
+            c.bench_function(
+                &format!("step_engine/parallel/n={n}/threads={threads}"),
+                |b| b.iter(|| pool.install(|| run_gossip(&g, &config))),
+            );
+        }
+    }
+}
+
+#[cfg(not(feature = "parallel"))]
+fn bench_parallel(_c: &mut Criterion) {
+    eprintln!("step_engine: parallel rows skipped (build with --features parallel)");
+}
+
+criterion_group!(step_engine, bench_sequential, bench_parallel);
+criterion_main!(step_engine);

@@ -51,19 +51,19 @@ fn congest_simulation(c: &mut Criterion) {
     let g = generators::erdos_renyi_connected(128, 0.05, 8, &mut rng);
     let cfg = SimConfig::standard(g.n(), g.max_weight());
     c.bench_function("alg2_bounded_sssp_n128", |b| {
-        b.iter(|| bounded_distance_sssp(black_box(&g), 0, 0, 64, cfg.clone()).unwrap())
+        b.iter(|| bounded_distance_sssp(black_box(&g), 0, 0, 64, &cfg).unwrap())
     });
     c.bench_function("unweighted_apsp_sim_n64", |b| {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let small = generators::erdos_renyi_connected(64, 0.08, 1, &mut rng);
         let cfg = SimConfig::standard(64, 1);
-        b.iter(|| unweighted_apsp(black_box(&small), 0, cfg.clone()).unwrap())
+        b.iter(|| unweighted_apsp(black_box(&small), 0, &cfg).unwrap())
     });
     c.bench_function("weighted_apsp_sim_n48", |b| {
         let mut rng = ChaCha8Rng::seed_from_u64(6);
         let small = generators::erdos_renyi_connected(48, 0.1, 8, &mut rng);
         let cfg = SimConfig::standard(48, 8);
-        b.iter(|| weighted_apsp(black_box(&small), 0, cfg.clone()).unwrap())
+        b.iter(|| weighted_apsp(black_box(&small), 0, &cfg).unwrap())
     });
 }
 
@@ -97,19 +97,19 @@ fn telemetry_overhead(c: &mut Criterion) {
     let g = generators::erdos_renyi_connected(128, 0.05, 8, &mut rng);
     let off = SimConfig::standard(g.n(), g.max_weight());
     c.bench_function("bfs_tree_n128_telemetry_off", |b| {
-        b.iter(|| primitives::bfs_tree(black_box(&g), 0, off.clone()).unwrap())
+        b.iter(|| primitives::bfs_tree(black_box(&g), 0, &off).unwrap())
     });
     let null = off
         .clone()
         .with_telemetry(Telemetry::new(Arc::new(NullTracer)));
     c.bench_function("bfs_tree_n128_null_tracer", |b| {
-        b.iter(|| primitives::bfs_tree(black_box(&g), 0, null.clone()).unwrap())
+        b.iter(|| primitives::bfs_tree(black_box(&g), 0, &null).unwrap())
     });
     let counting = off
         .clone()
         .with_telemetry(Telemetry::new(Arc::new(CountingTracer::default())));
     c.bench_function("bfs_tree_n128_counting_tracer", |b| {
-        b.iter(|| primitives::bfs_tree(black_box(&g), 0, counting.clone()).unwrap())
+        b.iter(|| primitives::bfs_tree(black_box(&g), 0, &counting).unwrap())
     });
 }
 

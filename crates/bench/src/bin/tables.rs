@@ -58,6 +58,10 @@ fn main() {
         eprintln!("[tables] running E7…");
         outputs.push(experiments::e7(quick));
     }
+    if run("e8") {
+        eprintln!("[tables] running E8…");
+        outputs.push(experiments::e8(quick, &out_dir));
+    }
     if run("f") || run("figures") {
         eprintln!("[tables] running F1–F4…");
         outputs.push(experiments::figures(&out_dir.join("figures")));

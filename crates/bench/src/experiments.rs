@@ -65,7 +65,7 @@ fn phase_breakdown(
     let tracer = std::sync::Arc::new(CollectingTracer::default());
     let config = cfg(g).with_telemetry(Telemetry::new(tracer.clone()));
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    if quantum_weighted(g, 0, objective, params, config, &mut rng).is_err() {
+    if quantum_weighted(g, 0, objective, params, &config, &mut rng).is_err() {
         return "-".to_string();
     }
     let tree = build_phase_tree(&tracer.events());
@@ -107,7 +107,7 @@ fn weighted_scaling(objective: Objective, id: &str, title: &str, quick: bool) ->
             d_used = d;
             let params = WdrParams::for_benchmarks(n, d, EPS);
             let mut rng = ChaCha8Rng::seed_from_u64(77 * n as u64 + seed);
-            let rep = quantum_weighted(&g, 0, objective, &params, cfg(&g), &mut rng)
+            let rep = quantum_weighted(&g, 0, objective, &params, &cfg(&g), &mut rng)
                 .expect("simulation succeeds");
             rounds_sum += rep.total_rounds as f64;
             budgeted_sum += rep.budgeted_rounds as f64;
@@ -206,7 +206,7 @@ pub fn e3(quick: bool) -> ExperimentOutput {
         let d = metrics::unweighted_diameter(&g);
         let params = WdrParams::for_benchmarks(n, d, EPS);
         let mut rng = ChaCha8Rng::seed_from_u64(500 + hubs as u64);
-        let rep = quantum_weighted(&g, 0, Objective::Diameter, &params, cfg(&g), &mut rng)
+        let rep = quantum_weighted(&g, 0, Objective::Diameter, &params, &cfg(&g), &mut rng)
             .expect("simulation succeeds");
         points.push((d as f64, rep.budgeted_rounds as f64));
         table.push(vec![
@@ -249,16 +249,16 @@ pub fn e4(quick: bool) -> ExperimentOutput {
     for n in sizes(quick) {
         let g = family(n, 4, 2000);
         let d = metrics::unweighted_diameter(&g);
-        let (dw, rw, st_w) = diameter_radius_exact(&g, 0, cfg(&g), WeightMode::Weighted)
+        let (dw, rw, st_w) = diameter_radius_exact(&g, 0, &cfg(&g), WeightMode::Weighted)
             .expect("simulation succeeds");
-        let (du, ru, st_u) = diameter_radius_exact(&g, 0, cfg(&g), WeightMode::Unweighted)
+        let (du, ru, st_u) = diameter_radius_exact(&g, 0, &cfg(&g), WeightMode::Unweighted)
             .expect("simulation succeeds");
         assert_eq!(dw, metrics::diameter(&g));
         assert_eq!(rw, metrics::radius(&g));
         assert_eq!(du, metrics::diameter(&g.unweighted_view()));
         assert_eq!(ru, metrics::radius(&g.unweighted_view()));
         let (d2, r2, st_2) =
-            two_approx_diameter_radius(&g, 0, cfg(&g)).expect("simulation succeeds");
+            two_approx_diameter_radius(&g, 0, &cfg(&g)).expect("simulation succeeds");
         assert!(d2 >= dw && d2 <= dw.saturating_mul(2));
         assert!(r2 >= rw && r2 <= rw.saturating_mul(2));
         pts_w.push((n as f64, st_w.rounds as f64));
@@ -317,7 +317,7 @@ pub fn e5(quick: bool) -> ExperimentOutput {
             let d = metrics::unweighted_diameter(&g);
             d_used = d;
             let mut rng = ChaCha8Rng::seed_from_u64(900 + 31 * n as u64 + seed);
-            let rep = quantum_unweighted(&g, 0, Objective::Diameter, 0.05, cfg(&g), &mut rng)
+            let rep = quantum_unweighted(&g, 0, Objective::Diameter, 0.05, &cfg(&g), &mut rng)
                 .expect("simulation succeeds");
             sum += rep.total_rounds as f64;
             budgeted_sum += rep.budgeted_rounds as f64;
@@ -370,7 +370,7 @@ pub fn e5(quick: bool) -> ExperimentOutput {
         let u = g.unweighted_view();
         let d = metrics::diameter(&u).expect_finite();
         let r = metrics::radius(&u).expect_finite();
-        let res = congest_algos::three_halves::three_halves_diameter(&g, 0, cfg(&g), &mut grng)
+        let res = congest_algos::three_halves::three_halves_diameter(&g, 0, &cfg(&g), &mut grng)
             .expect("simulation succeeds");
         let d_ok = res.diameter_estimate <= d && 3 * res.diameter_estimate + 3 >= 2 * d;
         let r_ok = res.radius_estimate >= r && res.radius_estimate <= 2 * r;
@@ -491,7 +491,7 @@ pub fn e6(quick: bool) -> ExperimentOutput {
         let src = g.layout.id(GadgetNode::A(1));
         let limit = ((1u64 << h) / 2).saturating_sub(2).max(1); // rounds = limit + 1 < 2^h/2
         let c = SimConfig::standard(u.n(), 1).with_message_log();
-        let (_, stats) = bounded_distance_sssp(&u, src, src, limit, c).expect("sim ok");
+        let (_, stats) = bounded_distance_sssp(&u, src, src, limit, &c).expect("sim ok");
         let report = simulate_transcript(&g.layout, &stats.message_log);
         let maxr = report.per_round.iter().copied().max().unwrap_or(0);
         assert!(maxr <= report.per_round_cap);
@@ -595,7 +595,7 @@ pub fn e7(quick: bool) -> ExperimentOutput {
     let base_cfg = || SimConfig::standard(g.n(), g.max_weight()).with_max_rounds(100_000);
     let policy = ReliablePolicy::default();
 
-    let clean = resilient_bfs(&g, 0, base_cfg(), policy).expect("fault-free run succeeds");
+    let clean = resilient_bfs(&g, 0, &base_cfg(), policy).expect("fault-free run succeeds");
     let clean_report = DegradationReport::evaluate(&g, 0, &clean);
     assert_eq!(clean_report.correct, g.n(), "fault-free baseline is exact");
     let baseline = clean.stats.rounds.max(1);
@@ -631,7 +631,7 @@ pub fn e7(quick: bool) -> ExperimentOutput {
                 let node = (1 + (c * (n - 2)) / crashes).min(n - 1);
                 plan = plan.with_crash(node, 2 + c, Some(6 + 2 * c));
             }
-            let run = resilient_bfs(&g, 0, base_cfg().with_faults(plan), policy)
+            let run = resilient_bfs(&g, 0, &base_cfg().with_faults(plan), policy)
                 .expect("faulty run terminates");
             let report = DegradationReport::evaluate(&g, 0, &run);
             let overhead = run.stats.rounds as f64 / baseline as f64;
@@ -666,6 +666,230 @@ pub fn e7(quick: bool) -> ExperimentOutput {
     ExperimentOutput {
         tables: vec![table],
         artifacts: vec![],
+    }
+}
+
+/// The E8 gossip workload: every node broadcasts a running digest each
+/// round and burns `work` iterations of a splitmix-style mixer per round,
+/// so the compute phase has enough local work for a thread sweep to bite.
+/// Deterministic: the final digests depend only on the graph and `rounds`.
+struct GossipMix {
+    digest: u64,
+    rounds: usize,
+    work: u32,
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl congest_sim::NodeProgram for GossipMix {
+    type Msg = u64;
+    type Output = u64;
+
+    fn start(&mut self, ctx: &congest_sim::NodeCtx, mb: &mut congest_sim::Mailbox<u64>) {
+        self.digest = mix(ctx.id as u64 + 1);
+        mb.broadcast(ctx, self.digest);
+    }
+
+    fn round(
+        &mut self,
+        ctx: &congest_sim::NodeCtx,
+        round: usize,
+        inbox: &[(congest_graph::NodeId, u64)],
+        mb: &mut congest_sim::Mailbox<u64>,
+    ) -> congest_sim::Status {
+        for &(_, d) in inbox {
+            self.digest = mix(self.digest ^ d);
+        }
+        for _ in 0..self.work {
+            self.digest = mix(self.digest);
+        }
+        if round < self.rounds {
+            mb.broadcast(ctx, self.digest);
+            congest_sim::Status::Running
+        } else {
+            congest_sim::Status::Done
+        }
+    }
+
+    fn finish(self, _ctx: &congest_sim::NodeCtx) -> u64 {
+        self.digest
+    }
+}
+
+/// One timed E8 configuration, serialized into `BENCH_step_engine.json`.
+#[derive(Clone, Debug, serde::Serialize)]
+struct E8Row {
+    n: usize,
+    edges: usize,
+    rounds: usize,
+    mode: String,
+    threads: usize,
+    secs_per_run: f64,
+    rounds_per_sec: f64,
+    speedup_vs_sequential: f64,
+}
+
+/// The machine-readable E8 report (`BENCH_step_engine.json`).
+#[derive(Clone, Debug, serde::Serialize)]
+struct E8Report {
+    experiment: String,
+    host_threads: usize,
+    parallel_feature: bool,
+    rows: Vec<E8Row>,
+}
+
+/// Runs one E8 workload under the criterion timing loop and returns
+/// (mean seconds per run, simulated rounds, final digests).
+fn e8_time_run(
+    g: &WeightedGraph,
+    config: &SimConfig,
+    rounds: usize,
+    work: u32,
+    measurement: std::time::Duration,
+) -> (f64, usize, Vec<u64>) {
+    use congest_sim::run_phase;
+    let mut crit = criterion::Criterion::default().measurement_time(measurement);
+    let mut sim_rounds = 0;
+    let mut outputs = Vec::new();
+    crit.bench_function("e8", |b| {
+        b.iter(|| {
+            let (out, stats) = run_phase(g, 0, config, "e8_gossip", |_, _| GossipMix {
+                digest: 0,
+                rounds,
+                work,
+            })
+            .expect("gossip run succeeds");
+            sim_rounds = stats.rounds;
+            outputs = out;
+        });
+    });
+    let secs = crit
+        .last_measurement()
+        .expect("bench_function records a measurement")
+        .as_secs_f64();
+    (secs, sim_rounds, outputs)
+}
+
+/// E8: round-engine throughput — rounds/sec of the sequential engine vs
+/// the parallel engine at 1/2/4/8 threads, on dense gossip workloads.
+/// Writes `BENCH_step_engine.json` under `out_dir`.
+pub fn e8(quick: bool, out_dir: &std::path::Path) -> ExperimentOutput {
+    let host_threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+    let (ns, rounds, work, measurement) = if quick {
+        (vec![48, 96], 60, 64, std::time::Duration::from_millis(60))
+    } else {
+        (
+            vec![64, 128, 256],
+            150,
+            256,
+            std::time::Duration::from_millis(400),
+        )
+    };
+    let mut table = Table::new(
+        "E8",
+        "Round-engine throughput: sequential vs parallel compute phase",
+        &[
+            "n",
+            "edges",
+            "rounds",
+            "mode",
+            "threads",
+            "time/run",
+            "rounds/sec",
+            "speedup",
+        ],
+    );
+    let mut rows: Vec<E8Row> = Vec::new();
+    for &n in &ns {
+        let mut rng = ChaCha8Rng::seed_from_u64(8800 + n as u64);
+        let g = generators::erdos_renyi_connected(n, 0.3, 1, &mut rng);
+        let edges = g.m();
+        let config = SimConfig {
+            bandwidth: congest_sim::Bandwidth::bits(160),
+            ..SimConfig::standard(g.n(), 1)
+        };
+        let (seq_secs, sim_rounds, seq_out) = e8_time_run(&g, &config, rounds, work, measurement);
+        #[cfg(not(feature = "parallel"))]
+        let _ = &seq_out; // cross-checked against parallel runs when compiled in
+        rows.push(E8Row {
+            n,
+            edges,
+            rounds: sim_rounds,
+            mode: "sequential".into(),
+            threads: 1,
+            secs_per_run: seq_secs,
+            rounds_per_sec: sim_rounds as f64 / seq_secs,
+            speedup_vs_sequential: 1.0,
+        });
+        #[cfg(feature = "parallel")]
+        for threads in [1usize, 2, 4, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("thread pool builds");
+            let par_cfg = config
+                .clone()
+                .with_parallelism(congest_sim::Parallelism::Parallel);
+            let (par_secs, par_rounds, par_out) =
+                pool.install(|| e8_time_run(&g, &par_cfg, rounds, work, measurement));
+            assert_eq!(par_rounds, sim_rounds, "parallel round count diverged");
+            assert_eq!(par_out, seq_out, "parallel outputs diverged at n={n}");
+            rows.push(E8Row {
+                n,
+                edges,
+                rounds: par_rounds,
+                mode: "parallel".into(),
+                threads,
+                secs_per_run: par_secs,
+                rounds_per_sec: par_rounds as f64 / par_secs,
+                speedup_vs_sequential: seq_secs / par_secs,
+            });
+        }
+    }
+    for r in &rows {
+        table.push(vec![
+            r.n.to_string(),
+            r.edges.to_string(),
+            r.rounds.to_string(),
+            r.mode.clone(),
+            r.threads.to_string(),
+            format!("{:.2?}", std::time::Duration::from_secs_f64(r.secs_per_run)),
+            format!("{:.0}", r.rounds_per_sec),
+            format!("{:.2}", r.speedup_vs_sequential),
+        ]);
+    }
+    let report = E8Report {
+        experiment: "E8".into(),
+        host_threads,
+        parallel_feature: cfg!(feature = "parallel"),
+        rows,
+    };
+    std::fs::create_dir_all(out_dir).expect("create E8 output dir");
+    let path = out_dir.join("BENCH_step_engine.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string(&report).expect("E8 report serializes"),
+    )
+    .expect("write BENCH_step_engine.json");
+    table.commentary = format!(
+        "Wall-clock throughput of `Network::step` on dense gossip (every node \
+         broadcasts a 64-bit digest each round and burns {work} mixer iterations \
+         locally). Parallel rows fan the compute phase over a pinned rayon pool; \
+         outputs are asserted bit-identical to the sequential engine before any \
+         row is reported. Speedups only materialize with real cores — this host \
+         reports {host_threads} (recorded as `host_threads` in \
+         BENCH_step_engine.json; on a single-core host the parallel rows measure \
+         scheduling overhead, not speedup). Parallel feature compiled: {}.",
+        cfg!(feature = "parallel"),
+    );
+    ExperimentOutput {
+        tables: vec![table],
+        artifacts: vec![path.display().to_string()],
     }
 }
 
@@ -831,7 +1055,7 @@ pub fn a2(quick: bool) -> ExperimentOutput {
     let limit = scheme.threshold().floor() as u64;
     let scales = scheme.max_scale(n, g.max_weight()) + 1;
 
-    let (_, s1) = bounded_hop_sssp(&g, 0, 0, scheme, cfg(&g)).expect("alg1");
+    let (_, s1) = bounded_hop_sssp(&g, 0, 0, scheme, &cfg(&g)).expect("alg1");
     let bound1 = (limit as usize + 1) * scales as usize;
     t.push(vec![
         "Alg 1 (bounded-hop SSSP)".into(),
@@ -842,7 +1066,7 @@ pub fn a2(quick: bool) -> ExperimentOutput {
     ]);
     assert!(s1.rounds <= bound1 + 10);
 
-    let ms = multi_source_bounded_hop(&g, 0, &skeleton, scheme, cfg(&g), &mut rng).expect("alg3");
+    let ms = multi_source_bounded_hop(&g, 0, &skeleton, scheme, &cfg(&g), &mut rng).expect("alg3");
     let logn = (n as f64).log2().ceil() as usize;
     let bound3 = (d + bound1 + b * logn + b + 4) * (logn + 1) + 3 * d + 2 * b + 20;
     t.push(vec![
@@ -855,7 +1079,7 @@ pub fn a2(quick: bool) -> ExperimentOutput {
     assert!(ms.stats.rounds <= bound3, "{} > {bound3}", ms.stats.rounds);
 
     let k = 3;
-    let emb = embed_overlay(&g, 0, &skeleton, scheme, k, cfg(&g), &mut rng).expect("alg4");
+    let emb = embed_overlay(&g, 0, &skeleton, scheme, k, &cfg(&g), &mut rng).expect("alg4");
     let alg4_rounds = emb.stats.rounds.saturating_sub(ms.stats.rounds);
     t.push(vec![
         format!("Alg 4 (embedding, k={k})"),
@@ -865,7 +1089,7 @@ pub fn a2(quick: bool) -> ExperimentOutput {
         format!("{}", 8 * (d + b * k) + 60),
     ]);
 
-    let (_, s5) = overlay_sssp(&g, 0, &emb, skeleton[0], cfg(&g)).expect("alg5");
+    let (_, s5) = overlay_sssp(&g, 0, &emb, skeleton[0], &cfg(&g)).expect("alg5");
     let ell2 = emb.overlay_ell;
     let l5 = ((1.0 + 2.0 / scheme.eps) * ell2 as f64) as usize;
     let bound5 = (l5 + 1) * 20 * (3 * d + b + 12);
@@ -1039,6 +1263,7 @@ pub fn run_all(quick: bool, out_dir: &std::path::Path) -> Vec<ExperimentOutput> 
         e5(quick),
         e6(quick),
         e7(quick),
+        e8(quick, out_dir),
         figures(out_dir),
         a1(),
         a2(quick),

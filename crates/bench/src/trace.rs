@@ -419,10 +419,10 @@ mod tests {
             .with_telemetry(telemetry.clone())
             .with_channel_profile();
 
-        let (tree, stats) = primitives::bfs_tree(&g, 0, cfg.clone()).unwrap();
+        let (tree, stats) = primitives::bfs_tree(&g, 0, &cfg).unwrap();
         let values: Vec<u128> = (0..9).collect();
         let (_, cast_stats) =
-            primitives::converge_cast(&g, 0, cfg, &tree, &values, primitives::Aggregate::Max)
+            primitives::converge_cast(&g, 0, &cfg, &tree, &values, primitives::Aggregate::Max)
                 .unwrap();
         telemetry.flush();
 
@@ -495,7 +495,7 @@ mod tests {
                     .with_drop_rate(0.2)
                     .with_crash(5, 2, Some(4)),
             );
-        let run = resilient_bfs(&g, 0, cfg, ReliablePolicy::default()).unwrap();
+        let run = resilient_bfs(&g, 0, &cfg, ReliablePolicy::default()).unwrap();
         assert!(run.stats.resilience.dropped_messages > 0);
         telemetry.flush();
 

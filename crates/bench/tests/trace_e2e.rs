@@ -27,7 +27,7 @@ fn three_halves_jsonl_trace_renders_to_markdown() {
         .with_telemetry(telemetry.clone())
         .with_channel_profile();
 
-    let res = three_halves_diameter(&g, 0, cfg, &mut rng).unwrap();
+    let res = three_halves_diameter(&g, 0, &cfg, &mut rng).unwrap();
     telemetry.flush();
 
     // Parse the file back exactly as the wdr-trace binary does.
@@ -76,7 +76,7 @@ fn faulty_run_shows_fault_events_in_wdr_trace_output() {
                 .with_drop_rate(0.2)
                 .with_crash(5, 2, Some(4)),
         );
-    let run = resilient_bfs(&g, 0, cfg, ReliablePolicy::default()).unwrap();
+    let run = resilient_bfs(&g, 0, &cfg, ReliablePolicy::default()).unwrap();
     assert!(run.stats.resilience.dropped_messages > 0);
     telemetry.flush();
 

@@ -100,7 +100,7 @@ pub struct ApspResult {
 fn apsp(
     g: &WeightedGraph,
     leader: NodeId,
-    config: SimConfig,
+    config: &SimConfig,
     mode: WeightMode,
 ) -> Result<ApspResult, SimError> {
     let n = g.n();
@@ -126,7 +126,7 @@ fn apsp(
 pub fn unweighted_apsp(
     g: &WeightedGraph,
     leader: NodeId,
-    config: SimConfig,
+    config: &SimConfig,
 ) -> Result<ApspResult, SimError> {
     apsp(g, leader, config, WeightMode::Unweighted)
 }
@@ -141,7 +141,7 @@ pub fn unweighted_apsp(
 pub fn weighted_apsp(
     g: &WeightedGraph,
     leader: NodeId,
-    config: SimConfig,
+    config: &SimConfig,
 ) -> Result<ApspResult, SimError> {
     apsp(g, leader, config, WeightMode::Weighted)
 }
@@ -164,7 +164,7 @@ pub fn weighted_apsp(
 ///
 /// let g = generators::path(8, 3);
 /// let cfg = SimConfig::standard(8, 3);
-/// let (d, r, _) = diameter_radius_exact(&g, 0, cfg, WeightMode::Weighted)?;
+/// let (d, r, _) = diameter_radius_exact(&g, 0, &cfg, WeightMode::Weighted)?;
 /// assert_eq!(d, metrics::diameter(&g));
 /// assert_eq!(r, metrics::radius(&g));
 /// # Ok::<(), congest_sim::SimError>(())
@@ -172,14 +172,14 @@ pub fn weighted_apsp(
 pub fn diameter_radius_exact(
     g: &WeightedGraph,
     leader: NodeId,
-    config: SimConfig,
+    config: &SimConfig,
     mode: WeightMode,
 ) -> Result<(Dist, Dist, RoundStats), SimError> {
     let mut res = match mode {
-        WeightMode::Unweighted => unweighted_apsp(g, leader, config.clone())?,
-        WeightMode::Weighted => weighted_apsp(g, leader, config.clone())?,
+        WeightMode::Unweighted => unweighted_apsp(g, leader, config)?,
+        WeightMode::Weighted => weighted_apsp(g, leader, config)?,
     };
-    let (tree, tree_stats) = primitives::bfs_tree(g, leader, config.clone())?;
+    let (tree, tree_stats) = primitives::bfs_tree(g, leader, config)?;
     res.stats.absorb(&tree_stats);
     let ecc: Vec<u128> = res
         .dist
@@ -195,19 +195,13 @@ pub fn diameter_radius_exact(
     // register (u128::MAX encodes "infinite"); budget for the register width.
     let wide = SimConfig {
         bandwidth: congest_sim::Bandwidth::bits(160),
-        ..config
+        ..config.clone()
     };
-    let (dmax, s1) = primitives::converge_cast(
-        g,
-        leader,
-        wide.clone(),
-        &tree,
-        &ecc,
-        primitives::Aggregate::Max,
-    )?;
+    let (dmax, s1) =
+        primitives::converge_cast(g, leader, &wide, &tree, &ecc, primitives::Aggregate::Max)?;
     res.stats.absorb(&s1);
     let (rmin, s2) =
-        primitives::converge_cast(g, leader, wide, &tree, &ecc, primitives::Aggregate::Min)?;
+        primitives::converge_cast(g, leader, &wide, &tree, &ecc, primitives::Aggregate::Min)?;
     res.stats.absorb(&s2);
     let to_dist = |x: u128| {
         if x == u128::MAX {
@@ -288,17 +282,15 @@ impl NodeProgram for SsspProgram {
 pub fn two_approx_diameter_radius(
     g: &WeightedGraph,
     leader: NodeId,
-    config: SimConfig,
+    config: &SimConfig,
 ) -> Result<(Dist, Dist, RoundStats), SimError> {
     let (dist, mut stats) =
-        congest_sim::run_phase(g, leader, config.clone(), "leader_sssp", |_, _| {
-            SsspProgram {
-                source: leader,
-                dist: None,
-                queued: false,
-            }
+        congest_sim::run_phase(g, leader, config, "leader_sssp", |_, _| SsspProgram {
+            source: leader,
+            dist: None,
+            queued: false,
         })?;
-    let (tree, tree_stats) = primitives::bfs_tree(g, leader, config.clone())?;
+    let (tree, tree_stats) = primitives::bfs_tree(g, leader, config)?;
     stats.absorb(&tree_stats);
     let values: Vec<u128> = dist
         .iter()
@@ -306,10 +298,10 @@ pub fn two_approx_diameter_radius(
         .collect();
     let wide = SimConfig {
         bandwidth: congest_sim::Bandwidth::bits(160),
-        ..config
+        ..config.clone()
     };
     let (ecc, cc) =
-        primitives::converge_cast(g, leader, wide, &tree, &values, primitives::Aggregate::Max)?;
+        primitives::converge_cast(g, leader, &wide, &tree, &values, primitives::Aggregate::Max)?;
     stats.absorb(&cc);
     if ecc == u128::MAX {
         return Ok((Dist::INFINITY, Dist::INFINITY, stats));
@@ -332,7 +324,7 @@ mod tests {
     fn unweighted_apsp_matches_bfs() {
         let mut rng = ChaCha8Rng::seed_from_u64(41);
         let g = generators::erdos_renyi_connected(20, 0.15, 7, &mut rng);
-        let res = unweighted_apsp(&g, 0, cfg(&g)).unwrap();
+        let res = unweighted_apsp(&g, 0, &cfg(&g)).unwrap();
         let u = g.unweighted_view();
         for s in g.nodes() {
             let want = shortest_path::bfs(&u, s);
@@ -347,7 +339,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(42);
         for _ in 0..3 {
             let g = generators::erdos_renyi_connected(16, 0.2, 9, &mut rng);
-            let res = weighted_apsp(&g, 0, cfg(&g)).unwrap();
+            let res = weighted_apsp(&g, 0, &cfg(&g)).unwrap();
             for s in g.nodes() {
                 let want = shortest_path::dijkstra(&g, s);
                 for v in g.nodes() {
@@ -361,7 +353,7 @@ mod tests {
     fn unweighted_apsp_rounds_linear_not_quadratic() {
         let mut rng = ChaCha8Rng::seed_from_u64(43);
         let g = generators::erdos_renyi_connected(40, 0.1, 1, &mut rng);
-        let res = unweighted_apsp(&g, 0, cfg(&g)).unwrap();
+        let res = unweighted_apsp(&g, 0, &cfg(&g)).unwrap();
         // O(n + D): each node announces each source exactly once.
         assert!(
             res.stats.rounds <= 3 * g.n() + 20,
@@ -379,10 +371,10 @@ mod tests {
     fn diameter_radius_both_modes() {
         let mut rng = ChaCha8Rng::seed_from_u64(44);
         let g = generators::erdos_renyi_connected(14, 0.2, 6, &mut rng);
-        let (d, r, _) = diameter_radius_exact(&g, 0, cfg(&g), WeightMode::Weighted).unwrap();
+        let (d, r, _) = diameter_radius_exact(&g, 0, &cfg(&g), WeightMode::Weighted).unwrap();
         assert_eq!(d, metrics::diameter(&g));
         assert_eq!(r, metrics::radius(&g));
-        let (d, r, _) = diameter_radius_exact(&g, 0, cfg(&g), WeightMode::Unweighted).unwrap();
+        let (d, r, _) = diameter_radius_exact(&g, 0, &cfg(&g), WeightMode::Unweighted).unwrap();
         let u = g.unweighted_view();
         assert_eq!(d, metrics::diameter(&u));
         assert_eq!(r, metrics::radius(&u));
@@ -395,7 +387,7 @@ mod tests {
         // floods themselves degrade gracefully: cross-component distances
         // stay infinite.
         let g = WeightedGraph::from_edges(4, [(0, 1, 2), (2, 3, 2)]).unwrap();
-        let res = weighted_apsp(&g, 0, cfg(&g)).unwrap();
+        let res = weighted_apsp(&g, 0, &cfg(&g)).unwrap();
         assert_eq!(res.dist[0][1], Dist::from(2u64));
         assert_eq!(res.dist[0][2], Dist::INFINITY);
         assert_eq!(res.dist[3][1], Dist::INFINITY);
@@ -406,7 +398,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(45);
         for trial in 0..6 {
             let g = generators::erdos_renyi_connected(18, 0.18, 9, &mut rng);
-            let (d2, r2, stats) = two_approx_diameter_radius(&g, trial % 18, cfg(&g)).unwrap();
+            let (d2, r2, stats) = two_approx_diameter_radius(&g, trial % 18, &cfg(&g)).unwrap();
             let d = metrics::diameter(&g);
             let r = metrics::radius(&g);
             assert!(
@@ -425,8 +417,8 @@ mod tests {
     fn two_approx_much_cheaper_than_apsp() {
         let mut rng = ChaCha8Rng::seed_from_u64(46);
         let g = generators::erdos_renyi_connected(40, 0.1, 6, &mut rng);
-        let (_, _, cheap) = two_approx_diameter_radius(&g, 0, cfg(&g)).unwrap();
-        let (_, _, full) = diameter_radius_exact(&g, 0, cfg(&g), WeightMode::Weighted).unwrap();
+        let (_, _, cheap) = two_approx_diameter_radius(&g, 0, &cfg(&g)).unwrap();
+        let (_, _, full) = diameter_radius_exact(&g, 0, &cfg(&g), WeightMode::Weighted).unwrap();
         assert!(
             cheap.rounds * 2 < full.rounds,
             "2-approx {} vs exact {}",

@@ -107,7 +107,7 @@ pub fn bounded_distance_sssp(
     leader: NodeId,
     source: NodeId,
     limit: u64,
-    config: SimConfig,
+    config: &SimConfig,
 ) -> Result<(Vec<Dist>, RoundStats), SimError> {
     let telemetry = config.telemetry.clone();
     let span = telemetry.span("bounded_distance_sssp");
@@ -145,7 +145,7 @@ pub fn bounded_distance_sssp(
 ///
 /// let g = generators::path(6, 4);
 /// let scheme = RoundingScheme::new(6, 0.5);
-/// let (d, stats) = bounded_hop_sssp(&g, 0, 0, scheme, SimConfig::standard(6, 4))?;
+/// let (d, stats) = bounded_hop_sssp(&g, 0, 0, scheme, &SimConfig::standard(6, 4))?;
 /// assert!(d[5] >= 20.0 - 1e-9 && d[5] <= 20.0 * 1.5);
 /// assert!(stats.rounds > 0);
 /// # Ok::<(), congest_sim::SimError>(())
@@ -155,7 +155,7 @@ pub fn bounded_hop_sssp(
     leader: NodeId,
     source: NodeId,
     scheme: RoundingScheme,
-    config: SimConfig,
+    config: &SimConfig,
 ) -> Result<(Vec<ApproxDist>, RoundStats), SimError> {
     let _span = config.telemetry.span("bounded_hop_sssp");
     let mut best = vec![f64::INFINITY; g.n()];
@@ -168,7 +168,7 @@ pub fn bounded_hop_sssp(
             bandwidth: congest_sim::Bandwidth::standard(g.n(), gi.max_weight()),
             ..config.clone()
         };
-        let (d, phase_stats) = bounded_distance_sssp(&gi, leader, source, limit, cfg)?;
+        let (d, phase_stats) = bounded_distance_sssp(&gi, leader, source, limit, &cfg)?;
         stats.absorb(&phase_stats);
         let unscale = scheme.unscale(i);
         for v in g.nodes() {
@@ -201,7 +201,7 @@ mod tests {
         for _ in 0..6 {
             let g = generators::erdos_renyi_connected(14, 0.2, 5, &mut rng);
             for (s, limit) in [(0usize, 10u64), (3, 25), (7, 4)] {
-                let (got, _) = bounded_distance_sssp(&g, 0, s, limit, cfg(&g)).unwrap();
+                let (got, _) = bounded_distance_sssp(&g, 0, s, limit, &cfg(&g)).unwrap();
                 let want = shortest_path::bounded_distance(&g, s, Dist::from(limit));
                 assert_eq!(got, want, "s={s} L={limit}");
             }
@@ -211,7 +211,7 @@ mod tests {
     #[test]
     fn alg2_round_count_is_limit_plus_one() {
         let g = generators::path(5, 2);
-        let (_, stats) = bounded_distance_sssp(&g, 0, 0, 12, cfg(&g)).unwrap();
+        let (_, stats) = bounded_distance_sssp(&g, 0, 0, 12, &cfg(&g)).unwrap();
         assert_eq!(stats.rounds, 13);
     }
 
@@ -219,7 +219,7 @@ mod tests {
     fn alg2_broadcast_schedule_means_one_message_per_node() {
         // Every reachable node broadcasts exactly once: deg-weighted count.
         let g = generators::cycle(8, 1);
-        let (_, stats) = bounded_distance_sssp(&g, 0, 0, 8, cfg(&g)).unwrap();
+        let (_, stats) = bounded_distance_sssp(&g, 0, 0, 8, &cfg(&g)).unwrap();
         // All 8 nodes settle (cycle of unit weights, ecc 4 ≤ 8): 8 broadcasts
         // to 2 neighbors each.
         assert_eq!(stats.messages, 16);
@@ -232,7 +232,7 @@ mod tests {
             let g = generators::erdos_renyi_connected(12, 0.25, 6, &mut rng);
             let scheme = RoundingScheme::new(5, 0.4);
             for s in [0usize, 5] {
-                let (got, _) = bounded_hop_sssp(&g, 0, s, scheme, cfg(&g)).unwrap();
+                let (got, _) = bounded_hop_sssp(&g, 0, s, scheme, &cfg(&g)).unwrap();
                 let want = approx_hop_bounded(&g, s, scheme);
                 for v in g.nodes() {
                     let (a, b) = (got[v], want[v]);
@@ -248,11 +248,11 @@ mod tests {
     #[test]
     fn alg1_round_cost_scales_with_ell_over_eps() {
         let g = generators::path(10, 3);
-        let small = bounded_hop_sssp(&g, 0, 0, RoundingScheme::new(4, 0.5), cfg(&g))
+        let small = bounded_hop_sssp(&g, 0, 0, RoundingScheme::new(4, 0.5), &cfg(&g))
             .unwrap()
             .1
             .rounds;
-        let large = bounded_hop_sssp(&g, 0, 0, RoundingScheme::new(16, 0.5), cfg(&g))
+        let large = bounded_hop_sssp(&g, 0, 0, RoundingScheme::new(16, 0.5), &cfg(&g))
             .unwrap()
             .1
             .rounds;
@@ -264,7 +264,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let g = generators::erdos_renyi_connected(16, 0.2, 8, &mut rng);
         let scheme = RoundingScheme::new(6, 0.3);
-        let (got, _) = bounded_hop_sssp(&g, 0, 2, scheme, cfg(&g)).unwrap();
+        let (got, _) = bounded_hop_sssp(&g, 0, 2, scheme, &cfg(&g)).unwrap();
         let exact = shortest_path::dijkstra(&g, 2);
         let hop = shortest_path::hop_bounded(&g, 2, 6);
         for v in g.nodes() {

@@ -42,8 +42,8 @@
 //! let g = generators::erdos_renyi_connected(10, 0.3, 4, &mut rng);
 //! let cfg = SimConfig::standard(g.n(), g.max_weight()).with_max_rounds(10_000_000);
 //! let scheme = RoundingScheme::new(g.n(), 0.5);
-//! let st = SkeletonState::initialize(&g, 0, &[0, 4, 8], scheme, 2, cfg.clone(), &mut rng)?;
-//! let (ecc, _) = st.eccentricity(&g, 4, cfg)?;
+//! let st = SkeletonState::initialize(&g, 0, &[0, 4, 8], scheme, 2, &cfg, &mut rng)?;
+//! let (ecc, _) = st.eccentricity(&g, 4, &cfg)?;
 //! assert!(ecc >= metrics::eccentricity(&g, 4).as_f64() - 1e-9);
 //! # Ok::<(), congest_sim::SimError>(())
 //! ```

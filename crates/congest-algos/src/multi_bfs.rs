@@ -88,7 +88,7 @@ impl NodeProgram for MultiBfsProgram {
 /// use congest_sim::SimConfig;
 ///
 /// let g = generators::cycle(8, 5); // weights ignored: BFS semantics
-/// let (d, _) = multi_source_bfs(&g, 0, &[0, 4], SimConfig::standard(8, 5))?;
+/// let (d, _) = multi_source_bfs(&g, 0, &[0, 4], &SimConfig::standard(8, 5))?;
 /// assert_eq!(d[2][0], Dist::from(2u64)); // from node 0
 /// assert_eq!(d[2][1], Dist::from(2u64)); // from node 4
 /// # Ok::<(), congest_sim::SimError>(())
@@ -97,7 +97,7 @@ pub fn multi_source_bfs(
     g: &WeightedGraph,
     leader: NodeId,
     sources: &[NodeId],
-    config: SimConfig,
+    config: &SimConfig,
 ) -> Result<(Vec<Vec<Dist>>, RoundStats), SimError> {
     assert!(!sources.is_empty(), "sources must be non-empty");
     assert!(sources.iter().all(|&s| s < g.n()), "source out of range");
@@ -132,7 +132,7 @@ mod tests {
         let g = generators::erdos_renyi_connected(24, 0.12, 9, &mut rng);
         let u = g.unweighted_view();
         let sources = vec![0, 7, 13, 21];
-        let (d, _) = multi_source_bfs(&g, 0, &sources, cfg(&g)).unwrap();
+        let (d, _) = multi_source_bfs(&g, 0, &sources, &cfg(&g)).unwrap();
         for (j, &s) in sources.iter().enumerate() {
             let want = shortest_path::bfs(&u, s);
             for v in g.nodes() {
@@ -144,9 +144,12 @@ mod tests {
     #[test]
     fn rounds_scale_with_sources_plus_diameter() {
         let g = generators::path(40, 1);
-        let few = multi_source_bfs(&g, 0, &[0], cfg(&g)).unwrap().1.rounds;
+        let few = multi_source_bfs(&g, 0, &[0], &cfg(&g)).unwrap().1.rounds;
         let sources: Vec<_> = (0..40).step_by(4).collect();
-        let many = multi_source_bfs(&g, 0, &sources, cfg(&g)).unwrap().1.rounds;
+        let many = multi_source_bfs(&g, 0, &sources, &cfg(&g))
+            .unwrap()
+            .1
+            .rounds;
         // O(|S| + D), not O(|S| · D).
         assert!(many <= few + sources.len() + 8, "{few} -> {many}");
     }
@@ -155,6 +158,6 @@ mod tests {
     #[should_panic(expected = "duplicate")]
     fn duplicate_sources_rejected() {
         let g = generators::path(4, 1);
-        let _ = multi_source_bfs(&g, 0, &[1, 1], cfg(&g));
+        let _ = multi_source_bfs(&g, 0, &[1, 1], &cfg(&g));
     }
 }

@@ -210,7 +210,7 @@ pub fn multi_source_bounded_hop<R: Rng + ?Sized>(
     leader: NodeId,
     sources: &[NodeId],
     scheme: RoundingScheme,
-    config: SimConfig,
+    config: &SimConfig,
     rng: &mut R,
 ) -> Result<MultiSourceResult, SimError> {
     assert!(!sources.is_empty(), "sources must be non-empty");
@@ -224,7 +224,7 @@ pub fn multi_source_bounded_hop<R: Rng + ?Sized>(
     let _algo_span = telemetry.span("multi_source");
 
     // Phase 0: BFS tree (needed for the delay broadcast).
-    let (tree, tree_stats) = primitives::bfs_tree(g, leader, config.clone())?;
+    let (tree, tree_stats) = primitives::bfs_tree(g, leader, config)?;
     stats.absorb(&tree_stats);
 
     // Phase 1: the leader samples and broadcasts (source, delay) pairs.
@@ -242,7 +242,7 @@ pub fn multi_source_bounded_hop<R: Rng + ?Sized>(
         ..config.clone()
     };
     let bc_span = telemetry.span("delay_broadcast");
-    let (received, bc_stats) = primitives::pipelined_broadcast(g, leader, wide, &tree, &items)?;
+    let (received, bc_stats) = primitives::pipelined_broadcast(g, leader, &wide, &tree, &items)?;
     bc_span.end();
     stats.absorb(&bc_stats);
     // Every node now knows the schedule; unpack (all copies identical).
@@ -259,11 +259,11 @@ pub fn multi_source_bounded_hop<R: Rng + ?Sized>(
     let total_logical = max_delay + u64::from(num_scales) * (limit + 1) + 1;
     let cfg = SimConfig {
         bandwidth: congest_sim::Bandwidth::standard(n, scheme.rounded_weight(0, g.max_weight())),
-        ..config
+        ..config.clone()
     };
     let exec_span = telemetry.span("stretched_execution");
     let (out, mut main_stats) =
-        congest_sim::run_phase(g, leader, cfg, "multi_source_sssp", |_, _| {
+        congest_sim::run_phase(g, leader, &cfg, "multi_source_sssp", |_, _| {
             MultiSourceProgram {
                 sources: schedule.iter().map(|&(s, _)| s).collect(),
                 delays: schedule.iter().map(|&(_, d)| d).collect(),
@@ -333,7 +333,8 @@ mod tests {
             let g = generators::erdos_renyi_connected(12, 0.25, 4, &mut rng);
             let sources = vec![0, 3, 7, 11];
             let scheme = RoundingScheme::new(4, 0.5);
-            let res = multi_source_bounded_hop(&g, 0, &sources, scheme, cfg(&g), &mut rng).unwrap();
+            let res =
+                multi_source_bounded_hop(&g, 0, &sources, scheme, &cfg(&g), &mut rng).unwrap();
             assert!(!res.failed, "trial {trial} failed");
             for (j, &s) in sources.iter().enumerate() {
                 let want = approx_hop_bounded(&g, s, scheme);
@@ -353,7 +354,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let g = generators::path(8, 3);
         let scheme = RoundingScheme::new(8, 0.5);
-        let res = multi_source_bounded_hop(&g, 0, &[2], scheme, cfg(&g), &mut rng).unwrap();
+        let res = multi_source_bounded_hop(&g, 0, &[2], scheme, &cfg(&g), &mut rng).unwrap();
         let want = approx_hop_bounded(&g, 2, scheme);
         for v in g.nodes() {
             assert!((res.approx[v][0] - want[v]).abs() < 1e-9 || want[v].is_infinite());
@@ -367,9 +368,9 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let g = generators::cycle(16, 2);
         let scheme = RoundingScheme::new(6, 0.5);
-        let r1 = multi_source_bounded_hop(&g, 0, &[1], scheme, cfg(&g), &mut rng).unwrap();
+        let r1 = multi_source_bounded_hop(&g, 0, &[1], scheme, &cfg(&g), &mut rng).unwrap();
         let r4 =
-            multi_source_bounded_hop(&g, 0, &[1, 5, 9, 13], scheme, cfg(&g), &mut rng).unwrap();
+            multi_source_bounded_hop(&g, 0, &[1, 5, 9, 13], scheme, &cfg(&g), &mut rng).unwrap();
         assert!(
             (r4.stats.rounds as f64) < 2.0 * r1.stats.rounds as f64,
             "concurrency lost: {} vs {}",
@@ -384,7 +385,7 @@ mod tests {
         let g = generators::star(6, 2);
         let sources: Vec<NodeId> = (0..6).collect();
         let scheme = RoundingScheme::new(3, 0.5);
-        let res = multi_source_bounded_hop(&g, 0, &sources, scheme, cfg(&g), &mut rng).unwrap();
+        let res = multi_source_bounded_hop(&g, 0, &sources, scheme, &cfg(&g), &mut rng).unwrap();
         assert!(!res.failed);
         // d̃(v, v) = 0 for every v.
         for v in 0..6 {

@@ -65,7 +65,7 @@ pub fn embed_overlay<R: Rng + ?Sized>(
     skeleton: &[NodeId],
     scheme: RoundingScheme,
     k: usize,
-    config: SimConfig,
+    config: &SimConfig,
     rng: &mut R,
 ) -> Result<EmbeddedOverlay, SimError> {
     assert!(!skeleton.is_empty(), "skeleton must be non-empty");
@@ -80,7 +80,7 @@ pub fn embed_overlay<R: Rng + ?Sized>(
     let mut retried = false;
     let mut ms: Option<MultiSourceResult> = None;
     for _attempt in 0..5 {
-        let res = multi_source_bounded_hop(g, leader, &sorted, scheme, config.clone(), rng)?;
+        let res = multi_source_bounded_hop(g, leader, &sorted, scheme, config, rng)?;
         stats.absorb(&res.stats);
         if res.failed {
             retried = true;
@@ -108,7 +108,7 @@ pub fn embed_overlay<R: Rng + ?Sized>(
     // incident edges (as exact (scale, raw) pairs — O(log n) bits each) to
     // the leader, which rebroadcasts the union: O(D + |S|k) rounds.
     let _bc_span = telemetry.span("shortcut_broadcast");
-    let (tree, tree_stats) = primitives::bfs_tree(g, leader, config.clone())?;
+    let (tree, tree_stats) = primitives::bfs_tree(g, leader, config)?;
     stats.absorb(&tree_stats);
     let mut items: Vec<Vec<(u64, u128)>> = vec![Vec::new(); g.n()];
     for i in 0..s {
@@ -127,11 +127,10 @@ pub fn embed_overlay<R: Rng + ?Sized>(
         bandwidth: congest_sim::Bandwidth::bits(160),
         ..config.clone()
     };
-    let (collected, up_stats) =
-        primitives::collect_at_leader(g, leader, wide.clone(), &tree, &items)?;
+    let (collected, up_stats) = primitives::collect_at_leader(g, leader, &wide, &tree, &items)?;
     stats.absorb(&up_stats);
     let payload: Vec<u128> = collected.iter().map(|&(_, v)| v).collect();
-    let (_, down_stats) = primitives::pipelined_broadcast(g, leader, wide, &tree, &payload)?;
+    let (_, down_stats) = primitives::pipelined_broadcast(g, leader, &wide, &tree, &payload)?;
     stats.absorb(&down_stats);
 
     // All nodes now share the k-shortest-edge sets and construct G''
@@ -173,7 +172,7 @@ pub fn overlay_sssp(
     leader: NodeId,
     emb: &EmbeddedOverlay,
     source: NodeId,
-    config: SimConfig,
+    config: &SimConfig,
 ) -> Result<(Vec<ApproxDist>, RoundStats), SimError> {
     let src = emb
         .shortcut
@@ -193,12 +192,12 @@ pub fn overlay_sssp(
     let limit = threshold.floor() as u64;
 
     let _algo_span = config.telemetry.span("overlay_sssp");
-    let (tree, tree_stats) = primitives::bfs_tree(g, leader, config.clone())?;
+    let (tree, tree_stats) = primitives::bfs_tree(g, leader, config)?;
     let mut stats = RoundStats::default();
     stats.absorb(&tree_stats);
     let wide = SimConfig {
         bandwidth: congest_sim::Bandwidth::bits(160),
-        ..config
+        ..config.clone()
     };
 
     let mut best = vec![f64::INFINITY; s];
@@ -228,12 +227,10 @@ pub fn overlay_sssp(
                 let packed: u128 = ((u as u128) << 64) | dist[u].unwrap() as u128;
                 items[emb.skeleton[u]].push((u as u64, packed));
             }
-            let (gathered, up) =
-                primitives::collect_at_leader(g, leader, wide.clone(), &tree, &items)?;
+            let (gathered, up) = primitives::collect_at_leader(g, leader, &wide, &tree, &items)?;
             stats.absorb(&up);
             let payload: Vec<u128> = gathered.iter().map(|&(_, v)| v).collect();
-            let (_, down) =
-                primitives::pipelined_broadcast(g, leader, wide.clone(), &tree, &payload)?;
+            let (_, down) = primitives::pipelined_broadcast(g, leader, &wide, &tree, &payload)?;
             stats.absorb(&down);
             // Every skeleton node relaxes against the announcements (the
             // complete overlay: every pair is adjacent).
@@ -282,7 +279,7 @@ mod tests {
         let g = generators::erdos_renyi_connected(12, 0.3, 4, &mut rng);
         let skeleton = vec![0, 2, 5, 8, 11];
         let scheme = RoundingScheme::new(6, 0.5);
-        let emb = embed_overlay(&g, 0, &skeleton, scheme, 2, cfg(&g), &mut rng).unwrap();
+        let emb = embed_overlay(&g, 0, &skeleton, scheme, 2, &cfg(&g), &mut rng).unwrap();
         let reference = Overlay::from_skeleton(&g, &skeleton, scheme);
         for i in 0..skeleton.len() {
             for j in 0..skeleton.len() {
@@ -311,9 +308,9 @@ mod tests {
         let g = generators::erdos_renyi_connected(10, 0.35, 3, &mut rng);
         let skeleton = vec![1, 3, 6, 9];
         let scheme = RoundingScheme::new(5, 0.5);
-        let emb = embed_overlay(&g, 0, &skeleton, scheme, 2, cfg(&g), &mut rng).unwrap();
+        let emb = embed_overlay(&g, 0, &skeleton, scheme, 2, &cfg(&g), &mut rng).unwrap();
         for &src in &skeleton {
-            let (got, _) = overlay_sssp(&g, 0, &emb, src, cfg(&g)).unwrap();
+            let (got, _) = overlay_sssp(&g, 0, &emb, src, &cfg(&g)).unwrap();
             let si = emb.shortcut.index_of(src).unwrap();
             let want = emb
                 .shortcut
@@ -337,7 +334,7 @@ mod tests {
         let skeleton = vec![0, 4, 7, 10];
         let scheme = RoundingScheme::new(8, 0.5);
         let k = 2;
-        let emb = embed_overlay(&g, 0, &skeleton, scheme, k, cfg(&g), &mut rng).unwrap();
+        let emb = embed_overlay(&g, 0, &skeleton, scheme, k, &cfg(&g), &mut rng).unwrap();
         let sd = SkeletonDistances::compute(&g, &skeleton, scheme, k);
         for (j, &s) in emb.skeleton.iter().enumerate() {
             for v in g.nodes() {
@@ -355,11 +352,11 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(24);
         let g = generators::cycle(12, 2);
         let scheme = RoundingScheme::new(4, 0.5);
-        let small = embed_overlay(&g, 0, &[0, 4, 8], scheme, 1, cfg(&g), &mut rng)
+        let small = embed_overlay(&g, 0, &[0, 4, 8], scheme, 1, &cfg(&g), &mut rng)
             .unwrap()
             .stats
             .rounds;
-        let large = embed_overlay(&g, 0, &[0, 2, 4, 6, 8, 10], scheme, 3, cfg(&g), &mut rng)
+        let large = embed_overlay(&g, 0, &[0, 2, 4, 6, 8, 10], scheme, 3, &cfg(&g), &mut rng)
             .unwrap()
             .stats
             .rounds;

@@ -88,7 +88,7 @@ pub struct ResilientBfsRun {
 pub fn resilient_bfs(
     g: &WeightedGraph,
     leader: NodeId,
-    config: SimConfig,
+    config: &SimConfig,
     policy: ReliablePolicy,
 ) -> Result<ResilientBfsRun, SimError> {
     let (dists, stats) = run_reliable_phase(g, leader, config, "resilient_bfs", policy, |_, _| {
@@ -154,7 +154,7 @@ mod tests {
     fn fault_free_run_matches_centralized_bfs_exactly() {
         let g = generators::grid(4, 4, 1);
         let cfg = SimConfig::standard(g.n(), 1).with_max_rounds(10_000);
-        let run = resilient_bfs(&g, 0, cfg, ReliablePolicy::default()).unwrap();
+        let run = resilient_bfs(&g, 0, &cfg, ReliablePolicy::default()).unwrap();
         let report = DegradationReport::evaluate(&g, 0, &run);
         assert_eq!(report.correct, g.n());
         assert_eq!(report.exact, g.n());
@@ -168,7 +168,7 @@ mod tests {
         let cfg = SimConfig::standard(g.n(), 1)
             .with_max_rounds(10_000)
             .with_faults(FaultPlan::new(99).with_drop_rate(0.2));
-        let run = resilient_bfs(&g, 0, cfg, ReliablePolicy::default()).unwrap();
+        let run = resilient_bfs(&g, 0, &cfg, ReliablePolicy::default()).unwrap();
         let report = DegradationReport::evaluate(&g, 0, &run);
         assert_eq!(
             report.correct,
@@ -185,7 +185,7 @@ mod tests {
         let cfg = SimConfig::standard(4, 1)
             .with_max_rounds(10_000)
             .with_faults(FaultPlan::new(5).with_crash(1, 1, None));
-        let run = resilient_bfs(&g, 0, cfg, ReliablePolicy::default()).unwrap();
+        let run = resilient_bfs(&g, 0, &cfg, ReliablePolicy::default()).unwrap();
         let report = DegradationReport::evaluate(&g, 0, &run);
         assert!(matches!(run.dists[1].1, Quality::Failed));
         assert_eq!(run.dists[2].0, None, "cut off from the leader");

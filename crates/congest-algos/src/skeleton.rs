@@ -49,7 +49,7 @@ impl SkeletonState {
         skeleton: &[NodeId],
         scheme: RoundingScheme,
         k: usize,
-        config: SimConfig,
+        config: &SimConfig,
         rng: &mut R,
     ) -> Result<SkeletonState, SimError> {
         // `T₀` in the paper's accounting.
@@ -82,7 +82,7 @@ impl SkeletonState {
         &self,
         g: &WeightedGraph,
         s: NodeId,
-        config: SimConfig,
+        config: &SimConfig,
     ) -> Result<(Vec<ApproxDist>, RoundStats), SimError> {
         // `T₁` in the paper's accounting.
         let _span = config.telemetry.span("skeleton_setup");
@@ -121,21 +121,21 @@ impl SkeletonState {
         g: &WeightedGraph,
         s: NodeId,
         overlay_dist: &[ApproxDist],
-        config: SimConfig,
+        config: &SimConfig,
     ) -> Result<(ApproxDist, RoundStats), SimError> {
         // `T₂` in the paper's accounting.
         let _span = config.telemetry.span("skeleton_evaluate");
         let local = self.combine_local(s, overlay_dist);
-        let (tree, tree_stats) = primitives::bfs_tree(g, self.leader, config.clone())?;
+        let (tree, tree_stats) = primitives::bfs_tree(g, self.leader, config)?;
         let values: Vec<u128> = local.iter().map(|&x| f64_to_ordered_bits(x)).collect();
         let wide = SimConfig {
             bandwidth: congest_sim::Bandwidth::bits(160),
-            ..config
+            ..config.clone()
         };
         let (bits, mut stats) = primitives::converge_cast(
             g,
             self.leader,
-            wide,
+            &wide,
             &tree,
             &values,
             primitives::Aggregate::Max,
@@ -155,9 +155,9 @@ impl SkeletonState {
         &self,
         g: &WeightedGraph,
         s: NodeId,
-        config: SimConfig,
+        config: &SimConfig,
     ) -> Result<(ApproxDist, RoundStats), SimError> {
-        let (overlay_dist, mut stats) = self.setup_data(g, s, config.clone())?;
+        let (overlay_dist, mut stats) = self.setup_data(g, s, config)?;
         let (ecc, eval_stats) = self.evaluate_eccentricity(g, s, &overlay_dist, config)?;
         stats.absorb(&eval_stats);
         Ok((ecc, stats))
@@ -173,13 +173,13 @@ impl SkeletonState {
     pub fn max_eccentricity(
         &self,
         g: &WeightedGraph,
-        config: SimConfig,
+        config: &SimConfig,
     ) -> Result<(ApproxDist, RoundStats), SimError> {
         let mut best = 0.0f64;
         let mut stats = RoundStats::default();
         let skeleton = self.overlay.skeleton.clone();
         for s in skeleton {
-            let (e, st) = self.eccentricity(g, s, config.clone())?;
+            let (e, st) = self.eccentricity(g, s, config)?;
             stats.absorb(&st);
             if e > best {
                 best = e;
@@ -218,10 +218,11 @@ mod tests {
         let skeleton = vec![0, 3, 6, 9];
         let scheme = RoundingScheme::new(6, 0.5);
         let k = 2;
-        let st = SkeletonState::initialize(&g, 0, &skeleton, scheme, k, cfg(&g), &mut rng).unwrap();
+        let st =
+            SkeletonState::initialize(&g, 0, &skeleton, scheme, k, &cfg(&g), &mut rng).unwrap();
         let sd = SkeletonDistances::compute(&g, &skeleton, scheme, k);
         for &s in &skeleton {
-            let (got, _) = st.eccentricity(&g, s, cfg(&g)).unwrap();
+            let (got, _) = st.eccentricity(&g, s, &cfg(&g)).unwrap();
             let want = sd.approx_eccentricity(s);
             assert!(
                 (got - want).abs() < 1e-9,
@@ -237,10 +238,11 @@ mod tests {
         let g = generators::erdos_renyi_connected(12, 0.35, 6, &mut rng);
         let skeleton = vec![1, 5, 9];
         let scheme = RoundingScheme::new(g.n(), 0.5);
-        let st = SkeletonState::initialize(&g, 0, &skeleton, scheme, 2, cfg(&g), &mut rng).unwrap();
+        let st =
+            SkeletonState::initialize(&g, 0, &skeleton, scheme, 2, &cfg(&g), &mut rng).unwrap();
         for &s in &skeleton {
             let exact = congest_graph::metrics::eccentricity(&g, s).as_f64();
-            let (got, _) = st.eccentricity(&g, s, cfg(&g)).unwrap();
+            let (got, _) = st.eccentricity(&g, s, &cfg(&g)).unwrap();
             assert!(got >= exact - 1e-6, "ẽ({s}) = {got} < e = {exact}");
             assert!(got <= exact * 2.25 + 1e-6, "ẽ({s}) = {got} ≫ e = {exact}");
         }
@@ -253,10 +255,11 @@ mod tests {
         let skeleton = vec![0, 2, 4, 6, 8];
         let scheme = RoundingScheme::new(5, 0.5);
         let k = 2;
-        let st = SkeletonState::initialize(&g, 0, &skeleton, scheme, k, cfg(&g), &mut rng).unwrap();
+        let st =
+            SkeletonState::initialize(&g, 0, &skeleton, scheme, k, &cfg(&g), &mut rng).unwrap();
         let sd = SkeletonDistances::compute(&g, &skeleton, scheme, k);
         for &s in &skeleton {
-            let (od, _) = st.setup_data(&g, s, cfg(&g)).unwrap();
+            let (od, _) = st.setup_data(&g, s, &cfg(&g)).unwrap();
             let local = st.combine_local(s, &od);
             let want = sd.approx_distances_from(s);
             for v in g.nodes() {
@@ -280,10 +283,11 @@ mod tests {
         let g = generators::erdos_renyi_connected(10, 0.3, 4, &mut rng);
         let skeleton = vec![0, 4, 8];
         let scheme = RoundingScheme::new(g.n(), 0.5);
-        let st = SkeletonState::initialize(&g, 0, &skeleton, scheme, 2, cfg(&g), &mut rng).unwrap();
-        let (fx, _) = st.max_eccentricity(&g, cfg(&g)).unwrap();
+        let st =
+            SkeletonState::initialize(&g, 0, &skeleton, scheme, 2, &cfg(&g), &mut rng).unwrap();
+        let (fx, _) = st.max_eccentricity(&g, &cfg(&g)).unwrap();
         for &s in &skeleton {
-            let (e, _) = st.eccentricity(&g, s, cfg(&g)).unwrap();
+            let (e, _) = st.eccentricity(&g, s, &cfg(&g)).unwrap();
             assert!(fx >= e - 1e-12);
         }
     }

@@ -49,7 +49,7 @@ pub struct ApproxSsspResult {
 /// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
 /// let g = generators::erdos_renyi_connected(12, 0.3, 6, &mut rng);
 /// let cfg = SimConfig::standard(g.n(), g.max_weight()).with_max_rounds(100_000_000);
-/// let res = approx_sssp(&g, 0, 4, 0.5, cfg, &mut rng)?;
+/// let res = approx_sssp(&g, 0, 4, 0.5, &cfg, &mut rng)?;
 /// let exact = shortest_path::dijkstra(&g, 4);
 /// for v in g.nodes() {
 ///     assert!(res.dist[v] >= exact[v].as_f64() - 1e-6);
@@ -62,7 +62,7 @@ pub fn approx_sssp<R: Rng + ?Sized>(
     leader: NodeId,
     source: NodeId,
     eps: f64,
-    config: SimConfig,
+    config: &SimConfig,
     rng: &mut R,
 ) -> Result<ApproxSsspResult, SimError> {
     assert!(g.n() >= 2, "need at least two nodes");
@@ -81,7 +81,7 @@ pub fn approx_sssp<R: Rng + ?Sized>(
     if !skeleton.contains(&source) {
         skeleton.push(source);
     }
-    let state = SkeletonState::initialize(g, leader, &skeleton, scheme, k, config.clone(), rng)?;
+    let state = SkeletonState::initialize(g, leader, &skeleton, scheme, k, config, rng)?;
     let mut stats = state.init_stats().clone();
     let (overlay_dist, st) = state.setup_data(g, source, config)?;
     stats.absorb(&st);
@@ -111,7 +111,7 @@ mod tests {
             let g = generators::erdos_renyi_connected(14, 0.25, 8, &mut rng);
             let s = (trial * 3) % g.n();
             let eps = 0.5;
-            let res = approx_sssp(&g, 0, s, eps, cfg(&g), &mut rng).unwrap();
+            let res = approx_sssp(&g, 0, s, eps, &cfg(&g), &mut rng).unwrap();
             let exact = shortest_path::dijkstra(&g, s);
             for v in g.nodes() {
                 let d = exact[v].as_f64();
@@ -131,7 +131,7 @@ mod tests {
     fn source_outside_initial_sample_is_added() {
         let mut rng = ChaCha8Rng::seed_from_u64(96);
         let g = generators::path(10, 3);
-        let res = approx_sssp(&g, 0, 9, 0.5, cfg(&g), &mut rng).unwrap();
+        let res = approx_sssp(&g, 0, 9, 0.5, &cfg(&g), &mut rng).unwrap();
         assert!(res.skeleton.contains(&9));
         assert_eq!(res.dist[9], 0.0);
         // The far end of the path: exact distance 27.

@@ -44,7 +44,7 @@ pub struct ThreeHalvesResult {
 pub fn three_halves_diameter<R: Rng + ?Sized>(
     g: &WeightedGraph,
     leader: NodeId,
-    config: SimConfig,
+    config: &SimConfig,
     rng: &mut R,
 ) -> Result<ThreeHalvesResult, SimError> {
     assert!(g.n() >= 2, "need at least two nodes");
@@ -62,7 +62,7 @@ pub fn three_halves_diameter<R: Rng + ?Sized>(
     // Shared infrastructure: the leader's BFS tree.
     let (tree, st) = {
         let _span = telemetry.span("leader_tree");
-        primitives::bfs_tree(&u, leader, config.clone())?
+        primitives::bfs_tree(&u, leader, config)?
     };
     stats.absorb(&st);
 
@@ -75,7 +75,7 @@ pub fn three_halves_diameter<R: Rng + ?Sized>(
     }
     let (dist_s, st) = {
         let _span = telemetry.span("sample_bfs");
-        multi_source_bfs(&u, leader, &sample, config.clone())?
+        multi_source_bfs(&u, leader, &sample, config)?
     };
     stats.absorb(&st);
 
@@ -96,7 +96,7 @@ pub fn three_halves_diameter<R: Rng + ?Sized>(
         primitives::converge_cast(
             &u,
             leader,
-            wide.clone(),
+            &wide,
             &tree,
             &packed,
             primitives::Aggregate::Max,
@@ -108,7 +108,7 @@ pub fn three_halves_diameter<R: Rng + ?Sized>(
     // Phase 3: BFS from w.
     let (dist_w, st) = {
         let _span = telemetry.span("witness_bfs");
-        multi_source_bfs(&u, leader, &[w], config.clone())?
+        multi_source_bfs(&u, leader, &[w], config)?
     };
     stats.absorb(&st);
 
@@ -123,7 +123,7 @@ pub fn three_halves_diameter<R: Rng + ?Sized>(
         let (c, st) = primitives::converge_cast(
             &u,
             leader,
-            wide.clone(),
+            &wide,
             &tree,
             &flags,
             primitives::Aggregate::Sum,
@@ -180,7 +180,7 @@ pub fn three_halves_diameter<R: Rng + ?Sized>(
         primitives::converge_cast_vec(
             &u,
             leader,
-            wide,
+            &wide,
             &tree,
             &vectors,
             primitives::Aggregate::Max,
@@ -217,7 +217,7 @@ mod tests {
             let u = g.unweighted_view();
             let d = metrics::diameter(&u).expect_finite();
             let r = metrics::radius(&u).expect_finite();
-            let res = three_halves_diameter(&g, 0, cfg(&g), &mut rng).unwrap();
+            let res = three_halves_diameter(&g, 0, &cfg(&g), &mut rng).unwrap();
             assert!(
                 res.diameter_estimate <= d,
                 "trial {trial}: estimate above D"
@@ -240,7 +240,7 @@ mod tests {
         // gives the exact diameter.
         let mut rng = ChaCha8Rng::seed_from_u64(91);
         let g = generators::path(25, 4);
-        let res = three_halves_diameter(&g, 0, cfg(&g), &mut rng).unwrap();
+        let res = three_halves_diameter(&g, 0, &cfg(&g), &mut rng).unwrap();
         assert_eq!(res.diameter_estimate, 24);
     }
 
@@ -251,14 +251,14 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(92);
         let small = {
             let g = generators::cluster_ring(24, 4, 2, &mut rng);
-            three_halves_diameter(&g, 0, cfg(&g), &mut rng)
+            three_halves_diameter(&g, 0, &cfg(&g), &mut rng)
                 .unwrap()
                 .stats
                 .rounds
         };
         let large = {
             let g = generators::cluster_ring(96, 4, 2, &mut rng);
-            three_halves_diameter(&g, 0, cfg(&g), &mut rng)
+            three_halves_diameter(&g, 0, &cfg(&g), &mut rng)
                 .unwrap()
                 .stats
                 .rounds
@@ -273,11 +273,14 @@ mod tests {
     fn sources_include_sample_and_witness() {
         let mut rng = ChaCha8Rng::seed_from_u64(93);
         let g = generators::grid(5, 5, 1);
-        let res = three_halves_diameter(&g, 0, cfg(&g), &mut rng).unwrap();
+        let res = three_halves_diameter(&g, 0, &cfg(&g), &mut rng).unwrap();
         assert!(!res.sources.is_empty());
-        let mut sorted = res.sources.clone();
-        sorted.sort_unstable();
-        sorted.dedup();
-        assert_eq!(sorted.len(), res.sources.len(), "sources are distinct");
+        // Sort indices into the borrowed list instead of cloning it.
+        let mut order: Vec<usize> = (0..res.sources.len()).collect();
+        order.sort_unstable_by_key(|&i| res.sources[i]);
+        let distinct = order
+            .windows(2)
+            .all(|w| res.sources[w[0]] != res.sources[w[1]]);
+        assert!(distinct, "sources are distinct: {:?}", res.sources);
     }
 }

@@ -35,7 +35,7 @@ fn three_halves_phases_sum_to_reported_rounds() {
     let mut rng = ChaCha8Rng::seed_from_u64(11);
     let g = generators::erdos_renyi_connected(24, 0.12, 3, &mut rng);
     let (cfg, tracer) = traced_cfg(&g);
-    let res = three_halves_diameter(&g, 0, cfg, &mut rng).unwrap();
+    let res = three_halves_diameter(&g, 0, &cfg, &mut rng).unwrap();
 
     let tree = build_phase_tree(&tracer.events());
     // Exactly one top-level algorithm span, with the documented sub-phases.
@@ -75,7 +75,7 @@ fn bounded_hop_sssp_pads_are_accounted() {
     let g = generators::erdos_renyi_connected(14, 0.2, 5, &mut rng);
     let (cfg, tracer) = traced_cfg(&g);
     let scheme = RoundingScheme::new(g.n(), 0.5);
-    let (_, stats) = bounded_hop_sssp(&g, 0, 0, scheme, cfg).unwrap();
+    let (_, stats) = bounded_hop_sssp(&g, 0, 0, scheme, &cfg).unwrap();
 
     let tree = build_phase_tree(&tracer.events());
     assert_eq!(tree.children.len(), 1);
@@ -96,7 +96,7 @@ fn multi_source_schedule_is_accounted() {
     let g = generators::erdos_renyi_connected(12, 0.25, 4, &mut rng);
     let (cfg, tracer) = traced_cfg(&g);
     let scheme = RoundingScheme::new(g.n(), 0.5);
-    let res = multi_source_bounded_hop(&g, 0, &[0, 5, 9], scheme, cfg, &mut rng).unwrap();
+    let res = multi_source_bounded_hop(&g, 0, &[0, 5, 9], scheme, &cfg, &mut rng).unwrap();
 
     let tree = build_phase_tree(&tracer.events());
     assert_eq!(tree.children.len(), 1);

@@ -59,14 +59,14 @@ impl NodeProgram for FloodMaxProgram {
 /// use congest_sim::{election, SimConfig};
 /// use congest_graph::generators;
 /// let g = generators::cycle(9, 2);
-/// let (leader, stats) = election::elect_leader(&g, SimConfig::standard(9, 2))?;
+/// let (leader, stats) = election::elect_leader(&g, &SimConfig::standard(9, 2))?;
 /// assert_eq!(leader, 8);
 /// assert!(stats.rounds <= 6); // ≈ unweighted diameter
 /// # Ok::<(), congest_sim::SimError>(())
 /// ```
 pub fn elect_leader(
     graph: &WeightedGraph,
-    config: SimConfig,
+    config: &SimConfig,
 ) -> Result<(NodeId, RoundStats), SimError> {
     // Any node can serve as the runner's nominal leader; the election result
     // is the returned winner.
@@ -90,7 +90,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         for _ in 0..5 {
             let g = generators::erdos_renyi_connected(20, 0.15, 3, &mut rng);
-            let (leader, _) = elect_leader(&g, SimConfig::standard(20, 3)).unwrap();
+            let (leader, _) = elect_leader(&g, &SimConfig::standard(20, 3)).unwrap();
             assert_eq!(leader, 19);
         }
     }
@@ -98,7 +98,7 @@ mod tests {
     #[test]
     fn rounds_track_diameter() {
         let g = generators::path(30, 1);
-        let (leader, stats) = elect_leader(&g, SimConfig::standard(30, 1)).unwrap();
+        let (leader, stats) = elect_leader(&g, &SimConfig::standard(30, 1)).unwrap();
         assert_eq!(leader, 29);
         // The max id floods from one end: ≈ D rounds, not n².
         assert!(stats.rounds <= 31, "rounds = {}", stats.rounds);
@@ -107,7 +107,7 @@ mod tests {
     #[test]
     fn single_channel_graph() {
         let g = generators::path(2, 1);
-        let (leader, _) = elect_leader(&g, SimConfig::standard(2, 1)).unwrap();
+        let (leader, _) = elect_leader(&g, &SimConfig::standard(2, 1)).unwrap();
         assert_eq!(leader, 1);
     }
 }

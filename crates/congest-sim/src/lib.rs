@@ -40,10 +40,10 @@
 //!
 //! let g = generators::grid(4, 4, 1);
 //! let cfg = SimConfig::standard(g.n(), 1);
-//! let (tree, _) = primitives::bfs_tree(&g, 0, cfg.clone())?;
+//! let (tree, _) = primitives::bfs_tree(&g, 0, &cfg)?;
 //! let values: Vec<u128> = (0..16).map(|v| v as u128).collect();
 //! let (max, stats) =
-//!     primitives::converge_cast(&g, 0, cfg, &tree, &values, primitives::Aggregate::Max)?;
+//!     primitives::converge_cast(&g, 0, &cfg, &tree, &values, primitives::Aggregate::Max)?;
 //! assert_eq!(max, 15);
 //! assert!(stats.rounds <= 2 * 6 + 3); // up + down the depth-6 tree
 //! # Ok::<(), congest_sim::SimError>(())
@@ -62,8 +62,8 @@ pub mod telemetry;
 
 pub use faults::FaultPlan;
 pub use model::{
-    bit_len, Bandwidth, MessageRecord, NodeCtx, Payload, ResilienceBudget, RoundStats, SimConfig,
-    SimError, Status, DEFAULT_MESSAGE_LOG_CAP,
+    bit_len, Bandwidth, MaybeSend, MaybeSendSync, MessageRecord, NodeCtx, Parallelism, Payload,
+    ResilienceBudget, RoundStats, SimConfig, SimError, Status, DEFAULT_MESSAGE_LOG_CAP,
 };
 pub use network::{run_phase, Mailbox, Network, NodeProgram, Quality};
 pub use telemetry::{Telemetry, TraceEvent, Tracer};

@@ -12,6 +12,39 @@ use crate::telemetry::Telemetry;
 use congest_graph::{NodeId, Weight};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
+
+/// Marker supertrait of [`crate::NodeProgram`]: [`Send`] when the
+/// `parallel` feature is enabled (node programs move to pool threads during
+/// the compute phase), satisfied by every type otherwise.
+#[cfg(feature = "parallel")]
+pub trait MaybeSend: Send {}
+#[cfg(feature = "parallel")]
+impl<T: Send + ?Sized> MaybeSend for T {}
+
+/// Marker supertrait of [`crate::NodeProgram`]: [`Send`] when the
+/// `parallel` feature is enabled (node programs move to pool threads during
+/// the compute phase), satisfied by every type otherwise.
+#[cfg(not(feature = "parallel"))]
+pub trait MaybeSend {}
+#[cfg(not(feature = "parallel"))]
+impl<T: ?Sized> MaybeSend for T {}
+
+/// Marker supertrait of [`Payload`]: [`Send`]` + `[`Sync`] when the
+/// `parallel` feature is enabled (inboxes are read, and outboxes filled,
+/// from pool threads), satisfied by every type otherwise.
+#[cfg(feature = "parallel")]
+pub trait MaybeSendSync: Send + Sync {}
+#[cfg(feature = "parallel")]
+impl<T: Send + Sync + ?Sized> MaybeSendSync for T {}
+
+/// Marker supertrait of [`Payload`]: [`Send`]` + `[`Sync`] when the
+/// `parallel` feature is enabled (inboxes are read, and outboxes filled,
+/// from pool threads), satisfied by every type otherwise.
+#[cfg(not(feature = "parallel"))]
+pub trait MaybeSendSync {}
+#[cfg(not(feature = "parallel"))]
+impl<T: ?Sized> MaybeSendSync for T {}
 
 /// Data a message payload must expose so the simulator can charge bandwidth.
 ///
@@ -20,7 +53,7 @@ use std::fmt;
 /// bit length. The simulator enforces the per-channel per-round budget
 /// against these sizes, which keeps algorithm implementations honest about
 /// what fits in one CONGEST round.
-pub trait Payload: Clone + fmt::Debug {
+pub trait Payload: Clone + fmt::Debug + MaybeSendSync {
     /// Size of this message in bits.
     fn size_bits(&self) -> u32;
 }
@@ -106,10 +139,16 @@ impl NodeCtx {
 
     /// The weight of the edge to `v`, if `v` is adjacent.
     pub fn weight_to(&self, v: NodeId) -> Option<Weight> {
-        self.neighbors
-            .binary_search_by_key(&v, |&(u, _)| u)
-            .ok()
-            .map(|i| self.neighbors[i].1)
+        self.neighbor_pos(v).map(|i| self.neighbors[i].1)
+    }
+
+    /// The position of `v` in this node's sorted neighbor list, if adjacent.
+    ///
+    /// Positions index a contiguous `0..degree()` range, which lets the
+    /// round engine keep O(1)-reset per-neighbor scratch tables instead of
+    /// searching a per-destination list for every message.
+    pub fn neighbor_pos(&self, v: NodeId) -> Option<usize> {
+        self.neighbors.binary_search_by_key(&v, |&(u, _)| u).ok()
     }
 }
 
@@ -165,6 +204,27 @@ pub enum Status {
 /// [`SimConfig::message_log_cap`].
 pub const DEFAULT_MESSAGE_LOG_CAP: usize = 4_000_000;
 
+/// How the network executes the per-node compute phase of each round.
+///
+/// The two engines are **bit-identical** in every observable — outputs,
+/// [`RoundStats`], per-node [`crate::Quality`], and the emitted trace-event
+/// sequence — because node programs only read their own inbox and write
+/// their own outbox during compute, and the merge phase always processes
+/// outboxes in ascending sender order on the calling thread (fault
+/// decisions are pure hashes of their coordinates, so they cannot observe
+/// scheduling either). See DESIGN.md §"Round engine".
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum Parallelism {
+    /// Run nodes one after another on the calling thread (the default).
+    #[default]
+    Sequential,
+    /// Fan the compute phase across the ambient thread pool (the pool a
+    /// surrounding `rayon::ThreadPool::install` provides, else the global
+    /// one). Requires the `parallel` cargo feature; without it this variant
+    /// falls back to sequential execution.
+    Parallel,
+}
+
 /// Simulator configuration.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -193,8 +253,13 @@ pub struct SimConfig {
     pub telemetry: Telemetry,
     /// Fault-injection plan (see [`crate::faults`]); `None` (the default)
     /// runs the ideal lossless network. A plan with all knobs at zero is
-    /// behaviorally identical to `None`.
-    pub faults: Option<FaultPlan>,
+    /// behaviorally identical to `None`. Shared behind an [`Arc`] so that
+    /// cloning a config between algorithm phases never copies the plan's
+    /// link/crash/burst tables.
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Round-engine execution mode (see [`Parallelism`]); sequential by
+    /// default.
+    pub parallelism: Parallelism,
 }
 
 impl SimConfig {
@@ -208,6 +273,7 @@ impl SimConfig {
             profile_channels: false,
             telemetry: Telemetry::off(),
             faults: None,
+            parallelism: Parallelism::Sequential,
         }
     }
 
@@ -244,7 +310,14 @@ impl SimConfig {
 
     /// Attaches a fault-injection plan (builder style); see [`crate::faults`].
     pub fn with_faults(mut self, plan: FaultPlan) -> SimConfig {
-        self.faults = Some(plan);
+        self.faults = Some(Arc::new(plan));
+        self
+    }
+
+    /// Selects the round-engine execution mode (builder style); see
+    /// [`Parallelism`].
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> SimConfig {
+        self.parallelism = parallelism;
         self
     }
 }

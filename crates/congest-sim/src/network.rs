@@ -1,11 +1,16 @@
 //! The synchronous round-by-round network runner.
 
 use crate::faults::{DropReason, FaultOracle, FaultPlan};
-use crate::model::{MessageRecord, NodeCtx, Payload, RoundStats, SimConfig, SimError, Status};
+use crate::model::{
+    MaybeSend, MessageRecord, NodeCtx, Payload, RoundStats, SimConfig, SimError, Status,
+};
 use crate::telemetry::{BandwidthProfile, TraceEvent};
 use congest_graph::{NodeId, WeightedGraph};
 use serde::Serialize;
 use std::collections::BTreeSet;
+
+#[cfg(feature = "parallel")]
+use crate::model::Parallelism;
 
 /// A per-node algorithm.
 ///
@@ -14,7 +19,11 @@ use std::collections::BTreeSet;
 /// with messages for the next round via [`Mailbox`].
 ///
 /// Local computation is free (the CONGEST model only counts communication).
-pub trait NodeProgram {
+///
+/// Under the `parallel` cargo feature the [`MaybeSend`] supertrait resolves
+/// to [`Send`], so programs can be fanned across the compute-phase thread
+/// pool; without it the bound is empty and nothing changes.
+pub trait NodeProgram: MaybeSend {
     /// Message type exchanged by this program.
     type Msg: Payload;
     /// Per-node result extracted when the run finishes.
@@ -38,6 +47,10 @@ pub trait NodeProgram {
 }
 
 /// Collects the messages a node sends in one round.
+///
+/// The network owns one mailbox per node for the whole run and drains it in
+/// place every round, so a steady-state round performs no allocation — see
+/// DESIGN.md §"Round engine".
 #[derive(Debug)]
 pub struct Mailbox<M> {
     out: Vec<(NodeId, M)>,
@@ -46,6 +59,12 @@ pub struct Mailbox<M> {
 impl<M: Payload> Mailbox<M> {
     pub(crate) fn new() -> Mailbox<M> {
         Mailbox { out: Vec::new() }
+    }
+
+    pub(crate) fn with_capacity(capacity: usize) -> Mailbox<M> {
+        Mailbox {
+            out: Vec::with_capacity(capacity),
+        }
     }
 
     /// Queues `msg` for neighbor `to` (delivered next round).
@@ -64,8 +83,12 @@ impl<M: Payload> Mailbox<M> {
         }
     }
 
-    pub(crate) fn take(&mut self) -> Vec<(NodeId, M)> {
-        std::mem::take(&mut self.out)
+    /// Moves every queued message to the back of `scratch`, leaving this
+    /// mailbox empty but with its buffer capacity intact — the
+    /// reuse-friendly alternative to moving the buffer out and allocating a
+    /// fresh one next round.
+    pub fn drain_into(&mut self, scratch: &mut Vec<(NodeId, M)>) {
+        scratch.append(&mut self.out);
     }
 }
 
@@ -111,7 +134,19 @@ pub struct Network<P: NodeProgram> {
     programs: Vec<P>,
     status: Vec<Status>,
     /// Messages to deliver next round: `pending[v] = (from, msg)*`.
+    /// Double-buffered with `inboxes`: the two arenas swap every round and
+    /// are recycled via `clear()`, so a steady-state round allocates nothing.
     pending: Vec<Vec<(NodeId, P::Msg)>>,
+    /// Messages being delivered this round (the other arena half).
+    inboxes: Vec<Vec<(NodeId, P::Msg)>>,
+    /// One pre-owned outbox per node, drained in place by the merge phase.
+    mailboxes: Vec<Mailbox<P::Msg>>,
+    /// Per-destination accounting for the sender currently merging.
+    per_channel: Vec<ChannelLoad>,
+    /// Maps a neighbor position of the current sender to `index + 1` in
+    /// `per_channel` (0 = untouched), giving O(1) per-message lookup while
+    /// preserving first-use order; only touched slots are re-zeroed.
+    chan_slot: Vec<u32>,
     config: SimConfig,
     stats: RoundStats,
     started: bool,
@@ -129,6 +164,17 @@ pub struct Network<P: NodeProgram> {
     ever_crashed: Vec<bool>,
     /// Whether the one-time message-log truncation warning fired.
     log_truncated: bool,
+}
+
+/// Bits and message count one sender put on one channel this round; the
+/// running count keys the fault oracle's per-message drop decisions.
+#[derive(Clone, Copy, Debug)]
+struct ChannelLoad {
+    to: NodeId,
+    bits: u32,
+    count: u64,
+    /// `to`'s position in the sender's neighbor list (the `chan_slot` key).
+    pos: u32,
 }
 
 /// Per-node delivery quality of a run under a fault plan.
@@ -188,12 +234,23 @@ impl<P: NodeProgram> Network<P> {
         let profile = config
             .profile_channels
             .then(|| BandwidthProfile::new(config.bandwidth.get()));
-        let faults = config.faults.as_ref().map(FaultPlan::compile);
+        let faults = config.faults.as_deref().map(FaultPlan::compile);
+        let max_degree = ctxs.iter().map(NodeCtx::degree).max().unwrap_or(0);
+        // Outboxes start sized for one broadcast; inbox arenas grow to their
+        // high-water mark during warm-up and are then recycled in place.
+        let mailboxes = ctxs
+            .iter()
+            .map(|c| Mailbox::with_capacity(c.degree()))
+            .collect();
         Network {
             ctxs,
             programs,
             status: vec![Status::Running; n],
             pending: (0..n).map(|_| Vec::new()).collect(),
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            mailboxes,
+            per_channel: Vec::with_capacity(max_degree),
+            chan_slot: vec![0; max_degree],
             config,
             stats: RoundStats::default(),
             started: false,
@@ -223,33 +280,54 @@ impl<P: NodeProgram> Network<P> {
         self.profile.as_ref()
     }
 
-    fn dispatch(
-        &mut self,
-        from: NodeId,
-        outgoing: Vec<(NodeId, P::Msg)>,
-        round: usize,
-    ) -> Result<(), SimError> {
-        // Per-destination `(bits, messages)` accounting for this sender this
-        // round; the message index keys the fault oracle's drop decisions.
-        let mut per_channel: Vec<(NodeId, u32, u64)> = Vec::new();
-        for (to, msg) in outgoing {
-            if self.ctxs[from].weight_to(to).is_none() {
+    /// Merges node `from`'s outbox into the per-destination inbox arenas,
+    /// charging bandwidth and consulting the fault oracle.
+    ///
+    /// The caller invokes this for senders in ascending id order, and a
+    /// sender's messages are processed in send order, so inbox contents are
+    /// fully determined by what the programs sent — never by how the compute
+    /// phase was scheduled.
+    fn dispatch(&mut self, from: NodeId, round: usize) -> Result<(), SimError> {
+        if self.mailboxes[from].out.is_empty() {
+            return Ok(());
+        }
+        let result = self.deliver_outbox(from, round);
+        if result.is_ok() {
+            // On a violation the sim aborts mid-sender: skip the channel
+            // roll-up, exactly as the pre-engine dispatch did.
+            self.finalize_channels(from, round);
+        }
+        // Reset the scratch, re-zeroing only the slots this sender touched.
+        for i in 0..self.per_channel.len() {
+            self.chan_slot[self.per_channel[i].pos as usize] = 0;
+        }
+        self.per_channel.clear();
+        result
+    }
+
+    fn deliver_outbox(&mut self, from: NodeId, round: usize) -> Result<(), SimError> {
+        let budget = self.config.bandwidth.get();
+        for (to, msg) in self.mailboxes[from].out.drain(..) {
+            let Some(pos) = self.ctxs[from].neighbor_pos(to) else {
                 return Err(SimError::NotAdjacent { from, to });
-            }
-            let bits = msg.size_bits();
-            let entry = per_channel.iter_mut().find(|(t, _, _)| *t == to);
-            let (total, index) = match entry {
-                Some((_, b, k)) => {
-                    *b += bits;
-                    *k += 1;
-                    (*b, *k - 1)
-                }
-                None => {
-                    per_channel.push((to, bits, 1));
-                    (bits, 0)
-                }
             };
-            let budget = self.config.bandwidth.get();
+            let bits = msg.size_bits();
+            let slot = self.chan_slot[pos];
+            let (total, index) = if slot == 0 {
+                self.per_channel.push(ChannelLoad {
+                    to,
+                    bits,
+                    count: 1,
+                    pos: pos as u32,
+                });
+                self.chan_slot[pos] = self.per_channel.len() as u32;
+                (bits, 0)
+            } else {
+                let entry = &mut self.per_channel[slot as usize - 1];
+                entry.bits += bits;
+                entry.count += 1;
+                (entry.bits, entry.count - 1)
+            };
             if total > budget {
                 return Err(SimError::BandwidthExceeded {
                     from,
@@ -332,8 +410,15 @@ impl<P: NodeProgram> Network<P> {
             }
             self.pending[to].push((from, msg));
         }
+        Ok(())
+    }
+
+    /// Rolls this sender's per-channel totals into the round statistics, in
+    /// first-use order (the order `per_channel` accumulated in).
+    fn finalize_channels(&mut self, from: NodeId, round: usize) {
         let budget = self.config.bandwidth.get();
-        for (to, b, _) in per_channel {
+        for i in 0..self.per_channel.len() {
+            let ChannelLoad { to, bits: b, .. } = self.per_channel[i];
             self.stats.max_channel_bits = self.stats.max_channel_bits.max(b);
             self.round_peak = self.round_peak.max(b);
             if let Some(profile) = &mut self.profile {
@@ -353,12 +438,22 @@ impl<P: NodeProgram> Network<P> {
                     });
             }
         }
-        Ok(())
     }
 
     /// Executes one synchronous round; returns `true` if the network is
     /// quiescent afterwards (all programs [`Status::Done`] and no messages in
     /// flight).
+    ///
+    /// Each round runs in two phases. **Compute**: every live node's
+    /// [`NodeProgram::round`] executes against its own inbox and its own
+    /// pre-owned outbox — no shared state, so under the `parallel` feature
+    /// (with [`crate::Parallelism::Parallel`]) the nodes fan across a thread
+    /// pool. **Merge**: outboxes drain into the per-destination inbox arenas
+    /// in ascending sender order, where bandwidth accounting, telemetry, and
+    /// fault decisions happen single-threaded. Fault decisions are pure
+    /// hashes of `(seed, round, edge, message index)`, so the merge — and
+    /// with it every output, statistic, and trace event — is bit-identical
+    /// however the compute phase was scheduled.
     ///
     /// # Errors
     ///
@@ -369,12 +464,12 @@ impl<P: NodeProgram> Network<P> {
         self.round_peak = 0;
         if !self.started {
             self.started = true;
+            // `start` sends arrive in round 1; charge them to round 1.
             for v in 0..self.n() {
-                let mut mb = Mailbox::new();
-                self.programs[v].start(&self.ctxs[v], &mut mb);
-                let out = mb.take();
-                // `start` sends arrive in round 1; charge them to round 1.
-                self.dispatch(v, out, 1)?;
+                self.programs[v].start(&self.ctxs[v], &mut self.mailboxes[v]);
+            }
+            for v in 0..self.n() {
+                self.dispatch(v, 1)?;
             }
         }
         let round = self.stats.rounds + 1;
@@ -403,22 +498,32 @@ impl<P: NodeProgram> Network<P> {
                 }
             }
         }
-        let inboxes: Vec<Vec<(NodeId, P::Msg)>> =
-            self.pending.iter_mut().map(std::mem::take).collect();
+        // Flip the double buffer: last round's accumulation arena becomes
+        // this round's inboxes, and the cleared former inboxes take over as
+        // the accumulation arena. Capacities persist across the swap.
+        std::mem::swap(&mut self.inboxes, &mut self.pending);
         self.stats.rounds = round;
-        for (v, inbox) in inboxes.into_iter().enumerate() {
-            // A crashed node executes nothing this round; messages addressed
-            // to it were already discarded at dispatch time, and its program
-            // state is preserved for when (if) the crash window closes.
+        self.compute(round);
+        let mut merged = Ok(());
+        for v in 0..self.n() {
+            // A crashed node executed nothing this round (its outbox is
+            // empty; messages addressed to it were already discarded at
+            // dispatch time) and its program state is preserved for when
+            // (if) the crash window closes.
             if self.crashed_now[v] {
                 continue;
             }
-            let mut mb = Mailbox::new();
-            let st = self.programs[v].round(&self.ctxs[v], round, &inbox, &mut mb);
-            self.status[v] = st;
-            let out = mb.take();
-            self.dispatch(v, out, round + 1)?;
+            if let Err(err) = self.dispatch(v, round + 1) {
+                merged = Err(err);
+                break;
+            }
         }
+        // Recycle the delivery arena even when the merge aborted, so the
+        // network's buffers stay consistent for post-mortem inspection.
+        for inbox in &mut self.inboxes {
+            inbox.clear();
+        }
+        merged?;
         // Attribute everything sent while executing this round (including
         // `start` sends on the first step) to this round's event, so the
         // events sum to the aggregate counters exactly.
@@ -442,6 +547,64 @@ impl<P: NodeProgram> Network<P> {
             .all(|(&s, &crashed)| s == Status::Done || crashed)
             && self.pending.iter().all(Vec::is_empty);
         Ok(quiescent)
+    }
+
+    /// The compute phase: runs every live node's [`NodeProgram::round`],
+    /// each reading only its own inbox and writing only its own outbox.
+    fn compute(&mut self, round: usize) {
+        #[cfg(feature = "parallel")]
+        if self.config.parallelism == Parallelism::Parallel {
+            self.compute_parallel(round);
+            return;
+        }
+        for v in 0..self.ctxs.len() {
+            if self.crashed_now[v] {
+                continue;
+            }
+            self.status[v] = self.programs[v].round(
+                &self.ctxs[v],
+                round,
+                &self.inboxes[v],
+                &mut self.mailboxes[v],
+            );
+        }
+    }
+
+    /// Fans the compute phase across the ambient thread pool in contiguous
+    /// node chunks. Safe because each node's slice elements (program,
+    /// status, outbox) are disjoint `&mut`, and everything shared (ctxs,
+    /// inboxes, crash flags) is read-only; equivalent to the sequential
+    /// loop because no node can observe another's round-`r` activity.
+    #[cfg(feature = "parallel")]
+    fn compute_parallel(&mut self, round: usize) {
+        let n = self.ctxs.len();
+        let threads = rayon::current_num_threads().max(1);
+        let chunk = n.div_ceil(threads);
+        let ctxs = &self.ctxs;
+        let crashed = &self.crashed_now;
+        let inboxes = &self.inboxes;
+        let programs = &mut self.programs;
+        let statuses = &mut self.status;
+        let mailboxes = &mut self.mailboxes;
+        rayon::scope(|s| {
+            for (((programs, statuses), mailboxes), base) in programs
+                .chunks_mut(chunk)
+                .zip(statuses.chunks_mut(chunk))
+                .zip(mailboxes.chunks_mut(chunk))
+                .zip((0..n).step_by(chunk))
+            {
+                s.spawn(move || {
+                    for (i, program) in programs.iter_mut().enumerate() {
+                        let v = base + i;
+                        if crashed[v] {
+                            continue;
+                        }
+                        statuses[i] =
+                            program.round(&ctxs[v], round, &inboxes[v], &mut mailboxes[i]);
+                    }
+                });
+            }
+        });
     }
 
     /// Runs until quiescence and returns every node's output.
@@ -541,13 +704,13 @@ impl<P: NodeProgram> Network<P> {
 pub fn run_phase<P: NodeProgram>(
     graph: &WeightedGraph,
     leader: NodeId,
-    config: SimConfig,
+    config: &SimConfig,
     name: &str,
     make: impl FnMut(NodeId, &NodeCtx) -> P,
 ) -> Result<(Vec<P::Output>, RoundStats), SimError> {
     let telemetry = config.telemetry.clone();
     let span = telemetry.span(name);
-    let mut net = Network::new(graph, leader, config, make);
+    let mut net = Network::new(graph, leader, config.clone(), make);
     if let Err(err) = net.run_to_quiescence() {
         telemetry.emit_with(|| TraceEvent::SimFailed { error: err.clone() });
         span.end();
@@ -617,7 +780,7 @@ mod tests {
     #[test]
     fn relay_along_path() {
         let g = generators::path(6, 1);
-        let (out, stats) = run_phase(&g, 0, SimConfig::standard(6, 1), "relay", |_, _| Relay {
+        let (out, stats) = run_phase(&g, 0, &SimConfig::standard(6, 1), "relay", |_, _| Relay {
             value: None,
         })
         .unwrap();
@@ -656,7 +819,7 @@ mod tests {
     #[test]
     fn non_adjacent_send_is_error() {
         let g = generators::path(3, 1);
-        let err = run_phase(&g, 0, SimConfig::standard(3, 1), "bad_sender", |_, _| {
+        let err = run_phase(&g, 0, &SimConfig::standard(3, 1), "bad_sender", |_, _| {
             BadSender
         })
         .unwrap_err();
@@ -695,7 +858,7 @@ mod tests {
             bandwidth: Bandwidth::bits(128),
             ..SimConfig::standard(2, 1).with_max_rounds(10)
         };
-        let err = run_phase(&g, 0, cfg, "hog", |_, _| Hog).unwrap_err();
+        let err = run_phase(&g, 0, &cfg, "hog", |_, _| Hog).unwrap_err();
         assert!(matches!(
             err,
             SimError::BandwidthExceeded { from: 0, to: 1, .. }
@@ -725,7 +888,7 @@ mod tests {
     fn round_cap_fires() {
         let g = generators::path(2, 1);
         let cfg = SimConfig::standard(2, 1).with_max_rounds(7);
-        let err = run_phase(&g, 0, cfg, "forever", |_, _| Forever).unwrap_err();
+        let err = run_phase(&g, 0, &cfg, "forever", |_, _| Forever).unwrap_err();
         assert!(matches!(
             err,
             SimError::RoundLimitExceeded {
@@ -767,7 +930,7 @@ mod tests {
             .with_message_log()
             .with_message_log_cap(2)
             .with_telemetry(Telemetry::new(tracer.clone()));
-        let (_, stats) = run_phase(&g, 0, cfg, "relay", |_, _| Relay { value: None }).unwrap();
+        let (_, stats) = run_phase(&g, 0, &cfg, "relay", |_, _| Relay { value: None }).unwrap();
         assert_eq!(stats.message_log.len(), 2, "log stops at the cap");
         assert_eq!(stats.messages, 5, "aggregate counters keep counting");
         let truncations: Vec<_> = tracer
@@ -928,7 +1091,7 @@ mod tests {
     fn message_log_records_everything() {
         let g = generators::path(3, 1);
         let cfg = SimConfig::standard(3, 1).with_message_log();
-        let (_, stats) = run_phase(&g, 0, cfg, "relay", |_, _| Relay { value: None }).unwrap();
+        let (_, stats) = run_phase(&g, 0, &cfg, "relay", |_, _| Relay { value: None }).unwrap();
         assert_eq!(stats.message_log.len(), 2);
         assert_eq!(stats.message_log[0].from, 0);
         assert_eq!(stats.message_log[0].to, 1);
@@ -940,7 +1103,7 @@ mod tests {
     #[test]
     fn stats_track_peak_channel_load() {
         let g = generators::path(6, 1);
-        let (_, stats) = run_phase(&g, 0, SimConfig::standard(6, 1), "relay", |_, _| Relay {
+        let (_, stats) = run_phase(&g, 0, &SimConfig::standard(6, 1), "relay", |_, _| Relay {
             value: None,
         })
         .unwrap();

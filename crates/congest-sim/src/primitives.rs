@@ -136,7 +136,7 @@ impl NodeProgram for BfsTreeProgram {
 /// use congest_sim::{primitives, SimConfig};
 /// use congest_graph::generators;
 /// let g = generators::path(4, 1);
-/// let (tree, stats) = primitives::bfs_tree(&g, 0, SimConfig::standard(4, 1))?;
+/// let (tree, stats) = primitives::bfs_tree(&g, 0, &SimConfig::standard(4, 1))?;
 /// assert_eq!(tree[3].depth, 3);
 /// assert_eq!(tree[0].children, vec![1]);
 /// assert!(stats.rounds <= 3 + 2);
@@ -145,7 +145,7 @@ impl NodeProgram for BfsTreeProgram {
 pub fn bfs_tree(
     graph: &WeightedGraph,
     leader: NodeId,
-    config: SimConfig,
+    config: &SimConfig,
 ) -> Result<(Vec<TreeInfo>, RoundStats), SimError> {
     run_phase(graph, leader, config, "bfs_tree", |_, _| {
         BfsTreeProgram::new()
@@ -297,7 +297,7 @@ impl NodeProgram for ConvergeCastProgram {
 pub fn converge_cast(
     graph: &WeightedGraph,
     leader: NodeId,
-    config: SimConfig,
+    config: &SimConfig,
     tree: &[TreeInfo],
     values: &[u128],
     op: Aggregate,
@@ -435,7 +435,7 @@ impl NodeProgram for VecCastProgram {
 pub fn converge_cast_vec(
     graph: &WeightedGraph,
     leader: NodeId,
-    config: SimConfig,
+    config: &SimConfig,
     tree: &[TreeInfo],
     values: &[Vec<u128>],
     op: Aggregate,
@@ -584,7 +584,7 @@ impl NodeProgram for PipelinedBroadcastProgram {
 pub fn pipelined_broadcast(
     graph: &WeightedGraph,
     leader: NodeId,
-    config: SimConfig,
+    config: &SimConfig,
     tree: &[TreeInfo],
     items: &[u128],
 ) -> Result<(Vec<Vec<u128>>, RoundStats), SimError> {
@@ -725,7 +725,7 @@ impl NodeProgram for CollectProgram {
 pub fn collect_at_leader(
     graph: &WeightedGraph,
     leader: NodeId,
-    config: SimConfig,
+    config: &SimConfig,
     tree: &[TreeInfo],
     items: &[Vec<(u64, u128)>],
 ) -> Result<(Vec<(u64, u128)>, RoundStats), SimError> {
@@ -767,7 +767,7 @@ mod tests {
     #[test]
     fn bfs_tree_on_star() {
         let g = generators::star(6, 1);
-        let (tree, stats) = bfs_tree(&g, 0, std_cfg(&g)).unwrap();
+        let (tree, stats) = bfs_tree(&g, 0, &std_cfg(&g)).unwrap();
         assert_eq!(tree[0].children.len(), 5);
         for v in 1..6 {
             assert_eq!(tree[v].parent, Some(0));
@@ -780,7 +780,7 @@ mod tests {
     fn bfs_tree_depths_match_bfs() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let g = generators::erdos_renyi_connected(30, 0.1, 4, &mut rng);
-        let (tree, _) = bfs_tree(&g, 3, std_cfg(&g)).unwrap();
+        let (tree, _) = bfs_tree(&g, 3, &std_cfg(&g)).unwrap();
         let d = congest_graph::shortest_path::bfs(&g.unweighted_view(), 3);
         for v in g.nodes() {
             assert_eq!(tree[v].depth as u64, d[v].expect_finite(), "node {v}");
@@ -791,7 +791,7 @@ mod tests {
     fn bfs_tree_children_are_consistent() {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let g = generators::erdos_renyi_connected(25, 0.15, 2, &mut rng);
-        let (tree, _) = bfs_tree(&g, 0, std_cfg(&g)).unwrap();
+        let (tree, _) = bfs_tree(&g, 0, &std_cfg(&g)).unwrap();
         for v in g.nodes() {
             for &c in &tree[v].children {
                 assert_eq!(tree[c].parent, Some(v));
@@ -805,22 +805,23 @@ mod tests {
     #[test]
     fn converge_cast_all_ops() {
         let g = generators::path(7, 1);
-        let (tree, _) = bfs_tree(&g, 2, std_cfg(&g)).unwrap();
+        let (tree, _) = bfs_tree(&g, 2, &std_cfg(&g)).unwrap();
         let values: Vec<u128> = (0..7).map(|v| (v as u128) * 10 + 1).collect();
-        let (mx, _) = converge_cast(&g, 2, std_cfg(&g), &tree, &values, Aggregate::Max).unwrap();
+        let (mx, _) = converge_cast(&g, 2, &std_cfg(&g), &tree, &values, Aggregate::Max).unwrap();
         assert_eq!(mx, 61);
-        let (mn, _) = converge_cast(&g, 2, std_cfg(&g), &tree, &values, Aggregate::Min).unwrap();
+        let (mn, _) = converge_cast(&g, 2, &std_cfg(&g), &tree, &values, Aggregate::Min).unwrap();
         assert_eq!(mn, 1);
-        let (sm, _) = converge_cast(&g, 2, std_cfg(&g), &tree, &values, Aggregate::Sum).unwrap();
+        let (sm, _) = converge_cast(&g, 2, &std_cfg(&g), &tree, &values, Aggregate::Sum).unwrap();
         assert_eq!(sm, values.iter().sum::<u128>());
     }
 
     #[test]
     fn converge_cast_rounds_linear_in_depth() {
         let g = generators::path(20, 1);
-        let (tree, _) = bfs_tree(&g, 0, std_cfg(&g)).unwrap();
+        let (tree, _) = bfs_tree(&g, 0, &std_cfg(&g)).unwrap();
         let values = vec![1u128; 20];
-        let (_, stats) = converge_cast(&g, 0, std_cfg(&g), &tree, &values, Aggregate::Sum).unwrap();
+        let (_, stats) =
+            converge_cast(&g, 0, &std_cfg(&g), &tree, &values, Aggregate::Sum).unwrap();
         // Up 19 rounds + down 19 rounds + O(1).
         assert!(stats.rounds <= 2 * 19 + 3, "rounds = {}", stats.rounds);
     }
@@ -828,9 +829,9 @@ mod tests {
     #[test]
     fn pipelined_broadcast_delivers_in_order() {
         let g = generators::path(8, 1);
-        let (tree, _) = bfs_tree(&g, 0, std_cfg(&g)).unwrap();
+        let (tree, _) = bfs_tree(&g, 0, &std_cfg(&g)).unwrap();
         let items: Vec<u128> = (0..10u128).map(|x| x * x).collect();
-        let (out, stats) = pipelined_broadcast(&g, 0, std_cfg(&g), &tree, &items).unwrap();
+        let (out, stats) = pipelined_broadcast(&g, 0, &std_cfg(&g), &tree, &items).unwrap();
         for v in 0..8 {
             assert_eq!(out[v], items, "node {v}");
         }
@@ -841,8 +842,8 @@ mod tests {
     #[test]
     fn pipelined_broadcast_empty_list() {
         let g = generators::star(4, 1);
-        let (tree, _) = bfs_tree(&g, 0, std_cfg(&g)).unwrap();
-        let (out, _) = pipelined_broadcast(&g, 0, std_cfg(&g), &tree, &[]).unwrap();
+        let (tree, _) = bfs_tree(&g, 0, &std_cfg(&g)).unwrap();
+        let (out, _) = pipelined_broadcast(&g, 0, &std_cfg(&g), &tree, &[]).unwrap();
         assert!(out.iter().all(Vec::is_empty));
     }
 
@@ -850,7 +851,7 @@ mod tests {
     fn collect_gathers_everything() {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let g = generators::erdos_renyi_connected(16, 0.2, 3, &mut rng);
-        let (tree, _) = bfs_tree(&g, 0, std_cfg(&g)).unwrap();
+        let (tree, _) = bfs_tree(&g, 0, &std_cfg(&g)).unwrap();
         let items: Vec<Vec<(u64, u128)>> = (0..16)
             .map(|v| {
                 if v % 3 == 0 {
@@ -860,7 +861,7 @@ mod tests {
                 }
             })
             .collect();
-        let (got, stats) = collect_at_leader(&g, 0, std_cfg(&g), &tree, &items).unwrap();
+        let (got, stats) = collect_at_leader(&g, 0, &std_cfg(&g), &tree, &items).unwrap();
         let mut want: Vec<(u64, u128)> = items.iter().flatten().copied().collect();
         want.sort_unstable();
         assert_eq!(got, want);
@@ -873,11 +874,11 @@ mod tests {
         // 40 items over a depth-10 path must take ≈ depth + items rounds,
         // far below items × depth.
         let g = generators::path(11, 1);
-        let (tree, _) = bfs_tree(&g, 0, std_cfg(&g)).unwrap();
+        let (tree, _) = bfs_tree(&g, 0, &std_cfg(&g)).unwrap();
         let items: Vec<Vec<(u64, u128)>> = (0..11)
             .map(|v| (0..4).map(|j| ((v * 4 + j) as u64, 1u128)).collect())
             .collect();
-        let (got, stats) = collect_at_leader(&g, 0, std_cfg(&g), &tree, &items).unwrap();
+        let (got, stats) = collect_at_leader(&g, 0, &std_cfg(&g), &tree, &items).unwrap();
         assert_eq!(got.len(), 44);
         assert!(
             stats.rounds <= collect_round_bound(10, 44),
@@ -892,13 +893,13 @@ mod tests {
     fn vector_converge_cast_elementwise() {
         let mut rng = ChaCha8Rng::seed_from_u64(6);
         let g = generators::erdos_renyi_connected(14, 0.2, 2, &mut rng);
-        let (tree, _) = bfs_tree(&g, 0, std_cfg(&g)).unwrap();
+        let (tree, _) = bfs_tree(&g, 0, &std_cfg(&g)).unwrap();
         let k = 6;
         let values: Vec<Vec<u128>> = (0..14)
             .map(|v| (0..k).map(|j| ((v * 7 + j * 13) % 50) as u128).collect())
             .collect();
         let (got, stats) =
-            converge_cast_vec(&g, 0, std_cfg(&g), &tree, &values, Aggregate::Max).unwrap();
+            converge_cast_vec(&g, 0, &std_cfg(&g), &tree, &values, Aggregate::Max).unwrap();
         for j in 0..k {
             let want = (0..14).map(|v| values[v][j]).max().unwrap();
             assert_eq!(got[j], want, "element {j}");
@@ -915,12 +916,12 @@ mod tests {
     fn vector_converge_cast_pipelines() {
         // k = 30 elements over a depth-12 path: O(depth + k), not O(depth·k).
         let g = generators::path(13, 1);
-        let (tree, _) = bfs_tree(&g, 0, std_cfg(&g)).unwrap();
+        let (tree, _) = bfs_tree(&g, 0, &std_cfg(&g)).unwrap();
         let values: Vec<Vec<u128>> = (0..13)
             .map(|v| (0..30).map(|j| (v + j) as u128).collect())
             .collect();
         let (got, stats) =
-            converge_cast_vec(&g, 0, std_cfg(&g), &tree, &values, Aggregate::Min).unwrap();
+            converge_cast_vec(&g, 0, &std_cfg(&g), &tree, &values, Aggregate::Min).unwrap();
         assert_eq!(got.len(), 30);
         for (j, &x) in got.iter().enumerate() {
             assert_eq!(x, j as u128);
@@ -935,10 +936,10 @@ mod tests {
     #[test]
     fn vector_converge_cast_empty() {
         let g = generators::path(3, 1);
-        let (tree, _) = bfs_tree(&g, 0, std_cfg(&g)).unwrap();
+        let (tree, _) = bfs_tree(&g, 0, &std_cfg(&g)).unwrap();
         let values = vec![Vec::new(); 3];
         let (got, _) =
-            converge_cast_vec(&g, 0, std_cfg(&g), &tree, &values, Aggregate::Sum).unwrap();
+            converge_cast_vec(&g, 0, &std_cfg(&g), &tree, &values, Aggregate::Sum).unwrap();
         assert!(got.is_empty());
     }
 }

@@ -130,6 +130,14 @@ pub struct Reliable<P: NodeProgram> {
     acks: Vec<(NodeId, u64)>,
     inner_status: Status,
     stats: ReliableStats,
+    /// The inner program's persistent outbox, drained in place each round.
+    inner_mb: Mailbox<P::Msg>,
+    /// Scratch for moving inner sends into frames (reused across rounds).
+    inner_out: Vec<(NodeId, P::Msg)>,
+    /// Scratch inbox of deduplicated inner messages (reused across rounds).
+    inner_inbox: Vec<(NodeId, P::Msg)>,
+    /// Neighbors already sent a data frame this round (reused scratch).
+    sent_to: Vec<NodeId>,
 }
 
 impl<P: NodeProgram> Reliable<P> {
@@ -144,6 +152,10 @@ impl<P: NodeProgram> Reliable<P> {
             acks: Vec::new(),
             inner_status: Status::Running,
             stats: ReliableStats::default(),
+            inner_mb: Mailbox::new(),
+            inner_out: Vec::new(),
+            inner_inbox: Vec::new(),
+            sent_to: Vec::new(),
         }
     }
 
@@ -176,11 +188,17 @@ impl<P: NodeProgram> Reliable<P> {
         self.stats
     }
 
-    /// Moves the inner program's outgoing messages into reliable frames.
-    fn enqueue_inner(&mut self, out: Vec<(NodeId, P::Msg)>) {
-        for (to, msg) in out {
+    /// Moves the inner program's outgoing messages (drained from its
+    /// persistent outbox) into reliable frames.
+    fn enqueue_inner(&mut self) {
+        // Borrow dance: `reliable_send` needs `&mut self`, so the scratch
+        // buffer is taken out (keeping its capacity) and put back after.
+        let mut out = std::mem::take(&mut self.inner_out);
+        self.inner_mb.drain_into(&mut out);
+        for (to, msg) in out.drain(..) {
             self.reliable_send(to, msg);
         }
+        self.inner_out = out;
     }
 
     /// Sends queued acks plus at most one due data frame per neighbor;
@@ -190,10 +208,11 @@ impl<P: NodeProgram> Reliable<P> {
             self.stats.acks_sent += 1;
             mb.send(to, ReliableMsg::Ack { seq });
         }
-        let mut sent_to: Vec<NodeId> = Vec::new();
+        self.sent_to.clear();
         let mut i = 0;
         while i < self.frames.len() {
-            let due = self.frames[i].ready_at <= round && !sent_to.contains(&self.frames[i].to);
+            let due =
+                self.frames[i].ready_at <= round && !self.sent_to.contains(&self.frames[i].to);
             if !due {
                 i += 1;
                 continue;
@@ -212,7 +231,7 @@ impl<P: NodeProgram> Reliable<P> {
             frame.attempts += 1;
             // Ack round-trip takes two rounds; back off exponentially past it.
             frame.ready_at = round + 1 + (self.policy.base_backoff << (frame.attempts - 1));
-            sent_to.push(frame.to);
+            self.sent_to.push(frame.to);
             mb.send(
                 frame.to,
                 ReliableMsg::Data {
@@ -230,9 +249,8 @@ impl<P: NodeProgram> NodeProgram for Reliable<P> {
     type Output = (P::Output, ReliableStats);
 
     fn start(&mut self, ctx: &NodeCtx, mb: &mut Mailbox<Self::Msg>) {
-        let mut inner_mb = Mailbox::new();
-        self.inner.start(ctx, &mut inner_mb);
-        self.enqueue_inner(inner_mb.take());
+        self.inner.start(ctx, &mut self.inner_mb);
+        self.enqueue_inner();
         self.pump(0, mb);
     }
 
@@ -243,7 +261,7 @@ impl<P: NodeProgram> NodeProgram for Reliable<P> {
         inbox: &[(NodeId, Self::Msg)],
         mb: &mut Mailbox<Self::Msg>,
     ) -> Status {
-        let mut inner_inbox: Vec<(NodeId, P::Msg)> = Vec::new();
+        self.inner_inbox.clear();
         for (from, frame) in inbox {
             match frame {
                 ReliableMsg::Ack { seq } => {
@@ -254,14 +272,15 @@ impl<P: NodeProgram> NodeProgram for Reliable<P> {
                     // but deliver to the inner program only once.
                     self.acks.push((*from, *seq));
                     if self.seen.insert((*from, *seq)) {
-                        inner_inbox.push((*from, msg.clone()));
+                        self.inner_inbox.push((*from, msg.clone()));
                     }
                 }
             }
         }
-        let mut inner_mb = Mailbox::new();
-        self.inner_status = self.inner.round(ctx, round, &inner_inbox, &mut inner_mb);
-        self.enqueue_inner(inner_mb.take());
+        self.inner_status = self
+            .inner
+            .round(ctx, round, &self.inner_inbox, &mut self.inner_mb);
+        self.enqueue_inner();
         self.pump(round, mb);
         if self.inner_status == Status::Done && self.frames.is_empty() && self.acks.is_empty() {
             Status::Done
@@ -301,14 +320,14 @@ pub type ReliableRun<O> = (Vec<(O, Quality)>, RoundStats);
 pub fn run_reliable_phase<P: NodeProgram>(
     graph: &WeightedGraph,
     leader: NodeId,
-    config: SimConfig,
+    config: &SimConfig,
     name: &str,
     policy: ReliablePolicy,
     mut make: impl FnMut(NodeId, &NodeCtx) -> P,
 ) -> Result<ReliableRun<P::Output>, SimError> {
     let telemetry = config.telemetry.clone();
     let span = telemetry.span(name);
-    let mut config = config;
+    let mut config = config.clone();
     config.bandwidth = reliable_bandwidth(config.bandwidth);
     let mut net = Network::new(graph, leader, config, |v, c| {
         Reliable::new(make(v, c), policy)
@@ -405,7 +424,7 @@ mod tests {
         let g = generators::grid(3, 3, 1);
         let cfg = SimConfig::standard(9, 1).with_max_rounds(2_000);
         let (out, stats) =
-            run_reliable_phase(&g, 0, cfg, "flood", ReliablePolicy::default(), |_, _| {
+            run_reliable_phase(&g, 0, &cfg, "flood", ReliablePolicy::default(), |_, _| {
                 Flood::fresh()
             })
             .unwrap();
@@ -424,7 +443,7 @@ mod tests {
             .with_max_rounds(2_000)
             .with_faults(FaultPlan::new(20_240_805).with_drop_rate(0.3));
         let (out, stats) =
-            run_reliable_phase(&g, 0, cfg, "flood", ReliablePolicy::default(), |_, _| {
+            run_reliable_phase(&g, 0, &cfg, "flood", ReliablePolicy::default(), |_, _| {
                 Flood::fresh()
             })
             .unwrap();
@@ -448,7 +467,7 @@ mod tests {
             .with_max_rounds(2_000)
             .with_faults(FaultPlan::new(7).with_link_drop(1, 2, 1.0));
         let (out, stats) =
-            run_reliable_phase(&g, 0, cfg, "flood", ReliablePolicy::default(), |_, _| {
+            run_reliable_phase(&g, 0, &cfg, "flood", ReliablePolicy::default(), |_, _| {
                 Flood::fresh()
             })
             .unwrap();

@@ -47,12 +47,12 @@
 //!
 //! let (tree, tree_stats) = {
 //!     let _span = config.telemetry.span("bfs_tree");
-//!     primitives::bfs_tree(&g, 0, config.clone())?
+//!     primitives::bfs_tree(&g, 0, &config)?
 //! };
 //! let values: Vec<u128> = (0..16).collect();
 //! let (_max, cast_stats) = {
 //!     let _span = config.telemetry.span("converge_cast");
-//!     primitives::converge_cast(&g, 0, config.clone(), &tree, &values,
+//!     primitives::converge_cast(&g, 0, &config, &tree, &values,
 //!         primitives::Aggregate::Max)?
 //! };
 //!

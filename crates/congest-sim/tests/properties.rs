@@ -33,7 +33,7 @@ proptest! {
     #[test]
     fn bfs_tree_invariants(g in arb_graph(), leader_pick in any::<usize>()) {
         let leader = leader_pick % g.n();
-        let (tree, stats) = primitives::bfs_tree(&g, leader, cfg(&g)).unwrap();
+        let (tree, stats) = primitives::bfs_tree(&g, leader, &cfg(&g)).unwrap();
         let bfs = shortest_path::bfs(&g.unweighted_view(), leader);
         let mut edge_count = 0;
         for v in g.nodes() {
@@ -59,13 +59,13 @@ proptest! {
         let mut rng = ChaCha8Rng::seed_from_u64(values_seed);
         use rand::Rng as _;
         let values: Vec<u128> = (0..g.n()).map(|_| rng.gen_range(0..1_000_000u128)).collect();
-        let (tree, _) = primitives::bfs_tree(&g, 0, cfg(&g)).unwrap();
+        let (tree, _) = primitives::bfs_tree(&g, 0, &cfg(&g)).unwrap();
         for (op, want) in [
             (primitives::Aggregate::Max, values.iter().copied().max().unwrap()),
             (primitives::Aggregate::Min, values.iter().copied().min().unwrap()),
             (primitives::Aggregate::Sum, values.iter().copied().sum::<u128>()),
         ] {
-            let (got, _) = primitives::converge_cast(&g, 0, wide(&g), &tree, &values, op).unwrap();
+            let (got, _) = primitives::converge_cast(&g, 0, &wide(&g), &tree, &values, op).unwrap();
             prop_assert_eq!(got, want);
         }
     }
@@ -74,8 +74,8 @@ proptest! {
     #[test]
     fn broadcast_delivers_everywhere(g in arb_graph(), items in proptest::collection::vec(any::<u64>(), 0..20)) {
         let items: Vec<u128> = items.into_iter().map(u128::from).collect();
-        let (tree, _) = primitives::bfs_tree(&g, 0, cfg(&g)).unwrap();
-        let (out, stats) = primitives::pipelined_broadcast(&g, 0, wide(&g), &tree, &items).unwrap();
+        let (tree, _) = primitives::bfs_tree(&g, 0, &cfg(&g)).unwrap();
+        let (out, stats) = primitives::pipelined_broadcast(&g, 0, &wide(&g), &tree, &items).unwrap();
         for v in g.nodes() {
             prop_assert_eq!(&out[v], &items);
         }
@@ -93,8 +93,8 @@ proptest! {
                     .collect()
             })
             .collect();
-        let (tree, _) = primitives::bfs_tree(&g, 0, cfg(&g)).unwrap();
-        let (got, _) = primitives::collect_at_leader(&g, 0, wide(&g), &tree, &items).unwrap();
+        let (tree, _) = primitives::bfs_tree(&g, 0, &cfg(&g)).unwrap();
+        let (got, _) = primitives::collect_at_leader(&g, 0, &wide(&g), &tree, &items).unwrap();
         let mut want: Vec<(u64, u128)> = items.iter().flatten().copied().collect();
         want.sort_unstable();
         prop_assert_eq!(got, want);
@@ -108,9 +108,9 @@ proptest! {
         let values: Vec<Vec<u128>> = (0..g.n())
             .map(|_| (0..k).map(|_| rng.gen_range(0..10_000u128)).collect())
             .collect();
-        let (tree, _) = primitives::bfs_tree(&g, 0, cfg(&g)).unwrap();
+        let (tree, _) = primitives::bfs_tree(&g, 0, &cfg(&g)).unwrap();
         let (got, _) = primitives::converge_cast_vec(
-            &g, 0, wide(&g), &tree, &values, primitives::Aggregate::Max,
+            &g, 0, &wide(&g), &tree, &values, primitives::Aggregate::Max,
         ).unwrap();
         for j in 0..k {
             let want = (0..g.n()).map(|v| values[v][j]).max().unwrap();
@@ -124,7 +124,7 @@ proptest! {
     fn bandwidth_budget_respected(g in arb_graph()) {
         let config = cfg(&g);
         let budget = config.bandwidth.get();
-        let (_, stats) = primitives::bfs_tree(&g, 0, config).unwrap();
+        let (_, stats) = primitives::bfs_tree(&g, 0, &config).unwrap();
         prop_assert!(stats.max_channel_bits <= budget);
     }
 }

@@ -32,11 +32,11 @@ proptest! {
     fn counting_tracer_is_an_observer(g in arb_graph(), leader_pick in any::<usize>()) {
         let leader = leader_pick % g.n();
 
-        let (tree_off, stats_off) = primitives::bfs_tree(&g, leader, cfg(&g)).unwrap();
+        let (tree_off, stats_off) = primitives::bfs_tree(&g, leader, &cfg(&g)).unwrap();
 
         let counting = Arc::new(CountingTracer::default());
         let traced_cfg = cfg(&g).with_telemetry(Telemetry::new(counting.clone()));
-        let (tree_on, stats_on) = primitives::bfs_tree(&g, leader, traced_cfg).unwrap();
+        let (tree_on, stats_on) = primitives::bfs_tree(&g, leader, &traced_cfg).unwrap();
 
         prop_assert_eq!(tree_off, tree_on);
         prop_assert_eq!(&stats_off, &stats_on);
@@ -54,9 +54,9 @@ proptest! {
     #[test]
     fn channel_profile_is_an_observer(g in arb_graph(), leader_pick in any::<usize>()) {
         let leader = leader_pick % g.n();
-        let (tree_plain, stats_plain) = primitives::bfs_tree(&g, leader, cfg(&g)).unwrap();
+        let (tree_plain, stats_plain) = primitives::bfs_tree(&g, leader, &cfg(&g)).unwrap();
         let (tree_prof, stats_prof) =
-            primitives::bfs_tree(&g, leader, cfg(&g).with_channel_profile()).unwrap();
+            primitives::bfs_tree(&g, leader, &cfg(&g).with_channel_profile()).unwrap();
         prop_assert_eq!(tree_plain, tree_prof);
         prop_assert_eq!(&stats_plain, &stats_prof);
     }
@@ -161,7 +161,7 @@ fn jsonl_trace_of_real_run_is_line_consistent() {
     let buf = SharedBuf::default();
     let telemetry = Telemetry::new(Arc::new(JsonlTracer::new(Box::new(buf.clone()))));
     let (_, stats) =
-        primitives::bfs_tree(&g, 0, cfg(&g).with_telemetry(telemetry.clone())).unwrap();
+        primitives::bfs_tree(&g, 0, &cfg(&g).with_telemetry(telemetry.clone())).unwrap();
     telemetry.flush();
     let written = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
     let lines: Vec<&str> = written.lines().collect();

@@ -1,0 +1,115 @@
+//! The round engine's zero-allocation claim, measured: once the arenas have
+//! warmed up (a handful of rounds grows every inbox, outbox, and scratch
+//! buffer to its steady-state capacity), `Network::step` must not touch the
+//! heap at all. A counting global allocator makes any regression — a stray
+//! `clone`, a rebuilt `Vec`, a formatted string — an immediate test failure
+//! rather than a slow perf drift.
+//!
+//! The library itself is `#![forbid(unsafe_code)]`; the `GlobalAlloc` shim
+//! below lives in this integration-test crate, where that lint does not
+//! apply. This file holds exactly one `#[test]` so no sibling test can
+//! allocate concurrently and pollute the counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use congest_graph::{generators, NodeId};
+use congest_sim::{Bandwidth, Mailbox, Network, NodeCtx, NodeProgram, SimConfig, Status};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+static REALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        REALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn heap_ops() -> usize {
+    ALLOCATIONS.load(Ordering::SeqCst) + REALLOCATIONS.load(Ordering::SeqCst)
+}
+
+/// Endless gossip: every node rebroadcasts a mixed digest every round, so
+/// each steady-state round moves `2m` messages through the full pipeline
+/// (dispatch, bandwidth accounting, arena merge).
+struct EndlessGossip {
+    digest: u64,
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^ (x >> 31)
+}
+
+impl NodeProgram for EndlessGossip {
+    type Msg = u64;
+    type Output = u64;
+
+    fn start(&mut self, ctx: &NodeCtx, mb: &mut Mailbox<u64>) {
+        self.digest = mix(ctx.id as u64 + 1);
+        mb.broadcast(ctx, self.digest);
+    }
+
+    fn round(
+        &mut self,
+        ctx: &NodeCtx,
+        _round: usize,
+        inbox: &[(NodeId, u64)],
+        mb: &mut Mailbox<u64>,
+    ) -> Status {
+        for &(_, d) in inbox {
+            self.digest = mix(self.digest ^ d);
+        }
+        mb.broadcast(ctx, self.digest);
+        Status::Running
+    }
+
+    fn finish(self, _ctx: &NodeCtx) -> u64 {
+        self.digest
+    }
+}
+
+#[test]
+fn steady_state_rounds_do_not_allocate() {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let g = generators::erdos_renyi_connected(40, 0.15, 1, &mut rng);
+    let config = SimConfig {
+        bandwidth: Bandwidth::bits(160),
+        ..SimConfig::standard(g.n(), 1)
+    };
+    let mut net = Network::new(&g, 0, config, |_, _| EndlessGossip { digest: 0 });
+
+    // Warm-up: the first steps grow every arena (inboxes, pending, outboxes,
+    // channel scratch) to steady-state capacity.
+    for _ in 0..8 {
+        net.step().expect("warm-up step succeeds");
+    }
+
+    let before = heap_ops();
+    for _ in 0..32 {
+        net.step().expect("steady-state step succeeds");
+    }
+    let delta = heap_ops() - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state rounds must be allocation-free, saw {delta} heap ops over 32 rounds"
+    );
+}

@@ -213,7 +213,7 @@ pub fn quantum_weighted<R: Rng + ?Sized>(
     leader: NodeId,
     objective: Objective,
     params: &WdrParams,
-    config: SimConfig,
+    config: &SimConfig,
     rng: &mut R,
 ) -> Result<WdrReport, SimError> {
     assert!(g.n() >= 2, "need at least two nodes");
@@ -244,23 +244,15 @@ pub fn quantum_weighted<R: Rng + ?Sized>(
 
     let scheme = params.scheme();
     let measure_span = telemetry.span("measure_phase_costs");
-    let state = SkeletonState::initialize(
-        g,
-        leader,
-        &rep_eval.skeleton,
-        scheme,
-        params.k,
-        config.clone(),
-        rng,
-    )?;
+    let state =
+        SkeletonState::initialize(g, leader, &rep_eval.skeleton, scheme, params.k, config, rng)?;
     let t0 = state.init_stats().rounds;
     let mut resilience = state.init_stats().resilience;
     let rep_s = rep_eval.skeleton[rep_eval.skeleton.len() / 2];
-    let (overlay_dist, setup_stats) = state.setup_data(g, rep_s, config.clone())?;
+    let (overlay_dist, setup_stats) = state.setup_data(g, rep_s, config)?;
     let t1 = setup_stats.rounds;
     resilience.absorb(&setup_stats.resilience);
-    let (rep_ecc, eval_stats) =
-        state.evaluate_eccentricity(g, rep_s, &overlay_dist, config.clone())?;
+    let (rep_ecc, eval_stats) = state.evaluate_eccentricity(g, rep_s, &overlay_dist, config)?;
     let t2 = eval_stats.rounds;
     resilience.absorb(&eval_stats.resilience);
     // Cross-validate: the distributed pipeline and the reference agree.
@@ -396,17 +388,17 @@ pub fn validate_set<R: Rng + ?Sized>(
     leader: NodeId,
     set: &[NodeId],
     params: &WdrParams,
-    config: SimConfig,
+    config: &SimConfig,
     rng: &mut R,
 ) -> Result<(Vec<f64>, Vec<f64>, RoundStats), SimError> {
     let scheme = params.scheme();
-    let state = SkeletonState::initialize(g, leader, set, scheme, params.k, config.clone(), rng)?;
+    let state = SkeletonState::initialize(g, leader, set, scheme, params.k, config, rng)?;
     let mut stats = state.init_stats().clone();
     let sd = SkeletonDistances::compute(g, set, scheme, params.k);
     let mut distributed = Vec::new();
     let mut reference = Vec::new();
     for &s in &sd.skeleton {
-        let (ecc, st) = state.eccentricity(g, s, config.clone())?;
+        let (ecc, st) = state.eccentricity(g, s, config)?;
         stats.absorb(&st);
         distributed.push(ecc);
         reference.push(sd.approx_eccentricity(s));
@@ -441,7 +433,7 @@ mod tests {
         for trial in 0..5 {
             let g = generators::erdos_renyi_connected(12, 0.25, 6, &mut rng);
             let p = small_params(&g);
-            let rep = quantum_weighted(&g, 0, Objective::Diameter, &p, cfg(&g), &mut rng).unwrap();
+            let rep = quantum_weighted(&g, 0, Objective::Diameter, &p, &cfg(&g), &mut rng).unwrap();
             let bound = (1.0 + p.eps) * (1.0 + p.eps) * rep.exact + 1e-6;
             assert!(
                 rep.estimate <= bound,
@@ -462,7 +454,7 @@ mod tests {
         for trial in 0..5 {
             let g = generators::erdos_renyi_connected(12, 0.3, 5, &mut rng);
             let p = small_params(&g);
-            let rep = quantum_weighted(&g, 0, Objective::Radius, &p, cfg(&g), &mut rng).unwrap();
+            let rep = quantum_weighted(&g, 0, Objective::Radius, &p, &cfg(&g), &mut rng).unwrap();
             assert!(
                 rep.estimate >= rep.exact - 1e-6,
                 "trial {trial}: estimate {} below exact radius {}",
@@ -502,7 +494,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(74);
         let g = generators::erdos_renyi_connected(10, 0.35, 3, &mut rng);
         let p = small_params(&g);
-        let rep = quantum_weighted(&g, 0, Objective::Diameter, &p, cfg(&g), &mut rng).unwrap();
+        let rep = quantum_weighted(&g, 0, Objective::Diameter, &p, &cfg(&g), &mut rng).unwrap();
         assert!(rep.t0 > 0 && rep.t1 > 0 && rep.t2 > 0);
         let inner = PhaseCosts {
             t0: rep.t0,
@@ -524,7 +516,7 @@ mod tests {
         let g = generators::erdos_renyi_connected(11, 0.3, 4, &mut rng);
         let p = small_params(&g);
         let set = vec![0, 3, 6, 9];
-        let (dist, reference, stats) = validate_set(&g, 0, &set, &p, cfg(&g), &mut rng).unwrap();
+        let (dist, reference, stats) = validate_set(&g, 0, &set, &p, &cfg(&g), &mut rng).unwrap();
         for (a, b) in dist.iter().zip(&reference) {
             assert!((a - b).abs() < 1e-9, "{a} vs {b}");
         }
@@ -553,11 +545,11 @@ mod tests {
         };
         let p = small_params(&g);
         let mut rng = ChaCha8Rng::seed_from_u64(78);
-        let clean = quantum_weighted(&g, 0, Objective::Diameter, &p, cfg(&g), &mut rng).unwrap();
+        let clean = quantum_weighted(&g, 0, Objective::Diameter, &p, &cfg(&g), &mut rng).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(78);
         let faulted_cfg = cfg(&g).with_faults(congest_sim::FaultPlan::new(123));
         let zeroed =
-            quantum_weighted(&g, 0, Objective::Diameter, &p, faulted_cfg, &mut rng).unwrap();
+            quantum_weighted(&g, 0, Objective::Diameter, &p, &faulted_cfg, &mut rng).unwrap();
         assert!(clean.confidence.is_guaranteed());
         assert!(zeroed.confidence.is_guaranteed());
         assert_eq!(clean.estimate, zeroed.estimate);
@@ -574,7 +566,7 @@ mod tests {
         let g = WeightedGraph::from_edges(4, [(0, 1, 1), (2, 3, 1)]).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(76);
         let p = WdrParams::for_benchmarks(4, 1, 0.5);
-        let _ = quantum_weighted(&g, 0, Objective::Diameter, &p, cfg(&g), &mut rng);
+        let _ = quantum_weighted(&g, 0, Objective::Diameter, &p, &cfg(&g), &mut rng);
     }
 }
 
@@ -621,7 +613,7 @@ pub fn quantum_weighted_min_branch<R: Rng + ?Sized>(
     leader: NodeId,
     objective: Objective,
     params: &WdrParams,
-    config: SimConfig,
+    config: &SimConfig,
     rng: &mut R,
 ) -> Result<MinBranchReport, SimError> {
     let d = metrics::unweighted_diameter(g).max(1);
@@ -670,8 +662,8 @@ mod min_branch_tests {
         let g = generators::path(20, 3);
         let p = WdrParams::for_benchmarks(20, 19, 0.5);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let rep =
-            quantum_weighted_min_branch(&g, 0, Objective::Diameter, &p, cfg(&g), &mut rng).unwrap();
+        let rep = quantum_weighted_min_branch(&g, 0, Objective::Diameter, &p, &cfg(&g), &mut rng)
+            .unwrap();
         assert_eq!(rep.branch, Branch::ClassicalApsp);
         assert_eq!(rep.estimate, 57.0);
         assert_eq!(rep.estimate, rep.exact);
@@ -688,7 +680,7 @@ mod min_branch_tests {
         p.ell = 30;
         p.r = 6.0;
         let rep =
-            quantum_weighted_min_branch(&g, 0, Objective::Radius, &p, cfg(&g), &mut rng).unwrap();
+            quantum_weighted_min_branch(&g, 0, Objective::Radius, &p, &cfg(&g), &mut rng).unwrap();
         assert_eq!(rep.branch, Branch::Quantum);
         assert!(rep.estimate >= rep.exact - 1e-9);
     }

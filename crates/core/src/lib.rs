@@ -32,7 +32,7 @@
 //! params.ell = g.n(); // generous hop budget on a tiny test graph
 //! params.r = 4.0;
 //! let cfg = SimConfig::standard(g.n(), g.max_weight()).with_max_rounds(100_000_000);
-//! let report = quantum_weighted(&g, 0, Objective::Diameter, &params, cfg, &mut rng)?;
+//! let report = quantum_weighted(&g, 0, Objective::Diameter, &params, &cfg, &mut rng)?;
 //! assert!(report.estimate <= (1.0 + params.eps).powi(2) * report.exact + 1e-6);
 //! # Ok::<(), congest_sim::SimError>(())
 //! ```

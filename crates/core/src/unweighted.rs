@@ -56,7 +56,7 @@ pub fn quantum_unweighted<R: Rng + ?Sized>(
     leader: NodeId,
     objective: Objective,
     delta: f64,
-    config: SimConfig,
+    config: &SimConfig,
     rng: &mut R,
 ) -> Result<UnweightedReport, SimError> {
     assert!(g.n() >= 2, "need at least two nodes");
@@ -80,11 +80,11 @@ pub fn quantum_unweighted<R: Rng + ?Sized>(
     // Measure the distributed costs once: Evaluation = BFS flood from a
     // representative node + convergecast of the max depth; Setup = one
     // broadcast down the leader's BFS tree.
-    let (tree, tree_stats) = primitives::bfs_tree(&u, leader, config.clone())?;
+    let (tree, tree_stats) = primitives::bfs_tree(&u, leader, config)?;
     let depth = tree.iter().map(|t| t.depth).max().unwrap_or(0);
     let t_setup = depth + 1;
     let rep = n / 2;
-    let (rep_tree, rep_stats) = primitives::bfs_tree(&u, rep, config.clone())?;
+    let (rep_tree, rep_stats) = primitives::bfs_tree(&u, rep, config)?;
     let depths: Vec<u128> = rep_tree.iter().map(|t| t.depth as u128).collect();
     let (rep_ecc, cc_stats) = primitives::converge_cast(
         &u,
@@ -147,7 +147,7 @@ mod tests {
         for _ in 0..10 {
             let g = generators::erdos_renyi_connected(24, 0.12, 5, &mut rng);
             let rep =
-                quantum_unweighted(&g, 0, Objective::Diameter, 0.05, cfg(&g), &mut rng).unwrap();
+                quantum_unweighted(&g, 0, Objective::Diameter, 0.05, &cfg(&g), &mut rng).unwrap();
             assert!(rep.estimate <= rep.exact);
             if rep.estimate == rep.exact {
                 hits += 1;
@@ -163,7 +163,7 @@ mod tests {
         for _ in 0..10 {
             let g = generators::erdos_renyi_connected(20, 0.15, 3, &mut rng);
             let rep =
-                quantum_unweighted(&g, 0, Objective::Radius, 0.05, cfg(&g), &mut rng).unwrap();
+                quantum_unweighted(&g, 0, Objective::Radius, 0.05, &cfg(&g), &mut rng).unwrap();
             assert!(rep.estimate >= rep.exact);
             if rep.estimate == rep.exact {
                 hits += 1;
@@ -179,13 +179,13 @@ mod tests {
         // n grows.
         let small = {
             let g = generators::erdos_renyi_connected(20, 0.5, 1, &mut rng);
-            quantum_unweighted(&g, 0, Objective::Diameter, 0.1, cfg(&g), &mut rng)
+            quantum_unweighted(&g, 0, Objective::Diameter, 0.1, &cfg(&g), &mut rng)
                 .unwrap()
                 .t_eval
         };
         let large = {
             let g = generators::erdos_renyi_connected(60, 0.5, 1, &mut rng);
-            quantum_unweighted(&g, 0, Objective::Diameter, 0.1, cfg(&g), &mut rng)
+            quantum_unweighted(&g, 0, Objective::Diameter, 0.1, &cfg(&g), &mut rng)
                 .unwrap()
                 .t_eval
         };
@@ -202,7 +202,7 @@ mod tests {
             let mut sum = 0usize;
             for _ in 0..5 {
                 let g = generators::erdos_renyi_connected(n, 0.4, 1, rng);
-                sum += quantum_unweighted(&g, 0, Objective::Diameter, 0.1, cfg(&g), rng)
+                sum += quantum_unweighted(&g, 0, Objective::Diameter, 0.1, &cfg(&g), rng)
                     .unwrap()
                     .total_rounds;
             }

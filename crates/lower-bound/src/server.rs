@@ -159,7 +159,7 @@ mod tests {
         let root = g.layout.id(GadgetNode::Tree { depth: 0, j: 1 });
         let limit = ((1u64 << dims.h) / 2).saturating_sub(1).max(1);
         let cfg = SimConfig::standard(u.n(), 1).with_message_log();
-        let (_, stats) = bounded_distance_sssp(&u, root, root, limit, cfg).unwrap();
+        let (_, stats) = bounded_distance_sssp(&u, root, root, limit, &cfg).unwrap();
         let report = simulate_transcript(&g.layout, &stats.message_log);
         for (i, &c) in report.per_round.iter().enumerate() {
             assert!(
@@ -185,7 +185,7 @@ mod tests {
         let root = g.layout.id(GadgetNode::Tree { depth: 0, j: 1 });
         // Depth-2 flood: the frontier stays well inside the tree.
         let cfg = SimConfig::standard(u.n(), 1).with_message_log();
-        let (_, stats) = bounded_distance_sssp(&u, root, root, 2, cfg).unwrap();
+        let (_, stats) = bounded_distance_sssp(&u, root, root, 2, &cfg).unwrap();
         let report = simulate_transcript(&g.layout, &stats.message_log);
         assert_eq!(
             report.cost.messages, 0,

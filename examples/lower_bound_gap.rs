@@ -57,7 +57,7 @@ fn main() {
     let root = g.layout.id(GadgetNode::Tree { depth: 0, j: 1 });
     let cfg = SimConfig::standard(u.n(), 1).with_message_log();
     let limit = ((1u64 << dims.h) / 2).saturating_sub(2).max(1);
-    let (_, stats) = bounded_distance_sssp(&u, root, root, limit, cfg).expect("sim ok");
+    let (_, stats) = bounded_distance_sssp(&u, root, root, limit, &cfg).expect("sim ok");
     let report = simulate_transcript(&g.layout, &stats.message_log);
     println!(
         "\nLemma 4.1 simulation of a {}-round protocol on the gadget (n = {}):",

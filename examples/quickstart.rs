@@ -40,7 +40,7 @@ fn main() -> Result<(), SimError> {
     );
 
     for objective in [Objective::Diameter, Objective::Radius] {
-        let report = quantum_weighted(&g, 0, objective, &params, cfg.clone(), &mut rng)?;
+        let report = quantum_weighted(&g, 0, objective, &params, &cfg, &mut rng)?;
         let name = match objective {
             Objective::Diameter => "diameter",
             Objective::Radius => "radius",
@@ -73,7 +73,7 @@ fn main() -> Result<(), SimError> {
     }
 
     // The classical Θ̃(n) reference: exact APSP + convergecast.
-    let (d_exact, r_exact, stats) = diameter_radius_exact(&g, 0, cfg, WeightMode::Weighted)?;
+    let (d_exact, r_exact, stats) = diameter_radius_exact(&g, 0, &cfg, WeightMode::Weighted)?;
     println!(
         "\nclassical exact baseline: D = {d_exact}, R = {r_exact}, rounds = {}",
         stats.rounds

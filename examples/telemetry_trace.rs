@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = SimConfig::standard(g.n(), g.max_weight())
         .with_telemetry(Telemetry::new(collector.clone()))
         .with_channel_profile();
-    let res = three_halves_diameter(&g, 0, cfg, &mut rng)?;
+    let res = three_halves_diameter(&g, 0, &cfg, &mut rng)?;
     println!(
         "3/2-approx diameter estimate: {} in {} rounds\n",
         res.diameter_estimate, res.stats.rounds
@@ -60,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = SimConfig::standard(g.n(), g.max_weight())
         .with_telemetry(telemetry.clone())
         .with_channel_profile();
-    three_halves_diameter(&g, 0, cfg, &mut rng)?;
+    three_halves_diameter(&g, 0, &cfg, &mut rng)?;
     telemetry.flush();
     println!("\ntrace written to {}", path.display());
     Ok(())

@@ -24,14 +24,14 @@ fn main() -> Result<(), SimError> {
         let d = metrics::unweighted_diameter(&g);
         let cfg = SimConfig::standard(n, g.max_weight()).with_max_rounds(500_000_000);
 
-        let uw = quantum_unweighted(&g, 0, Objective::Diameter, 0.05, cfg.clone(), &mut rng)?;
+        let uw = quantum_unweighted(&g, 0, Objective::Diameter, 0.05, &cfg, &mut rng)?;
         assert_eq!(uw.estimate, uw.exact, "unweighted evaluation is exact");
 
         let mut params = WdrParams::for_benchmarks(n, d, 0.25);
         params.ell = params.ell.min(4 * n);
-        let qw = quantum_weighted(&g, 0, Objective::Diameter, &params, cfg.clone(), &mut rng)?;
+        let qw = quantum_weighted(&g, 0, Objective::Diameter, &params, &cfg, &mut rng)?;
 
-        let (_, _, cl) = diameter_radius_exact(&g, 0, cfg, WeightMode::Weighted)?;
+        let (_, _, cl) = diameter_radius_exact(&g, 0, &cfg, WeightMode::Weighted)?;
 
         println!(
             "{:>5} {:>4} | {:>14} {:>14} {:>14} | {:>10.0} {:>10.0}",

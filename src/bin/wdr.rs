@@ -157,7 +157,7 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
         "quantum" => {
             let d = metrics::unweighted_diameter(&g).max(1);
             let params = WdrParams::for_benchmarks(g.n(), d, eps);
-            let rep = quantum_weighted(&g, leader, objective, &params, cfg, &mut rng)
+            let rep = quantum_weighted(&g, leader, objective, &params, &cfg, &mut rng)
                 .map_err(|e| e.to_string())?;
             println!("method          : quantum (Wu–Yao Theorem 1.1)");
             println!("{what} estimate : {:.1}", rep.estimate);
@@ -172,7 +172,7 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
             );
         }
         "exact" => {
-            let (d, r, stats) = diameter_radius_exact(&g, leader, cfg, WeightMode::Weighted)
+            let (d, r, stats) = diameter_radius_exact(&g, leader, &cfg, WeightMode::Weighted)
                 .map_err(|e| e.to_string())?;
             println!("method          : classical exact APSP");
             println!("{what}          : {}", if radius { r } else { d });
@@ -180,14 +180,14 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
         }
         "two-approx" => {
             let (d, r, stats) =
-                two_approx_diameter_radius(&g, leader, cfg).map_err(|e| e.to_string())?;
+                two_approx_diameter_radius(&g, leader, &cfg).map_err(|e| e.to_string())?;
             println!("method          : classical 2-approximation (single SSSP)");
             println!("{what} estimate : {}", if radius { r } else { d });
             println!("rounds          : {}", stats.rounds);
         }
         "three-halves" => {
             let res =
-                three_halves_diameter(&g, leader, cfg, &mut rng).map_err(|e| e.to_string())?;
+                three_halves_diameter(&g, leader, &cfg, &mut rng).map_err(|e| e.to_string())?;
             println!("method          : classical 3/2-approximation (unweighted)");
             let est = if radius {
                 res.radius_estimate
@@ -219,7 +219,7 @@ fn cmd_sssp(args: &[String]) -> Result<(), String> {
     let seed: u64 = parse_flag(args, "--seed", 7)?;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let cfg = SimConfig::standard(g.n(), g.max_weight()).with_max_rounds(2_000_000_000);
-    let res = congest_algos::sssp::approx_sssp(&g, 0, source, eps, cfg, &mut rng)
+    let res = congest_algos::sssp::approx_sssp(&g, 0, source, eps, &cfg, &mut rng)
         .map_err(|e| e.to_string())?;
     println!(
         "# (1+ε)²-approximate distances from {source} (ε = {eps}); rounds = {}",

@@ -27,7 +27,7 @@
 //! params.ell = g.n();
 //! params.r = 4.0;
 //! let cfg = SimConfig::standard(g.n(), g.max_weight()).with_max_rounds(100_000_000);
-//! let report = quantum_weighted(&g, 0, Objective::Diameter, &params, cfg, &mut rng)?;
+//! let report = quantum_weighted(&g, 0, Objective::Diameter, &params, &cfg, &mut rng)?;
 //! assert!(report.estimate >= report.exact - 1e-9 || report.estimate > 0.0);
 //! # Ok::<(), congest_sim::SimError>(())
 //! ```

@@ -43,7 +43,7 @@ fn theorem_1_1_diameter_guarantee_across_families() {
     for (name, g) in families(1) {
         let p = params_for(&g);
         let mut rng = ChaCha8Rng::seed_from_u64(100);
-        let rep = quantum_weighted(&g, 0, Objective::Diameter, &p, cfg(&g), &mut rng)
+        let rep = quantum_weighted(&g, 0, Objective::Diameter, &p, &cfg(&g), &mut rng)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         let cap = (1.0 + p.eps) * (1.0 + p.eps) * rep.exact + 1e-6;
         assert!(
@@ -60,7 +60,7 @@ fn theorem_1_1_radius_guarantee_across_families() {
     for (name, g) in families(2) {
         let p = params_for(&g);
         let mut rng = ChaCha8Rng::seed_from_u64(200);
-        let rep = quantum_weighted(&g, 0, Objective::Radius, &p, cfg(&g), &mut rng)
+        let rep = quantum_weighted(&g, 0, Objective::Radius, &p, &cfg(&g), &mut rng)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(
             rep.estimate >= rep.exact - 1e-6,
@@ -76,7 +76,7 @@ fn round_accounting_is_reconstructible() {
     let (_, g) = families(3).remove(0);
     let p = params_for(&g);
     let mut rng = ChaCha8Rng::seed_from_u64(300);
-    let rep = quantum_weighted(&g, 0, Objective::Diameter, &p, cfg(&g), &mut rng).unwrap();
+    let rep = quantum_weighted(&g, 0, Objective::Diameter, &p, &cfg(&g), &mut rng).unwrap();
     let inner = PhaseCosts {
         t0: rep.t0,
         t_setup: rep.t1,
@@ -100,12 +100,12 @@ fn quantum_and_classical_agree_on_the_answer() {
     let mut rng = ChaCha8Rng::seed_from_u64(4);
     let g = generators::erdos_renyi_connected(12, 0.3, 8, &mut rng);
     let (d_exact, r_exact, _) =
-        diameter_radius_exact(&g, 0, cfg(&g), WeightMode::Weighted).unwrap();
+        diameter_radius_exact(&g, 0, &cfg(&g), WeightMode::Weighted).unwrap();
     let p = params_for(&g);
-    let rep = quantum_weighted(&g, 0, Objective::Diameter, &p, cfg(&g), &mut rng).unwrap();
+    let rep = quantum_weighted(&g, 0, Objective::Diameter, &p, &cfg(&g), &mut rng).unwrap();
     assert_eq!(rep.exact, d_exact.as_f64());
     assert!(rep.estimate <= 2.25 * d_exact.as_f64() + 1e-6);
-    let rep = quantum_weighted(&g, 0, Objective::Radius, &p, cfg(&g), &mut rng).unwrap();
+    let rep = quantum_weighted(&g, 0, Objective::Radius, &p, &cfg(&g), &mut rng).unwrap();
     assert_eq!(rep.exact, r_exact.as_f64());
 }
 
@@ -119,7 +119,7 @@ fn repeated_runs_mostly_hit_the_lower_side() {
     let mut hits = 0;
     for seed in 0..8 {
         let mut rng = ChaCha8Rng::seed_from_u64(1000 + seed);
-        let rep = quantum_weighted(&g, 0, Objective::Diameter, &p, cfg(&g), &mut rng).unwrap();
+        let rep = quantum_weighted(&g, 0, Objective::Diameter, &p, &cfg(&g), &mut rng).unwrap();
         if rep.estimate >= rep.exact - 1e-6 {
             hits += 1;
         }
@@ -134,7 +134,8 @@ fn leader_choice_does_not_change_estimates_validity() {
     let p = params_for(&g);
     for leader in [0usize, 7, 15] {
         let mut rng = ChaCha8Rng::seed_from_u64(42);
-        let rep = quantum_weighted(&g, leader, Objective::Diameter, &p, cfg(&g), &mut rng).unwrap();
+        let rep =
+            quantum_weighted(&g, leader, Objective::Diameter, &p, &cfg(&g), &mut rng).unwrap();
         assert!(rep.estimate <= 2.25 * rep.exact + 1e-6, "leader {leader}");
     }
 }

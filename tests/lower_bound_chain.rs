@@ -32,7 +32,7 @@ fn full_diameter_reduction_decides_f() {
         let g = diameter_gadget(&dims, &x, &y, alpha, beta);
         let cfg =
             SimConfig::standard(g.graph.n(), g.graph.max_weight()).with_max_rounds(50_000_000);
-        let (d, _, _) = diameter_radius_exact(&g.graph, 0, cfg, WeightMode::Weighted).unwrap();
+        let (d, _, _) = diameter_radius_exact(&g.graph, 0, &cfg, WeightMode::Weighted).unwrap();
         // Any approximation in [D, 1.4·D] decides the same way.
         let approx = 1.4 * d.as_f64();
         assert_eq!(
@@ -79,7 +79,7 @@ fn lemma_4_1_on_a_real_distance_protocol() {
     let limit = (1u64 << dims.h) / 2 - 2; // padded rounds = limit + 1 < 2^h/2
     let cfg = SimConfig::standard(u.n(), 1).with_message_log();
     let (_, stats) =
-        congest_algos::bounded_sssp::bounded_distance_sssp(&u, src, src, limit, cfg).unwrap();
+        congest_algos::bounded_sssp::bounded_distance_sssp(&u, src, src, limit, &cfg).unwrap();
     let report = simulate_transcript(&g.layout, &stats.message_log);
     assert!(report.within_horizon, "T must stay below 2^h/2");
     for (i, &c) in report.per_round.iter().enumerate() {

@@ -29,7 +29,7 @@ fn algorithm_1_agrees_on_random_instances() {
         let g = generators::erdos_renyi_connected(n, 0.3, 5, &mut rng);
         let scheme = RoundingScheme::new(n / 2, 0.5);
         let s = trial % n;
-        let (got, _) = bounded_hop_sssp(&g, 0, s, scheme, cfg(&g)).unwrap();
+        let (got, _) = bounded_hop_sssp(&g, 0, s, scheme, &cfg(&g)).unwrap();
         let want = approx_hop_bounded(&g, s, scheme);
         for v in g.nodes() {
             assert!(
@@ -48,7 +48,7 @@ fn algorithm_3_agrees_with_per_source_reference() {
     let g = generators::cluster_ring(16, 4, 4, &mut rng);
     let scheme = RoundingScheme::new(8, 0.5);
     let sources = vec![1, 5, 9, 13];
-    let res = multi_source_bounded_hop(&g, 0, &sources, scheme, cfg(&g), &mut rng).unwrap();
+    let res = multi_source_bounded_hop(&g, 0, &sources, scheme, &cfg(&g), &mut rng).unwrap();
     assert!(!res.failed);
     for (j, &s) in sources.iter().enumerate() {
         let want = approx_hop_bounded(&g, s, scheme);
@@ -80,7 +80,7 @@ fn algorithm_4_reconstructs_reference_overlays() {
         }
         let scheme = RoundingScheme::new(g.n(), 0.5);
         let k = 2;
-        let emb = embed_overlay(&g, 0, &skeleton, scheme, k, cfg(&g), &mut rng).unwrap();
+        let emb = embed_overlay(&g, 0, &skeleton, scheme, k, &cfg(&g), &mut rng).unwrap();
         let reference = Overlay::from_skeleton(&g, &emb.skeleton, scheme).shortcut(k);
         for i in 0..emb.skeleton.len() {
             for j in 0..emb.skeleton.len() {
@@ -100,10 +100,10 @@ fn full_pipeline_eccentricities_agree() {
     let skeleton = vec![0, 4, 8, 12];
     let scheme = RoundingScheme::new(g.n(), 0.5);
     let k = 2;
-    let st = SkeletonState::initialize(&g, 0, &skeleton, scheme, k, cfg(&g), &mut rng).unwrap();
+    let st = SkeletonState::initialize(&g, 0, &skeleton, scheme, k, &cfg(&g), &mut rng).unwrap();
     let sd = SkeletonDistances::compute(&g, &skeleton, scheme, k);
     for &s in &skeleton {
-        let (got, stats) = st.eccentricity(&g, s, cfg(&g)).unwrap();
+        let (got, stats) = st.eccentricity(&g, s, &cfg(&g)).unwrap();
         assert!(close(got, sd.approx_eccentricity(s)), "ẽ({s})");
         assert!(stats.rounds > 0);
     }
@@ -120,9 +120,9 @@ fn lemma_3_5_phase_costs_are_parameter_oblivious() {
     let sets = [vec![0usize, 4, 8, 12], vec![1usize, 5, 9, 13]];
     let mut costs = Vec::new();
     for set in &sets {
-        let st = SkeletonState::initialize(&g, 0, set, scheme, 2, cfg(&g), &mut rng).unwrap();
+        let st = SkeletonState::initialize(&g, 0, set, scheme, 2, &cfg(&g), &mut rng).unwrap();
         let t0 = st.init_stats().rounds;
-        let (_, s1) = st.setup_data(&g, set[1], cfg(&g)).unwrap();
+        let (_, s1) = st.setup_data(&g, set[1], &cfg(&g)).unwrap();
         costs.push((t0, s1.rounds));
     }
     let (t0a, t1a) = costs[0];

@@ -84,12 +84,14 @@ impl Bencher {
 /// The benchmark registry/driver.
 pub struct Criterion {
     measurement_time: Duration,
+    last_measurement: Option<Duration>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         Criterion {
             measurement_time: Duration::from_millis(300),
+            last_measurement: None,
         }
     }
 }
@@ -115,7 +117,15 @@ impl Criterion {
             Some(per_iter) => println!("{id:<40} {per_iter:>12.2?}/iter"),
             None => println!("{id:<40} (no measurement recorded)"),
         }
+        self.last_measurement = bencher.elapsed_per_iter;
         self
+    }
+
+    /// Mean per-iteration time of the most recent [`Criterion::bench_function`]
+    /// run, for harnesses that post-process measurements (upstream exposes
+    /// this through its JSON reports; the stand-in returns it directly).
+    pub fn last_measurement(&self) -> Option<Duration> {
+        self.last_measurement
     }
 }
 

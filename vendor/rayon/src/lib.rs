@@ -1,0 +1,443 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) data
+//! parallelism crate, exposing the API slice this workspace uses:
+//! [`scope`] / [`Scope::spawn`], [`ThreadPoolBuilder`] /
+//! [`ThreadPool::install`], and [`current_num_threads`].
+//!
+//! Instead of upstream's work-stealing deques, this stand-in keeps one
+//! persistent pool of worker threads parked on a shared FIFO queue; a
+//! [`scope`] pushes its spawned closures onto the queue, helps drain it from
+//! the calling thread, and blocks until every closure it spawned has
+//! finished. That is all the `congest-sim` parallel round engine needs: it
+//! fans one job per contiguous node-chunk out per round and joins before the
+//! merge phase.
+//!
+//! Thread count resolution order: the innermost [`ThreadPool::install`]
+//! scope, else the `RAYON_NUM_THREADS` environment variable, else
+//! [`std::thread::available_parallelism`].
+//!
+//! # Safety
+//!
+//! This crate contains one `unsafe` block: the lifetime erasure that moves a
+//! `'scope`-borrowing closure onto the persistent pool. It is sound because
+//! [`scope`] does not return — even when the scope body or a spawned job
+//! panics — before every job spawned on it has run to completion, so the
+//! borrows a job captures strictly outlive its execution. This is the same
+//! contract `std::thread::scope` enforces; see the comment at the transmute.
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A type-erased, queue-ready unit of work.
+type Job = Box<dyn FnOnce() + Send>;
+
+/// State shared between a pool's workers and the threads scheduling onto it.
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    job_ready: Condvar,
+    shutdown: AtomicBool,
+    threads: usize,
+}
+
+impl Shared {
+    fn push(&self, job: Job) {
+        self.queue
+            .lock()
+            .expect("pool queue poisoned")
+            .push_back(job);
+        self.job_ready.notify_one();
+    }
+
+    /// Pops one queued job without blocking.
+    fn try_pop(&self) -> Option<Job> {
+        self.queue.lock().expect("pool queue poisoned").pop_front()
+    }
+}
+
+fn spawn_workers(shared: &Arc<Shared>) {
+    for i in 0..shared.threads {
+        let shared = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name(format!("rayon-worker-{i}"))
+            .spawn(move || worker_loop(&shared))
+            .expect("spawn pool worker");
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                match queue.pop_front() {
+                    Some(job) => break job,
+                    None => queue = shared.job_ready.wait(queue).expect("pool queue poisoned"),
+                }
+            }
+        };
+        // A panicking job already routed its payload through the scope latch
+        // (see `Scope::spawn`); nothing escapes into the worker loop.
+        job();
+    }
+}
+
+fn default_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+fn build_shared(threads: usize) -> Arc<Shared> {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        job_ready: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        threads,
+    });
+    spawn_workers(&shared);
+    shared
+}
+
+static GLOBAL: OnceLock<Arc<Shared>> = OnceLock::new();
+
+thread_local! {
+    /// Stack of pools entered via [`ThreadPool::install`] on this thread.
+    static INSTALLED: RefCell<Vec<Arc<Shared>>> = const { RefCell::new(Vec::new()) };
+}
+
+fn current_shared() -> Arc<Shared> {
+    INSTALLED
+        .with(|stack| stack.borrow().last().cloned())
+        .unwrap_or_else(|| Arc::clone(GLOBAL.get_or_init(|| build_shared(default_threads()))))
+}
+
+/// The number of threads in the pool [`scope`] would currently schedule on.
+pub fn current_num_threads() -> usize {
+    current_shared().threads
+}
+
+/// Completion latch of one [`scope`]: counts in-flight jobs and holds the
+/// first panic payload any of them raised.
+struct ScopeLatch {
+    pending: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl ScopeLatch {
+    fn new() -> ScopeLatch {
+        ScopeLatch {
+            pending: Mutex::new(0),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn increment(&self) {
+        *self.pending.lock().expect("scope latch poisoned") += 1;
+    }
+
+    fn decrement(&self) {
+        let mut pending = self.pending.lock().expect("scope latch poisoned");
+        *pending -= 1;
+        if *pending == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut pending = self.pending.lock().expect("scope latch poisoned");
+        while *pending > 0 {
+            pending = self.done.wait(pending).expect("scope latch poisoned");
+        }
+    }
+}
+
+/// Handle for spawning borrowing tasks inside a [`scope`] call.
+pub struct Scope<'scope> {
+    shared: Arc<Shared>,
+    latch: Arc<ScopeLatch>,
+    /// Invariant over `'scope`, like `std::thread::Scope`.
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Schedules `f` on the pool; it may borrow anything that outlives the
+    /// enclosing [`scope`] call, which joins it before returning.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.latch.increment();
+        let latch = Arc::clone(&self.latch);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                let mut slot = latch.panic.lock().expect("scope latch poisoned");
+                slot.get_or_insert(payload);
+            }
+            latch.decrement();
+        });
+        // SAFETY: `scope` drains the queue and waits on the latch before
+        // returning — on the success path, and on the panic path via its
+        // catch/rethrow — so this job finishes (or never starts and is
+        // dropped by the same `scope` call, which holds the only queue it
+        // was pushed to alive) before any `'scope` borrow it captures
+        // expires. Erasing the lifetime to park it on the 'static pool
+        // queue is therefore sound.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(job)
+        };
+        self.shared.push(job);
+    }
+}
+
+/// Runs `body` with a [`Scope`] for spawning borrowing tasks onto the
+/// current pool, then blocks until every spawned task has finished.
+///
+/// The calling thread helps drain the queue while it waits, so a pool is
+/// never deadlocked by scheduling from within it (and a 1-thread pool still
+/// makes progress even while its worker is busy).
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `body` or by any spawned task —
+/// after all tasks have completed.
+pub fn scope<'scope, F, R>(body: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    let scope = Scope {
+        shared: current_shared(),
+        latch: Arc::new(ScopeLatch::new()),
+        _marker: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| body(&scope)));
+    // Help run queued jobs (ours or a sibling scope's — either is correct)
+    // until the queue drains, then wait out jobs still running on workers.
+    while let Some(job) = scope.shared.try_pop() {
+        job();
+    }
+    scope.latch.wait();
+    let panicked = scope
+        .latch
+        .panic
+        .lock()
+        .expect("scope latch poisoned")
+        .take();
+    match (result, panicked) {
+        (Ok(value), None) => value,
+        (Err(payload), _) | (Ok(_), Some(payload)) => resume_unwind(payload),
+    }
+}
+
+/// Error building a [`ThreadPool`] (never produced by this stand-in; the
+/// type exists for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a dedicated [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings (thread count auto-detected).
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the worker count; `0` (the default) auto-detects.
+    pub fn num_threads(mut self, num_threads: usize) -> ThreadPoolBuilder {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool, spawning its workers immediately.
+    ///
+    /// # Errors
+    ///
+    /// Infallible in this stand-in; the `Result` mirrors upstream.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool {
+            shared: build_shared(threads),
+        })
+    }
+}
+
+/// A dedicated pool of worker threads; see [`ThreadPool::install`].
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+}
+
+impl fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.shared.threads)
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// Runs `op` with this pool as the ambient pool: [`scope`] calls made
+    /// during `op` (on this thread) schedule their jobs here.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        INSTALLED.with(|stack| stack.borrow_mut().push(Arc::clone(&self.shared)));
+        // Pop on every exit path, including unwinding out of `op`.
+        struct PopGuard;
+        impl Drop for PopGuard {
+            fn drop(&mut self) {
+                INSTALLED.with(|stack| {
+                    stack.borrow_mut().pop();
+                });
+            }
+        }
+        let _guard = PopGuard;
+        op()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.job_ready.notify_all();
+        // Workers exit their loop at the next wakeup; jobs already queued on
+        // a dropped pool can only exist if a scope is still waiting on them,
+        // which holds the pool alive — so nothing is abandoned.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn scope_joins_all_spawns() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn scope_spawns_can_borrow_and_mutate_disjoint_chunks() {
+        let mut data = vec![0u64; 1000];
+        scope(|s| {
+            for chunk in data.chunks_mut(100) {
+                s.spawn(move || {
+                    for x in chunk {
+                        *x += 1;
+                    }
+                });
+            }
+        });
+        assert!(data.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 3);
+        // Outside the install the ambient pool is back in charge.
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn install_pool_runs_scope_jobs() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let total = AtomicUsize::new(0);
+        pool.install(|| {
+            scope(|s| {
+                for i in 0..10 {
+                    let total = &total;
+                    s.spawn(move || {
+                        total.fetch_add(i, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn spawned_panic_propagates_after_join() {
+        let finished = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            scope(|s| {
+                s.spawn(|| panic!("boom"));
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        finished.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "scope rethrows the job panic");
+        assert_eq!(
+            finished.load(Ordering::Relaxed),
+            8,
+            "all sibling jobs still ran to completion"
+        );
+    }
+
+    #[test]
+    fn one_thread_pool_makes_progress() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let counter = AtomicUsize::new(0);
+        pool.install(|| {
+            scope(|s| {
+                for _ in 0..16 {
+                    s.spawn(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+}
