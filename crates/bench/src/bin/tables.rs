@@ -62,6 +62,10 @@ fn main() {
         eprintln!("[tables] running E8…");
         outputs.push(experiments::e8(quick, &out_dir));
     }
+    if run("e9") {
+        eprintln!("[tables] running E9…");
+        outputs.push(experiments::e9(quick, &out_dir));
+    }
     if run("f") || run("figures") {
         eprintln!("[tables] running F1–F4…");
         outputs.push(experiments::figures(&out_dir.join("figures")));

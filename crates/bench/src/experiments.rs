@@ -253,10 +253,12 @@ pub fn e4(quick: bool) -> ExperimentOutput {
             .expect("simulation succeeds");
         let (du, ru, st_u) = diameter_radius_exact(&g, 0, &cfg(&g), WeightMode::Unweighted)
             .expect("simulation succeeds");
-        assert_eq!(dw, metrics::diameter(&g));
-        assert_eq!(rw, metrics::radius(&g));
-        assert_eq!(du, metrics::diameter(&g.unweighted_view()));
-        assert_eq!(ru, metrics::radius(&g.unweighted_view()));
+        let exact_w = metrics::extremes(&g);
+        let exact_u = metrics::unweighted_extremes(&g);
+        assert_eq!(dw, exact_w.diameter);
+        assert_eq!(rw, exact_w.radius);
+        assert_eq!(du, exact_u.diameter);
+        assert_eq!(ru, exact_u.radius);
         let (d2, r2, st_2) =
             two_approx_diameter_radius(&g, 0, &cfg(&g)).expect("simulation succeeds");
         assert!(d2 >= dw && d2 <= dw.saturating_mul(2));
@@ -367,9 +369,9 @@ pub fn e5(quick: bool) -> ExperimentOutput {
     for n in sizes(quick) {
         let mut grng = ChaCha8Rng::seed_from_u64(8800 + n as u64);
         let g = generators::erdos_renyi_connected(n, 1.5 / n as f64, 1, &mut grng);
-        let u = g.unweighted_view();
-        let d = metrics::diameter(&u).expect_finite();
-        let r = metrics::radius(&u).expect_finite();
+        let exact = metrics::unweighted_extremes(&g);
+        let d = exact.diameter.expect_finite();
+        let r = exact.radius.expect_finite();
         let res = congest_algos::three_halves::three_halves_diameter(&g, 0, &cfg(&g), &mut grng)
             .expect("simulation succeeds");
         let d_ok = res.diameter_estimate <= d && 3 * res.diameter_estimate + 3 >= 2 * d;
@@ -595,8 +597,9 @@ pub fn e7(quick: bool) -> ExperimentOutput {
     let base_cfg = || SimConfig::standard(g.n(), g.max_weight()).with_max_rounds(100_000);
     let policy = ReliablePolicy::default();
 
+    let mut ws = congest_graph::SsspWorkspace::new();
     let clean = resilient_bfs(&g, 0, &base_cfg(), policy).expect("fault-free run succeeds");
-    let clean_report = DegradationReport::evaluate(&g, 0, &clean);
+    let clean_report = DegradationReport::evaluate_with(&g, 0, &clean, &mut ws);
     assert_eq!(clean_report.correct, g.n(), "fault-free baseline is exact");
     let baseline = clean.stats.rounds.max(1);
 
@@ -633,7 +636,7 @@ pub fn e7(quick: bool) -> ExperimentOutput {
             }
             let run = resilient_bfs(&g, 0, &base_cfg().with_faults(plan), policy)
                 .expect("faulty run terminates");
-            let report = DegradationReport::evaluate(&g, 0, &run);
+            let report = DegradationReport::evaluate_with(&g, 0, &run, &mut ws);
             let overhead = run.stats.rounds as f64 / baseline as f64;
             worst_overhead = worst_overhead.max(overhead);
             worst_quality = worst_quality.min(report.correct_fraction());
@@ -885,6 +888,197 @@ pub fn e8(quick: bool, out_dir: &std::path::Path) -> ExperimentOutput {
          reports {host_threads} (recorded as `host_threads` in \
          BENCH_step_engine.json; on a single-core host the parallel rows measure \
          scheduling overhead, not speedup). Parallel feature compiled: {}.",
+        cfg!(feature = "parallel"),
+    );
+    ExperimentOutput {
+        tables: vec![table],
+        artifacts: vec![path.display().to_string()],
+    }
+}
+
+/// One timed E9 configuration, serialized into `BENCH_metrics_kernels.json`.
+#[derive(Clone, Debug, serde::Serialize)]
+struct E9Row {
+    n: usize,
+    edges: usize,
+    density: String,
+    max_weight: u64,
+    kernel: String,
+    sweeps: usize,
+    sweep_fraction: f64,
+    secs_per_run: f64,
+    speedup_vs_brute: f64,
+}
+
+/// The machine-readable E9 report (`BENCH_metrics_kernels.json`).
+#[derive(Clone, Debug, serde::Serialize)]
+struct E9Report {
+    experiment: String,
+    host_threads: usize,
+    parallel_feature: bool,
+    rows: Vec<E9Row>,
+}
+
+/// Times one ground-truth kernel under the criterion loop and returns
+/// (mean seconds per run, the kernel's result).
+fn e9_time(
+    measurement: std::time::Duration,
+    mut kernel: impl FnMut() -> congest_graph::SweepResult,
+) -> (f64, congest_graph::SweepResult) {
+    let mut crit = criterion::Criterion::default().measurement_time(measurement);
+    let mut last = None;
+    crit.bench_function("e9", |b| b.iter(|| last = Some(kernel())));
+    let secs = crit
+        .last_measurement()
+        .expect("bench_function records a measurement")
+        .as_secs_f64();
+    (secs, last.expect("kernel ran at least once"))
+}
+
+/// E9: ground-truth kernel throughput — the seed's brute-force `n`-sweep
+/// extremes vs the pruned SumSweep computer (vs, with `--features
+/// parallel`, the rayon fan-out) across size/density/weight regimes.
+/// Writes `BENCH_metrics_kernels.json` under `out_dir`.
+pub fn e9(quick: bool, out_dir: &std::path::Path) -> ExperimentOutput {
+    use congest_graph::sweep::{self, EdgeMetric};
+    let host_threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+    let (ns, measurement) = if quick {
+        (vec![128, 256, 512], std::time::Duration::from_millis(40))
+    } else {
+        (
+            vec![128, 256, 512, 1024],
+            std::time::Duration::from_millis(250),
+        )
+    };
+    let n_max = *ns.last().expect("non-empty size sweep");
+    // Densities are average-degree multiples of ln n (connectivity scale);
+    // weights straddle the workspace's Dial/heap switchover at W = 128
+    // (deep buckets, the boundary, and the binary-heap regime). Uniform
+    // weights (W = 1) are deliberately absent: they make sparse ER graphs
+    // near-regular — every eccentricity within 1–2 of the rest — which is
+    // the documented worst case where bound pruning degrades toward the
+    // brute-force fallback (see `congest_graph::sweep`); the unweighted
+    // metric is covered by the equivalence proptests instead.
+    let densities = [("sparse", 2.0f64), ("dense", 6.0f64)];
+    let weights = [32u64, 128, 1024];
+    let mut table = Table::new(
+        "E9",
+        "Ground-truth kernel throughput: brute-force n sweeps vs pruned SumSweep",
+        &[
+            "n",
+            "edges",
+            "density",
+            "W",
+            "kernel",
+            "sweeps",
+            "sweep frac",
+            "time/run",
+            "speedup",
+        ],
+    );
+    let mut rows: Vec<E9Row> = Vec::new();
+    for &n in &ns {
+        for &(dname, mult) in &densities {
+            for &w in &weights {
+                let p = (mult * (n as f64).ln() / n as f64).min(1.0);
+                let mut rng = ChaCha8Rng::seed_from_u64(9900 + 17 * n as u64 + 3 * w + mult as u64);
+                let g = generators::erdos_renyi_connected(n, p, w, &mut rng);
+                let edges = g.m();
+                let (brute_secs, brute) = e9_time(measurement, || {
+                    sweep::brute_force_extremes(&g, EdgeMetric::Weighted)
+                });
+                let (ss_secs, ss) = e9_time(measurement, || sweep::extremes(&g));
+                assert_eq!(ss.diameter, brute.diameter, "diameter diverged at n={n}");
+                assert_eq!(ss.radius, brute.radius, "radius diverged at n={n}");
+                assert!(
+                    n < 512 || 4 * ss.sweeps <= n,
+                    "SumSweep needed {}/{n} sweeps on {dname} W={w} — pruning regressed",
+                    ss.sweeps
+                );
+                let speedup = brute_secs / ss_secs;
+                assert!(
+                    n < n_max || speedup >= 3.0,
+                    "SumSweep speedup {speedup:.1}× < 3× at n={n} {dname} W={w}"
+                );
+                rows.push(E9Row {
+                    n,
+                    edges,
+                    density: dname.into(),
+                    max_weight: w,
+                    kernel: "brute".into(),
+                    sweeps: brute.sweeps,
+                    sweep_fraction: 1.0,
+                    secs_per_run: brute_secs,
+                    speedup_vs_brute: 1.0,
+                });
+                rows.push(E9Row {
+                    n,
+                    edges,
+                    density: dname.into(),
+                    max_weight: w,
+                    kernel: "sumsweep".into(),
+                    sweeps: ss.sweeps,
+                    sweep_fraction: ss.sweeps as f64 / n as f64,
+                    secs_per_run: ss_secs,
+                    speedup_vs_brute: speedup,
+                });
+                #[cfg(feature = "parallel")]
+                {
+                    let (par_secs, par) = e9_time(measurement, || {
+                        sweep::par_brute_force_extremes(&g, EdgeMetric::Weighted)
+                    });
+                    assert_eq!(par, brute, "parallel kernel diverged at n={n}");
+                    rows.push(E9Row {
+                        n,
+                        edges,
+                        density: dname.into(),
+                        max_weight: w,
+                        kernel: "parallel-brute".into(),
+                        sweeps: par.sweeps,
+                        sweep_fraction: 1.0,
+                        secs_per_run: par_secs,
+                        speedup_vs_brute: brute_secs / par_secs,
+                    });
+                }
+            }
+        }
+    }
+    for r in &rows {
+        table.push(vec![
+            r.n.to_string(),
+            r.edges.to_string(),
+            r.density.clone(),
+            r.max_weight.to_string(),
+            r.kernel.clone(),
+            r.sweeps.to_string(),
+            format!("{:.3}", r.sweep_fraction),
+            format!("{:.2?}", std::time::Duration::from_secs_f64(r.secs_per_run)),
+            format!("{:.1}", r.speedup_vs_brute),
+        ]);
+    }
+    let report = E9Report {
+        experiment: "E9".into(),
+        host_threads,
+        parallel_feature: cfg!(feature = "parallel"),
+        rows,
+    };
+    std::fs::create_dir_all(out_dir).expect("create E9 output dir");
+    let path = out_dir.join("BENCH_metrics_kernels.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string(&report).expect("E9 report serializes"),
+    )
+    .expect("write BENCH_metrics_kernels.json");
+    table.commentary = format!(
+        "The ground-truth layer every experiment leans on. `brute` is the seed \
+         semantics (one Dijkstra per node, n sweeps); `sumsweep` answers the same \
+         four queries (D, R, both witnesses) from eccentricity bounds, certifying \
+         exactness after the listed sweep count — asserted equal to brute on every \
+         configuration, ≤ n/4 sweeps at n ≥ 512, and ≥ 3× faster at n = {n_max}. \
+         Weights straddle the Dial bucket-queue cutoff (W ≤ {}) so both SSSP inner \
+         kernels are exercised. Parallel rows (feature-compiled: {}) fan the brute \
+         sweeps over rayon with an index-ordered reduction, asserted bit-identical.",
+        congest_graph::DIAL_MAX_WEIGHT,
         cfg!(feature = "parallel"),
     );
     ExperimentOutput {
@@ -1264,6 +1458,7 @@ pub fn run_all(quick: bool, out_dir: &std::path::Path) -> Vec<ExperimentOutput> 
         e6(quick),
         e7(quick),
         e8(quick, out_dir),
+        e9(quick, out_dir),
         figures(out_dir),
         a1(),
         a2(quick),

@@ -165,8 +165,9 @@ pub fn weighted_apsp(
 /// let g = generators::path(8, 3);
 /// let cfg = SimConfig::standard(8, 3);
 /// let (d, r, _) = diameter_radius_exact(&g, 0, &cfg, WeightMode::Weighted)?;
-/// assert_eq!(d, metrics::diameter(&g));
-/// assert_eq!(r, metrics::radius(&g));
+/// let exact = metrics::extremes(&g);
+/// assert_eq!(d, exact.diameter);
+/// assert_eq!(r, exact.radius);
 /// # Ok::<(), congest_sim::SimError>(())
 /// ```
 pub fn diameter_radius_exact(
@@ -372,12 +373,13 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(44);
         let g = generators::erdos_renyi_connected(14, 0.2, 6, &mut rng);
         let (d, r, _) = diameter_radius_exact(&g, 0, &cfg(&g), WeightMode::Weighted).unwrap();
-        assert_eq!(d, metrics::diameter(&g));
-        assert_eq!(r, metrics::radius(&g));
+        let exact = metrics::extremes(&g);
+        assert_eq!(d, exact.diameter);
+        assert_eq!(r, exact.radius);
         let (d, r, _) = diameter_radius_exact(&g, 0, &cfg(&g), WeightMode::Unweighted).unwrap();
-        let u = g.unweighted_view();
-        assert_eq!(d, metrics::diameter(&u));
-        assert_eq!(r, metrics::radius(&u));
+        let exact = metrics::unweighted_extremes(&g);
+        assert_eq!(d, exact.diameter);
+        assert_eq!(r, exact.radius);
     }
 
     #[test]
@@ -399,8 +401,8 @@ mod tests {
         for trial in 0..6 {
             let g = generators::erdos_renyi_connected(18, 0.18, 9, &mut rng);
             let (d2, r2, stats) = two_approx_diameter_radius(&g, trial % 18, &cfg(&g)).unwrap();
-            let d = metrics::diameter(&g);
-            let r = metrics::radius(&g);
+            let exact = metrics::extremes(&g);
+            let (d, r) = (exact.diameter, exact.radius);
             assert!(
                 d2 >= d && d2 <= d.saturating_mul(2),
                 "trial {trial}: D̂={d2} vs D={d}"

@@ -9,11 +9,11 @@
 //! [`resilient_bfs`] is the representative workload: a leader-rooted hop
 //! distance computation by iterative relaxation — the communication skeleton
 //! underlying the BFS-tree, flooding, and SSSP phases of the paper's
-//! pipeline — whose per-node answers can be checked exactly against the
-//! centralized [`congest_graph::shortest_path::bfs`] reference, giving a
-//! crisp answer-quality metric under any [`congest_sim::FaultPlan`].
+//! pipeline — whose per-node answers can be checked exactly against a
+//! centralized [`SsspWorkspace`] BFS reference, giving a crisp
+//! answer-quality metric under any [`congest_sim::FaultPlan`].
 
-use congest_graph::{shortest_path, Dist, NodeId, WeightedGraph};
+use congest_graph::{Dist, NodeId, SsspWorkspace, WeightedGraph};
 use congest_sim::reliable::{run_reliable_phase, ReliablePolicy};
 use congest_sim::{
     Mailbox, NodeCtx, NodeProgram, Quality, RoundStats, SimConfig, SimError, Status,
@@ -116,7 +116,19 @@ pub struct DegradationReport {
 impl DegradationReport {
     /// Scores `run` against the centralized hop distances from `leader`.
     pub fn evaluate(g: &WeightedGraph, leader: NodeId, run: &ResilientBfsRun) -> DegradationReport {
-        let reference = shortest_path::bfs(g, leader);
+        Self::evaluate_with(g, leader, run, &mut SsspWorkspace::new())
+    }
+
+    /// Like [`DegradationReport::evaluate`], but reusing `ws` for the
+    /// reference BFS so fault sweeps can score many runs on the same graph
+    /// without re-allocating the distance row each time.
+    pub fn evaluate_with(
+        g: &WeightedGraph,
+        leader: NodeId,
+        run: &ResilientBfsRun,
+        ws: &mut SsspWorkspace,
+    ) -> DegradationReport {
+        let reference = ws.bfs_into(g, leader);
         let mut report = DegradationReport {
             n: g.n(),
             ..DegradationReport::default()

@@ -214,9 +214,9 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(90);
         for trial in 0..8 {
             let g = generators::erdos_renyi_connected(30, 0.08, 3, &mut rng);
-            let u = g.unweighted_view();
-            let d = metrics::diameter(&u).expect_finite();
-            let r = metrics::radius(&u).expect_finite();
+            let exact = metrics::unweighted_extremes(&g);
+            let d = exact.diameter.expect_finite();
+            let r = exact.radius.expect_finite();
             let res = three_halves_diameter(&g, 0, &cfg(&g), &mut rng).unwrap();
             assert!(
                 res.diameter_estimate <= d,

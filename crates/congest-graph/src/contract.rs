@@ -109,7 +109,6 @@ pub fn contract_unit_edges(g: &WeightedGraph) -> Contraction {
 mod tests {
     use super::*;
     use crate::generators;
-    use crate::metrics::{diameter, radius};
     use crate::Dist;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
@@ -154,8 +153,12 @@ mod tests {
         for trial in 0..20 {
             let g = generators::erdos_renyi_connected(16, 0.12, 3, &mut rng);
             let c = contract_unit_edges(&g);
-            let (dg, dc) = (diameter(&g), diameter(&c.graph));
-            let (rg, rc) = (radius(&g), radius(&c.graph));
+            let (eg, ec) = (
+                crate::metrics::extremes(&g),
+                crate::metrics::extremes(&c.graph),
+            );
+            let (dg, dc) = (eg.diameter, ec.diameter);
+            let (rg, rc) = (eg.radius, ec.radius);
             let n = Dist::from(g.n() as u64);
             assert!(dc <= dg, "trial {trial}: D' ≤ D");
             assert!(dg <= dc + n, "trial {trial}: D ≤ D' + n");

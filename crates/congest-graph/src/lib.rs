@@ -13,6 +13,11 @@
 //!   the hop-bounded distance `d^ℓ`;
 //! * [`metrics`] — eccentricity, diameter `D_{G,w}`, radius `R_{G,w}`,
 //!   unweighted diameter `D_G`, hop distance and hop diameter `H_{G,w}`;
+//! * [`sweep`] — pruned SumSweep-style diameter/radius computation with
+//!   eccentricity bounds, the ground-truth kernel behind [`metrics`];
+//! * [`SsspWorkspace`] — reusable scratch so multi-source shortest-path
+//!   loops run allocation-free, with a Dial bucket queue for small weights;
+//! * [`DistMatrix`] — flat single-allocation all-pairs distance tables;
 //! * [`rounding`] — the weight-rounding scheme `w_i` and approximate
 //!   bounded-hop distance `d̃^ℓ` (Lemma 3.2);
 //! * [`overlay`] — skeleton overlays `(G'_S, w'_S)`, k-shortcut graphs
@@ -54,10 +59,16 @@ mod dist;
 pub mod dot;
 pub mod generators;
 mod graph;
+mod matrix;
 pub mod metrics;
 pub mod overlay;
 pub mod rounding;
 pub mod shortest_path;
+pub mod sweep;
+mod workspace;
 
 pub use dist::Dist;
 pub use graph::{BuildGraphError, Edge, GraphBuilder, NodeId, Weight, WeightedGraph};
+pub use matrix::DistMatrix;
+pub use sweep::{EdgeMetric, SweepResult};
+pub use workspace::{SsspWorkspace, DIAL_MAX_WEIGHT};

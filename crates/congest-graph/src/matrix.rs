@@ -1,0 +1,140 @@
+//! Flat all-pairs distance matrix.
+//!
+//! The reference APSP routines used to return `Vec<Vec<Dist>>` — `n + 1`
+//! separate heap allocations with rows scattered across the heap.
+//! [`DistMatrix`] stores the same `n × n` table row-major in one allocation,
+//! so Floyd–Warshall's inner loop walks contiguous memory and consumers
+//! index it exactly like the nested vectors they replaced (`m[u][v]` still
+//! works via `Index<usize> → &[Dist]`).
+
+use crate::dist::Dist;
+use crate::graph::NodeId;
+use std::ops::{Index, IndexMut};
+
+/// A dense `n × n` distance table in one flat, row-major allocation.
+///
+/// `m[u]` is the distance row of source `u` (a `&[Dist]` of length `n`), and
+/// `m[(u, v)]` is the single entry `d(u, v)`, so code written against the old
+/// `Vec<Vec<Dist>>` result keeps compiling unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use congest_graph::{generators, shortest_path, Dist};
+/// let g = generators::path(4, 2);
+/// let apsp = shortest_path::apsp(&g);
+/// assert_eq!(apsp[0][3], Dist::from(6u64));
+/// assert_eq!(apsp[(3, 0)], Dist::from(6u64));
+/// assert_eq!(apsp.n(), 4);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DistMatrix {
+    n: usize,
+    data: Vec<Dist>,
+}
+
+impl DistMatrix {
+    /// Creates an `n × n` matrix with every entry set to `fill`.
+    pub fn filled(n: usize, fill: Dist) -> DistMatrix {
+        DistMatrix {
+            n,
+            data: vec![fill; n * n],
+        }
+    }
+
+    /// The number of nodes (the matrix is `n × n`).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The distance row of source `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= n`.
+    #[inline]
+    pub fn row(&self, u: NodeId) -> &[Dist] {
+        &self.data[u * self.n..(u + 1) * self.n]
+    }
+
+    /// Mutable access to the distance row of source `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= n`.
+    #[inline]
+    pub fn row_mut(&mut self, u: NodeId) -> &mut [Dist] {
+        &mut self.data[u * self.n..(u + 1) * self.n]
+    }
+
+    /// Iterator over `(source, row)` pairs in node order.
+    pub fn rows(&self) -> impl Iterator<Item = (NodeId, &[Dist])> + '_ {
+        self.data.chunks_exact(self.n.max(1)).enumerate()
+    }
+
+    /// The whole table as one flat row-major slice (row of node 0 first).
+    #[inline]
+    pub fn as_flat(&self) -> &[Dist] {
+        &self.data
+    }
+}
+
+impl Index<NodeId> for DistMatrix {
+    type Output = [Dist];
+
+    #[inline]
+    fn index(&self, u: NodeId) -> &[Dist] {
+        self.row(u)
+    }
+}
+
+impl Index<(NodeId, NodeId)> for DistMatrix {
+    type Output = Dist;
+
+    #[inline]
+    fn index(&self, (u, v): (NodeId, NodeId)) -> &Dist {
+        &self.data[u * self.n + v]
+    }
+}
+
+impl IndexMut<(NodeId, NodeId)> for DistMatrix {
+    #[inline]
+    fn index_mut(&mut self, (u, v): (NodeId, NodeId)) -> &mut Dist {
+        &mut self.data[u * self.n + v]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_and_index() {
+        let mut m = DistMatrix::filled(3, Dist::INFINITY);
+        assert_eq!(m.n(), 3);
+        m[(0, 2)] = Dist::from(5u64);
+        assert_eq!(m[(0, 2)], Dist::from(5u64));
+        assert_eq!(m[0][2], Dist::from(5u64));
+        assert_eq!(m.row(0)[2], Dist::from(5u64));
+        assert_eq!(m[(2, 0)], Dist::INFINITY);
+        assert_eq!(m.as_flat().len(), 9);
+    }
+
+    #[test]
+    fn rows_iterate_in_node_order() {
+        let mut m = DistMatrix::filled(2, Dist::ZERO);
+        m[(1, 0)] = Dist::from(7u64);
+        let rows: Vec<_> = m.rows().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, 0);
+        assert_eq!(rows[1].1[0], Dist::from(7u64));
+    }
+
+    #[test]
+    fn row_mut_writes_through() {
+        let mut m = DistMatrix::filled(2, Dist::ZERO);
+        m.row_mut(1)[1] = Dist::from(9u64);
+        assert_eq!(m[(1, 1)], Dist::from(9u64));
+    }
+}

@@ -3,10 +3,19 @@
 //! These are the quantities the paper computes distributedly; here they are
 //! computed exactly and centrally, as ground truth for the approximation
 //! guarantees of Theorems 1.1 and for the gadget analyses of Section 4.
+//!
+//! Since the kernel rework, every diameter/radius/witness query is answered
+//! by the pruned [`crate::sweep`] computer (a handful of bound-certified
+//! sweeps instead of `n`), and all multi-source loops reuse one
+//! [`crate::SsspWorkspace`]. Call [`extremes`] when you need more than one
+//! of diameter/radius/witnesses — it answers all four from one shared
+//! computation.
 
 use crate::dist::Dist;
 use crate::graph::{NodeId, WeightedGraph};
-use crate::shortest_path::{dijkstra, dijkstra_with_hops};
+use crate::shortest_path::dijkstra_with_hops;
+use crate::sweep::{self, EdgeMetric, SweepResult};
+use crate::workspace::SsspWorkspace;
 
 /// The eccentricity `e_{G,w}(v) = max_u d(v, u)` of a single node.
 ///
@@ -16,12 +25,44 @@ use crate::shortest_path::{dijkstra, dijkstra_with_hops};
 ///
 /// Panics if `v >= g.n()`.
 pub fn eccentricity(g: &WeightedGraph, v: NodeId) -> Dist {
-    dijkstra(g, v).into_iter().max().unwrap_or(Dist::ZERO)
+    SsspWorkspace::new().eccentricity(g, v)
 }
 
-/// All eccentricities (`n` Dijkstra runs).
+/// All eccentricities (`n` workspace-reused Dijkstra sweeps; fanned out over
+/// the rayon pool under the `parallel` feature, with bit-identical results).
 pub fn eccentricities(g: &WeightedGraph) -> Vec<Dist> {
-    g.nodes().map(|v| eccentricity(g, v)).collect()
+    #[cfg(feature = "parallel")]
+    {
+        sweep::par_all_eccentricities(g, EdgeMetric::Weighted)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        sweep::all_eccentricities(g, EdgeMetric::Weighted)
+    }
+}
+
+/// Diameter, radius, and both witnesses from one shared pruned sweep.
+///
+/// This is the cheapest way to get any two or more of the four extremal
+/// quantities; the individual accessors below each rerun the sweep.
+///
+/// # Examples
+///
+/// ```
+/// use congest_graph::{metrics, generators, Dist};
+/// let g = generators::path(5, 3);
+/// let r = metrics::extremes(&g);
+/// assert_eq!(r.diameter, Dist::from(12u64));
+/// assert_eq!(r.radius, Dist::from(6u64));
+/// assert!(r.sweeps <= g.n());
+/// ```
+pub fn extremes(g: &WeightedGraph) -> SweepResult {
+    sweep::extremes(g)
+}
+
+/// Unweighted (topology) extremes from one shared pruned BFS sweep.
+pub fn unweighted_extremes(g: &WeightedGraph) -> SweepResult {
+    sweep::extremes_unweighted(g)
 }
 
 /// The weighted diameter `D_{G,w} = max_v e(v)`.
@@ -34,7 +75,7 @@ pub fn eccentricities(g: &WeightedGraph) -> Vec<Dist> {
 /// assert_eq!(metrics::diameter(&g), Dist::from(12u64));
 /// ```
 pub fn diameter(g: &WeightedGraph) -> Dist {
-    eccentricities(g).into_iter().max().unwrap_or(Dist::ZERO)
+    sweep::extremes(g).diameter
 }
 
 /// The weighted radius `R_{G,w} = min_v e(v)`.
@@ -47,17 +88,17 @@ pub fn diameter(g: &WeightedGraph) -> Dist {
 /// assert_eq!(metrics::radius(&g), Dist::from(6u64));
 /// ```
 pub fn radius(g: &WeightedGraph) -> Dist {
-    eccentricities(g).into_iter().min().unwrap_or(Dist::ZERO)
+    sweep::extremes(g).radius
 }
 
 /// The *unweighted* diameter `D_G` — the diameter of the topology with all
-/// weights set to 1. This is the network parameter `D` in all of the paper's
-/// round bounds.
+/// weights set to 1, computed by pruned BFS sweeps (no intermediate
+/// unweighted graph is materialized). This is the network parameter `D` in
+/// all of the paper's round bounds.
 ///
 /// Returns `usize::MAX` for disconnected graphs.
 pub fn unweighted_diameter(g: &WeightedGraph) -> usize {
-    let u = g.unweighted_view();
-    match diameter(&u).finite() {
+    match sweep::extremes_unweighted(g).diameter.finite() {
         Some(d) => d as usize,
         None => usize::MAX,
     }
@@ -66,18 +107,14 @@ pub fn unweighted_diameter(g: &WeightedGraph) -> usize {
 /// A node of maximum eccentricity (`v*` in Section 3.1) together with its
 /// eccentricity. Returns node 0 with eccentricity 0 for single-node graphs.
 pub fn diameter_witness(g: &WeightedGraph) -> (NodeId, Dist) {
-    g.nodes()
-        .map(|v| (v, eccentricity(g, v)))
-        .max_by_key(|&(_, e)| e)
-        .unwrap_or((0, Dist::ZERO))
+    let r = sweep::extremes(g);
+    (r.diameter_witness, r.diameter)
 }
 
 /// A node of minimum eccentricity (a *center*) with its eccentricity.
 pub fn radius_witness(g: &WeightedGraph) -> (NodeId, Dist) {
-    g.nodes()
-        .map(|v| (v, eccentricity(g, v)))
-        .min_by_key(|&(_, e)| e)
-        .unwrap_or((0, Dist::ZERO))
+    let r = sweep::extremes(g);
+    (r.radius_witness, r.radius)
 }
 
 /// The hop distance `h_{G,w}(u, v)`: the minimum number of edges over all
@@ -93,18 +130,20 @@ pub fn hop_distance(g: &WeightedGraph, u: NodeId, v: NodeId) -> usize {
     hops[v]
 }
 
-/// The hop diameter `H_{G,w} = max_{u,v} h(u, v)` (Section 3.1).
+/// The hop diameter `H_{G,w} = max_{u,v} h(u, v)` (Section 3.1), by `n`
+/// workspace-reused hop-annotated Dijkstra sweeps.
 ///
 /// Returns `usize::MAX` for disconnected graphs.
 pub fn hop_diameter(g: &WeightedGraph) -> usize {
+    let mut ws = SsspWorkspace::new();
     let mut best = 0usize;
     for u in g.nodes() {
-        let (_, hops) = dijkstra_with_hops(g, u);
-        for v in g.nodes() {
-            if hops[v] == usize::MAX {
+        let (_, hops) = ws.dijkstra_with_hops_into(g, u);
+        for &h in hops {
+            if h == usize::MAX {
                 return usize::MAX;
             }
-            best = best.max(hops[v]);
+            best = best.max(h);
         }
     }
     best
@@ -166,6 +205,32 @@ mod tests {
         let (v, e) = diameter_witness(&g);
         assert_eq!(eccentricity(&g, v), e);
         assert_eq!(e, diameter(&g));
+    }
+
+    #[test]
+    fn extremes_bundles_all_four_queries() {
+        let mut rng = {
+            use rand::SeedableRng;
+            rand_chacha::ChaCha8Rng::seed_from_u64(14)
+        };
+        let g = generators::erdos_renyi_connected(25, 0.15, 6, &mut rng);
+        let r = extremes(&g);
+        assert_eq!(r.diameter, diameter(&g));
+        assert_eq!(r.radius, radius(&g));
+        assert_eq!(eccentricity(&g, r.diameter_witness), r.diameter);
+        assert_eq!(eccentricity(&g, r.radius_witness), r.radius);
+        let eccs = eccentricities(&g);
+        assert_eq!(r.diameter, eccs.iter().copied().max().unwrap());
+        assert_eq!(r.radius, eccs.iter().copied().min().unwrap());
+    }
+
+    #[test]
+    fn unweighted_extremes_match_unweighted_view() {
+        let g = generators::star(9, 7);
+        let u = g.unweighted_view();
+        let r = unweighted_extremes(&g);
+        assert_eq!(r.diameter, diameter(&u));
+        assert_eq!(r.radius, radius(&u));
     }
 
     #[test]

@@ -21,7 +21,8 @@
 
 #![allow(clippy::needless_range_loop)] // index loops mirror the paper's matrix notation
 use crate::graph::{NodeId, WeightedGraph};
-use crate::rounding::{approx_hop_bounded, ApproxDist, RoundingScheme};
+use crate::rounding::{approx_hop_bounded_into, ApproxDist, RoundingScheme};
+use crate::workspace::SsspWorkspace;
 use rand::Rng;
 
 /// Samples a skeleton: each node joins independently with probability
@@ -67,8 +68,11 @@ impl Overlay {
         }
         let s = nodes.len();
         let mut w = vec![0.0; s * s];
+        // One workspace and one distance row serve the whole skeleton loop.
+        let mut ws = SsspWorkspace::new();
+        let mut d = vec![f64::INFINITY; g.n()];
         for (i, &u) in nodes.iter().enumerate() {
-            let d = approx_hop_bounded(g, u, scheme);
+            approx_hop_bounded_into(g, u, scheme, &mut ws, &mut d);
             for (j, &v) in nodes.iter().enumerate() {
                 if i != j {
                     // Keep the matrix symmetric: d̃ is symmetric analytically,
@@ -439,10 +443,15 @@ impl SkeletonDistances {
         assert!(!skeleton.is_empty(), "skeleton must be non-empty");
         assert!(k >= 1, "k must be ≥ 1");
         let overlay = Overlay::from_skeleton(g, skeleton, scheme);
+        let mut ws = SsspWorkspace::new();
         let bounded_hop = overlay
             .nodes()
             .iter()
-            .map(|&u| approx_hop_bounded(g, u, scheme))
+            .map(|&u| {
+                let mut row = vec![f64::INFINITY; g.n()];
+                approx_hop_bounded_into(g, u, scheme, &mut ws, &mut row);
+                row
+            })
             .collect();
         let shortcut = overlay.shortcut(k);
         let overlay_ell = ((4 * overlay.len()) as f64 / k as f64).ceil().max(1.0) as usize;

@@ -17,7 +17,7 @@
 
 use crate::dist::Dist;
 use crate::graph::{NodeId, WeightedGraph};
-use crate::shortest_path::dijkstra;
+use crate::workspace::SsspWorkspace;
 
 /// A real-valued approximate distance (`f64::INFINITY` = unreachable).
 pub type ApproxDist = f64;
@@ -104,26 +104,51 @@ impl RoundingScheme {
 /// assert!(d[7] >= 35.0 && d[7] <= 35.0 * 1.25 + 1e-9);
 /// ```
 pub fn approx_hop_bounded(g: &WeightedGraph, s: NodeId, scheme: RoundingScheme) -> Vec<ApproxDist> {
-    assert!(s < g.n(), "source {s} out of range");
+    let mut ws = SsspWorkspace::new();
     let mut best = vec![f64::INFINITY; g.n()];
+    approx_hop_bounded_into(g, s, scheme, &mut ws, &mut best);
+    best
+}
+
+/// Workspace-backed version of [`approx_hop_bounded`], for callers that run
+/// many sources (the skeleton loops of [`crate::overlay`]): the per-scale
+/// Dijkstra runs through `ws` with the rounded weights `w_i` applied
+/// on the fly, so no intermediate graph is materialized and nothing is
+/// allocated after warm-up.
+///
+/// `out` is overwritten with `d̃^ℓ(s, ·)`.
+///
+/// # Panics
+///
+/// Panics if `s >= g.n()` or `out.len() != g.n()`.
+pub fn approx_hop_bounded_into(
+    g: &WeightedGraph,
+    s: NodeId,
+    scheme: RoundingScheme,
+    ws: &mut SsspWorkspace,
+    out: &mut [ApproxDist],
+) {
+    assert!(s < g.n(), "source {s} out of range");
+    assert_eq!(out.len(), g.n(), "output buffer must cover every node");
+    out.fill(f64::INFINITY);
     let threshold = scheme.threshold();
     let imax = scheme.max_scale(g.n(), g.max_weight());
     for i in 0..=imax {
-        let gi = scheme.rounded_graph(g, i);
-        let di = dijkstra(&gi, s);
+        // Rounded weights are applied during relaxation; cloning the graph
+        // per scale (the seed behavior) is gone.
+        let di = ws.dijkstra_mapped_into(g, s, |w| scheme.rounded_weight(i, w));
         let unscale = scheme.unscale(i);
-        for v in g.nodes() {
-            if let Some(d) = di[v].finite() {
+        for (v, d) in di.iter().enumerate() {
+            if let Some(d) = d.finite() {
                 if (d as f64) <= threshold {
                     let approx = d as f64 * unscale;
-                    if approx < best[v] {
-                        best[v] = approx;
+                    if approx < out[v] {
+                        out[v] = approx;
                     }
                 }
             }
         }
     }
-    best
 }
 
 /// Converts an exact [`Dist`] to the `f64` domain of approximate distances.
@@ -205,6 +230,32 @@ mod tests {
         // the lower bound holds.
         if a[19].is_finite() {
             assert!(a[19] >= 19.0 - 1e-6);
+        }
+    }
+
+    /// The workspace-backed path (on-the-fly weight mapping) must agree with
+    /// the seed strategy of materializing `(G, w_i)` per scale.
+    #[test]
+    fn into_variant_matches_materialized_rounding() {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let g = generators::erdos_renyi_connected(16, 0.2, 15, &mut rng);
+        let scheme = RoundingScheme::new(5, 0.5);
+        let threshold = scheme.threshold();
+        let imax = scheme.max_scale(g.n(), g.max_weight());
+        for s in [0usize, 8, 15] {
+            let mut seed_best = vec![f64::INFINITY; g.n()];
+            for i in 0..=imax {
+                let gi = scheme.rounded_graph(&g, i);
+                let di = dijkstra(&gi, s);
+                for v in g.nodes() {
+                    if let Some(d) = di[v].finite() {
+                        if (d as f64) <= threshold {
+                            seed_best[v] = seed_best[v].min(d as f64 * scheme.unscale(i));
+                        }
+                    }
+                }
+            }
+            assert_eq!(approx_hop_bounded(&g, s, scheme), seed_best, "source {s}");
         }
     }
 

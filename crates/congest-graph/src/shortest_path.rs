@@ -8,6 +8,8 @@
 #![allow(clippy::needless_range_loop)] // index loops mirror the paper's matrix notation
 use crate::dist::Dist;
 use crate::graph::{NodeId, WeightedGraph};
+use crate::matrix::DistMatrix;
+use crate::workspace::SsspWorkspace;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -144,30 +146,41 @@ pub fn bfs(g: &WeightedGraph, s: NodeId) -> Vec<Dist> {
     dist
 }
 
-/// All-pairs shortest paths by Floyd–Warshall. Intended for small graphs
-/// (`O(n³)` time, `O(n²)` memory); used to validate gadget distance tables.
-pub fn floyd_warshall(g: &WeightedGraph) -> Vec<Vec<Dist>> {
+/// All-pairs shortest paths by Floyd–Warshall into a flat [`DistMatrix`].
+/// Intended for small graphs (`O(n³)` time, `O(n²)` memory); used to
+/// validate gadget distance tables.
+pub fn floyd_warshall(g: &WeightedGraph) -> DistMatrix {
     let n = g.n();
-    let mut d = vec![vec![Dist::INFINITY; n]; n];
+    let mut d = DistMatrix::filled(n, Dist::INFINITY);
     for v in 0..n {
-        d[v][v] = Dist::ZERO;
+        d[(v, v)] = Dist::ZERO;
     }
     for e in g.edges() {
         let w = Dist::from(e.w);
-        if w < d[e.u][e.v] {
-            d[e.u][e.v] = w;
-            d[e.v][e.u] = w;
+        if w < d[(e.u, e.v)] {
+            d[(e.u, e.v)] = w;
+            d[(e.v, e.u)] = w;
         }
     }
+    // Row `k` is invariant during pass `k` (d[k][j] cannot improve through
+    // k itself), so one reusable snapshot of it lets every other row update
+    // over two contiguous slices.
+    let mut row_k = vec![Dist::INFINITY; n];
     for k in 0..n {
+        row_k.copy_from_slice(d.row(k));
         for i in 0..n {
-            if d[i][k] == Dist::INFINITY {
+            if i == k {
+                continue;
+            }
+            let row_i = d.row_mut(i);
+            let dik = row_i[k];
+            if dik == Dist::INFINITY {
                 continue;
             }
             for j in 0..n {
-                let via = d[i][k] + d[k][j];
-                if via < d[i][j] {
-                    d[i][j] = via;
+                let via = dik + row_k[j];
+                if via < row_i[j] {
+                    row_i[j] = via;
                 }
             }
         }
@@ -175,9 +188,15 @@ pub fn floyd_warshall(g: &WeightedGraph) -> Vec<Vec<Dist>> {
     d
 }
 
-/// All-pairs shortest paths by running [`dijkstra`] from every node.
-pub fn apsp(g: &WeightedGraph) -> Vec<Vec<Dist>> {
-    g.nodes().map(|s| dijkstra(g, s)).collect()
+/// All-pairs shortest paths into a flat [`DistMatrix`], by running one
+/// workspace-reused Dijkstra per node (no per-source allocations).
+pub fn apsp(g: &WeightedGraph) -> DistMatrix {
+    let mut ws = SsspWorkspace::new();
+    let mut m = DistMatrix::filled(g.n(), Dist::INFINITY);
+    for s in g.nodes() {
+        m.row_mut(s).copy_from_slice(ws.dijkstra_into(g, s));
+    }
+    m
 }
 
 /// The `ℓ`-hop-bounded distance `d^ℓ_{G,w}(s, ·)`: the least length over all

@@ -1,0 +1,436 @@
+//! Reusable single-source shortest-path scratch space.
+//!
+//! Every multi-source loop in the workspace — eccentricity sweeps, skeleton
+//! overlay construction, hop-bounded reference tables — used to allocate a
+//! fresh distance vector, heap, and frontier per source. [`SsspWorkspace`]
+//! owns all of that scratch once: the `*_into` methods reset it in `O(n)`
+//! (no heap traffic after warm-up) and run the search in place, so an
+//! `n`-source sweep performs zero steady-state allocations. The
+//! `kernel_alloc` integration test pins that claim with a counting global
+//! allocator.
+//!
+//! Two priority-queue strategies sit behind [`SsspWorkspace::dijkstra_into`]:
+//! a binary heap (general weights) and a Dial-style circular bucket queue
+//! used automatically when the maximum edge weight is small
+//! ([`DIAL_MAX_WEIGHT`]). Both produce exactly the same distances — Dijkstra
+//! settles exact values regardless of queue discipline — which the unit
+//! tests here pin.
+
+use crate::dist::Dist;
+use crate::graph::{NodeId, Weight, WeightedGraph};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Largest maximum edge weight for which [`SsspWorkspace::dijkstra_into`]
+/// uses the Dial bucket queue instead of a binary heap.
+///
+/// With maximum weight `C`, Dial needs `C + 1` circular buckets and pays
+/// `O(m + n·C)` total; for the small integer weights the experiments use
+/// (`W ≤ 8` on most workloads) that handily beats the heap's `O(m log n)`.
+pub const DIAL_MAX_WEIGHT: Weight = 128;
+
+/// Reusable scratch buffers for single-source shortest-path runs.
+///
+/// Create one per long-lived loop and feed it to the `*_into` methods; all
+/// buffers are grown on first use and reused afterwards. Results are
+/// returned as borrows of the workspace, so copy them out (or fold them
+/// down, as the eccentricity sweeps do) before the next call.
+///
+/// # Examples
+///
+/// ```
+/// use congest_graph::{generators, Dist, SsspWorkspace};
+/// let g = generators::cycle(6, 2);
+/// let mut ws = SsspWorkspace::new();
+/// let mut ecc = Dist::ZERO;
+/// for v in g.nodes() {
+///     let d = ws.dijkstra_into(&g, v);
+///     ecc = ecc.max(d.iter().copied().max().unwrap());
+/// }
+/// assert_eq!(ecc, Dist::from(6u64)); // cycle diameter 3 · weight 2
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SsspWorkspace {
+    dist: Vec<Dist>,
+    hops: Vec<usize>,
+    prev: Vec<Dist>,
+    heap: BinaryHeap<Reverse<(Dist, NodeId)>>,
+    hop_heap: BinaryHeap<Reverse<(Dist, usize, NodeId)>>,
+    frontier: Vec<NodeId>,
+    next: Vec<NodeId>,
+    buckets: Vec<Vec<NodeId>>,
+}
+
+impl SsspWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> SsspWorkspace {
+        SsspWorkspace::default()
+    }
+
+    /// Resets the distance buffer for an `n`-node run.
+    fn reset_dist(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, Dist::INFINITY);
+        }
+        self.dist[..n].fill(Dist::INFINITY);
+    }
+
+    /// Dijkstra from `s`, writing into the reusable distance buffer.
+    ///
+    /// Picks the Dial bucket queue when `g.max_weight() <= DIAL_MAX_WEIGHT`,
+    /// the binary heap otherwise; the produced distances are identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= g.n()`.
+    pub fn dijkstra_into(&mut self, g: &WeightedGraph, s: NodeId) -> &[Dist] {
+        if g.max_weight() <= DIAL_MAX_WEIGHT {
+            self.dial_into(g, s)
+        } else {
+            self.dijkstra_heap_into(g, s)
+        }
+    }
+
+    /// Heap-based Dijkstra from `s` (always available; used directly by the
+    /// mapped-weight variant where the effective maximum weight is unknown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= g.n()`.
+    pub fn dijkstra_heap_into(&mut self, g: &WeightedGraph, s: NodeId) -> &[Dist] {
+        self.dijkstra_mapped_into(g, s, |w| w)
+    }
+
+    /// Dijkstra from `s` under on-the-fly re-weighted edges: edge weight `w`
+    /// is replaced by `f(w)` during relaxation, with no intermediate graph
+    /// materialized. This is what lets the rounding scheme of Lemma 3.2 run
+    /// one search per scale without cloning the graph per scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= g.n()` or `f` produces a zero weight.
+    pub fn dijkstra_mapped_into(
+        &mut self,
+        g: &WeightedGraph,
+        s: NodeId,
+        mut f: impl FnMut(Weight) -> Weight,
+    ) -> &[Dist] {
+        let n = g.n();
+        assert!(s < n, "source {s} out of range");
+        self.reset_dist(n);
+        self.heap.clear();
+        self.dist[s] = Dist::ZERO;
+        self.heap.push(Reverse((Dist::ZERO, s)));
+        while let Some(Reverse((d, v))) = self.heap.pop() {
+            if d > self.dist[v] {
+                continue;
+            }
+            for (u, w) in g.neighbors(v) {
+                let w = f(w);
+                debug_assert!(w > 0, "mapped weight must stay positive");
+                let nd = d + Dist::from(w);
+                if nd < self.dist[u] {
+                    self.dist[u] = nd;
+                    self.heap.push(Reverse((nd, u)));
+                }
+            }
+        }
+        &self.dist[..n]
+    }
+
+    /// Dial's algorithm: Dijkstra with a circular bucket queue of
+    /// `max_weight + 1` buckets. Exact for positive integer weights; used
+    /// automatically by [`SsspWorkspace::dijkstra_into`] for small weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= g.n()`.
+    pub fn dial_into(&mut self, g: &WeightedGraph, s: NodeId) -> &[Dist] {
+        let n = g.n();
+        assert!(s < n, "source {s} out of range");
+        self.reset_dist(n);
+        let nb = g.max_weight() as usize + 1;
+        if self.buckets.len() < nb {
+            self.buckets.resize_with(nb, Vec::new);
+        }
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.dist[s] = Dist::ZERO;
+        self.buckets[0].push(s);
+        let mut pending = 1usize;
+        let mut d = 0u64; // distance represented by bucket `d % nb`
+        while pending > 0 {
+            while self.buckets[(d as usize) % nb].is_empty() {
+                d += 1;
+            }
+            // Drain one node; stale entries (lazy deletion) are skipped.
+            let v = self.buckets[(d as usize) % nb].pop().expect("non-empty");
+            pending -= 1;
+            if self.dist[v] != Dist::from(d) {
+                continue;
+            }
+            for (u, w) in g.neighbors(v) {
+                let nd = Dist::from(d + w);
+                if nd < self.dist[u] {
+                    self.dist[u] = nd;
+                    // All pending labels lie in [d, d + C], so the circular
+                    // index is unambiguous.
+                    self.buckets[((d + w) as usize) % nb].push(u);
+                    pending += 1;
+                }
+            }
+        }
+        &self.dist[..n]
+    }
+
+    /// BFS distances on the *topology* of `g` (every edge counts 1), without
+    /// materializing an unweighted view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= g.n()`.
+    pub fn bfs_into(&mut self, g: &WeightedGraph, s: NodeId) -> &[Dist] {
+        let n = g.n();
+        assert!(s < n, "source {s} out of range");
+        self.reset_dist(n);
+        self.frontier.clear();
+        self.next.clear();
+        self.dist[s] = Dist::ZERO;
+        self.frontier.push(s);
+        let mut level = 0u64;
+        while !self.frontier.is_empty() {
+            level += 1;
+            for i in 0..self.frontier.len() {
+                let v = self.frontier[i];
+                for (u, _) in g.neighbors(v) {
+                    if self.dist[u] == Dist::INFINITY {
+                        self.dist[u] = Dist::from(level);
+                        self.next.push(u);
+                    }
+                }
+            }
+            std::mem::swap(&mut self.frontier, &mut self.next);
+            self.next.clear();
+        }
+        &self.dist[..n]
+    }
+
+    /// Dijkstra with hop counts (minimum edges over weight-shortest paths),
+    /// the workspace-backed version of
+    /// [`crate::shortest_path::dijkstra_with_hops`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= g.n()`.
+    pub fn dijkstra_with_hops_into(&mut self, g: &WeightedGraph, s: NodeId) -> (&[Dist], &[usize]) {
+        let n = g.n();
+        assert!(s < n, "source {s} out of range");
+        self.reset_dist(n);
+        if self.hops.len() < n {
+            self.hops.resize(n, usize::MAX);
+        }
+        self.hops[..n].fill(usize::MAX);
+        self.hop_heap.clear();
+        self.dist[s] = Dist::ZERO;
+        self.hops[s] = 0;
+        self.hop_heap.push(Reverse((Dist::ZERO, 0usize, s)));
+        while let Some(Reverse((d, h, v))) = self.hop_heap.pop() {
+            if (d, h) > (self.dist[v], self.hops[v]) {
+                continue;
+            }
+            for (u, w) in g.neighbors(v) {
+                let nd = d + Dist::from(w);
+                let nh = h + 1;
+                if (nd, nh) < (self.dist[u], self.hops[u]) {
+                    self.dist[u] = nd;
+                    self.hops[u] = nh;
+                    self.hop_heap.push(Reverse((nd, nh, u)));
+                }
+            }
+        }
+        (&self.dist[..n], &self.hops[..n])
+    }
+
+    /// The `ℓ`-hop-bounded distance `d^ℓ(s, ·)` (Section 3.1), computed by
+    /// `ℓ` synchronous Bellman–Ford sweeps into reusable buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= g.n()`.
+    pub fn hop_bounded_into(&mut self, g: &WeightedGraph, s: NodeId, ell: usize) -> &[Dist] {
+        let n = g.n();
+        assert!(s < n, "source {s} out of range");
+        self.reset_dist(n);
+        if self.prev.len() < n {
+            self.prev.resize(n, Dist::INFINITY);
+        }
+        self.dist[s] = Dist::ZERO;
+        for _ in 0..ell {
+            self.prev[..n].copy_from_slice(&self.dist[..n]);
+            let mut changed = false;
+            for v in g.nodes() {
+                if self.prev[v] == Dist::INFINITY {
+                    continue;
+                }
+                for (u, w) in g.neighbors(v) {
+                    let nd = self.prev[v] + Dist::from(w);
+                    if nd < self.dist[u] {
+                        self.dist[u] = nd;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        &self.dist[..n]
+    }
+
+    /// Distance from `s` truncated at `limit` (the Algorithm 2 output
+    /// contract), workspace-backed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= g.n()`.
+    pub fn bounded_distance_into(&mut self, g: &WeightedGraph, s: NodeId, limit: Dist) -> &[Dist] {
+        let n = g.n();
+        self.dijkstra_into(g, s);
+        for d in &mut self.dist[..n] {
+            if *d > limit {
+                *d = Dist::INFINITY;
+            }
+        }
+        &self.dist[..n]
+    }
+
+    /// The eccentricity of `s` under true weights: `max_v d(s, v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= g.n()`.
+    pub fn eccentricity(&mut self, g: &WeightedGraph, s: NodeId) -> Dist {
+        self.dijkstra_into(g, s)
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Dist::ZERO)
+    }
+
+    /// The eccentricity of `s` on the topology (unit weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= g.n()`.
+    pub fn unweighted_eccentricity(&mut self, g: &WeightedGraph, s: NodeId) -> Dist {
+        self.bfs_into(g, s)
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Dist::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::shortest_path;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn dial_matches_heap_and_reference_dijkstra() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        for trial in 0..12 {
+            let n = 24 + trial;
+            let g = generators::erdos_renyi_connected(n, 0.15, 9, &mut rng);
+            let mut ws = SsspWorkspace::new();
+            for s in [0, n / 2, n - 1] {
+                let reference = shortest_path::dijkstra(&g, s);
+                assert_eq!(ws.dial_into(&g, s), &reference[..], "dial s={s}");
+                assert_eq!(ws.dijkstra_heap_into(&g, s), &reference[..], "heap s={s}");
+                assert_eq!(ws.dijkstra_into(&g, s), &reference[..], "auto s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_weights_take_heap_path_and_agree() {
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        let g = generators::erdos_renyi_connected(20, 0.2, 10_000, &mut rng);
+        assert!(g.max_weight() > DIAL_MAX_WEIGHT);
+        let mut ws = SsspWorkspace::new();
+        for s in g.nodes() {
+            assert_eq!(ws.dijkstra_into(&g, s), &shortest_path::dijkstra(&g, s)[..]);
+        }
+    }
+
+    #[test]
+    fn bfs_into_matches_unweighted_dijkstra() {
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let g = generators::erdos_renyi_connected(30, 0.12, 7, &mut rng);
+        let u = g.unweighted_view();
+        let mut ws = SsspWorkspace::new();
+        for s in [0usize, 11, 29] {
+            assert_eq!(ws.bfs_into(&g, s), &shortest_path::dijkstra(&u, s)[..]);
+        }
+    }
+
+    #[test]
+    fn disconnected_sources_leave_infinities() {
+        let g = crate::WeightedGraph::from_edges(5, [(0, 1, 2), (2, 3, 200)]).unwrap();
+        let mut ws = SsspWorkspace::new();
+        let d = ws.dijkstra_into(&g, 0);
+        assert_eq!(d[1], Dist::from(2u64));
+        assert_eq!(d[2], Dist::INFINITY);
+        assert_eq!(d[4], Dist::INFINITY);
+        let b = ws.bfs_into(&g, 2);
+        assert_eq!(b[3], Dist::from(1u64));
+        assert_eq!(b[0], Dist::INFINITY);
+    }
+
+    #[test]
+    fn hops_and_bounds_match_allocating_reference() {
+        let mut rng = ChaCha8Rng::seed_from_u64(24);
+        let g = generators::erdos_renyi_connected(22, 0.18, 6, &mut rng);
+        let mut ws = SsspWorkspace::new();
+        for s in [0usize, 9, 21] {
+            let (rd, rh) = shortest_path::dijkstra_with_hops(&g, s);
+            let (d, h) = ws.dijkstra_with_hops_into(&g, s);
+            assert_eq!(d, &rd[..]);
+            assert_eq!(h, &rh[..]);
+            for ell in [0usize, 1, 3, 21] {
+                let reference = shortest_path::hop_bounded(&g, s, ell);
+                assert_eq!(ws.hop_bounded_into(&g, s, ell), &reference[..]);
+            }
+            let limit = Dist::from(7u64);
+            let reference = shortest_path::bounded_distance(&g, s, limit);
+            assert_eq!(ws.bounded_distance_into(&g, s, limit), &reference[..]);
+        }
+    }
+
+    #[test]
+    fn workspace_shrinks_gracefully_across_graph_sizes() {
+        let mut ws = SsspWorkspace::new();
+        let big = generators::path(30, 2);
+        assert_eq!(ws.dijkstra_into(&big, 0).len(), 30);
+        let small = generators::path(4, 2);
+        let d = ws.dijkstra_into(&small, 0);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d[3], Dist::from(6u64));
+    }
+
+    #[test]
+    fn mapped_dijkstra_equals_mapped_graph() {
+        let mut rng = ChaCha8Rng::seed_from_u64(25);
+        let g = generators::erdos_renyi_connected(18, 0.2, 9, &mut rng);
+        let doubled = g.map_weights(|w| 2 * w + 1);
+        let mut ws = SsspWorkspace::new();
+        for s in [0usize, 17] {
+            let got = ws.dijkstra_mapped_into(&g, s, |w| 2 * w + 1).to_vec();
+            assert_eq!(got, shortest_path::dijkstra(&doubled, s));
+        }
+    }
+}

@@ -346,9 +346,11 @@ pub fn quantum_weighted<R: Rng + ?Sized>(
         None => leader,
     };
 
+    // One shared pruned sweep certifies both extremes; pick the requested one.
+    let extremes = metrics::extremes(g);
     let exact = match objective {
-        Objective::Diameter => metrics::diameter(g).as_f64(),
-        Objective::Radius => metrics::radius(g).as_f64(),
+        Objective::Diameter => extremes.diameter.as_f64(),
+        Objective::Radius => extremes.radius.as_f64(),
     };
     let marked = marked_set_count(&evals, exact, objective, params.eps);
 

@@ -13,7 +13,7 @@
 
 use crate::algorithm::Objective;
 use crate::framework::{optimize, ordered_bits, PhaseCosts};
-use congest_graph::{metrics, shortest_path, NodeId, WeightedGraph};
+use congest_graph::{metrics, NodeId, WeightedGraph};
 use congest_sim::{primitives, SimConfig, SimError};
 use quantum_sim::search::SearchTrace;
 use rand::Rng;
@@ -62,19 +62,16 @@ pub fn quantum_unweighted<R: Rng + ?Sized>(
     assert!(g.n() >= 2, "need at least two nodes");
     assert!(g.is_connected(), "CONGEST networks are connected");
     let n = g.n();
+    // The simulator primitives need the materialized unit-weight graph; the
+    // centralized references below run BFS on the topology of `g` directly.
     let u = g.unweighted_view();
 
     // Oracle values: exact unweighted eccentricities (the reference of the
-    // noiseless BFS evaluation below).
-    let eccs: Vec<u64> = u
+    // noiseless BFS evaluation below), via one reused workspace.
+    let mut ws = congest_graph::SsspWorkspace::new();
+    let eccs: Vec<u64> = g
         .nodes()
-        .map(|v| {
-            shortest_path::bfs(&u, v)
-                .into_iter()
-                .map(|d| d.expect_finite())
-                .max()
-                .unwrap_or(0)
-        })
+        .map(|v| ws.unweighted_eccentricity(g, v).expect_finite())
         .collect();
 
     // Measure the distributed costs once: Evaluation = BFS flood from a
@@ -113,9 +110,11 @@ pub fn quantum_unweighted<R: Rng + ?Sized>(
 
     let witness = outcome.best;
     let estimate = eccs[witness];
+    // One pruned BFS sweep certifies both unweighted extremes.
+    let extremes = metrics::unweighted_extremes(g);
     let exact = match objective {
-        Objective::Diameter => metrics::unweighted_diameter(g) as u64,
-        Objective::Radius => metrics::radius(&u).expect_finite(),
+        Objective::Diameter => extremes.diameter.expect_finite(),
+        Objective::Radius => extremes.radius.expect_finite(),
     };
     Ok(UnweightedReport {
         estimate,

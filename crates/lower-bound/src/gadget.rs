@@ -653,7 +653,7 @@ mod tests {
         let g = diameter_gadget(&dims, &x, &y, alpha, beta);
         let c = contract::contract_unit_edges(&g.graph);
         let apsp = congest_graph::shortest_path::apsp(&c.graph);
-        let dist = |u: NodeId, v: NodeId| apsp[c.image(u)][c.image(v)];
+        let dist = |u: NodeId, v: NodeId| apsp[(c.image(u), c.image(v))];
         let id = |node: GadgetNode| g.layout.id(node);
         let t = id(GadgetNode::Tree { depth: 0, j: 1 });
         let le = |d: Dist, bound: u64| d <= Dist::from(bound);

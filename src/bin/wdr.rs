@@ -124,9 +124,10 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     println!("max weight W   : {}", g.max_weight());
     println!("connected      : {}", g.is_connected());
     if g.is_connected() {
+        let exact = metrics::extremes(&g);
         println!("unweighted D   : {}", metrics::unweighted_diameter(&g));
-        println!("weighted D     : {}", metrics::diameter(&g));
-        println!("weighted R     : {}", metrics::radius(&g));
+        println!("weighted D     : {}", exact.diameter);
+        println!("weighted R     : {}", exact.radius);
         println!("hop diameter   : {}", metrics::hop_diameter(&g));
     }
     Ok(())
