@@ -1,0 +1,420 @@
+//! The on-disk corpus format: one scenario per `*.ron` file under
+//! `tests/corpus/`, in a hand-rolled subset of RON (no `ron` crate is
+//! vendored). The grammar covers exactly what [`ScenarioSpec`] needs —
+//! named structs, tuple-ish variants with named fields, unit variants,
+//! unsigned integers, and floats:
+//!
+//! ```text
+//! Scenario(
+//!     seed: 42,
+//!     family: ErdosRenyi(p: 0.3),
+//!     n: 16,
+//!     max_weight: 8,
+//!     faults: Drops(rate: 0.04),
+//!     parallelism: Sequential,
+//!     workload: QuantumDiameter,
+//! )
+//! ```
+//!
+//! Floats are written with Rust's shortest-roundtrip formatting, so
+//! `parse(to_ron(spec)) == spec` exactly (property-tested).
+
+use crate::scenario::{Family, FaultSpec, ParMode, ScenarioSpec, Workload};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Serializes a spec into the corpus format.
+pub fn to_ron(spec: &ScenarioSpec) -> String {
+    let mut s = String::new();
+    writeln!(s, "Scenario(").unwrap();
+    writeln!(s, "    seed: {},", spec.seed).unwrap();
+    let family = match spec.family {
+        Family::Path => "Path".to_string(),
+        Family::Cycle => "Cycle".to_string(),
+        Family::Star => "Star".to_string(),
+        Family::Grid => "Grid".to_string(),
+        Family::BinaryTree => "BinaryTree".to_string(),
+        Family::ErdosRenyi { p } => format!("ErdosRenyi(p: {p:?})"),
+        Family::ClusterRing { hubs } => format!("ClusterRing(hubs: {hubs})"),
+    };
+    writeln!(s, "    family: {family},").unwrap();
+    writeln!(s, "    n: {},", spec.n).unwrap();
+    writeln!(s, "    max_weight: {},", spec.max_weight).unwrap();
+    let faults = match spec.faults {
+        FaultSpec::NoFaults => "NoFaults".to_string(),
+        FaultSpec::Drops { rate } => format!("Drops(rate: {rate:?})"),
+        FaultSpec::Crash { node, from, len } => {
+            format!("Crash(node: {node}, from: {from}, len: {len})")
+        }
+    };
+    writeln!(s, "    faults: {faults},").unwrap();
+    let par = match spec.parallelism {
+        ParMode::Sequential => "Sequential",
+        ParMode::Parallel => "Parallel",
+    };
+    writeln!(s, "    parallelism: {par},").unwrap();
+    let wl = match spec.workload {
+        Workload::BaselineExact => "BaselineExact",
+        Workload::QuantumDiameter => "QuantumDiameter",
+        Workload::QuantumRadius => "QuantumRadius",
+        Workload::PrimitiveAggregate => "PrimitiveAggregate",
+    };
+    writeln!(s, "    workload: {wl},").unwrap();
+    s.push_str(")\n");
+    s
+}
+
+/// A parse failure: what was expected, and the byte offset it failed at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    UInt(u64),
+    Float(f64),
+    LParen,
+    RParen,
+    Colon,
+    Comma,
+    Eof,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b' ' | b'\t' | b'\r' | b'\n' => self.pos += 1,
+                b'/' if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn next(&mut self) -> Result<Tok, ParseError> {
+        self.skip_ws();
+        let Some(&c) = self.src.get(self.pos) else {
+            return Ok(Tok::Eof);
+        };
+        match c {
+            b'(' => {
+                self.pos += 1;
+                Ok(Tok::LParen)
+            }
+            b')' => {
+                self.pos += 1;
+                Ok(Tok::RParen)
+            }
+            b':' => {
+                self.pos += 1;
+                Ok(Tok::Colon)
+            }
+            b',' => {
+                self.pos += 1;
+                Ok(Tok::Comma)
+            }
+            b'0'..=b'9' => {
+                let start = self.pos;
+                let mut is_float = false;
+                while self.pos < self.src.len() {
+                    match self.src[self.pos] {
+                        b'0'..=b'9' => self.pos += 1,
+                        b'.' | b'e' | b'E' | b'-' | b'+' if self.pos > start => {
+                            is_float = true;
+                            self.pos += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                if is_float {
+                    text.parse::<f64>()
+                        .map(Tok::Float)
+                        .map_err(|e| self.err(format!("bad float '{text}': {e}")))
+                } else {
+                    text.parse::<u64>()
+                        .map(Tok::UInt)
+                        .map_err(|e| self.err(format!("bad integer '{text}': {e}")))
+                }
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = self.pos;
+                while self
+                    .src
+                    .get(self.pos)
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+                {
+                    self.pos += 1;
+                }
+                Ok(Tok::Ident(
+                    std::str::from_utf8(&self.src[start..self.pos])
+                        .unwrap()
+                        .to_string(),
+                ))
+            }
+            other => Err(self.err(format!("unexpected byte '{}'", other as char))),
+        }
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), ParseError> {
+        let got = self.next()?;
+        if &got == want {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {want:?}, found {got:?}")))
+        }
+    }
+
+    fn expect_field(&mut self, name: &str) -> Result<(), ParseError> {
+        match self.next()? {
+            Tok::Ident(id) if id == name => self.expect(&Tok::Colon),
+            other => Err(self.err(format!("expected field '{name}', found {other:?}"))),
+        }
+    }
+
+    fn uint(&mut self) -> Result<u64, ParseError> {
+        match self.next()? {
+            Tok::UInt(v) => Ok(v),
+            other => Err(self.err(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    fn float(&mut self) -> Result<f64, ParseError> {
+        match self.next()? {
+            Tok::Float(v) => Ok(v),
+            Tok::UInt(v) => Ok(v as f64),
+            other => Err(self.err(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next()? {
+            Tok::Ident(id) => Ok(id),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// Field separator inside `(...)`: a comma (possibly trailing).
+    fn sep(&mut self) -> Result<(), ParseError> {
+        self.expect(&Tok::Comma)
+    }
+}
+
+/// Parses one scenario from the corpus format. Fields must appear in the
+/// canonical [`to_ron`] order (the corpus is machine-written; a fixed
+/// order keeps the parser and diffs simple).
+pub fn parse(text: &str) -> Result<ScenarioSpec, ParseError> {
+    let mut lx = Lexer::new(text);
+    match lx.next()? {
+        Tok::Ident(id) if id == "Scenario" => {}
+        other => return Err(lx.err(format!("expected 'Scenario', found {other:?}"))),
+    }
+    lx.expect(&Tok::LParen)?;
+    lx.expect_field("seed")?;
+    let seed = lx.uint()?;
+    lx.sep()?;
+    lx.expect_field("family")?;
+    let family = match lx.ident()?.as_str() {
+        "Path" => Family::Path,
+        "Cycle" => Family::Cycle,
+        "Star" => Family::Star,
+        "Grid" => Family::Grid,
+        "BinaryTree" => Family::BinaryTree,
+        "ErdosRenyi" => {
+            lx.expect(&Tok::LParen)?;
+            lx.expect_field("p")?;
+            let p = lx.float()?;
+            lx.expect(&Tok::RParen)?;
+            Family::ErdosRenyi { p }
+        }
+        "ClusterRing" => {
+            lx.expect(&Tok::LParen)?;
+            lx.expect_field("hubs")?;
+            let hubs = lx.uint()? as usize;
+            lx.expect(&Tok::RParen)?;
+            Family::ClusterRing { hubs }
+        }
+        other => return Err(lx.err(format!("unknown family '{other}'"))),
+    };
+    lx.sep()?;
+    lx.expect_field("n")?;
+    let n = lx.uint()? as usize;
+    lx.sep()?;
+    lx.expect_field("max_weight")?;
+    let max_weight = lx.uint()?;
+    lx.sep()?;
+    lx.expect_field("faults")?;
+    let faults = match lx.ident()?.as_str() {
+        "NoFaults" => FaultSpec::NoFaults,
+        "Drops" => {
+            lx.expect(&Tok::LParen)?;
+            lx.expect_field("rate")?;
+            let rate = lx.float()?;
+            lx.expect(&Tok::RParen)?;
+            FaultSpec::Drops { rate }
+        }
+        "Crash" => {
+            lx.expect(&Tok::LParen)?;
+            lx.expect_field("node")?;
+            let node = lx.uint()? as usize;
+            lx.sep()?;
+            lx.expect_field("from")?;
+            let from = lx.uint()? as usize;
+            lx.sep()?;
+            lx.expect_field("len")?;
+            let len = lx.uint()? as usize;
+            lx.expect(&Tok::RParen)?;
+            FaultSpec::Crash { node, from, len }
+        }
+        other => return Err(lx.err(format!("unknown fault spec '{other}'"))),
+    };
+    lx.sep()?;
+    lx.expect_field("parallelism")?;
+    let parallelism = match lx.ident()?.as_str() {
+        "Sequential" => ParMode::Sequential,
+        "Parallel" => ParMode::Parallel,
+        other => return Err(lx.err(format!("unknown parallelism '{other}'"))),
+    };
+    lx.sep()?;
+    lx.expect_field("workload")?;
+    let workload = match lx.ident()?.as_str() {
+        "BaselineExact" => Workload::BaselineExact,
+        "QuantumDiameter" => Workload::QuantumDiameter,
+        "QuantumRadius" => Workload::QuantumRadius,
+        "PrimitiveAggregate" => Workload::PrimitiveAggregate,
+        other => return Err(lx.err(format!("unknown workload '{other}'"))),
+    };
+    lx.sep()?;
+    lx.expect(&Tok::RParen)?;
+    match lx.next()? {
+        Tok::Eof => Ok(ScenarioSpec {
+            seed,
+            family,
+            n,
+            max_weight,
+            faults,
+            parallelism,
+            workload,
+        }),
+        other => Err(lx.err(format!("trailing input: {other:?}"))),
+    }
+}
+
+/// The canonical corpus file name for a seed: fixed-width so lexicographic
+/// directory order equals numeric seed order (the CI smoke lane replays
+/// "the first N" and must mean the same N everywhere).
+pub fn file_name(seed: u64) -> String {
+    format!("scenario-{seed:08}.ron")
+}
+
+/// Writes `specs` into `dir` (created if missing), one file per spec.
+pub fn write_corpus(dir: &Path, specs: &[ScenarioSpec]) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let path = dir.join(file_name(spec.seed));
+        std::fs::write(&path, to_ron(spec))?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+/// Loads every `*.ron` scenario in `dir`, in file-name (= seed) order.
+pub fn load_corpus(dir: &Path) -> Result<Vec<ScenarioSpec>, String> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("read corpus dir {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "ron"))
+        .collect();
+    files.sort();
+    let mut specs = Vec::with_capacity(files.len());
+    for path in files {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let spec = parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
+        specs.push(spec);
+    }
+    Ok(specs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_sample_seeds() {
+        for seed in 0..128 {
+            let spec = ScenarioSpec::from_seed(seed);
+            let text = to_ron(&spec);
+            assert_eq!(parse(&text).unwrap(), spec, "seed {seed}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("Scenario(").is_err());
+        assert!(parse("Banana(seed: 1)").is_err());
+        let good = to_ron(&ScenarioSpec::from_seed(3));
+        assert!(parse(&format!("{good} trailing")).is_err());
+    }
+
+    #[test]
+    fn parse_reports_offsets() {
+        let err = parse("Scenario(seed: nope,").unwrap_err();
+        assert!(err.offset > 0);
+        assert!(err.to_string().contains("at byte"));
+    }
+
+    #[test]
+    fn file_names_sort_numerically() {
+        assert!(file_name(9) < file_name(10));
+        assert!(file_name(99) < file_name(100));
+    }
+
+    #[test]
+    fn corpus_write_then_load() {
+        let dir = std::env::temp_dir().join(format!("wdr-corpus-test-{}", std::process::id()));
+        let specs: Vec<ScenarioSpec> = (0..6).map(ScenarioSpec::from_seed).collect();
+        write_corpus(&dir, &specs).unwrap();
+        let loaded = load_corpus(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert_eq!(loaded, specs);
+    }
+}

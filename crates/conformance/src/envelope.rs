@@ -1,0 +1,246 @@
+//! Round-complexity envelope: fits the trace-derived round counts of the
+//! clean corpus runs against the asymptotic rows of
+//! [`congest_wdr::table_one`], producing one constant per regime cell and
+//! gating each cell against a pinned ceiling (a constant-factor
+//! regression gate — asymptotics can't drift silently).
+//!
+//! The fit is deliberately primitive: for each measurement the implied
+//! constant is `c = rounds / model(n, D)`, where `model` is the Table 1
+//! row the run claims to implement — `min{n^{9/10}D^{3/10}, n}` for the
+//! quantum weighted algorithm (the *this work* row), `n` for the
+//! classical APSP baselines. Cells are `(model, D-branch, weight class)`;
+//! the gate bounds the cell *maximum*, so one bad seed trips it.
+//!
+//! The whole report is exported as `BENCH_conformance.json` (same
+//! convention as the `BENCH_*.json` artifacts of `wdr-bench`).
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Which Table 1 row a measurement is fitted against.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug, Serialize)]
+pub enum ModelKind {
+    /// Theorem 1.1: `Õ(min{n^{9/10}D^{3/10}, n})`.
+    QuantumWeighted,
+    /// The classical `Θ̃(n)` APSP row.
+    ClassicalApsp,
+}
+
+/// One trace-derived round count from a clean scenario run.
+#[derive(Copy, Clone, Debug)]
+pub struct RoundMeasurement {
+    /// Model row to fit against.
+    pub kind: ModelKind,
+    /// Effective node count.
+    pub n: usize,
+    /// Unweighted diameter of the run's graph.
+    pub d: usize,
+    /// The scenario's weight-range regime.
+    pub max_weight: u64,
+    /// Measured rounds (budgeted rounds for the quantum algorithm — the
+    /// low-variance Lemma 3.1 worst-case schedule).
+    pub rounds: usize,
+}
+
+/// The model value a measurement is divided by, straight from the
+/// evaluated Table 1 rows (`this work` quantum upper / classical upper).
+pub fn model_value(kind: ModelKind, n: usize, d: usize) -> f64 {
+    let rows = congest_wdr::table_one::rows(n, d);
+    let this_work = rows
+        .iter()
+        .find(|r| r.this_work)
+        .expect("Table 1 contains the this-work row");
+    match kind {
+        ModelKind::QuantumWeighted => this_work.quantum_upper.1,
+        ModelKind::ClassicalApsp => this_work.classical_upper.1,
+    }
+    .max(1.0)
+}
+
+/// Pinned per-model ceilings for the fitted constants, with ~6× headroom
+/// over the constants measured on the shipped 48-seed corpus. At corpus
+/// sizes (`n ≤ 48`) everything the `Õ(·)` hides lands in the constant:
+/// quantum cells fit `c ≈ 1.2e7 – 1.6e8` (the Lemma 3.1 budget's
+/// `δ`-amplification, the polylog factors, and the small-`n` additive
+/// terms), classical cells fit `c ≈ 1.2 – 6.4`. Raising a ceiling is a
+/// deliberate act: it means the implementation got asymptotically slower
+/// relative to its Table 1 row.
+pub fn ceiling(kind: ModelKind) -> f64 {
+    match kind {
+        ModelKind::QuantumWeighted => 1.0e9,
+        ModelKind::ClassicalApsp => 30.0,
+    }
+}
+
+/// Fitted constants of one regime cell.
+#[derive(Clone, Debug, Serialize)]
+pub struct RegimeFit {
+    /// Cell key: `model|D-branch|weight-class`.
+    pub regime: String,
+    /// Model row the cell is fitted against.
+    pub kind: ModelKind,
+    /// Number of measurements in the cell.
+    pub samples: usize,
+    /// Smallest implied constant.
+    pub c_min: f64,
+    /// Mean implied constant.
+    pub c_mean: f64,
+    /// Largest implied constant (the gated quantity).
+    pub c_max: f64,
+    /// The gate ceiling for this cell.
+    pub ceiling: f64,
+    /// `c_max ≤ ceiling`.
+    pub passed: bool,
+}
+
+/// The full envelope report (`BENCH_conformance.json`).
+#[derive(Clone, Debug, Serialize)]
+pub struct EnvelopeReport {
+    /// Artifact name, for the bench-artifact conventions.
+    pub experiment: String,
+    /// Total measurements fitted.
+    pub samples: usize,
+    /// Per-regime fits, sorted by cell key.
+    pub regimes: Vec<RegimeFit>,
+    /// `true` when every cell is inside its ceiling.
+    pub passed: bool,
+}
+
+fn weight_class(max_weight: u64) -> &'static str {
+    match max_weight {
+        1 => "unit-w",
+        2..=16 => "small-w",
+        _ => "wide-w",
+    }
+}
+
+fn d_branch(n: usize, d: usize) -> &'static str {
+    if (d as f64) <= congest_wdr::cost::crossover_d(n) {
+        "sublinear-D"
+    } else {
+        "linear-D"
+    }
+}
+
+fn kind_name(kind: ModelKind) -> &'static str {
+    match kind {
+        ModelKind::QuantumWeighted => "quantum",
+        ModelKind::ClassicalApsp => "classical",
+    }
+}
+
+/// Bins the measurements into regime cells and fits the constants.
+pub fn fit(measurements: &[RoundMeasurement]) -> EnvelopeReport {
+    let mut cells: BTreeMap<String, (ModelKind, Vec<f64>)> = BTreeMap::new();
+    for m in measurements {
+        let key = format!(
+            "{}|{}|{}",
+            kind_name(m.kind),
+            d_branch(m.n, m.d),
+            weight_class(m.max_weight)
+        );
+        let c = m.rounds as f64 / model_value(m.kind, m.n, m.d);
+        cells.entry(key).or_insert((m.kind, Vec::new())).1.push(c);
+    }
+    let regimes: Vec<RegimeFit> = cells
+        .into_iter()
+        .map(|(regime, (kind, cs))| {
+            let c_min = cs.iter().copied().fold(f64::INFINITY, f64::min);
+            let c_max = cs.iter().copied().fold(0.0, f64::max);
+            let c_mean = cs.iter().sum::<f64>() / cs.len() as f64;
+            let ceiling = ceiling(kind);
+            RegimeFit {
+                regime,
+                kind,
+                samples: cs.len(),
+                c_min,
+                c_mean,
+                c_max,
+                ceiling,
+                passed: c_max <= ceiling,
+            }
+        })
+        .collect();
+    EnvelopeReport {
+        experiment: "conformance_envelope".to_string(),
+        samples: measurements.len(),
+        passed: regimes.iter().all(|r| r.passed),
+        regimes,
+    }
+}
+
+/// Writes the report as `BENCH_conformance.json` under `out_dir`
+/// (created if missing); returns the path.
+pub fn write_bench_json(report: &EnvelopeReport, out_dir: &Path) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(out_dir)?;
+    let path = out_dir.join("BENCH_conformance.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string(report).expect("envelope report serializes"),
+    )?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(kind: ModelKind, n: usize, d: usize, w: u64, rounds: usize) -> RoundMeasurement {
+        RoundMeasurement {
+            kind,
+            n,
+            d,
+            max_weight: w,
+            rounds,
+        }
+    }
+
+    #[test]
+    fn fit_bins_by_regime() {
+        let ms = [
+            m(ModelKind::QuantumWeighted, 16, 2, 1, 400),
+            m(ModelKind::QuantumWeighted, 16, 2, 1, 800),
+            m(ModelKind::QuantumWeighted, 16, 15, 1, 700),
+            m(ModelKind::ClassicalApsp, 32, 4, 8, 90),
+        ];
+        let rep = fit(&ms);
+        assert_eq!(rep.samples, 4);
+        assert_eq!(rep.regimes.len(), 3);
+        let quantum_sub = rep
+            .regimes
+            .iter()
+            .find(|r| r.regime == "quantum|sublinear-D|unit-w")
+            .unwrap();
+        assert_eq!(quantum_sub.samples, 2);
+        assert!(quantum_sub.c_min <= quantum_sub.c_mean);
+        assert!(quantum_sub.c_mean <= quantum_sub.c_max);
+    }
+
+    #[test]
+    fn gate_trips_on_blowup() {
+        // rounds ≫ ceiling · model ⇒ the cell fails and the report fails.
+        let blown = [m(ModelKind::ClassicalApsp, 32, 4, 1, 32 * 1000)];
+        let rep = fit(&blown);
+        assert!(!rep.passed);
+        assert!(!rep.regimes[0].passed);
+    }
+
+    #[test]
+    fn model_values_track_table_one() {
+        // The quantum model is the min{n^0.9 D^0.3, n} row: at D above the
+        // n^{1/3} crossover it equals n.
+        let v = model_value(ModelKind::QuantumWeighted, 1 << 15, 1 << 10);
+        assert_eq!(v, (1usize << 15) as f64);
+        assert_eq!(model_value(ModelKind::ClassicalApsp, 64, 4), 64.0);
+    }
+
+    #[test]
+    fn report_serializes() {
+        // crossover_d(27) = 3, so d = 3 sits on the sublinear branch.
+        let rep = fit(&[m(ModelKind::QuantumWeighted, 27, 3, 8, 500)]);
+        let json = serde_json::to_string(&rep).unwrap();
+        assert!(json.contains("conformance_envelope"));
+        assert!(json.contains("quantum|sublinear-D|small-w"));
+    }
+}

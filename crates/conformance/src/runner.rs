@@ -1,0 +1,297 @@
+//! Corpus execution: runs every scenario through the oracles, aggregates
+//! the statistical (soft-side) checks, fits and gates the round envelope,
+//! and powers the `wdr-conform` mutation self-check and failing-seed
+//! shrinker.
+
+use crate::envelope::{self, EnvelopeReport};
+use crate::oracle::{self, Oracle, ScenarioOutcome};
+use crate::scenario::ScenarioSpec;
+use quantum_sim::mutation::Mutation;
+use std::path::{Path, PathBuf};
+
+/// Minimum corpus-wide success rate of the w.h.p. sandwich side over
+/// clean quantum runs. Clean corpora measure ≈ 0.95+; arming
+/// [`Mutation::SkipGroverPhase`] collapses the searches to single uniform
+/// measurements and drags the rate far below this floor — which is
+/// exactly how the mutation self-check proves the suite has teeth.
+pub const SOFT_SIDE_FLOOR: f64 = 0.75;
+
+/// Below this many clean quantum samples the soft-side aggregate is not
+/// statistically meaningful and is skipped (single-scenario replays).
+pub const SOFT_SIDE_MIN_SAMPLES: usize = 4;
+
+/// One suite-level failure.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// The offending seed (`None` for corpus-aggregate failures).
+    pub seed: Option<u64>,
+    /// The oracle that failed.
+    pub oracle: Oracle,
+    /// Evidence.
+    pub detail: String,
+}
+
+/// Options for one suite run.
+#[derive(Clone, Debug, Default)]
+pub struct SuiteOptions {
+    /// Arm a known bug in the quantum layer for the whole run (the
+    /// self-check: the suite must then FAIL).
+    pub mutate: Option<Mutation>,
+    /// Run only the first `n` scenarios (seed order) — the CI smoke lane.
+    pub slice: Option<usize>,
+    /// Where to write `BENCH_conformance.json` (`None` = skip).
+    pub bench_out: Option<PathBuf>,
+}
+
+/// The suite verdict.
+#[derive(Debug)]
+pub struct SuiteReport {
+    /// Per-scenario outcomes, corpus order.
+    pub outcomes: Vec<ScenarioOutcome>,
+    /// Every failure, scenario-level and aggregate.
+    pub failures: Vec<Failure>,
+    /// Soft-side success rate over clean quantum runs (`None` if too few).
+    pub soft_rate: Option<f64>,
+    /// The fitted round envelope.
+    pub envelope: EnvelopeReport,
+    /// Where the bench artifact landed, if written.
+    pub bench_path: Option<PathBuf>,
+}
+
+impl SuiteReport {
+    /// `true` when no oracle failed anywhere.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs the suite over `specs`.
+pub fn run_suite(specs: &[ScenarioSpec], options: &SuiteOptions) -> SuiteReport {
+    // The mutation hook is thread-local and the oracles drive every
+    // quantum search from this thread, so one guard covers the run.
+    let _guard = options.mutate.map(quantum_sim::mutation::arm);
+    let take = options.slice.unwrap_or(specs.len()).min(specs.len());
+    let mut outcomes = Vec::with_capacity(take);
+    let mut failures = Vec::new();
+    for spec in &specs[..take] {
+        let outcome = oracle::run_scenario(spec);
+        for check in outcome.failures() {
+            failures.push(Failure {
+                seed: Some(spec.seed),
+                oracle: check.oracle,
+                detail: check.detail.clone(),
+            });
+        }
+        outcomes.push(outcome);
+    }
+
+    let soft: Vec<bool> = outcomes.iter().filter_map(|o| o.soft_side).collect();
+    let soft_rate = if soft.len() >= SOFT_SIDE_MIN_SAMPLES {
+        let rate = soft.iter().filter(|&&ok| ok).count() as f64 / soft.len() as f64;
+        if rate < SOFT_SIDE_FLOOR {
+            failures.push(Failure {
+                seed: None,
+                oracle: Oracle::ApproxRatioSoft,
+                detail: format!(
+                    "w.h.p. sandwich side held in only {:.0}% of {} clean quantum runs \
+                     (floor {:.0}%) — the approximation guarantee is statistically broken",
+                    rate * 100.0,
+                    soft.len(),
+                    SOFT_SIDE_FLOOR * 100.0
+                ),
+            });
+        }
+        Some(rate)
+    } else {
+        None
+    };
+
+    let measurements: Vec<_> = outcomes.iter().filter_map(|o| o.measurement).collect();
+    let envelope = envelope::fit(&measurements);
+    for regime in envelope.regimes.iter().filter(|r| !r.passed) {
+        failures.push(Failure {
+            seed: None,
+            oracle: Oracle::RoundEnvelope,
+            detail: format!(
+                "regime {}: fitted constant c_max = {:.1} exceeds ceiling {:.1}",
+                regime.regime, regime.c_max, regime.ceiling
+            ),
+        });
+    }
+    let bench_path = options
+        .bench_out
+        .as_deref()
+        .map(|dir| envelope::write_bench_json(&envelope, dir).expect("write BENCH_conformance"));
+
+    SuiteReport {
+        outcomes,
+        failures,
+        soft_rate,
+        envelope,
+        bench_path,
+    }
+}
+
+/// Runs one scenario and returns the first per-scenario oracle failure
+/// (`None` = the scenario passes). The shrinker's fitness function.
+pub fn first_failure(spec: &ScenarioSpec) -> Option<String> {
+    let outcome = oracle::run_scenario(spec);
+    outcome
+        .failures()
+        .first()
+        .map(|c| format!("{}: {}", c.oracle.name(), c.detail))
+}
+
+/// Result of shrinking a failing seed.
+#[derive(Clone, Debug)]
+pub struct ShrinkOutcome {
+    /// The spec the shrink started from.
+    pub original: ScenarioSpec,
+    /// The smallest still-failing spec found.
+    pub shrunk: ScenarioSpec,
+    /// Accepted shrink steps.
+    pub steps: usize,
+    /// The failure the shrunk spec reproduces.
+    pub failure: String,
+}
+
+/// Greedy shrink: while any candidate (halve `n` / drop faults / force
+/// sequential / collapse weights) still fails, descend into it. Returns
+/// `None` when `spec` does not fail in the first place. Terminates because
+/// every candidate strictly decreases
+/// [`ScenarioSpec::size_measure`].
+pub fn shrink(spec: &ScenarioSpec) -> Option<ShrinkOutcome> {
+    shrink_with(spec, first_failure)
+}
+
+/// [`shrink`] with an injectable fitness function (the real one replays
+/// the oracles; tests substitute synthetic failure predicates).
+pub fn shrink_with(
+    spec: &ScenarioSpec,
+    fails: impl Fn(&ScenarioSpec) -> Option<String>,
+) -> Option<ShrinkOutcome> {
+    let mut failure = fails(spec)?;
+    let mut current = *spec;
+    let mut steps = 0usize;
+    loop {
+        let mut advanced = false;
+        for candidate in current.shrink_candidates() {
+            if let Some(f) = fails(&candidate) {
+                current = candidate;
+                failure = f;
+                steps += 1;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+    Some(ShrinkOutcome {
+        original: *spec,
+        shrunk: current,
+        steps,
+        failure,
+    })
+}
+
+/// Renders the suite verdict for the CLI (stable text: CI greps oracle
+/// names out of it).
+pub fn render_report(report: &SuiteReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(out, "scenarios run: {}", report.outcomes.len()).unwrap();
+    if let Some(rate) = report.soft_rate {
+        writeln!(
+            out,
+            "soft-side rate: {:.0}% (floor {:.0}%)",
+            rate * 100.0,
+            SOFT_SIDE_FLOOR * 100.0
+        )
+        .unwrap();
+    }
+    for regime in &report.envelope.regimes {
+        writeln!(
+            out,
+            "envelope {}: {} samples, c in [{:.1}, {:.1}], ceiling {:.1} — {}",
+            regime.regime,
+            regime.samples,
+            regime.c_min,
+            regime.c_max,
+            regime.ceiling,
+            if regime.passed { "ok" } else { "FAIL" }
+        )
+        .unwrap();
+    }
+    if let Some(path) = &report.bench_path {
+        writeln!(out, "bench artifact: {}", path.display()).unwrap();
+    }
+    if report.passed() {
+        writeln!(out, "PASS: every oracle satisfied").unwrap();
+    } else {
+        writeln!(out, "FAIL: {} oracle failure(s)", report.failures.len()).unwrap();
+        for f in &report.failures {
+            match f.seed {
+                Some(seed) => writeln!(out, "  [{}] seed {seed}: {}", f.oracle.name(), f.detail),
+                None => writeln!(out, "  [{}] corpus-wide: {}", f.oracle.name(), f.detail),
+            }
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// Generates the canonical corpus: the specs of seeds `0..count`.
+pub fn generate_corpus(count: u64) -> Vec<ScenarioSpec> {
+    (0..count).map(ScenarioSpec::from_seed).collect()
+}
+
+/// Loads the corpus from `dir` and runs the suite.
+pub fn run_corpus_dir(dir: &Path, options: &SuiteOptions) -> Result<SuiteReport, String> {
+    let specs = crate::corpus::load_corpus(dir)?;
+    if specs.is_empty() {
+        return Err(format!("no scenarios in {}", dir.display()));
+    }
+    Ok(run_suite(&specs, options))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrink_returns_none_for_passing_predicate() {
+        let spec = ScenarioSpec::from_seed(7);
+        assert!(shrink_with(&spec, |_| None).is_none());
+    }
+
+    #[test]
+    fn shrink_descends_to_the_predicate_boundary() {
+        // Synthetic bug: "fails whenever n ≥ 8". The greedy shrinker must
+        // land on a still-failing spec none of whose candidates fail —
+        // i.e. halving n once more would cross below 8.
+        let spec = generate_corpus(48)
+            .into_iter()
+            .find(|s| s.n >= 16)
+            .expect("corpus has a spec with n ≥ 16");
+        let fails = |s: &ScenarioSpec| (s.n >= 8).then(|| format!("n = {} too big", s.n));
+        let out = shrink_with(&spec, fails).expect("spec fails the predicate");
+        assert!(out.steps >= 1, "at least one halving step must be accepted");
+        assert!(out.shrunk.n >= 8, "shrunk spec must still fail");
+        assert!(
+            out.shrunk.shrink_candidates().iter().all(|c| c.n < 8),
+            "shrunk spec must be a local minimum of the predicate"
+        );
+        assert!(out.shrunk.size_measure() < out.original.size_measure());
+    }
+
+    #[test]
+    fn corpus_seeds_are_sequential() {
+        let specs = generate_corpus(5);
+        assert_eq!(specs.len(), 5);
+        for (i, s) in specs.iter().enumerate() {
+            assert_eq!(s.seed, i as u64);
+        }
+    }
+}

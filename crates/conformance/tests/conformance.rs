@@ -1,0 +1,101 @@
+//! Property tests of the conformance subsystem itself: the corpus format
+//! must round-trip, scenario generation must be a pure function of the
+//! seed, and the shrinker must terminate. The checked-in `tests/corpus/`
+//! at the workspace root is additionally pinned byte-for-byte against the
+//! generator, so a drive-by edit to either side fails loudly.
+
+use proptest::prelude::*;
+use wdr_conformance::runner::generate_corpus;
+use wdr_conformance::scenario::{FaultSpec, ScenarioSpec, Workload};
+use wdr_conformance::{corpus, oracle};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `to_ron ∘ parse` is the identity on every generatable spec.
+    #[test]
+    fn ron_roundtrips(seed in any::<u64>()) {
+        let spec = ScenarioSpec::from_seed(seed);
+        let text = corpus::to_ron(&spec);
+        let parsed = corpus::parse(&text).expect("canonical RON parses");
+        prop_assert_eq!(parsed, spec);
+    }
+
+    /// Scenario generation is a pure function of the seed: regenerating
+    /// yields an identical spec, and the derived graph is bit-identical.
+    #[test]
+    fn from_seed_is_pure(seed in any::<u64>()) {
+        let a = ScenarioSpec::from_seed(seed);
+        let b = ScenarioSpec::from_seed(seed);
+        prop_assert_eq!(a, b);
+        let (ga, gb) = (a.build_graph(), b.build_graph());
+        prop_assert_eq!(ga.n(), gb.n());
+        prop_assert_eq!(ga.edges(), gb.edges());
+    }
+
+    /// Every spec is normalized at generation time: re-normalizing is a
+    /// no-op, and baselines are always fault-free.
+    #[test]
+    fn generated_specs_are_normal_forms(seed in any::<u64>()) {
+        let spec = ScenarioSpec::from_seed(seed);
+        prop_assert_eq!(spec.normalized(), spec);
+        if spec.workload == Workload::BaselineExact {
+            prop_assert_eq!(spec.faults, FaultSpec::NoFaults);
+        }
+    }
+
+    /// Shrink candidates strictly decrease the size measure, so greedy
+    /// shrinking terminates from any starting spec.
+    #[test]
+    fn shrinking_strictly_decreases(seed in any::<u64>()) {
+        let spec = ScenarioSpec::from_seed(seed);
+        for candidate in spec.shrink_candidates() {
+            prop_assert!(candidate.size_measure() < spec.size_measure());
+            // Candidates stay inside the generatable envelope: still
+            // normalized, still buildable.
+            prop_assert_eq!(candidate.normalized(), candidate);
+            let _ = candidate.build_graph();
+        }
+    }
+
+    /// The per-`n` tolerance is the paper's `o(1)` term made explicit:
+    /// positive, monotone non-increasing, and vanishing in `n`.
+    #[test]
+    fn o1_tolerance_shrinks(n in 4usize..4096) {
+        let t = oracle::o1_tolerance(n);
+        prop_assert!(t > 0.0);
+        prop_assert!(t <= oracle::o1_tolerance(n / 2));
+        prop_assert!(oracle::o1_tolerance(n * 1024) < t);
+    }
+}
+
+/// The checked-in corpus is exactly `generate_corpus(48)` serialized —
+/// regenerate with `wdr-conform gen --count 48 --out tests/corpus` after
+/// any deliberate generator change.
+#[test]
+fn checked_in_corpus_matches_generator() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus");
+    let loaded = corpus::load_corpus(&dir).expect("workspace corpus loads");
+    let expected = generate_corpus(48);
+    assert_eq!(loaded.len(), expected.len(), "corpus file count drifted");
+    for (got, want) in loaded.iter().zip(&expected) {
+        assert_eq!(got, want, "seed {} drifted from the generator", want.seed);
+    }
+}
+
+/// A pinned clean scenario passes every oracle end-to-end (fast smoke:
+/// one baseline seed, exercised without the CLI).
+#[test]
+fn pinned_baseline_seed_passes_all_oracles() {
+    let spec = generate_corpus(48)
+        .into_iter()
+        .find(|s| s.workload == Workload::BaselineExact)
+        .expect("corpus contains a baseline scenario");
+    let outcome = oracle::run_scenario(&spec);
+    assert!(
+        outcome.failures().is_empty(),
+        "baseline seed {} failed: {:?}",
+        spec.seed,
+        outcome.failures()
+    );
+}

@@ -159,10 +159,11 @@ pub fn extremes_with(g: &WeightedGraph, metric: EdgeMetric) -> SweepResult {
 
     // First source: maximum degree, smallest index on ties — a hub settles
     // the radius side quickly and its sweep seeds tight bounds everywhere.
-    let mut source = g
-        .nodes()
-        .max_by_key(|&v| (g.degree(v), Reverse(v)))
-        .expect("n >= 2");
+    // (The `else` arm keeps this total even if the trivial-graph guard
+    // above ever moves; an empty node set has nothing to sweep.)
+    let Some(mut source) = g.nodes().max_by_key(|&v| (g.degree(v), Reverse(v))) else {
+        return trivial(n);
+    };
     let mut diameter_turn = true;
     loop {
         let dist = sweep_dist(&mut ws, g, source, metric);
@@ -413,19 +414,57 @@ mod tests {
         }
     }
 
+    /// `n = 0`: every entry point returns the zero-sweep trivial result
+    /// instead of panicking on an empty node set.
     #[test]
-    fn trivial_graphs() {
+    fn empty_graph_is_trivial() {
         let empty = WeightedGraph::from_edges(0, []).unwrap();
-        assert_eq!(extremes(&empty), trivial(0));
-        assert_eq!(
-            brute_force_extremes(&empty, EdgeMetric::Weighted),
-            trivial(0)
-        );
+        for metric in [EdgeMetric::Weighted, EdgeMetric::Unweighted] {
+            let r = extremes_with(&empty, metric);
+            assert_eq!(r, trivial(0));
+            assert_eq!(r.sweeps, 0, "no SSSP sweep runs on an empty graph");
+            assert_eq!(brute_force_extremes(&empty, metric), trivial(0));
+        }
+        assert!(all_eccentricities(&empty, EdgeMetric::Weighted).is_empty());
+    }
+
+    /// `n = 1`: a lone node has diameter = radius = 0, is connected, and
+    /// is its own (only possible) witness.
+    #[test]
+    fn single_node_graph_is_trivial() {
         let one = WeightedGraph::from_edges(1, []).unwrap();
-        let r = extremes(&one);
-        assert_eq!(r.diameter, Dist::ZERO);
-        assert_eq!(r.radius, Dist::ZERO);
-        assert!(r.is_connected());
+        for metric in [EdgeMetric::Weighted, EdgeMetric::Unweighted] {
+            let r = extremes_with(&one, metric);
+            assert_eq!(r.diameter, Dist::ZERO);
+            assert_eq!(r.radius, Dist::ZERO);
+            assert_eq!(r.diameter_witness, 0);
+            assert_eq!(r.radius_witness, 0);
+            assert!(r.is_connected());
+            let b = brute_force_extremes(&one, metric);
+            assert_eq!((r.diameter, r.radius), (b.diameter, b.radius));
+        }
+    }
+
+    /// `n = 2` with one edge: the smallest graph the pruned sweep actually
+    /// sweeps. Diameter and radius both equal the edge weight (1 hop
+    /// unweighted), and pruned/brute-force agree.
+    #[test]
+    fn single_edge_graph() {
+        let g = WeightedGraph::from_edges(2, [(0, 1, 7)]).unwrap();
+
+        let w = extremes(&g);
+        assert_eq!(w.diameter, Dist::from(7u64));
+        assert_eq!(w.radius, Dist::from(7u64));
+        assert!(w.is_connected());
+        assert!(w.sweeps >= 1);
+        let wb = brute_force_extremes(&g, EdgeMetric::Weighted);
+        assert_eq!((w.diameter, w.radius), (wb.diameter, wb.radius));
+
+        let u = extremes_unweighted(&g);
+        assert_eq!(u.diameter, Dist::from(1u64));
+        assert_eq!(u.radius, Dist::from(1u64));
+        let ub = brute_force_extremes(&g, EdgeMetric::Unweighted);
+        assert_eq!((u.diameter, u.radius), (ub.diameter, ub.radius));
     }
 
     #[test]

@@ -474,6 +474,18 @@ pub enum SimError {
         /// Rounds that actually executed before the cap fired.
         rounds_executed: usize,
     },
+    /// The network quiesced, but a node whose output the phase needs never
+    /// reached its final state — e.g. the aggregation root of a
+    /// [`crate::primitives::converge_cast`] was inside a
+    /// [`crate::faults::CrashWindow`] when the run ended, so it holds no
+    /// result to return. Only fault plans can produce this: on a lossless
+    /// network every phase either completes or hits another error.
+    PhaseIncomplete {
+        /// The phase name (as passed to [`crate::run_phase`]).
+        phase: &'static str,
+        /// The node whose output was required but missing.
+        node: NodeId,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -493,6 +505,12 @@ impl fmt::Display for SimError {
                 write!(
                     f,
                     "simulation did not finish within {max_rounds} rounds ({rounds_executed} executed)"
+                )
+            }
+            SimError::PhaseIncomplete { phase, node } => {
+                write!(
+                    f,
+                    "phase '{phase}' quiesced without node {node} reaching its result (crashed under faults?)"
                 )
             }
         }

@@ -221,7 +221,10 @@ struct ConvergeCastProgram {
 
 impl NodeProgram for ConvergeCastProgram {
     type Msg = CastMsg;
-    type Output = u128;
+    // `None` when the node never learned the aggregate — possible only when
+    // a fault plan crashed it past the downcast; the wrapper turns a missing
+    // *leader* result into `SimError::PhaseIncomplete` instead of panicking.
+    type Output = Option<u128>;
 
     fn start(&mut self, _ctx: &NodeCtx, mb: &mut Mailbox<CastMsg>) {
         if self.waiting == 0 {
@@ -278,8 +281,8 @@ impl NodeProgram for ConvergeCastProgram {
         }
     }
 
-    fn finish(self, _ctx: &NodeCtx) -> u128 {
-        self.result.expect("convergecast completed")
+    fn finish(self, _ctx: &NodeCtx) -> Option<u128> {
+        self.result
     }
 }
 
@@ -289,7 +292,9 @@ impl NodeProgram for ConvergeCastProgram {
 ///
 /// # Errors
 ///
-/// Propagates simulator errors.
+/// Propagates simulator errors; returns [`SimError::PhaseIncomplete`] when
+/// an injected fault plan left the leader without a result at quiescence
+/// (e.g. a [`crate::faults::CrashWindow`] covering the whole cast).
 ///
 /// # Panics
 ///
@@ -314,8 +319,13 @@ pub fn converge_cast(
             result: None,
         }
     })?;
-    let result = out[leader];
-    debug_assert!(out.iter().all(|&x| x == result));
+    let result = out[leader].ok_or(SimError::PhaseIncomplete {
+        phase: "converge_cast",
+        node: leader,
+    })?;
+    // Every node that did learn a result learned the same one (the value
+    // originates at the root; faults can only drop it, not alter it).
+    debug_assert!(out.iter().flatten().all(|&x| x == result));
     Ok((result, stats))
 }
 
@@ -363,7 +373,9 @@ impl Payload for VecCastMsg {
 
 impl NodeProgram for VecCastProgram {
     type Msg = VecCastMsg;
-    type Output = Vec<u128>;
+    // Per-element `None` marks entries the node never learned (crash-window
+    // fault plans only); see [`ConvergeCastProgram`].
+    type Output = Vec<Option<u128>>;
 
     fn start(&mut self, _ctx: &NodeCtx, _mb: &mut Mailbox<VecCastMsg>) {}
 
@@ -413,11 +425,8 @@ impl NodeProgram for VecCastProgram {
         }
     }
 
-    fn finish(self, _ctx: &NodeCtx) -> Vec<u128> {
+    fn finish(self, _ctx: &NodeCtx) -> Vec<Option<u128>> {
         self.result
-            .into_iter()
-            .map(|x| x.expect("vector cast completed"))
-            .collect()
     }
 }
 
@@ -427,7 +436,9 @@ impl NodeProgram for VecCastProgram {
 ///
 /// # Errors
 ///
-/// Propagates simulator errors.
+/// Propagates simulator errors; returns [`SimError::PhaseIncomplete`] when
+/// an injected fault plan left the leader without some element of the
+/// aggregated vector at quiescence.
 ///
 /// # Panics
 ///
@@ -450,7 +461,7 @@ pub fn converge_cast_vec(
     if k == 0 {
         return Ok((Vec::new(), RoundStats::default()));
     }
-    let (out, stats) = run_phase(graph, leader, config, "vector_cast", |v, _| {
+    let (mut out, stats) = run_phase(graph, leader, config, "vector_cast", |v, _| {
         VecCastProgram {
             tree: tree[v].clone(),
             op,
@@ -460,7 +471,14 @@ pub fn converge_cast_vec(
             result: vec![None; k],
         }
     })?;
-    Ok((out[leader].clone(), stats))
+    let result = std::mem::take(&mut out[leader])
+        .into_iter()
+        .collect::<Option<Vec<u128>>>()
+        .ok_or(SimError::PhaseIncomplete {
+            phase: "vector_cast",
+            node: leader,
+        })?;
+    Ok((result, stats))
 }
 
 type SeqItem = (u64, u128); // (sequence number, value)

@@ -1,0 +1,99 @@
+//! Shared fixtures for the congest-sim integration tests: the in-memory
+//! trace sink and the canonical golden-trace event sequence (one instance,
+//! used by every test that pins the JSONL interchange format — keep it in
+//! sync with `tests/golden/trace.jsonl`).
+
+use congest_sim::TraceEvent;
+use std::sync::{Arc, Mutex};
+
+/// An `io::Write` that appends into a shared buffer, for capturing
+/// `JsonlTracer` output inside a test.
+#[derive(Clone, Default)]
+pub struct SharedBuf(pub Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    /// The captured bytes as a UTF-8 string.
+    pub fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+    }
+}
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(data);
+        Ok(data.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The canonical event sequence behind `tests/golden/trace.jsonl`: one of
+/// every `TraceEvent` variant, in a realistic nesting. Any change to the
+/// serialized shape must update the golden file *and* this fixture together.
+#[allow(dead_code)] // each integration-test binary uses a subset
+pub fn golden_events() -> Vec<TraceEvent> {
+    vec![
+        TraceEvent::PhaseStart {
+            name: "outer".to_string(),
+        },
+        TraceEvent::PhaseStart {
+            name: "inner".to_string(),
+        },
+        TraceEvent::RoundCompleted {
+            round: 1,
+            messages: 4,
+            bits: 32,
+            max_channel_bits: 8,
+        },
+        TraceEvent::ChannelSaturation {
+            round: 1,
+            from: 0,
+            to: 1,
+            bits: 30,
+            budget_bits: 32,
+        },
+        TraceEvent::PhaseEnd {
+            name: "inner".to_string(),
+        },
+        TraceEvent::PadRounds {
+            rounds: 3,
+            reason: "fixed schedule".to_string(),
+        },
+        TraceEvent::ChannelProfile {
+            channel_rounds: 2,
+            p50_bits: 8,
+            p95_bits: 30,
+            max_bits: 30,
+            hot_edges: vec![congest_sim::telemetry::HotEdge {
+                from: 0,
+                to: 1,
+                bits: 62,
+            }],
+        },
+        TraceEvent::GroverIteration {
+            label: "outer_search".to_string(),
+            iterations: 17,
+            oracle_queries: 19,
+        },
+        TraceEvent::MessageDropped {
+            round: 2,
+            from: 0,
+            to: 1,
+            bits: 8,
+            reason: congest_sim::faults::DropReason::Random,
+        },
+        TraceEvent::NodeCrashed { node: 3, round: 2 },
+        TraceEvent::NodeRecovered { node: 3, round: 5 },
+        TraceEvent::LinkThrottled {
+            round: 2,
+            from: 1,
+            to: 2,
+            budget_bits: 16,
+        },
+        TraceEvent::MessageLogTruncated { round: 4, cap: 100 },
+        TraceEvent::PhaseEnd {
+            name: "outer".to_string(),
+        },
+    ]
+}

@@ -3,15 +3,19 @@
 //! zero-fault transparency (an all-zero plan is indistinguishable from no
 //! plan at all).
 
+mod common;
+
+use common::SharedBuf;
 use congest_graph::{generators, NodeId, WeightedGraph};
 use congest_sim::telemetry::JsonlTracer;
 use congest_sim::{
-    FaultPlan, Mailbox, Network, NodeCtx, NodeProgram, SimConfig, Status, Telemetry,
+    primitives, FaultPlan, Mailbox, Network, NodeCtx, NodeProgram, SimConfig, SimError, Status,
+    Telemetry,
 };
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Leader-rooted flood with a fixed deadline: every node forwards the token
 /// once and halts at `deadline` regardless of what the fault model did, so
@@ -66,19 +70,6 @@ fn cfg(g: &WeightedGraph) -> SimConfig {
     SimConfig::standard(g.n(), g.max_weight()).with_max_rounds(10_000)
 }
 
-#[derive(Clone, Default)]
-struct SharedBuf(Arc<Mutex<Vec<u8>>>);
-
-impl std::io::Write for SharedBuf {
-    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
-        self.0.lock().unwrap().extend_from_slice(data);
-        Ok(data.len())
-    }
-    fn flush(&mut self) -> std::io::Result<()> {
-        Ok(())
-    }
-}
-
 /// One traced flood under `plan`, returning the raw JSONL bytes, the
 /// per-node outputs, and the stats.
 fn traced_flood(
@@ -96,8 +87,7 @@ fn traced_flood(
     let out = net.run().expect("deadline flood always terminates");
     let stats = net.stats().clone();
     telemetry.flush();
-    let trace = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
-    (trace, out, stats)
+    (buf.contents(), out, stats)
 }
 
 proptest! {
@@ -152,5 +142,107 @@ proptest! {
         prop_assert_eq!(out_plain, outputs);
         prop_assert_eq!(plain.stats(), zeroed.stats());
         prop_assert!(zeroed.stats().resilience.is_zero());
+    }
+}
+
+/// Regression tests for the convergecast primitives under crash-window
+/// fault plans. These used to `expect("convergecast completed")` /
+/// `expect("vector cast completed")` inside `finish`, panicking whenever a
+/// crash left a node without its result at quiescence; they must now either
+/// succeed (the leader got its answer) or surface a typed
+/// [`SimError::PhaseIncomplete`].
+mod phase_incomplete {
+    use super::*;
+    use primitives::Aggregate;
+
+    /// Path `0-1-2-3`, leader 0, with the clean BFS tree computed up front
+    /// so the cast itself is the only faulted phase.
+    fn path_tree() -> (WeightedGraph, Vec<primitives::TreeInfo>) {
+        let g = generators::path(4, 1);
+        let clean = SimConfig::standard(g.n(), g.max_weight()).with_max_rounds(10_000);
+        let (tree, _) = primitives::bfs_tree(&g, 0, &clean).unwrap();
+        (g, tree)
+    }
+
+    /// Every node crashed from round 1 onward: the network quiesces
+    /// immediately with the leader result-less. Previously a panic; now a
+    /// typed error naming the phase and the missing node.
+    #[test]
+    fn converge_cast_under_total_crash_is_a_typed_error() {
+        let (g, tree) = path_tree();
+        let mut plan = FaultPlan::new(7);
+        for v in 0..g.n() {
+            plan = plan.with_crash(v, 1, None);
+        }
+        let config = cfg(&g).with_faults(plan);
+        let err = primitives::converge_cast(&g, 0, &config, &tree, &[3, 1, 4, 1], Aggregate::Sum)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SimError::PhaseIncomplete {
+                    phase: "converge_cast",
+                    node: 0,
+                }
+            ),
+            "expected PhaseIncomplete for the leader, got: {err}"
+        );
+    }
+
+    /// Same total-crash schedule over the pipelined vector cast.
+    #[test]
+    fn converge_cast_vec_under_total_crash_is_a_typed_error() {
+        let (g, tree) = path_tree();
+        let mut plan = FaultPlan::new(7);
+        for v in 0..g.n() {
+            plan = plan.with_crash(v, 1, None);
+        }
+        let config = cfg(&g).with_faults(plan);
+        let values: Vec<Vec<u128>> = (0..g.n() as u128).map(|v| vec![v, 10 + v]).collect();
+        let err = primitives::converge_cast_vec(&g, 0, &config, &tree, &values, Aggregate::Max)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SimError::PhaseIncomplete {
+                    phase: "vector_cast",
+                    node: 0,
+                }
+            ),
+            "expected PhaseIncomplete for the leader, got: {err}"
+        );
+    }
+
+    /// The deepest leaf crashes *after* its contribution flowed up but
+    /// before the downcast reaches it. The leader still aggregates the full
+    /// sum, so the call must return `Ok` — under the old `finish` this
+    /// exact schedule panicked with "convergecast completed".
+    #[test]
+    fn crashed_leaf_during_downcast_no_longer_panics() {
+        let (g, tree) = path_tree();
+        // Node 3's `Up` is sent in `start` and delivered in round 1; crash
+        // it from round 2 so only the downcast to it is lost.
+        let plan = FaultPlan::new(7).with_crash(3, 2, None);
+        let config = cfg(&g).with_faults(plan);
+        let (sum, _) =
+            primitives::converge_cast(&g, 0, &config, &tree, &[3, 1, 4, 1], Aggregate::Sum)
+                .expect("leader aggregated the full sum before the leaf crashed");
+        assert_eq!(sum, 9);
+    }
+
+    /// Vector-cast analogue: the leaf has forwarded both elements by round
+    /// 2 (one per round, pipelined), so crashing it from round 3 loses only
+    /// its copy of the downcast. Previously panicked with "vector cast
+    /// completed".
+    #[test]
+    fn crashed_leaf_during_vector_downcast_no_longer_panics() {
+        let (g, tree) = path_tree();
+        let plan = FaultPlan::new(7).with_crash(3, 3, None);
+        let config = cfg(&g).with_faults(plan);
+        let values: Vec<Vec<u128>> = (0..g.n() as u128).map(|v| vec![v, 10 + v]).collect();
+        let (maxes, _) =
+            primitives::converge_cast_vec(&g, 0, &config, &tree, &values, Aggregate::Max)
+                .expect("leader aggregated both elements before the leaf crashed");
+        assert_eq!(maxes, vec![3, 13]);
     }
 }

@@ -2,13 +2,16 @@
 //! must never change what the simulator computes or charges) and the JSONL
 //! interchange format.
 
+mod common;
+
+use common::SharedBuf;
 use congest_graph::{generators, WeightedGraph};
 use congest_sim::telemetry::{CountingTracer, JsonlTracer, Tracer};
-use congest_sim::{primitives, SimConfig, Telemetry, TraceEvent};
+use congest_sim::{primitives, SimConfig, Telemetry};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 fn arb_graph() -> impl Strategy<Value = WeightedGraph> {
     (4usize..20, any::<u64>()).prop_map(|(n, seed)| {
@@ -62,94 +65,19 @@ proptest! {
     }
 }
 
-#[derive(Clone, Default)]
-struct SharedBuf(Arc<Mutex<Vec<u8>>>);
-
-impl std::io::Write for SharedBuf {
-    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
-        self.0.lock().unwrap().extend_from_slice(data);
-        Ok(data.len())
-    }
-    fn flush(&mut self) -> std::io::Result<()> {
-        Ok(())
-    }
-}
-
 /// The JSONL interchange format is pinned against a golden file: a change
 /// to the serialized shape breaks `wdr-trace` compatibility and must be
-/// deliberate (update `tests/golden/trace.jsonl` alongside the writer).
+/// deliberate (update `tests/golden/trace.jsonl` alongside the shared
+/// fixture in `tests/common/mod.rs`).
 #[test]
 fn jsonl_format_matches_golden_file() {
     let buf = SharedBuf::default();
     let tracer = JsonlTracer::new(Box::new(buf.clone()));
-    for event in [
-        TraceEvent::PhaseStart {
-            name: "outer".to_string(),
-        },
-        TraceEvent::PhaseStart {
-            name: "inner".to_string(),
-        },
-        TraceEvent::RoundCompleted {
-            round: 1,
-            messages: 4,
-            bits: 32,
-            max_channel_bits: 8,
-        },
-        TraceEvent::ChannelSaturation {
-            round: 1,
-            from: 0,
-            to: 1,
-            bits: 30,
-            budget_bits: 32,
-        },
-        TraceEvent::PhaseEnd {
-            name: "inner".to_string(),
-        },
-        TraceEvent::PadRounds {
-            rounds: 3,
-            reason: "fixed schedule".to_string(),
-        },
-        TraceEvent::ChannelProfile {
-            channel_rounds: 2,
-            p50_bits: 8,
-            p95_bits: 30,
-            max_bits: 30,
-            hot_edges: vec![congest_sim::telemetry::HotEdge {
-                from: 0,
-                to: 1,
-                bits: 62,
-            }],
-        },
-        TraceEvent::GroverIteration {
-            label: "outer_search".to_string(),
-            iterations: 17,
-            oracle_queries: 19,
-        },
-        TraceEvent::MessageDropped {
-            round: 2,
-            from: 0,
-            to: 1,
-            bits: 8,
-            reason: congest_sim::faults::DropReason::Random,
-        },
-        TraceEvent::NodeCrashed { node: 3, round: 2 },
-        TraceEvent::NodeRecovered { node: 3, round: 5 },
-        TraceEvent::LinkThrottled {
-            round: 2,
-            from: 1,
-            to: 2,
-            budget_bits: 16,
-        },
-        TraceEvent::MessageLogTruncated { round: 4, cap: 100 },
-        TraceEvent::PhaseEnd {
-            name: "outer".to_string(),
-        },
-    ] {
+    for event in common::golden_events() {
         tracer.record(&event);
     }
     tracer.flush();
-    let written = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
-    assert_eq!(written, include_str!("golden/trace.jsonl"));
+    assert_eq!(buf.contents(), include_str!("golden/trace.jsonl"));
 }
 
 /// A real simulated phase written through `JsonlTracer` stays parseable
@@ -163,7 +91,7 @@ fn jsonl_trace_of_real_run_is_line_consistent() {
     let (_, stats) =
         primitives::bfs_tree(&g, 0, &cfg(&g).with_telemetry(telemetry.clone())).unwrap();
     telemetry.flush();
-    let written = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    let written = buf.contents();
     let lines: Vec<&str> = written.lines().collect();
     assert_eq!(
         lines.first(),

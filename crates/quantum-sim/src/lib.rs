@@ -38,6 +38,7 @@
 
 mod complex;
 pub mod grover;
+pub mod mutation;
 pub mod search;
 pub mod statevector;
 

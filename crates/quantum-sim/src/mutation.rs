@@ -1,0 +1,86 @@
+//! Deliberate fault injection for *testing the test suite*.
+//!
+//! A conformance harness is only trustworthy if it demonstrably fails when
+//! the system under test is broken. This module provides a thread-scoped
+//! switch that injects a known, paper-relevant bug into the search layer —
+//! the conformance suite's mutation self-check turns it on, re-runs the
+//! corpus, and asserts that the approximation oracle catches the damage
+//! (see `crates/conformance`).
+//!
+//! The hook is consulted only by [`crate::search::find_above_threshold`];
+//! with no mutation armed (the default, and the state restored when the
+//! scope guard drops) the search layer behaves exactly as documented.
+
+use std::cell::Cell;
+
+/// A known bug that can be injected into the search layer.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Mutation {
+    /// Skip the Grover amplification phase of Lemma 3.1 entirely: the
+    /// threshold walk gets a zero iteration budget, so every search
+    /// degenerates to measuring the uniform superposition once. The
+    /// `O(√(log(1/δ)/ρ))` amplification is exactly what buys the `1 − δ`
+    /// success probability of the paper's Lemma 3.1, so this breaks the
+    /// `(1+o(1))` guarantee of Theorem 1.1 while leaving every round count
+    /// and interface intact — the hardest kind of bug to catch without a
+    /// statistical oracle.
+    SkipGroverPhase,
+}
+
+thread_local! {
+    static ARMED: Cell<Option<Mutation>> = const { Cell::new(None) };
+}
+
+/// The mutation currently armed on this thread, if any.
+pub fn armed() -> Option<Mutation> {
+    ARMED.with(Cell::get)
+}
+
+/// Scope guard returned by [`arm`]; disarms the mutation when dropped.
+#[derive(Debug)]
+pub struct MutationGuard {
+    previous: Option<Mutation>,
+}
+
+impl Drop for MutationGuard {
+    fn drop(&mut self) {
+        ARMED.with(|a| a.set(self.previous));
+    }
+}
+
+/// Arms `mutation` on the current thread until the returned guard drops.
+///
+/// # Examples
+///
+/// ```
+/// use quantum_sim::mutation::{arm, armed, Mutation};
+/// assert_eq!(armed(), None);
+/// {
+///     let _guard = arm(Mutation::SkipGroverPhase);
+///     assert_eq!(armed(), Some(Mutation::SkipGroverPhase));
+/// }
+/// assert_eq!(armed(), None);
+/// ```
+#[must_use = "the mutation is disarmed when the guard drops"]
+pub fn arm(mutation: Mutation) -> MutationGuard {
+    let previous = ARMED.with(|a| a.replace(Some(mutation)));
+    MutationGuard { previous }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_restores_previous_state() {
+        assert_eq!(armed(), None);
+        let outer = arm(Mutation::SkipGroverPhase);
+        {
+            let _inner = arm(Mutation::SkipGroverPhase);
+            assert_eq!(armed(), Some(Mutation::SkipGroverPhase));
+        }
+        assert_eq!(armed(), Some(Mutation::SkipGroverPhase));
+        drop(outer);
+        assert_eq!(armed(), None);
+    }
+}

@@ -304,7 +304,12 @@ where
     assert!(!values.is_empty(), "empty value set");
     assert!(rho > 0.0 && rho <= 1.0, "ρ must be in (0,1]");
     assert!(delta > 0.0 && delta < 1.0, "δ must be in (0,1)");
-    let budget = lemma_3_1_budget(rho, delta);
+    let budget = match crate::mutation::armed() {
+        // Mutation self-check (see `crate::mutation`): skipping the Grover
+        // amplification phase leaves only the initial uniform measurement.
+        Some(crate::mutation::Mutation::SkipGroverPhase) => 0,
+        None => lemma_3_1_budget(rho, delta),
+    };
     if minimize {
         durr_hoyer_min(values, rng, budget)
     } else {

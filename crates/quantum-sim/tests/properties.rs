@@ -85,3 +85,106 @@ proptest! {
         prop_assert!(p > 0.8, "optimal iterations reach high success for small ρ");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Measurement-statistics pinning (conformance satellite): the probability a
+// distributed search measures a marked item after k Grover iterations is
+// *exactly* `sin²((2k+1)·θ)` with `θ = asin(√(t/|X|))`. Every search the
+// CONGEST layer charges rounds for samples from this distribution, so the
+// closed form is re-derived here independently (from first principles, not
+// by calling back into `grover::angle`) and pinned across search-space
+// sizes, marked-set sizes, and the zero-/all-marked edge cases.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `success_probability` equals the closed form for arbitrary `(|X|, t, k)`.
+    #[test]
+    fn measurement_statistics_match_closed_form(
+        total in 1usize..4096,
+        t_pick in any::<usize>(),
+        k in 0u64..512,
+    ) {
+        let t = t_pick % (total + 1); // 0..=total: includes both edge cases
+        let rho = t as f64 / total as f64;
+        let theta = (rho.sqrt()).asin();
+        let expected = (((2 * k + 1) as f64) * theta).sin().powi(2);
+        let got = grover::success_probability(rho, k);
+        prop_assert!((got - expected).abs() < 1e-12, "|X|={total} t={t} k={k}: {got} vs {expected}");
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&got));
+    }
+
+    /// Zero marked items: the measurement never succeeds, for any k.
+    #[test]
+    fn zero_marked_never_succeeds(total in 1usize..10_000, k in 0u64..1000) {
+        prop_assert_eq!(grover::success_probability(0.0, k), 0.0);
+        let _ = total;
+    }
+
+    /// All items marked: θ = π/2, so `sin²((2k+1)·π/2) = 1` — the
+    /// measurement succeeds with certainty after *any* number of iterations.
+    #[test]
+    fn all_marked_always_succeeds(k in 0u64..1000) {
+        let p = grover::success_probability(1.0, k);
+        prop_assert!((p - 1.0).abs() < 1e-9, "k={k}: {p}");
+    }
+
+    /// Empirical check: measuring the *honest statevector* after k
+    /// iterations hits the marked set with the closed-form frequency
+    /// (binomial concentration, 5σ tolerance), across |X| = 2^qubits and
+    /// random marked sets.
+    #[test]
+    fn statevector_measurement_frequencies_follow_closed_form(
+        qubits in 2u32..6,
+        mask_seed in 1u64..u64::MAX,
+        k in 0u32..6,
+        rng_seed in any::<u64>(),
+    ) {
+        let total = 1usize << qubits;
+        let mask = mask_seed % (1u64 << total);
+        prop_assume!(mask != 0);
+        let marked = move |i: usize| (mask >> i) & 1 == 1;
+        let t = mask.count_ones() as f64;
+        let theta = (t / total as f64).sqrt().asin();
+        let p = (((2 * k + 1) as f64) * theta).sin().powi(2);
+
+        let mut rng = ChaCha8Rng::seed_from_u64(rng_seed);
+        let state = quantum_sim::statevector::grover_state(qubits, marked, k);
+        let trials = 400usize;
+        let hits = (0..trials).filter(|_| marked(state.measure(&mut rng))).count();
+        let freq = hits as f64 / trials as f64;
+        let sigma = (p * (1.0 - p) / trials as f64).sqrt();
+        prop_assert!(
+            (freq - p).abs() <= 5.0 * sigma + 0.01,
+            "qubits={qubits} t={t} k={k}: freq {freq} vs p {p} (σ={sigma})"
+        );
+    }
+}
+
+/// The zero-marked edge case at the search level: BBHT finds nothing and
+/// charges its full budget (the cost a real run would pay before giving up).
+#[test]
+fn bbht_zero_marked_edge_case() {
+    let mut rng = ChaCha8Rng::seed_from_u64(91);
+    for total in [1usize, 2, 17, 256] {
+        let out = bbht(total, &[], &mut rng, 321);
+        assert_eq!(out.found, None);
+        assert_eq!(out.trace.grover_iterations, 321);
+        assert!(out.trace.measurements > 0);
+    }
+}
+
+/// The all-marked edge case at the search level: the very first measurement
+/// succeeds (p = 1 regardless of iteration count), so BBHT returns a marked
+/// item after exactly one measurement.
+#[test]
+fn bbht_all_marked_edge_case() {
+    let mut rng = ChaCha8Rng::seed_from_u64(92);
+    for total in [1usize, 3, 64] {
+        let marked: Vec<usize> = (0..total).collect();
+        let out = bbht(total, &marked, &mut rng, 10_000);
+        assert!(matches!(out.found, Some(x) if x < total));
+        assert_eq!(out.trace.measurements, 1);
+    }
+}
