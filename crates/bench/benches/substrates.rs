@@ -113,6 +113,27 @@ fn telemetry_overhead(c: &mut Criterion) {
     });
 }
 
+/// Metrics-registry overhead on the same workload: an attached
+/// `SimMetrics` bundle costs a handful of relaxed atomic adds per round
+/// and must land within noise of the bare engine — the registry's
+/// zero-steady-state-cost claim, measured next to `telemetry_overhead`
+/// (the E8 `sequential+metrics` row gates the same comparison).
+fn metrics_overhead(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let g = generators::erdos_renyi_connected(128, 0.05, 8, &mut rng);
+    let off = SimConfig::standard(g.n(), g.max_weight());
+    c.bench_function("bfs_tree_n128_metrics_off", |b| {
+        b.iter(|| primitives::bfs_tree(black_box(&g), 0, &off).unwrap())
+    });
+    let registry = wdr_metrics::MetricsRegistry::new();
+    let on = off
+        .clone()
+        .with_metrics(congest_sim::SimMetrics::register(&registry, "bench.sim"));
+    c.bench_function("bfs_tree_n128_metrics_on", |b| {
+        b.iter(|| primitives::bfs_tree(black_box(&g), 0, &on).unwrap())
+    });
+}
+
 fn lower_bound_kernels(c: &mut Criterion) {
     c.bench_function("approx_degree_and_25", |b| {
         b.iter(|| approx_degree(&SymmetricFn::and(25), 1.0 / 3.0))
@@ -131,6 +152,7 @@ criterion_group!(
     congest_simulation,
     quantum_search,
     telemetry_overhead,
+    metrics_overhead,
     lower_bound_kernels
 );
 criterion_main!(benches);

@@ -3,23 +3,29 @@
 //! Usage:
 //!
 //! ```text
-//! wdr-trace <trace.jsonl> [--csv]
+//! wdr-trace <trace.jsonl> [--csv | --json]
 //! ```
 //!
 //! Reads a trace written by `congest_sim::telemetry::JsonlTracer`, rebuilds
 //! the phase tree, and prints the per-phase breakdown, the hottest channels
 //! (when the trace contains `ChannelProfile` events), and the quantum search
-//! invocations — as markdown by default, as CSV with `--csv`.
+//! invocations — as markdown by default, as CSV with `--csv`, as one JSON
+//! array of table objects with `--json`.
 
 use std::process::ExitCode;
-use wdr_bench::trace::{parse_trace, render_csv, render_markdown};
+use wdr_bench::trace::{parse_trace, render_csv, render_json, render_markdown};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let csv = args.iter().any(|a| a == "--csv");
+    let json = args.iter().any(|a| a == "--json");
+    if csv && json {
+        eprintln!("wdr-trace: --csv and --json are mutually exclusive");
+        return ExitCode::from(2);
+    }
     let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let [path] = paths.as_slice() else {
-        eprintln!("usage: wdr-trace <trace.jsonl> [--csv]");
+        eprintln!("usage: wdr-trace <trace.jsonl> [--csv | --json]");
         return ExitCode::from(2);
     };
     let input = match std::fs::read_to_string(path) {
@@ -36,13 +42,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    print!(
-        "{}",
-        if csv {
-            render_csv(&events)
-        } else {
-            render_markdown(&events)
-        }
-    );
+    let rendered = if csv {
+        render_csv(&events)
+    } else if json {
+        render_json(&events)
+    } else {
+        render_markdown(&events)
+    };
+    print!("{rendered}");
+    if json {
+        println!();
+    }
     ExitCode::SUCCESS
 }

@@ -741,9 +741,14 @@ struct E8Row {
 #[derive(Clone, Debug, serde::Serialize)]
 struct E8Report {
     experiment: String,
+    meta: wdr_metrics::RunMeta,
     host_threads: usize,
     parallel_feature: bool,
     rows: Vec<E8Row>,
+    /// Registry snapshot of the instrumented rows, as sorted
+    /// `(name, value)` pairs (names pre-qualified `e8.n{n}.sim.…`).
+    /// Counter totals accumulate over every timing iteration.
+    metrics: Vec<(String, f64)>,
 }
 
 /// Runs one E8 workload under the criterion timing loop and returns
@@ -808,6 +813,7 @@ pub fn e8(quick: bool, out_dir: &std::path::Path) -> ExperimentOutput {
         ],
     );
     let mut rows: Vec<E8Row> = Vec::new();
+    let registry = wdr_metrics::MetricsRegistry::new();
     for &n in &ns {
         let mut rng = ChaCha8Rng::seed_from_u64(8800 + n as u64);
         let g = generators::erdos_renyi_connected(n, 0.3, 1, &mut rng);
@@ -817,8 +823,6 @@ pub fn e8(quick: bool, out_dir: &std::path::Path) -> ExperimentOutput {
             ..SimConfig::standard(g.n(), 1)
         };
         let (seq_secs, sim_rounds, seq_out) = e8_time_run(&g, &config, rounds, work, measurement);
-        #[cfg(not(feature = "parallel"))]
-        let _ = &seq_out; // cross-checked against parallel runs when compiled in
         rows.push(E8Row {
             n,
             edges,
@@ -828,6 +832,34 @@ pub fn e8(quick: bool, out_dir: &std::path::Path) -> ExperimentOutput {
             secs_per_run: seq_secs,
             rounds_per_sec: sim_rounds as f64 / seq_secs,
             speedup_vs_sequential: 1.0,
+        });
+        // Metrics-on row: the same workload with a live SimMetrics bundle
+        // attached. The handful of relaxed atomic adds per round must land
+        // within noise of the bare engine — gated here, not just plotted.
+        let sim_metrics = congest_sim::SimMetrics::register(&registry, &format!("e8.n{n}.sim"));
+        let metrics_cfg = config.clone().with_metrics(sim_metrics.clone());
+        let (met_secs, met_rounds, met_out) =
+            e8_time_run(&g, &metrics_cfg, rounds, work, measurement);
+        assert_eq!(met_rounds, sim_rounds, "metrics-on round count diverged");
+        assert_eq!(met_out, seq_out, "metrics-on outputs diverged at n={n}");
+        assert!(
+            met_secs <= seq_secs * 1.5 + 1e-3,
+            "metrics overhead at n={n}: {met_secs:.4}s vs {seq_secs:.4}s bare"
+        );
+        assert_eq!(
+            sim_metrics.rounds.get() % sim_rounds as u64,
+            0,
+            "every timing iteration records exactly {sim_rounds} rounds"
+        );
+        rows.push(E8Row {
+            n,
+            edges,
+            rounds: sim_rounds,
+            mode: "sequential+metrics".into(),
+            threads: 1,
+            secs_per_run: met_secs,
+            rounds_per_sec: sim_rounds as f64 / met_secs,
+            speedup_vs_sequential: seq_secs / met_secs,
         });
         #[cfg(feature = "parallel")]
         for threads in [1usize, 2, 4, 8] {
@@ -866,11 +898,14 @@ pub fn e8(quick: bool, out_dir: &std::path::Path) -> ExperimentOutput {
             format!("{:.2}", r.speedup_vs_sequential),
         ]);
     }
+    let seed_list: Vec<u64> = ns.iter().map(|&n| 8800 + n as u64).collect();
     let report = E8Report {
         experiment: "E8".into(),
+        meta: wdr_metrics::RunMeta::capture(&seed_list),
         host_threads,
         parallel_feature: cfg!(feature = "parallel"),
         rows,
+        metrics: registry.snapshot().to_pairs(),
     };
     std::fs::create_dir_all(out_dir).expect("create E8 output dir");
     let path = out_dir.join("BENCH_step_engine.json");
@@ -882,7 +917,10 @@ pub fn e8(quick: bool, out_dir: &std::path::Path) -> ExperimentOutput {
     table.commentary = format!(
         "Wall-clock throughput of `Network::step` on dense gossip (every node \
          broadcasts a 64-bit digest each round and burns {work} mixer iterations \
-         locally). Parallel rows fan the compute phase over a pinned rayon pool; \
+         locally). The `sequential+metrics` row re-times the engine with a live \
+         `SimMetrics` bundle attached and is asserted within noise (≤1.5×) of the \
+         bare row; its registry snapshot is embedded in the JSON. Parallel rows \
+         fan the compute phase over a pinned rayon pool; \
          outputs are asserted bit-identical to the sequential engine before any \
          row is reported. Speedups only materialize with real cores — this host \
          reports {host_threads} (recorded as `host_threads` in \
@@ -914,6 +952,7 @@ struct E9Row {
 #[derive(Clone, Debug, serde::Serialize)]
 struct E9Report {
     experiment: String,
+    meta: wdr_metrics::RunMeta,
     host_threads: usize,
     parallel_feature: bool,
     rows: Vec<E9Row>,
@@ -977,11 +1016,14 @@ pub fn e9(quick: bool, out_dir: &std::path::Path) -> ExperimentOutput {
         ],
     );
     let mut rows: Vec<E9Row> = Vec::new();
+    let mut seed_list: Vec<u64> = Vec::new();
     for &n in &ns {
         for &(dname, mult) in &densities {
             for &w in &weights {
                 let p = (mult * (n as f64).ln() / n as f64).min(1.0);
-                let mut rng = ChaCha8Rng::seed_from_u64(9900 + 17 * n as u64 + 3 * w + mult as u64);
+                let seed = 9900 + 17 * n as u64 + 3 * w + mult as u64;
+                seed_list.push(seed);
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
                 let g = generators::erdos_renyi_connected(n, p, w, &mut rng);
                 let edges = g.m();
                 let (brute_secs, brute) = e9_time(measurement, || {
@@ -1058,6 +1100,7 @@ pub fn e9(quick: bool, out_dir: &std::path::Path) -> ExperimentOutput {
     }
     let report = E9Report {
         experiment: "E9".into(),
+        meta: wdr_metrics::RunMeta::capture(&seed_list),
         host_threads,
         parallel_feature: cfg!(feature = "parallel"),
         rows,

@@ -6,7 +6,7 @@ use std::path::Path;
 
 /// A rendered experiment: a title, a commentary line, and a rectangular
 /// table.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize)]
 pub struct Table {
     /// Experiment id (e.g. "E1").
     pub id: String,
@@ -60,6 +60,12 @@ impl Table {
             writeln!(out, "\n{}", self.commentary).unwrap();
         }
         out
+    }
+
+    /// Renders as one JSON object:
+    /// `{"id":…,"title":…,"commentary":…,"headers":[…],"rows":[[…]]}`.
+    pub fn to_json(&self) -> String {
+        serde::Serialize::to_json(self)
     }
 
     /// Renders as CSV.
@@ -122,6 +128,23 @@ mod tests {
         assert!(md.contains("| 1 | 2 |"));
         let csv = t.to_csv();
         assert_eq!(csv, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn json_renders_and_parses() {
+        let mut t = Table::new("E0", "demo", &["a", "b"]);
+        t.commentary = "note \"quoted\"".into();
+        t.push(vec!["1".into(), "2".into()]);
+        let v = serde_json::from_str(&t.to_json()).expect("table JSON parses");
+        assert_eq!(v.get("id").and_then(serde_json::Value::as_str), Some("E0"));
+        let rows = v.get("rows").and_then(serde_json::Value::as_array).unwrap();
+        assert_eq!(rows.len(), 1);
+        let row0 = rows[0].as_array().expect("row is an array");
+        assert_eq!(row0[1].as_str(), Some("2"));
+        assert_eq!(
+            v.get("commentary").and_then(serde_json::Value::as_str),
+            Some("note \"quoted\"")
+        );
     }
 
     #[test]

@@ -356,6 +356,24 @@ pub fn render_markdown(events: &[TraceEvent]) -> String {
     out
 }
 
+/// The full report for a parsed trace as one JSON array of table objects
+/// (the same tables as [`render_markdown`], machine-readable; empty
+/// sections are omitted, the phase table always present).
+pub fn render_json(events: &[TraceEvent]) -> String {
+    let tree = build_phase_tree(events);
+    let mut tables = vec![phase_table(&tree)];
+    for t in [
+        hot_edge_table(events, 10),
+        search_table(events),
+        fault_table(events),
+    ] {
+        if !t.rows.is_empty() {
+            tables.push(t);
+        }
+    }
+    serde::Serialize::to_json(&tables)
+}
+
 /// The full report for a parsed trace, rendered as concatenated CSV blocks.
 pub fn render_csv(events: &[TraceEvent]) -> String {
     let tree = build_phase_tree(events);
@@ -440,6 +458,25 @@ mod tests {
         assert!(md.contains("Hottest directed channels"));
         let csv = render_csv(&parsed);
         assert!(csv.starts_with("phase,rounds,own rounds,messages,bits,max chan bits"));
+
+        let json = render_json(&parsed);
+        let tables = serde_json::from_str(&json).unwrap();
+        let tables = tables.as_array().expect("render_json emits an array");
+        assert_eq!(
+            tables[0].get("id").and_then(serde_json::Value::as_str),
+            Some("TRACE")
+        );
+        assert!(tables
+            .iter()
+            .any(|t| t.get("id").and_then(serde_json::Value::as_str) == Some("HOTEDGES")));
+        let trace_rows = tables[0]
+            .get("rows")
+            .and_then(serde_json::Value::as_array)
+            .unwrap();
+        assert!(trace_rows
+            .iter()
+            .filter_map(|r| r.as_array())
+            .any(|r| r[0].as_str().is_some_and(|s| s.contains("bfs_tree"))));
     }
 
     #[test]
@@ -514,6 +551,8 @@ mod tests {
         assert!(md.contains("Injected faults observed in the trace"));
         let csv = render_csv(&parsed);
         assert!(csv.contains("dropped (random)"));
+        let json = render_json(&parsed);
+        assert!(json.contains("\"FAULTS\"") && json.contains("dropped (random)"));
     }
 
     #[test]

@@ -10,7 +10,7 @@ use congest_sim::{SimConfig, Telemetry};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
-use wdr_bench::trace::{parse_trace, render_csv, render_markdown};
+use wdr_bench::trace::{parse_trace, render_csv, render_json, render_markdown};
 
 #[test]
 fn three_halves_jsonl_trace_renders_to_markdown() {
@@ -51,6 +51,16 @@ fn three_halves_jsonl_trace_renders_to_markdown() {
 
     let csv = render_csv(&events);
     assert!(csv.lines().count() > algo.children.len());
+
+    // The --json output mode: one parseable array of table objects.
+    let json = render_json(&events);
+    let tables = serde_json::from_str(&json).unwrap();
+    let tables = tables.as_array().expect("JSON report is an array");
+    assert_eq!(
+        tables[0].get("id").and_then(serde_json::Value::as_str),
+        Some("TRACE")
+    );
+    assert!(json.contains("three_halves"));
 }
 
 /// The fault-injection acceptance path: a faulty `resilient_bfs` run traced

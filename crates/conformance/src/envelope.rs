@@ -17,6 +17,7 @@
 use serde::Serialize;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use wdr_metrics::{MetricsRegistry, RunMeta};
 
 /// Which Table 1 row a measurement is fitted against.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug, Serialize)]
@@ -99,12 +100,37 @@ pub struct RegimeFit {
 pub struct EnvelopeReport {
     /// Artifact name, for the bench-artifact conventions.
     pub experiment: String,
+    /// Provenance header; [`fit`] stamps it with an empty seed set,
+    /// [`EnvelopeReport::publish`] re-stamps it with the run's seeds.
+    pub meta: RunMeta,
     /// Total measurements fitted.
     pub samples: usize,
     /// Per-regime fits, sorted by cell key.
     pub regimes: Vec<RegimeFit>,
     /// `true` when every cell is inside its ceiling.
     pub passed: bool,
+    /// Embedded registry snapshot as sorted `(name, value)` pairs —
+    /// the fitted constants as `conformance.{regime}.…` gauges plus
+    /// whatever else the runner's registry accumulated (the quantum
+    /// search counters). Empty until [`EnvelopeReport::publish`] runs.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl EnvelopeReport {
+    /// Publishes the fitted constants as gauges named
+    /// `conformance.{regime}.{c_max,c_mean,samples}` in `registry`,
+    /// stamps the provenance header with `seeds`, and embeds the
+    /// registry's full snapshot as the report's `metrics` pairs.
+    pub fn publish(&mut self, seeds: &[u64], registry: &MetricsRegistry) {
+        for fit in &self.regimes {
+            let name = |metric: &str| format!("conformance.{}.{metric}", fit.regime);
+            registry.gauge(&name("c_max")).set(fit.c_max);
+            registry.gauge(&name("c_mean")).set(fit.c_mean);
+            registry.gauge(&name("samples")).set(fit.samples as f64);
+        }
+        self.meta = RunMeta::capture(seeds);
+        self.metrics = registry.snapshot().to_pairs();
+    }
 }
 
 fn weight_class(max_weight: u64) -> &'static str {
@@ -164,9 +190,11 @@ pub fn fit(measurements: &[RoundMeasurement]) -> EnvelopeReport {
         .collect();
     EnvelopeReport {
         experiment: "conformance_envelope".to_string(),
+        meta: RunMeta::capture(&[]),
         samples: measurements.len(),
         passed: regimes.iter().all(|r| r.passed),
         regimes,
+        metrics: Vec::new(),
     }
 }
 
@@ -242,5 +270,44 @@ mod tests {
         let json = serde_json::to_string(&rep).unwrap();
         assert!(json.contains("conformance_envelope"));
         assert!(json.contains("quantum|sublinear-D|small-w"));
+        assert!(json.contains("\"meta\""), "provenance header present");
+    }
+
+    #[test]
+    fn publish_registers_gauges_and_embeds_the_snapshot() {
+        let mut rep = fit(&[
+            m(ModelKind::QuantumWeighted, 27, 3, 8, 500),
+            m(ModelKind::ClassicalApsp, 32, 4, 8, 90),
+        ]);
+        let registry = MetricsRegistry::new();
+        registry.counter("conformance.quantum.searches").add(11);
+        rep.publish(&[3, 1, 3], &registry);
+        assert_eq!(rep.meta.seeds, vec![1, 3]);
+        let g = registry.gauge("conformance.quantum|sublinear-D|small-w.c_max");
+        let cell = rep
+            .regimes
+            .iter()
+            .find(|r| r.regime == "quantum|sublinear-D|small-w")
+            .unwrap();
+        assert_eq!(g.get(), cell.c_max);
+        // The embedded pairs carry both the gauges and pre-existing
+        // registry contents, in sorted order.
+        assert!(rep
+            .metrics
+            .iter()
+            .any(|(n, v)| n == "conformance.quantum.searches" && *v == 11.0));
+        assert!(rep
+            .metrics
+            .iter()
+            .any(|(n, _)| n == "conformance.classical|linear-D|small-w.samples"));
+        assert!(rep.metrics.windows(2).all(|w| w[0].0 < w[1].0));
+        // The published report round-trips through the artifact JSON with
+        // the pairs intact (the shape `trajectory::extract_metrics` reads).
+        let v = serde_json::from_str(&serde_json::to_string(&rep).unwrap()).unwrap();
+        let pairs = v
+            .get("metrics")
+            .and_then(serde_json::Value::as_array)
+            .expect("metrics pairs serialize as an array");
+        assert_eq!(pairs.len(), rep.metrics.len());
     }
 }

@@ -41,6 +41,12 @@ pub struct SuiteOptions {
     pub slice: Option<usize>,
     /// Where to write `BENCH_conformance.json` (`None` = skip).
     pub bench_out: Option<PathBuf>,
+    /// Metrics registry the run publishes into: the envelope's fitted
+    /// constants as `conformance.{regime}.…` gauges plus the quantum
+    /// search counters under `conformance.quantum.…`. `None` uses a fresh
+    /// private registry — the report's embedded snapshot is produced
+    /// either way; pass one to also read the metrics live.
+    pub registry: Option<wdr_metrics::MetricsRegistry>,
 }
 
 /// The suite verdict.
@@ -68,8 +74,15 @@ impl SuiteReport {
 /// Runs the suite over `specs`.
 pub fn run_suite(specs: &[ScenarioSpec], options: &SuiteOptions) -> SuiteReport {
     // The mutation hook is thread-local and the oracles drive every
-    // quantum search from this thread, so one guard covers the run.
+    // quantum search from this thread, so one guard covers the run —
+    // and the same reasoning lets one installed metrics sink see every
+    // search of the run.
     let _guard = options.mutate.map(quantum_sim::mutation::arm);
+    let registry = options.registry.clone().unwrap_or_default();
+    let _metrics_guard = quantum_sim::instrument::install(quantum_sim::SearchMetrics::register(
+        &registry,
+        "conformance.quantum",
+    ));
     let take = options.slice.unwrap_or(specs.len()).min(specs.len());
     let mut outcomes = Vec::with_capacity(take);
     let mut failures = Vec::new();
@@ -107,7 +120,9 @@ pub fn run_suite(specs: &[ScenarioSpec], options: &SuiteOptions) -> SuiteReport 
     };
 
     let measurements: Vec<_> = outcomes.iter().filter_map(|o| o.measurement).collect();
-    let envelope = envelope::fit(&measurements);
+    let mut envelope = envelope::fit(&measurements);
+    let seeds: Vec<u64> = specs[..take].iter().map(|s| s.seed).collect();
+    envelope.publish(&seeds, &registry);
     for regime in envelope.regimes.iter().filter(|r| !r.passed) {
         failures.push(Failure {
             seed: None,
@@ -284,6 +299,27 @@ mod tests {
             "shrunk spec must be a local minimum of the predicate"
         );
         assert!(out.shrunk.size_measure() < out.original.size_measure());
+    }
+
+    #[test]
+    fn suite_publishes_metrics_and_provenance() {
+        let specs = generate_corpus(2);
+        let registry = wdr_metrics::MetricsRegistry::new();
+        let options = SuiteOptions {
+            registry: Some(registry.clone()),
+            ..SuiteOptions::default()
+        };
+        let report = run_suite(&specs, &options);
+        assert_eq!(report.envelope.meta.seeds, vec![0, 1]);
+        assert!(!report.envelope.metrics.is_empty());
+        // The caller's registry holds exactly what the report embedded
+        // (the search counters are registered even if no quantum scenario
+        // ran, so the key is always present).
+        let flat = registry.snapshot().flatten();
+        assert!(flat.contains_key("conformance.quantum.searches"));
+        for (name, value) in &report.envelope.metrics {
+            assert_eq!(flat.get(name), Some(value), "metric {name} drifted");
+        }
     }
 
     #[test]

@@ -71,4 +71,4 @@ pub use dist::Dist;
 pub use graph::{BuildGraphError, Edge, GraphBuilder, NodeId, Weight, WeightedGraph};
 pub use matrix::DistMatrix;
 pub use sweep::{EdgeMetric, SweepResult};
-pub use workspace::{SsspWorkspace, DIAL_MAX_WEIGHT};
+pub use workspace::{KernelCounters, SsspWorkspace, DIAL_MAX_WEIGHT};

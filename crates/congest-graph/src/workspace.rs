@@ -29,6 +29,64 @@ use std::collections::BinaryHeap;
 /// (`W ≤ 8` on most workloads) that handily beats the heap's `O(m log n)`.
 pub const DIAL_MAX_WEIGHT: Weight = 128;
 
+/// Zero-cost run counters of an [`SsspWorkspace`]: which kernel each search
+/// dispatched to and how much queue work it did.
+///
+/// Updated with plain integer increments inside the kernels (no atomics, no
+/// heap — the `kernel_alloc` pin covers the instrumented paths), read back
+/// with [`SsspWorkspace::counters`], and flushed into a metrics registry
+/// with [`KernelCounters::record`]. Counters accumulate across searches for
+/// the lifetime of the workspace; [`SsspWorkspace::reset_counters`] zeroes
+/// them between measured sections.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// Searches the [`SsspWorkspace::dijkstra_into`] dispatcher (or a direct
+    /// call) ran on the Dial bucket queue.
+    pub dial_runs: u64,
+    /// Searches run on the binary heap (including mapped-weight searches).
+    pub heap_runs: u64,
+    /// BFS (topology) searches.
+    pub bfs_runs: u64,
+    /// Hop-tracking Dijkstra searches.
+    pub hop_dijkstra_runs: u64,
+    /// Hop-bounded Bellman–Ford searches (one per `hop_bounded_into` call,
+    /// however many sweeps it converged in).
+    pub bellman_runs: u64,
+    /// Nodes popped from a binary heap (both plain and hop-tracking,
+    /// including stale lazy-deletion entries).
+    pub heap_pops: u64,
+    /// Nodes popped from Dial buckets (including stale entries).
+    pub bucket_pops: u64,
+    /// Successful edge relaxations (a distance label improved) across every
+    /// kernel.
+    pub relaxations: u64,
+}
+
+impl KernelCounters {
+    /// Total searches run, over every kernel.
+    pub fn total_runs(&self) -> u64 {
+        self.dial_runs + self.heap_runs + self.bfs_runs + self.hop_dijkstra_runs + self.bellman_runs
+    }
+
+    /// Adds this snapshot to `{prefix}.{counter}` metrics in `registry`
+    /// (registering them on first use) — typically called once after a
+    /// measured section, so per-search paths stay free of atomics.
+    pub fn record(&self, registry: &wdr_metrics::MetricsRegistry, prefix: &str) {
+        for (name, value) in [
+            ("dial_runs", self.dial_runs),
+            ("heap_runs", self.heap_runs),
+            ("bfs_runs", self.bfs_runs),
+            ("hop_dijkstra_runs", self.hop_dijkstra_runs),
+            ("bellman_runs", self.bellman_runs),
+            ("heap_pops", self.heap_pops),
+            ("bucket_pops", self.bucket_pops),
+            ("relaxations", self.relaxations),
+        ] {
+            registry.counter(&format!("{prefix}.{name}")).add(value);
+        }
+    }
+}
+
 /// Reusable scratch buffers for single-source shortest-path runs.
 ///
 /// Create one per long-lived loop and feed it to the `*_into` methods; all
@@ -59,12 +117,23 @@ pub struct SsspWorkspace {
     frontier: Vec<NodeId>,
     next: Vec<NodeId>,
     buckets: Vec<Vec<NodeId>>,
+    counters: KernelCounters,
 }
 
 impl SsspWorkspace {
     /// Creates an empty workspace; buffers grow on first use.
     pub fn new() -> SsspWorkspace {
         SsspWorkspace::default()
+    }
+
+    /// The accumulated [`KernelCounters`] of every search run so far.
+    pub fn counters(&self) -> KernelCounters {
+        self.counters
+    }
+
+    /// Zeroes the [`KernelCounters`] (scratch buffers keep their capacity).
+    pub fn reset_counters(&mut self) {
+        self.counters = KernelCounters::default();
     }
 
     /// Resets the distance buffer for an `n`-node run.
@@ -117,11 +186,13 @@ impl SsspWorkspace {
     ) -> &[Dist] {
         let n = g.n();
         assert!(s < n, "source {s} out of range");
+        self.counters.heap_runs += 1;
         self.reset_dist(n);
         self.heap.clear();
         self.dist[s] = Dist::ZERO;
         self.heap.push(Reverse((Dist::ZERO, s)));
         while let Some(Reverse((d, v))) = self.heap.pop() {
+            self.counters.heap_pops += 1;
             if d > self.dist[v] {
                 continue;
             }
@@ -131,6 +202,7 @@ impl SsspWorkspace {
                 let nd = d + Dist::from(w);
                 if nd < self.dist[u] {
                     self.dist[u] = nd;
+                    self.counters.relaxations += 1;
                     self.heap.push(Reverse((nd, u)));
                 }
             }
@@ -148,6 +220,7 @@ impl SsspWorkspace {
     pub fn dial_into(&mut self, g: &WeightedGraph, s: NodeId) -> &[Dist] {
         let n = g.n();
         assert!(s < n, "source {s} out of range");
+        self.counters.dial_runs += 1;
         self.reset_dist(n);
         let nb = g.max_weight() as usize + 1;
         if self.buckets.len() < nb {
@@ -166,6 +239,7 @@ impl SsspWorkspace {
             }
             // Drain one node; stale entries (lazy deletion) are skipped.
             let v = self.buckets[(d as usize) % nb].pop().expect("non-empty");
+            self.counters.bucket_pops += 1;
             pending -= 1;
             if self.dist[v] != Dist::from(d) {
                 continue;
@@ -174,6 +248,7 @@ impl SsspWorkspace {
                 let nd = Dist::from(d + w);
                 if nd < self.dist[u] {
                     self.dist[u] = nd;
+                    self.counters.relaxations += 1;
                     // All pending labels lie in [d, d + C], so the circular
                     // index is unambiguous.
                     self.buckets[((d + w) as usize) % nb].push(u);
@@ -193,6 +268,7 @@ impl SsspWorkspace {
     pub fn bfs_into(&mut self, g: &WeightedGraph, s: NodeId) -> &[Dist] {
         let n = g.n();
         assert!(s < n, "source {s} out of range");
+        self.counters.bfs_runs += 1;
         self.reset_dist(n);
         self.frontier.clear();
         self.next.clear();
@@ -206,6 +282,7 @@ impl SsspWorkspace {
                 for (u, _) in g.neighbors(v) {
                     if self.dist[u] == Dist::INFINITY {
                         self.dist[u] = Dist::from(level);
+                        self.counters.relaxations += 1;
                         self.next.push(u);
                     }
                 }
@@ -226,6 +303,7 @@ impl SsspWorkspace {
     pub fn dijkstra_with_hops_into(&mut self, g: &WeightedGraph, s: NodeId) -> (&[Dist], &[usize]) {
         let n = g.n();
         assert!(s < n, "source {s} out of range");
+        self.counters.hop_dijkstra_runs += 1;
         self.reset_dist(n);
         if self.hops.len() < n {
             self.hops.resize(n, usize::MAX);
@@ -236,6 +314,7 @@ impl SsspWorkspace {
         self.hops[s] = 0;
         self.hop_heap.push(Reverse((Dist::ZERO, 0usize, s)));
         while let Some(Reverse((d, h, v))) = self.hop_heap.pop() {
+            self.counters.heap_pops += 1;
             if (d, h) > (self.dist[v], self.hops[v]) {
                 continue;
             }
@@ -245,6 +324,7 @@ impl SsspWorkspace {
                 if (nd, nh) < (self.dist[u], self.hops[u]) {
                     self.dist[u] = nd;
                     self.hops[u] = nh;
+                    self.counters.relaxations += 1;
                     self.hop_heap.push(Reverse((nd, nh, u)));
                 }
             }
@@ -261,6 +341,7 @@ impl SsspWorkspace {
     pub fn hop_bounded_into(&mut self, g: &WeightedGraph, s: NodeId, ell: usize) -> &[Dist] {
         let n = g.n();
         assert!(s < n, "source {s} out of range");
+        self.counters.bellman_runs += 1;
         self.reset_dist(n);
         if self.prev.len() < n {
             self.prev.resize(n, Dist::INFINITY);
@@ -277,6 +358,7 @@ impl SsspWorkspace {
                     let nd = self.prev[v] + Dist::from(w);
                     if nd < self.dist[u] {
                         self.dist[u] = nd;
+                        self.counters.relaxations += 1;
                         changed = true;
                     }
                 }
@@ -420,6 +502,42 @@ mod tests {
         let d = ws.dijkstra_into(&small, 0);
         assert_eq!(d.len(), 4);
         assert_eq!(d[3], Dist::from(6u64));
+    }
+
+    #[test]
+    fn kernel_counters_track_dispatch_and_queue_work() {
+        let mut rng = ChaCha8Rng::seed_from_u64(26);
+        let g = generators::erdos_renyi_connected(24, 0.2, 9, &mut rng);
+        let heavy = g.map_weights(|w| w * 1_000);
+        assert!(heavy.max_weight() > DIAL_MAX_WEIGHT);
+        let mut ws = SsspWorkspace::new();
+
+        ws.dijkstra_into(&g, 0); // small weights → Dial
+        ws.dijkstra_into(&heavy, 0); // heavy weights → heap
+        ws.bfs_into(&g, 0);
+        ws.dijkstra_with_hops_into(&g, 0);
+        ws.hop_bounded_into(&g, 0, 3);
+
+        let c = ws.counters();
+        assert_eq!(c.dial_runs, 1);
+        assert_eq!(c.heap_runs, 1);
+        assert_eq!(c.bfs_runs, 1);
+        assert_eq!(c.hop_dijkstra_runs, 1);
+        assert_eq!(c.bellman_runs, 1);
+        assert_eq!(c.total_runs(), 5);
+        // Every search settles all 24 nodes, so each kernel did real work.
+        assert!(c.heap_pops >= 2 * 24, "plain + hop heap searches");
+        assert!(c.bucket_pops >= 24);
+        assert!(c.relaxations >= 5 * 23, "≥ n−1 label improvements per run");
+
+        let registry = wdr_metrics::MetricsRegistry::new();
+        c.record(&registry, "kernels");
+        let flat = registry.snapshot().flatten();
+        assert_eq!(flat["kernels.dial_runs"], 1.0);
+        assert_eq!(flat["kernels.relaxations"], c.relaxations as f64);
+
+        ws.reset_counters();
+        assert_eq!(ws.counters(), KernelCounters::default());
     }
 
     #[test]

@@ -7,45 +7,20 @@
 //! round engine's `zero_alloc` harness in `congest-sim`.
 //!
 //! The library itself is `#![forbid(unsafe_code)]`; the `GlobalAlloc` shim
-//! below lives in this integration-test crate, where that lint does not
-//! apply. This file holds exactly one `#[test]` so no sibling test can
-//! allocate concurrently and pollute the counters.
+//! comes from `wdr_metrics::heap`, which carries the only `unsafe` in the
+//! metrics stack. This file holds exactly one `#[test]` so no sibling test
+//! can allocate concurrently and pollute the counters.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::alloc::System;
 
 use congest_graph::rounding::{approx_hop_bounded_into, RoundingScheme};
 use congest_graph::{generators, Dist, SsspWorkspace, WeightedGraph};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-
-static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
-static REALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
-
-struct CountingAllocator;
-
-unsafe impl GlobalAlloc for CountingAllocator {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        REALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
-}
+use wdr_metrics::heap::{heap_ops, track_current_thread, CountingAlloc};
 
 #[global_allocator]
-static GLOBAL: CountingAllocator = CountingAllocator;
-
-fn heap_ops() -> usize {
-    ALLOCATIONS.load(Ordering::SeqCst) + REALLOCATIONS.load(Ordering::SeqCst)
-}
+static GLOBAL: CountingAlloc<System> = CountingAlloc::new(System);
 
 /// One full pass over every workspace kernel, cycling sources so each
 /// iteration exercises genuinely different sweeps. `light` has small
@@ -78,6 +53,7 @@ fn exercise(
 
 #[test]
 fn warmed_up_kernels_do_not_allocate() {
+    track_current_thread();
     let mut rng = ChaCha8Rng::seed_from_u64(17);
     let light = generators::erdos_renyi_connected(48, 0.12, 5, &mut rng);
     let heavy = generators::erdos_renyi_connected(48, 0.12, 100_000, &mut rng);
@@ -103,4 +79,9 @@ fn warmed_up_kernels_do_not_allocate() {
         "warmed-up SSSP kernels must be allocation-free, saw {delta} heap ops over 32 passes"
     );
     assert!(sink >= Dist::ZERO, "keep the sweeps observable");
+    // The kernel counters ride along for free: plain integer increments,
+    // covered by the zero-heap-ops assertion above.
+    let counters = ws.counters();
+    assert!(counters.dial_runs > 0 && counters.heap_runs > 0);
+    assert!(counters.bfs_runs > 0 && counters.relaxations > 0);
 }

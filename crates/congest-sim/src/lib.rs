@@ -28,7 +28,11 @@
 //!   [`FaultPlan`] is attached, reporting per-node output [`Quality`] and
 //!   a separate [`ResilienceBudget`] so headline round counts stay
 //!   comparable to the lossless model — with an ack/retransmit
-//!   [`reliable`] layer to mask the losses.
+//!   [`reliable`] layer to mask the losses;
+//! * feeds a live **[`metrics`]** bundle ([`SimConfig::with_metrics`]):
+//!   cross-run counters and per-round histograms updated with a few
+//!   relaxed atomic adds per round, cheap enough to leave attached in
+//!   benchmark runs (the `wdr-perf` trajectory records them).
 //!
 //! # Examples
 //!
@@ -54,6 +58,7 @@
 
 pub mod election;
 pub mod faults;
+pub mod metrics;
 mod model;
 mod network;
 pub mod primitives;
@@ -61,6 +66,7 @@ pub mod reliable;
 pub mod telemetry;
 
 pub use faults::FaultPlan;
+pub use metrics::SimMetrics;
 pub use model::{
     bit_len, Bandwidth, MaybeSend, MaybeSendSync, MessageRecord, NodeCtx, Parallelism, Payload,
     ResilienceBudget, RoundStats, SimConfig, SimError, Status, DEFAULT_MESSAGE_LOG_CAP,

@@ -260,6 +260,13 @@ pub struct SimConfig {
     /// Round-engine execution mode (see [`Parallelism`]); sequential by
     /// default.
     pub parallelism: Parallelism,
+    /// Live metrics bundle (see [`crate::metrics::SimMetrics`]); `None`
+    /// (the default) records nothing. Unlike [`Self::telemetry`], the
+    /// bundle is updated with a handful of relaxed atomic adds per round —
+    /// no per-event values are constructed — so it is cheap enough to stay
+    /// attached in benchmark runs. Shared behind an [`Arc`] so cloning a
+    /// config between phases keeps accumulating into the same counters.
+    pub metrics: Option<Arc<crate::metrics::SimMetrics>>,
 }
 
 impl SimConfig {
@@ -274,6 +281,7 @@ impl SimConfig {
             telemetry: Telemetry::off(),
             faults: None,
             parallelism: Parallelism::Sequential,
+            metrics: None,
         }
     }
 
@@ -318,6 +326,13 @@ impl SimConfig {
     /// [`Parallelism`].
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> SimConfig {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Attaches a live metrics bundle (builder style); see
+    /// [`crate::metrics::SimMetrics`].
+    pub fn with_metrics(mut self, metrics: crate::metrics::SimMetrics) -> SimConfig {
+        self.metrics = Some(Arc::new(metrics));
         self
     }
 }

@@ -75,6 +75,13 @@ pub struct ReliableStats {
     pub acks_sent: u64,
     /// Frames abandoned after exhausting the retry budget.
     pub gave_up: u64,
+    /// Duplicate data frames the dedup filter discarded (a duplicate means
+    /// the frame got through but its ack was lost, so the sender re-sent).
+    pub duplicates_filtered: u64,
+    /// Rounds this node actually waited in exponential backoff before its
+    /// retransmissions (the realized delay, not the scheduled one: frames
+    /// acked before their retry fires contribute nothing).
+    pub backoff_rounds: u64,
 }
 
 /// Wire frame of the reliable layer.
@@ -227,6 +234,10 @@ impl<P: NodeProgram> Reliable<P> {
                 self.stats.data_sent += 1;
             } else {
                 self.stats.retransmissions += 1;
+                // The backoff scheduled at the previous send has now fully
+                // elapsed — that's realized waiting, so count it.
+                self.stats.backoff_rounds +=
+                    (self.policy.base_backoff << (frame.attempts - 1)) as u64;
             }
             frame.attempts += 1;
             // Ack round-trip takes two rounds; back off exponentially past it.
@@ -273,6 +284,8 @@ impl<P: NodeProgram> NodeProgram for Reliable<P> {
                     self.acks.push((*from, *seq));
                     if self.seen.insert((*from, *seq)) {
                         self.inner_inbox.push((*from, msg.clone()));
+                    } else {
+                        self.stats.duplicates_filtered += 1;
                     }
                 }
             }
@@ -326,6 +339,7 @@ pub fn run_reliable_phase<P: NodeProgram>(
     mut make: impl FnMut(NodeId, &NodeCtx) -> P,
 ) -> Result<ReliableRun<P::Output>, SimError> {
     let telemetry = config.telemetry.clone();
+    let metrics = config.metrics.clone();
     let span = telemetry.span(name);
     let mut config = config.clone();
     config.bandwidth = reliable_bandwidth(config.bandwidth);
@@ -341,12 +355,27 @@ pub fn run_reliable_phase<P: NodeProgram>(
         }
     };
     let mut stats = net.stats().clone();
+    let mut reliable_totals = ReliableStats::default();
     let mut outputs = Vec::with_capacity(tagged.len());
     for ((out, node_stats), quality) in tagged {
         stats.resilience.retransmissions += node_stats.retransmissions;
         stats.resilience.ack_messages += node_stats.acks_sent;
         stats.resilience.gave_up += node_stats.gave_up;
+        reliable_totals.retransmissions += node_stats.retransmissions;
+        reliable_totals.acks_sent += node_stats.acks_sent;
+        reliable_totals.gave_up += node_stats.gave_up;
+        reliable_totals.duplicates_filtered += node_stats.duplicates_filtered;
+        reliable_totals.backoff_rounds += node_stats.backoff_rounds;
         outputs.push((out, quality));
+    }
+    if let Some(metrics) = &metrics {
+        metrics.retransmissions.add(reliable_totals.retransmissions);
+        metrics.acks.add(reliable_totals.acks_sent);
+        metrics.gave_up.add(reliable_totals.gave_up);
+        metrics
+            .duplicates_filtered
+            .add(reliable_totals.duplicates_filtered);
+        metrics.backoff_rounds.add(reliable_totals.backoff_rounds);
     }
     span.end();
     Ok((outputs, stats))
@@ -477,6 +506,47 @@ mod tests {
         assert!(
             stats.resilience.retransmissions >= u64::from(ReliablePolicy::default().max_retries)
         );
+    }
+
+    #[test]
+    fn metrics_bundle_sees_drops_and_recovery_traffic() {
+        use crate::metrics::SimMetrics;
+        use wdr_metrics::MetricsRegistry;
+
+        let registry = MetricsRegistry::new();
+        let metrics = SimMetrics::register(&registry, "sim");
+        let g = generators::grid(3, 3, 1);
+        let cfg = SimConfig::standard(9, 1)
+            .with_max_rounds(2_000)
+            .with_faults(FaultPlan::new(20_240_805).with_drop_rate(0.3))
+            .with_metrics(metrics.clone());
+        let (_, stats) =
+            run_reliable_phase(&g, 0, &cfg, "flood", ReliablePolicy::default(), |_, _| {
+                Flood::fresh()
+            })
+            .unwrap();
+
+        // The bundle agrees with the per-run statistics exactly.
+        assert_eq!(metrics.rounds.get(), stats.rounds as u64);
+        assert_eq!(metrics.messages.get(), stats.messages);
+        assert_eq!(metrics.bits.get(), stats.bits);
+        assert_eq!(
+            metrics.dropped_random.get(),
+            stats.resilience.dropped_messages,
+            "every loss here comes from the background drop process"
+        );
+        assert_eq!(
+            metrics.retransmissions.get(),
+            stats.resilience.retransmissions
+        );
+        assert_eq!(metrics.acks.get(), stats.resilience.ack_messages);
+        assert!(metrics.retransmissions.get() > 0, "losses were recovered");
+        assert!(
+            metrics.backoff_rounds.get() >= metrics.retransmissions.get(),
+            "each retransmission waited at least one backoff round"
+        );
+        assert_eq!(metrics.bits_per_round.count(), stats.rounds as u64);
+        assert!(metrics.bits_per_round.max() <= stats.bits);
     }
 
     #[test]

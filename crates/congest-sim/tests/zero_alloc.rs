@@ -1,50 +1,30 @@
 //! The round engine's zero-allocation claim, measured: once the arenas have
 //! warmed up (a handful of rounds grows every inbox, outbox, and scratch
 //! buffer to its steady-state capacity), `Network::step` must not touch the
-//! heap at all. A counting global allocator makes any regression — a stray
+//! heap at all — **including with a live [`SimMetrics`] bundle attached**,
+//! whose per-round updates are relaxed atomic adds on pre-registered
+//! handles. A counting global allocator makes any regression — a stray
 //! `clone`, a rebuilt `Vec`, a formatted string — an immediate test failure
 //! rather than a slow perf drift.
 //!
 //! The library itself is `#![forbid(unsafe_code)]`; the `GlobalAlloc` shim
-//! below lives in this integration-test crate, where that lint does not
-//! apply. This file holds exactly one `#[test]` so no sibling test can
-//! allocate concurrently and pollute the counters.
+//! comes from `wdr_metrics::heap`, which carries the only `unsafe` in the
+//! metrics stack. This file holds exactly one `#[test]` so no sibling test
+//! can allocate concurrently and pollute the counters.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::alloc::System;
 
 use congest_graph::{generators, NodeId};
-use congest_sim::{Bandwidth, Mailbox, Network, NodeCtx, NodeProgram, SimConfig, Status};
+use congest_sim::{
+    Bandwidth, Mailbox, Network, NodeCtx, NodeProgram, SimConfig, SimMetrics, Status,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-
-static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
-static REALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
-
-struct CountingAllocator;
-
-unsafe impl GlobalAlloc for CountingAllocator {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        REALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
-}
+use wdr_metrics::heap::{heap_ops, track_current_thread, CountingAlloc};
+use wdr_metrics::MetricsRegistry;
 
 #[global_allocator]
-static GLOBAL: CountingAllocator = CountingAllocator;
-
-fn heap_ops() -> usize {
-    ALLOCATIONS.load(Ordering::SeqCst) + REALLOCATIONS.load(Ordering::SeqCst)
-}
+static GLOBAL: CountingAlloc<System> = CountingAlloc::new(System);
 
 /// Endless gossip: every node rebroadcasts a mixed digest every round, so
 /// each steady-state round moves `2m` messages through the full pipeline
@@ -89,12 +69,16 @@ impl NodeProgram for EndlessGossip {
 
 #[test]
 fn steady_state_rounds_do_not_allocate() {
+    track_current_thread();
     let mut rng = ChaCha8Rng::seed_from_u64(11);
     let g = generators::erdos_renyi_connected(40, 0.15, 1, &mut rng);
+    let registry = MetricsRegistry::new();
+    let metrics = SimMetrics::register(&registry, "sim");
     let config = SimConfig {
         bandwidth: Bandwidth::bits(160),
         ..SimConfig::standard(g.n(), 1)
-    };
+    }
+    .with_metrics(metrics.clone());
     let mut net = Network::new(&g, 0, config, |_, _| EndlessGossip { digest: 0 });
 
     // Warm-up: the first steps grow every arena (inboxes, pending, outboxes,
@@ -103,6 +87,7 @@ fn steady_state_rounds_do_not_allocate() {
         net.step().expect("warm-up step succeeds");
     }
 
+    let rounds_before = metrics.rounds.get();
     let before = heap_ops();
     for _ in 0..32 {
         net.step().expect("steady-state step succeeds");
@@ -110,6 +95,14 @@ fn steady_state_rounds_do_not_allocate() {
     let delta = heap_ops() - before;
     assert_eq!(
         delta, 0,
-        "steady-state rounds must be allocation-free, saw {delta} heap ops over 32 rounds"
+        "steady-state rounds (metrics attached) must be allocation-free, \
+         saw {delta} heap ops over 32 rounds"
     );
+    assert_eq!(
+        metrics.rounds.get() - rounds_before,
+        32,
+        "the metrics bundle observed every steady-state round"
+    );
+    assert_eq!(metrics.messages.get(), net.stats().messages);
+    assert_eq!(metrics.bits.get(), net.stats().bits);
 }

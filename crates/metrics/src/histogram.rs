@@ -1,0 +1,252 @@
+//! Log₂-bucketed histograms with lock-free observation and exact,
+//! order-independent merging.
+//!
+//! Bucket `0` holds the value `0`; bucket `i ≥ 1` covers `[2^(i-1), 2^i - 1]`
+//! (bucket 64 is capped at `u64::MAX`). A quantile estimate returns the upper
+//! bound of the bucket holding the requested rank, clamped to the observed
+//! maximum, which gives the provable sandwich
+//!
+//! ```text
+//! v ≤ quantile(q) ≤ 2·v
+//! ```
+//!
+//! for the true rank-`q` value `v` — tight enough for round/bit
+//! distributions whose interesting structure is multiplicative.
+//!
+//! Every piece of state is a `u64` updated with relaxed atomic adds (and a
+//! `fetch_max` for the maximum), so merging two histograms is a per-index
+//! integer addition: exactly associative, exactly commutative, and therefore
+//! bit-identical whether partials are folded sequentially or reduced across
+//! threads in index order.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of buckets: one for the value `0` plus one per bit length 1..=64.
+pub const BUCKETS: usize = 65;
+
+/// The bucket holding `value`: `0` for zero, otherwise the bit length.
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// The largest value bucket `index` can hold.
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        1..=63 => (1u64 << index) - 1,
+        _ => u64::MAX,
+    }
+}
+
+#[derive(Debug)]
+struct Core {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A cloneable handle to one shared log₂ histogram.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    core: Arc<Core>,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// A point-in-time digest of a histogram (what snapshots serialize).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values (wrapping on overflow).
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Median estimate (`v ≤ p50 ≤ 2v`).
+    pub p50: u64,
+    /// 90th-percentile estimate.
+    pub p90: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            core: Arc::new(Core {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one value. Lock-free; performs no heap operations.
+    pub fn observe(&self, value: u64) {
+        let c = &self.core;
+        c.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        // `fetch_add` wraps on overflow, which is the right behavior here:
+        // `sum` is diagnostic, and a panic inside the round engine's hot
+        // loop would be far worse than a wrapped sum.
+        c.sum.fetch_add(value, Ordering::Relaxed);
+        c.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations (wrapping).
+    pub fn sum(&self) -> u64 {
+        self.core.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.core.max.load(Ordering::Relaxed)
+    }
+
+    /// The per-bucket counts — the histogram's complete distributional
+    /// state, used by the bit-identity proptests.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.core
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0 ≤ q ≤ 1`).
+    ///
+    /// Guarantees `v ≤ quantile(q) ≤ 2·v` for the true rank value `v`, and
+    /// never exceeds the observed maximum. Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, bucket) in self.core.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Adds every observation of `other` into `self`, bucket by bucket in
+    /// ascending index order. Integer adds make this exactly associative
+    /// and commutative, so any reduction tree over disjoint partials yields
+    /// bit-identical state.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.core.buckets.iter().zip(other.core.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.core.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.core.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        self.core.max.fetch_max(other.max(), Ordering::Relaxed);
+    }
+
+    /// Index-ordered reduction of disjoint partial histograms into a fresh
+    /// one — the canonical way to fold per-thread partials.
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a Histogram>) -> Histogram {
+        let out = Histogram::new();
+        for part in parts {
+            out.merge_from(part);
+        }
+        out
+    }
+
+    /// The serializable digest of the current state.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        for v in [0u64, 1, 2, 3, 7, 8, 1 << 40, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i));
+            if i > 0 {
+                assert!(v > bucket_upper_bound(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_sandwich_the_exact_values() {
+        let h = Histogram::new();
+        let values = [3u64, 9, 9, 17, 100, 1000, 1000, 1001, 4096, 70000];
+        for &v in &values {
+            h.observe(v);
+        }
+        let mut sorted = values;
+        sorted.sort_unstable();
+        for (q, exact) in [(0.5, sorted[4]), (0.9, sorted[8]), (1.0, sorted[9])] {
+            let est = h.quantile(q);
+            assert!(est >= exact, "q={q}: {est} < exact {exact}");
+            assert!(est <= exact.saturating_mul(2), "q={q}: {est} > 2·{exact}");
+        }
+        assert_eq!(h.max(), 70000);
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), values.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn merge_equals_joint_observation() {
+        let (a, b, joint) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in 0..100u64 {
+            if v % 2 == 0 { &a } else { &b }.observe(v * v);
+            joint.observe(v * v);
+        }
+        let merged = Histogram::merged([&a, &b]);
+        assert_eq!(merged.bucket_counts(), joint.bucket_counts());
+        assert_eq!(merged.count(), joint.count());
+        assert_eq!(merged.sum(), joint.sum());
+        assert_eq!(merged.max(), joint.max());
+    }
+}

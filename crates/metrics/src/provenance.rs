@@ -1,0 +1,151 @@
+//! The shared `RunMeta` provenance header stamped on every `BENCH_*.json`
+//! artifact, making trajectory rows self-describing.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Version of the provenance/trajectory row schema. Bump on any change to
+/// field names or semantics; `wdr-perf compare` refuses to gate across
+/// schema versions.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Provenance of one benchmark/conformance run.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize)]
+pub struct RunMeta {
+    /// [`SCHEMA_VERSION`] at the time the artifact was written.
+    pub schema_version: u32,
+    /// `git rev-parse HEAD` of the working tree (or `"unknown"` outside a
+    /// repository; the `WDR_COMMIT` environment variable overrides both).
+    pub commit: String,
+    /// UTC wall-clock time of the run, ISO-8601 (`YYYY-MM-DDThh:mm:ssZ`).
+    pub recorded_at_utc: String,
+    /// `std::thread::available_parallelism` on the recording host.
+    pub host_threads: usize,
+    /// Every RNG seed that fed the run, sorted and deduplicated.
+    pub seeds: Vec<u64>,
+}
+
+impl RunMeta {
+    /// Captures the current provenance with the given seed set.
+    pub fn capture(seeds: &[u64]) -> RunMeta {
+        let mut seeds = seeds.to_vec();
+        seeds.sort_unstable();
+        seeds.dedup();
+        RunMeta {
+            schema_version: SCHEMA_VERSION,
+            commit: git_commit(),
+            recorded_at_utc: utc_timestamp(),
+            host_threads: host_threads(),
+            seeds,
+        }
+    }
+}
+
+/// Threads available to this process (1 when the query fails).
+pub fn host_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The current commit hash: `WDR_COMMIT` if set, else `git rev-parse HEAD`,
+/// else `"unknown"`.
+pub fn git_commit() -> String {
+    if let Ok(commit) = std::env::var("WDR_COMMIT") {
+        let commit = commit.trim().to_string();
+        if !commit.is_empty() {
+            return commit;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The current UTC time as `YYYY-MM-DDThh:mm:ssZ` (no external time crate:
+/// derived from `SystemTime` with the classic days-from-civil inverse).
+pub fn utc_timestamp() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    format_utc(secs)
+}
+
+/// Formats `secs` since the Unix epoch as ISO-8601 UTC.
+pub fn format_utc(secs: u64) -> String {
+    let days = (secs / 86_400) as i64;
+    let rem = secs % 86_400;
+    let (year, month, day) = civil_from_days(days);
+    format!(
+        "{year:04}-{month:02}-{day:02}T{:02}:{:02}:{:02}Z",
+        rem / 3600,
+        (rem % 3600) / 60,
+        rem % 60
+    )
+}
+
+// Howard Hinnant's `civil_from_days`: proleptic-Gregorian date of the day
+// `z` days after 1970-01-01.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (y + i64::from(m <= 2), m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_timestamps_format_correctly() {
+        assert_eq!(format_utc(0), "1970-01-01T00:00:00Z");
+        // 2000-02-29 (leap day) 12:34:56 UTC.
+        assert_eq!(format_utc(951_827_696), "2000-02-29T12:34:56Z");
+        // 2026-08-07 00:00:00 UTC.
+        assert_eq!(format_utc(1_786_060_800), "2026-08-07T00:00:00Z");
+    }
+
+    #[test]
+    fn capture_sorts_and_dedups_seeds() {
+        let meta = RunMeta::capture(&[9, 1, 9, 4]);
+        assert_eq!(meta.seeds, vec![1, 4, 9]);
+        assert_eq!(meta.schema_version, SCHEMA_VERSION);
+        assert!(meta.host_threads >= 1);
+        assert!(meta.recorded_at_utc.ends_with('Z'));
+        assert!(!meta.commit.is_empty());
+    }
+
+    #[test]
+    fn meta_serializes_with_named_fields() {
+        use serde::Serialize as _;
+        let meta = RunMeta {
+            schema_version: 1,
+            commit: "abc".into(),
+            recorded_at_utc: "1970-01-01T00:00:00Z".into(),
+            host_threads: 8,
+            seeds: vec![3, 5],
+        };
+        let json = meta.to_json();
+        let v = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            v.get("commit").and_then(serde_json::Value::as_str),
+            Some("abc")
+        );
+        assert_eq!(
+            v.get("seeds")
+                .and_then(serde_json::Value::as_array)
+                .map(Vec::len),
+            Some(2)
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! The named metrics registry and its counter/gauge handles.
+//!
+//! Registration (`counter` / `gauge` / `histogram`) takes a mutex and may
+//! allocate; the returned handles are `Arc`-backed and their hot paths
+//! (`inc`, `add`, `set`, `observe`) are single relaxed atomic operations
+//! with **zero heap operations** — pinned by the counting-allocator test in
+//! `tests/zero_alloc.rs`. Register once up front, clone handles freely.
+
+use crate::histogram::Histogram;
+use crate::snapshot::{MetricValue, MetricsSnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonic `u64` counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Creates a free-standing counter (not attached to a registry).
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if n > 0 {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins `f64` gauge (stored as IEEE-754 bits in an atomic).
+#[derive(Clone, Debug)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Default for Gauge {
+    fn default() -> Gauge {
+        Gauge {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+}
+
+impl Gauge {
+    /// Creates a free-standing gauge initialized to `0.0`.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// One registered metric (a cloned handle, not a reference).
+#[derive(Clone, Debug)]
+pub enum Metric {
+    /// A monotonic counter.
+    Counter(Counter),
+    /// A point-in-time gauge.
+    Gauge(Gauge),
+    /// A log₂ histogram.
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A shared, name-keyed metrics registry.
+///
+/// Registration is idempotent: asking twice for the same name returns
+/// handles to the same underlying metric. Asking for a name that is
+/// already registered as a *different* kind panics — that is a programming
+/// error, not a runtime condition.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        map.entry(name.to_string()).or_insert_with(make).clone()
+    }
+
+    /// Registers (or retrieves) the counter `name`.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a gauge or histogram.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.get_or_insert(name, || Metric::Counter(Counter::new())) {
+            Metric::Counter(c) => c,
+            other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) the gauge `name`.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a counter or histogram.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.get_or_insert(name, || Metric::Gauge(Gauge::new())) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) the histogram `name`.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a counter or gauge.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match self.get_or_insert(name, || Metric::Histogram(Histogram::new())) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("metrics registry poisoned").len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A point-in-time copy of every metric's value, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.inner.lock().expect("metrics registry poisoned");
+        let entries = map
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.summary()),
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        MetricsSnapshot { entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_shared() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn gauges_round_trip_floats() {
+        let r = MetricsRegistry::new();
+        let g = r.gauge("c_max");
+        g.set(3.25);
+        assert_eq!(g.get(), 3.25);
+        g.set(-0.5);
+        assert_eq!(r.gauge("c_max").get(), -0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "is a counter, not a gauge")]
+    fn kind_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_reflects_all_kinds() {
+        let r = MetricsRegistry::new();
+        r.counter("a.count").add(7);
+        r.gauge("b.gauge").set(1.5);
+        r.histogram("c.hist").observe(10);
+        let snap = r.snapshot();
+        let flat = snap.flatten();
+        assert_eq!(flat["a.count"], 7.0);
+        assert_eq!(flat["b.gauge"], 1.5);
+        assert_eq!(flat["c.hist.count"], 1.0);
+        assert_eq!(flat["c.hist.max"], 10.0);
+    }
+}

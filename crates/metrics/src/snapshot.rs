@@ -1,0 +1,154 @@
+//! Point-in-time registry snapshots with a hand-rolled canonical JSON
+//! encoding.
+//!
+//! The vendored `serde` stand-in has no map impls (by design — nothing in
+//! the workspace serialized maps before this crate), so the snapshot writes
+//! its JSON object directly: keys in `BTreeMap` order, no whitespace,
+//! strings escaped through [`serde::write_json_string`]. Two snapshots with
+//! equal contents therefore produce byte-identical JSON — the property the
+//! trajectory rows and their FNV artifact hashes rely on.
+
+use crate::histogram::HistogramSummary;
+use std::collections::BTreeMap;
+
+/// One metric's value at snapshot time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MetricValue {
+    /// A counter reading.
+    Counter(u64),
+    /// A gauge reading.
+    Gauge(f64),
+    /// A histogram digest.
+    Histogram(HistogramSummary),
+}
+
+/// A sorted name → value map frozen from a [`crate::MetricsRegistry`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// The frozen values, sorted by metric name.
+    pub entries: BTreeMap<String, MetricValue>,
+}
+
+/// Writes `v` the way the vendored serde writes `f64` (finite → shortest
+/// round-trip decimal, non-finite → `null`).
+pub fn write_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+impl MetricsSnapshot {
+    /// Flattens to scalar metrics: counters and gauges map to their value;
+    /// a histogram `h` expands to `h.count`, `h.sum`, `h.max`, `h.p50`,
+    /// `h.p90`, `h.p99`.
+    pub fn flatten(&self) -> BTreeMap<String, f64> {
+        let mut out = BTreeMap::new();
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(v) => {
+                    out.insert(name.clone(), *v as f64);
+                }
+                MetricValue::Gauge(v) => {
+                    out.insert(name.clone(), *v);
+                }
+                MetricValue::Histogram(h) => {
+                    out.insert(format!("{name}.count"), h.count as f64);
+                    out.insert(format!("{name}.sum"), h.sum as f64);
+                    out.insert(format!("{name}.max"), h.max as f64);
+                    out.insert(format!("{name}.p50"), h.p50 as f64);
+                    out.insert(format!("{name}.p90"), h.p90 as f64);
+                    out.insert(format!("{name}.p99"), h.p99 as f64);
+                }
+            }
+        }
+        out
+    }
+
+    /// The flattened metrics as sorted `(name, value)` pairs — the shape the
+    /// vendored serde can serialize inside `BENCH_*.json` reports.
+    pub fn to_pairs(&self) -> Vec<(String, f64)> {
+        self.flatten().into_iter().collect()
+    }
+
+    /// Canonical JSON: `{"name":{"type":"counter","value":N},...}` with keys
+    /// in sorted order and no whitespace.
+    pub fn to_canonical_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            serde::write_json_string(name, &mut out);
+            out.push(':');
+            match value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{{\"type\":\"counter\",\"value\":{v}}}"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str("{\"type\":\"gauge\",\"value\":");
+                    write_f64(*v, &mut out);
+                    out.push('}');
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{{\"type\":\"histogram\",\"count\":{},\"max\":{},\"p50\":{},\
+                         \"p90\":{},\"p99\":{},\"sum\":{}}}",
+                        h.count, h.max, h.p50, h.p90, h.p99, h.sum
+                    ));
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_json_is_sorted_and_parseable() {
+        let mut entries = BTreeMap::new();
+        entries.insert("z.last".to_string(), MetricValue::Gauge(2.5));
+        entries.insert("a.first".to_string(), MetricValue::Counter(3));
+        entries.insert(
+            "m.hist".to_string(),
+            MetricValue::Histogram(HistogramSummary {
+                count: 2,
+                sum: 12,
+                max: 8,
+                p50: 7,
+                p90: 8,
+                p99: 8,
+            }),
+        );
+        let snap = MetricsSnapshot { entries };
+        let json = snap.to_canonical_json();
+        assert!(json.find("a.first").unwrap() < json.find("m.hist").unwrap());
+        assert!(json.find("m.hist").unwrap() < json.find("z.last").unwrap());
+        let v = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            v.get("a.first")
+                .and_then(|m| m.get("value"))
+                .and_then(serde_json::Value::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            v.get("m.hist")
+                .and_then(|m| m.get("p50"))
+                .and_then(serde_json::Value::as_u64),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn non_finite_gauges_serialize_as_null() {
+        let mut entries = BTreeMap::new();
+        entries.insert("bad".to_string(), MetricValue::Gauge(f64::NAN));
+        let snap = MetricsSnapshot { entries };
+        assert!(snap.to_canonical_json().contains("\"value\":null"));
+    }
+}

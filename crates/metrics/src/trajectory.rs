@@ -1,0 +1,769 @@
+//! Checked-in perf trajectory: canonical-JSON rows, artifact hashing, and
+//! the regression gate behind `wdr-perf record` / `compare`.
+//!
+//! A **trajectory row** summarizes one benchmark run: the [`RunMeta`]
+//! provenance header, an FNV-1a hash per `BENCH_*.json` artifact, and a
+//! flat name → value map of every extracted metric. Rows are appended to
+//! `perf/trajectory.jsonl` (one canonical-JSON object per line); rows
+//! recorded with `--pin` become the baseline that `wdr-perf compare` gates
+//! later runs against.
+//!
+//! Gating is deliberately conservative: only *machine-independent* metrics
+//! (envelope constants `.c_max`, SumSweep `.sweep_fraction`, parallel
+//! `.speedup` ratios) fail the gate; raw timings and throughputs are
+//! machine-dependent and appear in the delta table as informational rows.
+
+use crate::provenance::RunMeta;
+use crate::snapshot::write_f64;
+use serde_json::Value;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::Write as _;
+use std::path::Path;
+
+/// Default relative regression threshold (15%), per-metric, on gated
+/// metrics only.
+pub const DEFAULT_THRESHOLD: f64 = 0.15;
+
+/// 64-bit FNV-1a over `bytes` — the artifact fingerprint (no cryptographic
+/// hash is vendored in-tree; collision resistance is not a requirement for
+/// "did this artifact change" bookkeeping).
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// [`fnv1a_64`] as fixed-width lowercase hex.
+pub fn fnv1a_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a_64(bytes))
+}
+
+/// One line of `perf/trajectory.jsonl`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrajectoryRow {
+    /// Provenance of the run.
+    pub meta: RunMeta,
+    /// Whether this row is a comparison baseline.
+    pub pinned: bool,
+    /// Artifact file name → FNV-1a hex fingerprint.
+    pub artifacts: BTreeMap<String, String>,
+    /// Flat metric name → value map extracted from the artifacts.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl TrajectoryRow {
+    /// Canonical JSON: top-level keys in sorted order (`artifacts`, `meta`,
+    /// `metrics`, `pinned`), map keys in `BTreeMap` order, no whitespace.
+    /// Equal rows serialize to identical bytes.
+    pub fn to_canonical_json(&self) -> String {
+        use serde::Serialize as _;
+        let mut out = String::from("{\"artifacts\":{");
+        for (i, (name, hash)) in self.artifacts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            serde::write_json_string(name, &mut out);
+            out.push(':');
+            serde::write_json_string(hash, &mut out);
+        }
+        out.push_str("},\"meta\":");
+        self.meta.serialize_json(&mut out);
+        out.push_str(",\"metrics\":{");
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            serde::write_json_string(name, &mut out);
+            out.push(':');
+            write_f64(*value, &mut out);
+        }
+        out.push_str("},\"pinned\":");
+        out.push_str(if self.pinned { "true" } else { "false" });
+        out.push('}');
+        out
+    }
+
+    /// Parses one trajectory line back into a row.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first malformed field.
+    pub fn from_json(line: &str) -> Result<TrajectoryRow, String> {
+        let v = serde_json::from_str(line).map_err(|e| format!("trajectory row: {e}"))?;
+        let meta_v = v.get("meta").ok_or("trajectory row: missing `meta`")?;
+        let str_field = |obj: &Value, key: &str| -> Result<String, String> {
+            obj.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("trajectory row: missing string `{key}`"))
+        };
+        let meta = RunMeta {
+            schema_version: meta_v
+                .get("schema_version")
+                .and_then(Value::as_u64)
+                .ok_or("trajectory row: missing `schema_version`")?
+                as u32,
+            commit: str_field(meta_v, "commit")?,
+            recorded_at_utc: str_field(meta_v, "recorded_at_utc")?,
+            host_threads: meta_v
+                .get("host_threads")
+                .and_then(Value::as_u64)
+                .ok_or("trajectory row: missing `host_threads`")?
+                as usize,
+            seeds: meta_v
+                .get("seeds")
+                .and_then(Value::as_array)
+                .ok_or("trajectory row: missing `seeds`")?
+                .iter()
+                .map(|s| s.as_u64().ok_or("trajectory row: non-integer seed"))
+                .collect::<Result<Vec<u64>, _>>()?,
+        };
+        let artifacts = v
+            .get("artifacts")
+            .and_then(Value::as_object)
+            .ok_or("trajectory row: missing `artifacts`")?
+            .iter()
+            .map(|(k, h)| {
+                h.as_str()
+                    .map(|h| (k.clone(), h.to_string()))
+                    .ok_or("trajectory row: non-string artifact hash")
+            })
+            .collect::<Result<BTreeMap<_, _>, _>>()?;
+        let metrics = v
+            .get("metrics")
+            .and_then(Value::as_object)
+            .ok_or("trajectory row: missing `metrics`")?
+            .iter()
+            .map(|(k, n)| {
+                n.as_f64()
+                    .map(|n| (k.clone(), n))
+                    .ok_or("trajectory row: non-numeric metric")
+            })
+            .collect::<Result<BTreeMap<_, _>, _>>()?;
+        let pinned = v.get("pinned").and_then(Value::as_bool).unwrap_or(false);
+        Ok(TrajectoryRow {
+            meta,
+            pinned,
+            artifacts,
+            metrics,
+        })
+    }
+}
+
+/// Which way "better" points for a metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Smaller values are better (constants, fractions, timings).
+    LowerIsBetter,
+    /// Larger values are better (speedups, throughputs, sample counts).
+    HigherIsBetter,
+}
+
+/// Direction of `name`, by suffix convention.
+pub fn direction(name: &str) -> Direction {
+    const HIGHER: [&str; 4] = [".speedup", ".rounds_per_sec", ".samples", ".count"];
+    if HIGHER.iter().any(|s| name.ends_with(s)) {
+        Direction::HigherIsBetter
+    } else {
+        Direction::LowerIsBetter
+    }
+}
+
+/// Whether `name` participates in the regression gate. Only
+/// machine-independent metrics do: fitted envelope constants, SumSweep
+/// sweep fractions, and parallel speedup ratios.
+pub fn gated(name: &str) -> bool {
+    name.ends_with(".c_max") || name.ends_with(".sweep_fraction") || name.ends_with(".speedup")
+}
+
+/// One metric's baseline/current pair in a comparison.
+#[derive(Clone, Debug)]
+pub struct Delta {
+    /// Metric name.
+    pub name: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Relative change, oriented so **positive = worse** (regression
+    /// fraction); `+0.20` means 20% worse than baseline.
+    pub worse_by: f64,
+    /// Whether this metric participates in the gate.
+    pub gated: bool,
+    /// `gated && worse_by > threshold`.
+    pub regressed: bool,
+}
+
+/// The outcome of `compare`: per-metric deltas plus structural findings.
+#[derive(Clone, Debug)]
+pub struct CompareReport {
+    /// Threshold the gate used.
+    pub threshold: f64,
+    /// Baseline commit (for rendering).
+    pub baseline_commit: String,
+    /// Baseline timestamp (for rendering).
+    pub baseline_recorded_at: String,
+    /// Every metric present in both rows.
+    pub deltas: Vec<Delta>,
+    /// Gated metrics present in the baseline but absent now — a gate
+    /// failure (losing a gated signal must be loud).
+    pub missing_gated: Vec<String>,
+    /// Metrics present now but not in the baseline (informational).
+    pub added: Vec<String>,
+    /// Artifacts whose fingerprint changed (informational; timings differ
+    /// run to run by construction).
+    pub changed_artifacts: Vec<String>,
+    /// Set when the rows carry different schema versions (gate failure).
+    pub schema_mismatch: Option<String>,
+}
+
+impl CompareReport {
+    /// The regressions that fail the gate.
+    pub fn regressions(&self) -> Vec<&Delta> {
+        self.deltas.iter().filter(|d| d.regressed).collect()
+    }
+
+    /// `true` when the gate passes.
+    pub fn passed(&self) -> bool {
+        self.schema_mismatch.is_none()
+            && self.missing_gated.is_empty()
+            && self.deltas.iter().all(|d| !d.regressed)
+    }
+
+    /// Renders the delta table (and any structural findings) as markdown.
+    pub fn to_markdown(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "## Perf delta vs `{}` ({})\n",
+            short_commit(&self.baseline_commit),
+            self.baseline_recorded_at
+        )
+        .unwrap();
+        if let Some(mismatch) = &self.schema_mismatch {
+            writeln!(out, "**SCHEMA MISMATCH**: {mismatch}\n").unwrap();
+        }
+        writeln!(out, "| metric | baseline | current | worse by | status |").unwrap();
+        writeln!(out, "|---|---:|---:|---:|---|").unwrap();
+        for d in &self.deltas {
+            let status = if d.regressed {
+                "**REGRESSED**"
+            } else if d.gated {
+                "ok"
+            } else {
+                "info"
+            };
+            writeln!(
+                out,
+                "| {} | {} | {} | {} | {} |",
+                d.name,
+                fmt_value(d.baseline),
+                fmt_value(d.current),
+                fmt_percent(d.worse_by),
+                status
+            )
+            .unwrap();
+        }
+        for name in &self.missing_gated {
+            writeln!(
+                out,
+                "\n**MISSING** gated metric `{name}` (present in baseline)"
+            )
+            .unwrap();
+        }
+        if !self.added.is_empty() {
+            writeln!(
+                out,
+                "\nnew metrics (not in baseline): {}",
+                self.added.join(", ")
+            )
+            .unwrap();
+        }
+        if !self.changed_artifacts.is_empty() {
+            writeln!(
+                out,
+                "\nartifacts with changed fingerprints: {}",
+                self.changed_artifacts.join(", ")
+            )
+            .unwrap();
+        }
+        let regressions = self.regressions();
+        if self.passed() {
+            writeln!(
+                out,
+                "\nGATE PASS: no gated metric regressed beyond {:.0}%",
+                self.threshold * 100.0
+            )
+            .unwrap();
+        } else {
+            writeln!(
+                out,
+                "\nGATE FAIL: {} gated metric(s) regressed beyond {:.0}%{}",
+                regressions.len(),
+                self.threshold * 100.0,
+                if self.missing_gated.is_empty() && self.schema_mismatch.is_none() {
+                    ""
+                } else {
+                    " (or structural failure above)"
+                }
+            )
+            .unwrap();
+        }
+        out
+    }
+}
+
+fn short_commit(commit: &str) -> &str {
+    if commit.len() >= 12 && commit.bytes().all(|b| b.is_ascii_hexdigit()) {
+        &commit[..12]
+    } else {
+        commit
+    }
+}
+
+fn fmt_value(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let abs = v.abs();
+    if (0.001..1e7).contains(&abs) {
+        let s = format!("{v:.4}");
+        let s = s.trim_end_matches('0').trim_end_matches('.');
+        s.to_string()
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+fn fmt_percent(worse_by: f64) -> String {
+    if worse_by.is_infinite() {
+        return "∞".to_string();
+    }
+    format!("{:+.1}%", worse_by * 100.0)
+}
+
+/// Compares `current` against the pinned `baseline` with a per-metric
+/// relative `threshold` on gated metrics.
+pub fn compare(baseline: &TrajectoryRow, current: &TrajectoryRow, threshold: f64) -> CompareReport {
+    let schema_mismatch =
+        (baseline.meta.schema_version != current.meta.schema_version).then(|| {
+            format!(
+                "baseline schema v{} vs current v{} — re-pin the trajectory before gating",
+                baseline.meta.schema_version, current.meta.schema_version
+            )
+        });
+    let mut deltas = Vec::new();
+    let mut missing_gated = Vec::new();
+    for (name, &base) in &baseline.metrics {
+        match current.metrics.get(name) {
+            Some(&cur) => {
+                let dir = direction(name);
+                let worse_by = if base == 0.0 {
+                    if cur == base {
+                        0.0
+                    } else {
+                        match dir {
+                            Direction::LowerIsBetter => f64::INFINITY,
+                            Direction::HigherIsBetter => -1.0,
+                        }
+                    }
+                } else {
+                    match dir {
+                        Direction::LowerIsBetter => (cur - base) / base.abs(),
+                        Direction::HigherIsBetter => (base - cur) / base.abs(),
+                    }
+                };
+                let is_gated = gated(name);
+                deltas.push(Delta {
+                    name: name.clone(),
+                    baseline: base,
+                    current: cur,
+                    worse_by,
+                    gated: is_gated,
+                    regressed: is_gated && worse_by > threshold,
+                });
+            }
+            None if gated(name) => missing_gated.push(name.clone()),
+            None => {}
+        }
+    }
+    let added = current
+        .metrics
+        .keys()
+        .filter(|k| !baseline.metrics.contains_key(*k))
+        .cloned()
+        .collect();
+    let changed_artifacts = baseline
+        .artifacts
+        .iter()
+        .filter(|(name, hash)| current.artifacts.get(*name).is_some_and(|h| h != *hash))
+        .map(|(name, _)| name.clone())
+        .collect();
+    CompareReport {
+        threshold,
+        baseline_commit: baseline.meta.commit.clone(),
+        baseline_recorded_at: baseline.meta.recorded_at_utc.clone(),
+        deltas,
+        missing_gated,
+        added,
+        changed_artifacts,
+        schema_mismatch,
+    }
+}
+
+/// Extracts trajectory metrics from one parsed `BENCH_*.json` artifact.
+/// `stem` is the file name without extension (e.g. `BENCH_step_engine`).
+/// Unknown artifacts contribute only their embedded `metrics` pairs (if
+/// any), keeping the extractor forward-compatible.
+pub fn extract_metrics(stem: &str, v: &Value, out: &mut BTreeMap<String, f64>) {
+    let rows = v.get("rows").and_then(Value::as_array);
+    match stem {
+        "BENCH_step_engine" => {
+            for row in rows.into_iter().flatten() {
+                let (Some(n), Some(mode), Some(threads)) = (
+                    row.get("n").and_then(Value::as_u64),
+                    row.get("mode").and_then(Value::as_str),
+                    row.get("threads").and_then(Value::as_u64),
+                ) else {
+                    continue;
+                };
+                let prefix = format!("e8.n{n}.{mode}.t{threads}");
+                copy_num(
+                    row,
+                    "rounds_per_sec",
+                    &format!("{prefix}.rounds_per_sec"),
+                    out,
+                );
+                copy_num(row, "secs_per_run", &format!("{prefix}.secs_per_run"), out);
+                copy_num(
+                    row,
+                    "speedup_vs_sequential",
+                    &format!("{prefix}.speedup"),
+                    out,
+                );
+            }
+        }
+        "BENCH_metrics_kernels" => {
+            for row in rows.into_iter().flatten() {
+                let (Some(n), Some(density), Some(w), Some(kernel)) = (
+                    row.get("n").and_then(Value::as_u64),
+                    row.get("density").and_then(Value::as_str),
+                    row.get("max_weight").and_then(Value::as_u64),
+                    row.get("kernel").and_then(Value::as_str),
+                ) else {
+                    continue;
+                };
+                let prefix = format!("e9.n{n}.{density}.w{w}.{kernel}");
+                copy_num(
+                    row,
+                    "sweep_fraction",
+                    &format!("{prefix}.sweep_fraction"),
+                    out,
+                );
+                copy_num(row, "secs_per_run", &format!("{prefix}.secs_per_run"), out);
+                copy_num(row, "speedup_vs_brute", &format!("{prefix}.speedup"), out);
+            }
+        }
+        "BENCH_conformance" => {
+            for regime in v
+                .get("regimes")
+                .and_then(Value::as_array)
+                .into_iter()
+                .flatten()
+            {
+                let Some(name) = regime.get("regime").and_then(Value::as_str) else {
+                    continue;
+                };
+                let prefix = format!("conformance.{name}");
+                copy_num(regime, "c_max", &format!("{prefix}.c_max"), out);
+                copy_num(regime, "c_mean", &format!("{prefix}.c_mean"), out);
+                copy_num(regime, "samples", &format!("{prefix}.samples"), out);
+            }
+        }
+        _ => {}
+    }
+    // Embedded registry snapshots: `"metrics": [["name", value], ...]` —
+    // names are already fully qualified by the emitter.
+    for pair in v
+        .get("metrics")
+        .and_then(Value::as_array)
+        .into_iter()
+        .flatten()
+    {
+        if let Some([name, value]) = pair.as_array().map(Vec::as_slice) {
+            if let (Some(name), Some(value)) = (name.as_str(), value.as_f64()) {
+                out.insert(name.to_string(), value);
+            }
+        }
+    }
+}
+
+fn copy_num(row: &Value, field: &str, key: &str, out: &mut BTreeMap<String, f64>) {
+    if let Some(value) = row.get(field).and_then(Value::as_f64) {
+        out.insert(key.to_string(), value);
+    }
+}
+
+/// Builds an (unpinned) trajectory row from every `BENCH_*.json` under
+/// `dir`: hashes each artifact, extracts its metrics, and unions the seed
+/// sets from the embedded `meta` headers.
+///
+/// # Errors
+///
+/// When `dir` holds no artifacts or one fails to parse.
+pub fn collect_dir(dir: &Path) -> Result<TrajectoryRow, String> {
+    let mut artifacts = BTreeMap::new();
+    let mut metrics = BTreeMap::new();
+    let mut seeds = BTreeSet::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read dir {}: {e}", dir.display()))?;
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|name| name.starts_with("BENCH_") && name.ends_with(".json"))
+        .collect();
+    names.sort_unstable();
+    for name in &names {
+        let path = dir.join(name);
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        artifacts.insert(name.clone(), fnv1a_hex(text.as_bytes()));
+        let v = serde_json::from_str(&text).map_err(|e| format!("parse {name}: {e}"))?;
+        let stem = name.trim_end_matches(".json");
+        extract_metrics(stem, &v, &mut metrics);
+        for seed in v
+            .get("meta")
+            .and_then(|m| m.get("seeds"))
+            .and_then(Value::as_array)
+            .into_iter()
+            .flatten()
+        {
+            if let Some(seed) = seed.as_u64() {
+                seeds.insert(seed);
+            }
+        }
+    }
+    if artifacts.is_empty() {
+        return Err(format!(
+            "no BENCH_*.json artifacts under {} — run the experiments first \
+             (e.g. `cargo run --release -p wdr-bench --bin tables -- --quick --exp e8`)",
+            dir.display()
+        ));
+    }
+    let seeds: Vec<u64> = seeds.into_iter().collect();
+    Ok(TrajectoryRow {
+        meta: RunMeta::capture(&seeds),
+        pinned: false,
+        artifacts,
+        metrics,
+    })
+}
+
+/// Loads every row of a trajectory file (empty when the file is absent).
+///
+/// # Errors
+///
+/// When a present file fails to read or a line fails to parse.
+pub fn load_rows(path: &Path) -> Result<Vec<TrajectoryRow>, String> {
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| {
+            TrajectoryRow::from_json(line)
+                .map_err(|e| format!("{} line {}: {e}", path.display(), i + 1))
+        })
+        .collect()
+}
+
+/// The most recent pinned row — the comparison baseline.
+pub fn last_pinned(rows: &[TrajectoryRow]) -> Option<&TrajectoryRow> {
+    rows.iter().rev().find(|r| r.pinned)
+}
+
+/// Appends `row` as one canonical-JSON line, creating parents as needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors as strings.
+pub fn append_row(path: &Path, row: &TrajectoryRow) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("create {}: {e}", parent.display()))?;
+        }
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("open {}: {e}", path.display()))?;
+    writeln!(file, "{}", row.to_canonical_json())
+        .map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(metrics: &[(&str, f64)], pinned: bool) -> TrajectoryRow {
+        TrajectoryRow {
+            meta: RunMeta {
+                schema_version: crate::provenance::SCHEMA_VERSION,
+                commit: "0123456789abcdef0123456789abcdef01234567".into(),
+                recorded_at_utc: "2026-08-07T00:00:00Z".into(),
+                host_threads: 8,
+                seeds: vec![1, 2],
+            },
+            pinned,
+            artifacts: BTreeMap::from([(
+                "BENCH_conformance.json".to_string(),
+                "deadbeefdeadbeef".to_string(),
+            )]),
+            metrics: metrics.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn canonical_json_round_trips() {
+        let r = row(
+            &[
+                ("conformance.x.c_max", 3.5),
+                ("e8.n48.seq.t1.rounds_per_sec", 123.0),
+            ],
+            true,
+        );
+        let json = r.to_canonical_json();
+        let back = TrajectoryRow::from_json(&json).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.to_canonical_json(), json);
+    }
+
+    #[test]
+    fn identical_rows_pass_the_gate() {
+        let base = row(
+            &[
+                ("a.c_max", 3.0),
+                ("b.speedup", 4.0),
+                ("t.secs_per_run", 0.5),
+            ],
+            true,
+        );
+        let report = compare(&base, &base, DEFAULT_THRESHOLD);
+        assert!(report.passed());
+        assert!(report.regressions().is_empty());
+        assert!(report.to_markdown().contains("GATE PASS"));
+    }
+
+    #[test]
+    fn injected_regression_fails_the_gate() {
+        let base = row(&[("a.c_max", 3.0), ("b.speedup", 4.0)], true);
+        // c_max grows 20% (> 15% threshold, lower-is-better).
+        let cur = row(&[("a.c_max", 3.6), ("b.speedup", 4.0)], false);
+        let report = compare(&base, &cur, DEFAULT_THRESHOLD);
+        assert!(!report.passed());
+        let regs = report.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "a.c_max");
+        assert!((regs[0].worse_by - 0.2).abs() < 1e-12);
+        assert!(report.to_markdown().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn speedup_drop_is_a_regression_but_timing_noise_is_not() {
+        let base = row(&[("b.speedup", 4.0), ("t.secs_per_run", 0.5)], true);
+        // Speedup collapses 50%; timing doubles (machine-dependent: info only).
+        let cur = row(&[("b.speedup", 2.0), ("t.secs_per_run", 1.0)], false);
+        let report = compare(&base, &cur, DEFAULT_THRESHOLD);
+        assert_eq!(report.regressions().len(), 1);
+        assert_eq!(report.regressions()[0].name, "b.speedup");
+        let timing = report
+            .deltas
+            .iter()
+            .find(|d| d.name == "t.secs_per_run")
+            .unwrap();
+        assert!(!timing.gated && !timing.regressed);
+    }
+
+    #[test]
+    fn improvements_never_fail() {
+        let base = row(&[("a.c_max", 3.0), ("b.speedup", 4.0)], true);
+        let cur = row(&[("a.c_max", 1.0), ("b.speedup", 9.0)], false);
+        assert!(compare(&base, &cur, DEFAULT_THRESHOLD).passed());
+    }
+
+    #[test]
+    fn missing_gated_metric_fails() {
+        let base = row(&[("a.c_max", 3.0)], true);
+        let cur = row(&[], false);
+        let report = compare(&base, &cur, DEFAULT_THRESHOLD);
+        assert!(!report.passed());
+        assert_eq!(report.missing_gated, vec!["a.c_max".to_string()]);
+    }
+
+    #[test]
+    fn extractors_read_all_three_artifacts() {
+        let mut out = BTreeMap::new();
+        let e8 = serde_json::from_str(
+            r#"{"rows":[{"n":48,"mode":"parallel","threads":4,
+                "rounds_per_sec":100.5,"secs_per_run":0.01,"speedup_vs_sequential":2.5}],
+                "metrics":[["e8.sim.rounds",60]]}"#,
+        )
+        .unwrap();
+        extract_metrics("BENCH_step_engine", &e8, &mut out);
+        assert_eq!(out["e8.n48.parallel.t4.speedup"], 2.5);
+        assert_eq!(out["e8.sim.rounds"], 60.0);
+
+        let e9 = serde_json::from_str(
+            r#"{"rows":[{"n":512,"density":"sparse","max_weight":128,"kernel":"sumsweep",
+                "sweeps":12,"sweep_fraction":0.023,"secs_per_run":0.5,"speedup_vs_brute":4.0}]}"#,
+        )
+        .unwrap();
+        extract_metrics("BENCH_metrics_kernels", &e9, &mut out);
+        assert_eq!(out["e9.n512.sparse.w128.sumsweep.sweep_fraction"], 0.023);
+        assert!(gated("e9.n512.sparse.w128.sumsweep.sweep_fraction"));
+
+        let conf = serde_json::from_str(
+            r#"{"regimes":[{"regime":"quantum|low-D|unit-w","samples":9,
+                "c_min":0.5,"c_mean":1.0,"c_max":2.0,"ceiling":30.0,"passed":true}]}"#,
+        )
+        .unwrap();
+        extract_metrics("BENCH_conformance", &conf, &mut out);
+        assert_eq!(out["conformance.quantum|low-D|unit-w.c_max"], 2.0);
+        assert!(gated("conformance.quantum|low-D|unit-w.c_max"));
+        assert_eq!(
+            direction("conformance.quantum|low-D|unit-w.samples"),
+            Direction::HigherIsBetter
+        );
+    }
+
+    #[test]
+    fn trajectory_file_round_trips_and_finds_last_pin() {
+        let dir = std::env::temp_dir().join(format!("wdr-metrics-test-{}", std::process::id()));
+        let path = dir.join("trajectory.jsonl");
+        let _ = std::fs::remove_file(&path);
+        append_row(&path, &row(&[("a.c_max", 1.0)], true)).unwrap();
+        append_row(&path, &row(&[("a.c_max", 2.0)], false)).unwrap();
+        append_row(&path, &row(&[("a.c_max", 3.0)], true)).unwrap();
+        append_row(&path, &row(&[("a.c_max", 4.0)], false)).unwrap();
+        let rows = load_rows(&path).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(last_pinned(&rows).unwrap().metrics["a.c_max"], 3.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

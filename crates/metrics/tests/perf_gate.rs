@@ -1,0 +1,116 @@
+//! End-to-end self-check of the `wdr-perf` gate (ISSUE 6 acceptance):
+//! `compare` must exit **zero** on an identical re-run and **non-zero**
+//! once a gated metric regresses by ≥ 15% — exercised through the real
+//! binary (`CARGO_BIN_EXE_wdr-perf`), not just the library.
+
+use std::path::Path;
+use std::process::Command;
+use wdr_metrics::trajectory;
+
+fn write_conformance_artifact(dir: &Path, c_max: f64) {
+    std::fs::create_dir_all(dir).unwrap();
+    let json = format!(
+        concat!(
+            r#"{{"experiment":"conformance_envelope","samples":8,"passed":true,"#,
+            r#""meta":{{"schema_version":1,"commit":"selfcheck","#,
+            r#""recorded_at_utc":"2026-08-07T00:00:00Z","host_threads":4,"seeds":[0,1,2,3]}},"#,
+            r#""regimes":[{{"regime":"QuantumWeighted|sqrt-nD|small-w","kind":"QuantumWeighted","#,
+            r#""samples":8,"c_min":0.4,"c_mean":1.1,"c_max":{c_max},"ceiling":1000000000.0,"#,
+            r#""passed":true}}]}}"#
+        ),
+        c_max = c_max
+    );
+    std::fs::write(dir.join("BENCH_conformance.json"), json).unwrap();
+}
+
+fn wdr_perf(args: &[&str], cwd: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_wdr-perf"))
+        .args(args)
+        .current_dir(cwd)
+        .output()
+        .expect("spawn wdr-perf")
+}
+
+#[test]
+fn compare_gates_a_synthetic_regression_and_passes_identical_reruns() {
+    let root = std::env::temp_dir().join(format!("wdr-perf-gate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let bench_dir = root.join("experiments");
+    let trajectory_path = root.join("trajectory.jsonl");
+    let traj = trajectory_path.to_str().unwrap().to_string();
+    let dir = bench_dir.to_str().unwrap().to_string();
+
+    // Record a pinned baseline with c_max = 3.0.
+    write_conformance_artifact(&bench_dir, 3.0);
+    let out = wdr_perf(
+        &["record", "--dir", &dir, "--trajectory", &traj, "--pin"],
+        &root,
+    );
+    assert!(out.status.success(), "record failed: {out:?}");
+    let rows = trajectory::load_rows(&trajectory_path).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert!(rows[0].pinned);
+    assert_eq!(
+        rows[0].metrics["conformance.QuantumWeighted|sqrt-nD|small-w.c_max"],
+        3.0
+    );
+
+    // Identical artifacts → the gate passes (exit 0).
+    let out = wdr_perf(&["compare", "--dir", &dir, "--trajectory", &traj], &root);
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        out.status.success(),
+        "identical re-run must pass the gate:\n{stdout}"
+    );
+    assert!(stdout.contains("GATE PASS"), "{stdout}");
+
+    // `record --dry-run` prints a parseable row without appending.
+    let out = wdr_perf(
+        &["record", "--dir", &dir, "--trajectory", &traj, "--dry-run"],
+        &root,
+    );
+    assert!(out.status.success());
+    let printed = String::from_utf8_lossy(&out.stdout);
+    trajectory::TrajectoryRow::from_json(printed.trim()).expect("dry-run row parses");
+    assert_eq!(trajectory::load_rows(&trajectory_path).unwrap().len(), 1);
+
+    // Inject a 20% regression on the gated envelope constant → exit nonzero.
+    write_conformance_artifact(&bench_dir, 3.6);
+    let out = wdr_perf(&["compare", "--dir", &dir, "--trajectory", &traj], &root);
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        !out.status.success(),
+        "20% c_max regression must fail the 15% gate:\n{stdout}"
+    );
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    assert!(stdout.contains("GATE FAIL"), "{stdout}");
+
+    // A regression below the threshold (10% < 15%) still passes.
+    write_conformance_artifact(&bench_dir, 3.3);
+    let out = wdr_perf(&["compare", "--dir", &dir, "--trajectory", &traj], &root);
+    assert!(
+        out.status.success(),
+        "10% drift must stay within the 15% gate"
+    );
+
+    // Widening the threshold un-gates the 20% regression.
+    write_conformance_artifact(&bench_dir, 3.6);
+    let out = wdr_perf(
+        &[
+            "compare",
+            "--dir",
+            &dir,
+            "--trajectory",
+            &traj,
+            "--threshold",
+            "25",
+        ],
+        &root,
+    );
+    assert!(
+        out.status.success(),
+        "25% threshold must tolerate a 20% drift"
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -1,0 +1,53 @@
+//! Counting-allocator pin for the registry hot paths: after registration,
+//! `inc` / `add` / `set` / `observe` / `quantile` / `summary` perform zero
+//! heap operations.
+//!
+//! The counting allocator's counters are process-global, so this file holds
+//! exactly ONE `#[test]` (a sibling test would pollute the delta).
+
+use std::alloc::System;
+use wdr_metrics::heap::{heap_ops, track_current_thread, CountingAlloc};
+use wdr_metrics::MetricsRegistry;
+
+#[global_allocator]
+static ALLOC: CountingAlloc<System> = CountingAlloc::new(System);
+
+#[test]
+fn registry_hot_paths_are_allocation_free() {
+    track_current_thread();
+    // Registration phase: allowed (and expected) to allocate.
+    let registry = MetricsRegistry::new();
+    let rounds = registry.counter("sim.rounds");
+    let bits = registry.counter("sim.bits");
+    let c_max = registry.gauge("envelope.c_max");
+    let per_round = registry.histogram("sim.bits_per_round");
+    let cloned = per_round.clone();
+
+    // Warm-up: fault in any lazy state.
+    rounds.inc();
+    bits.add(96);
+    c_max.set(1.5);
+    per_round.observe(96);
+    let _ = per_round.quantile(0.5);
+    let _ = per_round.summary();
+
+    let before = heap_ops();
+    for i in 0..50_000u64 {
+        rounds.inc();
+        bits.add(i & 0xff);
+        c_max.set(i as f64 * 0.5);
+        per_round.observe(i.wrapping_mul(i));
+        cloned.observe(i);
+    }
+    let p99 = per_round.quantile(0.99);
+    let summary = per_round.summary();
+    let after = heap_ops();
+
+    assert!(p99 > 0 && summary.count == 100_001);
+    assert_eq!(
+        after - before,
+        0,
+        "metrics hot paths allocated: {} heap ops across 250k operations",
+        after - before
+    );
+}

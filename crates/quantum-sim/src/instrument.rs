@@ -1,0 +1,150 @@
+//! Live metrics for the search layer.
+//!
+//! [`SearchMetrics`] is a bundle of pre-registered [`wdr_metrics`] counters;
+//! [`install`] arms it on the current thread (a scope guard mirroring
+//! [`crate::mutation::arm`]), after which every completed search —
+//! [`crate::search::bbht`], the statevector variant, and the Dürr–Høyer
+//! threshold walks built on them — adds its [`crate::SearchTrace`] to the
+//! bundle. With nothing installed (the default, restored when the guard
+//! drops) the search layer records nothing and pays one thread-local read
+//! per search.
+//!
+//! [`crate::grover::oracle_queries`] is linear in `(iterations,
+//! measurements)`, so recording traces piecewise (each inner BBHT phase of
+//! a threshold walk separately) sums to exactly the oracle-query total of
+//! the combined trace.
+
+use crate::search::SearchTrace;
+use std::cell::RefCell;
+use wdr_metrics::{Counter, MetricsRegistry};
+
+/// Pre-registered counters for the search layer, named `{prefix}.{metric}`
+/// (prefix conventionally `"quantum"`): `searches`, `grover_iterations`,
+/// `measurements`, and `oracle_queries`.
+#[derive(Clone, Debug)]
+pub struct SearchMetrics {
+    /// Completed search invocations (each BBHT schedule run counts once;
+    /// a Dürr–Høyer walk counts once per threshold-improvement phase).
+    pub searches: Counter,
+    /// Total Grover iterations across every recorded search.
+    pub grover_iterations: Counter,
+    /// Total measurements (each followed by one classical verification).
+    pub measurements: Counter,
+    /// Total oracle queries ([`crate::grover::oracle_queries`]).
+    pub oracle_queries: Counter,
+}
+
+impl SearchMetrics {
+    /// Registers the search bundle under `{prefix}.…` in `registry`
+    /// (idempotent: the same prefix shares the counters).
+    pub fn register(registry: &MetricsRegistry, prefix: &str) -> SearchMetrics {
+        let name = |metric: &str| format!("{prefix}.{metric}");
+        SearchMetrics {
+            searches: registry.counter(&name("searches")),
+            grover_iterations: registry.counter(&name("grover_iterations")),
+            measurements: registry.counter(&name("measurements")),
+            oracle_queries: registry.counter(&name("oracle_queries")),
+        }
+    }
+
+    fn record(&self, trace: SearchTrace) {
+        self.searches.inc();
+        self.grover_iterations.add(trace.grover_iterations);
+        self.measurements.add(trace.measurements);
+        self.oracle_queries.add(trace.oracle_queries());
+    }
+}
+
+thread_local! {
+    static INSTALLED: RefCell<Option<SearchMetrics>> = const { RefCell::new(None) };
+}
+
+/// Scope guard returned by [`install`]; uninstalls the bundle (restoring
+/// whatever was installed before) when dropped.
+#[derive(Debug)]
+pub struct InstrumentGuard {
+    previous: Option<SearchMetrics>,
+}
+
+impl Drop for InstrumentGuard {
+    fn drop(&mut self) {
+        INSTALLED.with(|i| *i.borrow_mut() = self.previous.take());
+    }
+}
+
+/// Installs `metrics` as the current thread's search-metrics sink until the
+/// returned guard drops.
+///
+/// # Examples
+///
+/// ```
+/// use quantum_sim::instrument::{install, SearchMetrics};
+/// use wdr_metrics::MetricsRegistry;
+/// use rand::SeedableRng;
+///
+/// let registry = MetricsRegistry::new();
+/// let metrics = SearchMetrics::register(&registry, "quantum");
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// {
+///     let _guard = install(metrics.clone());
+///     let out = quantum_sim::search::bbht(256, &[7], &mut rng, 10_000);
+///     assert_eq!(metrics.grover_iterations.get(), out.trace.grover_iterations);
+/// }
+/// let settled = metrics.searches.get();
+/// quantum_sim::search::bbht(256, &[7], &mut rng, 10_000);
+/// assert_eq!(metrics.searches.get(), settled, "uninstalled: nothing recorded");
+/// ```
+#[must_use = "the metrics sink is uninstalled when the guard drops"]
+pub fn install(metrics: SearchMetrics) -> InstrumentGuard {
+    let previous = INSTALLED.with(|i| i.borrow_mut().replace(metrics));
+    InstrumentGuard { previous }
+}
+
+/// Records `trace` into the installed bundle, if any (called by the search
+/// procedures at every completed schedule).
+pub(crate) fn record_trace(trace: SearchTrace) {
+    INSTALLED.with(|i| {
+        if let Some(metrics) = i.borrow().as_ref() {
+            metrics.record(trace);
+        }
+    });
+}
+
+/// Records a Dürr–Høyer walk's initial uniform-superposition measurement —
+/// a measurement and an oracle query, but not a search of its own.
+pub(crate) fn record_initial_measurement() {
+    INSTALLED.with(|i| {
+        if let Some(metrics) = i.borrow().as_ref() {
+            metrics.measurements.inc();
+            metrics.oracle_queries.inc();
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_restores_previous_sink() {
+        let registry = MetricsRegistry::new();
+        let outer = SearchMetrics::register(&registry, "outer");
+        let inner = SearchMetrics::register(&registry, "inner");
+        let trace = SearchTrace {
+            grover_iterations: 5,
+            measurements: 2,
+        };
+        let outer_guard = install(outer.clone());
+        {
+            let _inner_guard = install(inner.clone());
+            record_trace(trace);
+        }
+        record_trace(trace);
+        drop(outer_guard);
+        record_trace(trace);
+        assert_eq!(inner.grover_iterations.get(), 5);
+        assert_eq!(outer.grover_iterations.get(), 5);
+        assert_eq!(outer.oracle_queries.get(), 7);
+        assert_eq!(outer.searches.get(), 1);
+    }
+}

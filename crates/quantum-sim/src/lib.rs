@@ -38,10 +38,12 @@
 
 mod complex;
 pub mod grover;
+pub mod instrument;
 pub mod mutation;
 pub mod search;
 pub mod statevector;
 
 pub use complex::Complex;
+pub use instrument::SearchMetrics;
 pub use search::{OptimizeOutcome, SearchOutcome, SearchTrace};
 pub use statevector::StateVector;

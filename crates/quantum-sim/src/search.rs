@@ -95,6 +95,7 @@ pub fn bbht<R: Rng + ?Sized>(
         // full budget (this is what the algorithm would pay before giving up).
         trace.grover_iterations = max_iterations;
         trace.measurements = schedule_measurements(total, max_iterations);
+        crate::instrument::record_trace(trace);
         return SearchOutcome { found: None, trace };
     }
     let rho = t as f64 / total as f64;
@@ -105,6 +106,7 @@ pub fn bbht<R: Rng + ?Sized>(
         let j = rng.gen_range(0..=(m as u64));
         if trace.grover_iterations + j > max_iterations {
             trace.grover_iterations = max_iterations;
+            crate::instrument::record_trace(trace);
             return SearchOutcome { found: None, trace };
         }
         trace.grover_iterations += j;
@@ -113,6 +115,7 @@ pub fn bbht<R: Rng + ?Sized>(
         if rng.gen_bool(p.clamp(0.0, 1.0)) {
             // Measured a marked item: uniform over the marked set.
             let pick = marked[rng.gen_range(0..t)];
+            crate::instrument::record_trace(trace);
             return SearchOutcome {
                 found: Some(pick),
                 trace,
@@ -172,6 +175,7 @@ pub fn bbht_on_statevector<R: Rng + ?Sized>(
         let j = rng.gen_range(0..=(m as u64));
         if trace.grover_iterations + j > max_iterations {
             trace.grover_iterations = max_iterations;
+            crate::instrument::record_trace(trace);
             return SearchOutcome { found: None, trace };
         }
         trace.grover_iterations += j;
@@ -179,6 +183,7 @@ pub fn bbht_on_statevector<R: Rng + ?Sized>(
         let state = crate::statevector::grover_state(qubits, &marked, j as u32);
         let outcome = state.measure(rng);
         if marked(outcome) {
+            crate::instrument::record_trace(trace);
             return SearchOutcome {
                 found: Some(outcome),
                 trace,
@@ -245,6 +250,7 @@ where
     let n = values.len();
     // Initial threshold: measure the uniform superposition (one measurement).
     let mut best = rng.gen_range(0..n);
+    crate::instrument::record_initial_measurement();
     let mut trace = SearchTrace {
         grover_iterations: 0,
         measurements: 1,
@@ -487,6 +493,37 @@ mod tests {
     fn budget_formula_scales() {
         assert!(lemma_3_1_budget(0.01, 0.1) > lemma_3_1_budget(0.04, 0.1));
         assert!(lemma_3_1_budget(0.01, 0.001) > lemma_3_1_budget(0.01, 0.1));
+    }
+
+    /// An installed [`crate::instrument::SearchMetrics`] bundle sees exactly
+    /// the iteration accounting the outcome traces report — including the
+    /// threshold walk's initial uniform measurement, recorded separately.
+    #[test]
+    fn installed_metrics_match_outcome_traces() {
+        use crate::instrument::{install, SearchMetrics};
+        use wdr_metrics::MetricsRegistry;
+
+        let registry = MetricsRegistry::new();
+        let metrics = SearchMetrics::register(&registry, "quantum");
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let values: Vec<u64> = (0..200).map(|i| (i * 7919) % 1000).collect();
+
+        let _guard = install(metrics.clone());
+        let search = bbht(256, &[100], &mut rng, 100_000);
+        let walk = durr_hoyer_max(&values, &mut rng, 4000);
+
+        let iterations = search.trace.grover_iterations + walk.trace.grover_iterations;
+        let measurements = search.trace.measurements + walk.trace.measurements;
+        assert_eq!(metrics.grover_iterations.get(), iterations);
+        assert_eq!(metrics.measurements.get(), measurements);
+        assert_eq!(
+            metrics.oracle_queries.get(),
+            search.trace.oracle_queries() + walk.trace.oracle_queries(),
+            "oracle accounting is linear, so piecewise recording sums exactly"
+        );
+        // One BBHT call plus one inner BBHT phase per threshold update (the
+        // walk's final unsuccessful phase, if any, also counts).
+        assert!(metrics.searches.get() > walk.threshold_updates);
     }
 
     /// The analytic BBHT and the statevector BBHT are statistically
