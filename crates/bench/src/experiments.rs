@@ -1130,6 +1130,168 @@ pub fn e9(quick: bool, out_dir: &std::path::Path) -> ExperimentOutput {
     }
 }
 
+/// One E10 load-mix measurement, serialized into `BENCH_serve.json`.
+#[derive(Clone, Debug, serde::Serialize)]
+struct E10Row {
+    workers: usize,
+    mix: String,
+    clients: usize,
+    requests: usize,
+    completed: usize,
+    rejected: usize,
+    qps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    hit_rate: f64,
+}
+
+/// The machine-readable E10 report (`BENCH_serve.json`).
+#[derive(Clone, Debug, serde::Serialize)]
+struct E10Report {
+    experiment: String,
+    meta: wdr_metrics::RunMeta,
+    host_threads: usize,
+    rows: Vec<E10Row>,
+    /// Derived cross-row metrics: `e10.scaling.speedup` is cold-mix qps
+    /// at the widest worker count over one worker.
+    metrics: Vec<(String, f64)>,
+}
+
+/// E10: sustained serving throughput — an in-process `wdr-serve` daemon
+/// at 1/2/4/8 workers under the `wdr-load` closed loop, on a cache-cold
+/// mix (unique scenario per request: raw kernel + graph-build throughput)
+/// and a cache-hot repeat mix (fixed 8-entry working set: the
+/// content-addressed cache must hold ≥ 90% hit rate). Writes
+/// `BENCH_serve.json` under `out_dir`.
+pub fn e10(quick: bool, out_dir: &std::path::Path) -> ExperimentOutput {
+    use wdr_serve::{loadgen, LoadConfig, MixKind, ServeConfig, Server};
+    let host_threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+    let worker_counts = [1usize, 2, 4, 8];
+    let (clients, requests) = if quick { (4, 160) } else { (8, 800) };
+    let mut table = Table::new(
+        "E10",
+        "Sustained serving throughput: wdr-serve under the wdr-load closed loop",
+        &[
+            "workers", "mix", "clients", "requests", "qps", "p50", "p99", "hit rate", "rejected",
+        ],
+    );
+    let mut rows: Vec<E10Row> = Vec::new();
+    let mut seed_list: Vec<u64> = Vec::new();
+    let mut cold_qps: Vec<(usize, f64)> = Vec::new();
+    for &workers in &worker_counts {
+        let registry = wdr_metrics::MetricsRegistry::new();
+        let handle = Server::spawn(
+            ServeConfig {
+                workers,
+                queue_capacity: 256,
+                ..ServeConfig::default()
+            },
+            &registry,
+        )
+        .expect("spawn wdr-serve for E10");
+        let addr = handle.addr().to_string();
+        let seed = 10_000 + workers as u64;
+        seed_list.push(seed);
+        for mix in [MixKind::Cold, MixKind::Repeat] {
+            let report = loadgen::run(&LoadConfig {
+                addr: addr.clone(),
+                clients,
+                requests,
+                mix,
+                seed,
+                n: Some(48),
+                deadline: None,
+            })
+            .expect("E10 load run");
+            assert_eq!(
+                report.errors,
+                0,
+                "E10 load errored at workers={workers} mix={}",
+                mix.name()
+            );
+            assert_eq!(
+                report.completed, requests,
+                "E10 closed loop finished every request"
+            );
+            if mix == MixKind::Repeat {
+                assert!(
+                    report.hit_rate >= 0.90,
+                    "repeat-mix hit rate {:.3} < 0.90 at workers={workers}",
+                    report.hit_rate
+                );
+            } else {
+                cold_qps.push((workers, report.qps));
+            }
+            rows.push(E10Row {
+                workers,
+                mix: mix.name().into(),
+                clients,
+                requests,
+                completed: report.completed,
+                rejected: report.rejected,
+                qps: report.qps,
+                p50_us: report.p50_us,
+                p99_us: report.p99_us,
+                hit_rate: report.hit_rate,
+            });
+        }
+        handle.shutdown();
+    }
+    let single = cold_qps.first().map_or(1.0, |&(_, q)| q);
+    let widest = cold_qps.last().map_or(1.0, |&(_, q)| q);
+    let speedup = widest / single.max(1e-9);
+    // Like E8's scaling gate: the ≥ 4× claim only binds where the host can
+    // physically provide it; the measurement is recorded regardless.
+    assert!(
+        host_threads < 8 || speedup >= 4.0,
+        "cold-mix scaling {speedup:.2}× at 8 workers < 4× on a {host_threads}-thread host"
+    );
+    for r in &rows {
+        table.push(vec![
+            r.workers.to_string(),
+            r.mix.clone(),
+            r.clients.to_string(),
+            r.requests.to_string(),
+            format!("{:.0}", r.qps),
+            format!("{}µs", r.p50_us),
+            format!("{}µs", r.p99_us),
+            format!("{:.3}", r.hit_rate),
+            r.rejected.to_string(),
+        ]);
+    }
+    let report = E10Report {
+        experiment: "E10".into(),
+        meta: wdr_metrics::RunMeta::capture(&seed_list),
+        host_threads,
+        rows,
+        metrics: vec![("e10.scaling.speedup".to_string(), speedup)],
+    };
+    std::fs::create_dir_all(out_dir).expect("create E10 output dir");
+    let path = out_dir.join("BENCH_serve.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string(&report).expect("E10 report serializes"),
+    )
+    .expect("write BENCH_serve.json");
+    table.commentary = format!(
+        "Each row is one closed-loop run ({clients} clients, {requests} requests) \
+         against a fresh in-process daemon. `cold` issues a unique scenario per \
+         request with the cache bypassed (the cache is content-addressed, so \
+         unique seeds alone would still dedup identical family graphs) — every \
+         query builds a graph and runs its kernel, and qps measures raw serving \
+         compute; `repeat` cycles a fixed 8-entry working set, so \
+         steady state is almost entirely cache hits (asserted ≥ 0.90) and qps \
+         measures the cache/protocol path. Cold-mix scaling at 8 workers vs 1 is \
+         recorded as e10.scaling.speedup = {speedup:.2}× (gated ≥ 4× only on hosts \
+         with ≥ 8 threads; this host reports {host_threads}). Latencies are \
+         client-observed microseconds over TCP loopback.",
+    );
+    ExperimentOutput {
+        tables: vec![table],
+        artifacts: vec![path.display().to_string()],
+    }
+}
+
 /// F1–F4: regenerate the paper's figures (structural tables + DOT files).
 pub fn figures(out_dir: &std::path::Path) -> ExperimentOutput {
     use congest_graph::dot;
@@ -1502,6 +1664,7 @@ pub fn run_all(quick: bool, out_dir: &std::path::Path) -> Vec<ExperimentOutput> 
         e7(quick),
         e8(quick, out_dir),
         e9(quick, out_dir),
+        e10(quick, out_dir),
         figures(out_dir),
         a1(),
         a2(quick),

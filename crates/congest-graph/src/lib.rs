@@ -17,6 +17,9 @@
 //!   eccentricity bounds, the ground-truth kernel behind [`metrics`];
 //! * [`SsspWorkspace`] — reusable scratch so multi-source shortest-path
 //!   loops run allocation-free, with a Dial bucket queue for small weights;
+//! * [`SweepWorkspace`] — the same reuse for whole extremes queries, plus
+//!   [`GraphDigest`], the stable FNV-1a content hash serving-layer caches
+//!   key on;
 //! * [`DistMatrix`] — flat single-allocation all-pairs distance tables;
 //! * [`rounding`] — the weight-rounding scheme `w_i` and approximate
 //!   bounded-hop distance `d̃^ℓ` (Lemma 3.2);
@@ -55,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod contract;
+mod digest;
 mod dist;
 pub mod dot;
 pub mod generators;
@@ -67,8 +71,9 @@ pub mod shortest_path;
 pub mod sweep;
 mod workspace;
 
+pub use digest::GraphDigest;
 pub use dist::Dist;
 pub use graph::{BuildGraphError, Edge, GraphBuilder, NodeId, Weight, WeightedGraph};
 pub use matrix::DistMatrix;
-pub use sweep::{EdgeMetric, SweepResult};
+pub use sweep::{EdgeMetric, SweepResult, SweepWorkspace};
 pub use workspace::{KernelCounters, SsspWorkspace, DIAL_MAX_WEIGHT};

@@ -140,110 +140,170 @@ pub fn extremes_unweighted(g: &WeightedGraph) -> SweepResult {
 }
 
 /// Pruned extremes under an explicit [`EdgeMetric`].
+///
+/// Allocates a fresh [`SweepWorkspace`] per call; loops that query many
+/// graphs (or the same graph repeatedly) should hold a workspace and call
+/// [`SweepWorkspace::extremes_into`] instead.
 pub fn extremes_with(g: &WeightedGraph, metric: EdgeMetric) -> SweepResult {
-    let n = g.n();
-    if n <= 1 {
-        return trivial(n);
+    SweepWorkspace::new().extremes_into(g, metric)
+}
+
+/// Reusable scratch for pruned-sweep extremes queries.
+///
+/// Owns an [`SsspWorkspace`] plus the four per-node bound tables the sweep
+/// maintains, so a long-lived holder (a serving worker, a benchmark loop)
+/// computes diameter/radius/witnesses with **zero steady-state heap
+/// operations** once the buffers have grown to the largest graph seen
+/// (pinned by `wdr-serve`'s `tests/zero_alloc.rs`). Results are
+/// bit-identical to [`extremes_with`].
+///
+/// # Examples
+///
+/// ```
+/// use congest_graph::{generators, sweep, SweepWorkspace};
+/// let mut ws = SweepWorkspace::new();
+/// let g = generators::path(6, 2);
+/// let r = ws.extremes_into(&g, sweep::EdgeMetric::Weighted);
+/// assert_eq!(r, sweep::extremes(&g));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SweepWorkspace {
+    ws: SsspWorkspace,
+    lo: Vec<u64>,
+    hi: Vec<u64>,
+    tot: Vec<u64>,
+    swept: Vec<bool>,
+}
+
+impl SweepWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> SweepWorkspace {
+        SweepWorkspace::default()
     }
-    let mut ws = SsspWorkspace::new();
-    let mut lo = vec![0u64; n];
-    let mut hi = vec![u64::MAX; n];
-    let mut tot = vec![0u64; n];
-    let mut swept = vec![false; n];
-    let mut sweeps = 0usize;
-    // Best certified values among swept sources.
-    let mut d_lo = 0u64;
-    let mut d_arg = 0usize;
-    let mut r_hi = u64::MAX;
-    let mut r_arg = 0usize;
 
-    // First source: maximum degree, smallest index on ties — a hub settles
-    // the radius side quickly and its sweep seeds tight bounds everywhere.
-    // (The `else` arm keeps this total even if the trivial-graph guard
-    // above ever moves; an empty node set has nothing to sweep.)
-    let Some(mut source) = g.nodes().max_by_key(|&v| (g.degree(v), Reverse(v))) else {
-        return trivial(n);
-    };
-    let mut diameter_turn = true;
-    loop {
-        let dist = sweep_dist(&mut ws, g, source, metric);
-        let mut ecc = 0u64;
-        for &d in dist {
-            match d.finite() {
-                Some(x) => ecc = ecc.max(x),
-                None => return disconnected(n, sweeps + 1),
-            }
-        }
-        sweeps += 1;
-        swept[source] = true;
-        for v in 0..n {
-            let dv = dist[v].expect_finite();
-            tot[v] = tot[v].saturating_add(dv);
-            lo[v] = lo[v].max(dv).max(ecc - dv);
-            hi[v] = hi[v].min(ecc.saturating_add(dv));
-        }
-        if ecc > d_lo || sweeps == 1 {
-            d_lo = ecc;
-            d_arg = source;
-        }
-        if ecc < r_hi {
-            r_hi = ecc;
-            r_arg = source;
-        }
+    /// The inner single-source workspace, for plain SSSP/eccentricity
+    /// queries that want to share this workspace's scratch.
+    pub fn sssp_mut(&mut self) -> &mut SsspWorkspace {
+        &mut self.ws
+    }
 
-        // Certification: swept nodes are exact, so only unswept ones can
-        // still beat the best swept eccentricities.
-        let mut diameter_settled = true;
-        let mut radius_settled = true;
-        for v in 0..n {
-            if swept[v] {
-                continue;
-            }
-            if hi[v] > d_lo {
-                diameter_settled = false;
-            }
-            if lo[v] < r_hi {
-                radius_settled = false;
-            }
-        }
-        if diameter_settled && radius_settled {
-            break;
-        }
+    /// Resets the per-node bound tables for an `n`-node graph.
+    fn reset(&mut self, n: usize) {
+        self.lo.clear();
+        self.lo.resize(n, 0u64);
+        self.hi.clear();
+        self.hi.resize(n, u64::MAX);
+        self.tot.clear();
+        self.tot.resize(n, 0u64);
+        self.swept.clear();
+        self.swept.resize(n, false);
+    }
 
-        // Next source: alternate between the max-upper-bound node (a far
-        // node whose sweep can raise `D_lo` and whose large eccentricity
-        // raises `lo` around it) and the min-lower-bound node (a central
-        // node whose small eccentricity shrinks `hi` around it). Both picks
-        // tighten both objectives — a peripheral sweep certifies radius
-        // bounds near itself, a central sweep certifies diameter bounds near
-        // itself — so the alternation continues even after one objective
-        // settles: on near-regular graphs (all eccentricities within 1–2 of
-        // each other) certification is a covering process, and feeding it
-        // only peripheral sources degrades to Θ(n) sweeps.
-        let pick_diameter = diameter_turn;
-        diameter_turn = !diameter_turn;
-        let next = if pick_diameter {
-            g.nodes()
-                .filter(|&v| !swept[v])
-                .max_by_key(|&v| (hi[v], tot[v], Reverse(v)))
-        } else {
-            g.nodes()
-                .filter(|&v| !swept[v])
-                .min_by_key(|&v| (lo[v], tot[v], v))
+    /// Pruned extremes under `metric`, reusing this workspace's buffers.
+    pub fn extremes_into(&mut self, g: &WeightedGraph, metric: EdgeMetric) -> SweepResult {
+        let n = g.n();
+        if n <= 1 {
+            return trivial(n);
+        }
+        self.reset(n);
+        let (lo, hi, tot, swept) = (&mut self.lo, &mut self.hi, &mut self.tot, &mut self.swept);
+        let mut sweeps = 0usize;
+        // Best certified values among swept sources.
+        let mut d_lo = 0u64;
+        let mut d_arg = 0usize;
+        let mut r_hi = u64::MAX;
+        let mut r_arg = 0usize;
+
+        // First source: maximum degree, smallest index on ties — a hub
+        // settles the radius side quickly and its sweep seeds tight bounds
+        // everywhere. (The `else` arm keeps this total even if the
+        // trivial-graph guard above ever moves; an empty node set has
+        // nothing to sweep.)
+        let Some(mut source) = g.nodes().max_by_key(|&v| (g.degree(v), Reverse(v))) else {
+            return trivial(n);
         };
-        match next {
-            Some(v) => source = v,
-            None => break, // everything swept: bounds are all exact
-        }
-    }
+        let mut diameter_turn = true;
+        loop {
+            let dist = sweep_dist(&mut self.ws, g, source, metric);
+            let mut ecc = 0u64;
+            for &d in dist {
+                match d.finite() {
+                    Some(x) => ecc = ecc.max(x),
+                    None => return disconnected(n, sweeps + 1),
+                }
+            }
+            sweeps += 1;
+            swept[source] = true;
+            for v in 0..n {
+                let dv = dist[v].expect_finite();
+                tot[v] = tot[v].saturating_add(dv);
+                lo[v] = lo[v].max(dv).max(ecc - dv);
+                hi[v] = hi[v].min(ecc.saturating_add(dv));
+            }
+            if ecc > d_lo || sweeps == 1 {
+                d_lo = ecc;
+                d_arg = source;
+            }
+            if ecc < r_hi {
+                r_hi = ecc;
+                r_arg = source;
+            }
 
-    SweepResult {
-        diameter: Dist::new(d_lo),
-        radius: Dist::new(r_hi),
-        diameter_witness: d_arg,
-        radius_witness: r_arg,
-        sweeps,
-        n,
+            // Certification: swept nodes are exact, so only unswept ones can
+            // still beat the best swept eccentricities.
+            let mut diameter_settled = true;
+            let mut radius_settled = true;
+            for v in 0..n {
+                if swept[v] {
+                    continue;
+                }
+                if hi[v] > d_lo {
+                    diameter_settled = false;
+                }
+                if lo[v] < r_hi {
+                    radius_settled = false;
+                }
+            }
+            if diameter_settled && radius_settled {
+                break;
+            }
+
+            // Next source: alternate between the max-upper-bound node (a far
+            // node whose sweep can raise `D_lo` and whose large eccentricity
+            // raises `lo` around it) and the min-lower-bound node (a central
+            // node whose small eccentricity shrinks `hi` around it). Both
+            // picks tighten both objectives — a peripheral sweep certifies
+            // radius bounds near itself, a central sweep certifies diameter
+            // bounds near itself — so the alternation continues even after
+            // one objective settles: on near-regular graphs (all
+            // eccentricities within 1–2 of each other) certification is a
+            // covering process, and feeding it only peripheral sources
+            // degrades to Θ(n) sweeps.
+            let pick_diameter = diameter_turn;
+            diameter_turn = !diameter_turn;
+            let next = if pick_diameter {
+                g.nodes()
+                    .filter(|&v| !swept[v])
+                    .max_by_key(|&v| (hi[v], tot[v], Reverse(v)))
+            } else {
+                g.nodes()
+                    .filter(|&v| !swept[v])
+                    .min_by_key(|&v| (lo[v], tot[v], v))
+            };
+            match next {
+                Some(v) => source = v,
+                None => break, // everything swept: bounds are all exact
+            }
+        }
+
+        SweepResult {
+            diameter: Dist::new(d_lo),
+            radius: Dist::new(r_hi),
+            diameter_witness: d_arg,
+            radius_witness: r_arg,
+            sweeps,
+            n,
+        }
     }
 }
 
@@ -465,6 +525,31 @@ mod tests {
         assert_eq!(u.radius, Dist::from(1u64));
         let ub = brute_force_extremes(&g, EdgeMetric::Unweighted);
         assert_eq!((u.diameter, u.radius), (ub.diameter, ub.radius));
+    }
+
+    /// One workspace reused across graphs of different sizes reproduces the
+    /// per-call results bit-for-bit (stale bounds from a larger graph must
+    /// never leak into a smaller one).
+    #[test]
+    fn reused_workspace_matches_fresh_calls() {
+        let mut ws = SweepWorkspace::new();
+        let graphs = [
+            generators::grid(5, 6, 3),
+            generators::path(4, 7),
+            generators::star(33, 2),
+            generators::cycle(9, 3),
+            generators::path(4, 7),
+        ];
+        for g in &graphs {
+            for metric in [EdgeMetric::Weighted, EdgeMetric::Unweighted] {
+                assert_eq!(ws.extremes_into(g, metric), extremes_with(g, metric));
+            }
+        }
+        let disconnected = WeightedGraph::from_edges(5, [(0, 1, 2), (2, 3, 7)]).unwrap();
+        assert_eq!(
+            ws.extremes_into(&disconnected, EdgeMetric::Weighted),
+            extremes_with(&disconnected, EdgeMetric::Weighted)
+        );
     }
 
     #[test]

@@ -119,6 +119,64 @@ proptest! {
         }
     }
 
+    /// Digest stability: any insertion order of the same edge multiset —
+    /// including flipped endpoints and duplicated edges — builds a graph
+    /// with the identical content digest, while dropping an edge or
+    /// changing one weight changes it.
+    #[test]
+    fn digest_is_insertion_order_invariant(
+        edges in proptest::collection::vec((0usize..12, 0usize..12, 1u64..50), 1..40),
+        perm_seed in any::<u64>(),
+    ) {
+        let valid: Vec<_> = edges.into_iter().filter(|&(u, v, _)| u != v).collect();
+        prop_assume!(!valid.is_empty());
+        let n = 12;
+        let base = WeightedGraph::from_edges(n, valid.iter().copied()).unwrap();
+
+        // Deterministic Fisher–Yates shuffle + endpoint flips + a duplicate.
+        let mut shuffled = valid.clone();
+        let mut state = perm_seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in (1..shuffled.len()).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            shuffled.swap(i, j);
+        }
+        let mut b = GraphBuilder::new(n);
+        for &(u, v, w) in &shuffled {
+            if next() % 2 == 0 {
+                b.add_edge(v, u, w);
+            } else {
+                b.add_edge(u, v, w);
+            }
+        }
+        let &(du, dv, dw) = &shuffled[0];
+        b.add_edge(du, dv, dw); // a parallel duplicate must not change the hash
+        let reordered = b.build().unwrap();
+        prop_assert_eq!(base.digest(), reordered.digest());
+
+        // Sensitivity: a different multiset hashes differently.
+        if base.m() > 1 {
+            let dropped =
+                WeightedGraph::from_edges(n, base.edges().iter().skip(1).map(|e| (e.u, e.v, e.w)))
+                    .unwrap();
+            prop_assert_ne!(base.digest(), dropped.digest());
+        }
+        let bumped = WeightedGraph::from_edges(
+            n,
+            base.edges()
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (e.u, e.v, if i == 0 { e.w + 1 } else { e.w })),
+        )
+        .unwrap();
+        prop_assert_ne!(base.digest(), bumped.digest());
+    }
+
     /// Bounded-distance truncation: values ≤ L are exact, others infinite.
     #[test]
     fn bounded_distance_truncation(g in arb_graph(), limit in 1u64..60) {

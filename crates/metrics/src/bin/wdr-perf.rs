@@ -16,7 +16,9 @@
 //! last pinned row with per-metric relative thresholds (default 15%, gated
 //! metrics only — see `wdr_metrics::trajectory::gated`), prints the
 //! markdown delta table (also to `--out`), and exits non-zero on any
-//! regression.
+//! regression. Baseline metrics the current run did not regenerate are
+//! skipped with a warning rather than failed, so a pinned row that unions
+//! many experiments still gates runs that produce only a subset.
 
 use std::path::PathBuf;
 use std::process::ExitCode;

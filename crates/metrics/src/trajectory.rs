@@ -10,8 +10,13 @@
 //!
 //! Gating is deliberately conservative: only *machine-independent* metrics
 //! (envelope constants `.c_max`, SumSweep `.sweep_fraction`, parallel
-//! `.speedup` ratios) fail the gate; raw timings and throughputs are
-//! machine-dependent and appear in the delta table as informational rows.
+//! `.speedup` ratios, cache `.hit_rate`s) fail the gate; raw timings and
+//! throughputs are machine-dependent and appear in the delta table as
+//! informational rows. Metrics present in the baseline but absent from the
+//! candidate are *skipped with a warning* rather than failed: a pinned row
+//! unions every experiment ever recorded, while any given run regenerates
+//! only a subset of the artifacts (CI's perf lane runs E8/E9/conformance
+//! but not the serving benchmark, for example).
 
 use crate::provenance::RunMeta;
 use crate::snapshot::write_f64;
@@ -164,7 +169,14 @@ pub enum Direction {
 
 /// Direction of `name`, by suffix convention.
 pub fn direction(name: &str) -> Direction {
-    const HIGHER: [&str; 4] = [".speedup", ".rounds_per_sec", ".samples", ".count"];
+    const HIGHER: [&str; 6] = [
+        ".speedup",
+        ".rounds_per_sec",
+        ".samples",
+        ".count",
+        ".qps",
+        ".hit_rate",
+    ];
     if HIGHER.iter().any(|s| name.ends_with(s)) {
         Direction::HigherIsBetter
     } else {
@@ -174,9 +186,12 @@ pub fn direction(name: &str) -> Direction {
 
 /// Whether `name` participates in the regression gate. Only
 /// machine-independent metrics do: fitted envelope constants, SumSweep
-/// sweep fractions, and parallel speedup ratios.
+/// sweep fractions, parallel speedup ratios, and cache hit rates.
 pub fn gated(name: &str) -> bool {
-    name.ends_with(".c_max") || name.ends_with(".sweep_fraction") || name.ends_with(".speedup")
+    name.ends_with(".c_max")
+        || name.ends_with(".sweep_fraction")
+        || name.ends_with(".speedup")
+        || name.ends_with(".hit_rate")
 }
 
 /// One metric's baseline/current pair in a comparison.
@@ -208,9 +223,10 @@ pub struct CompareReport {
     pub baseline_recorded_at: String,
     /// Every metric present in both rows.
     pub deltas: Vec<Delta>,
-    /// Gated metrics present in the baseline but absent now — a gate
-    /// failure (losing a gated signal must be loud).
-    pub missing_gated: Vec<String>,
+    /// Metrics present in the baseline but absent now — skipped with a
+    /// warning, not failed: the pinned row unions every experiment ever
+    /// recorded while a given run regenerates only a subset of artifacts.
+    pub missing: Vec<String>,
     /// Metrics present now but not in the baseline (informational).
     pub added: Vec<String>,
     /// Artifacts whose fingerprint changed (informational; timings differ
@@ -226,11 +242,10 @@ impl CompareReport {
         self.deltas.iter().filter(|d| d.regressed).collect()
     }
 
-    /// `true` when the gate passes.
+    /// `true` when the gate passes. Missing metrics only warn (see
+    /// [`CompareReport::missing`]); they never fail the gate.
     pub fn passed(&self) -> bool {
-        self.schema_mismatch.is_none()
-            && self.missing_gated.is_empty()
-            && self.deltas.iter().all(|d| !d.regressed)
+        self.schema_mismatch.is_none() && self.deltas.iter().all(|d| !d.regressed)
     }
 
     /// Renders the delta table (and any structural findings) as markdown.
@@ -268,10 +283,11 @@ impl CompareReport {
             )
             .unwrap();
         }
-        for name in &self.missing_gated {
+        for name in &self.missing {
             writeln!(
                 out,
-                "\n**MISSING** gated metric `{name}` (present in baseline)"
+                "\nWARNING: metric `{name}` present in baseline but absent from \
+                 this run — skipped"
             )
             .unwrap();
         }
@@ -305,7 +321,7 @@ impl CompareReport {
                 "\nGATE FAIL: {} gated metric(s) regressed beyond {:.0}%{}",
                 regressions.len(),
                 self.threshold * 100.0,
-                if self.missing_gated.is_empty() && self.schema_mismatch.is_none() {
+                if self.schema_mismatch.is_none() {
                     ""
                 } else {
                     " (or structural failure above)"
@@ -357,7 +373,7 @@ pub fn compare(baseline: &TrajectoryRow, current: &TrajectoryRow, threshold: f64
             )
         });
     let mut deltas = Vec::new();
-    let mut missing_gated = Vec::new();
+    let mut missing = Vec::new();
     for (name, &base) in &baseline.metrics {
         match current.metrics.get(name) {
             Some(&cur) => {
@@ -387,8 +403,7 @@ pub fn compare(baseline: &TrajectoryRow, current: &TrajectoryRow, threshold: f64
                     regressed: is_gated && worse_by > threshold,
                 });
             }
-            None if gated(name) => missing_gated.push(name.clone()),
-            None => {}
+            None => missing.push(name.clone()),
         }
     }
     let added = current
@@ -408,7 +423,7 @@ pub fn compare(baseline: &TrajectoryRow, current: &TrajectoryRow, threshold: f64
         baseline_commit: baseline.meta.commit.clone(),
         baseline_recorded_at: baseline.meta.recorded_at_utc.clone(),
         deltas,
-        missing_gated,
+        missing,
         added,
         changed_artifacts,
         schema_mismatch,
@@ -466,6 +481,21 @@ pub fn extract_metrics(stem: &str, v: &Value, out: &mut BTreeMap<String, f64>) {
                 );
                 copy_num(row, "secs_per_run", &format!("{prefix}.secs_per_run"), out);
                 copy_num(row, "speedup_vs_brute", &format!("{prefix}.speedup"), out);
+            }
+        }
+        "BENCH_serve" => {
+            for row in rows.into_iter().flatten() {
+                let (Some(workers), Some(mix)) = (
+                    row.get("workers").and_then(Value::as_u64),
+                    row.get("mix").and_then(Value::as_str),
+                ) else {
+                    continue;
+                };
+                let prefix = format!("e10.w{workers}.{mix}");
+                copy_num(row, "qps", &format!("{prefix}.qps"), out);
+                copy_num(row, "p50_us", &format!("{prefix}.p50_us"), out);
+                copy_num(row, "p99_us", &format!("{prefix}.p99_us"), out);
+                copy_num(row, "hit_rate", &format!("{prefix}.hit_rate"), out);
             }
         }
         "BENCH_conformance" => {
@@ -707,13 +737,19 @@ mod tests {
         assert!(compare(&base, &cur, DEFAULT_THRESHOLD).passed());
     }
 
+    /// Metrics the candidate run did not regenerate (a pinned row unions
+    /// every experiment; CI lanes run subsets) warn but never fail the gate.
     #[test]
-    fn missing_gated_metric_fails() {
-        let base = row(&[("a.c_max", 3.0)], true);
-        let cur = row(&[], false);
+    fn missing_baseline_metric_warns_but_passes() {
+        let base = row(&[("a.c_max", 3.0), ("e10.w8.repeat.hit_rate", 0.97)], true);
+        let cur = row(&[("a.c_max", 3.0)], false);
         let report = compare(&base, &cur, DEFAULT_THRESHOLD);
-        assert!(!report.passed());
-        assert_eq!(report.missing_gated, vec!["a.c_max".to_string()]);
+        assert!(report.passed(), "missing metrics must not fail the gate");
+        assert_eq!(report.missing, vec!["e10.w8.repeat.hit_rate".to_string()]);
+        let md = report.to_markdown();
+        assert!(md.contains("WARNING"), "{md}");
+        assert!(md.contains("skipped"), "{md}");
+        assert!(md.contains("GATE PASS"), "{md}");
     }
 
     #[test]
@@ -750,6 +786,22 @@ mod tests {
             direction("conformance.quantum|low-D|unit-w.samples"),
             Direction::HigherIsBetter
         );
+
+        let serve = serde_json::from_str(
+            r#"{"rows":[{"workers":4,"mix":"repeat","clients":8,"requests":600,
+                "qps":1200.5,"p50_us":800.0,"p99_us":2600.0,"hit_rate":0.97,"rejected":0}],
+                "metrics":[["e10.scaling.speedup",3.8]]}"#,
+        )
+        .unwrap();
+        extract_metrics("BENCH_serve", &serve, &mut out);
+        assert_eq!(out["e10.w4.repeat.qps"], 1200.5);
+        assert_eq!(out["e10.w4.repeat.hit_rate"], 0.97);
+        assert_eq!(out["e10.scaling.speedup"], 3.8);
+        assert!(gated("e10.w4.repeat.hit_rate"));
+        assert!(gated("e10.scaling.speedup"));
+        assert!(!gated("e10.w4.repeat.qps"), "raw qps is machine-dependent");
+        assert_eq!(direction("e10.w4.repeat.qps"), Direction::HigherIsBetter);
+        assert_eq!(direction("e10.w4.repeat.p99_us"), Direction::LowerIsBetter);
     }
 
     #[test]

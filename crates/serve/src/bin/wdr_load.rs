@@ -1,0 +1,92 @@
+//! `wdr-load` — closed-loop load driver for a running `wdr-serve`.
+//!
+//! ```text
+//! wdr-load --addr HOST:PORT [--clients N] [--requests N]
+//!          [--mix cold|repeat] [--seed S] [--n NODES]
+//!          [--duration-secs S] [--out FILE]
+//! ```
+//!
+//! Prints the [`wdr_serve::LoadReport`] JSON on stdout (and to `--out`
+//! when given). Exits nonzero when any request errored.
+
+use wdr_serve::{loadgen, LoadConfig, MixKind};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wdr-load --addr HOST:PORT [--clients N] [--requests N] \
+         [--mix cold|repeat] [--seed S] [--n NODES] [--duration-secs S] [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(value) = value else {
+        eprintln!("error: {flag} needs a value");
+        usage();
+    };
+    match value.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("error: invalid value `{value}` for {flag}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut config = LoadConfig::default();
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = parse(&arg, args.next()),
+            "--clients" => config.clients = parse(&arg, args.next()),
+            "--requests" => config.requests = parse(&arg, args.next()),
+            "--mix" => {
+                let name: String = parse(&arg, args.next());
+                config.mix = match MixKind::parse(&name) {
+                    Ok(mix) => mix,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        usage();
+                    }
+                };
+            }
+            "--seed" => config.seed = parse(&arg, args.next()),
+            "--n" => config.n = Some(parse(&arg, args.next())),
+            "--duration-secs" => {
+                let secs: u64 = parse(&arg, args.next());
+                config.deadline = Some(std::time::Duration::from_secs(secs));
+            }
+            "--out" => out_path = Some(parse(&arg, args.next())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    if config.addr.is_empty() {
+        eprintln!("error: --addr is required");
+        usage();
+    }
+    let report = match loadgen::run(&config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let json = report.to_json();
+    println!("{json}");
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if report.errors > 0 {
+        eprintln!("error: {} request(s) failed", report.errors);
+        std::process::exit(1);
+    }
+}

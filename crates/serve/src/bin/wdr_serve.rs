@@ -1,0 +1,68 @@
+//! `wdr-serve` — the distance-metrics serving daemon.
+//!
+//! ```text
+//! wdr-serve [--addr HOST:PORT] [--workers N] [--cache-bytes B]
+//!           [--queue N] [--graphs N]
+//! ```
+//!
+//! Prints one `listening on <addr>` line once bound (scripts wait for
+//! it), then serves until killed.
+
+use wdr_serve::{ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wdr-serve [--addr HOST:PORT] [--workers N] [--cache-bytes B] \
+         [--queue N] [--graphs N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(value) = value else {
+        eprintln!("error: {flag} needs a value");
+        usage();
+    };
+    match value.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("error: invalid value `{value}` for {flag}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:7411".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = parse(&arg, args.next()),
+            "--workers" => config.workers = parse(&arg, args.next()),
+            "--cache-bytes" => config.cache_capacity_bytes = parse(&arg, args.next()),
+            "--queue" => config.queue_capacity = parse(&arg, args.next()),
+            "--graphs" => config.graph_capacity = parse(&arg, args.next()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    let registry = wdr_metrics::MetricsRegistry::new();
+    let handle = match Server::spawn(config, &registry) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", handle.addr());
+    // Serve until killed: the daemon has no other exit condition.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,303 @@
+//! Content-addressed result cache with LRU-by-bytes eviction and
+//! in-flight coalescing.
+//!
+//! Keys are `digest|algorithm|params|seed` strings (see
+//! [`crate::engine::cache_key`]) — content-addressed via
+//! [`congest_graph::GraphDigest`], so two scenarios that build the same
+//! graph share entries. Values are the pre-rendered result JSON, which
+//! makes a hit a single string clone and guarantees cached and freshly
+//! computed answers are byte-identical.
+//!
+//! **Admission** ([`ResultCache::admit`]) resolves each cacheable query to
+//! one of three roles: `Hit` (a completed entry exists), `Lead` (first
+//! asker — must compute and [`ResultCache::complete`]), or `Follow` (an
+//! identical query is already in flight — block on the leader's
+//! [`InflightCell`] instead of recomputing). Followers hold their own
+//! `Arc` of the cell, so fan-out is deadlock-free even if the entry is
+//! evicted immediately after completion.
+//!
+//! **Eviction** is LRU by *bytes* (key + value + a fixed per-entry
+//! overhead), not entry count: eccentricity tables are two orders of
+//! magnitude larger than diameter scalars, and a count-bounded cache would
+//! let a handful of big values squeeze out everything else.
+
+use crate::metrics::ServeMetrics;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Fixed accounting overhead charged per entry on top of key/value bytes.
+const ENTRY_OVERHEAD_BYTES: usize = 64;
+
+/// How a leader's computation ended, fanned out to every waiter.
+#[derive(Clone, Debug)]
+pub enum Fulfillment {
+    /// The rendered result JSON.
+    Value(String),
+    /// The leader could not even enqueue the job (shard queue full);
+    /// every coalesced waiter is rejected with this message.
+    Rejected(String),
+    /// The computation failed; `kind` matches
+    /// [`crate::error::ServeError::kind`].
+    Failed {
+        /// Machine-readable error discriminator.
+        kind: &'static str,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// One in-flight computation: the leader fulfills it exactly once, any
+/// number of followers block on it.
+#[derive(Debug, Default)]
+pub struct InflightCell {
+    state: Mutex<Option<Fulfillment>>,
+    done: Condvar,
+}
+
+impl InflightCell {
+    /// Creates an unfulfilled cell.
+    pub fn new() -> InflightCell {
+        InflightCell::default()
+    }
+
+    /// Stores the outcome and wakes every waiter.
+    pub fn fulfill(&self, outcome: Fulfillment) {
+        let mut state = self.state.lock().expect("inflight lock");
+        *state = Some(outcome);
+        self.done.notify_all();
+    }
+
+    /// Blocks until the leader fulfills the cell.
+    pub fn wait(&self) -> Fulfillment {
+        let mut state = self.state.lock().expect("inflight lock");
+        loop {
+            if let Some(outcome) = state.as_ref() {
+                return outcome.clone();
+            }
+            state = self.done.wait(state).expect("inflight wait");
+        }
+    }
+}
+
+/// The admission verdict for one cacheable query.
+#[derive(Debug)]
+pub enum Admission {
+    /// A completed entry exists; here is its value.
+    Hit(String),
+    /// No entry and nothing in flight: the caller leads. It must
+    /// eventually call [`ResultCache::complete`] with this cell.
+    Lead(Arc<InflightCell>),
+    /// An identical query is in flight; wait on the leader's cell.
+    Follow(Arc<InflightCell>),
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: String,
+    bytes: usize,
+    tick: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    entries: HashMap<String, Entry>,
+    /// LRU order: tick → key. Ticks are unique, so this is a queue.
+    order: BTreeMap<u64, String>,
+    inflight: HashMap<String, Arc<InflightCell>>,
+    bytes: usize,
+    next_tick: u64,
+}
+
+/// The shared result cache. All methods are `&self`; internal locking.
+#[derive(Debug)]
+pub struct ResultCache {
+    inner: Mutex<CacheInner>,
+    capacity_bytes: usize,
+    metrics: ServeMetrics,
+}
+
+impl ResultCache {
+    /// Creates a cache bounded to `capacity_bytes` of keys + values
+    /// (+ fixed per-entry overhead), reporting through `metrics`.
+    pub fn new(capacity_bytes: usize, metrics: ServeMetrics) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(CacheInner::default()),
+            capacity_bytes,
+            metrics,
+        }
+    }
+
+    /// Admits one cacheable query, bumping the hit/miss/coalesced
+    /// counters as a side effect.
+    pub fn admit(&self, key: &str) -> Admission {
+        let mut inner = self.inner.lock().expect("cache lock");
+        if let Some(entry) = inner.entries.get(key) {
+            let (old_tick, value) = (entry.tick, entry.value.clone());
+            let tick = inner.next_tick;
+            inner.next_tick += 1;
+            inner.order.remove(&old_tick);
+            inner.order.insert(tick, key.to_string());
+            inner.entries.get_mut(key).expect("entry present").tick = tick;
+            self.metrics.cache_hits.inc();
+            return Admission::Hit(value);
+        }
+        if let Some(cell) = inner.inflight.get(key) {
+            self.metrics.cache_coalesced.inc();
+            return Admission::Follow(Arc::clone(cell));
+        }
+        let cell = Arc::new(InflightCell::new());
+        inner.inflight.insert(key.to_string(), Arc::clone(&cell));
+        self.metrics.cache_misses.inc();
+        Admission::Lead(cell)
+    }
+
+    /// Completes a led computation: inserts successful values (evicting
+    /// LRU entries past the byte budget), clears the in-flight slot, and
+    /// fans `outcome` out to every follower blocked on `cell`.
+    pub fn complete(&self, key: &str, cell: &InflightCell, outcome: Fulfillment) {
+        {
+            let mut inner = self.inner.lock().expect("cache lock");
+            inner.inflight.remove(key);
+            if let Fulfillment::Value(value) = &outcome {
+                let bytes = key.len() + value.len() + ENTRY_OVERHEAD_BYTES;
+                let tick = inner.next_tick;
+                inner.next_tick += 1;
+                if let Some(old) = inner.entries.insert(
+                    key.to_string(),
+                    Entry {
+                        value: value.clone(),
+                        bytes,
+                        tick,
+                    },
+                ) {
+                    inner.order.remove(&old.tick);
+                    inner.bytes -= old.bytes;
+                }
+                inner.order.insert(tick, key.to_string());
+                inner.bytes += bytes;
+                while inner.bytes > self.capacity_bytes {
+                    let Some((&oldest, _)) = inner.order.iter().next() else {
+                        break;
+                    };
+                    let victim = inner.order.remove(&oldest).expect("tick present");
+                    let dropped = inner.entries.remove(&victim).expect("entry present");
+                    inner.bytes -= dropped.bytes;
+                    self.metrics.cache_evictions.inc();
+                }
+                self.metrics.cache_bytes.set(inner.bytes as f64);
+                self.metrics.cache_entries.set(inner.entries.len() as f64);
+            }
+        }
+        cell.fulfill(outcome);
+    }
+
+    /// Live `(entries, bytes)` — for tests and introspection.
+    pub fn footprint(&self) -> (usize, usize) {
+        let inner = self.inner.lock().expect("cache lock");
+        (inner.entries.len(), inner.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdr_metrics::MetricsRegistry;
+
+    fn cache(capacity: usize) -> (ResultCache, MetricsRegistry) {
+        let registry = MetricsRegistry::new();
+        let metrics = ServeMetrics::register(&registry, "serve");
+        (ResultCache::new(capacity, metrics), registry)
+    }
+
+    fn lead(cache: &ResultCache, key: &str) -> Arc<InflightCell> {
+        match cache.admit(key) {
+            Admission::Lead(cell) => cell,
+            other => panic!("expected Lead for {key}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn admit_compute_hit_cycle() {
+        let (cache, registry) = cache(1 << 16);
+        let cell = lead(&cache, "k1");
+        // A second asker while in flight coalesces.
+        match cache.admit("k1") {
+            Admission::Follow(follower) => {
+                cache.complete("k1", &cell, Fulfillment::Value("{\"d\":3}".into()));
+                match follower.wait() {
+                    Fulfillment::Value(v) => assert_eq!(v, "{\"d\":3}"),
+                    other => panic!("follower got {other:?}"),
+                }
+            }
+            other => panic!("expected Follow, got {other:?}"),
+        }
+        // After completion: a hit.
+        match cache.admit("k1") {
+            Admission::Hit(v) => assert_eq!(v, "{\"d\":3}"),
+            other => panic!("expected Hit, got {other:?}"),
+        }
+        let flat = registry.snapshot().flatten();
+        assert_eq!(flat["serve.cache.misses"], 1.0);
+        assert_eq!(flat["serve.cache.coalesced"], 1.0);
+        assert_eq!(flat["serve.cache.hits"], 1.0);
+    }
+
+    #[test]
+    fn failed_and_rejected_outcomes_are_not_cached() {
+        let (cache, _registry) = cache(1 << 16);
+        let cell = lead(&cache, "k");
+        cache.complete("k", &cell, Fulfillment::Rejected("full".into()));
+        assert_eq!(cache.footprint(), (0, 0));
+        // The key is admissible again (fresh lead), not poisoned.
+        let cell = lead(&cache, "k");
+        cache.complete(
+            "k",
+            &cell,
+            Fulfillment::Failed {
+                kind: "bad_request",
+                message: "x".into(),
+            },
+        );
+        assert_eq!(cache.footprint(), (0, 0));
+        lead(&cache, "k");
+    }
+
+    #[test]
+    fn eviction_is_lru_and_respects_the_byte_budget() {
+        // Budget fits two of the three entries.
+        let value = "v".repeat(100);
+        let per_entry = 2 + value.len() + ENTRY_OVERHEAD_BYTES;
+        let (cache, registry) = cache(2 * per_entry + per_entry / 2);
+        for key in ["k1", "k2", "k3"] {
+            let cell = lead(&cache, key);
+            cache.complete(key, &cell, Fulfillment::Value(value.clone()));
+        }
+        let (entries, bytes) = cache.footprint();
+        assert_eq!(entries, 2);
+        assert!(bytes <= 2 * per_entry + per_entry / 2, "byte budget held");
+        // k1 was least recently used → evicted; k2/k3 hit.
+        assert!(matches!(cache.admit("k2"), Admission::Hit(_)));
+        assert!(matches!(cache.admit("k3"), Admission::Hit(_)));
+        assert!(matches!(cache.admit("k1"), Admission::Lead(_)));
+        let flat = registry.snapshot().flatten();
+        assert_eq!(flat["serve.cache.evictions"], 1.0);
+        assert_eq!(flat["serve.cache.entries"], 2.0);
+    }
+
+    #[test]
+    fn touching_an_entry_protects_it_from_eviction() {
+        let value = "v".repeat(100);
+        let per_entry = 2 + value.len() + ENTRY_OVERHEAD_BYTES;
+        let (cache, _registry) = cache(2 * per_entry + per_entry / 2);
+        for key in ["k1", "k2"] {
+            let cell = lead(&cache, key);
+            cache.complete(key, &cell, Fulfillment::Value(value.clone()));
+        }
+        // Touch k1 so k2 becomes the LRU victim when k3 arrives.
+        assert!(matches!(cache.admit("k1"), Admission::Hit(_)));
+        let cell = lead(&cache, "k3");
+        cache.complete("k3", &cell, Fulfillment::Value(value.clone()));
+        assert!(matches!(cache.admit("k1"), Admission::Hit(_)));
+        assert!(matches!(cache.admit("k2"), Admission::Lead(_)));
+    }
+}

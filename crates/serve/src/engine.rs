@@ -1,0 +1,443 @@
+//! Query execution: a memoizing graph store plus per-worker kernel
+//! engines with zero-steady-state-allocation compute paths.
+//!
+//! The split matters for the allocation contract: [`GraphStore`] resolves
+//! a [`GraphSource`] to an `Arc<WeightedGraph>` + [`GraphDigest`]
+//! (allocating — builds and digests are cached in a small LRU so repeated
+//! queries skip both), while [`QueryEngine`] — one per worker, owning a
+//! persistent [`SweepWorkspace`] — computes answers *without heap
+//! operations* once its buffers are warm (pinned by
+//! `tests/zero_alloc.rs`). Rendering the result JSON allocates, but that
+//! is the response path, not the kernel path.
+
+use crate::error::ServeError;
+use crate::protocol::{Algorithm, GraphSource};
+use congest_graph::{
+    sweep::EdgeMetric, Dist, GraphBuilder, GraphDigest, SweepResult, SweepWorkspace, WeightedGraph,
+};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+use wdr_conformance::scenario::ScenarioSpec;
+
+/// A resolved graph: the shared structure plus its content digest.
+#[derive(Clone, Debug)]
+pub struct ResolvedGraph {
+    /// The (immutable, shared) graph.
+    pub graph: Arc<WeightedGraph>,
+    /// Its stable content digest — the cache-key component.
+    pub digest: GraphDigest,
+}
+
+/// The content-addressed cache key for one query:
+/// `digest|algorithm|params|seed`.
+///
+/// `seed` is `0` for the deterministic kernels (two scenarios that build
+/// the same graph share entries — that is what "content-addressed"
+/// buys); replay queries carry their scenario seed because the oracle
+/// workload depends on the seed, not just the graph.
+pub fn cache_key(digest: GraphDigest, algorithm: &Algorithm, seed: u64) -> String {
+    let seed = match algorithm {
+        Algorithm::Replay => seed,
+        _ => 0,
+    };
+    format!(
+        "{digest}|{}|{}|{seed}",
+        algorithm.name(),
+        algorithm.params_key()
+    )
+}
+
+/// Applies a load-mix node-count override to a scenario spec.
+fn scenario_spec(seed: u64, n: Option<usize>) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::from_seed(seed);
+    if let Some(n) = n {
+        spec.n = n;
+        spec = spec.normalized();
+    }
+    spec
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    map: HashMap<String, (ResolvedGraph, u64)>,
+    order: BTreeMap<u64, String>,
+    next_tick: u64,
+}
+
+/// A small LRU of built graphs keyed by their *source* (scenario seed +
+/// override, or explicit-graph digest), so steady-state serving of a
+/// recurring working set neither rebuilds nor re-digests graphs.
+#[derive(Debug)]
+pub struct GraphStore {
+    inner: Mutex<StoreInner>,
+    capacity: usize,
+    built: wdr_metrics::Counter,
+    evicted: wdr_metrics::Counter,
+}
+
+impl GraphStore {
+    /// Creates a store holding at most `capacity` graphs.
+    pub fn new(capacity: usize, metrics: &crate::metrics::ServeMetrics) -> GraphStore {
+        GraphStore {
+            inner: Mutex::new(StoreInner::default()),
+            capacity: capacity.max(1),
+            built: metrics.graphs_built.clone(),
+            evicted: metrics.graphs_evicted.clone(),
+        }
+    }
+
+    /// Resolves `source` to a shared graph + digest, building at most
+    /// once per live store entry.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] when an explicit edge list fails
+    /// validation ([`congest_graph::BuildGraphError`]).
+    pub fn resolve(&self, source: &GraphSource) -> Result<ResolvedGraph, ServeError> {
+        let source_key = match source {
+            GraphSource::Scenario { seed, n } => {
+                format!("s{seed}.n{}", n.map_or(0, |n| n))
+            }
+            GraphSource::Explicit { n, edges } => {
+                // Explicit graphs are validated (and digested) before the
+                // store is consulted; the digest *is* the source key.
+                let mut b = GraphBuilder::new(*n);
+                for &(u, v, w) in edges {
+                    b.add_edge(u, v, w);
+                }
+                let graph = b
+                    .build()
+                    .map_err(|e| ServeError::BadRequest(format!("invalid graph: {e}")))?;
+                let digest = graph.digest();
+                let resolved = ResolvedGraph {
+                    graph: Arc::new(graph),
+                    digest,
+                };
+                self.insert(format!("x{digest}"), resolved.clone());
+                return Ok(resolved);
+            }
+        };
+        if let Some(found) = self.touch(&source_key) {
+            return Ok(found);
+        }
+        let (seed, n) = match source {
+            GraphSource::Scenario { seed, n } => (*seed, *n),
+            GraphSource::Explicit { .. } => unreachable!("handled above"),
+        };
+        let graph = scenario_spec(seed, n).build_graph();
+        let digest = graph.digest();
+        let resolved = ResolvedGraph {
+            graph: Arc::new(graph),
+            digest,
+        };
+        self.insert(source_key, resolved.clone());
+        Ok(resolved)
+    }
+
+    fn touch(&self, key: &str) -> Option<ResolvedGraph> {
+        let mut inner = self.inner.lock().expect("graph store lock");
+        let (resolved, old_tick) = {
+            let (resolved, tick) = inner.map.get(key)?;
+            (resolved.clone(), *tick)
+        };
+        let tick = inner.next_tick;
+        inner.next_tick += 1;
+        inner.order.remove(&old_tick);
+        inner.order.insert(tick, key.to_string());
+        inner.map.get_mut(key).expect("present").1 = tick;
+        Some(resolved)
+    }
+
+    fn insert(&self, key: String, resolved: ResolvedGraph) {
+        let mut inner = self.inner.lock().expect("graph store lock");
+        self.built.inc();
+        let tick = inner.next_tick;
+        inner.next_tick += 1;
+        if let Some((_, old_tick)) = inner.map.insert(key.clone(), (resolved, tick)) {
+            inner.order.remove(&old_tick);
+        }
+        inner.order.insert(tick, key);
+        while inner.map.len() > self.capacity {
+            let Some((&oldest, _)) = inner.order.iter().next() else {
+                break;
+            };
+            let victim = inner.order.remove(&oldest).expect("tick present");
+            inner.map.remove(&victim);
+            self.evicted.inc();
+        }
+    }
+}
+
+/// Per-worker kernel engine. Owns a persistent [`SweepWorkspace`] and an
+/// eccentricity buffer; after warm-up, every kernel below runs with zero
+/// heap operations.
+#[derive(Debug, Default)]
+pub struct QueryEngine {
+    sweep: SweepWorkspace,
+    ecc_buf: Vec<Dist>,
+}
+
+impl QueryEngine {
+    /// Creates an engine; buffers grow to the largest graph served.
+    pub fn new() -> QueryEngine {
+        QueryEngine::default()
+    }
+
+    /// Diameter/radius/witnesses by pruned sweeps (allocation-free when
+    /// warm).
+    pub fn extremes(&mut self, g: &WeightedGraph) -> SweepResult {
+        self.sweep.extremes_into(g, EdgeMetric::Weighted)
+    }
+
+    /// One node's weighted eccentricity (allocation-free when warm).
+    pub fn eccentricity(&mut self, g: &WeightedGraph, node: usize) -> Dist {
+        self.sweep.sssp_mut().eccentricity(g, node)
+    }
+
+    /// All `n` weighted eccentricities into the engine's reusable buffer
+    /// (allocation-free when warm).
+    pub fn eccentricities(&mut self, g: &WeightedGraph) -> &[Dist] {
+        self.ecc_buf.clear();
+        self.ecc_buf.reserve(g.n());
+        let ws = self.sweep.sssp_mut();
+        for v in 0..g.n() {
+            let ecc = ws.eccentricity(g, v);
+            self.ecc_buf.push(ecc);
+        }
+        &self.ecc_buf
+    }
+
+    /// Runs `algorithm` on `g` and renders the result JSON (rendering
+    /// allocates; the kernels above do not).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] for out-of-range parameters (e.g. an
+    /// eccentricity node ≥ `n`). [`Algorithm::Replay`] is not a kernel;
+    /// passing it here is a bad request too (the server routes replays to
+    /// [`run_replay`]).
+    pub fn run(&mut self, g: &WeightedGraph, algorithm: &Algorithm) -> Result<String, ServeError> {
+        match algorithm {
+            Algorithm::Diameter => {
+                let r = self.extremes(g);
+                Ok(format!(
+                    "{{\"connected\":{},\"diameter\":{},\"sweeps\":{},\"witness\":{}}}",
+                    r.is_connected(),
+                    render_dist(r.diameter),
+                    r.sweeps,
+                    r.diameter_witness
+                ))
+            }
+            Algorithm::Radius => {
+                let r = self.extremes(g);
+                Ok(format!(
+                    "{{\"connected\":{},\"radius\":{},\"sweeps\":{},\"witness\":{}}}",
+                    r.is_connected(),
+                    render_dist(r.radius),
+                    r.sweeps,
+                    r.radius_witness
+                ))
+            }
+            Algorithm::Extremes => {
+                let r = self.extremes(g);
+                Ok(format!(
+                    "{{\"connected\":{},\"diameter\":{},\"diameter_witness\":{},\"n\":{},\
+                     \"radius\":{},\"radius_witness\":{},\"sweeps\":{}}}",
+                    r.is_connected(),
+                    render_dist(r.diameter),
+                    r.diameter_witness,
+                    r.n,
+                    render_dist(r.radius),
+                    r.radius_witness,
+                    r.sweeps
+                ))
+            }
+            Algorithm::Eccentricity { node } => {
+                if *node >= g.n() {
+                    return Err(ServeError::BadRequest(format!(
+                        "node {node} out of range for a {}-node graph",
+                        g.n()
+                    )));
+                }
+                let ecc = self.eccentricity(g, *node);
+                Ok(format!(
+                    "{{\"eccentricity\":{},\"node\":{node}}}",
+                    render_dist(ecc)
+                ))
+            }
+            Algorithm::Eccentricities => {
+                self.eccentricities(g);
+                let mut out = String::with_capacity(16 + 8 * self.ecc_buf.len());
+                out.push_str("{\"eccentricities\":[");
+                for (i, &e) in self.ecc_buf.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&render_dist(e));
+                }
+                out.push_str(&format!("],\"n\":{}}}", g.n()));
+                Ok(out)
+            }
+            Algorithm::Replay => Err(ServeError::BadRequest(
+                "replay is not a kernel algorithm".to_string(),
+            )),
+        }
+    }
+}
+
+/// Re-runs the conformance oracle suite for a scenario and renders the
+/// verdict. Heavyweight by design (it may simulate quantum workloads);
+/// results are cached under the scenario's seed.
+pub fn run_replay(seed: u64, n: Option<usize>) -> String {
+    let spec = scenario_spec(seed, n);
+    match wdr_conformance::runner::first_failure(&spec) {
+        None => format!(
+            "{{\"failure\":null,\"n\":{},\"passed\":true,\"seed\":{seed}}}",
+            spec.n
+        ),
+        Some(failure) => {
+            let mut out = String::from("{\"failure\":");
+            serde::write_json_string(&failure, &mut out);
+            out.push_str(&format!(
+                ",\"n\":{},\"passed\":false,\"seed\":{seed}}}",
+                spec.n
+            ));
+            out
+        }
+    }
+}
+
+/// A finite distance renders as its integer; an infinite one as `null`.
+fn render_dist(d: Dist) -> String {
+    match d.finite() {
+        Some(x) => x.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ServeMetrics;
+    use congest_graph::{generators, sweep};
+    use wdr_metrics::MetricsRegistry;
+
+    fn store(capacity: usize) -> (GraphStore, MetricsRegistry) {
+        let registry = MetricsRegistry::new();
+        let metrics = ServeMetrics::register(&registry, "serve");
+        (GraphStore::new(capacity, &metrics), registry)
+    }
+
+    #[test]
+    fn engine_matches_library_kernels_and_renders_json() {
+        let g = generators::grid(4, 5, 3);
+        let mut engine = QueryEngine::new();
+        let expected = sweep::extremes(&g);
+        assert_eq!(engine.extremes(&g), expected);
+        let rendered = engine.run(&g, &Algorithm::Extremes).unwrap();
+        let v = serde_json::from_str(&rendered).unwrap();
+        assert_eq!(
+            v.get("diameter").and_then(serde_json::Value::as_u64),
+            expected.diameter.finite()
+        );
+        assert_eq!(
+            v.get("radius").and_then(serde_json::Value::as_u64),
+            expected.radius.finite()
+        );
+        // Eccentricities agree with the library sweep.
+        let eccs = sweep::all_eccentricities(&g, EdgeMetric::Weighted);
+        assert_eq!(engine.eccentricities(&g), eccs.as_slice());
+        // Out-of-range node is a typed error.
+        match engine.run(&g, &Algorithm::Eccentricity { node: 999 }) {
+            Err(ServeError::BadRequest(_)) => {}
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disconnected_graphs_render_null() {
+        let g = WeightedGraph::from_edges(4, [(0, 1, 2)]).unwrap();
+        let mut engine = QueryEngine::new();
+        let rendered = engine.run(&g, &Algorithm::Diameter).unwrap();
+        let v = serde_json::from_str(&rendered).unwrap();
+        assert_eq!(
+            v.get("connected").and_then(serde_json::Value::as_bool),
+            Some(false)
+        );
+        assert_eq!(v.get("diameter"), Some(&serde_json::Value::Null));
+    }
+
+    #[test]
+    fn graph_store_memoizes_and_evicts() {
+        let (store, registry) = store(2);
+        let s0 = GraphSource::Scenario {
+            seed: 11,
+            n: Some(24),
+        };
+        let a = store.resolve(&s0).unwrap();
+        let b = store.resolve(&s0).unwrap();
+        assert_eq!(a.digest, b.digest);
+        assert!(
+            Arc::ptr_eq(&a.graph, &b.graph),
+            "second resolve is memoized"
+        );
+        let flat = registry.snapshot().flatten();
+        assert_eq!(flat["serve.graphs.built"], 1.0);
+
+        // Fill past capacity → oldest evicted and rebuilt on next use.
+        store
+            .resolve(&GraphSource::Scenario {
+                seed: 12,
+                n: Some(24),
+            })
+            .unwrap();
+        store
+            .resolve(&GraphSource::Scenario {
+                seed: 13,
+                n: Some(24),
+            })
+            .unwrap();
+        let c = store.resolve(&s0).unwrap();
+        assert_eq!(c.digest, a.digest, "rebuild is deterministic");
+        assert!(!Arc::ptr_eq(&c.graph, &a.graph), "s0 was evicted");
+        let flat = registry.snapshot().flatten();
+        assert!(flat["serve.graphs.evicted"] >= 1.0);
+    }
+
+    #[test]
+    fn explicit_graphs_validate_and_digest() {
+        let (store, _registry) = store(4);
+        let good = GraphSource::Explicit {
+            n: 3,
+            edges: vec![(0, 1, 2), (1, 2, 3)],
+        };
+        let r = store.resolve(&good).unwrap();
+        let local = WeightedGraph::from_edges(3, [(0, 1, 2), (1, 2, 3)]).unwrap();
+        assert_eq!(r.digest, local.digest());
+        let bad = GraphSource::Explicit {
+            n: 2,
+            edges: vec![(0, 5, 1)],
+        };
+        match store.resolve(&bad) {
+            Err(ServeError::BadRequest(msg)) => assert!(msg.contains("invalid graph")),
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cache_keys_are_content_addressed() {
+        let g = generators::path(5, 2);
+        let d = g.digest();
+        let k1 = cache_key(d, &Algorithm::Diameter, 7);
+        let k2 = cache_key(d, &Algorithm::Diameter, 8);
+        assert_eq!(k1, k2, "deterministic kernels ignore the seed");
+        let k3 = cache_key(d, &Algorithm::Replay, 7);
+        let k4 = cache_key(d, &Algorithm::Replay, 8);
+        assert_ne!(k3, k4, "replay results depend on the scenario seed");
+        assert_ne!(
+            cache_key(d, &Algorithm::Eccentricity { node: 1 }, 0),
+            cache_key(d, &Algorithm::Eccentricity { node: 2 }, 0),
+            "params are part of the key"
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Typed errors for every socket/serde boundary of the serving layer.
+//!
+//! The request path never `unwrap()`s on bytes it did not produce itself:
+//! short reads become [`ServeError::TruncatedFrame`], hostile length
+//! prefixes become [`ServeError::FrameTooLarge`], undecodable payloads
+//! become [`ServeError::InvalidJson`], and semantically bad requests
+//! become [`ServeError::BadRequest`]. Each variant maps to a stable
+//! `kind` string carried in error responses, so clients can branch
+//! without parsing prose.
+
+use std::fmt;
+
+/// Everything that can go wrong between a client byte stream and a
+/// computed answer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// An underlying socket/filesystem error.
+    Io(std::io::Error),
+    /// The stream ended inside a frame (length prefix or payload).
+    TruncatedFrame {
+        /// Bytes actually read before EOF.
+        got: usize,
+        /// Bytes the frame header promised.
+        want: usize,
+    },
+    /// A length prefix exceeded [`crate::protocol::MAX_FRAME_BYTES`].
+    FrameTooLarge {
+        /// The advertised payload length.
+        len: usize,
+        /// The enforced maximum.
+        max: usize,
+    },
+    /// The payload was not valid UTF-8 JSON.
+    InvalidJson(String),
+    /// The JSON decoded but violated the request schema.
+    BadRequest(String),
+    /// A shard queue was full — explicit backpressure, not an error in
+    /// the transport sense (mapped to a `"rejected"` response).
+    Overloaded {
+        /// The shard whose bounded queue was full.
+        shard: usize,
+    },
+    /// The server is shutting down.
+    Shutdown,
+}
+
+impl ServeError {
+    /// Stable machine-readable discriminator used in error responses.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::Io(_) => "io",
+            ServeError::TruncatedFrame { .. } => "truncated_frame",
+            ServeError::FrameTooLarge { .. } => "frame_too_large",
+            ServeError::InvalidJson(_) => "invalid_json",
+            ServeError::BadRequest(_) => "bad_request",
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::Shutdown => "shutdown",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::TruncatedFrame { got, want } => {
+                write!(f, "truncated frame: got {got} of {want} bytes before EOF")
+            }
+            ServeError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+            ServeError::InvalidJson(msg) => write!(f, "invalid JSON payload: {msg}"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Overloaded { shard } => {
+                write!(f, "shard {shard} queue full — retry later")
+            }
+            ServeError::Shutdown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> ServeError {
+        ServeError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable_and_distinct() {
+        let errors = [
+            ServeError::Io(std::io::Error::other("x")),
+            ServeError::TruncatedFrame { got: 1, want: 4 },
+            ServeError::FrameTooLarge { len: 9, max: 4 },
+            ServeError::InvalidJson("x".into()),
+            ServeError::BadRequest("x".into()),
+            ServeError::Overloaded { shard: 0 },
+            ServeError::Shutdown,
+        ];
+        let kinds: std::collections::BTreeSet<_> = errors.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds.len(), errors.len(), "each variant has its own kind");
+        for e in &errors {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+}

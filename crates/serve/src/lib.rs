@@ -1,0 +1,36 @@
+//! `wdr-serve`: a long-running distance-metrics query service.
+//!
+//! The simulator crates answer one question per process run; this crate
+//! keeps the kernels hot. A daemon ([`server::Server`]) accepts
+//! diameter / radius / eccentricity / scenario-replay queries over a
+//! minimal length-prefixed TCP protocol ([`protocol`]), routes them
+//! through a content-addressed result cache ([`cache`], keyed by
+//! [`congest_graph::GraphDigest`]) into a sharded worker pool where each
+//! worker owns a persistent [`congest_graph::SweepWorkspace`] — so
+//! steady-state serving runs the kernel path without heap operations
+//! ([`engine`], pinned by `tests/zero_alloc.rs`).
+//!
+//! Identical in-flight queries coalesce onto one computation; bounded
+//! shard queues convert overload into explicit `"rejected"` responses
+//! instead of unbounded latency. [`loadgen`] is the closed-loop driver
+//! behind the `wdr-load` binary and the E10 sustained-throughput
+//! experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod error;
+pub mod loadgen;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{Admission, Fulfillment, InflightCell, ResultCache};
+pub use engine::{cache_key, GraphStore, QueryEngine, ResolvedGraph};
+pub use error::ServeError;
+pub use loadgen::{LoadConfig, LoadReport, MixKind};
+pub use metrics::ServeMetrics;
+pub use protocol::{Algorithm, Client, GraphSource, Query, Request, RequestKind, MAX_FRAME_BYTES};
+pub use server::{ServeConfig, Server, ServerHandle};

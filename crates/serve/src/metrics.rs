@@ -1,0 +1,109 @@
+//! Pre-registered [`wdr_metrics`] handles for every serving-layer metric.
+//!
+//! Registration happens once at server spawn; every hot-path update is a
+//! single relaxed atomic operation with zero heap traffic, mirroring the
+//! `SimMetrics` bundle in `congest-sim`. The `stats` request type snapshots
+//! the same registry over the wire, so `wdr-load` can compute cache hit
+//! rates without process-local access.
+
+use wdr_metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+
+/// Handles for the serving-layer metrics.
+///
+/// Names are `{prefix}.{metric}` (prefix conventionally `"serve"`):
+///
+/// | metric | kind | meaning |
+/// |---|---|---|
+/// | `requests` | counter | frames parsed as requests |
+/// | `responses.ok` | counter | successful answers |
+/// | `responses.error` | counter | typed error responses |
+/// | `responses.rejected` | counter | backpressure rejections |
+/// | `cache.hits` … | counter | result-cache traffic (see below) |
+/// | `cache.bytes` / `cache.entries` | gauge | live cache footprint |
+/// | `graphs.built` / `graphs.evicted` | counter | graph-store churn |
+/// | `compute_us` | histogram | kernel compute time per job, µs |
+/// | `request_us` | histogram | server-side request latency, µs |
+///
+/// Cache counters: `cache.hits` (served from a completed entry),
+/// `cache.misses` (admission led a new computation — equals the number of
+/// kernel computations performed for cacheable queries), `cache.coalesced`
+/// (identical in-flight query joined the leader's computation),
+/// `cache.bypassed` (`no_cache` queries), `cache.evictions` (entries
+/// dropped by the byte-budget LRU).
+#[derive(Clone, Debug)]
+pub struct ServeMetrics {
+    /// Frames parsed as requests.
+    pub requests: Counter,
+    /// Successful (`status: "ok"`) responses.
+    pub responses_ok: Counter,
+    /// Typed error responses.
+    pub responses_error: Counter,
+    /// Backpressure (`status: "rejected"`) responses.
+    pub responses_rejected: Counter,
+    /// Queries answered from a completed cache entry.
+    pub cache_hits: Counter,
+    /// Queries that led a new computation.
+    pub cache_misses: Counter,
+    /// Queries coalesced onto an identical in-flight computation.
+    pub cache_coalesced: Counter,
+    /// Queries that bypassed the cache (`no_cache`).
+    pub cache_bypassed: Counter,
+    /// Entries evicted by the byte-budget LRU.
+    pub cache_evictions: Counter,
+    /// Live cached bytes (keys + values).
+    pub cache_bytes: Gauge,
+    /// Live cached entries.
+    pub cache_entries: Gauge,
+    /// Graphs built (scenario or explicit) by the graph store.
+    pub graphs_built: Counter,
+    /// Graphs evicted from the store's LRU.
+    pub graphs_evicted: Counter,
+    /// Kernel compute time per job, microseconds.
+    pub compute_us: Histogram,
+    /// Server-side request latency (parse → response rendered), µs.
+    pub request_us: Histogram,
+}
+
+impl ServeMetrics {
+    /// Registers the full serving bundle under `{prefix}.…` in `registry`
+    /// (idempotent: registering the same prefix twice shares the metrics).
+    pub fn register(registry: &MetricsRegistry, prefix: &str) -> ServeMetrics {
+        let name = |metric: &str| format!("{prefix}.{metric}");
+        ServeMetrics {
+            requests: registry.counter(&name("requests")),
+            responses_ok: registry.counter(&name("responses.ok")),
+            responses_error: registry.counter(&name("responses.error")),
+            responses_rejected: registry.counter(&name("responses.rejected")),
+            cache_hits: registry.counter(&name("cache.hits")),
+            cache_misses: registry.counter(&name("cache.misses")),
+            cache_coalesced: registry.counter(&name("cache.coalesced")),
+            cache_bypassed: registry.counter(&name("cache.bypassed")),
+            cache_evictions: registry.counter(&name("cache.evictions")),
+            cache_bytes: registry.gauge(&name("cache.bytes")),
+            cache_entries: registry.gauge(&name("cache.entries")),
+            graphs_built: registry.counter(&name("graphs.built")),
+            graphs_evicted: registry.counter(&name("graphs.evicted")),
+            compute_us: registry.histogram(&name("compute_us")),
+            request_us: registry.histogram(&name("request_us")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_named() {
+        let registry = MetricsRegistry::new();
+        let a = ServeMetrics::register(&registry, "serve");
+        let b = ServeMetrics::register(&registry, "serve");
+        a.cache_hits.inc();
+        b.cache_hits.inc();
+        let flat = registry.snapshot().flatten();
+        assert_eq!(flat["serve.cache.hits"], 2.0, "same prefix shares handles");
+        assert!(flat.contains_key("serve.requests"));
+        assert!(flat.contains_key("serve.cache.bytes"));
+        assert!(flat.contains_key("serve.compute_us.p99"));
+    }
+}

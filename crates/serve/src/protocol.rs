@@ -1,0 +1,588 @@
+//! Wire protocol: length-prefixed TCP frames carrying JSON documents.
+//!
+//! No HTTP stack is vendored in-tree, so the protocol is the smallest
+//! thing that multiplexes structured requests over a byte stream:
+//!
+//! ```text
+//! frame    := len payload
+//! len      := u32 big-endian, payload byte count, ≤ MAX_FRAME_BYTES
+//! payload  := one JSON object (UTF-8, no trailing bytes)
+//! ```
+//!
+//! Requests (client → server):
+//!
+//! ```json
+//! {"id":1,"kind":"query","algorithm":"extremes","scenario":7,"n":96}
+//! {"id":2,"kind":"query","algorithm":"eccentricity","node":3,
+//!  "graph_n":4,"graph_edges":[[0,1,2],[1,2,3],[2,3,4]]}
+//! {"id":3,"kind":"stats"}
+//! {"id":4,"kind":"ping"}
+//! ```
+//!
+//! Responses (server → client) always echo `id` and carry a `status` of
+//! `"ok"`, `"error"`, or `"rejected"` (backpressure). Keys are emitted in
+//! sorted order, so equal answers are byte-identical — the property the
+//! cache-bypass test pins:
+//!
+//! ```json
+//! {"cached":false,"id":1,"result":{...},"status":"ok"}
+//! {"error":{"kind":"bad_request","message":"..."},"id":2,"status":"error"}
+//! ```
+
+use crate::error::ServeError;
+use serde_json::Value;
+use std::io::{ErrorKind, Read, Write};
+
+/// Maximum accepted frame payload (1 MiB). A hostile or corrupt length
+/// prefix fails fast with [`ServeError::FrameTooLarge`] instead of
+/// triggering a giant allocation.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Writes one `len ∥ payload` frame.
+///
+/// # Errors
+///
+/// [`ServeError::FrameTooLarge`] when `payload` exceeds
+/// [`MAX_FRAME_BYTES`]; otherwise propagated I/O errors.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ServeError> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(ServeError::FrameTooLarge {
+            len: payload.len(),
+            max: MAX_FRAME_BYTES,
+        });
+    }
+    // One write for prefix + payload: two small writes would trip the
+    // Nagle / delayed-ACK interaction and add ~40ms per frame on loopback.
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame into `buf` (cleared first). Returns `false` on a clean
+/// EOF *between* frames — the peer hung up, nothing is wrong.
+///
+/// # Errors
+///
+/// [`ServeError::TruncatedFrame`] when the stream ends mid-prefix or
+/// mid-payload, [`ServeError::FrameTooLarge`] on an oversized prefix, and
+/// [`ServeError::Io`] for transport failures.
+pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> Result<bool, ServeError> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) => {
+                if got == 0 {
+                    return Ok(false);
+                }
+                return Err(ServeError::TruncatedFrame { got, want: 4 });
+            }
+            Ok(k) => got += k,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ServeError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(ServeError::FrameTooLarge {
+            len,
+            max: MAX_FRAME_BYTES,
+        });
+    }
+    buf.clear();
+    buf.resize(len, 0);
+    match r.read_exact(buf) {
+        Ok(()) => Ok(true),
+        Err(e) if e.kind() == ErrorKind::UnexpectedEof => {
+            Err(ServeError::TruncatedFrame { got: 0, want: len })
+        }
+        Err(e) => Err(ServeError::Io(e)),
+    }
+}
+
+/// The kernel (or replay) a query asks for.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Weighted diameter `D_{G,w}` (pruned sweeps).
+    Diameter,
+    /// Weighted radius `R_{G,w}`.
+    Radius,
+    /// Diameter + radius + witnesses in one pruned computation.
+    Extremes,
+    /// One node's weighted eccentricity.
+    Eccentricity {
+        /// The node whose eccentricity is requested.
+        node: usize,
+    },
+    /// All `n` weighted eccentricities.
+    Eccentricities,
+    /// Re-run the conformance oracle suite for a scenario seed.
+    Replay,
+}
+
+impl Algorithm {
+    /// The stable name used on the wire and in cache keys.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Diameter => "diameter",
+            Algorithm::Radius => "radius",
+            Algorithm::Extremes => "extremes",
+            Algorithm::Eccentricity { .. } => "eccentricity",
+            Algorithm::Eccentricities => "eccentricities",
+            Algorithm::Replay => "replay",
+        }
+    }
+
+    /// The params component of the cache key (empty for param-free
+    /// algorithms).
+    pub fn params_key(&self) -> String {
+        match self {
+            Algorithm::Eccentricity { node } => format!("node={node}"),
+            _ => String::new(),
+        }
+    }
+}
+
+/// Where the queried graph comes from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphSource {
+    /// A conformance [`wdr_conformance::scenario::ScenarioSpec`] built
+    /// from `seed` (optionally with the node count overridden — load
+    /// mixes use this to scale query cost).
+    Scenario {
+        /// The scenario seed.
+        seed: u64,
+        /// Overrides `ScenarioSpec::n` when set (re-normalized).
+        n: Option<usize>,
+    },
+    /// An explicit edge list shipped in the request.
+    Explicit {
+        /// Node count.
+        n: usize,
+        /// `(u, v, w)` triples.
+        edges: Vec<(usize, usize, u64)>,
+    },
+}
+
+/// One parsed query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Query {
+    /// What to compute.
+    pub algorithm: Algorithm,
+    /// On which graph.
+    pub source: GraphSource,
+    /// Skip the result cache entirely (admission *and* insertion). The
+    /// answer must be byte-identical to the cached one — pinned by
+    /// `tests/serve.rs`.
+    pub no_cache: bool,
+}
+
+/// One parsed request frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// What the client asked for.
+    pub kind: RequestKind,
+}
+
+/// The request families the server understands.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RequestKind {
+    /// A distance-metrics (or replay) computation.
+    Query(Query),
+    /// A snapshot of the server's metrics registry.
+    Stats,
+    /// Liveness probe.
+    Ping,
+}
+
+fn field_u64(v: &Value, key: &str) -> Result<Option<u64>, ServeError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(x) => x.as_u64().map(Some).ok_or_else(|| {
+            ServeError::BadRequest(format!("`{key}` must be a non-negative integer"))
+        }),
+    }
+}
+
+impl Request {
+    /// Parses one frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidJson`] when the payload is not JSON at all,
+    /// [`ServeError::BadRequest`] when it is JSON of the wrong shape.
+    pub fn parse(payload: &[u8]) -> Result<Request, ServeError> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|e| ServeError::InvalidJson(format!("not UTF-8: {e}")))?;
+        let v: Value =
+            serde_json::from_str(text).map_err(|e| ServeError::InvalidJson(format!("{e}")))?;
+        let id = field_u64(&v, "id")?.unwrap_or(0);
+        let kind = match v.get("kind").and_then(Value::as_str) {
+            Some("ping") => RequestKind::Ping,
+            Some("stats") => RequestKind::Stats,
+            Some("query") => RequestKind::Query(Self::parse_query(&v)?),
+            Some(other) => {
+                return Err(ServeError::BadRequest(format!(
+                    "unknown request kind `{other}`"
+                )))
+            }
+            None => {
+                return Err(ServeError::BadRequest(
+                    "missing string field `kind`".to_string(),
+                ))
+            }
+        };
+        Ok(Request { id, kind })
+    }
+
+    fn parse_query(v: &Value) -> Result<Query, ServeError> {
+        let algorithm = match v.get("algorithm").and_then(Value::as_str) {
+            Some("diameter") => Algorithm::Diameter,
+            Some("radius") => Algorithm::Radius,
+            Some("extremes") => Algorithm::Extremes,
+            Some("eccentricity") => Algorithm::Eccentricity {
+                node: field_u64(v, "node")?.ok_or_else(|| {
+                    ServeError::BadRequest("`eccentricity` needs a `node` field".to_string())
+                })? as usize,
+            },
+            Some("eccentricities") => Algorithm::Eccentricities,
+            Some("replay") => Algorithm::Replay,
+            Some(other) => {
+                return Err(ServeError::BadRequest(format!(
+                    "unknown algorithm `{other}`"
+                )))
+            }
+            None => {
+                return Err(ServeError::BadRequest(
+                    "missing string field `algorithm`".to_string(),
+                ))
+            }
+        };
+        let source = match (field_u64(v, "scenario")?, v.get("graph_edges")) {
+            (Some(seed), None) => GraphSource::Scenario {
+                seed,
+                n: field_u64(v, "n")?.map(|n| n as usize),
+            },
+            (None, Some(edges)) => {
+                let n = field_u64(v, "graph_n")?.ok_or_else(|| {
+                    ServeError::BadRequest("`graph_edges` needs `graph_n`".to_string())
+                })? as usize;
+                let list = edges.as_array().ok_or_else(|| {
+                    ServeError::BadRequest("`graph_edges` must be an array".to_string())
+                })?;
+                let mut parsed = Vec::with_capacity(list.len());
+                for e in list {
+                    let triple = e.as_array().filter(|t| t.len() == 3).ok_or_else(|| {
+                        ServeError::BadRequest("each edge must be a `[u, v, w]` triple".to_string())
+                    })?;
+                    let get = |i: usize| {
+                        triple[i].as_u64().ok_or_else(|| {
+                            ServeError::BadRequest(
+                                "edge components must be non-negative integers".to_string(),
+                            )
+                        })
+                    };
+                    parsed.push((get(0)? as usize, get(1)? as usize, get(2)?));
+                }
+                GraphSource::Explicit { n, edges: parsed }
+            }
+            (Some(_), Some(_)) => {
+                return Err(ServeError::BadRequest(
+                    "give either `scenario` or `graph_edges`, not both".to_string(),
+                ))
+            }
+            (None, None) => {
+                return Err(ServeError::BadRequest(
+                    "missing graph source: `scenario` or `graph_n`+`graph_edges`".to_string(),
+                ))
+            }
+        };
+        if algorithm == Algorithm::Replay && !matches!(source, GraphSource::Scenario { .. }) {
+            return Err(ServeError::BadRequest(
+                "`replay` only works on `scenario` sources".to_string(),
+            ));
+        }
+        let no_cache = match v.get("no_cache") {
+            None => false,
+            Some(b) => b.as_bool().ok_or_else(|| {
+                ServeError::BadRequest("`no_cache` must be a boolean".to_string())
+            })?,
+        };
+        Ok(Query {
+            algorithm,
+            source,
+            no_cache,
+        })
+    }
+
+    /// Renders this request as its wire JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"id\":");
+        out.push_str(&self.id.to_string());
+        match &self.kind {
+            RequestKind::Ping => out.push_str(",\"kind\":\"ping\""),
+            RequestKind::Stats => out.push_str(",\"kind\":\"stats\""),
+            RequestKind::Query(q) => {
+                out.push_str(",\"kind\":\"query\",\"algorithm\":\"");
+                out.push_str(q.algorithm.name());
+                out.push('"');
+                if let Algorithm::Eccentricity { node } = q.algorithm {
+                    out.push_str(&format!(",\"node\":{node}"));
+                }
+                match &q.source {
+                    GraphSource::Scenario { seed, n } => {
+                        out.push_str(&format!(",\"scenario\":{seed}"));
+                        if let Some(n) = n {
+                            out.push_str(&format!(",\"n\":{n}"));
+                        }
+                    }
+                    GraphSource::Explicit { n, edges } => {
+                        out.push_str(&format!(",\"graph_n\":{n},\"graph_edges\":["));
+                        for (i, (u, v, w)) in edges.iter().enumerate() {
+                            if i > 0 {
+                                out.push(',');
+                            }
+                            out.push_str(&format!("[{u},{v},{w}]"));
+                        }
+                        out.push(']');
+                    }
+                }
+                if q.no_cache {
+                    out.push_str(",\"no_cache\":true");
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Renders a success response (keys in sorted order: `cached`, `id`,
+/// `result`, `status`). `result_json` must already be a JSON document.
+pub fn ok_response(id: u64, cached: bool, result_json: &str) -> String {
+    format!("{{\"cached\":{cached},\"id\":{id},\"result\":{result_json},\"status\":\"ok\"}}")
+}
+
+/// Renders an error (`status: "error"`) or backpressure
+/// (`status: "rejected"`) response for `err`.
+pub fn error_response(id: u64, err: &ServeError) -> String {
+    let status = if matches!(err, ServeError::Overloaded { .. }) {
+        "rejected"
+    } else {
+        "error"
+    };
+    let mut out = String::with_capacity(96);
+    out.push_str("{\"error\":{\"kind\":\"");
+    out.push_str(err.kind());
+    out.push_str("\",\"message\":");
+    serde::write_json_string(&format!("{err}"), &mut out);
+    out.push_str(&format!("}},\"id\":{id},\"status\":\"{status}\"}}"));
+    out
+}
+
+/// A minimal blocking client: one connection, sequential request/response.
+#[derive(Debug)]
+pub struct Client {
+    stream: std::net::TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: &str) -> Result<Client, ServeError> {
+        let stream = std::net::TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Sends `request` and blocks for the matching response, returned as
+    /// parsed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`ServeError::TruncatedFrame`] when the server
+    /// hangs up mid-exchange.
+    pub fn call(&mut self, request: &Request) -> Result<Value, ServeError> {
+        self.call_raw(request.to_json().as_bytes())
+    }
+
+    /// Sends a raw payload (tests use this to exercise malformed input).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::call`].
+    pub fn call_raw(&mut self, payload: &[u8]) -> Result<Value, ServeError> {
+        write_frame(&mut self.stream, payload)?;
+        if !read_frame(&mut self.stream, &mut self.buf)? {
+            return Err(ServeError::TruncatedFrame { got: 0, want: 4 });
+        }
+        let text = std::str::from_utf8(&self.buf)
+            .map_err(|e| ServeError::InvalidJson(format!("response not UTF-8: {e}")))?;
+        serde_json::from_str(text).map_err(|e| ServeError::InvalidJson(format!("{e}")))
+    }
+
+    /// The raw bytes of the last response frame (for byte-identity tests).
+    pub fn last_frame(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"{\"id\":1}").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = wire.as_slice();
+        let mut buf = Vec::new();
+        assert!(read_frame(&mut r, &mut buf).unwrap());
+        assert_eq!(buf, b"{\"id\":1}");
+        assert!(read_frame(&mut r, &mut buf).unwrap());
+        assert!(buf.is_empty());
+        assert!(!read_frame(&mut r, &mut buf).unwrap(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_prefix_and_payload_are_typed_errors() {
+        let mut buf = Vec::new();
+        // Two bytes of a four-byte prefix.
+        let mut r: &[u8] = &[0u8, 0u8];
+        match read_frame(&mut r, &mut buf) {
+            Err(ServeError::TruncatedFrame { got: 2, want: 4 }) => {}
+            other => panic!("expected truncated prefix, got {other:?}"),
+        }
+        // Prefix promises 8 bytes, stream carries 3.
+        let mut wire = 8u32.to_be_bytes().to_vec();
+        wire.extend_from_slice(b"abc");
+        let mut r = wire.as_slice();
+        match read_frame(&mut r, &mut buf) {
+            Err(ServeError::TruncatedFrame { want: 8, .. }) => {}
+            other => panic!("expected truncated payload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_without_allocating() {
+        let wire = ((MAX_FRAME_BYTES + 1) as u32).to_be_bytes();
+        let mut r = wire.as_slice();
+        let mut buf = Vec::new();
+        match read_frame(&mut r, &mut buf) {
+            Err(ServeError::FrameTooLarge { len, max }) => {
+                assert_eq!(len, MAX_FRAME_BYTES + 1);
+                assert_eq!(max, MAX_FRAME_BYTES);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+        assert!(buf.is_empty(), "no payload buffer was grown");
+    }
+
+    #[test]
+    fn requests_round_trip_through_their_wire_form() {
+        let cases = [
+            Request {
+                id: 9,
+                kind: RequestKind::Ping,
+            },
+            Request {
+                id: 10,
+                kind: RequestKind::Stats,
+            },
+            Request {
+                id: 11,
+                kind: RequestKind::Query(Query {
+                    algorithm: Algorithm::Extremes,
+                    source: GraphSource::Scenario {
+                        seed: 7,
+                        n: Some(96),
+                    },
+                    no_cache: false,
+                }),
+            },
+            Request {
+                id: 12,
+                kind: RequestKind::Query(Query {
+                    algorithm: Algorithm::Eccentricity { node: 3 },
+                    source: GraphSource::Explicit {
+                        n: 4,
+                        edges: vec![(0, 1, 2), (1, 2, 3), (2, 3, 4)],
+                    },
+                    no_cache: true,
+                }),
+            },
+            Request {
+                id: 13,
+                kind: RequestKind::Query(Query {
+                    algorithm: Algorithm::Replay,
+                    source: GraphSource::Scenario { seed: 3, n: None },
+                    no_cache: false,
+                }),
+            },
+        ];
+        for req in cases {
+            let parsed = Request::parse(req.to_json().as_bytes()).unwrap();
+            assert_eq!(parsed, req);
+        }
+    }
+
+    #[test]
+    fn schema_violations_are_bad_requests_not_panics() {
+        let bad = [
+            "{}",
+            r#"{"kind":"query"}"#,
+            r#"{"kind":"launch_missiles"}"#,
+            r#"{"kind":"query","algorithm":"diameter"}"#,
+            r#"{"kind":"query","algorithm":"warp","scenario":1}"#,
+            r#"{"kind":"query","algorithm":"eccentricity","scenario":1}"#,
+            r#"{"kind":"query","algorithm":"diameter","scenario":1,"graph_edges":[]}"#,
+            r#"{"kind":"query","algorithm":"diameter","graph_edges":[[0,1]]}"#,
+            r#"{"kind":"query","algorithm":"replay","graph_n":2,"graph_edges":[[0,1,1]]}"#,
+            r#"{"kind":"query","algorithm":"diameter","scenario":1,"no_cache":"yes"}"#,
+            r#"{"kind":"query","algorithm":"diameter","scenario":-4}"#,
+        ];
+        for text in bad {
+            match Request::parse(text.as_bytes()) {
+                Err(ServeError::BadRequest(_)) => {}
+                other => panic!("{text}: expected BadRequest, got {other:?}"),
+            }
+        }
+        match Request::parse(b"not json at all") {
+            Err(ServeError::InvalidJson(_)) => {}
+            other => panic!("expected InvalidJson, got {other:?}"),
+        }
+        match Request::parse(&[0xff, 0xfe, 0x00]) {
+            Err(ServeError::InvalidJson(_)) => {}
+            other => panic!("expected InvalidJson for non-UTF-8, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn responses_have_sorted_keys() {
+        let ok = ok_response(5, true, "{\"diameter\":12}");
+        assert_eq!(
+            ok,
+            "{\"cached\":true,\"id\":5,\"result\":{\"diameter\":12},\"status\":\"ok\"}"
+        );
+        let err = error_response(6, &ServeError::Overloaded { shard: 2 });
+        assert!(err.contains("\"status\":\"rejected\""));
+        assert!(err.contains("\"kind\":\"overloaded\""));
+        let err = error_response(7, &ServeError::BadRequest("nope".into()));
+        assert!(err.contains("\"status\":\"error\""));
+        serde_json::from_str(&err).unwrap();
+    }
+}

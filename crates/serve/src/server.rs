@@ -1,0 +1,488 @@
+//! The daemon: TCP accept loop, sharded worker pool, and the request
+//! pipeline connecting them through the result cache.
+//!
+//! Request flow for a cacheable query:
+//!
+//! ```text
+//! read_frame → parse → GraphStore::resolve → cache_key
+//!   ├─ Hit     → respond from the cached value
+//!   ├─ Follow  → block on the leader's InflightCell, respond
+//!   └─ Lead    → try_push onto shard fnv1a(key) % workers
+//!        ├─ queue full → Rejected fans out to followers; "rejected" frame
+//!        └─ worker computes (persistent QueryEngine, zero-alloc kernels),
+//!           ResultCache::complete inserts + evicts + wakes waiters
+//! ```
+//!
+//! Sharding by cache key keeps identical queries on one worker (their
+//! coalescing window is widest there) while spreading distinct keys across
+//! the pool. Queues are bounded: a full shard answers `"rejected"`
+//! immediately instead of letting latency grow without bound.
+
+use crate::cache::{Admission, Fulfillment, InflightCell, ResultCache};
+use crate::engine::{cache_key, run_replay, GraphStore, QueryEngine};
+use crate::error::ServeError;
+use crate::metrics::ServeMetrics;
+use crate::protocol::{
+    error_response, ok_response, read_frame, write_frame, Algorithm, GraphSource, Query, Request,
+    RequestKind,
+};
+use congest_graph::WeightedGraph;
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+use wdr_metrics::MetricsRegistry;
+
+/// Tunables for one server instance.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address (`"127.0.0.1:0"` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads — one shard queue and one persistent
+    /// [`QueryEngine`] each.
+    pub workers: usize,
+    /// Result-cache budget in bytes (keys + values + overhead).
+    pub cache_capacity_bytes: usize,
+    /// Per-shard bounded queue depth; a full queue rejects.
+    pub queue_capacity: usize,
+    /// Graph-store LRU capacity (number of built graphs kept).
+    pub graph_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            cache_capacity_bytes: 4 << 20,
+            queue_capacity: 64,
+            graph_capacity: 64,
+        }
+    }
+}
+
+/// One unit of compute handed to a worker.
+struct Job {
+    payload: JobPayload,
+    cell: Arc<InflightCell>,
+    /// `Some` → complete through the cache (insert + fan out);
+    /// `None` → a `no_cache` bypass, fulfill the private cell directly.
+    key: Option<String>,
+}
+
+enum JobPayload {
+    Kernel {
+        graph: Arc<WeightedGraph>,
+        algorithm: Algorithm,
+    },
+    Replay {
+        seed: u64,
+        n: Option<usize>,
+    },
+}
+
+/// A bounded MPSC queue feeding one worker.
+struct Shard {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Shard {
+        Shard {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues without blocking; a full queue is explicit backpressure.
+    fn try_push(&self, shard: usize, job: Job) -> Result<(), ServeError> {
+        let mut q = self.queue.lock().expect("shard lock");
+        if q.len() >= self.capacity {
+            return Err(ServeError::Overloaded { shard });
+        }
+        q.push_back(job);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once shut down and drained.
+    fn pop(&self, shutdown: &AtomicBool) -> Option<Job> {
+        let mut q = self.queue.lock().expect("shard lock");
+        loop {
+            if let Some(job) = q.pop_front() {
+                return Some(job);
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            q = self.available.wait(q).expect("shard wait");
+        }
+    }
+}
+
+struct Shared {
+    cache: ResultCache,
+    store: GraphStore,
+    metrics: ServeMetrics,
+    registry: MetricsRegistry,
+    shards: Vec<Shard>,
+    shutdown: AtomicBool,
+}
+
+/// Constructor namespace for the serving daemon.
+pub struct Server;
+
+impl Server {
+    /// Binds, spawns the worker pool and accept loop, and returns a
+    /// handle. Metrics land in `registry` under the `serve.` prefix.
+    ///
+    /// # Errors
+    ///
+    /// Bind/listen failures as [`ServeError::Io`].
+    pub fn spawn(
+        config: ServeConfig,
+        registry: &MetricsRegistry,
+    ) -> Result<ServerHandle, ServeError> {
+        let listener = TcpListener::bind(config.addr.as_str())?;
+        let addr = listener.local_addr()?;
+        let metrics = ServeMetrics::register(registry, "serve");
+        let workers = config.workers.max(1);
+        let shards = (0..workers)
+            .map(|_| Shard::new(config.queue_capacity.max(1)))
+            .collect();
+        let shared = Arc::new(Shared {
+            cache: ResultCache::new(config.cache_capacity_bytes, metrics.clone()),
+            store: GraphStore::new(config.graph_capacity, &metrics),
+            metrics,
+            registry: registry.clone(),
+            shards,
+            shutdown: AtomicBool::new(false),
+        });
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("wdr-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("wdr-serve-accept".to_string())
+                .spawn(move || accept_loop(&shared, &listener))
+                .expect("spawn acceptor")
+        };
+        Ok(ServerHandle {
+            addr,
+            shared,
+            worker_handles,
+            accept: Some(accept),
+        })
+    }
+}
+
+/// A running server. Dropping it shuts the server down and joins the
+/// worker pool.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    worker_handles: Vec<JoinHandle<()>>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the shard queues, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for shard in &self.shared.shards {
+            shard.available.notify_all();
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        // Frames are small; latency matters more than packet coalescing.
+        let _ = stream.set_nodelay(true);
+        let shared = Arc::clone(shared);
+        let _ = std::thread::Builder::new()
+            .name("wdr-serve-conn".to_string())
+            .spawn(move || handle_connection(&shared, stream));
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, shard_idx: usize) {
+    let mut engine = QueryEngine::new();
+    while let Some(job) = shared.shards[shard_idx].pop(&shared.shutdown) {
+        let start = Instant::now();
+        let outcome = match &job.payload {
+            JobPayload::Kernel { graph, algorithm } => match engine.run(graph, algorithm) {
+                Ok(json) => Fulfillment::Value(json),
+                Err(e) => Fulfillment::Failed {
+                    kind: e.kind(),
+                    message: format!("{e}"),
+                },
+            },
+            JobPayload::Replay { seed, n } => Fulfillment::Value(run_replay(*seed, *n)),
+        };
+        shared
+            .metrics
+            .compute_us
+            .observe(start.elapsed().as_micros() as u64);
+        match &job.key {
+            Some(key) => shared.cache.complete(key, &job.cell, outcome),
+            None => job.cell.fulfill(outcome),
+        }
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let mut buf = Vec::new();
+    loop {
+        match read_frame(&mut stream, &mut buf) {
+            Ok(true) => {}
+            Ok(false) => return,
+            Err(e @ ServeError::FrameTooLarge { .. }) => {
+                // The unread payload bytes make the stream unframeable;
+                // answer with the typed error, then close.
+                shared.metrics.responses_error.inc();
+                let _ = write_frame(&mut stream, error_response(0, &e).as_bytes());
+                return;
+            }
+            Err(_) => return,
+        }
+        let start = Instant::now();
+        let response = match Request::parse(&buf) {
+            Ok(request) => {
+                shared.metrics.requests.inc();
+                handle_request(shared, &request)
+            }
+            Err(e) => {
+                shared.metrics.responses_error.inc();
+                error_response(0, &e)
+            }
+        };
+        shared
+            .metrics
+            .request_us
+            .observe(start.elapsed().as_micros() as u64);
+        if write_frame(&mut stream, response.as_bytes()).is_err() {
+            return;
+        }
+    }
+}
+
+fn handle_request(shared: &Arc<Shared>, request: &Request) -> String {
+    match &request.kind {
+        RequestKind::Ping => {
+            shared.metrics.responses_ok.inc();
+            ok_response(request.id, false, "{\"pong\":true}")
+        }
+        RequestKind::Stats => {
+            shared.metrics.responses_ok.inc();
+            ok_response(request.id, false, &render_stats(&shared.registry))
+        }
+        RequestKind::Query(query) => handle_query(shared, request.id, query),
+    }
+}
+
+fn handle_query(shared: &Arc<Shared>, id: u64, query: &Query) -> String {
+    let resolved = match shared.store.resolve(&query.source) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.metrics.responses_error.inc();
+            return error_response(id, &e);
+        }
+    };
+    let seed = match query.source {
+        GraphSource::Scenario { seed, .. } => seed,
+        GraphSource::Explicit { .. } => 0,
+    };
+    let key = cache_key(resolved.digest, &query.algorithm, seed);
+    let shard_idx =
+        (wdr_metrics::trajectory::fnv1a_64(key.as_bytes()) % shared.shards.len() as u64) as usize;
+
+    let (cell, completion_key) = if query.no_cache {
+        shared.metrics.cache_bypassed.inc();
+        (Arc::new(InflightCell::new()), None)
+    } else {
+        match shared.cache.admit(&key) {
+            Admission::Hit(value) => {
+                shared.metrics.responses_ok.inc();
+                return ok_response(id, true, &value);
+            }
+            Admission::Follow(cell) => {
+                return finish(shared, id, cell.wait(), true);
+            }
+            Admission::Lead(cell) => (cell, Some(key.clone())),
+        }
+    };
+
+    let payload = match &query.algorithm {
+        Algorithm::Replay => JobPayload::Replay {
+            seed,
+            n: match query.source {
+                GraphSource::Scenario { n, .. } => n,
+                GraphSource::Explicit { .. } => None,
+            },
+        },
+        algorithm => JobPayload::Kernel {
+            graph: Arc::clone(&resolved.graph),
+            algorithm: algorithm.clone(),
+        },
+    };
+    let job = Job {
+        payload,
+        cell: Arc::clone(&cell),
+        key: completion_key.clone(),
+    };
+    if let Err(e) = shared.shards[shard_idx].try_push(shard_idx, job) {
+        // The leader could not enqueue: fan the rejection out so every
+        // coalesced follower is released too.
+        if let Some(key) = &completion_key {
+            shared
+                .cache
+                .complete(key, &cell, Fulfillment::Rejected(format!("{e}")));
+        }
+        shared.metrics.responses_rejected.inc();
+        return error_response(id, &e);
+    }
+    finish(shared, id, cell.wait(), false)
+}
+
+fn finish(shared: &Arc<Shared>, id: u64, outcome: Fulfillment, cached: bool) -> String {
+    match outcome {
+        Fulfillment::Value(value) => {
+            shared.metrics.responses_ok.inc();
+            ok_response(id, cached, &value)
+        }
+        Fulfillment::Rejected(message) => {
+            shared.metrics.responses_rejected.inc();
+            render_error(id, "overloaded", "rejected", &message)
+        }
+        Fulfillment::Failed { kind, message } => {
+            shared.metrics.responses_error.inc();
+            render_error(id, kind, "error", &message)
+        }
+    }
+}
+
+fn render_error(id: u64, kind: &str, status: &str, message: &str) -> String {
+    let mut out = String::with_capacity(96);
+    out.push_str("{\"error\":{\"kind\":\"");
+    out.push_str(kind);
+    out.push_str("\",\"message\":");
+    serde::write_json_string(message, &mut out);
+    out.push_str(&format!("}},\"id\":{id},\"status\":\"{status}\"}}"));
+    out
+}
+
+fn render_stats(registry: &MetricsRegistry) -> String {
+    let pairs = registry.snapshot().to_pairs();
+    let mut out = String::with_capacity(32 + 32 * pairs.len());
+    out.push_str("{\"metrics\":[");
+    for (i, (name, value)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        serde::write_json_string(name, &mut out);
+        out.push(',');
+        if value.is_finite() {
+            out.push_str(&format!("{value}"));
+        } else {
+            out.push_str("null");
+        }
+        out.push(']');
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Client;
+
+    fn spawn_default() -> (ServerHandle, MetricsRegistry) {
+        let registry = MetricsRegistry::new();
+        let handle = Server::spawn(ServeConfig::default(), &registry).expect("spawn");
+        (handle, registry)
+    }
+
+    #[test]
+    fn ping_stats_and_shutdown() {
+        let (handle, _registry) = spawn_default();
+        let addr = handle.addr().to_string();
+        let mut client = Client::connect(&addr).unwrap();
+        let pong = client
+            .call(&Request {
+                id: 1,
+                kind: RequestKind::Ping,
+            })
+            .unwrap();
+        assert_eq!(
+            pong.get("status").and_then(serde_json::Value::as_str),
+            Some("ok")
+        );
+        assert_eq!(pong.get("id").and_then(serde_json::Value::as_u64), Some(1));
+        let stats = client
+            .call(&Request {
+                id: 2,
+                kind: RequestKind::Stats,
+            })
+            .unwrap();
+        let metrics = stats
+            .get("result")
+            .and_then(|r| r.get("metrics"))
+            .and_then(serde_json::Value::as_array)
+            .expect("metrics array");
+        assert!(
+            metrics.iter().any(|pair| {
+                pair.as_array()
+                    .and_then(|p| p.first())
+                    .and_then(serde_json::Value::as_str)
+                    == Some("serve.requests")
+            }),
+            "stats include serve.requests"
+        );
+        drop(client);
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,462 @@
+//! End-to-end tests over a real TCP daemon: malformed frames, cache
+//! semantics (coalescing, eviction, bypass byte-identity), backpressure,
+//! kernel correctness against the library, and scenario replay.
+//!
+//! Every test spawns its own server on an ephemeral port and asserts on
+//! the server's own metrics registry — no cross-test shared state.
+
+use congest_graph::{sweep, SsspWorkspace, WeightedGraph};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::Duration;
+use wdr_metrics::MetricsRegistry;
+use wdr_serve::protocol::read_frame;
+use wdr_serve::{
+    Algorithm, Client, GraphSource, Query, Request, RequestKind, ServeConfig, Server, ServerHandle,
+    MAX_FRAME_BYTES,
+};
+
+fn spawn(config: ServeConfig) -> (ServerHandle, MetricsRegistry) {
+    let registry = MetricsRegistry::new();
+    let handle = Server::spawn(config, &registry).expect("spawn server");
+    (handle, registry)
+}
+
+fn flat(registry: &MetricsRegistry) -> BTreeMap<String, f64> {
+    registry.snapshot().flatten()
+}
+
+fn query(id: u64, algorithm: Algorithm, source: GraphSource, no_cache: bool) -> Request {
+    Request {
+        id,
+        kind: RequestKind::Query(Query {
+            algorithm,
+            source,
+            no_cache,
+        }),
+    }
+}
+
+fn status(v: &serde_json::Value) -> &str {
+    v.get("status")
+        .and_then(serde_json::Value::as_str)
+        .unwrap_or("<none>")
+}
+
+fn error_kind(v: &serde_json::Value) -> &str {
+    v.get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(serde_json::Value::as_str)
+        .unwrap_or("<none>")
+}
+
+/// A weighted path with `n` nodes — deterministic size and cost, used
+/// where tests need a predictably slow (or predictably cheap) query.
+fn path_edges(n: usize, w: u64) -> Vec<(usize, usize, u64)> {
+    (0..n - 1).map(|u| (u, u + 1, w)).collect()
+}
+
+#[test]
+fn malformed_frames_get_typed_errors_and_do_not_kill_the_server() {
+    let (handle, _registry) = spawn(ServeConfig::default());
+    let addr = handle.addr().to_string();
+
+    // (a) Truncated length prefix: two bytes, then hang up. The server
+    // must shrug this connection off.
+    {
+        let mut s = TcpStream::connect(&addr).unwrap();
+        s.write_all(&[0u8, 1u8]).unwrap();
+    }
+
+    // (b) Oversized length prefix: a typed `frame_too_large` response,
+    // then the connection closes (the stream is unframeable after it).
+    {
+        let mut s = TcpStream::connect(&addr).unwrap();
+        s.write_all(&((MAX_FRAME_BYTES + 1) as u32).to_be_bytes())
+            .unwrap();
+        let mut buf = Vec::new();
+        assert!(read_frame(&mut s, &mut buf).unwrap(), "error frame arrives");
+        let v = serde_json::from_str(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(status(&v), "error");
+        assert_eq!(error_kind(&v), "frame_too_large");
+        assert!(
+            !read_frame(&mut s, &mut buf).unwrap(),
+            "server closes an unframeable connection"
+        );
+    }
+
+    // (c) Well-framed garbage: a typed `invalid_json` response, and the
+    // connection stays usable (the frame boundary is intact).
+    {
+        let mut client = Client::connect(&addr).unwrap();
+        let v = client.call_raw(b"not json at all").unwrap();
+        assert_eq!(status(&v), "error");
+        assert_eq!(error_kind(&v), "invalid_json");
+        let v = client.call_raw(&[0xff, 0xfe, 0x01]).unwrap();
+        assert_eq!(error_kind(&v), "invalid_json");
+        let pong = client
+            .call(&Request {
+                id: 9,
+                kind: RequestKind::Ping,
+            })
+            .unwrap();
+        assert_eq!(status(&pong), "ok", "connection survives bad payloads");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn scenario_and_explicit_queries_match_local_kernels() {
+    let (handle, _registry) = spawn(ServeConfig::default());
+    let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+
+    // Scenario source: the server must agree with a locally built spec.
+    let (seed, n) = (5u64, 40usize);
+    let mut spec = wdr_conformance::scenario::ScenarioSpec::from_seed(seed);
+    spec.n = n;
+    let spec = spec.normalized();
+    let g = spec.build_graph();
+    let expected = sweep::extremes(&g);
+    let v = client
+        .call(&query(
+            1,
+            Algorithm::Extremes,
+            GraphSource::Scenario { seed, n: Some(n) },
+            false,
+        ))
+        .unwrap();
+    assert_eq!(status(&v), "ok");
+    let result = v.get("result").expect("result");
+    assert_eq!(
+        result.get("diameter").and_then(serde_json::Value::as_u64),
+        expected.diameter.finite()
+    );
+    assert_eq!(
+        result.get("radius").and_then(serde_json::Value::as_u64),
+        expected.radius.finite()
+    );
+    assert_eq!(
+        result.get("sweeps").and_then(serde_json::Value::as_u64),
+        Some(expected.sweeps as u64)
+    );
+
+    // Explicit source: eccentricity of one node on a shipped edge list.
+    let edges = vec![(0, 1, 2), (1, 2, 3), (2, 3, 4), (3, 0, 10)];
+    let local = WeightedGraph::from_edges(4, edges.iter().copied()).unwrap();
+    let expected_ecc = SsspWorkspace::new().eccentricity(&local, 2);
+    let v = client
+        .call(&query(
+            2,
+            Algorithm::Eccentricity { node: 2 },
+            GraphSource::Explicit {
+                n: 4,
+                edges: edges.clone(),
+            },
+            false,
+        ))
+        .unwrap();
+    assert_eq!(status(&v), "ok");
+    assert_eq!(
+        v.get("result")
+            .and_then(|r| r.get("eccentricity"))
+            .and_then(serde_json::Value::as_u64),
+        expected_ecc.finite()
+    );
+
+    // Out-of-range node: typed bad_request, not a dead worker.
+    let v = client
+        .call(&query(
+            3,
+            Algorithm::Eccentricity { node: 9 },
+            GraphSource::Explicit { n: 4, edges },
+            false,
+        ))
+        .unwrap();
+    assert_eq!(status(&v), "error");
+    assert_eq!(error_kind(&v), "bad_request");
+    handle.shutdown();
+}
+
+#[test]
+fn identical_inflight_queries_compute_once() {
+    let (handle, registry) = spawn(ServeConfig {
+        workers: 1,
+        queue_capacity: 64,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr().to_string();
+
+    // Plug the single worker with a deterministically slow query so the
+    // identical queries below overlap in flight.
+    let plug = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).unwrap();
+            c.call(&query(
+                100,
+                Algorithm::Eccentricities,
+                GraphSource::Explicit {
+                    n: 2500,
+                    edges: path_edges(2500, 700),
+                },
+                false,
+            ))
+            .unwrap()
+        })
+    };
+    std::thread::sleep(Duration::from_millis(30));
+
+    // Five byte-identical queries. Exactly one may lead a computation;
+    // the rest must coalesce onto it (or hit the completed entry).
+    let same = || {
+        query(
+            7,
+            Algorithm::Extremes,
+            GraphSource::Scenario {
+                seed: 7,
+                n: Some(32),
+            },
+            false,
+        )
+    };
+    let joins: Vec<_> = (0..5)
+        .map(|_| {
+            let addr = addr.clone();
+            let req = same();
+            std::thread::spawn(move || Client::connect(&addr).unwrap().call(&req).unwrap())
+        })
+        .collect();
+    for join in joins {
+        let v = join.join().unwrap();
+        assert_eq!(status(&v), "ok");
+    }
+    assert_eq!(status(&plug.join().unwrap()), "ok");
+
+    let m = flat(&registry);
+    assert_eq!(
+        m["serve.cache.misses"], 2.0,
+        "exactly two computations: the plug and one leader for the five"
+    );
+    assert_eq!(
+        m["serve.cache.hits"] + m["serve.cache.coalesced"],
+        4.0,
+        "the other four were served without computing"
+    );
+
+    // One more identical query is now a plain hit.
+    let v = Client::connect(&addr).unwrap().call(&same()).unwrap();
+    assert_eq!(
+        v.get("cached").and_then(serde_json::Value::as_bool),
+        Some(true)
+    );
+    let m = flat(&registry);
+    assert_eq!(m["serve.cache.misses"], 2.0, "still no recomputation");
+    handle.shutdown();
+}
+
+#[test]
+fn eviction_respects_the_byte_budget_end_to_end() {
+    // Budget sized to hold two extremes entries (~200 bytes each), not
+    // three.
+    let (handle, registry) = spawn(ServeConfig {
+        workers: 1,
+        cache_capacity_bytes: 450,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+
+    // Pick three seeds whose scenario graphs have distinct digests, so
+    // the three queries really occupy three cache keys.
+    let mut seeds = Vec::new();
+    let mut digests = std::collections::BTreeSet::new();
+    for seed in 1u64..32 {
+        let mut spec = wdr_conformance::scenario::ScenarioSpec::from_seed(seed);
+        spec.n = 16;
+        if digests.insert(spec.normalized().build_graph().digest().0) {
+            seeds.push(seed);
+            if seeds.len() == 3 {
+                break;
+            }
+        }
+    }
+    assert_eq!(seeds.len(), 3, "found three distinct graphs");
+
+    for (i, &seed) in seeds.iter().enumerate() {
+        let v = client
+            .call(&query(
+                i as u64,
+                Algorithm::Extremes,
+                GraphSource::Scenario { seed, n: Some(16) },
+                false,
+            ))
+            .unwrap();
+        assert_eq!(status(&v), "ok");
+    }
+    let m = flat(&registry);
+    assert_eq!(m["serve.cache.misses"], 3.0);
+    assert!(
+        m["serve.cache.evictions"] >= 1.0,
+        "third entry overflowed the budget"
+    );
+    assert!(
+        m["serve.cache.bytes"] <= 450.0,
+        "live bytes stay under budget, saw {}",
+        m["serve.cache.bytes"]
+    );
+
+    // The evicted (oldest) entry must be recomputed on re-request.
+    let v = client
+        .call(&query(
+            9,
+            Algorithm::Extremes,
+            GraphSource::Scenario {
+                seed: seeds[0],
+                n: Some(16),
+            },
+            false,
+        ))
+        .unwrap();
+    assert_eq!(status(&v), "ok");
+    assert_eq!(
+        v.get("cached").and_then(serde_json::Value::as_bool),
+        Some(false)
+    );
+    assert_eq!(flat(&registry)["serve.cache.misses"], 4.0);
+    handle.shutdown();
+}
+
+#[test]
+fn cache_bypass_returns_byte_identical_results() {
+    let (handle, registry) = spawn(ServeConfig::default());
+    let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+    let make = |id: u64, no_cache: bool| {
+        query(
+            id,
+            Algorithm::Extremes,
+            GraphSource::Scenario {
+                seed: 11,
+                n: Some(30),
+            },
+            no_cache,
+        )
+    };
+
+    // Compute + cache, then a cached hit, then a bypassed recompute.
+    assert_eq!(status(&client.call(&make(1, false)).unwrap()), "ok");
+    let hit = client.call(&make(1, false)).unwrap();
+    assert_eq!(
+        hit.get("cached").and_then(serde_json::Value::as_bool),
+        Some(true)
+    );
+    let hit_frame = client.last_frame().to_vec();
+    let bypass = client.call(&make(1, true)).unwrap();
+    assert_eq!(
+        bypass.get("cached").and_then(serde_json::Value::as_bool),
+        Some(false)
+    );
+    let bypass_frame = client.last_frame().to_vec();
+
+    // The `result` member must match byte for byte (responses differ
+    // only in the `cached` flag, which sits before `result`).
+    let result_bytes = |frame: &[u8]| {
+        let text = std::str::from_utf8(frame).unwrap();
+        let start = text.find("\"result\":").unwrap() + "\"result\":".len();
+        let end = text.rfind(",\"status\"").unwrap();
+        text[start..end].to_string()
+    };
+    assert_eq!(
+        result_bytes(&hit_frame),
+        result_bytes(&bypass_frame),
+        "bypassed answers are byte-identical to cached ones"
+    );
+
+    let m = flat(&registry);
+    assert_eq!(m["serve.cache.bypassed"], 1.0);
+    assert_eq!(m["serve.cache.misses"], 1.0, "bypass did not repopulate");
+    handle.shutdown();
+}
+
+#[test]
+fn full_queues_reject_with_backpressure_status() {
+    // One worker, one queue slot: six concurrent, individually slow
+    // queries cannot all be admitted.
+    let (handle, registry) = spawn(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr().to_string();
+    let joins: Vec<_> = (0..6)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let n = 2000 + i as usize; // distinct graphs → distinct keys
+                let mut c = Client::connect(&addr).unwrap();
+                let v = c
+                    .call(&query(
+                        i,
+                        Algorithm::Eccentricities,
+                        GraphSource::Explicit {
+                            n,
+                            edges: path_edges(n, 50),
+                        },
+                        false,
+                    ))
+                    .unwrap();
+                (status(&v).to_string(), error_kind(&v).to_string())
+            })
+        })
+        .collect();
+    let outcomes: Vec<_> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+    let ok = outcomes.iter().filter(|(s, _)| s == "ok").count();
+    let rejected = outcomes
+        .iter()
+        .filter(|(s, k)| s == "rejected" && k == "overloaded")
+        .count();
+    assert_eq!(ok + rejected, 6, "every query got a definite answer");
+    assert!(ok >= 1, "the admitted queries completed");
+    assert!(
+        rejected >= 1,
+        "a full shard queue pushes back explicitly, outcomes: {outcomes:?}"
+    );
+    assert!(flat(&registry)["serve.responses.rejected"] >= 1.0);
+    handle.shutdown();
+}
+
+#[test]
+fn replay_reruns_the_conformance_oracles() {
+    let (handle, _registry) = spawn(ServeConfig::default());
+    let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+    let v = client
+        .call(&query(
+            1,
+            Algorithm::Replay,
+            GraphSource::Scenario { seed: 1, n: None },
+            false,
+        ))
+        .unwrap();
+    assert_eq!(status(&v), "ok");
+    let result = v.get("result").expect("result");
+    assert_eq!(
+        result.get("passed").and_then(serde_json::Value::as_bool),
+        Some(true),
+        "clean corpus seed replays green: {result:?}"
+    );
+    assert_eq!(result.get("failure"), Some(&serde_json::Value::Null));
+
+    // Replays are cached under their scenario seed.
+    let v = client
+        .call(&query(
+            2,
+            Algorithm::Replay,
+            GraphSource::Scenario { seed: 1, n: None },
+            false,
+        ))
+        .unwrap();
+    assert_eq!(
+        v.get("cached").and_then(serde_json::Value::as_bool),
+        Some(true)
+    );
+    handle.shutdown();
+}

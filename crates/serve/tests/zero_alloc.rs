@@ -1,0 +1,67 @@
+//! The serving layer's zero-allocation claim, measured: once a worker's
+//! [`wdr_serve::QueryEngine`] has served one warm-up pass over its
+//! working set, repeated kernel execution (extremes, single and full
+//! eccentricities, across Dial and binary-heap weight regimes) must not
+//! touch the heap. Rendering the response JSON allocates by design and is
+//! excluded — the contract covers the *compute* path a steady-state
+//! worker loops on.
+//!
+//! This file holds exactly one `#[test]` so no sibling test can allocate
+//! concurrently and pollute the counters (same harness as
+//! `congest-graph/tests/kernel_alloc.rs`).
+
+use std::alloc::System;
+
+use congest_graph::{generators, WeightedGraph};
+use wdr_metrics::heap::{heap_ops, track_current_thread, CountingAlloc};
+use wdr_serve::QueryEngine;
+
+#[global_allocator]
+static GLOBAL: CountingAlloc<System> = CountingAlloc::new(System);
+
+/// One pass of every kernel the worker loop dispatches, cycling sources.
+fn exercise(engine: &mut QueryEngine, graphs: &[WeightedGraph], round: usize) -> u64 {
+    let mut acc = 0u64;
+    for g in graphs {
+        let r = engine.extremes(g);
+        acc = acc.wrapping_add(r.diameter.finite().unwrap_or(0));
+        acc = acc.wrapping_add(r.radius.finite().unwrap_or(0));
+        let node = round % g.n();
+        acc = acc.wrapping_add(engine.eccentricity(g, node).finite().unwrap_or(0));
+        let eccs = engine.eccentricities(g);
+        acc = acc.wrapping_add(eccs[node].finite().unwrap_or(0));
+    }
+    acc
+}
+
+#[test]
+fn warm_serving_kernels_do_not_allocate() {
+    track_current_thread();
+    let graphs = [
+        generators::grid(6, 8, 3),       // small weights → Dial path
+        generators::grid(5, 7, 100_000), // large weights → binary heap
+        generators::cycle(40, 9),
+        generators::star(33, 2),
+        generators::path(48, 4096),
+    ];
+    assert!(graphs[1].max_weight() > congest_graph::DIAL_MAX_WEIGHT);
+    let mut engine = QueryEngine::new();
+
+    // Warm-up: grow every workspace buffer to steady-state capacity.
+    let mut sink = 0u64;
+    for round in 0..4 {
+        sink = sink.wrapping_add(exercise(&mut engine, &graphs, round));
+    }
+
+    let before = heap_ops();
+    for round in 0..16 {
+        sink = sink.wrapping_add(exercise(&mut engine, &graphs, round));
+    }
+    let delta = heap_ops() - before;
+    assert_eq!(
+        delta, 0,
+        "a warm serving engine must be allocation-free on the kernel path, \
+         saw {delta} heap ops over 16 passes"
+    );
+    assert!(sink > 0, "keep the kernels observable");
+}
