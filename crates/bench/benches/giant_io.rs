@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks of the giant-graph I/O path: what does it
+//! cost to *have* a graph? Three ways to the same CSR are compared at a
+//! size where the differences are decades apart — streaming the generator
+//! (compute-bound), reading the binary file into owned arrays
+//! (bandwidth-bound), and `open_mmap` (O(header): parse 64 bytes, map the
+//! payload, borrow the arrays in place). The E11 experiment gates the
+//! mmap-vs-generate ratio end to end; these benches keep the per-layer
+//! costs visible so a regression can be localized.
+
+use congest_graph::generators::stream::StreamSpec;
+use congest_graph::{GraphBuilder, WeightedGraph};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const N: usize = 50_000;
+const SEED: u64 = 1107;
+
+fn spec() -> StreamSpec {
+    StreamSpec::PowerLaw {
+        n: N,
+        attach: 8,
+        max_w: 16,
+        seed: SEED,
+    }
+}
+
+fn bench_file(dir: &std::path::Path) -> std::path::PathBuf {
+    std::fs::create_dir_all(dir).expect("create bench dir");
+    let path = dir.join("giant_io.wdrg");
+    if !path.exists() {
+        spec()
+            .build()
+            .expect("stream build")
+            .write_binary(&path)
+            .expect("write bench graph");
+    }
+    path
+}
+
+/// The generator itself: two streaming passes through `GraphWriter`,
+/// no intermediate edge list. This is the cost `open_mmap` amortizes away.
+fn generate(c: &mut Criterion) {
+    c.bench_function("giant_io_generate_n50k", |b| {
+        b.iter(|| spec().build().expect("stream build"))
+    });
+}
+
+/// Builder-path construction from a pre-collected edge list — the
+/// non-streaming baseline (materializes `Vec<Edge>`, sorts, dedups).
+fn construct(c: &mut Criterion) {
+    let mut edges = Vec::new();
+    spec().for_each_edge(&mut |u, v, w| edges.push((u, v, w)));
+    c.bench_function("giant_io_builder_n50k", |b| {
+        b.iter(|| {
+            let mut builder = GraphBuilder::new(N);
+            for &(u, v, w) in &edges {
+                builder.add_edge(u, v, w);
+            }
+            builder.build().expect("builder build")
+        })
+    });
+}
+
+/// Full file read into owned arrays vs zero-copy mmap open of the same
+/// bytes. The gap between these two is the payload copy; the gap to
+/// `generate` is the whole point of the binary format.
+fn open(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("wdrg-bench-io-{}", std::process::id()));
+    let path = bench_file(&dir);
+    c.bench_function("giant_io_read_owned_n50k", |b| {
+        b.iter(|| {
+            let bytes = std::fs::read(black_box(&path)).expect("read file");
+            black_box(bytes.len())
+        })
+    });
+    c.bench_function("giant_io_open_mmap_n50k", |b| {
+        b.iter(|| WeightedGraph::open_mmap(black_box(&path)).expect("mmap open"))
+    });
+    // One touch of the mapped arrays per open, so the measured path can't
+    // degenerate into mapping pages nobody faults in.
+    c.bench_function("giant_io_open_mmap_and_degree_scan_n50k", |b| {
+        b.iter(|| {
+            let g = WeightedGraph::open_mmap(black_box(&path)).expect("mmap open");
+            (0..g.n()).map(|v| g.degree(v)).max()
+        })
+    });
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, generate, construct, open);
+criterion_main!(benches);

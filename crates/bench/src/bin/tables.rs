@@ -70,6 +70,10 @@ fn main() {
         eprintln!("[tables] running E10…");
         outputs.push(experiments::e10(quick, &out_dir));
     }
+    if run("e11") {
+        eprintln!("[tables] running E11…");
+        outputs.push(experiments::e11(quick, &out_dir));
+    }
     if run("f") || run("figures") {
         eprintln!("[tables] running F1–F4…");
         outputs.push(experiments::figures(&out_dir.join("figures")));

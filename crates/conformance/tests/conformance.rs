@@ -30,7 +30,7 @@ proptest! {
         prop_assert_eq!(a, b);
         let (ga, gb) = (a.build_graph(), b.build_graph());
         prop_assert_eq!(ga.n(), gb.n());
-        prop_assert_eq!(ga.edges(), gb.edges());
+        prop_assert_eq!(ga, gb);
     }
 
     /// Every spec is normalized at generation time: re-normalizing is a

@@ -1,0 +1,221 @@
+//! `u32`-index compact CSR: the same adjacency structure as
+//! [`WeightedGraph`], at half the bytes per entry.
+//!
+//! A 10⁷-edge graph stores 2·10⁷ directed CSR entries; at `u64` that is
+//! 320 MB of targets + weights, at `u32` it is 160 MB — the difference
+//! between thrashing and fitting comfortably in RAM (and far more of the
+//! working set per cache line) on giant-scale sweeps. [`CompactGraph`]
+//! implements [`CsrGraph`], so every [`crate::SsspWorkspace`] /
+//! [`crate::SweepWorkspace`] kernel runs on it unchanged and produces
+//! bit-identical distances (E11 pins sweep-result identity against the
+//! `u64` representation).
+
+use std::fmt;
+
+use crate::graph::{CsrGraph, NodeId, Weight, WeightedGraph};
+
+/// Why a graph cannot be represented compactly.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CompactError {
+    /// More than `u32::MAX - 1` nodes.
+    TooManyNodes {
+        /// The node count.
+        n: usize,
+    },
+    /// More than `u32::MAX` directed CSR entries.
+    TooManyEntries {
+        /// The directed entry count (`2m`).
+        entries: usize,
+    },
+    /// An edge weight exceeds `u32::MAX`.
+    WeightTooLarge {
+        /// The offending weight.
+        w: Weight,
+    },
+}
+
+impl fmt::Display for CompactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompactError::TooManyNodes { n } => {
+                write!(f, "{n} nodes exceed the u32 compact index range")
+            }
+            CompactError::TooManyEntries { entries } => {
+                write!(
+                    f,
+                    "{entries} CSR entries exceed the u32 compact offset range"
+                )
+            }
+            CompactError::WeightTooLarge { w } => {
+                write!(f, "weight {w} exceeds the u32 compact weight range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompactError {}
+
+/// The `u32`-index, `u32`-weight compact CSR graph.
+///
+/// # Examples
+///
+/// ```
+/// use congest_graph::{generators, sweep, CompactGraph};
+/// let g = generators::grid(6, 7, 3);
+/// let c = CompactGraph::from_graph(&g).unwrap();
+/// let full = sweep::extremes_with(&g, sweep::EdgeMetric::Weighted);
+/// let compact = sweep::extremes_with(&c, sweep::EdgeMetric::Weighted);
+/// assert_eq!(full, compact);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CompactGraph {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    weights: Vec<u32>,
+    max_weight: Weight,
+}
+
+impl CompactGraph {
+    /// Converts a [`WeightedGraph`] (owned or mapped) to compact form.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`CompactError`] when any index or weight does not fit in
+    /// `u32`.
+    pub fn from_graph(g: &WeightedGraph) -> Result<CompactGraph, CompactError> {
+        let n = g.n();
+        if n >= u32::MAX as usize {
+            return Err(CompactError::TooManyNodes { n });
+        }
+        let entries = g.csr_targets().len();
+        if entries > u32::MAX as usize {
+            return Err(CompactError::TooManyEntries { entries });
+        }
+        if g.m() > 0 && g.max_weight() > u64::from(u32::MAX) {
+            return Err(CompactError::WeightTooLarge { w: g.max_weight() });
+        }
+        Ok(CompactGraph {
+            offsets: g.csr_offsets().iter().map(|&x| x as u32).collect(),
+            targets: g.csr_targets().iter().map(|&x| x as u32).collect(),
+            weights: g.csr_weights().iter().map(|&x| x as u32).collect(),
+            max_weight: g.max_weight(),
+        })
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// Maximum edge weight (1 for edgeless graphs).
+    #[inline]
+    pub fn max_weight(&self) -> Weight {
+        self.max_weight
+    }
+
+    /// `(neighbor, weight)` pairs of `v` in ascending neighbor order.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
+        let range = self.offsets[v] as usize..self.offsets[v + 1] as usize;
+        self.targets[range.clone()]
+            .iter()
+            .map(|&t| t as NodeId)
+            .zip(self.weights[range].iter().map(|&w| Weight::from(w)))
+    }
+
+    /// Heap bytes held by the three CSR arrays (for reporting).
+    pub fn csr_bytes(&self) -> usize {
+        4 * (self.offsets.len() + self.targets.len() + self.weights.len())
+    }
+}
+
+impl CsrGraph for CompactGraph {
+    #[inline]
+    fn n(&self) -> usize {
+        CompactGraph::n(self)
+    }
+
+    #[inline]
+    fn degree(&self, v: NodeId) -> usize {
+        CompactGraph::degree(self, v)
+    }
+
+    #[inline]
+    fn max_weight(&self) -> Weight {
+        CompactGraph::max_weight(self)
+    }
+
+    #[inline]
+    fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
+        CompactGraph::neighbors(self, v)
+    }
+
+    #[inline]
+    fn for_each_neighbor(&self, v: NodeId, f: &mut impl FnMut(NodeId, Weight)) {
+        let (lo, hi) = (self.offsets[v] as usize, self.offsets[v + 1] as usize);
+        let targets = &self.targets[lo..hi];
+        let weights = &self.weights[lo..hi];
+        for i in 0..targets.len() {
+            f(targets[i] as NodeId, Weight::from(weights[i]));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::shortest_path;
+    use crate::SsspWorkspace;
+
+    #[test]
+    fn conversion_preserves_structure() {
+        let g = generators::barbell(5, 4, 3);
+        let c = CompactGraph::from_graph(&g).unwrap();
+        assert_eq!(c.n(), g.n());
+        assert_eq!(c.m(), g.m());
+        assert_eq!(c.max_weight(), g.max_weight());
+        for v in g.nodes() {
+            assert_eq!(c.degree(v), g.degree(v));
+            let a: Vec<_> = g.neighbors(v).collect();
+            let b: Vec<_> = c.neighbors(v).collect();
+            assert_eq!(a, b);
+        }
+        assert!(c.csr_bytes() > 0);
+    }
+
+    #[test]
+    fn kernels_agree_with_full_width_graph() {
+        let g = generators::grid(5, 8, 4);
+        let c = CompactGraph::from_graph(&g).unwrap();
+        let mut ws = SsspWorkspace::new();
+        for s in [0usize, 13, g.n() - 1] {
+            let reference = shortest_path::dijkstra(&g, s);
+            assert_eq!(ws.dijkstra_into(&c, s), &reference[..]);
+            let bfs_full = ws.bfs_into(&g, s).to_vec();
+            assert_eq!(ws.bfs_into(&c, s), &bfs_full[..]);
+        }
+    }
+
+    #[test]
+    fn oversized_weight_is_rejected() {
+        let g = crate::WeightedGraph::from_edges(2, [(0, 1, u64::from(u32::MAX) + 1)]).unwrap();
+        assert!(matches!(
+            CompactGraph::from_graph(&g),
+            Err(CompactError::WeightTooLarge { .. })
+        ));
+    }
+}

@@ -59,9 +59,22 @@ fn fnv_u64(mut hash: u64, value: u64) -> u64 {
 impl WeightedGraph {
     /// The stable FNV-1a content digest of this graph.
     ///
-    /// Streams `n` and every canonical edge triple through the hash without
-    /// allocating; `O(m)` time.
+    /// For memory-mapped graphs this returns the digest recorded in the
+    /// file header in `O(1)` (the writer computed it from the same
+    /// canonical form); otherwise it streams the content in `O(m)`. Use
+    /// [`WeightedGraph::recompute_digest`] to force the streaming path —
+    /// e.g. [`crate::io`]'s verified open compares the two.
     pub fn digest(&self) -> GraphDigest {
+        match self.mapped() {
+            Some(m) => GraphDigest(m.header().digest),
+            None => self.recompute_digest(),
+        }
+    }
+
+    /// The digest recomputed from the CSR content, ignoring any cached
+    /// header value: streams `n` and every canonical edge triple through
+    /// the hash without allocating; `O(m)` time.
+    pub fn recompute_digest(&self) -> GraphDigest {
         let mut hash = fnv_u64(FNV_OFFSET, self.n() as u64);
         for e in self.edges() {
             hash = fnv_u64(hash, e.u as u64);
@@ -89,7 +102,7 @@ mod tests {
         let d = generators::cycle(6, 2);
         assert_ne!(a.digest(), d.digest());
         // Extra isolated node changes the digest even with equal edges.
-        let e = WeightedGraph::from_edges(7, a.edges().iter().map(|e| (e.u, e.v, e.w))).unwrap();
+        let e = WeightedGraph::from_edges(7, a.edges().map(|e| (e.u, e.v, e.w))).unwrap();
         assert_ne!(a.digest(), e.digest());
     }
 

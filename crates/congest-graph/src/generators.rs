@@ -6,6 +6,8 @@
 use crate::graph::{GraphBuilder, NodeId, Weight, WeightedGraph};
 use rand::Rng;
 
+pub mod stream;
+
 /// A path `0 - 1 - … - (n-1)` with uniform edge weight `w`.
 ///
 /// # Panics
@@ -224,7 +226,6 @@ pub fn randomize_weights<R: Rng + ?Sized>(
     assert!(max_w > 0);
     let edges: Vec<(NodeId, NodeId, Weight)> = g
         .edges()
-        .iter()
         .map(|e| (e.u, e.v, rng.gen_range(1..=max_w)))
         .collect();
     WeightedGraph::from_edges(g.n(), edges).expect("same topology is valid")

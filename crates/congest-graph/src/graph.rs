@@ -3,11 +3,21 @@
 //! [`WeightedGraph`] is an undirected graph with positive integer edge
 //! weights (`w : E → ℕ⁺`, as in the paper's preliminaries), stored in
 //! compressed-sparse-row form for cache-friendly traversal. Graphs are built
-//! through [`GraphBuilder`], which validates weights and node indices.
+//! through [`GraphBuilder`], which validates weights and node indices, or
+//! loaded zero-copy from the binary on-disk format via
+//! [`WeightedGraph::open_mmap`](crate::io).
+//!
+//! Internally the CSR arrays live behind [`GraphStorage`]: either owned
+//! `Vec`s (built in memory) or a memory-mapped file region (borrowed
+//! zero-copy, see [`crate::io`]). Every accessor goes through the same slice
+//! views, so kernels are oblivious to the storage backing.
 
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
+
+use crate::io::MappedCsr;
 
 /// Index of a node in a graph. Nodes of an `n`-node graph are `0..n`.
 pub type NodeId = usize;
@@ -90,6 +100,37 @@ impl fmt::Display for BuildGraphError {
 }
 
 impl std::error::Error for BuildGraphError {}
+
+/// Read-only CSR access shared by every shortest-path and sweep kernel.
+///
+/// Implemented by [`WeightedGraph`] (owned or memory-mapped storage alike)
+/// and the cache-compact [`crate::compact::CompactGraph`], so the kernels in
+/// [`crate::SsspWorkspace`] and [`crate::SweepWorkspace`] run unchanged over
+/// either representation and produce identical results.
+pub trait CsrGraph {
+    /// Number of nodes.
+    fn n(&self) -> usize;
+    /// Degree of `v`.
+    fn degree(&self, v: NodeId) -> usize;
+    /// Maximum edge weight `W` (1 for edgeless graphs).
+    fn max_weight(&self) -> Weight;
+    /// `(neighbor, weight)` pairs of `v` in ascending neighbor order.
+    fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_;
+    /// Calls `f(u, w)` for every neighbor of `v`, in ascending order.
+    ///
+    /// The hot-kernel form of [`CsrGraph::neighbors`]: implementors override
+    /// it with a direct slice loop, which the optimizer compiles to the same
+    /// code as hand-indexed CSR arrays. The opaque iterator type above does
+    /// not reliably get that treatment inside generic kernels (measured ~1.7×
+    /// slower in the Dial relaxation loop), so every per-edge inner loop in
+    /// `SsspWorkspace` goes through this instead.
+    #[inline]
+    fn for_each_neighbor(&self, v: NodeId, f: &mut impl FnMut(NodeId, Weight)) {
+        for (u, w) in self.neighbors(v) {
+            f(u, w);
+        }
+    }
+}
 
 /// Incrementally builds a [`WeightedGraph`].
 ///
@@ -181,35 +222,60 @@ impl GraphBuilder {
         canon.sort_by_key(|e| (e.u, e.v, e.w));
         canon.dedup_by(|next, prev| prev.u == next.u && prev.v == next.v);
 
-        let mut degree = vec![0usize; self.n];
+        let mut offsets = vec![0usize; self.n + 1];
         for e in &canon {
-            degree[e.u] += 1;
-            degree[e.v] += 1;
+            offsets[e.u + 1] += 1;
+            offsets[e.v + 1] += 1;
         }
-        let mut offsets = Vec::with_capacity(self.n + 1);
-        offsets.push(0usize);
-        for d in &degree {
-            offsets.push(offsets.last().unwrap() + d);
+        for i in 1..=self.n {
+            offsets[i] += offsets[i - 1];
         }
-        let total = *offsets.last().unwrap();
+        let total = offsets[self.n];
         let mut targets = vec![0 as NodeId; total];
         let mut weights = vec![0 as Weight; total];
-        let mut cursor = offsets[..self.n].to_vec();
+        // `offsets[v]` doubles as the write cursor of row `v`; the final
+        // shift restores the row starts, so no second cursor array exists.
         for e in &canon {
-            targets[cursor[e.u]] = e.v;
-            weights[cursor[e.u]] = e.w;
-            cursor[e.u] += 1;
-            targets[cursor[e.v]] = e.u;
-            weights[cursor[e.v]] = e.w;
-            cursor[e.v] += 1;
+            targets[offsets[e.u]] = e.v;
+            weights[offsets[e.u]] = e.w;
+            offsets[e.u] += 1;
+            targets[offsets[e.v]] = e.u;
+            weights[offsets[e.v]] = e.w;
+            offsets[e.v] += 1;
         }
-        Ok(WeightedGraph {
-            offsets,
-            targets,
-            weights,
-            edges: canon,
-        })
+        for i in (1..=self.n).rev() {
+            offsets[i] = offsets[i - 1];
+        }
+        offsets[0] = 0;
+        Ok(WeightedGraph::from_owned_csr(offsets, targets, weights))
     }
+}
+
+/// Backing storage of a [`WeightedGraph`]'s CSR arrays.
+///
+/// `Owned` is what [`GraphBuilder`] produces; `Mapped` borrows the arrays
+/// zero-copy out of a memory-mapped [`crate::io`] graph file (cheap to
+/// clone — clones share the mapping through an `Arc`).
+#[derive(Clone)]
+pub(crate) enum GraphStorage {
+    /// Heap-owned CSR arrays.
+    Owned {
+        offsets: Vec<usize>,
+        targets: Vec<NodeId>,
+        weights: Vec<Weight>,
+    },
+    /// CSR arrays borrowed from a shared memory-mapped graph file.
+    Mapped(Arc<MappedCsr>),
+}
+
+/// Which kind of storage backend (`GraphStorage`) backs a graph, for
+/// reporting.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum StorageKind {
+    /// Heap-owned CSR arrays (built in memory).
+    Owned,
+    /// Arrays borrowed zero-copy from a memory-mapped file.
+    Mapped,
 }
 
 /// An undirected graph with positive integer weights, in CSR form.
@@ -229,15 +295,51 @@ impl GraphBuilder {
 /// let d = congest_graph::shortest_path::dijkstra(&g, 0);
 /// assert_eq!(d[3], Dist::from(30u64));
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct WeightedGraph {
-    offsets: Vec<usize>,
-    targets: Vec<NodeId>,
-    weights: Vec<Weight>,
-    edges: Vec<Edge>,
+    storage: GraphStorage,
+    /// Cached `max_e w(e)` so the Dial/heap dispatch is `O(1)` per search.
+    max_weight: Weight,
 }
 
 impl WeightedGraph {
+    /// Wraps already-canonical owned CSR arrays (crate-internal: callers
+    /// guarantee rows are sorted, mirrored, and deduplicated).
+    pub(crate) fn from_owned_csr(
+        offsets: Vec<usize>,
+        targets: Vec<NodeId>,
+        weights: Vec<Weight>,
+    ) -> WeightedGraph {
+        debug_assert_eq!(targets.len(), weights.len());
+        debug_assert_eq!(*offsets.last().expect("offsets non-empty"), targets.len());
+        let max_weight = weights.iter().copied().max().unwrap_or(1);
+        WeightedGraph {
+            storage: GraphStorage::Owned {
+                offsets,
+                targets,
+                weights,
+            },
+            max_weight,
+        }
+    }
+
+    /// Wraps a memory-mapped CSR file (crate-internal; see [`crate::io`]).
+    pub(crate) fn from_mapped(map: Arc<MappedCsr>) -> WeightedGraph {
+        let max_weight = map.header().max_weight.max(1);
+        WeightedGraph {
+            storage: GraphStorage::Mapped(map),
+            max_weight,
+        }
+    }
+
+    /// The mapped backing, if this graph is memory-mapped.
+    pub(crate) fn mapped(&self) -> Option<&MappedCsr> {
+        match &self.storage {
+            GraphStorage::Owned { .. } => None,
+            GraphStorage::Mapped(m) => Some(m),
+        }
+    }
+
     /// Builds a graph directly from an edge list.
     ///
     /// Convenience wrapper over [`GraphBuilder`].
@@ -268,16 +370,52 @@ impl WeightedGraph {
         WeightedGraph::from_edges(n, edges.into_iter().map(|(u, v)| (u, v, 1)))
     }
 
+    /// The CSR row-offset array (`n + 1` entries; row `v` is
+    /// `offsets[v]..offsets[v + 1]`).
+    #[inline]
+    pub fn csr_offsets(&self) -> &[usize] {
+        match &self.storage {
+            GraphStorage::Owned { offsets, .. } => offsets,
+            GraphStorage::Mapped(m) => m.offsets(),
+        }
+    }
+
+    /// The CSR neighbor array (each undirected edge appears twice).
+    #[inline]
+    pub fn csr_targets(&self) -> &[NodeId] {
+        match &self.storage {
+            GraphStorage::Owned { targets, .. } => targets,
+            GraphStorage::Mapped(m) => m.targets(),
+        }
+    }
+
+    /// The CSR weight array, parallel to [`WeightedGraph::csr_targets`].
+    #[inline]
+    pub fn csr_weights(&self) -> &[Weight] {
+        match &self.storage {
+            GraphStorage::Owned { weights, .. } => weights,
+            GraphStorage::Mapped(m) => m.weights(),
+        }
+    }
+
+    /// Whether the CSR arrays are heap-owned or memory-mapped.
+    pub fn storage_kind(&self) -> StorageKind {
+        match &self.storage {
+            GraphStorage::Owned { .. } => StorageKind::Owned,
+            GraphStorage::Mapped(_) => StorageKind::Mapped,
+        }
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn n(&self) -> usize {
-        self.offsets.len() - 1
+        self.csr_offsets().len() - 1
     }
 
     /// Number of (undirected, merged) edges.
     #[inline]
     pub fn m(&self) -> usize {
-        self.edges.len()
+        self.csr_targets().len() / 2
     }
 
     /// Iterator over all nodes `0..n`.
@@ -285,9 +423,16 @@ impl WeightedGraph {
         0..self.n()
     }
 
-    /// The canonical (deduplicated, `u < v`) edge list.
-    pub fn edges(&self) -> &[Edge] {
-        &self.edges
+    /// The canonical edge list: deduplicated, `u < v`, sorted by `(u, v)`.
+    ///
+    /// Streamed straight out of the CSR rows (each edge is kept twice in
+    /// CSR form; this yields the `u < v` copy), so no edge list is stored.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .filter(move |&(v, _)| v > u)
+                .map(move |(v, w)| Edge::new(u, v, w))
+        })
     }
 
     /// Neighbors of `v` with edge weights.
@@ -297,17 +442,19 @@ impl WeightedGraph {
     /// Panics if `v >= n`.
     #[inline]
     pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
-        let range = self.offsets[v]..self.offsets[v + 1];
-        self.targets[range.clone()]
+        let offsets = self.csr_offsets();
+        let range = offsets[v]..offsets[v + 1];
+        self.csr_targets()[range.clone()]
             .iter()
             .copied()
-            .zip(self.weights[range].iter().copied())
+            .zip(self.csr_weights()[range].iter().copied())
     }
 
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.offsets[v + 1] - self.offsets[v]
+        let offsets = self.csr_offsets();
+        offsets[v + 1] - offsets[v]
     }
 
     /// The weight of edge `{u, v}`, or `None` if absent.
@@ -322,39 +469,46 @@ impl WeightedGraph {
 
     /// Maximum edge weight `W = max_e w(e)` (1 for edgeless graphs).
     ///
-    /// The paper's Appendix A assumes every node knows `W`.
+    /// The paper's Appendix A assumes every node knows `W`; it is cached at
+    /// construction so per-search kernel dispatch stays `O(1)`.
+    #[inline]
     pub fn max_weight(&self) -> Weight {
-        self.edges.iter().map(|e| e.w).max().unwrap_or(1)
+        self.max_weight
     }
 
     /// The same topology with all weights replaced by 1 (`w*` in the paper).
     pub fn unweighted_view(&self) -> WeightedGraph {
-        let mut g = self.clone();
-        for w in &mut g.weights {
-            *w = 1;
-        }
-        for e in &mut g.edges {
-            e.w = 1;
-        }
-        g
+        WeightedGraph::from_owned_csr(
+            self.csr_offsets().to_vec(),
+            self.csr_targets().to_vec(),
+            vec![1; self.csr_targets().len()],
+        )
     }
 
     /// Applies `f` to every edge weight, producing a new graph with the same
     /// topology. Used for the paper's weight rounding `w_i` (Lemma 3.2).
     ///
+    /// `f` is applied to both stored directions of each undirected edge, so
+    /// it must be a pure function of the weight.
+    ///
     /// # Panics
     ///
     /// Panics if `f` produces a zero weight.
     pub fn map_weights(&self, mut f: impl FnMut(Weight) -> Weight) -> WeightedGraph {
-        let mut g = self.clone();
-        for w in &mut g.weights {
-            *w = f(*w);
-            assert!(*w > 0, "map_weights produced a zero weight");
-        }
-        for e in &mut g.edges {
-            e.w = f(e.w);
-        }
-        g
+        let weights: Vec<Weight> = self
+            .csr_weights()
+            .iter()
+            .map(|&w| {
+                let w = f(w);
+                assert!(w > 0, "map_weights produced a zero weight");
+                w
+            })
+            .collect();
+        WeightedGraph::from_owned_csr(
+            self.csr_offsets().to_vec(),
+            self.csr_targets().to_vec(),
+            weights,
+        )
     }
 
     /// `true` if the graph is connected (or has at most one node).
@@ -381,7 +535,7 @@ impl WeightedGraph {
 
     /// Sum of all edge weights.
     pub fn total_weight(&self) -> u64 {
-        self.edges.iter().map(|e| e.w).sum()
+        self.edges().map(|e| e.w).sum()
     }
 
     /// The subgraph induced by `keep` (same node ids; nodes outside `keep`
@@ -394,13 +548,87 @@ impl WeightedGraph {
     pub fn induced_subgraph(&self, keep: &[bool]) -> WeightedGraph {
         assert_eq!(keep.len(), self.n(), "keep mask must cover every node");
         let edges = self
-            .edges
-            .iter()
+            .edges()
             .filter(|e| keep[e.u] && keep[e.v])
             .map(|e| (e.u, e.v, e.w));
         WeightedGraph::from_edges(self.n(), edges).expect("induced subgraph is valid")
     }
 }
+
+impl CsrGraph for WeightedGraph {
+    #[inline]
+    fn n(&self) -> usize {
+        WeightedGraph::n(self)
+    }
+
+    #[inline]
+    fn degree(&self, v: NodeId) -> usize {
+        WeightedGraph::degree(self, v)
+    }
+
+    #[inline]
+    fn max_weight(&self) -> Weight {
+        WeightedGraph::max_weight(self)
+    }
+
+    #[inline]
+    fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
+        WeightedGraph::neighbors(self, v)
+    }
+
+    #[inline]
+    fn for_each_neighbor(&self, v: NodeId, f: &mut impl FnMut(NodeId, Weight)) {
+        let offsets = self.csr_offsets();
+        let (lo, hi) = (offsets[v], offsets[v + 1]);
+        let targets = &self.csr_targets()[lo..hi];
+        let weights = &self.csr_weights()[lo..hi];
+        for i in 0..targets.len() {
+            f(targets[i], weights[i]);
+        }
+    }
+}
+
+impl PartialEq for WeightedGraph {
+    /// Content equality: same CSR arrays, regardless of storage backing
+    /// (an owned build compares equal to its memory-mapped round-trip).
+    fn eq(&self, other: &WeightedGraph) -> bool {
+        self.csr_offsets() == other.csr_offsets()
+            && self.csr_targets() == other.csr_targets()
+            && self.csr_weights() == other.csr_weights()
+    }
+}
+
+impl Eq for WeightedGraph {}
+
+impl fmt::Debug for WeightedGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WeightedGraph")
+            .field("n", &self.n())
+            .field("m", &self.m())
+            .field("storage", &self.storage_kind())
+            .field("edges", &self.edges().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Serialize for WeightedGraph {
+    /// Serializes as `{"n": .., "edges": [[u, v, w], ..]}` — the canonical
+    /// edge list, independent of storage backing.
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("{\"n\":");
+        out.push_str(&self.n().to_string());
+        out.push_str(",\"edges\":[");
+        for (i, e) in self.edges().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            (e.u, e.v, e.w).serialize_json(out);
+        }
+        out.push_str("]}");
+    }
+}
+
+impl<'de> Deserialize<'de> for WeightedGraph {}
 
 impl fmt::Display for WeightedGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -430,6 +658,7 @@ mod tests {
         assert_eq!(g.edge_weight(0, 2), None);
         assert!(g.has_edge(0, 3));
         assert_eq!(g.max_weight(), 10);
+        assert_eq!(g.storage_kind(), StorageKind::Owned);
     }
 
     #[test]
@@ -461,12 +690,21 @@ mod tests {
     }
 
     #[test]
+    fn edges_iterates_canonical_sorted_triples() {
+        let g = WeightedGraph::from_edges(4, [(3, 2, 4), (1, 0, 2), (2, 1, 3)]).unwrap();
+        let edges: Vec<(NodeId, NodeId, Weight)> = g.edges().map(|e| (e.u, e.v, e.w)).collect();
+        assert_eq!(edges, vec![(0, 1, 2), (1, 2, 3), (2, 3, 4)]);
+        assert_eq!(g.edges().count(), g.m());
+    }
+
+    #[test]
     fn unweighted_view_resets_weights() {
         let g = WeightedGraph::from_edges(3, [(0, 1, 5), (1, 2, 9)]).unwrap();
         let u = g.unweighted_view();
         assert_eq!(u.edge_weight(0, 1), Some(1));
         assert_eq!(u.edge_weight(1, 2), Some(1));
         assert_eq!(u.n(), 3);
+        assert_eq!(u.max_weight(), 1);
     }
 
     #[test]
@@ -475,6 +713,7 @@ mod tests {
         let h = g.map_weights(|w| w / 2 + 1);
         assert_eq!(h.edge_weight(0, 1), Some(3));
         assert_eq!(h.edge_weight(1, 2), Some(4));
+        assert_eq!(h.max_weight(), 4);
     }
 
     #[test]
@@ -498,6 +737,12 @@ mod tests {
     fn display_is_nonempty() {
         let g = WeightedGraph::from_edges(2, [(0, 1, 1)]).unwrap();
         assert!(!g.to_string().is_empty());
+    }
+
+    #[test]
+    fn serialize_json_uses_canonical_edge_list() {
+        let g = WeightedGraph::from_edges(3, [(2, 1, 3), (1, 0, 2)]).unwrap();
+        assert_eq!(g.to_json(), r#"{"n":3,"edges":[[0,1,2],[1,2,3]]}"#);
     }
 
     #[test]

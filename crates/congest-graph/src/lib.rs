@@ -27,7 +27,13 @@
 //!   `(G''_S, w''_S)`, and the approximate distance `d̃_{G,w,S}`
 //!   (Lemma 3.3);
 //! * [`contract`] — contraction of weight-1 edges (Lemma 4.3);
-//! * [`generators`] — deterministic and seeded-random workloads;
+//! * [`generators`] — deterministic and seeded-random workloads, including
+//!   the streaming million-node families of [`generators::stream`];
+//! * [`io`] — the versioned binary on-disk graph format with zero-copy
+//!   mmap loading ([`WeightedGraph::open_mmap`]) and the streaming
+//!   [`GraphWriter`];
+//! * [`compact`] — [`CompactGraph`], the `u32`-index CSR variant that keeps
+//!   10⁷-edge working sets cache- and RAM-friendly;
 //! * [`dot`] — Graphviz emission for the figure-regeneration harness.
 //!
 //! # Examples
@@ -54,15 +60,20 @@
 //! assert!(approx <= 1.6 * exact); // (1+ε)² with ε = 0.25
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the whole crate is safe code except the
+// explicitly-allowed mmap shim in `io::sys` and the slice reinterpretation
+// in `io::MappedCsr`, which document their invariants inline.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compact;
 pub mod contract;
 mod digest;
 mod dist;
 pub mod dot;
 pub mod generators;
 mod graph;
+pub mod io;
 mod matrix;
 pub mod metrics;
 pub mod overlay;
@@ -71,9 +82,13 @@ pub mod shortest_path;
 pub mod sweep;
 mod workspace;
 
+pub use compact::CompactGraph;
 pub use digest::GraphDigest;
 pub use dist::Dist;
-pub use graph::{BuildGraphError, Edge, GraphBuilder, NodeId, Weight, WeightedGraph};
+pub use graph::{
+    BuildGraphError, CsrGraph, Edge, GraphBuilder, NodeId, StorageKind, Weight, WeightedGraph,
+};
+pub use io::{GraphIoError, GraphWriter};
 pub use matrix::DistMatrix;
 pub use sweep::{EdgeMetric, SweepResult, SweepWorkspace};
 pub use workspace::{KernelCounters, SsspWorkspace, DIAL_MAX_WEIGHT};

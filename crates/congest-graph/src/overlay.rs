@@ -182,79 +182,133 @@ impl Overlay {
     ///
     /// Panics if `v >= self.len()`.
     pub fn k_shortest_edges(&self, v: usize, k: usize) -> Vec<(usize, ApproxDist)> {
-        let mut edges: Vec<(usize, ApproxDist)> = (0..self.len())
-            .filter(|&u| u != v)
-            .map(|u| (u, self.weight(v, u)))
-            .filter(|&(_, w)| w.is_finite())
-            .collect();
-        edges.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
-        edges.truncate(k);
+        let mut edges = Vec::new();
+        self.k_shortest_into(v, k, &mut edges);
         edges
     }
 
-    /// The *broadcast subgraph* `H`: the union over all skeleton nodes of
-    /// their `k` shortest incident edges (what is globally known after the
-    /// Algorithm 4 broadcast; Nanongkai's Observation 3.12). Returned as an
-    /// adjacency list over skeleton indices.
-    pub fn broadcast_subgraph(&self, k: usize) -> Vec<Vec<(usize, ApproxDist)>> {
-        let s = self.len();
-        let mut adj: Vec<Vec<(usize, ApproxDist)>> = vec![Vec::new(); s];
-        let mut seen = std::collections::HashSet::new();
-        for v in 0..s {
-            for (u, w) in self.k_shortest_edges(v, k) {
-                let key = (v.min(u), v.max(u));
-                if seen.insert(key) {
-                    adj[v].push((u, w));
-                    adj[u].push((v, w));
-                }
-            }
-        }
-        adj
+    /// [`k_shortest_edges`](Overlay::k_shortest_edges) into a reusable
+    /// buffer (cleared first); no allocation once `row` has grown.
+    fn k_shortest_into(&self, v: usize, k: usize, row: &mut Vec<(usize, ApproxDist)>) {
+        row.clear();
+        row.extend(
+            (0..self.len())
+                .filter(|&u| u != v)
+                .map(|u| (u, self.weight(v, u)))
+                .filter(|&(_, w)| w.is_finite()),
+        );
+        row.sort_unstable_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        row.truncate(k);
     }
 
-    /// Dijkstra on the broadcast subgraph `H` from skeleton index `src`.
-    fn dijkstra_on(adj: &[Vec<(usize, ApproxDist)>], src: usize) -> Vec<ApproxDist> {
-        let s = adj.len();
-        let mut dist = vec![f64::INFINITY; s];
-        let mut done = vec![false; s];
-        dist[src] = 0.0;
-        for _ in 0..s {
-            let mut best = None;
-            for i in 0..s {
-                if !done[i] && dist[i].is_finite() {
-                    match best {
-                        None => best = Some(i),
-                        Some(b) if dist[i] < dist[b] => best = Some(i),
-                        _ => {}
-                    }
-                }
-            }
-            let Some(v) = best else { break };
-            done[v] = true;
-            for &(u, w) in &adj[v] {
-                let nd = dist[v] + w;
-                if nd < dist[u] {
-                    dist[u] = nd;
-                }
+    /// Builds the *broadcast subgraph* `H` — the union over all skeleton
+    /// nodes of their `k` shortest incident edges (what is globally known
+    /// after the Algorithm 4 broadcast; Nanongkai's Observation 3.12) —
+    /// into `scratch`'s flat CSR arrays.
+    ///
+    /// Repeated queries against one long-lived [`OverlayScratch`] are
+    /// allocation-free once its buffers are warm (pinned by
+    /// `tests/overlay_alloc.rs`); the nested-`Vec` convenience wrapper
+    /// [`broadcast_subgraph`](Overlay::broadcast_subgraph) costs `s + 1`
+    /// fresh vectors per call.
+    pub fn broadcast_subgraph_into(&self, k: usize, scratch: &mut OverlayScratch) {
+        let s = self.len();
+        // Select every node's k shortest edges, normalized to (lo, hi, w);
+        // sorting + dedup replaces the HashSet the seed version hashed every
+        // candidate pair through.
+        scratch.picked.clear();
+        for v in 0..s {
+            self.k_shortest_into(v, k, &mut scratch.row);
+            for &(u, w) in &scratch.row {
+                scratch.picked.push((v.min(u), v.max(u), w));
             }
         }
-        dist
+        scratch.picked.sort_unstable_by_key(|a| (a.0, a.1));
+        scratch
+            .picked
+            .dedup_by(|next, prev| (prev.0, prev.1) == (next.0, next.1));
+
+        // Two-pass CSR fill, offsets doubling as write cursors (same scheme
+        // as GraphBuilder::build).
+        scratch.offsets.clear();
+        scratch.offsets.resize(s + 1, 0);
+        for &(a, b, _) in &scratch.picked {
+            scratch.offsets[a + 1] += 1;
+            scratch.offsets[b + 1] += 1;
+        }
+        for i in 1..=s {
+            scratch.offsets[i] += scratch.offsets[i - 1];
+        }
+        let total = scratch.offsets[s];
+        scratch.to.clear();
+        scratch.to.resize(total, 0);
+        scratch.wt.clear();
+        scratch.wt.resize(total, 0.0);
+        for &(a, b, w) in &scratch.picked {
+            let ca = scratch.offsets[a];
+            scratch.to[ca] = b;
+            scratch.wt[ca] = w;
+            scratch.offsets[a] += 1;
+            let cb = scratch.offsets[b];
+            scratch.to[cb] = a;
+            scratch.wt[cb] = w;
+            scratch.offsets[b] += 1;
+        }
+        for i in (1..=s).rev() {
+            scratch.offsets[i] = scratch.offsets[i - 1];
+        }
+        scratch.offsets[0] = 0;
+    }
+
+    /// The broadcast subgraph as a nested adjacency list over skeleton
+    /// indices — a convenience wrapper over
+    /// [`broadcast_subgraph_into`](Overlay::broadcast_subgraph_into) for
+    /// callers that want an owned structure. Rows list lower-indexed
+    /// neighbors first, each side ascending.
+    pub fn broadcast_subgraph(&self, k: usize) -> Vec<Vec<(usize, ApproxDist)>> {
+        let mut scratch = OverlayScratch::new();
+        self.broadcast_subgraph_into(k, &mut scratch);
+        (0..self.len())
+            .map(|v| scratch.neighbors(v).collect())
+            .collect()
     }
 
     /// `N^k_S(v)`: the `k` skeleton indices (excluding `v` itself) with least
     /// shortest-path distance from `v` **on the broadcast subgraph** (ties
-    /// broken by index).
+    /// broken by index), written into `out`.
+    ///
+    /// Allocation-free once `scratch` and `out` are warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= self.len()`.
+    pub fn k_nearest_into(
+        &self,
+        v: usize,
+        k: usize,
+        scratch: &mut OverlayScratch,
+        out: &mut Vec<usize>,
+    ) {
+        assert!(v < self.len());
+        self.broadcast_subgraph_into(k, scratch);
+        scratch.dijkstra_from(v);
+        out.clear();
+        out.extend((0..self.len()).filter(|&i| i != v));
+        let d = &scratch.dist;
+        out.sort_unstable_by(|&a, &b| d[a].partial_cmp(&d[b]).unwrap().then(a.cmp(&b)));
+        out.truncate(k);
+    }
+
+    /// Owning wrapper over [`k_nearest_into`](Overlay::k_nearest_into).
     ///
     /// # Panics
     ///
     /// Panics if `v >= self.len()`.
     pub fn k_nearest(&self, v: usize, k: usize) -> Vec<usize> {
-        let adj = self.broadcast_subgraph(k);
-        let d = Overlay::dijkstra_on(&adj, v);
-        let mut order: Vec<usize> = (0..self.len()).filter(|&i| i != v).collect();
-        order.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).unwrap().then(a.cmp(&b)));
-        order.truncate(k);
-        order
+        let mut scratch = OverlayScratch::new();
+        let mut out = Vec::new();
+        self.k_nearest_into(v, k, &mut scratch, &mut out);
+        out
     }
 
     /// Builds the k-shortcut graph `(G''_S, w''_S)`: for pairs `{u,v}` with
@@ -269,20 +323,22 @@ impl Overlay {
     pub fn shortcut(&self, k: usize) -> Overlay {
         let s = self.len();
         let mut w = self.w.clone();
-        let adj = self.broadcast_subgraph(k);
-        let h_dist: Vec<Vec<ApproxDist>> = (0..s).map(|v| Overlay::dijkstra_on(&adj, v)).collect();
-        let neighborhoods: Vec<Vec<usize>> = (0..s)
-            .map(|v| {
-                let d = &h_dist[v];
-                let mut order: Vec<usize> = (0..s).filter(|&i| i != v).collect();
-                order.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).unwrap().then(a.cmp(&b)));
-                order.truncate(k);
-                order
-            })
-            .collect();
+        let mut scratch = OverlayScratch::new();
+        self.broadcast_subgraph_into(k, &mut scratch);
+        // Per source: H-distances, then its k-neighborhood under them. The
+        // weight updates only read `self` and H, so applying them per source
+        // (instead of materializing an s × s distance matrix first) changes
+        // nothing about the result.
+        let mut order: Vec<usize> = Vec::with_capacity(s.saturating_sub(1));
         for v in 0..s {
-            for &u in &neighborhoods[v] {
-                let d = h_dist[v][u].min(self.weight(v, u));
+            scratch.dijkstra_from(v);
+            order.clear();
+            order.extend((0..s).filter(|&i| i != v));
+            let d = &scratch.dist;
+            order.sort_unstable_by(|&a, &b| d[a].partial_cmp(&d[b]).unwrap().then(a.cmp(&b)));
+            order.truncate(k);
+            for &u in &order {
+                let d = scratch.dist[u].min(self.weight(v, u));
                 if d < w[v * s + u] {
                     w[v * s + u] = d;
                     w[u * s + v] = d;
@@ -407,6 +463,107 @@ impl Overlay {
             }
         }
         best
+    }
+}
+
+/// Reusable flat scratch for broadcast-subgraph queries.
+///
+/// The seed implementation of [`Overlay::broadcast_subgraph`] allocated a
+/// fresh `Vec<Vec<(usize, ApproxDist)>>` (one inner vector per skeleton
+/// node) plus a `HashSet` of seen pairs on every call — per-query garbage
+/// that dominated repeated skeleton queries. This scratch holds the
+/// subgraph as three flat CSR arrays plus the selection and Dijkstra
+/// buffers, so a warm holder runs
+/// [`broadcast_subgraph_into`](Overlay::broadcast_subgraph_into) /
+/// [`k_nearest_into`](Overlay::k_nearest_into) with **zero heap
+/// operations** (pinned by `tests/overlay_alloc.rs`).
+#[derive(Clone, Debug, Default)]
+pub struct OverlayScratch {
+    /// One node's k-shortest-edge selection row.
+    row: Vec<(usize, ApproxDist)>,
+    /// Selected edges as `(lo, hi, w)`, sorted and deduplicated.
+    picked: Vec<(usize, usize, ApproxDist)>,
+    /// CSR row starts over skeleton indices (`len s + 1`).
+    offsets: Vec<usize>,
+    /// Flat CSR neighbor indices.
+    to: Vec<usize>,
+    /// Flat CSR edge weights, parallel to `to`.
+    wt: Vec<ApproxDist>,
+    /// Dijkstra distance labels of the latest
+    /// [`dijkstra_from`](OverlayScratch::dijkstra_from) run.
+    dist: Vec<ApproxDist>,
+    /// Dijkstra settled flags.
+    done: Vec<bool>,
+}
+
+impl OverlayScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> OverlayScratch {
+        OverlayScratch::default()
+    }
+
+    /// Number of skeleton nodes in the currently built subgraph.
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// `true` until a subgraph has been built into this scratch.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Undirected edge count of the currently built subgraph.
+    pub fn edge_count(&self) -> usize {
+        self.to.len() / 2
+    }
+
+    /// `(neighbor, weight)` pairs of skeleton index `v` in the built
+    /// subgraph: lower-indexed neighbors first, each side ascending.
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = (usize, ApproxDist)> + '_ {
+        let range = self.offsets[v]..self.offsets[v + 1];
+        self.to[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.wt[range].iter().copied())
+    }
+
+    /// Shortest-path distances on the built subgraph from `src`, into the
+    /// reusable label buffers; read them back via
+    /// [`distances`](OverlayScratch::distances).
+    fn dijkstra_from(&mut self, src: usize) {
+        let s = self.len();
+        self.dist.clear();
+        self.dist.resize(s, f64::INFINITY);
+        self.done.clear();
+        self.done.resize(s, false);
+        self.dist[src] = 0.0;
+        for _ in 0..s {
+            let mut best = None;
+            for i in 0..s {
+                if !self.done[i] && self.dist[i].is_finite() {
+                    match best {
+                        None => best = Some(i),
+                        Some(b) if self.dist[i] < self.dist[b] => best = Some(i),
+                        _ => {}
+                    }
+                }
+            }
+            let Some(v) = best else { break };
+            self.done[v] = true;
+            for e in self.offsets[v]..self.offsets[v + 1] {
+                let u = self.to[e];
+                let nd = self.dist[v] + self.wt[e];
+                if nd < self.dist[u] {
+                    self.dist[u] = nd;
+                }
+            }
+        }
+    }
+
+    /// Distance labels of the latest Dijkstra run, indexed by skeleton
+    /// index.
+    pub fn distances(&self) -> &[ApproxDist] {
+        &self.dist
     }
 }
 

@@ -17,7 +17,7 @@
 //! tests here pin.
 
 use crate::dist::Dist;
-use crate::graph::{NodeId, Weight, WeightedGraph};
+use crate::graph::{CsrGraph, NodeId, Weight};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -114,10 +114,21 @@ pub struct SsspWorkspace {
     prev: Vec<Dist>,
     heap: BinaryHeap<Reverse<(Dist, NodeId)>>,
     hop_heap: BinaryHeap<Reverse<(Dist, usize, NodeId)>>,
-    frontier: Vec<NodeId>,
-    next: Vec<NodeId>,
+    /// u64-word bitset BFS frontiers (current level / next level). A dense
+    /// level touches one bit per node instead of a `Vec<NodeId>` push, and
+    /// swapping levels is a pointer swap + word fill.
+    cur_bits: Vec<u64>,
+    next_bits: Vec<u64>,
     buckets: Vec<Vec<NodeId>>,
     counters: KernelCounters,
+}
+
+/// Grows `bits` to at least `words` u64 words and zeroes the live prefix.
+fn reset_bits(bits: &mut Vec<u64>, words: usize) {
+    if bits.len() < words {
+        bits.resize(words, 0);
+    }
+    bits[..words].fill(0);
 }
 
 impl SsspWorkspace {
@@ -149,10 +160,13 @@ impl SsspWorkspace {
     /// Picks the Dial bucket queue when `g.max_weight() <= DIAL_MAX_WEIGHT`,
     /// the binary heap otherwise; the produced distances are identical.
     ///
+    /// Generic over [`CsrGraph`], so it runs on [`crate::WeightedGraph`]
+    /// (owned or memory-mapped) and [`crate::CompactGraph`] alike.
+    ///
     /// # Panics
     ///
     /// Panics if `s >= g.n()`.
-    pub fn dijkstra_into(&mut self, g: &WeightedGraph, s: NodeId) -> &[Dist] {
+    pub fn dijkstra_into<G: CsrGraph>(&mut self, g: &G, s: NodeId) -> &[Dist] {
         if g.max_weight() <= DIAL_MAX_WEIGHT {
             self.dial_into(g, s)
         } else {
@@ -166,7 +180,7 @@ impl SsspWorkspace {
     /// # Panics
     ///
     /// Panics if `s >= g.n()`.
-    pub fn dijkstra_heap_into(&mut self, g: &WeightedGraph, s: NodeId) -> &[Dist] {
+    pub fn dijkstra_heap_into<G: CsrGraph>(&mut self, g: &G, s: NodeId) -> &[Dist] {
         self.dijkstra_mapped_into(g, s, |w| w)
     }
 
@@ -178,9 +192,9 @@ impl SsspWorkspace {
     /// # Panics
     ///
     /// Panics if `s >= g.n()` or `f` produces a zero weight.
-    pub fn dijkstra_mapped_into(
+    pub fn dijkstra_mapped_into<G: CsrGraph>(
         &mut self,
-        g: &WeightedGraph,
+        g: &G,
         s: NodeId,
         mut f: impl FnMut(Weight) -> Weight,
     ) -> &[Dist] {
@@ -189,23 +203,28 @@ impl SsspWorkspace {
         self.counters.heap_runs += 1;
         self.reset_dist(n);
         self.heap.clear();
-        self.dist[s] = Dist::ZERO;
-        self.heap.push(Reverse((Dist::ZERO, s)));
-        while let Some(Reverse((d, v))) = self.heap.pop() {
-            self.counters.heap_pops += 1;
-            if d > self.dist[v] {
+        // Split borrows so the relaxation closure can write dist/heap while
+        // `g` is borrowed by `for_each_neighbor`.
+        let dist = &mut self.dist;
+        let heap = &mut self.heap;
+        let counters = &mut self.counters;
+        dist[s] = Dist::ZERO;
+        heap.push(Reverse((Dist::ZERO, s)));
+        while let Some(Reverse((d, v))) = heap.pop() {
+            counters.heap_pops += 1;
+            if d > dist[v] {
                 continue;
             }
-            for (u, w) in g.neighbors(v) {
+            g.for_each_neighbor(v, &mut |u, w| {
                 let w = f(w);
                 debug_assert!(w > 0, "mapped weight must stay positive");
                 let nd = d + Dist::from(w);
-                if nd < self.dist[u] {
-                    self.dist[u] = nd;
-                    self.counters.relaxations += 1;
-                    self.heap.push(Reverse((nd, u)));
+                if nd < dist[u] {
+                    dist[u] = nd;
+                    counters.relaxations += 1;
+                    heap.push(Reverse((nd, u)));
                 }
-            }
+            });
         }
         &self.dist[..n]
     }
@@ -217,7 +236,7 @@ impl SsspWorkspace {
     /// # Panics
     ///
     /// Panics if `s >= g.n()`.
-    pub fn dial_into(&mut self, g: &WeightedGraph, s: NodeId) -> &[Dist] {
+    pub fn dial_into<G: CsrGraph>(&mut self, g: &G, s: NodeId) -> &[Dist] {
         let n = g.n();
         assert!(s < n, "source {s} out of range");
         self.counters.dial_runs += 1;
@@ -229,32 +248,37 @@ impl SsspWorkspace {
         for b in &mut self.buckets {
             b.clear();
         }
-        self.dist[s] = Dist::ZERO;
-        self.buckets[0].push(s);
+        // Split borrows so the relaxation closure can write dist/buckets
+        // while `g` is borrowed by `for_each_neighbor`.
+        let dist = &mut self.dist;
+        let buckets = &mut self.buckets;
+        let counters = &mut self.counters;
+        dist[s] = Dist::ZERO;
+        buckets[0].push(s);
         let mut pending = 1usize;
         let mut d = 0u64; // distance represented by bucket `d % nb`
         while pending > 0 {
-            while self.buckets[(d as usize) % nb].is_empty() {
+            while buckets[(d as usize) % nb].is_empty() {
                 d += 1;
             }
             // Drain one node; stale entries (lazy deletion) are skipped.
-            let v = self.buckets[(d as usize) % nb].pop().expect("non-empty");
-            self.counters.bucket_pops += 1;
+            let v = buckets[(d as usize) % nb].pop().expect("non-empty");
+            counters.bucket_pops += 1;
             pending -= 1;
-            if self.dist[v] != Dist::from(d) {
+            if dist[v] != Dist::from(d) {
                 continue;
             }
-            for (u, w) in g.neighbors(v) {
+            g.for_each_neighbor(v, &mut |u, w| {
                 let nd = Dist::from(d + w);
-                if nd < self.dist[u] {
-                    self.dist[u] = nd;
-                    self.counters.relaxations += 1;
+                if nd < dist[u] {
+                    dist[u] = nd;
+                    counters.relaxations += 1;
                     // All pending labels lie in [d, d + C], so the circular
                     // index is unambiguous.
-                    self.buckets[((d + w) as usize) % nb].push(u);
+                    buckets[((d + w) as usize) % nb].push(u);
                     pending += 1;
                 }
-            }
+            });
         }
         &self.dist[..n]
     }
@@ -262,33 +286,53 @@ impl SsspWorkspace {
     /// BFS distances on the *topology* of `g` (every edge counts 1), without
     /// materializing an unweighted view.
     ///
+    /// Levels are u64-word bitsets: visiting a dense frontier walks set bits
+    /// (one word per 64 nodes) instead of pushing every node into a
+    /// `Vec<NodeId>`, and advancing a level is a buffer swap plus a word
+    /// fill. Distances are identical to the queue-based formulation — BFS
+    /// levels do not depend on intra-level visit order.
+    ///
     /// # Panics
     ///
     /// Panics if `s >= g.n()`.
-    pub fn bfs_into(&mut self, g: &WeightedGraph, s: NodeId) -> &[Dist] {
+    pub fn bfs_into<G: CsrGraph>(&mut self, g: &G, s: NodeId) -> &[Dist] {
         let n = g.n();
         assert!(s < n, "source {s} out of range");
         self.counters.bfs_runs += 1;
         self.reset_dist(n);
-        self.frontier.clear();
-        self.next.clear();
-        self.dist[s] = Dist::ZERO;
-        self.frontier.push(s);
+        let words = n.div_ceil(64);
+        reset_bits(&mut self.cur_bits, words);
+        reset_bits(&mut self.next_bits, words);
+        // Split borrows so the visit closure can write dist/next_bits while
+        // `g` is borrowed by `for_each_neighbor`.
+        let dist = &mut self.dist;
+        let cur_bits = &mut self.cur_bits;
+        let next_bits = &mut self.next_bits;
+        let counters = &mut self.counters;
+        dist[s] = Dist::ZERO;
+        cur_bits[s / 64] |= 1 << (s % 64);
         let mut level = 0u64;
-        while !self.frontier.is_empty() {
+        let mut live = true;
+        while live {
             level += 1;
-            for i in 0..self.frontier.len() {
-                let v = self.frontier[i];
-                for (u, _) in g.neighbors(v) {
-                    if self.dist[u] == Dist::INFINITY {
-                        self.dist[u] = Dist::from(level);
-                        self.counters.relaxations += 1;
-                        self.next.push(u);
-                    }
+            live = false;
+            for (wi, &word) in cur_bits[..words].iter().enumerate() {
+                let mut wbits = word;
+                while wbits != 0 {
+                    let v = wi * 64 + wbits.trailing_zeros() as usize;
+                    wbits &= wbits - 1;
+                    g.for_each_neighbor(v, &mut |u, _| {
+                        if dist[u] == Dist::INFINITY {
+                            dist[u] = Dist::from(level);
+                            counters.relaxations += 1;
+                            next_bits[u / 64] |= 1 << (u % 64);
+                            live = true;
+                        }
+                    });
                 }
             }
-            std::mem::swap(&mut self.frontier, &mut self.next);
-            self.next.clear();
+            std::mem::swap(cur_bits, next_bits);
+            next_bits[..words].fill(0);
         }
         &self.dist[..n]
     }
@@ -300,7 +344,11 @@ impl SsspWorkspace {
     /// # Panics
     ///
     /// Panics if `s >= g.n()`.
-    pub fn dijkstra_with_hops_into(&mut self, g: &WeightedGraph, s: NodeId) -> (&[Dist], &[usize]) {
+    pub fn dijkstra_with_hops_into<G: CsrGraph>(
+        &mut self,
+        g: &G,
+        s: NodeId,
+    ) -> (&[Dist], &[usize]) {
         let n = g.n();
         assert!(s < n, "source {s} out of range");
         self.counters.hop_dijkstra_runs += 1;
@@ -310,24 +358,30 @@ impl SsspWorkspace {
         }
         self.hops[..n].fill(usize::MAX);
         self.hop_heap.clear();
-        self.dist[s] = Dist::ZERO;
-        self.hops[s] = 0;
-        self.hop_heap.push(Reverse((Dist::ZERO, 0usize, s)));
-        while let Some(Reverse((d, h, v))) = self.hop_heap.pop() {
-            self.counters.heap_pops += 1;
-            if (d, h) > (self.dist[v], self.hops[v]) {
+        // Split borrows so the relaxation closure can write dist/hops/heap
+        // while `g` is borrowed by `for_each_neighbor`.
+        let dist = &mut self.dist;
+        let hops = &mut self.hops;
+        let hop_heap = &mut self.hop_heap;
+        let counters = &mut self.counters;
+        dist[s] = Dist::ZERO;
+        hops[s] = 0;
+        hop_heap.push(Reverse((Dist::ZERO, 0usize, s)));
+        while let Some(Reverse((d, h, v))) = hop_heap.pop() {
+            counters.heap_pops += 1;
+            if (d, h) > (dist[v], hops[v]) {
                 continue;
             }
-            for (u, w) in g.neighbors(v) {
+            g.for_each_neighbor(v, &mut |u, w| {
                 let nd = d + Dist::from(w);
                 let nh = h + 1;
-                if (nd, nh) < (self.dist[u], self.hops[u]) {
-                    self.dist[u] = nd;
-                    self.hops[u] = nh;
-                    self.counters.relaxations += 1;
-                    self.hop_heap.push(Reverse((nd, nh, u)));
+                if (nd, nh) < (dist[u], hops[u]) {
+                    dist[u] = nd;
+                    hops[u] = nh;
+                    counters.relaxations += 1;
+                    hop_heap.push(Reverse((nd, nh, u)));
                 }
-            }
+            });
         }
         (&self.dist[..n], &self.hops[..n])
     }
@@ -338,7 +392,7 @@ impl SsspWorkspace {
     /// # Panics
     ///
     /// Panics if `s >= g.n()`.
-    pub fn hop_bounded_into(&mut self, g: &WeightedGraph, s: NodeId, ell: usize) -> &[Dist] {
+    pub fn hop_bounded_into<G: CsrGraph>(&mut self, g: &G, s: NodeId, ell: usize) -> &[Dist] {
         let n = g.n();
         assert!(s < n, "source {s} out of range");
         self.counters.bellman_runs += 1;
@@ -346,22 +400,27 @@ impl SsspWorkspace {
         if self.prev.len() < n {
             self.prev.resize(n, Dist::INFINITY);
         }
-        self.dist[s] = Dist::ZERO;
+        // Split borrows so the relaxation closure can write dist while `g`
+        // is borrowed by `for_each_neighbor`.
+        let dist = &mut self.dist;
+        let prev = &mut self.prev;
+        let counters = &mut self.counters;
+        dist[s] = Dist::ZERO;
         for _ in 0..ell {
-            self.prev[..n].copy_from_slice(&self.dist[..n]);
+            prev[..n].copy_from_slice(&dist[..n]);
             let mut changed = false;
-            for v in g.nodes() {
-                if self.prev[v] == Dist::INFINITY {
+            for (v, &dv) in prev[..n].iter().enumerate() {
+                if dv == Dist::INFINITY {
                     continue;
                 }
-                for (u, w) in g.neighbors(v) {
-                    let nd = self.prev[v] + Dist::from(w);
-                    if nd < self.dist[u] {
-                        self.dist[u] = nd;
-                        self.counters.relaxations += 1;
+                g.for_each_neighbor(v, &mut |u, w| {
+                    let nd = dv + Dist::from(w);
+                    if nd < dist[u] {
+                        dist[u] = nd;
+                        counters.relaxations += 1;
                         changed = true;
                     }
-                }
+                });
             }
             if !changed {
                 break;
@@ -376,7 +435,7 @@ impl SsspWorkspace {
     /// # Panics
     ///
     /// Panics if `s >= g.n()`.
-    pub fn bounded_distance_into(&mut self, g: &WeightedGraph, s: NodeId, limit: Dist) -> &[Dist] {
+    pub fn bounded_distance_into<G: CsrGraph>(&mut self, g: &G, s: NodeId, limit: Dist) -> &[Dist] {
         let n = g.n();
         self.dijkstra_into(g, s);
         for d in &mut self.dist[..n] {
@@ -392,7 +451,7 @@ impl SsspWorkspace {
     /// # Panics
     ///
     /// Panics if `s >= g.n()`.
-    pub fn eccentricity(&mut self, g: &WeightedGraph, s: NodeId) -> Dist {
+    pub fn eccentricity<G: CsrGraph>(&mut self, g: &G, s: NodeId) -> Dist {
         self.dijkstra_into(g, s)
             .iter()
             .copied()
@@ -405,7 +464,7 @@ impl SsspWorkspace {
     /// # Panics
     ///
     /// Panics if `s >= g.n()`.
-    pub fn unweighted_eccentricity(&mut self, g: &WeightedGraph, s: NodeId) -> Dist {
+    pub fn unweighted_eccentricity<G: CsrGraph>(&mut self, g: &G, s: NodeId) -> Dist {
         self.bfs_into(g, s)
             .iter()
             .copied()

@@ -29,9 +29,8 @@ fn arb_disconnected() -> impl Strategy<Value = WeightedGraph> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let a = generators::erdos_renyi_connected(n1, 0.3, w, &mut rng);
         let b = generators::erdos_renyi_connected(n2, 0.3, w, &mut rng);
-        let mut edges: Vec<(usize, usize, u64)> =
-            a.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
-        edges.extend(b.edges().iter().map(|e| (e.u + n1, e.v + n1, e.w)));
+        let mut edges: Vec<(usize, usize, u64)> = a.edges().map(|e| (e.u, e.v, e.w)).collect();
+        edges.extend(b.edges().map(|e| (e.u + n1, e.v + n1, e.w)));
         WeightedGraph::from_edges(n1 + n2, edges).expect("valid disjoint union")
     })
 }

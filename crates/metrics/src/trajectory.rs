@@ -169,9 +169,12 @@ pub enum Direction {
 
 /// Direction of `name`, by suffix convention.
 pub fn direction(name: &str) -> Direction {
-    const HIGHER: [&str; 6] = [
+    const HIGHER: [&str; 9] = [
         ".speedup",
         ".rounds_per_sec",
+        ".nodes_per_sec",
+        ".edges_per_sec",
+        ".load_ratio",
         ".samples",
         ".count",
         ".qps",
@@ -498,6 +501,40 @@ pub fn extract_metrics(stem: &str, v: &Value, out: &mut BTreeMap<String, f64>) {
                 copy_num(row, "hit_rate", &format!("{prefix}.hit_rate"), out);
             }
         }
+        "BENCH_giant" => {
+            for row in rows.into_iter().flatten() {
+                let (Some(family), Some(n), Some(kernel)) = (
+                    row.get("family").and_then(Value::as_str),
+                    row.get("n").and_then(Value::as_u64),
+                    row.get("kernel").and_then(Value::as_str),
+                ) else {
+                    continue;
+                };
+                let prefix = format!("e11.{family}.n{n}");
+                // Per-(family, n) pipeline metrics repeat on every kernel
+                // row; the map insert dedups them.
+                copy_num(row, "load_ms", &format!("{prefix}.load_ms"), out);
+                copy_num(row, "load_ratio", &format!("{prefix}.load_ratio"), out);
+                copy_num(
+                    row,
+                    "sweep_fraction",
+                    &format!("{prefix}.{kernel}.sweep_fraction"),
+                    out,
+                );
+                copy_num(
+                    row,
+                    "solve_secs",
+                    &format!("{prefix}.{kernel}.solve_secs"),
+                    out,
+                );
+                copy_num(
+                    row,
+                    "nodes_per_sec",
+                    &format!("{prefix}.{kernel}.nodes_per_sec"),
+                    out,
+                );
+            }
+        }
         "BENCH_conformance" => {
             for regime in v
                 .get("regimes")
@@ -802,6 +839,41 @@ mod tests {
         assert!(!gated("e10.w4.repeat.qps"), "raw qps is machine-dependent");
         assert_eq!(direction("e10.w4.repeat.qps"), Direction::HigherIsBetter);
         assert_eq!(direction("e10.w4.repeat.p99_us"), Direction::LowerIsBetter);
+
+        let giant = serde_json::from_str(
+            r#"{"rows":[{"family":"power_law","n":1000000,"edges":9899000,
+                "gen_ms":2300.0,"load_ms":0.4,"load_ratio":5750.0,"kernel":"sumsweep",
+                "sweeps":14,"sweep_fraction":0.000014,"solve_secs":2.1,
+                "nodes_per_sec":6666666.0,"diameter":19,"radius":11}]}"#,
+        )
+        .unwrap();
+        extract_metrics("BENCH_giant", &giant, &mut out);
+        assert_eq!(out["e11.power_law.n1000000.load_ratio"], 5750.0);
+        assert_eq!(
+            out["e11.power_law.n1000000.sumsweep.sweep_fraction"],
+            0.000014
+        );
+        assert_eq!(
+            out["e11.power_law.n1000000.sumsweep.nodes_per_sec"],
+            6666666.0
+        );
+        assert!(gated("e11.power_law.n1000000.sumsweep.sweep_fraction"));
+        assert!(
+            !gated("e11.power_law.n1000000.load_ratio"),
+            "load ratio is machine-dependent: info only"
+        );
+        assert_eq!(
+            direction("e11.power_law.n1000000.load_ratio"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            direction("e11.power_law.n1000000.sumsweep.nodes_per_sec"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            direction("e11.power_law.n1000000.load_ms"),
+            Direction::LowerIsBetter
+        );
     }
 
     #[test]

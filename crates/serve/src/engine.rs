@@ -92,12 +92,17 @@ impl GraphStore {
     /// # Errors
     ///
     /// [`ServeError::BadRequest`] when an explicit edge list fails
-    /// validation ([`congest_graph::BuildGraphError`]).
+    /// validation ([`congest_graph::BuildGraphError`]) or a graph file
+    /// fails to open ([`congest_graph::GraphIoError`]).
     pub fn resolve(&self, source: &GraphSource) -> Result<ResolvedGraph, ServeError> {
         let source_key = match source {
             GraphSource::Scenario { seed, n } => {
                 format!("s{seed}.n{}", n.map_or(0, |n| n))
             }
+            // File graphs are keyed by path: the mmap open is O(header)
+            // and the digest comes straight off the header, so a cache
+            // miss is already cheap — the LRU only spares the syscalls.
+            GraphSource::File { path } => format!("f{path}"),
             GraphSource::Explicit { n, edges } => {
                 // Explicit graphs are validated (and digested) before the
                 // store is consulted; the digest *is* the source key.
@@ -120,11 +125,12 @@ impl GraphStore {
         if let Some(found) = self.touch(&source_key) {
             return Ok(found);
         }
-        let (seed, n) = match source {
-            GraphSource::Scenario { seed, n } => (*seed, *n),
+        let graph = match source {
+            GraphSource::Scenario { seed, n } => scenario_spec(*seed, *n).build_graph(),
+            GraphSource::File { path } => WeightedGraph::open_mmap(std::path::Path::new(path))
+                .map_err(|e| ServeError::BadRequest(format!("graph file `{path}`: {e}")))?,
             GraphSource::Explicit { .. } => unreachable!("handled above"),
         };
-        let graph = scenario_spec(seed, n).build_graph();
         let digest = graph.digest();
         let resolved = ResolvedGraph {
             graph: Arc::new(graph),
@@ -422,6 +428,50 @@ mod tests {
             Err(ServeError::BadRequest(msg)) => assert!(msg.contains("invalid graph")),
             other => panic!("expected BadRequest, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn file_graphs_mmap_memoize_and_fail_typed() {
+        let (store, registry) = store(4);
+        let g = generators::grid(5, 6, 3);
+        let dir = std::env::temp_dir().join(format!("wdr-serve-file-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("grid.wdrg");
+        g.write_binary(&path).unwrap();
+        let source = GraphSource::File {
+            path: path.display().to_string(),
+        };
+        let a = store.resolve(&source).unwrap();
+        assert_eq!(a.digest, g.digest(), "digest comes off the header");
+        assert_eq!(*a.graph, g);
+        let b = store.resolve(&source).unwrap();
+        assert!(
+            Arc::ptr_eq(&a.graph, &b.graph),
+            "second resolve is memoized"
+        );
+        let flat = registry.snapshot().flatten();
+        assert_eq!(flat["serve.graphs.built"], 1.0);
+        // A mapped graph serves the same kernels as an owned one.
+        let mut engine = QueryEngine::new();
+        let rendered = engine.run(&a.graph, &Algorithm::Extremes).unwrap();
+        serde_json::from_str(&rendered).unwrap();
+        // Missing or mangled files are typed errors, not panics.
+        let missing = GraphSource::File {
+            path: dir.join("absent.wdrg").display().to_string(),
+        };
+        match store.resolve(&missing) {
+            Err(ServeError::BadRequest(msg)) => assert!(msg.contains("graph file")),
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+        std::fs::write(dir.join("junk.wdrg"), b"not a graph").unwrap();
+        let junk = GraphSource::File {
+            path: dir.join("junk.wdrg").display().to_string(),
+        };
+        match store.resolve(&junk) {
+            Err(ServeError::BadRequest(msg)) => assert!(msg.contains("graph file")),
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -15,8 +15,9 @@
 //! {"id":1,"kind":"query","algorithm":"extremes","scenario":7,"n":96}
 //! {"id":2,"kind":"query","algorithm":"eccentricity","node":3,
 //!  "graph_n":4,"graph_edges":[[0,1,2],[1,2,3],[2,3,4]]}
-//! {"id":3,"kind":"stats"}
-//! {"id":4,"kind":"ping"}
+//! {"id":3,"kind":"query","algorithm":"extremes","graph_file":"/data/giant.wdrg"}
+//! {"id":4,"kind":"stats"}
+//! {"id":5,"kind":"ping"}
 //! ```
 //!
 //! Responses (server → client) always echo `id` and carry a `status` of
@@ -165,6 +166,13 @@ pub enum GraphSource {
         /// `(u, v, w)` triples.
         edges: Vec<(usize, usize, u64)>,
     },
+    /// A pre-built binary graph file on the server's filesystem, opened
+    /// through `WeightedGraph::open_mmap` — the giant-graph path, where
+    /// shipping an edge list over the wire would dwarf the query itself.
+    File {
+        /// Server-local path to a `.wdrg` file.
+        path: String,
+    },
 }
 
 /// One parsed query.
@@ -263,12 +271,28 @@ impl Request {
                 ))
             }
         };
-        let source = match (field_u64(v, "scenario")?, v.get("graph_edges")) {
-            (Some(seed), None) => GraphSource::Scenario {
+        let file = match v.get("graph_file") {
+            None => None,
+            Some(p) => Some(
+                p.as_str()
+                    .ok_or_else(|| {
+                        ServeError::BadRequest("`graph_file` must be a string".to_string())
+                    })?
+                    .to_string(),
+            ),
+        };
+        let source = match (field_u64(v, "scenario")?, v.get("graph_edges"), file) {
+            (Some(_), _, Some(_)) | (_, Some(_), Some(_)) | (Some(_), Some(_), None) => {
+                return Err(ServeError::BadRequest(
+                    "give only one of `scenario`, `graph_edges`, or `graph_file`".to_string(),
+                ))
+            }
+            (None, None, Some(path)) => GraphSource::File { path },
+            (Some(seed), None, None) => GraphSource::Scenario {
                 seed,
                 n: field_u64(v, "n")?.map(|n| n as usize),
             },
-            (None, Some(edges)) => {
+            (None, Some(edges), None) => {
                 let n = field_u64(v, "graph_n")?.ok_or_else(|| {
                     ServeError::BadRequest("`graph_edges` needs `graph_n`".to_string())
                 })? as usize;
@@ -291,14 +315,10 @@ impl Request {
                 }
                 GraphSource::Explicit { n, edges: parsed }
             }
-            (Some(_), Some(_)) => {
+            (None, None, None) => {
                 return Err(ServeError::BadRequest(
-                    "give either `scenario` or `graph_edges`, not both".to_string(),
-                ))
-            }
-            (None, None) => {
-                return Err(ServeError::BadRequest(
-                    "missing graph source: `scenario` or `graph_n`+`graph_edges`".to_string(),
+                    "missing graph source: `scenario`, `graph_n`+`graph_edges`, or `graph_file`"
+                        .to_string(),
                 ))
             }
         };
@@ -351,6 +371,10 @@ impl Request {
                             out.push_str(&format!("[{u},{v},{w}]"));
                         }
                         out.push(']');
+                    }
+                    GraphSource::File { path } => {
+                        out.push_str(",\"graph_file\":");
+                        serde::write_json_string(path, &mut out);
                     }
                 }
                 if q.no_cache {
@@ -533,6 +557,16 @@ mod tests {
                     no_cache: false,
                 }),
             },
+            Request {
+                id: 14,
+                kind: RequestKind::Query(Query {
+                    algorithm: Algorithm::Extremes,
+                    source: GraphSource::File {
+                        path: "/data/giant \"quoted\".wdrg".to_string(),
+                    },
+                    no_cache: false,
+                }),
+            },
         ];
         for req in cases {
             let parsed = Request::parse(req.to_json().as_bytes()).unwrap();
@@ -554,6 +588,9 @@ mod tests {
             r#"{"kind":"query","algorithm":"replay","graph_n":2,"graph_edges":[[0,1,1]]}"#,
             r#"{"kind":"query","algorithm":"diameter","scenario":1,"no_cache":"yes"}"#,
             r#"{"kind":"query","algorithm":"diameter","scenario":-4}"#,
+            r#"{"kind":"query","algorithm":"diameter","graph_file":7}"#,
+            r#"{"kind":"query","algorithm":"diameter","scenario":1,"graph_file":"a.wdrg"}"#,
+            r#"{"kind":"query","algorithm":"replay","graph_file":"a.wdrg"}"#,
         ];
         for text in bad {
             match Request::parse(text.as_bytes()) {

@@ -332,7 +332,7 @@ fn handle_query(shared: &Arc<Shared>, id: u64, query: &Query) -> String {
     };
     let seed = match query.source {
         GraphSource::Scenario { seed, .. } => seed,
-        GraphSource::Explicit { .. } => 0,
+        GraphSource::Explicit { .. } | GraphSource::File { .. } => 0,
     };
     let key = cache_key(resolved.digest, &query.algorithm, seed);
     let shard_idx =
@@ -359,7 +359,7 @@ fn handle_query(shared: &Arc<Shared>, id: u64, query: &Query) -> String {
             seed,
             n: match query.source {
                 GraphSource::Scenario { n, .. } => n,
-                GraphSource::Explicit { .. } => None,
+                GraphSource::Explicit { .. } | GraphSource::File { .. } => None,
             },
         },
         algorithm => JobPayload::Kernel {
