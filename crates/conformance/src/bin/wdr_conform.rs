@@ -1,9 +1,10 @@
 //! `wdr-conform` — the conformance suite driver.
 //!
 //! ```text
-//! wdr-conform gen    --count 48 --out tests/corpus
-//! wdr-conform run    --corpus tests/corpus [--slice 16]
-//!                    [--mutate skip-grover-phase] [--bench-out DIR]
+//! wdr-conform gen    --count 500 --out tests/corpus
+//! wdr-conform run    --corpus tests/corpus [--slice 16] [--lanes 8]
+//!                    [--timings] [--mutate skip-grover-phase]
+//!                    [--bench-out DIR]
 //! wdr-conform replay --seed 17 | --spec file.ron
 //! ```
 //!
@@ -22,8 +23,8 @@ use wdr_conformance::{corpus, oracle};
 
 fn usage() -> String {
     "usage:\n  wdr-conform gen --count N --out DIR\n  wdr-conform run --corpus DIR \
-     [--slice N] [--mutate skip-grover-phase] [--bench-out DIR]\n  wdr-conform replay \
-     (--seed S | --spec FILE) [--mutate skip-grover-phase]"
+     [--slice N] [--lanes L] [--timings] [--mutate skip-grover-phase] [--bench-out DIR]\n  \
+     wdr-conform replay (--seed S | --spec FILE) [--mutate skip-grover-phase]"
         .to_string()
 }
 
@@ -68,6 +69,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         Some("run") => {
             let mut dir = PathBuf::from("tests/corpus");
+            let mut timings = false;
             let mut options = SuiteOptions {
                 bench_out: Some(PathBuf::from("target/experiments")),
                 ..SuiteOptions::default()
@@ -82,6 +84,14 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                                 .map_err(|e| format!("--slice: {e}"))?,
                         );
                     }
+                    "--lanes" => {
+                        options.lanes = Some(
+                            next_value(&mut it, flag)?
+                                .parse()
+                                .map_err(|e| format!("--lanes: {e}"))?,
+                        );
+                    }
+                    "--timings" => timings = true,
                     "--mutate" => {
                         let which = next_value(&mut it, flag)?;
                         options.mutate = Some(match which.as_str() {
@@ -97,6 +107,21 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             }
             let report = runner::run_corpus_dir(&dir, &options)?;
             print!("{}", runner::render_report(&report));
+            if timings {
+                for t in &report.timings {
+                    println!(
+                        "  seed {:>6}: setup {:>8.3}ms + execute {:>9.3}ms{}",
+                        t.seed,
+                        t.setup_secs * 1e3,
+                        t.execute_secs * 1e3,
+                        if t.shared_setup {
+                            " (shared setup)"
+                        } else {
+                            ""
+                        }
+                    );
+                }
+            }
             if options.mutate.is_some() {
                 // Self-check semantics: the suite is *supposed* to fail.
                 // Exit non-zero either way (a mutated run is never a clean

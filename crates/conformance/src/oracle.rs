@@ -15,7 +15,9 @@
 use crate::envelope::{ModelKind, RoundMeasurement};
 use crate::scenario::{ScenarioSpec, Workload};
 use congest_algos::baselines::{diameter_radius_exact, WeightMode};
-use congest_graph::metrics;
+use congest_graph::context::GraphContext;
+use congest_graph::sweep::SweepResult;
+use congest_graph::WeightedGraph;
 use congest_sim::primitives::{self, Aggregate};
 use congest_wdr::algorithm::{quantum_weighted, Confidence, Objective};
 use congest_wdr::params::WdrParams;
@@ -151,15 +153,79 @@ struct EvalResult {
     measurement: Option<RoundMeasurement>,
 }
 
+/// The shared-immutable half of a scenario run: the built graph plus its
+/// cached derived metrics ([`GraphContext`]).
+///
+/// Everything in here is a deterministic function of the spec's *graph
+/// identity* (family, `n`, `max_weight`, and — for seeded-random families —
+/// the seed), never of the fault plan or workload. The batch engine
+/// ([`crate::batch`]) therefore builds one `SharedSetup` per family cell and
+/// runs every lane-mate against it; the sequential path builds a private one
+/// per scenario. Both paths execute the identical oracle code over it, which
+/// is what makes batch results bit-identical to one-at-a-time results.
+pub struct SharedSetup {
+    ctx: GraphContext,
+}
+
+impl SharedSetup {
+    /// Build the graph for `spec` and wrap it. Derived metrics stay lazy:
+    /// whichever oracle asks first computes them, later lane-mates reuse.
+    pub fn build(spec: &ScenarioSpec) -> SharedSetup {
+        SharedSetup {
+            ctx: GraphContext::new(spec.build_graph()),
+        }
+    }
+
+    /// The shared graph.
+    pub fn graph(&self) -> &WeightedGraph {
+        self.ctx.graph()
+    }
+
+    /// The network parameter `D` as every oracle uses it: the unweighted
+    /// diameter clamped to at least 1 (`usize::MAX` when disconnected),
+    /// exactly `metrics::unweighted_diameter(g).max(1)`.
+    pub fn d(&self) -> usize {
+        self.ctx.unweighted_diameter().unwrap_or(usize::MAX).max(1)
+    }
+
+    /// Cached weighted extremes (`metrics::extremes`).
+    pub fn extremes(&self) -> &SweepResult {
+        self.ctx.extremes()
+    }
+
+    /// Cached unweighted extremes (`metrics::unweighted_extremes`).
+    pub fn unweighted_extremes(&self) -> &SweepResult {
+        self.ctx.unweighted_extremes()
+    }
+}
+
 /// Runs one scenario through every applicable oracle. Never panics: the
 /// evaluation is wrapped, and a panic becomes a failed `no-panic` check.
 pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
+    run_scenario_impl(spec, None)
+}
+
+/// [`run_scenario`] against a prebuilt [`SharedSetup`] (the batch-engine
+/// entry point). The outcome is bit-identical to `run_scenario(spec)` —
+/// the setup only memoizes deterministic functions of the same graph.
+pub fn run_scenario_shared(spec: &ScenarioSpec, setup: &SharedSetup) -> ScenarioOutcome {
+    run_scenario_impl(spec, Some(setup))
+}
+
+fn run_scenario_impl(spec: &ScenarioSpec, shared: Option<&SharedSetup>) -> ScenarioOutcome {
     let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        let g = spec.build_graph();
-        let n = g.n();
-        let d = metrics::unweighted_diameter(&g).max(1);
-        let first = evaluate(spec, &g, d);
-        let second = evaluate(spec, &g, d);
+        let owned;
+        let setup = match shared {
+            Some(s) => s,
+            None => {
+                owned = SharedSetup::build(spec);
+                &owned
+            }
+        };
+        let n = setup.graph().n();
+        let d = setup.d();
+        let first = evaluate(spec, setup);
+        let second = evaluate(spec, setup);
         let (s1, s2) = (summarize_eval(&first), summarize_eval(&second));
         let mut checks;
         let (soft_side, measurement);
@@ -222,25 +288,23 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
     }
 }
 
-fn evaluate(
-    spec: &ScenarioSpec,
-    g: &congest_graph::WeightedGraph,
-    d: usize,
-) -> Result<EvalResult, String> {
+fn evaluate(spec: &ScenarioSpec, setup: &SharedSetup) -> Result<EvalResult, String> {
     match spec.workload {
-        Workload::BaselineExact => evaluate_baseline(spec, g),
-        Workload::QuantumDiameter => evaluate_quantum(spec, g, d, Objective::Diameter),
-        Workload::QuantumRadius => evaluate_quantum(spec, g, d, Objective::Radius),
-        Workload::PrimitiveAggregate => evaluate_primitive(spec, g),
+        Workload::BaselineExact => evaluate_baseline(spec, setup),
+        Workload::QuantumDiameter => {
+            evaluate_quantum(spec, setup.graph(), setup.d(), Objective::Diameter)
+        }
+        Workload::QuantumRadius => {
+            evaluate_quantum(spec, setup.graph(), setup.d(), Objective::Radius)
+        }
+        Workload::PrimitiveAggregate => evaluate_primitive(spec, setup.graph()),
     }
 }
 
-fn evaluate_baseline(
-    spec: &ScenarioSpec,
-    g: &congest_graph::WeightedGraph,
-) -> Result<EvalResult, String> {
+fn evaluate_baseline(spec: &ScenarioSpec, setup: &SharedSetup) -> Result<EvalResult, String> {
+    let g = setup.graph();
     let cfg = spec.build_config(g);
-    let reference = metrics::extremes(g);
+    let reference = setup.extremes();
     let (diam, rad, stats) = diameter_radius_exact(g, 0, &cfg, WeightMode::Weighted)
         .map_err(|e| format!("weighted baseline failed on a clean network: {e}"))?;
     let mut checks = Vec::new();
@@ -259,7 +323,7 @@ fn evaluate_baseline(
             ),
         )
     });
-    let unweighted_ref = metrics::unweighted_extremes(g);
+    let unweighted_ref = setup.unweighted_extremes();
     let (ud, ur, _) = diameter_radius_exact(g, 0, &cfg, WeightMode::Unweighted)
         .map_err(|e| format!("unweighted baseline failed on a clean network: {e}"))?;
     let unweighted_ok = ud == unweighted_ref.diameter && ur == unweighted_ref.radius;
@@ -283,7 +347,7 @@ fn evaluate_baseline(
         measurement: Some(RoundMeasurement {
             kind: ModelKind::ClassicalApsp,
             n: g.n(),
-            d: metrics::unweighted_diameter(g).max(1),
+            d: setup.d(),
             max_weight: spec.max_weight,
             rounds: stats.rounds,
         }),
@@ -292,7 +356,7 @@ fn evaluate_baseline(
 
 fn evaluate_quantum(
     spec: &ScenarioSpec,
-    g: &congest_graph::WeightedGraph,
+    g: &WeightedGraph,
     d: usize,
     objective: Objective,
 ) -> Result<EvalResult, String> {
@@ -407,10 +471,7 @@ fn evaluate_quantum(
     }
 }
 
-fn evaluate_primitive(
-    spec: &ScenarioSpec,
-    g: &congest_graph::WeightedGraph,
-) -> Result<EvalResult, String> {
+fn evaluate_primitive(spec: &ScenarioSpec, g: &WeightedGraph) -> Result<EvalResult, String> {
     let n = g.n();
     // The tree is built on the lossless network so the faulted phase under
     // test is exactly the convergecast.

@@ -3,11 +3,13 @@
 //! and powers the `wdr-conform` mutation self-check and failing-seed
 //! shrinker.
 
+use crate::batch::{self, ScenarioTiming};
 use crate::envelope::{self, EnvelopeReport};
 use crate::oracle::{self, Oracle, ScenarioOutcome};
 use crate::scenario::ScenarioSpec;
 use quantum_sim::mutation::Mutation;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Minimum corpus-wide success rate of the w.h.p. sandwich side over
 /// clean quantum runs. Clean corpora measure ≈ 0.95+; arming
@@ -47,6 +49,11 @@ pub struct SuiteOptions {
     /// private registry — the report's embedded snapshot is produced
     /// either way; pass one to also read the metrics live.
     pub registry: Option<wdr_metrics::MetricsRegistry>,
+    /// Batch lanes: `None` runs the classic one-at-a-time path;
+    /// `Some(l)` fans graph-grouped scenarios across `l` lanes via
+    /// [`crate::batch`]. Results are bit-identical either way
+    /// (proptest-pinned); only the timings differ.
+    pub lanes: Option<usize>,
 }
 
 /// The suite verdict.
@@ -62,6 +69,14 @@ pub struct SuiteReport {
     pub envelope: EnvelopeReport,
     /// Where the bench artifact landed, if written.
     pub bench_path: Option<PathBuf>,
+    /// Per-scenario setup-vs-execute breakdown, corpus order. Timings are
+    /// observational: they are excluded from [`fingerprint`].
+    pub timings: Vec<ScenarioTiming>,
+    /// Wall-clock seconds for the whole scenario loop (excludes envelope
+    /// fitting and artifact writes).
+    pub wall_secs: f64,
+    /// Lanes the run used (`None` = sequential path).
+    pub lanes: Option<usize>,
 }
 
 impl SuiteReport {
@@ -69,33 +84,106 @@ impl SuiteReport {
     pub fn passed(&self) -> bool {
         self.failures.is_empty()
     }
+
+    /// Total seconds spent building shared setups (graph + topology
+    /// metrics), summed over scenarios.
+    pub fn setup_secs(&self) -> f64 {
+        self.timings.iter().map(|t| t.setup_secs).sum()
+    }
+
+    /// Total seconds spent executing oracles, summed over scenarios.
+    pub fn execute_secs(&self) -> f64 {
+        self.timings.iter().map(|t| t.execute_secs).sum()
+    }
 }
 
-/// Runs the suite over `specs`.
+/// A stable fingerprint of everything semantically produced by a suite run:
+/// per-scenario oracle verdicts (with details), soft-side flags, round
+/// measurements, failures, the soft rate, and the envelope's regime fits
+/// and embedded metric snapshot. Floats are rendered with full roundtrip
+/// precision, so equal fingerprints mean bit-identical results.
+///
+/// Deliberately excluded: timings, wall clock, lane count, bench path, and
+/// the envelope's host/timestamp provenance — everything observational.
+/// This is the equality the batch-equivalence proptests and the E12 gate
+/// check between the sequential and batched paths.
+pub fn fingerprint(report: &SuiteReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for o in &report.outcomes {
+        writeln!(
+            out,
+            "outcome seed={} spec={:?} n={} d={} soft={:?} meas={:?}",
+            o.spec.seed, o.spec, o.n, o.d, o.soft_side, o.measurement
+        )
+        .unwrap();
+        for c in &o.checks {
+            writeln!(
+                out,
+                "  check {} passed={} {}",
+                c.oracle.name(),
+                c.passed,
+                c.detail
+            )
+            .unwrap();
+        }
+    }
+    for f in &report.failures {
+        writeln!(
+            out,
+            "failure seed={:?} {} {}",
+            f.seed,
+            f.oracle.name(),
+            f.detail
+        )
+        .unwrap();
+    }
+    writeln!(out, "soft_rate={:?}", report.soft_rate).unwrap();
+    writeln!(
+        out,
+        "envelope passed={} samples={}",
+        report.envelope.passed, report.envelope.samples
+    )
+    .unwrap();
+    for r in &report.envelope.regimes {
+        writeln!(out, "regime {:?}", r).unwrap();
+    }
+    for (name, value) in &report.envelope.metrics {
+        writeln!(out, "metric {name}={value:?}").unwrap();
+    }
+    writeln!(out, "seeds={:?}", report.envelope.meta.seeds).unwrap();
+    out
+}
+
+/// Runs the suite over `specs` — one at a time by default, or through the
+/// [`crate::batch`] engine when [`SuiteOptions::lanes`] is set. The two
+/// paths produce bit-identical reports (see [`fingerprint`]).
 pub fn run_suite(specs: &[ScenarioSpec], options: &SuiteOptions) -> SuiteReport {
-    // The mutation hook is thread-local and the oracles drive every
-    // quantum search from this thread, so one guard covers the run —
-    // and the same reasoning lets one installed metrics sink see every
-    // search of the run.
-    let _guard = options.mutate.map(quantum_sim::mutation::arm);
     let registry = options.registry.clone().unwrap_or_default();
-    let _metrics_guard = quantum_sim::instrument::install(quantum_sim::SearchMetrics::register(
-        &registry,
-        "conformance.quantum",
-    ));
+    // The mutation hook and metrics sink are thread-local scope guards;
+    // `batch::run_specs` installs them on the calling thread for the
+    // sequential path and inside every lane task for the batched path.
+    let search_metrics = quantum_sim::SearchMetrics::register(&registry, "conformance.quantum");
     let take = options.slice.unwrap_or(specs.len()).min(specs.len());
-    let mut outcomes = Vec::with_capacity(take);
+    let started = Instant::now();
+    let lane_results = batch::run_specs(
+        &specs[..take],
+        options.lanes,
+        options.mutate,
+        &search_metrics,
+    );
+    let wall_secs = started.elapsed().as_secs_f64();
+    let outcomes = lane_results.outcomes;
+    let timings = lane_results.timings;
     let mut failures = Vec::new();
-    for spec in &specs[..take] {
-        let outcome = oracle::run_scenario(spec);
+    for outcome in &outcomes {
         for check in outcome.failures() {
             failures.push(Failure {
-                seed: Some(spec.seed),
+                seed: Some(outcome.spec.seed),
                 oracle: check.oracle,
                 detail: check.detail.clone(),
             });
         }
-        outcomes.push(outcome);
     }
 
     let soft: Vec<bool> = outcomes.iter().filter_map(|o| o.soft_side).collect();
@@ -144,6 +232,9 @@ pub fn run_suite(specs: &[ScenarioSpec], options: &SuiteOptions) -> SuiteReport 
         soft_rate,
         envelope,
         bench_path,
+        timings,
+        wall_secs,
+        lanes: options.lanes,
     }
 }
 
@@ -217,6 +308,20 @@ pub fn render_report(report: &SuiteReport) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     writeln!(out, "scenarios run: {}", report.outcomes.len()).unwrap();
+    let shared = report.timings.iter().filter(|t| t.shared_setup).count();
+    writeln!(
+        out,
+        "timing: setup {:.3}s + execute {:.3}s, wall {:.3}s ({}, {} shared setups)",
+        report.setup_secs(),
+        report.execute_secs(),
+        report.wall_secs,
+        match report.lanes {
+            Some(l) => format!("{l} lanes"),
+            None => "sequential".to_string(),
+        },
+        shared
+    )
+    .unwrap();
     if let Some(rate) = report.soft_rate {
         writeln!(
             out,

@@ -69,14 +69,14 @@ proptest! {
     }
 }
 
-/// The checked-in corpus is exactly `generate_corpus(48)` serialized —
-/// regenerate with `wdr-conform gen --count 48 --out tests/corpus` after
+/// The checked-in corpus is exactly `generate_corpus(500)` serialized —
+/// regenerate with `wdr-conform gen --count 500 --out tests/corpus` after
 /// any deliberate generator change.
 #[test]
 fn checked_in_corpus_matches_generator() {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus");
     let loaded = corpus::load_corpus(&dir).expect("workspace corpus loads");
-    let expected = generate_corpus(48);
+    let expected = generate_corpus(500);
     assert_eq!(loaded.len(), expected.len(), "corpus file count drifted");
     for (got, want) in loaded.iter().zip(&expected) {
         assert_eq!(got, want, "seed {} drifted from the generator", want.seed);

@@ -91,7 +91,11 @@ pub fn embed_overlay<R: Rng + ?Sized>(
     }
     let ms = ms.expect("multi-source congestion failure persisted across retries");
 
-    // Each skeleton node S[i] holds row i of w' (d̃^ℓ is exactly symmetric).
+    // Each skeleton node S[i] holds row i of w'. In a fault-free network
+    // d̃^ℓ is exactly symmetric; under injected message drops the two
+    // endpoints of a pair can hold different estimates, so take the
+    // tighter one — the same symmetry guard the centralized builder
+    // (`Overlay::from_skeleton`) applies. Clean runs are untouched.
     let s = sorted.len();
     let mut w = vec![0.0f64; s * s];
     for i in 0..s {
@@ -100,6 +104,13 @@ pub fn embed_overlay<R: Rng + ?Sized>(
             if i != j {
                 w[i * s + j] = row[j];
             }
+        }
+    }
+    for i in 0..s {
+        for j in (i + 1)..s {
+            let best = w[i * s + j].min(w[j * s + i]);
+            w[i * s + j] = best;
+            w[j * s + i] = best;
         }
     }
     let prime = Overlay::from_matrix(sorted.clone(), w);

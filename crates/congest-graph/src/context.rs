@@ -1,0 +1,174 @@
+//! Shared-immutable graph context for many-seed batch execution.
+//!
+//! The batch engine (conformance `batch` module, experiment E12) runs many
+//! seeds of the same scenario family in lockstep. Everything that depends
+//! only on the graph — the graph itself, the unweighted diameter `D_G`, the
+//! weighted and unweighted extremes — is *shared-immutable* across the whole
+//! batch and computed at most once per family cell. Everything that depends
+//! on the seed (RNG streams, Grover measurement tallies, oracle verdicts) is
+//! *per-seed mutable* and lives in the batch lanes, not here.
+//!
+//! [`GraphContext`] is that shared-immutable half: a [`WeightedGraph`] plus
+//! lazily-computed, cached derived metrics. All cached quantities are
+//! deterministic functions of the graph (pruned [`crate::sweep`] kernels),
+//! so reading them through the cache is bit-identical to recomputing them
+//! per seed — the invariant the batch-equivalence proptests pin.
+//!
+//! The caches use [`OnceLock`], so a `&GraphContext` can be shared across
+//! batch lanes: whichever lane asks first computes, everyone else reads.
+
+use std::sync::OnceLock;
+
+use crate::graph::WeightedGraph;
+use crate::sweep::{self, SweepResult};
+
+/// A graph bundled with lazily-cached derived metrics, shareable across
+/// batch lanes (`&GraphContext` is `Send + Sync`).
+///
+/// # Examples
+///
+/// ```
+/// use congest_graph::{context::GraphContext, generators, metrics};
+///
+/// let ctx = GraphContext::new(generators::path(6, 2));
+/// // Cached answers are bit-identical to the direct kernels.
+/// assert_eq!(ctx.extremes().diameter, metrics::diameter(ctx.graph()));
+/// assert_eq!(ctx.unweighted_diameter(), Some(5));
+/// // A second read hits the cache (no additional sweeps).
+/// let first = ctx.extremes() as *const _;
+/// assert!(std::ptr::eq(first, ctx.extremes()));
+/// ```
+#[derive(Debug)]
+pub struct GraphContext {
+    graph: WeightedGraph,
+    extremes: OnceLock<SweepResult>,
+    unweighted: OnceLock<SweepResult>,
+}
+
+impl GraphContext {
+    /// Wrap a graph. No derived metric is computed until first asked for.
+    pub fn new(graph: WeightedGraph) -> Self {
+        GraphContext {
+            graph,
+            extremes: OnceLock::new(),
+            unweighted: OnceLock::new(),
+        }
+    }
+
+    /// The shared graph.
+    pub fn graph(&self) -> &WeightedGraph {
+        &self.graph
+    }
+
+    /// Weighted diameter/radius/witness extremes (cached pruned sweep,
+    /// identical to [`crate::metrics::extremes`]).
+    pub fn extremes(&self) -> &SweepResult {
+        self.extremes.get_or_init(|| sweep::extremes(&self.graph))
+    }
+
+    /// Unweighted (topology) extremes (cached pruned BFS sweep, identical
+    /// to [`crate::metrics::unweighted_extremes`]).
+    pub fn unweighted_extremes(&self) -> &SweepResult {
+        self.unweighted
+            .get_or_init(|| sweep::extremes_unweighted(&self.graph))
+    }
+
+    /// The unweighted diameter `D_G`, or `None` when disconnected —
+    /// cached counterpart of [`crate::metrics::unweighted_diameter`]
+    /// (which returns `usize::MAX` for the disconnected case).
+    pub fn unweighted_diameter(&self) -> Option<usize> {
+        self.unweighted_extremes()
+            .diameter
+            .finite()
+            .map(|d| d as usize)
+    }
+
+    /// `true` if any derived metric has been computed yet (for tests and
+    /// setup-cost attribution).
+    pub fn is_warm(&self) -> bool {
+        self.extremes.get().is_some() || self.unweighted.get().is_some()
+    }
+
+    /// Compute every cached metric now, so later readers (batch lanes) pay
+    /// nothing. Returns `self` for chaining.
+    pub fn warm(&self) -> &Self {
+        self.extremes();
+        self.unweighted_extremes();
+        self
+    }
+
+    /// Take the graph back out, discarding the caches.
+    pub fn into_graph(self) -> WeightedGraph {
+        self.graph
+    }
+}
+
+impl From<WeightedGraph> for GraphContext {
+    fn from(graph: WeightedGraph) -> Self {
+        GraphContext::new(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, metrics};
+
+    #[test]
+    fn cached_metrics_match_direct_kernels() {
+        let mut rng = {
+            use rand::SeedableRng;
+            rand_chacha::ChaCha8Rng::seed_from_u64(21)
+        };
+        for _ in 0..5 {
+            let g = generators::erdos_renyi_connected(20, 0.2, 9, &mut rng);
+            let direct = metrics::extremes(&g);
+            let direct_u = metrics::unweighted_extremes(&g);
+            let ctx = GraphContext::new(g);
+            assert_eq!(*ctx.extremes(), direct);
+            assert_eq!(*ctx.unweighted_extremes(), direct_u);
+            assert_eq!(
+                ctx.unweighted_diameter(),
+                direct_u.diameter.finite().map(|d| d as usize)
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_then_warm() {
+        let ctx = GraphContext::new(generators::star(9, 3));
+        assert!(!ctx.is_warm());
+        ctx.warm();
+        assert!(ctx.is_warm());
+        assert_eq!(ctx.extremes().radius_witness, 0); // the hub
+    }
+
+    #[test]
+    fn disconnected_diameter_is_none() {
+        let g = crate::WeightedGraph::from_edges(4, [(0, 1, 1), (2, 3, 1)]).unwrap();
+        let ctx = GraphContext::new(g);
+        assert_eq!(ctx.unweighted_diameter(), None);
+        assert!(!ctx.extremes().is_connected());
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let ctx = GraphContext::new(generators::cycle(12, 2));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    assert_eq!(ctx.extremes().diameter, crate::Dist::from(12u64));
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn into_graph_round_trips() {
+        let g = generators::path(4, 1);
+        let digest = g.digest();
+        let ctx = GraphContext::new(g);
+        ctx.warm();
+        assert_eq!(ctx.into_graph().digest(), digest);
+    }
+}

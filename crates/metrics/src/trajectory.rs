@@ -169,11 +169,13 @@ pub enum Direction {
 
 /// Direction of `name`, by suffix convention.
 pub fn direction(name: &str) -> Direction {
-    const HIGHER: [&str; 9] = [
+    const HIGHER: [&str; 11] = [
         ".speedup",
+        ".batch_speedup",
         ".rounds_per_sec",
         ".nodes_per_sec",
         ".edges_per_sec",
+        ".scenarios_per_sec",
         ".load_ratio",
         ".samples",
         ".count",
@@ -189,11 +191,14 @@ pub fn direction(name: &str) -> Direction {
 
 /// Whether `name` participates in the regression gate. Only
 /// machine-independent metrics do: fitted envelope constants, SumSweep
-/// sweep fractions, parallel speedup ratios, and cache hit rates.
+/// sweep fractions, parallel speedup ratios (including the batch engine's
+/// corpus speedup, `.batch_speedup` — note the `_` keeps it out of the
+/// plain `.speedup` suffix), and cache hit rates.
 pub fn gated(name: &str) -> bool {
     name.ends_with(".c_max")
         || name.ends_with(".sweep_fraction")
         || name.ends_with(".speedup")
+        || name.ends_with(".batch_speedup")
         || name.ends_with(".hit_rate")
 }
 
@@ -531,6 +536,28 @@ pub fn extract_metrics(stem: &str, v: &Value, out: &mut BTreeMap<String, f64>) {
                     row,
                     "nodes_per_sec",
                     &format!("{prefix}.{kernel}.nodes_per_sec"),
+                    out,
+                );
+            }
+        }
+        "BENCH_batch" => {
+            // E12: lanes == 0 is the sequential reference row. The gated
+            // headline (e12.batch_speedup) and lane count arrive via the
+            // embedded `metrics` pairs; per-row figures are informational.
+            for row in rows.into_iter().flatten() {
+                let Some(lanes) = row.get("lanes").and_then(Value::as_u64) else {
+                    continue;
+                };
+                let prefix = if lanes == 0 {
+                    "e12.seq".to_string()
+                } else {
+                    format!("e12.lanes{lanes}")
+                };
+                copy_num(row, "wall_secs", &format!("{prefix}.wall_secs"), out);
+                copy_num(
+                    row,
+                    "scenarios_per_sec",
+                    &format!("{prefix}.scenarios_per_sec"),
                     out,
                 );
             }
@@ -874,6 +901,32 @@ mod tests {
             direction("e11.power_law.n1000000.load_ms"),
             Direction::LowerIsBetter
         );
+
+        let batch = serde_json::from_str(
+            r#"{"rows":[{"lanes":0,"wall_secs":10.0,"setup_secs":1.0,"execute_secs":9.0,
+                "scenarios_per_sec":50.0,"speedup":1.0,"shared_setups":0},
+                {"lanes":8,"wall_secs":1.6,"setup_secs":0.2,"execute_secs":1.4,
+                "scenarios_per_sec":312.5,"speedup":6.25,"shared_setups":120}],
+                "metrics":[["e12.batch_speedup",6.25],["e12.lane_count",8]]}"#,
+        )
+        .unwrap();
+        extract_metrics("BENCH_batch", &batch, &mut out);
+        assert_eq!(out["e12.seq.wall_secs"], 10.0);
+        assert_eq!(out["e12.lanes8.wall_secs"], 1.6);
+        assert_eq!(out["e12.lanes8.scenarios_per_sec"], 312.5);
+        assert_eq!(out["e12.batch_speedup"], 6.25);
+        assert_eq!(out["e12.lane_count"], 8.0);
+        assert!(gated("e12.batch_speedup"), "headline speedup is gated");
+        assert!(
+            !gated("e12.lanes8.wall_secs") && !gated("e12.lane_count"),
+            "raw wall times and lane counts are informational"
+        );
+        assert_eq!(direction("e12.batch_speedup"), Direction::HigherIsBetter);
+        assert_eq!(
+            direction("e12.lanes8.scenarios_per_sec"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(direction("e12.seq.wall_secs"), Direction::LowerIsBetter);
     }
 
     #[test]
