@@ -1,0 +1,9 @@
+//! Standalone `wdr-ablate` binary (the `wdr ablate` subcommand is the
+//! same entry point).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    wdr_ablate::cli_main(&args)
+}

@@ -1,0 +1,126 @@
+//! Markdown/CSV rendering of runbook reports via the shared
+//! [`Table`] machinery (`wdr_metrics::table`).
+//!
+//! Rendering works off the canonical JSON (a `serde_json::Value`), so
+//! `wdr ablate render` can format any report file without re-running its
+//! plan.
+
+use serde_json::Value;
+use wdr_metrics::table::Table;
+
+fn fmt_value(v: &Value) -> String {
+    match v {
+        Value::Null => "-".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Number(x) => format!("{x}"),
+        Value::String(s) => s.clone(),
+        other => format!("{other:?}"),
+    }
+}
+
+fn compact_map(v: Option<&Value>) -> String {
+    let Some(Value::Object(map)) = v else {
+        return "-".to_string();
+    };
+    map.iter()
+        .map(|(k, v)| format!("{k}={}", fmt_value(v)))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// The per-job table of a report: id, parameter assignment, metrics, and
+/// error column.
+pub fn jobs_table(report: &Value) -> Result<Table, String> {
+    let name = report
+        .get("meta")
+        .and_then(|m| m.get("plan_name"))
+        .and_then(Value::as_str)
+        .unwrap_or("?");
+    let mut table = Table::new(
+        "ablate",
+        &format!("{name} — jobs"),
+        &["job", "params", "metrics", "error"],
+    );
+    let jobs = report
+        .get("jobs")
+        .and_then(Value::as_array)
+        .ok_or("report has no 'jobs' array")?;
+    for job in jobs {
+        table.push(vec![
+            job.get("id").and_then(Value::as_str).unwrap_or("?").into(),
+            compact_map(job.get("params")),
+            compact_map(job.get("metrics")),
+            job.get("error")
+                .map(fmt_value)
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    Ok(table)
+}
+
+/// The verdict table of a report: one row per tolerance evaluation.
+pub fn verdicts_table(report: &Value) -> Result<Table, String> {
+    let mut table = Table::new(
+        "ablate-verdicts",
+        "tolerance verdicts",
+        &["job", "metric", "value", "ok", "detail"],
+    );
+    let verdicts = report
+        .get("verdicts")
+        .and_then(Value::as_array)
+        .ok_or("report has no 'verdicts' array")?;
+    for v in verdicts {
+        table.push(vec![
+            v.get("job_id")
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .into(),
+            v.get("metric")
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .into(),
+            v.get("value").map(fmt_value).unwrap_or_else(|| "-".into()),
+            v.get("ok")
+                .and_then(Value::as_bool)
+                .map(|b| if b { "ok" } else { "FAIL" })
+                .unwrap_or("?")
+                .into(),
+            v.get("detail").and_then(Value::as_str).unwrap_or("").into(),
+        ]);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{self, to_canonical_json_bytes};
+
+    #[test]
+    fn renders_report_json() {
+        // Round-trip a real report through its canonical JSON.
+        let plan = crate::plan::parse(
+            r#"Ablation(
+                name: "render-test",
+                substrate: Sweep,
+                mode: Grid,
+                samples: None,
+                factors: { "n": [8, 10], },
+                fixed: { "family": "path", },
+                tolerances: { "diameter": Tol(min: Some(1.0), max: None, abs: None, rel: None), },
+            )"#,
+        )
+        .unwrap();
+        let run = crate::run_ablation(&plan, 3).unwrap();
+        let bytes = to_canonical_json_bytes(&run).unwrap();
+        let value = serde_json::from_str(&String::from_utf8(bytes).unwrap()).unwrap();
+        let jobs = jobs_table(&value).unwrap();
+        assert_eq!(jobs.rows.len(), 2);
+        assert!(jobs.to_markdown().contains("job-0000"));
+        assert!(jobs.to_csv().contains("family=path"));
+        let verdicts = verdicts_table(&value).unwrap();
+        assert_eq!(verdicts.rows.len(), 2);
+        assert!(verdicts.to_markdown().contains("diameter"));
+        let _ = report::job_fingerprint(&run.jobs[0]);
+    }
+}

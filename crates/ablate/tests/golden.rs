@@ -1,0 +1,73 @@
+//! Golden-report contract: the checked-in plan fixture must produce the
+//! checked-in canonical report, byte for byte. Any change to the plan
+//! schema, the job expander, the Sweep substrate, or the canonical JSON
+//! writer shows up here as a readable fixture diff in CI.
+//!
+//! After a *deliberate* schema change, regenerate the expectation with
+//! `WDR_ABLATE_BLESS=1 cargo test -p wdr-ablate --test golden` and
+//! review the diff.
+
+use wdr_ablate::{plan_hash, run_ablation_with, to_canonical_json_bytes, RunOptions, RunbookMeta};
+
+const PLAN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/golden_plan.ron"
+);
+const REPORT_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/golden_report.json"
+);
+const SEED: u64 = 7;
+
+#[test]
+fn golden_plan_produces_golden_report_bytes() {
+    let text = std::fs::read_to_string(PLAN_PATH).expect("read golden plan");
+    let plan = wdr_ablate::plan::parse(&text).expect("parse golden plan");
+
+    // Provenance is pinned so the fixture is stable across machines;
+    // plan_hash stays live so plan edits invalidate the report.
+    let options = RunOptions {
+        lanes: Some(2),
+        meta: Some(RunbookMeta {
+            schema_version: 1,
+            plan_name: plan.name.clone(),
+            plan_hash: plan_hash(&plan),
+            commit: "golden".to_string(),
+            host_threads: 1,
+            seeds: vec![SEED],
+        }),
+    };
+    let report = run_ablation_with(&plan, SEED, &options).expect("run golden plan");
+    assert!(report.passed, "golden plan tolerances must hold");
+    let bytes = to_canonical_json_bytes(&report).expect("canonicalize");
+
+    if std::env::var_os("WDR_ABLATE_BLESS").is_some() {
+        std::fs::write(REPORT_PATH, &bytes).expect("bless golden report");
+        eprintln!("blessed {} ({} bytes)", REPORT_PATH, bytes.len());
+        return;
+    }
+
+    let expected = std::fs::read(REPORT_PATH)
+        .expect("read golden report (run with WDR_ABLATE_BLESS=1 to create it)");
+    assert_eq!(
+        bytes, expected,
+        "canonical report drifted from tests/fixtures/golden_report.json; \
+         if the change is deliberate, re-bless with WDR_ABLATE_BLESS=1"
+    );
+}
+
+#[test]
+fn golden_report_fixture_is_canonical_json() {
+    let expected = std::fs::read_to_string(REPORT_PATH).expect("read golden report");
+    let value = serde_json::from_str(&expected).expect("fixture parses as JSON");
+    let meta = value.get("meta").expect("meta present");
+    assert_eq!(
+        meta.get("commit").and_then(|c| c.as_str()),
+        Some("golden"),
+        "fixture was generated with pinned provenance"
+    );
+    assert_eq!(value.get("passed").and_then(|p| p.as_bool()), Some(true));
+    // No volatile whitespace: the fixture is the canonical byte form.
+    assert!(!expected.contains('\n'));
+    assert!(expected.starts_with("{\"jobs\":[{"));
+}

@@ -78,6 +78,10 @@ fn main() {
         eprintln!("[tables] running E12…");
         outputs.push(experiments::e12(quick, &out_dir));
     }
+    if run("e13") {
+        eprintln!("[tables] running E13…");
+        outputs.push(experiments::e13(quick, &out_dir));
+    }
     if run("f") || run("figures") {
         eprintln!("[tables] running F1–F4…");
         outputs.push(experiments::figures(&out_dir.join("figures")));

@@ -1723,6 +1723,180 @@ pub fn e12(quick: bool, out_dir: &std::path::Path) -> ExperimentOutput {
     }
 }
 
+/// One E13 ablation-job row, serialized into `BENCH_ablate.json`.
+/// `ratio`/`hard_ok`/`soft_ok` are absent (`null`) on jobs that surfaced
+/// the typed round-budget error — the expected outcome under faults.
+#[derive(Clone, Debug, serde::Serialize)]
+struct E13Row {
+    job: String,
+    eps: f64,
+    fault_rate: f64,
+    max_weight: u64,
+    ratio: Option<f64>,
+    hard_ok: Option<f64>,
+    soft_ok: Option<f64>,
+    failed: f64,
+    error: Option<String>,
+}
+
+/// The machine-readable E13 report (`BENCH_ablate.json`).
+#[derive(Clone, Debug, serde::Serialize)]
+struct E13Report {
+    experiment: String,
+    meta: wdr_metrics::RunMeta,
+    plan: String,
+    plan_hash: String,
+    substrate: String,
+    mode: String,
+    passed: bool,
+    rows: Vec<E13Row>,
+    metrics: Vec<(String, f64)>,
+}
+
+/// E13: declarative ablation of the quantum estimator — ε × weight-class ×
+/// fault-rate over the checked-in `crates/ablate/plans/e13.ron` plan, run
+/// through the `wdr-ablate` harness. The canonical runbook must be
+/// byte-identical across lane counts (the harness's core contract), every
+/// tolerance must hold, and the per-job sandwich evidence lands in
+/// `BENCH_ablate.json` for the perf trajectory.
+pub fn e13(quick: bool, out_dir: &std::path::Path) -> ExperimentOutput {
+    use wdr_ablate::{plan_hash, to_canonical_json_bytes, RunOptions};
+    const SEED: u64 = 101;
+    let plan_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../ablate/plans/e13.ron");
+    let text = std::fs::read_to_string(plan_path).expect("read crates/ablate/plans/e13.ron");
+    let plan = wdr_ablate::plan::parse(&text).expect("parse E13 ablation plan");
+
+    let run = |lanes: Option<usize>| {
+        wdr_ablate::run_ablation_with(&plan, SEED, &RunOptions { lanes, meta: None })
+            .expect("E13 ablation run")
+    };
+    let reference = run(None);
+    let reference_bytes = to_canonical_json_bytes(&reference).expect("canonicalize E13 runbook");
+    let lane_counts: &[usize] = if quick { &[4] } else { &[1, 2, 4] };
+    for &lanes in lane_counts {
+        let batched = run(Some(lanes));
+        assert_eq!(
+            to_canonical_json_bytes(&batched).expect("canonicalize E13 runbook"),
+            reference_bytes,
+            "E13: runbook at {lanes} lanes diverged from the sequential reference"
+        );
+    }
+    let violations: Vec<String> = reference
+        .verdicts
+        .iter()
+        .filter(|v| !v.ok)
+        .map(|v| format!("{} on {}: {}", v.metric, v.job_id, v.detail))
+        .collect();
+    assert!(
+        reference.passed,
+        "E13: checked-in plan tolerances violated: {violations:?}"
+    );
+
+    let p_f64 = |j: &wdr_ablate::report::JobReport, key: &str| {
+        j.params
+            .get(key)
+            .and_then(serde_json::Value::as_f64)
+            .unwrap_or(f64::NAN)
+    };
+    let rows: Vec<E13Row> = reference
+        .jobs
+        .iter()
+        .map(|j| E13Row {
+            job: j.id.clone(),
+            eps: p_f64(j, "eps"),
+            fault_rate: p_f64(j, "fault_rate"),
+            max_weight: p_f64(j, "max_weight") as u64,
+            ratio: j.metrics.get("ratio").copied(),
+            hard_ok: j.metrics.get("hard_ok").copied(),
+            soft_ok: j.metrics.get("soft_ok").copied(),
+            failed: j.metrics.get("failed").copied().unwrap_or(1.0),
+            error: j.error.clone(),
+        })
+        .collect();
+    let job_errors = rows.iter().filter(|r| r.error.is_some()).count();
+    let worst_ratio = rows.iter().filter_map(|r| r.ratio).fold(0.0f64, f64::max);
+    let metrics = vec![
+        ("e13.jobs".to_string(), rows.len() as f64),
+        ("e13.job_errors".to_string(), job_errors as f64),
+        ("e13.violations".to_string(), violations.len() as f64),
+        ("e13.worst_ratio".to_string(), worst_ratio),
+    ];
+
+    let mut table = Table::new(
+        "E13",
+        "Ablation harness: ε × weight-class × fault-rate sweep of the quantum estimator \
+         (byte-deterministic runbook, tolerance-gated)",
+        &[
+            "job", "eps", "fault", "W", "ratio", "hard", "soft", "status",
+        ],
+    );
+    let flag = |v: Option<f64>| match v {
+        Some(x) if x >= 1.0 => "yes".to_string(),
+        Some(_) => "NO".to_string(),
+        None => "—".to_string(),
+    };
+    for r in &rows {
+        table.push(vec![
+            r.job.clone(),
+            format!("{}", r.eps),
+            format!("{}", r.fault_rate),
+            r.max_weight.to_string(),
+            r.ratio.map_or("—".to_string(), |x| format!("{x:.4}")),
+            flag(r.hard_ok),
+            flag(r.soft_ok),
+            if r.error.is_some() {
+                "round budget".to_string()
+            } else {
+                "ok".to_string()
+            },
+        ]);
+    }
+    table.commentary = format!(
+        "The checked-in plan (`crates/ablate/plans/e13.ron`, hash {hash}) expands to \
+         {jobs} grid jobs over ε ∈ {{0.08, 0.2, 0.45}} × W ∈ {{1, 8, 4096}} × fault \
+         rate ∈ {{0, 0.04}} on the shared 18-node calibration grid. The runbook is \
+         asserted byte-identical between the sequential path and every batched lane \
+         count — provenance, fingerprints, metric snapshots and all — so the report \
+         itself is the regression artifact. Clean jobs must land in the Theorem 1.1 \
+         sandwich (hard/soft flags gated at 1.0; worst ratio {worst:.4} against the \
+         (1+ε)² ≤ 2.10 theoretical cap); the {errs} faulted jobs surface the typed \
+         round-budget error, the conformance oracle's acceptable-under-faults \
+         outcome, and are excluded from the ratio gates by construction.",
+        hash = plan_hash(&plan),
+        jobs = rows.len(),
+        worst = worst_ratio,
+        errs = job_errors,
+    );
+
+    let report = E13Report {
+        experiment: "E13".into(),
+        meta: wdr_metrics::RunMeta::capture(&[SEED]),
+        plan: plan.name.clone(),
+        plan_hash: plan_hash(&plan),
+        substrate: reference.substrate.clone(),
+        mode: reference.mode.clone(),
+        passed: reference.passed,
+        rows,
+        metrics,
+    };
+    std::fs::create_dir_all(out_dir).expect("create E13 output dir");
+    let path = out_dir.join("BENCH_ablate.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string(&report).expect("E13 report serializes"),
+    )
+    .expect("write BENCH_ablate.json");
+    let runbook_path = out_dir.join("e13_runbook.json");
+    std::fs::write(&runbook_path, &reference_bytes).expect("write e13_runbook.json");
+    ExperimentOutput {
+        tables: vec![table],
+        artifacts: vec![
+            path.display().to_string(),
+            runbook_path.display().to_string(),
+        ],
+    }
+}
+
 /// F1–F4: regenerate the paper's figures (structural tables + DOT files).
 pub fn figures(out_dir: &std::path::Path) -> ExperimentOutput {
     use congest_graph::dot;

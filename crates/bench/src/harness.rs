@@ -1,83 +1,14 @@
 //! Table formatting and CSV emission for the experiment harness.
+//!
+//! The [`Table`] type itself lives in [`wdr_metrics::table`] (so lower
+//! layers — the ablation harness, the perf CLI — can render tables
+//! without depending on this crate); it is re-exported here so existing
+//! experiment code keeps compiling unchanged.
 
-use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
 
-/// A rendered experiment: a title, a commentary line, and a rectangular
-/// table.
-#[derive(Clone, Debug, serde::Serialize)]
-pub struct Table {
-    /// Experiment id (e.g. "E1").
-    pub id: String,
-    /// Human title.
-    pub title: String,
-    /// One-paragraph commentary (what the paper says vs what we measured).
-    pub commentary: String,
-    /// Column headers.
-    pub headers: Vec<String>,
-    /// Rows (already formatted).
-    pub rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// Creates an empty table.
-    pub fn new(id: &str, title: &str, headers: &[&str]) -> Table {
-        Table {
-            id: id.to_string(),
-            title: title.to_string(),
-            commentary: String::new(),
-            headers: headers.iter().map(|s| s.to_string()).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Appends a row.
-    pub fn push(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
-        self.rows.push(row);
-    }
-
-    /// Renders as GitHub-flavored markdown.
-    pub fn to_markdown(&self) -> String {
-        let mut out = String::new();
-        writeln!(out, "### {} — {}\n", self.id, self.title).unwrap();
-        writeln!(out, "| {} |", self.headers.join(" | ")).unwrap();
-        writeln!(
-            out,
-            "|{}|",
-            self.headers
-                .iter()
-                .map(|_| "---")
-                .collect::<Vec<_>>()
-                .join("|")
-        )
-        .unwrap();
-        for row in &self.rows {
-            writeln!(out, "| {} |", row.join(" | ")).unwrap();
-        }
-        if !self.commentary.is_empty() {
-            writeln!(out, "\n{}", self.commentary).unwrap();
-        }
-        out
-    }
-
-    /// Renders as one JSON object:
-    /// `{"id":…,"title":…,"commentary":…,"headers":[…],"rows":[[…]]}`.
-    pub fn to_json(&self) -> String {
-        serde::Serialize::to_json(self)
-    }
-
-    /// Renders as CSV.
-    pub fn to_csv(&self) -> String {
-        let mut out = String::new();
-        writeln!(out, "{}", self.headers.join(",")).unwrap();
-        for row in &self.rows {
-            writeln!(out, "{}", row.join(",")).unwrap();
-        }
-        out
-    }
-}
+pub use wdr_metrics::table::Table;
 
 /// The output of one experiment run: one or more tables plus any artifact
 /// files it wrote.
@@ -120,38 +51,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn markdown_and_csv_render() {
+    fn reexported_table_renders() {
         let mut t = Table::new("E0", "demo", &["a", "b"]);
         t.push(vec!["1".into(), "2".into()]);
-        let md = t.to_markdown();
-        assert!(md.contains("| a | b |"));
-        assert!(md.contains("| 1 | 2 |"));
-        let csv = t.to_csv();
-        assert_eq!(csv, "a,b\n1,2\n");
-    }
-
-    #[test]
-    fn json_renders_and_parses() {
-        let mut t = Table::new("E0", "demo", &["a", "b"]);
-        t.commentary = "note \"quoted\"".into();
-        t.push(vec!["1".into(), "2".into()]);
-        let v = serde_json::from_str(&t.to_json()).expect("table JSON parses");
-        assert_eq!(v.get("id").and_then(serde_json::Value::as_str), Some("E0"));
-        let rows = v.get("rows").and_then(serde_json::Value::as_array).unwrap();
-        assert_eq!(rows.len(), 1);
-        let row0 = rows[0].as_array().expect("row is an array");
-        assert_eq!(row0[1].as_str(), Some("2"));
-        assert_eq!(
-            v.get("commentary").and_then(serde_json::Value::as_str),
-            Some("note \"quoted\"")
-        );
-    }
-
-    #[test]
-    #[should_panic(expected = "width")]
-    fn row_width_checked() {
-        let mut t = Table::new("E0", "demo", &["a", "b"]);
-        t.push(vec!["1".into()]);
+        assert!(t.to_markdown().contains("| 1 | 2 |"));
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
     }
 
     #[test]

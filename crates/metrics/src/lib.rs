@@ -47,9 +47,11 @@ pub mod histogram;
 pub mod provenance;
 pub mod registry;
 pub mod snapshot;
+pub mod table;
 pub mod trajectory;
 
 pub use histogram::{Histogram, HistogramSummary};
 pub use provenance::RunMeta;
 pub use registry::{Counter, Gauge, Metric, MetricsRegistry};
 pub use snapshot::{MetricValue, MetricsSnapshot};
+pub use table::Table;

@@ -562,6 +562,27 @@ pub fn extract_metrics(stem: &str, v: &Value, out: &mut BTreeMap<String, f64>) {
                 );
             }
         }
+        "BENCH_ablate" => {
+            // E13: one row per ablation job, keyed by the swept factors.
+            // Ratios and sandwich flags are sandwich-correctness evidence,
+            // not machine performance — informational rows; the headline
+            // aggregates (job/violation counts, worst ratio) arrive via
+            // the embedded `metrics` pairs.
+            for row in rows.into_iter().flatten() {
+                let (Some(eps), Some(fault_rate), Some(w)) = (
+                    row.get("eps").and_then(Value::as_f64),
+                    row.get("fault_rate").and_then(Value::as_f64),
+                    row.get("max_weight").and_then(Value::as_u64),
+                ) else {
+                    continue;
+                };
+                let prefix = format!("e13.eps{eps:?}.f{fault_rate:?}.w{w}");
+                copy_num(row, "ratio", &format!("{prefix}.ratio"), out);
+                copy_num(row, "hard_ok", &format!("{prefix}.hard_ok"), out);
+                copy_num(row, "soft_ok", &format!("{prefix}.soft_ok"), out);
+                copy_num(row, "failed", &format!("{prefix}.failed"), out);
+            }
+        }
         "BENCH_conformance" => {
             for regime in v
                 .get("regimes")
@@ -927,6 +948,29 @@ mod tests {
             Direction::HigherIsBetter
         );
         assert_eq!(direction("e12.seq.wall_secs"), Direction::LowerIsBetter);
+
+        let ablate = serde_json::from_str(
+            r#"{"rows":[{"job":"job-0000","eps":0.08,"fault_rate":0.0,"max_weight":1,
+                "ratio":1.0,"hard_ok":1.0,"soft_ok":1.0,"failed":0.0},
+                {"job":"job-0003","eps":0.45,"fault_rate":0.04,"max_weight":4096,
+                "failed":1.0}],
+                "metrics":[["e13.jobs",18],["e13.violations",0],["e13.worst_ratio",1.07]]}"#,
+        )
+        .unwrap();
+        extract_metrics("BENCH_ablate", &ablate, &mut out);
+        assert_eq!(out["e13.eps0.08.f0.0.w1.ratio"], 1.0);
+        assert_eq!(out["e13.eps0.08.f0.0.w1.hard_ok"], 1.0);
+        assert_eq!(out["e13.eps0.45.f0.04.w4096.failed"], 1.0);
+        assert!(
+            !out.contains_key("e13.eps0.45.f0.04.w4096.ratio"),
+            "errored jobs carry no ratio"
+        );
+        assert_eq!(out["e13.jobs"], 18.0);
+        assert_eq!(out["e13.worst_ratio"], 1.07);
+        assert!(
+            !gated("e13.eps0.08.f0.0.w1.ratio") && !gated("e13.worst_ratio"),
+            "ablation ratios are correctness evidence, not perf gates"
+        );
     }
 
     #[test]

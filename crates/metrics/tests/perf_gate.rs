@@ -114,3 +114,175 @@ fn compare_gates_a_synthetic_regression_and_passes_identical_reruns() {
 
     let _ = std::fs::remove_dir_all(&root);
 }
+
+fn write_serve_artifact(dir: &Path, hit_rate: f64) {
+    std::fs::create_dir_all(dir).unwrap();
+    let json = format!(
+        concat!(
+            r#"{{"experiment":"serve_load","#,
+            r#""meta":{{"schema_version":1,"commit":"selfcheck","#,
+            r#""recorded_at_utc":"2026-08-07T00:00:00Z","host_threads":4,"seeds":[9]}},"#,
+            r#""rows":[{{"workers":4,"mix":"repeat","qps":1000.0,"p50_us":700.0,"#,
+            r#""p99_us":2100.0,"hit_rate":{hit_rate}}}]}}"#
+        ),
+        hit_rate = hit_rate
+    );
+    std::fs::write(dir.join("BENCH_serve.json"), json).unwrap();
+}
+
+fn temp_root(tag: &str) -> std::path::PathBuf {
+    let root = std::env::temp_dir().join(format!("wdr-perf-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+/// A pinned row unions every experiment ever recorded; a later run that
+/// regenerates only a subset must *warn* about the missing metrics, not
+/// fail the gate.
+#[test]
+fn baseline_metric_missing_from_rerun_warns_but_passes() {
+    let root = temp_root("missing");
+    let bench_dir = root.join("experiments");
+    let traj = root.join("trajectory.jsonl");
+    let traj = traj.to_str().unwrap().to_string();
+    let dir = bench_dir.to_str().unwrap().to_string();
+
+    // Baseline carries both the conformance envelope and the serve cache.
+    write_conformance_artifact(&bench_dir, 3.0);
+    write_serve_artifact(&bench_dir, 0.95);
+    let out = wdr_perf(
+        &["record", "--dir", &dir, "--trajectory", &traj, "--pin"],
+        &root,
+    );
+    assert!(out.status.success(), "record failed: {out:?}");
+
+    // The re-run only regenerated the conformance artifact.
+    std::fs::remove_file(bench_dir.join("BENCH_serve.json")).unwrap();
+    let out = wdr_perf(&["compare", "--dir", &dir, "--trajectory", &traj], &root);
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        out.status.success(),
+        "missing baseline metric must not fail the gate:\n{stdout}"
+    );
+    assert!(stdout.contains("WARNING"), "{stdout}");
+    assert!(stdout.contains("skipped"), "{stdout}");
+    assert!(stdout.contains("e10.w4.repeat.hit_rate"), "{stdout}");
+    assert!(stdout.contains("GATE PASS"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// An artifact with a name no extractor knows contributes its embedded
+/// `metrics` pairs (and its fingerprint) instead of being rejected — the
+/// extractor is forward-compatible with future experiments.
+#[test]
+fn unknown_bench_artifact_contributes_embedded_metrics_only() {
+    let root = temp_root("unknown");
+    let bench_dir = root.join("experiments");
+    std::fs::create_dir_all(&bench_dir).unwrap();
+    let traj_path = root.join("trajectory.jsonl");
+    let traj = traj_path.to_str().unwrap().to_string();
+    let dir = bench_dir.to_str().unwrap().to_string();
+
+    std::fs::write(
+        bench_dir.join("BENCH_bogus.json"),
+        concat!(
+            r#"{"experiment":"from_the_future","rows":[{"alpha":1.0,"beta":2.0}],"#,
+            r#""meta":{"schema_version":1,"commit":"selfcheck","#,
+            r#""recorded_at_utc":"2026-08-07T00:00:00Z","host_threads":1,"seeds":[3]},"#,
+            r#""metrics":[["bogus.widget.count",5.0],["bogus.secs_per_run",0.25]]}"#
+        ),
+    )
+    .unwrap();
+    let out = wdr_perf(
+        &["record", "--dir", &dir, "--trajectory", &traj, "--pin"],
+        &root,
+    );
+    assert!(out.status.success(), "record failed: {out:?}");
+    let rows = trajectory::load_rows(&traj_path).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].metrics["bogus.widget.count"], 5.0);
+    assert_eq!(rows[0].metrics["bogus.secs_per_run"], 0.25);
+    assert!(
+        !rows[0].metrics.contains_key("alpha"),
+        "unknown row fields are not guessed into metrics"
+    );
+    assert!(rows[0].artifacts.contains_key("BENCH_bogus.json"));
+
+    // And the gate still runs end-to-end over it.
+    let out = wdr_perf(&["compare", "--dir", &dir, "--trajectory", &traj], &root);
+    assert!(
+        out.status.success(),
+        "compare over unknown artifact: {out:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// `compare` against an empty (or absent) trajectory is a usage error:
+/// exit 2 with a message telling the user to pin a baseline first.
+#[test]
+fn compare_with_empty_trajectory_is_a_usage_error() {
+    let root = temp_root("empty");
+    let bench_dir = root.join("experiments");
+    write_conformance_artifact(&bench_dir, 3.0);
+    let traj_path = root.join("trajectory.jsonl");
+    std::fs::write(&traj_path, "").unwrap();
+    let traj = traj_path.to_str().unwrap().to_string();
+    let dir = bench_dir.to_str().unwrap().to_string();
+
+    let out = wdr_perf(&["compare", "--dir", &dir, "--trajectory", &traj], &root);
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "empty trajectory must be a usage error (exit 2):\n{stderr}"
+    );
+    assert!(stderr.contains("no pinned row"), "{stderr}");
+    assert!(stderr.contains("--pin"), "{stderr}");
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The gate is direction-aware: a *drop* in a higher-is-better metric
+/// (cache hit rate) regresses, while a *rise* of the same magnitude is an
+/// improvement and passes.
+#[test]
+fn gate_is_direction_aware_for_higher_is_better_metrics() {
+    let root = temp_root("direction");
+    let bench_dir = root.join("experiments");
+    let traj = root.join("trajectory.jsonl");
+    let traj = traj.to_str().unwrap().to_string();
+    let dir = bench_dir.to_str().unwrap().to_string();
+
+    write_serve_artifact(&bench_dir, 0.90);
+    let out = wdr_perf(
+        &["record", "--dir", &dir, "--trajectory", &traj, "--pin"],
+        &root,
+    );
+    assert!(out.status.success(), "record failed: {out:?}");
+
+    // hit_rate 0.90 → 0.72 is a 20% drop in a higher-is-better gated
+    // metric: regression.
+    write_serve_artifact(&bench_dir, 0.72);
+    let out = wdr_perf(&["compare", "--dir", &dir, "--trajectory", &traj], &root);
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        !out.status.success(),
+        "20% hit-rate drop must fail the gate:\n{stdout}"
+    );
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    assert!(stdout.contains("e10.w4.repeat.hit_rate"), "{stdout}");
+
+    // The symmetric *improvement* must pass — higher is better.
+    write_serve_artifact(&bench_dir, 0.99);
+    let out = wdr_perf(&["compare", "--dir", &dir, "--trajectory", &traj], &root);
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        out.status.success(),
+        "a hit-rate improvement must never fail the gate:\n{stdout}"
+    );
+    assert!(stdout.contains("GATE PASS"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -27,6 +27,10 @@ fn main() -> ExitCode {
         Some("estimate") => cmd_estimate(&args[1..]),
         Some("sssp") => cmd_sssp(&args[1..]),
         Some("table1") => cmd_table1(&args[1..]),
+        // Ablation harness: `wdr ablate` is the same entry point as the
+        // standalone `wdr-ablate` binary (exit codes: 0 pass, 1 tolerance
+        // violation / report drift, 2 usage).
+        Some("ablate") => return wdr_ablate::cli_main(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             return ExitCode::from(2);
@@ -47,7 +51,9 @@ const USAGE: &str = "usage:
   wdr estimate <file> [--radius] [--method quantum|exact|two-approx|three-halves]
                [--seed S] [--eps X] [--leader V]
   wdr sssp <file> <source> [--eps X] [--seed S]
-  wdr table1 [--n N] [--d D]";
+  wdr table1 [--n N] [--d D]
+  wdr ablate <run|check|render> --plan <file.ron> [--seed S] [--lanes L]
+             [--out FILE] [--against FILE] [--format md|csv]";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
